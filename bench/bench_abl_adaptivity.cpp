@@ -1,0 +1,63 @@
+// Ablation: how much of S2C2's win comes from *per-round adaptation*?
+// Compares three schedulers on identical volatile traces and identical
+// (10,7) coded data:
+//   * static heterogeneity-aware split (Reisizadeh et al. [34] style):
+//     speeds averaged over a warmup window, then frozen;
+//   * adaptive S2C2 with the trained LSTM (the paper's system);
+//   * adaptive S2C2 with oracle speeds (upper bound).
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace s2c2;
+  bench::print_header(
+      "Ablation — static vs adaptive speed-aware allocation",
+      "(10,7)-S2C2 allocation driven by three speed sources, volatile\n"
+      "cloud. Latency normalized to the oracle run.");
+
+  const bench::WorkloadShape shape;
+  const std::size_t rounds = 40;
+  const std::size_t chunks = 100;
+  const auto cfg = workload::volatile_cloud_config();
+  const predict::Lstm lstm = bench::train_speed_lstm(cfg, 71);
+  const auto spec = bench::cloud_spec(10, cfg, 72, 0.012);
+
+  auto run = [&](std::unique_ptr<predict::SpeedPredictor> pred, bool oracle) {
+    core::EngineConfig ecfg;
+    ecfg.strategy = core::Strategy::kS2C2General;
+    ecfg.chunks_per_partition = chunks;
+    ecfg.oracle_speeds = oracle;
+    auto job = core::CodedMatVecJob::cost_only(shape.rows, shape.cols, 10, 7,
+                                               chunks);
+    core::CodedComputeEngine engine(job, spec, ecfg, std::move(pred));
+    const auto results = engine.run_rounds(rounds);
+    struct Out {
+      double latency;
+      double timeouts;
+    };
+    return Out{core::total_latency(results) / static_cast<double>(rounds),
+               engine.timeout_rate()};
+  };
+
+  const auto oracle = run(nullptr, true);
+  const auto adaptive =
+      run(std::make_unique<predict::LstmPredictor>(10, lstm), false);
+  const auto frozen =
+      run(std::make_unique<predict::FrozenSpeedPredictor>(10, 3), false);
+
+  util::Table t({"scheduler", "normalized latency", "timeout rate"});
+  t.add_row({"static split (frozen after 3-round warmup)",
+             util::fmt(frozen.latency / oracle.latency, 3),
+             util::fmt(frozen.timeouts, 2)});
+  t.add_row({"adaptive S2C2 + LSTM (paper)",
+             util::fmt(adaptive.latency / oracle.latency, 3),
+             util::fmt(adaptive.timeouts, 2)});
+  t.add_row({"adaptive S2C2 + oracle", "1.000", util::fmt(oracle.timeouts, 2)});
+  t.print();
+
+  std::cout << "\nThe paper's key ingredient (§8: prior coded-computing\n"
+               "works split statically; S2C2 \"dynamically adapts the\n"
+               "computation load of each node\"): a static split cannot\n"
+               "follow regime changes, so it keeps paying timeout\n"
+               "recoveries that adaptation avoids.\n";
+  return 0;
+}

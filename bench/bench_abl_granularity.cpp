@@ -1,0 +1,47 @@
+// Ablation: chunk granularity (over-decomposition factor C). Coarse chunks
+// quantize a slow worker's quota badly — a 0.2-speed worker rounded from
+// 1.4 to 2 chunks overshoots its deadline by 40% and trips the timeout —
+// while very fine chunks inflate decode-group counts and per-chunk
+// bookkeeping. The paper's Algorithm 1 sets C = Σu_i; this sweep shows the
+// trade-off that choice sits on.
+#include "bench/bench_common.h"
+
+#include "src/sched/coverage.h"
+
+int main() {
+  using namespace s2c2;
+  bench::print_header(
+      "Ablation — chunk granularity C (paper Algorithm 1 uses C = Σu_i)",
+      "(12,6)-S2C2 on a controlled cluster with 2 stragglers (5x slower),\n"
+      "oracle speeds. Latency normalized to C=24.");
+
+  const bench::WorkloadShape shape;
+  const std::size_t rounds = 15;
+
+  auto run_with_chunks = [&](std::size_t chunks) {
+    const auto spec = bench::controlled_spec(12, 2, 0.2, 300);
+    const auto r = bench::run_coded(core::Strategy::kS2C2General, 12, 6,
+                                    shape, spec, rounds, chunks, true);
+    return r;
+  };
+
+  const double base = run_with_chunks(24).mean_latency;
+  util::Table t({"chunks per partition", "normalized latency", "timeout rate",
+                 "decode groups (static)"});
+  for (std::size_t c : {3u, 6u, 12u, 24u, 48u, 96u, 192u}) {
+    const auto r = run_with_chunks(c);
+    // Static decode-group count of the first-round allocation.
+    std::vector<double> speeds(12, 1.0);
+    speeds[10] = speeds[11] = 0.2;
+    const auto alloc = sched::proportional_allocation(speeds, 6, c);
+    t.add_row({std::to_string(c), util::fmt(r.mean_latency / base, 3),
+               util::fmt(r.timeout_rate, 2),
+               std::to_string(sched::coverage_groups(alloc).size())});
+  }
+  t.print();
+  std::cout << "\nExpected: latency drops as C grows past the quantization\n"
+               "regime, then flattens; decode-group count stays O(n), so\n"
+               "finer chunks cost little — exactly why Algorithm 1 can\n"
+               "afford C = Σu_i.\n";
+  return 0;
+}

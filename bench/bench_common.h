@@ -1,0 +1,140 @@
+// Shared helpers for the figure-reproduction benches.
+//
+// Every bench prints the paper's reported series next to our measured
+// series. Absolute latencies are meaningless across substrates (theirs: a
+// Xeon/InfiniBand cluster and DigitalOcean droplets; ours: a calibrated
+// simulator), so all figures report *normalized* execution time exactly as
+// the paper does.
+#pragma once
+
+#include <cstdint>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/engine.h"
+#include "src/core/overdecomp_engine.h"
+#include "src/core/replication_engine.h"
+#include "src/predict/lstm.h"
+#include "src/util/stats.h"
+#include "src/util/table.h"
+#include "src/workload/trace_gen.h"
+
+namespace s2c2::bench {
+
+/// Workload shaped like the paper's duplicated-gisette SVM/LR runs.
+struct WorkloadShape {
+  std::size_t rows = 21000;
+  std::size_t cols = 2000;
+};
+
+inline core::ClusterSpec cloud_spec(std::size_t n,
+                                    const workload::CloudTraceConfig& cfg,
+                                    std::uint64_t seed, double sample_dt) {
+  util::Rng rng(seed);
+  const auto series = workload::cloud_speed_corpus(n, 400, cfg, rng);
+  core::ClusterSpec spec;
+  spec.traces = workload::traces_from_series(series, sample_dt);
+  return spec;
+}
+
+inline core::ClusterSpec controlled_spec(std::size_t n,
+                                         std::size_t stragglers,
+                                         double variation,
+                                         std::uint64_t seed) {
+  util::Rng rng(seed);
+  core::ClusterSpec spec;
+  spec.traces =
+      workload::controlled_cluster_traces(n, stragglers, variation, rng);
+  // Paper's local cluster: 56 Gb/s FDR InfiniBand.
+  spec.net.bytes_per_s = 7e9;
+  return spec;
+}
+
+struct CodedRunResult {
+  double mean_latency = 0.0;
+  double timeout_rate = 0.0;
+  double mispred_rate = 0.0;
+  std::vector<double> wasted_fraction;  // per worker
+};
+
+/// Trains the paper's LSTM on a corpus drawn from the same trace
+/// distribution the cluster uses (one model per bench run).
+inline predict::Lstm train_speed_lstm(const workload::CloudTraceConfig& cfg,
+                                      std::uint64_t seed,
+                                      std::size_t epochs = 200) {
+  util::Rng rng(seed);
+  const auto corpus = workload::cloud_speed_corpus(24, 150, cfg, rng);
+  predict::Lstm lstm(1, 4, seed ^ 0x15ull);
+  predict::Lstm::TrainConfig tc;
+  tc.epochs = epochs;
+  tc.bptt_window = 48;
+  lstm.train(corpus, tc);
+  return lstm;
+}
+
+/// Runs `rounds` coded iterations and reports the mean round latency.
+inline CodedRunResult run_coded(core::Strategy strategy, std::size_t n,
+                                std::size_t k, const WorkloadShape& shape,
+                                const core::ClusterSpec& spec,
+                                std::size_t rounds, std::size_t chunks,
+                                bool oracle,
+                                const predict::Lstm* lstm = nullptr) {
+  core::EngineConfig cfg;
+  cfg.strategy = strategy;
+  cfg.chunks_per_partition = chunks;
+  cfg.oracle_speeds = oracle;
+  auto job = core::CodedMatVecJob::cost_only(shape.rows, shape.cols, n, k,
+                                             chunks);
+  std::unique_ptr<predict::SpeedPredictor> predictor;
+  if (!oracle && lstm != nullptr) {
+    predictor = std::make_unique<predict::LstmPredictor>(n, *lstm);
+  }
+  core::CodedComputeEngine engine(job, spec, cfg, std::move(predictor));
+  const auto results = engine.run_rounds(rounds);
+  CodedRunResult out;
+  out.mean_latency =
+      core::total_latency(results) / static_cast<double>(rounds);
+  out.timeout_rate = engine.timeout_rate();
+  out.mispred_rate = engine.misprediction_rate();
+  for (std::size_t w = 0; w < n; ++w) {
+    out.wasted_fraction.push_back(
+        engine.accounting().worker(w).wasted_fraction());
+  }
+  return out;
+}
+
+inline double run_replication(const WorkloadShape& shape,
+                              const core::ClusterSpec& spec,
+                              std::size_t rounds,
+                              core::ReplicationConfig cfg = {}) {
+  core::ReplicationEngine engine(shape.rows, shape.cols, spec, cfg);
+  const auto results = engine.run_rounds(rounds);
+  return core::total_latency(results) / static_cast<double>(rounds);
+}
+
+inline double run_overdecomp(const WorkloadShape& shape,
+                             const core::ClusterSpec& spec,
+                             std::size_t rounds, bool oracle,
+                             const predict::Lstm* lstm = nullptr) {
+  core::OverDecompConfig cfg;
+  cfg.oracle_speeds = oracle;
+  std::unique_ptr<predict::SpeedPredictor> predictor;
+  if (!oracle && lstm != nullptr) {
+    predictor = std::make_unique<predict::LstmPredictor>(spec.num_workers(),
+                                                         *lstm);
+  }
+  core::OverDecompositionEngine engine(shape.rows, shape.cols, spec, cfg,
+                                       std::move(predictor));
+  const auto results = engine.run_rounds(rounds);
+  return core::total_latency(results) / static_cast<double>(rounds);
+}
+
+inline void print_header(const std::string& title, const std::string& note) {
+  std::cout << "\n=== " << title << " ===\n";
+  if (!note.empty()) std::cout << note << "\n";
+  std::cout << "\n";
+}
+
+}  // namespace s2c2::bench

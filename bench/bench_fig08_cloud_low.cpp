@@ -1,0 +1,89 @@
+// Figs 8 + 9: SVM on the 10-worker cloud in the LOW mis-prediction
+// environment (stable speeds; predictions effectively exact, so we run the
+// oracle predictor — the paper observed a 0% mis-prediction rate here).
+//
+// Fig 8 paper series (normalized to (10,7)-S2C2 = 1.00):
+//   over-decomposition 1.00 | MDS(8,7) 1.36 | MDS(9,7) 1.31 |
+//   MDS(10,7) 1.39 | S2C2(8,7) 1.23 | S2C2(9,7) 1.09 | S2C2(10,7) 1.00
+// Fig 9: per-worker wasted computation — MDS wastes up to ~90% on nearly-
+// fast workers, S2C2 wastes none.
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace s2c2;
+  bench::print_header(
+      "Fig 8 — cloud execution time, LOW mis-prediction environment",
+      "10 shared-cloud workers, SVM iterations, stable speeds.\n"
+      "Normalized to (10,7)-S2C2.");
+
+  const bench::WorkloadShape shape;
+  const std::size_t rounds = 15;
+  const std::size_t chunks = 100;
+  // Paper §7.2.1: the 0% mis-prediction runs happened "when there are no
+  // significant variations in speeds between the nodes" — near-uniform
+  // node levels with gentle wander (two close contention levels keeps the
+  // Fig 9 waste pattern: persistent slightly-slow nodes lose the MDS race).
+  auto cfg = workload::stable_cloud_config();
+  cfg.regime_levels = {1.0, 0.96};
+
+  // One 10-worker environment; (n,7) schemes use the first n workers.
+  const core::ClusterSpec spec10 = bench::cloud_spec(10, cfg, 77, 0.03);
+  auto sub_spec = [&](std::size_t n) {
+    core::ClusterSpec s = spec10;
+    s.traces = std::vector<sim::SpeedTrace>(spec10.traces.begin(),
+                                            spec10.traces.begin() +
+                                                static_cast<std::ptrdiff_t>(n));
+    return s;
+  };
+
+  const double overdecomp =
+      bench::run_overdecomp(shape, spec10, rounds, true);
+  std::vector<double> mds, s2c2;
+  std::vector<bench::CodedRunResult> full;
+  for (std::size_t n : {8u, 9u, 10u}) {
+    mds.push_back(bench::run_coded(core::Strategy::kMdsConventional, n, 7,
+                                   shape, sub_spec(n), rounds, chunks, true)
+                      .mean_latency);
+    full.push_back(bench::run_coded(core::Strategy::kS2C2General, n, 7, shape,
+                                    sub_spec(n), rounds, chunks, true));
+    s2c2.push_back(full.back().mean_latency);
+  }
+  const double base = s2c2[2];  // (10,7)-S2C2
+
+  util::Table t({"scheme", "measured", "paper"});
+  t.add_row({"over-decomposition", util::fmt(overdecomp / base, 2), "1.00"});
+  t.add_row({"MDS(8,7)", util::fmt(mds[0] / base, 2), "1.36"});
+  t.add_row({"MDS(9,7)", util::fmt(mds[1] / base, 2), "1.31"});
+  t.add_row({"MDS(10,7)", util::fmt(mds[2] / base, 2), "1.39"});
+  t.add_row({"S2C2(8,7)", util::fmt(s2c2[0] / base, 2), "1.23"});
+  t.add_row({"S2C2(9,7)", util::fmt(s2c2[1] / base, 2), "1.09"});
+  t.add_row({"S2C2(10,7)", "1.00", "1.00"});
+  t.print();
+
+  std::cout << "\nKey claim: (10,7)-MDS is "
+            << util::fmt(100.0 * (mds[2] - base) / base, 1)
+            << "% slower than (10,7)-S2C2  (paper: 39.3%, ideal "
+               "(10-7)/7 = 42.8%)\n";
+
+  // ---- Fig 9: wasted computation per worker ----
+  bench::print_header(
+      "Fig 9 — per-worker wasted computation, LOW mis-prediction",
+      "Fraction of computed work the master ignored ((10,7) code).\n"
+      "Paper: MDS wastes heavily on the 3 ignored workers (up to ~90%);\n"
+      "S2C2 wastes nothing when predictions hold.");
+  const auto mds_full = bench::run_coded(core::Strategy::kMdsConventional, 10,
+                                         7, shape, spec10, rounds, chunks,
+                                         true);
+  const auto& s2c2_full = full[2];
+  util::Table w({"worker", "(10,7)-MDS wasted %", "(10,7)-S2C2 wasted %"});
+  for (std::size_t i = 0; i < 10; ++i) {
+    w.add_row({"worker " + std::to_string(i + 1),
+               util::fmt(100.0 * mds_full.wasted_fraction[i], 1),
+               util::fmt(100.0 * s2c2_full.wasted_fraction[i], 1)});
+  }
+  w.print();
+  std::cout << "\nMeasured mis-prediction-rate proxy (timeout rate): "
+            << util::fmt(100.0 * s2c2_full.timeout_rate, 1)
+            << "%  (paper: 0%)\n";
+  return 0;
+}

@@ -1,0 +1,136 @@
+// google-benchmark microbenchmarks for the numeric kernels and the
+// scheduler hot paths: dense/sparse matvec, MDS encode, chunked decode,
+// LU solve, allocation, and the LSTM step used each iteration.
+#include <benchmark/benchmark.h>
+
+#include "src/coding/chunked_decoder.h"
+#include "src/coding/mds_code.h"
+#include "src/linalg/lu.h"
+#include "src/linalg/sparse.h"
+#include "src/predict/lstm.h"
+#include "src/sched/allocation.h"
+#include "src/util/rng.h"
+
+namespace {
+
+using namespace s2c2;
+
+void BM_DenseMatvec(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(1);
+  const auto m = linalg::Matrix::random_uniform(n, n, rng);
+  linalg::Vector x(n, 1.0), y(n);
+  for (auto _ : state) {
+    m.matvec_into(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * n));
+}
+BENCHMARK(BM_DenseMatvec)->Arg(128)->Arg(512)->Arg(1024);
+
+void BM_SparseMatvec(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(2);
+  std::vector<linalg::Triplet> trips;
+  for (std::size_t i = 0; i < n * 8; ++i) {
+    trips.push_back(
+        {static_cast<std::size_t>(rng.uniform_int(0, static_cast<int>(n) - 1)),
+         static_cast<std::size_t>(rng.uniform_int(0, static_cast<int>(n) - 1)),
+         rng.normal()});
+  }
+  const linalg::CsrMatrix m(n, n, trips);
+  linalg::Vector x(n, 1.0), y(n);
+  for (auto _ : state) {
+    m.matvec_into(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(m.nnz()));
+}
+BENCHMARK(BM_SparseMatvec)->Arg(1024)->Arg(8192);
+
+void BM_MdsEncode(benchmark::State& state) {
+  const auto rows = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(3);
+  const auto a = linalg::Matrix::random_uniform(rows, 256, rng);
+  const coding::MdsCode code(12, 10);
+  for (auto _ : state) {
+    auto parts = code.encode(a);
+    benchmark::DoNotOptimize(parts.data());
+  }
+}
+BENCHMARK(BM_MdsEncode)->Arg(1200)->Arg(4800);
+
+void BM_ChunkedDecode(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const std::size_t n = k + 3;
+  const std::size_t chunks = 16, rpc = 8;
+  util::Rng rng(4);
+  const coding::MdsCode code(n, k);
+  const auto a =
+      linalg::Matrix::random_uniform(k * chunks * rpc, 64, rng);
+  const auto parts = code.encode(a);
+  linalg::Vector x(64, 1.0);
+  // Precompute chunk results from the first k workers.
+  std::vector<std::vector<std::vector<double>>> results(n);
+  for (std::size_t w = 0; w < k; ++w) {
+    for (std::size_t c = 0; c < chunks; ++c) {
+      std::vector<double> vals(rpc);
+      parts[w].matvec_rows(c * rpc, (c + 1) * rpc, x, vals);
+      results[w].push_back(std::move(vals));
+    }
+  }
+  for (auto _ : state) {
+    coding::ChunkedDecoder dec(code.generator(), chunks * rpc, chunks, 1);
+    for (std::size_t w = 0; w < k; ++w) {
+      for (std::size_t c = 0; c < chunks; ++c) {
+        dec.add_chunk_result(w, c, results[w][c]);
+      }
+    }
+    auto out = dec.decode();
+    benchmark::DoNotOptimize(out.data().data());
+  }
+}
+BENCHMARK(BM_ChunkedDecode)->Arg(6)->Arg(10)->Arg(40);
+
+void BM_LuSolve(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(5);
+  const auto a = linalg::Matrix::random_normal(n, n, rng);
+  linalg::Vector b(n, 1.0);
+  for (auto _ : state) {
+    const linalg::LuFactorization lu(a);
+    auto x = lu.solve(b);
+    benchmark::DoNotOptimize(x.data());
+  }
+}
+BENCHMARK(BM_LuSolve)->Arg(8)->Arg(40)->Arg(64);
+
+void BM_ProportionalAllocation(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(6);
+  std::vector<double> speeds(n);
+  for (auto& s : speeds) s = rng.uniform(0.1, 1.0);
+  const std::size_t k = n * 4 / 5;
+  for (auto _ : state) {
+    auto alloc = sched::proportional_allocation(speeds, k, 2 * n);
+    benchmark::DoNotOptimize(alloc.per_worker.data());
+  }
+}
+BENCHMARK(BM_ProportionalAllocation)->Arg(12)->Arg(50)->Arg(500);
+
+void BM_LstmStep(benchmark::State& state) {
+  const predict::Lstm lstm(1, 4, 7);
+  predict::Lstm::State st = lstm.initial_state();
+  const double x[1] = {0.8};
+  for (auto _ : state) {
+    const double y = lstm.step(std::span<const double>(x, 1), st);
+    benchmark::DoNotOptimize(y);
+  }
+}
+BENCHMARK(BM_LstmStep);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,114 @@
+// Extension bench: S2C2 on Lagrange coded computing (paper §2 names LCC
+// as the general-polynomial substrate; §5 argues S2C2 is code-agnostic).
+// Workload: distributed Gram matrices f(X_j) = X_jᵀX_j over m data blocks,
+// 12 workers, degree 2 — recovery threshold R = 2(m-1)+1 = 7.
+//
+// Latency model mirrors the MDS engines: conventional LCC waits for the R
+// fastest full evaluations; S2C2 allocates output-row chunks by speed with
+// exact-R coverage.
+#include "bench/bench_common.h"
+
+#include "src/coding/lagrange_code.h"
+#include "src/sched/allocation.h"
+
+namespace {
+
+using namespace s2c2;
+
+/// Analytic one-round latency of LCC under a given allocation.
+double lcc_round_latency(const core::ClusterSpec& spec,
+                         const sched::Allocation& alloc, std::size_t need,
+                         double chunk_work, double pre_work) {
+  std::vector<double> responses;
+  for (std::size_t w = 0; w < spec.num_workers(); ++w) {
+    const std::size_t chunks = alloc.per_worker[w].count;
+    if (chunks == 0) continue;
+    const double work = pre_work + static_cast<double>(chunks) * chunk_work;
+    responses.push_back(
+        spec.traces[w].time_to_complete(0.0, work / spec.worker_flops));
+  }
+  std::sort(responses.begin(), responses.end());
+  // Conventional: R-th fastest; S2C2 exact coverage: all assigned.
+  return alloc.total_chunks() ==
+                 alloc.chunks_per_partition * spec.num_workers()
+             ? responses[need - 1]
+             : responses.back();
+}
+
+}  // namespace
+
+int main() {
+  using namespace s2c2;
+  bench::print_header(
+      "Extension — S2C2 on Lagrange coded computing (Gram matrices)",
+      "f(X_j) = X_jᵀX_j over m=4 blocks, 12 workers, degree 2 (R = 7).\n"
+      "Latency normalized to S2C2-on-LCC; correctness checked numerically.");
+
+  // Correctness: full functional round with mixed responder sets.
+  util::Rng rng(9);
+  const std::size_t m = 4, rows = 60, cols = 24, chunks = 12;
+  const coding::LagrangeCode code(12, m, 2);
+  std::vector<linalg::Matrix> blocks;
+  for (std::size_t j = 0; j < m; ++j) {
+    blocks.push_back(linalg::Matrix::random_uniform(rows, cols, rng));
+  }
+  const auto encoded = code.encode(blocks);
+
+  const std::vector<double> speeds{1.0, 0.95, 0.9, 1.0, 0.85, 0.95,
+                                   0.9, 1.0,  0.2, 0.95, 0.9, 0.85};
+  const auto alloc = sched::proportional_allocation(
+      speeds, code.recovery_threshold(), chunks);
+  coding::LagrangeCode::Decoder dec(code, cols, chunks, cols);
+  const std::size_t rpc = cols / chunks;
+  for (std::size_t w = 0; w < code.n(); ++w) {
+    const auto gram = encoded[w].transposed().matmul(encoded[w]);
+    for (std::size_t c : alloc.chunks_of(w)) {
+      linalg::Matrix slice(rpc, cols);
+      for (std::size_t r = 0; r < rpc; ++r) {
+        for (std::size_t cc = 0; cc < cols; ++cc) {
+          slice(r, cc) = gram(c * rpc + r, cc);
+        }
+      }
+      dec.add_chunk_result(w, c, std::move(slice));
+    }
+  }
+  double max_rel = 0.0;
+  const auto out = dec.decode();
+  for (std::size_t j = 0; j < m; ++j) {
+    const auto truth = blocks[j].transposed().matmul(blocks[j]);
+    max_rel = std::max(max_rel, out[j].max_abs_diff(truth) /
+                                    (truth.frobenius_norm() + 1.0));
+  }
+  std::cout << "S2C2-allocated LCC decode, relative error: " << max_rel
+            << "\n\n";
+
+  // Latency shape across straggler counts (analytic).
+  const double chunk_work = 2.0 * 2000.0 * 500.0;  // per output-row chunk
+  const double pre_work = 0.0;
+  util::Table t({"stragglers", "conventional LCC", "S2C2 on LCC"});
+  for (std::size_t s : {0u, 1u, 2u, 3u}) {
+    util::Rng trng(100 + s);
+    core::ClusterSpec spec;
+    spec.traces = workload::controlled_cluster_traces(12, s, 0.15, trng);
+    std::vector<double> oracle(12);
+    for (std::size_t w = 0; w < 12; ++w) {
+      oracle[w] = spec.traces[w].speed_at(0.0);
+    }
+    const auto full = sched::full_allocation(12, chunks);
+    const auto prop = sched::proportional_allocation(
+        oracle, code.recovery_threshold(), chunks);
+    const double conv = lcc_round_latency(spec, full,
+                                          code.recovery_threshold(),
+                                          chunk_work, pre_work);
+    const double sq = lcc_round_latency(spec, prop,
+                                        code.recovery_threshold(),
+                                        chunk_work, pre_work);
+    t.add_row({std::to_string(s), util::fmt(conv / sq, 2), "1.00"});
+  }
+  t.print();
+  std::cout << "\nSame pattern as MDS (Figs 6/8) and polynomial codes\n"
+               "(Fig 12): the allocation layer is code-agnostic, so S2C2\n"
+               "squeezes LCC's slack too — max ideal here is n/R = "
+            << util::fmt(12.0 / 7.0, 2) << ".\n";
+  return 0;
+}

@@ -1,0 +1,60 @@
+// S2C2 on polynomial codes (paper §5): a second-order optimizer needs the
+// Hessian H = Aᵀ·diag(x)·A every outer iteration; polynomial coding
+// distributes the bilinear product so any a² of n workers suffice, and
+// S2C2 squeezes the slack exactly as in the linear case.
+//
+//   build/examples/hessian_polynomial
+#include <iostream>
+
+#include "src/apps/hessian.h"
+#include "src/coding/poly_code.h"
+#include "src/util/table.h"
+#include "src/workload/trace_gen.h"
+
+int main() {
+  using namespace s2c2;
+  std::cout << "Polynomial-coded Hessian: 12 workers, a=b=3 (any 9 of 12 "
+               "decode), 2 stragglers\n\n";
+
+  util::Rng rng(31);
+  const auto a = linalg::Matrix::random_uniform(240, 96, rng);
+  linalg::Vector x(240);
+  // Logistic-regression Hessian weights: sigma(u)(1 - sigma(u)).
+  for (auto& v : x) v = rng.uniform(0.05, 0.25);
+
+  util::Rng trng(7);
+  core::ClusterSpec spec;
+  spec.traces = workload::controlled_cluster_traces(12, 2, 0.2, trng);
+  spec.worker_flops = 1e8;
+
+  apps::HessianConfig cfg;
+  cfg.a_blocks = 3;
+  cfg.chunks_per_partition = 16;
+  cfg.oracle_speeds = true;
+
+  cfg.use_s2c2 = false;
+  const auto conventional = apps::coded_hessian(a, x, spec, cfg);
+  cfg.use_s2c2 = true;
+  const auto squeezed = apps::coded_hessian(a, x, spec, cfg);
+
+  const auto truth = coding::PolyCode::hessian_direct(a, x);
+  const double scale = truth.frobenius_norm();
+
+  util::Table t({"scheme", "latency (ms)", "relative error vs direct"});
+  t.add_row({"conventional polynomial",
+             util::fmt(conventional.latency * 1e3, 2),
+             util::fmt(conventional.hessian.max_abs_diff(truth) / scale, 12)});
+  t.add_row({"polynomial + S2C2", util::fmt(squeezed.latency * 1e3, 2),
+             util::fmt(squeezed.hessian.max_abs_diff(truth) / scale, 12)});
+  t.print();
+
+  std::cout << "\nS2C2 reduction: "
+            << util::fmt(100.0 * (conventional.latency - squeezed.latency) /
+                             conventional.latency,
+                         1)
+            << "%  (paper Fig 12: 19% low / 14% high mis-prediction; ideal "
+               "(12-9)/9 = 33%)\n"
+            << "Both decode the same 96x96 Hessian, exact to floating "
+               "point.\n";
+  return 0;
+}

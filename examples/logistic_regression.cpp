@@ -1,0 +1,59 @@
+// Coded logistic regression (the paper's §6.3 ML workload): both gradient
+// products (X·w and Xᵀ·z) run through S2C2-scheduled coded clusters, so
+// every training iteration is straggler-protected end to end.
+//
+//   build/examples/logistic_regression
+#include <iostream>
+
+#include "src/apps/logistic_regression.h"
+#include "src/util/table.h"
+#include "src/workload/trace_gen.h"
+
+int main() {
+  using namespace s2c2;
+  std::cout << "Coded logistic regression on a 12-worker cluster with 2 "
+               "stragglers\n\n";
+
+  util::Rng rng(11);
+  const auto data = workload::make_classification(1200, 50, rng, 3.0, 0.8);
+
+  util::Rng trng(5);
+  core::ClusterSpec spec;
+  spec.traces = workload::controlled_cluster_traces(12, 2, 0.2, trng);
+  spec.worker_flops = 1e8;
+
+  apps::GdConfig gd;
+  gd.iterations = 20;
+  gd.learning_rate = 0.5;
+  gd.k = 8;  // (12,8)-MDS: tolerate up to 4 stragglers
+
+  auto run = [&](core::Strategy strategy, const char* label) {
+    core::EngineConfig cfg;
+    cfg.strategy = strategy;
+    cfg.chunks_per_partition = 24;
+    cfg.oracle_speeds = true;
+    const apps::TrainResult result =
+        apps::train_logistic_regression(data, spec, cfg, gd);
+    std::cout << label << ": final loss "
+              << util::fmt(result.losses.back(), 4) << ", total latency "
+              << util::fmt(result.total_latency * 1e3, 1) << " ms\n";
+    return result;
+  };
+
+  const auto mds = run(core::Strategy::kMdsConventional, "conventional MDS ");
+  const auto s2c2 = run(core::Strategy::kS2C2General, "S2C2 (general)   ");
+
+  std::cout << "\nLoss trajectories are identical (decode is exact):\n";
+  util::Table t({"iteration", "MDS loss", "S2C2 loss"});
+  for (std::size_t it : {0u, 4u, 9u, 14u, 19u}) {
+    t.add_row({std::to_string(it + 1), util::fmt(mds.losses[it], 5),
+               util::fmt(s2c2.losses[it], 5)});
+  }
+  t.print();
+  std::cout << "\nSame model, same convergence — S2C2 just gets there "
+            << util::fmt(100.0 * (mds.total_latency - s2c2.total_latency) /
+                             mds.total_latency,
+                         1)
+            << "% sooner.\n";
+  return 0;
+}

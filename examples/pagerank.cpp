@@ -1,0 +1,62 @@
+// Coded PageRank over a power-law web graph (paper §6.3): the sparse link
+// matrix is MDS-encoded once (systematic partitions stay CSR; parity
+// densifies) and every power iteration is a coded matvec.
+//
+//   build/examples/pagerank
+#include <algorithm>
+#include <iostream>
+
+#include "src/apps/pagerank.h"
+#include "src/util/table.h"
+#include "src/workload/graphs.h"
+#include "src/workload/trace_gen.h"
+
+int main() {
+  using namespace s2c2;
+  std::cout << "Coded PageRank: 3000-node web graph, 12 workers, 3 "
+               "stragglers\n\n";
+
+  util::Rng rng(23);
+  const auto graph = workload::power_law_digraph(3000, 5, rng);
+
+  util::Rng trng(17);
+  core::ClusterSpec spec;
+  spec.traces = workload::controlled_cluster_traces(12, 3, 0.2, trng);
+  spec.worker_flops = 1e8;
+
+  core::EngineConfig cfg;
+  cfg.strategy = core::Strategy::kS2C2General;
+  cfg.chunks_per_partition = 24;
+  cfg.oracle_speeds = true;
+
+  apps::PageRankConfig pr;
+  pr.max_iterations = 60;
+  pr.tolerance = 1e-10;
+  pr.k = 8;
+
+  const auto result = apps::coded_pagerank(graph, spec, cfg, pr);
+  const auto reference = apps::pagerank_direct(graph, pr.damping, 60);
+
+  // Top-ranked pages.
+  std::vector<std::size_t> order(result.ranks.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return result.ranks[a] > result.ranks[b];
+  });
+
+  util::Table t({"rank", "node", "score", "reference"});
+  for (std::size_t i = 0; i < 8; ++i) {
+    t.add_row({std::to_string(i + 1), std::to_string(order[i]),
+               util::fmt(result.ranks[order[i]] * 1e3, 4) + "e-3",
+               util::fmt(reference[order[i]] * 1e3, 4) + "e-3"});
+  }
+  t.print();
+
+  std::cout << "\nConverged in " << result.iterations
+            << " coded iterations, total simulated latency "
+            << util::fmt(result.total_latency * 1e3, 1) << " ms, "
+            << result.timeout_rounds << " recovery rounds.\n"
+            << "Ranks match the uncoded power iteration exactly — coding\n"
+            << "changes where the work runs, never the answer.\n";
+  return 0;
+}

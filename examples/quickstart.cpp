@@ -1,0 +1,67 @@
+// Quickstart: encode a matrix once, run coded matrix-vector rounds on a
+// simulated cluster with a straggler, and compare conventional MDS coding
+// against S2C2 — the paper's core idea in ~80 lines.
+//
+//   build/examples/quickstart
+#include <iostream>
+
+#include "src/core/engine.h"
+#include "src/util/rng.h"
+#include "src/util/table.h"
+#include "src/workload/trace_gen.h"
+
+int main() {
+  using namespace s2c2;
+  std::cout << "S2C2 quickstart: 12 workers, conservative (12,8)-MDS code, 1 straggler\n\n";
+
+  // 1. The operator we want to multiply by many vectors (e.g. a data
+  //    matrix for iterative gradient descent).
+  util::Rng rng(7);
+  const auto a = linalg::Matrix::random_uniform(4800, 200, rng);
+  linalg::Vector x(200);
+  for (auto& v : x) v = rng.normal();
+  const auto truth = a.matvec(x);
+
+  // 2. Encode once, conservatively: n=12 partitions, any k=8 decode
+  //    (tolerates up to 4 stragglers), 24 chunks each.
+  const std::size_t n = 12, k = 8, chunks = 24;
+  const core::CodedMatVecJob job(a, n, k, chunks);
+
+  // 3. A cluster where worker 11 is 5x slower.
+  util::Rng trng(42);
+  core::ClusterSpec spec;
+  spec.traces = workload::controlled_cluster_traces(n, 1, 0.1, trng);
+  spec.worker_flops = 1e8;
+
+  // 4. Run both strategies for a few rounds.
+  auto run = [&](core::Strategy strategy) {
+    core::EngineConfig cfg;
+    cfg.strategy = strategy;
+    cfg.chunks_per_partition = chunks;
+    cfg.oracle_speeds = true;
+    core::CodedComputeEngine engine(job, spec, cfg);
+    double latency = 0.0;
+    double max_err = 0.0;
+    for (int round = 0; round < 5; ++round) {
+      const core::RoundResult r = engine.run_round(x);
+      latency += r.stats.latency();
+      for (std::size_t i = 0; i < truth.size(); ++i) {
+        max_err = std::max(max_err, std::abs((*r.y)[i] - truth[i]));
+      }
+    }
+    std::cout << "  " << core::strategy_name(strategy)
+              << ": mean round latency " << util::fmt(latency / 5 * 1e3, 2)
+              << " ms, decode max error " << max_err << "\n";
+    return latency / 5;
+  };
+
+  const double mds = run(core::Strategy::kMdsConventional);
+  const double s2c2 = run(core::Strategy::kS2C2General);
+
+  std::cout << "\nS2C2 squeezed the coded-computing slack: "
+            << util::fmt(100.0 * (mds - s2c2) / mds, 1)
+            << "% lower latency than conventional MDS coding,\n"
+            << "with the identical encoded data and the identical "
+               "straggler tolerance.\n";
+  return 0;
+}

@@ -1,0 +1,145 @@
+// Scenario driver: run any strategy on a custom cluster from the command
+// line — the "kick the tires" tool a downstream user reaches for first.
+//
+//   build/examples/scenario_cli --workers 12 --k 8 --stragglers 3 \
+//       --strategy s2c2-general --rounds 20 --env controlled
+//
+// Flags (all optional):
+//   --workers N      cluster size                        (default 12)
+//   --k K            MDS parameter                       (default n-2)
+//   --stragglers S   5x-slow nodes, controlled env only  (default 1)
+//   --strategy X     mds | s2c2-basic | s2c2-general     (default s2c2-general)
+//   --env X          controlled | stable | volatile      (default controlled)
+//   --rounds R       iterations                          (default 15)
+//   --chunks C       chunks per partition                (default 48)
+//   --rows / --cols  operator shape                      (default 21000x2000)
+//   --lstm           schedule from a trained LSTM instead of the oracle
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "src/core/engine.h"
+#include "src/predict/lstm.h"
+#include "src/util/table.h"
+#include "src/workload/trace_gen.h"
+
+namespace {
+
+using namespace s2c2;
+
+struct Options {
+  std::size_t workers = 12;
+  std::size_t k = 0;
+  std::size_t stragglers = 1;
+  std::string strategy = "s2c2-general";
+  std::string env = "controlled";
+  std::size_t rounds = 15;
+  std::size_t chunks = 48;
+  std::size_t rows = 21000;
+  std::size_t cols = 2000;
+  bool lstm = false;
+};
+
+Options parse(int argc, char** argv) {
+  Options o;
+  auto value = [&](int& i) -> std::string {
+    if (i + 1 >= argc) throw std::invalid_argument("missing flag value");
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--workers") o.workers = std::stoul(value(i));
+    else if (flag == "--k") o.k = std::stoul(value(i));
+    else if (flag == "--stragglers") o.stragglers = std::stoul(value(i));
+    else if (flag == "--strategy") o.strategy = value(i);
+    else if (flag == "--env") o.env = value(i);
+    else if (flag == "--rounds") o.rounds = std::stoul(value(i));
+    else if (flag == "--chunks") o.chunks = std::stoul(value(i));
+    else if (flag == "--rows") o.rows = std::stoul(value(i));
+    else if (flag == "--cols") o.cols = std::stoul(value(i));
+    else if (flag == "--lstm") o.lstm = true;
+    else throw std::invalid_argument("unknown flag: " + flag);
+  }
+  if (o.k == 0) o.k = o.workers >= 3 ? o.workers - 2 : o.workers;
+  return o;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options o;
+  try {
+    o = parse(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n(see header comment for flags)\n";
+    return 1;
+  }
+
+  // Environment.
+  workload::CloudTraceConfig trace_cfg;
+  core::ClusterSpec spec;
+  util::Rng rng(1234);
+  if (o.env == "controlled") {
+    spec.traces = workload::controlled_cluster_traces(o.workers, o.stragglers,
+                                                      0.2, rng);
+    spec.net.bytes_per_s = 7e9;
+  } else {
+    trace_cfg = o.env == "stable" ? workload::stable_cloud_config()
+                                  : workload::volatile_cloud_config();
+    spec.traces = workload::traces_from_series(
+        workload::cloud_speed_corpus(o.workers, 400, trace_cfg, rng), 0.012);
+  }
+
+  // Strategy.
+  core::EngineConfig cfg;
+  cfg.chunks_per_partition = o.chunks;
+  cfg.oracle_speeds = !o.lstm;
+  if (o.strategy == "mds") cfg.strategy = core::Strategy::kMdsConventional;
+  else if (o.strategy == "s2c2-basic") cfg.strategy = core::Strategy::kS2C2Basic;
+  else if (o.strategy == "s2c2-general") cfg.strategy = core::Strategy::kS2C2General;
+  else {
+    std::cerr << "error: unknown strategy " << o.strategy << "\n";
+    return 1;
+  }
+
+  std::unique_ptr<predict::SpeedPredictor> predictor;
+  std::unique_ptr<predict::Lstm> lstm;
+  if (o.lstm) {
+    std::cout << "training LSTM predictor...\n";
+    util::Rng hist(5);
+    const auto corpus =
+        workload::cloud_speed_corpus(24, 150, trace_cfg, hist);
+    lstm = std::make_unique<predict::Lstm>(1, 4, 99);
+    predict::Lstm::TrainConfig tc;
+    tc.epochs = 120;
+    lstm->train(corpus, tc);
+    predictor = std::make_unique<predict::LstmPredictor>(o.workers, *lstm);
+  }
+
+  auto job = core::CodedMatVecJob::cost_only(o.rows, o.cols, o.workers, o.k,
+                                             o.chunks);
+  core::CodedComputeEngine engine(job, spec, cfg, std::move(predictor));
+
+  std::cout << "\n(" << o.workers << "," << o.k << ") " << o.strategy
+            << " on " << o.env << " cluster, " << o.rounds << " rounds\n\n";
+  util::Table t({"round", "latency (ms)", "timeout", "reassigned chunks"});
+  double total = 0.0;
+  for (std::size_t r = 0; r < o.rounds; ++r) {
+    const auto res = engine.run_round();
+    total += res.stats.latency();
+    t.add_row({std::to_string(r + 1),
+               util::fmt(res.stats.latency() * 1e3, 3),
+               res.stats.timeout_fired ? "yes" : "",
+               res.stats.reassigned_chunks > 0
+                   ? std::to_string(res.stats.reassigned_chunks)
+                   : ""});
+  }
+  t.print();
+  std::cout << "\nmean latency " << util::fmt(total / o.rounds * 1e3, 3)
+            << " ms | timeout rate "
+            << util::fmt(100.0 * engine.timeout_rate(), 1)
+            << "% | mean wasted work "
+            << util::fmt(100.0 * engine.accounting().mean_wasted_fraction(), 1)
+            << "%\n";
+  return 0;
+}

@@ -1,0 +1,68 @@
+// The thread-backed runtime: real worker threads, real message channels,
+// real stragglers (injected sleeps) — the paper's master/worker design
+// (§6) outside the simulator. The master decodes the moment any k
+// responses cover every chunk; the sleeping straggler's remaining results
+// are simply discarded.
+//
+//   build/examples/thread_runtime
+#include <chrono>
+#include <iostream>
+#include <thread>
+
+#include "src/runtime/thread_cluster.h"
+#include "src/sched/allocation.h"
+#include "src/util/rng.h"
+#include "src/util/table.h"
+
+int main() {
+  using namespace s2c2;
+  std::cout << "Thread runtime: 6 worker threads, (6,4)-MDS code, worker 5 "
+               "sleeps 20ms per chunk\n\n";
+
+  util::Rng rng(3);
+  const auto a = linalg::Matrix::random_uniform(240, 32, rng);
+  linalg::Vector x(32);
+  for (auto& v : x) v = rng.normal();
+  const auto truth = a.matvec(x);
+
+  const core::CodedMatVecJob job(a, 6, 4, 12);
+  runtime::DelayHook straggler = [](std::size_t worker, std::size_t) {
+    if (worker == 5) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  };
+  runtime::ThreadCluster cluster(job, straggler);
+
+  util::Table t({"round", "allocation", "wall time (ms)", "max |err|"});
+  for (int round = 0; round < 3; ++round) {
+    // Round 0: conventional full allocation (first k responses win).
+    // Rounds 1+: S2C2 allocation that sidelines the known straggler.
+    sched::Allocation alloc;
+    std::string label;
+    if (round == 0) {
+      alloc = sched::full_allocation(6, 12);
+      label = "conventional (full partitions)";
+    } else {
+      const std::vector<double> speeds{1.0, 1.0, 1.0, 1.0, 1.0, 0.05};
+      alloc = sched::proportional_allocation(speeds, 4, 12);
+      label = "S2C2 (straggler nearly idle)";
+    }
+    const auto start = std::chrono::steady_clock::now();
+    const auto y = cluster.run_round(alloc, x);
+    const auto ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+    double err = 0.0;
+    for (std::size_t i = 0; i < truth.size(); ++i) {
+      err = std::max(err, std::abs(y[i] - truth[i]));
+    }
+    t.add_row({std::to_string(round), label, util::fmt(ms, 1),
+               util::fmt(err, 12)});
+  }
+  t.print();
+
+  std::cout << "\nEvery round decodes the exact product with real threads;\n"
+               "the S2C2 allocation just stops waiting on (and stops\n"
+               "assigning work to) the sleeping straggler.\n";
+  return 0;
+}

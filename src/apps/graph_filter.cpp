@@ -1,0 +1,53 @@
+#include "src/apps/graph_filter.h"
+
+#include "src/util/require.h"
+
+namespace s2c2::apps {
+
+GraphFilterResult coded_graph_filter(const linalg::CsrMatrix& laplacian,
+                                     const linalg::Vector& signal,
+                                     const core::ClusterSpec& spec,
+                                     const core::EngineConfig& config,
+                                     const GraphFilterConfig& gf) {
+  const std::size_t nodes = laplacian.rows();
+  S2C2_REQUIRE(laplacian.cols() == nodes, "Laplacian must be square");
+  S2C2_REQUIRE(signal.size() == nodes, "signal size mismatch");
+  S2C2_REQUIRE(!gf.coefficients.empty(), "need at least one coefficient");
+  const std::size_t n = spec.num_workers();
+  const std::size_t k =
+      gf.k != 0 ? gf.k : std::max<std::size_t>(1, n >= 3 ? n - 2 : n);
+
+  core::CodedComputeEngine engine(
+      core::CodedMatVecJob(laplacian, n, k, config.chunks_per_partition),
+      spec, config);
+
+  GraphFilterResult result;
+  result.filtered.assign(nodes, 0.0);
+  linalg::Vector power = signal;  // L^h x, starting at h=0
+  for (std::size_t h = 0; h < gf.coefficients.size(); ++h) {
+    if (h > 0) {
+      const core::RoundResult round = engine.run_round(power);
+      S2C2_CHECK(round.y.has_value(), "functional round must decode");
+      power = *round.y;
+      result.total_latency += round.stats.latency();
+      result.timeout_rounds += round.stats.timeout_fired ? 1 : 0;
+    }
+    linalg::axpy(gf.coefficients[h], power, result.filtered);
+  }
+  return result;
+}
+
+linalg::Vector graph_filter_direct(const linalg::CsrMatrix& laplacian,
+                                   const linalg::Vector& signal,
+                                   const std::vector<double>& coefficients) {
+  S2C2_REQUIRE(!coefficients.empty(), "need at least one coefficient");
+  linalg::Vector out(signal.size(), 0.0);
+  linalg::Vector power = signal;
+  for (std::size_t h = 0; h < coefficients.size(); ++h) {
+    if (h > 0) power = laplacian.matvec(power);
+    linalg::axpy(coefficients[h], power, out);
+  }
+  return out;
+}
+
+}  // namespace s2c2::apps

@@ -1,0 +1,38 @@
+// Graph signal filtering via coded Laplacian powers (paper §6.3: "n-hop
+// filtering operations employ n iterations of matrix-vector multiplication
+// over the combinatorial Laplacian matrix").
+//
+// Computes  y = Σ_h coeffs[h] · L^h · x  with every L·v product executed
+// through the coded cluster.
+#pragma once
+
+#include <vector>
+
+#include "src/core/engine.h"
+#include "src/linalg/sparse.h"
+
+namespace s2c2::apps {
+
+struct GraphFilterConfig {
+  std::vector<double> coefficients{1.0, -0.5, 0.25};  // c_0 + c_1 L + c_2 L²
+  std::size_t k = 0;  // MDS parameter; 0 = max(1, n - 2)
+};
+
+struct GraphFilterResult {
+  linalg::Vector filtered;
+  double total_latency = 0.0;
+  std::size_t timeout_rounds = 0;
+};
+
+/// `laplacian` from workload::combinatorial_laplacian.
+[[nodiscard]] GraphFilterResult coded_graph_filter(
+    const linalg::CsrMatrix& laplacian, const linalg::Vector& signal,
+    const core::ClusterSpec& spec, const core::EngineConfig& config,
+    const GraphFilterConfig& gf);
+
+/// Uncoded reference for tests.
+[[nodiscard]] linalg::Vector graph_filter_direct(
+    const linalg::CsrMatrix& laplacian, const linalg::Vector& signal,
+    const std::vector<double>& coefficients);
+
+}  // namespace s2c2::apps

@@ -1,0 +1,23 @@
+#include "src/apps/hessian.h"
+
+#include "src/util/require.h"
+
+namespace s2c2::apps {
+
+HessianResult coded_hessian(const linalg::Matrix& a, const linalg::Vector& x,
+                            const core::ClusterSpec& spec,
+                            const HessianConfig& config) {
+  S2C2_REQUIRE(x.size() == a.rows(), "diag(x) size mismatch");
+  core::PolyEngineConfig pc;
+  pc.use_s2c2 = config.use_s2c2;
+  pc.chunks_per_partition = config.chunks_per_partition;
+  pc.oracle_speeds = config.oracle_speeds;
+  core::PolyCodedEngine engine(a, a.rows(), a.cols(), config.a_blocks, spec,
+                               pc);
+  const core::PolyRoundResult round = engine.run_round(x);
+  S2C2_CHECK(round.hessian.has_value(), "functional round must decode");
+  return HessianResult{*round.hessian, round.stats.latency(),
+                       round.stats.timeout_fired};
+}
+
+}  // namespace s2c2::apps

@@ -1,0 +1,30 @@
+// Polynomial-coded Hessian computation (paper §6.3/§7.2.3):
+// H = Aᵀ · diag(x) · A, e.g. the Hessian of logistic loss where
+// x_i = σ(a_i·w)(1-σ(a_i·w)).
+#pragma once
+
+#include "src/core/poly_engine.h"
+#include "src/linalg/matrix.h"
+
+namespace s2c2::apps {
+
+struct HessianConfig {
+  std::size_t a_blocks = 3;  // paper partitions A into 3 sub-matrices
+  bool use_s2c2 = true;
+  std::size_t chunks_per_partition = 24;
+  bool oracle_speeds = false;
+};
+
+struct HessianResult {
+  linalg::Matrix hessian;
+  double latency = 0.0;
+  bool timeout_fired = false;
+};
+
+/// One coded Hessian evaluation over the simulated cluster.
+[[nodiscard]] HessianResult coded_hessian(const linalg::Matrix& a,
+                                          const linalg::Vector& x,
+                                          const core::ClusterSpec& spec,
+                                          const HessianConfig& config);
+
+}  // namespace s2c2::apps

@@ -1,0 +1,88 @@
+#include "src/apps/logistic_regression.h"
+
+#include <cmath>
+
+#include "src/util/require.h"
+
+namespace s2c2::apps {
+
+namespace {
+
+/// Derivative of the mean logistic loss w.r.t. the margins u = Xw:
+/// r_i = -y_i * sigmoid(-y_i u_i) / m.
+linalg::Vector logistic_residual(const workload::Dataset& data,
+                                 std::span<const double> margins) {
+  const std::size_t m = data.x.rows();
+  linalg::Vector r(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    r[i] = -data.y[i] / (1.0 + std::exp(data.y[i] * margins[i])) /
+           static_cast<double>(m);
+  }
+  return r;
+}
+
+}  // namespace
+
+double logistic_loss(const workload::Dataset& data, const linalg::Vector& w,
+                     double l2_reg) {
+  const auto margins = data.x.matvec(w);
+  double loss = 0.0;
+  for (std::size_t i = 0; i < margins.size(); ++i) {
+    // log(1 + exp(-y u)) computed stably.
+    const double z = -data.y[i] * margins[i];
+    loss += z > 30.0 ? z : std::log1p(std::exp(z));
+  }
+  loss /= static_cast<double>(margins.size());
+  loss += 0.5 * l2_reg * linalg::dot(w, w);
+  return loss;
+}
+
+linalg::Vector logistic_gradient(const workload::Dataset& data,
+                                 const linalg::Vector& w, double l2_reg) {
+  const auto margins = data.x.matvec(w);
+  const auto resid = logistic_residual(data, margins);
+  auto grad = data.x.matvec_transposed(resid);
+  linalg::axpy(l2_reg, w, grad);
+  return grad;
+}
+
+TrainResult train_logistic_regression(const workload::Dataset& data,
+                                      const core::ClusterSpec& spec,
+                                      const core::EngineConfig& config,
+                                      const GdConfig& gd) {
+  S2C2_REQUIRE(data.x.rows() == data.y.size(), "labels/rows mismatch");
+  const std::size_t n = spec.num_workers();
+  const std::size_t k =
+      gd.k != 0 ? gd.k : std::max<std::size_t>(1, n >= 3 ? n - 2 : n);
+  S2C2_REQUIRE(k <= n, "k must be <= n");
+  const std::size_t features = data.x.cols();
+  const std::size_t c = config.chunks_per_partition;
+
+  // Encode both operators once; iterations move no data.
+  core::CodedComputeEngine forward(core::CodedMatVecJob(data.x, n, k, c),
+                                   spec, config);
+  core::CodedComputeEngine backward(
+      core::CodedMatVecJob(data.x.transposed(), n, k, c), spec, config);
+
+  TrainResult result;
+  result.weights.assign(features, 0.0);
+  for (std::size_t it = 0; it < gd.iterations; ++it) {
+    const core::RoundResult fwd = forward.run_round(result.weights);
+    S2C2_CHECK(fwd.y.has_value(), "functional round must decode");
+    const auto resid = logistic_residual(data, *fwd.y);
+    const core::RoundResult bwd = backward.run_round(resid);
+    S2C2_CHECK(bwd.y.has_value(), "functional round must decode");
+
+    linalg::Vector grad = *bwd.y;
+    linalg::axpy(gd.l2_reg, result.weights, grad);
+    linalg::axpy(-gd.learning_rate, grad, result.weights);
+
+    result.total_latency += fwd.stats.latency() + bwd.stats.latency();
+    result.timeout_rounds += (fwd.stats.timeout_fired ? 1 : 0) +
+                             (bwd.stats.timeout_fired ? 1 : 0);
+    result.losses.push_back(logistic_loss(data, result.weights, gd.l2_reg));
+  }
+  return result;
+}
+
+}  // namespace s2c2::apps

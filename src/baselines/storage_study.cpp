@@ -1,0 +1,86 @@
+#include "src/baselines/storage_study.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/require.h"
+
+namespace s2c2::baselines {
+
+void IntervalSet::insert(std::size_t begin, std::size_t end) {
+  S2C2_REQUIRE(begin <= end, "invalid interval");
+  if (begin == end) return;
+  // Find overlap window and merge.
+  std::vector<std::pair<std::size_t, std::size_t>> merged;
+  bool placed = false;
+  for (const auto& [b, e] : intervals_) {
+    if (e < begin || b > end) {
+      if (b > end && !placed) {
+        merged.emplace_back(begin, end);
+        placed = true;
+      }
+      merged.emplace_back(b, e);
+    } else {
+      begin = std::min(begin, b);
+      end = std::max(end, e);
+    }
+  }
+  if (!placed) merged.emplace_back(begin, end);
+  std::sort(merged.begin(), merged.end());
+  intervals_ = std::move(merged);
+}
+
+std::size_t IntervalSet::total_length() const {
+  std::size_t total = 0;
+  for (const auto& [b, e] : intervals_) total += e - b;
+  return total;
+}
+
+bool IntervalSet::contains(std::size_t point) const {
+  for (const auto& [b, e] : intervals_) {
+    if (point >= b && point < e) return true;
+  }
+  return false;
+}
+
+StorageStudyResult run_storage_study(
+    const std::vector<std::vector<double>>& speeds_per_round, std::size_t rows,
+    std::size_t k) {
+  S2C2_REQUIRE(!speeds_per_round.empty(), "need at least one round");
+  const std::size_t n = speeds_per_round.front().size();
+  S2C2_REQUIRE(n >= 1 && k >= 1, "bad cluster shape");
+
+  StorageStudyResult result;
+  result.s2c2_fraction = 1.0 / static_cast<double>(k);
+  std::vector<IntervalSet> stored(n);
+
+  for (const auto& speeds : speeds_per_round) {
+    S2C2_REQUIRE(speeds.size() == n, "ragged speeds matrix");
+    double total = 0.0;
+    for (double s : speeds) {
+      S2C2_REQUIRE(s >= 0.0, "negative speed");
+      total += s;
+    }
+    S2C2_REQUIRE(total > 0.0, "all workers stalled");
+    // Contiguous proportional ranges [begin, end) per worker.
+    std::size_t begin = 0;
+    double acc = 0.0;
+    for (std::size_t w = 0; w < n; ++w) {
+      acc += speeds[w];
+      const auto end = static_cast<std::size_t>(
+          std::llround(acc / total * static_cast<double>(rows)));
+      stored[w].insert(begin, std::max(begin, end));
+      begin = std::max(begin, end);
+    }
+    double mean_frac = 0.0;
+    for (const auto& iv : stored) {
+      mean_frac += static_cast<double>(iv.total_length()) /
+                   static_cast<double>(rows);
+    }
+    result.uncoded_mean_fraction.push_back(mean_frac /
+                                           static_cast<double>(n));
+  }
+  return result;
+}
+
+}  // namespace s2c2::baselines

@@ -1,0 +1,112 @@
+#include "src/coding/chunked_decoder.h"
+
+#include <algorithm>
+
+#include "src/util/require.h"
+
+namespace s2c2::coding {
+
+ChunkedDecoder::ChunkedDecoder(const GeneratorMatrix& generator,
+                               std::size_t rows_per_partition,
+                               std::size_t num_chunks, std::size_t width)
+    : generator_(generator), num_chunks_(num_chunks), width_(width) {
+  S2C2_REQUIRE(num_chunks > 0, "decoder needs at least one chunk");
+  S2C2_REQUIRE(rows_per_partition % num_chunks == 0,
+               "rows_per_partition must be divisible by num_chunks");
+  S2C2_REQUIRE(width > 0, "width must be positive");
+  rows_per_chunk_ = rows_per_partition / num_chunks;
+  results_.resize(num_chunks_);
+}
+
+void ChunkedDecoder::add_chunk_result(std::size_t worker, std::size_t chunk,
+                                      std::vector<double> values) {
+  S2C2_REQUIRE(worker < generator_.n(), "worker index out of range");
+  S2C2_REQUIRE(chunk < num_chunks_, "chunk index out of range");
+  S2C2_REQUIRE(values.size() == rows_per_chunk_ * width_,
+               "chunk result has wrong size");
+  auto& slot = results_[chunk];
+  for (const auto& [w, _] : slot) {
+    if (w == worker) return;  // idempotent on duplicates
+  }
+  slot.emplace_back(worker, std::move(values));
+}
+
+bool ChunkedDecoder::decodable() const {
+  const std::size_t k = generator_.k();
+  return std::all_of(results_.begin(), results_.end(),
+                     [k](const auto& slot) { return slot.size() >= k; });
+}
+
+std::vector<std::size_t> ChunkedDecoder::deficient_chunks() const {
+  const std::size_t k = generator_.k();
+  std::vector<std::size_t> out;
+  for (std::size_t c = 0; c < num_chunks_; ++c) {
+    if (results_[c].size() < k) out.push_back(c);
+  }
+  return out;
+}
+
+std::vector<std::size_t> ChunkedDecoder::responders(std::size_t chunk) const {
+  S2C2_REQUIRE(chunk < num_chunks_, "chunk index out of range");
+  std::vector<std::size_t> out;
+  out.reserve(results_[chunk].size());
+  for (const auto& [w, _] : results_[chunk]) out.push_back(w);
+  return out;
+}
+
+linalg::Matrix ChunkedDecoder::decode() const {
+  const std::size_t k = generator_.k();
+  S2C2_CHECK(decodable(), "decode() called before coverage reached k");
+  linalg::Matrix out(k * rows_per_chunk_ * num_chunks_, width_);
+
+  for (std::size_t chunk = 0; chunk < num_chunks_; ++chunk) {
+    const auto& slot = results_[chunk];
+    // Use the first k responders (arrival order) as the decode subset.
+    std::vector<std::size_t> subset(k);
+    for (std::size_t j = 0; j < k; ++j) subset[j] = slot[j].first;
+    std::vector<std::size_t> key = subset;
+    std::sort(key.begin(), key.end());
+
+    auto it = lu_cache_.find(key);
+    if (it == lu_cache_.end()) {
+      it = lu_cache_
+               .emplace(key, std::make_unique<linalg::LuFactorization>(
+                                 generator_.submatrix(key)))
+               .first;
+    }
+    const linalg::LuFactorization& lu = *it->second;
+
+    // Build the RHS in the *sorted-key* row order so it matches the cached
+    // factorization of generator_.submatrix(key).
+    linalg::Matrix rhs(k, rows_per_chunk_ * width_);
+    for (std::size_t j = 0; j < k; ++j) {
+      const std::size_t worker = key[j];
+      const auto found =
+          std::find_if(slot.begin(), slot.end(),
+                       [worker](const auto& p) { return p.first == worker; });
+      S2C2_CHECK(found != slot.end(), "responder disappeared");
+      std::copy(found->second.begin(), found->second.end(),
+                rhs.mutable_data().begin() +
+                    static_cast<std::ptrdiff_t>(j * rhs.cols()));
+    }
+    lu.solve_inplace(rhs.mutable_data(), rhs.cols());
+
+    // rhs row i now holds (A_i x) over this chunk's rows; scatter to output.
+    for (std::size_t i = 0; i < k; ++i) {
+      const std::size_t out_row0 =
+          i * rows_per_chunk_ * num_chunks_ + chunk * rows_per_chunk_;
+      for (std::size_t r = 0; r < rows_per_chunk_; ++r) {
+        for (std::size_t c = 0; c < width_; ++c) {
+          out(out_row0 + r, c) = rhs(i, r * width_ + c);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+void ChunkedDecoder::reset() {
+  for (auto& slot : results_) slot.clear();
+}
+
+}  // namespace s2c2::coding

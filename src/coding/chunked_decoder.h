@@ -1,0 +1,79 @@
+// Chunk-granular MDS decoding — the decode side of S2C2.
+//
+// Each worker's partition is viewed as `num_chunks` equal row ranges. Under
+// S2C2 different workers compute different chunk subsets of their own
+// partitions, so the responder set varies per chunk. For every chunk index
+// the decoder needs results from >= k distinct workers; it then solves the
+// k x k system G_sub · Y = B where row j of B holds worker j's computed
+// values for that chunk. Y row i recovers (A_i · x) over the chunk's rows.
+//
+// Wrap-around allocations produce only O(n) distinct responder sets per
+// round, so LU factorizations are cached keyed by the responder subset.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "src/coding/generator_matrix.h"
+#include "src/linalg/lu.h"
+#include "src/linalg/matrix.h"
+
+namespace s2c2::coding {
+
+class ChunkedDecoder {
+ public:
+  /// `rows_per_partition` must be divisible by `num_chunks`; `width` is the
+  /// number of values per computed row (1 for matvec).
+  ChunkedDecoder(const GeneratorMatrix& generator,
+                 std::size_t rows_per_partition, std::size_t num_chunks,
+                 std::size_t width = 1);
+
+  [[nodiscard]] std::size_t num_chunks() const noexcept { return num_chunks_; }
+  [[nodiscard]] std::size_t rows_per_chunk() const noexcept {
+    return rows_per_chunk_;
+  }
+
+  /// Registers worker `worker`'s computed values for chunk `chunk`:
+  /// rows_per_chunk x width row-major values. Duplicate (worker, chunk)
+  /// submissions are idempotent (later ones ignored) — reassigned work can
+  /// race the original under mis-prediction recovery.
+  void add_chunk_result(std::size_t worker, std::size_t chunk,
+                        std::vector<double> values);
+
+  /// True once every chunk has results from >= k distinct workers.
+  [[nodiscard]] bool decodable() const;
+
+  /// Chunks still lacking k results, with their responder counts.
+  [[nodiscard]] std::vector<std::size_t> deficient_chunks() const;
+
+  /// Workers that already responded for the given chunk.
+  [[nodiscard]] std::vector<std::size_t> responders(std::size_t chunk) const;
+
+  /// Reconstructs the original product: (k * rows_per_partition) rows x
+  /// width, row-major. Throws std::logic_error if not decodable().
+  [[nodiscard]] linalg::Matrix decode() const;
+
+  /// Number of distinct k x k systems factorized by the last decode().
+  [[nodiscard]] std::size_t lu_cache_size() const noexcept {
+    return lu_cache_.size();
+  }
+
+  void reset();
+
+ private:
+  const GeneratorMatrix& generator_;
+  std::size_t rows_per_chunk_;
+  std::size_t num_chunks_;
+  std::size_t width_;
+  // per chunk: (worker, values) in arrival order.
+  std::vector<std::vector<std::pair<std::size_t, std::vector<double>>>>
+      results_;
+  mutable std::map<std::vector<std::size_t>,
+                   std::unique_ptr<linalg::LuFactorization>>
+      lu_cache_;
+};
+
+}  // namespace s2c2::coding

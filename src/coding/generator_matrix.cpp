@@ -1,0 +1,41 @@
+#include "src/coding/generator_matrix.h"
+
+#include "src/linalg/vandermonde.h"
+#include "src/util/require.h"
+#include "src/util/rng.h"
+
+namespace s2c2::coding {
+
+GeneratorMatrix::GeneratorMatrix(std::size_t n, std::size_t k, ParityKind kind,
+                                 std::uint64_t seed)
+    : matrix_(n, k), kind_(kind) {
+  S2C2_REQUIRE(k >= 1, "k must be >= 1");
+  S2C2_REQUIRE(n >= k, "n must be >= k");
+  for (std::size_t i = 0; i < k; ++i) matrix_(i, i) = 1.0;
+  if (kind == ParityKind::kVandermonde) {
+    for (std::size_t j = k; j < n; ++j) {
+      const double alpha = static_cast<double>(j - k + 1);
+      const linalg::Vector row = linalg::vandermonde_row(alpha, k);
+      for (std::size_t c = 0; c < k; ++c) matrix_(j, c) = row[c];
+    }
+  } else {
+    util::Rng rng(seed);
+    for (std::size_t j = k; j < n; ++j) {
+      for (std::size_t c = 0; c < k; ++c) matrix_(j, c) = rng.normal();
+    }
+  }
+}
+
+linalg::Matrix GeneratorMatrix::submatrix(
+    std::span<const std::size_t> workers) const {
+  linalg::Matrix sub(workers.size(), k());
+  for (std::size_t r = 0; r < workers.size(); ++r) {
+    S2C2_REQUIRE(workers[r] < n(), "worker index out of range");
+    for (std::size_t c = 0; c < k(); ++c) {
+      sub(r, c) = matrix_(workers[r], c);
+    }
+  }
+  return sub;
+}
+
+}  // namespace s2c2::coding

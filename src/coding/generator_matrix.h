@@ -1,0 +1,62 @@
+// Generator matrices for (n,k)-MDS codes over ℝ.
+//
+// Layout is systematic: rows 0..k-1 are the identity (workers 0..k-1 store
+// raw data blocks), rows k..n-1 are parity combinations. Two parity
+// families:
+//
+//  * kVandermonde — parity row j is [1, α_j, α_j², ...] with α_j = j+1.
+//    This matches the paper's worked example exactly ((4,2): parities
+//    A1+A2 and A1+2A2) and, because a totally positive Vandermonde has
+//    every minor nonzero, any k of the n rows are invertible. Numerically
+//    unusable beyond small k (entries grow like α^(k-1)).
+//
+//  * kGaussian — parity rows drawn i.i.d. N(0,1) from a seeded RNG. Any
+//    k x k submatrix is almost surely invertible and the conditioning stays
+//    workable up to the paper's largest configuration (k = 40, Fig 13).
+//    This is the default and a documented substitution (DESIGN.md §2).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "src/linalg/matrix.h"
+
+namespace s2c2::coding {
+
+enum class ParityKind { kGaussian, kVandermonde };
+
+class GeneratorMatrix {
+ public:
+  GeneratorMatrix(std::size_t n, std::size_t k,
+                  ParityKind kind = ParityKind::kGaussian,
+                  std::uint64_t seed = 0x5c2c2ull);
+
+  [[nodiscard]] std::size_t n() const noexcept { return matrix_.rows(); }
+  [[nodiscard]] std::size_t k() const noexcept { return matrix_.cols(); }
+  [[nodiscard]] ParityKind parity_kind() const noexcept { return kind_; }
+
+  [[nodiscard]] const linalg::Matrix& matrix() const noexcept {
+    return matrix_;
+  }
+
+  /// Coefficient of data block `block` in encoded partition `worker`.
+  [[nodiscard]] double coeff(std::size_t worker, std::size_t block) const {
+    return matrix_(worker, block);
+  }
+
+  /// True for workers whose partition is a raw data block (rows < k).
+  [[nodiscard]] bool is_systematic_row(std::size_t worker) const noexcept {
+    return worker < k();
+  }
+
+  /// k x k submatrix formed by the given worker rows (decode system matrix).
+  [[nodiscard]] linalg::Matrix submatrix(
+      std::span<const std::size_t> workers) const;
+
+ private:
+  linalg::Matrix matrix_;  // n x k
+  ParityKind kind_;
+};
+
+}  // namespace s2c2::coding

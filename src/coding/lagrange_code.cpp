@@ -1,0 +1,178 @@
+#include "src/coding/lagrange_code.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "src/util/require.h"
+
+namespace s2c2::coding {
+
+namespace {
+
+/// Chebyshev nodes of the first kind on [-1, 1] — `count` of them, taken
+/// from a grid of `total` so α's and β's interleave without colliding.
+std::vector<double> chebyshev_slice(std::size_t count, std::size_t total,
+                                    std::size_t offset) {
+  std::vector<double> out(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const double idx = static_cast<double>(offset + 2 * i);
+    out[i] = std::cos(std::numbers::pi * (idx + 1.0) /
+                      (2.0 * static_cast<double>(total)));
+  }
+  return out;
+}
+
+/// ℓ_i(z) over the given points, evaluated in long double.
+long double lagrange_basis(const std::vector<double>& points, std::size_t i,
+                           long double z) {
+  long double acc = 1.0L;
+  for (std::size_t t = 0; t < points.size(); ++t) {
+    if (t == i) continue;
+    acc *= (z - static_cast<long double>(points[t])) /
+           (static_cast<long double>(points[i]) -
+            static_cast<long double>(points[t]));
+  }
+  return acc;
+}
+
+}  // namespace
+
+LagrangeCode::LagrangeCode(std::size_t n, std::size_t m, std::size_t degree)
+    : degree_(degree) {
+  S2C2_REQUIRE(m >= 1, "need at least one data block");
+  S2C2_REQUIRE(degree >= 1, "polynomial degree must be >= 1");
+  S2C2_REQUIRE(n >= degree * (m - 1) + 1,
+               "need n >= recovery threshold d(m-1)+1");
+  // Interleave on a grid of 2*(n+m) Chebyshev nodes: β's on even slots,
+  // α's on odd — all distinct, all well-spread in [-1,1].
+  betas_ = chebyshev_slice(m, n + m, 0);
+  alphas_ = chebyshev_slice(n, n + m, 1);
+}
+
+std::vector<linalg::Matrix> LagrangeCode::encode(
+    const std::vector<linalg::Matrix>& blocks) const {
+  S2C2_REQUIRE(blocks.size() == m(), "block count must equal m");
+  const std::size_t rows = blocks.front().rows();
+  const std::size_t cols = blocks.front().cols();
+  for (const auto& b : blocks) {
+    S2C2_REQUIRE(b.rows() == rows && b.cols() == cols,
+                 "all blocks must share one shape");
+  }
+  std::vector<linalg::Matrix> encoded;
+  encoded.reserve(n());
+  for (std::size_t i = 0; i < n(); ++i) {
+    linalg::Matrix u(rows, cols);
+    for (std::size_t j = 0; j < m(); ++j) {
+      const double w = static_cast<double>(
+          lagrange_basis(betas_, j, static_cast<long double>(alphas_[i])));
+      if (w == 0.0) continue;
+      u.add_scaled(blocks[j], w);
+    }
+    encoded.push_back(std::move(u));
+  }
+  return encoded;
+}
+
+LagrangeCode::Decoder::Decoder(const LagrangeCode& code, std::size_t out_rows,
+                               std::size_t num_chunks, std::size_t out_cols)
+    : code_(code), num_chunks_(num_chunks), out_cols_(out_cols) {
+  S2C2_REQUIRE(num_chunks >= 1, "decoder needs at least one chunk");
+  S2C2_REQUIRE(out_rows % num_chunks == 0,
+               "output rows must divide into chunks");
+  rows_per_chunk_ = out_rows / num_chunks;
+  results_.resize(num_chunks_);
+}
+
+void LagrangeCode::Decoder::add_chunk_result(std::size_t worker,
+                                             std::size_t chunk,
+                                             linalg::Matrix rows) {
+  S2C2_REQUIRE(worker < code_.n(), "worker out of range");
+  S2C2_REQUIRE(chunk < num_chunks_, "chunk out of range");
+  S2C2_REQUIRE(rows.rows() == rows_per_chunk_ && rows.cols() == out_cols_,
+               "chunk result shape mismatch");
+  auto& slot = results_[chunk];
+  for (const auto& [w, _] : slot) {
+    if (w == worker) return;  // idempotent
+  }
+  slot.emplace_back(worker, std::move(rows));
+}
+
+bool LagrangeCode::Decoder::decodable() const {
+  const std::size_t r = code_.recovery_threshold();
+  return std::all_of(results_.begin(), results_.end(),
+                     [r](const auto& s) { return s.size() >= r; });
+}
+
+std::vector<std::size_t> LagrangeCode::Decoder::deficient_chunks() const {
+  const std::size_t r = code_.recovery_threshold();
+  std::vector<std::size_t> out;
+  for (std::size_t c = 0; c < num_chunks_; ++c) {
+    if (results_[c].size() < r) out.push_back(c);
+  }
+  return out;
+}
+
+std::vector<std::size_t> LagrangeCode::Decoder::responders(
+    std::size_t chunk) const {
+  S2C2_REQUIRE(chunk < num_chunks_, "chunk out of range");
+  std::vector<std::size_t> out;
+  for (const auto& [w, _] : results_[chunk]) out.push_back(w);
+  return out;
+}
+
+std::vector<linalg::Matrix> LagrangeCode::Decoder::decode() const {
+  const std::size_t r = code_.recovery_threshold();
+  S2C2_CHECK(decodable(), "lagrange decode before coverage");
+  std::vector<linalg::Matrix> out(
+      code_.m(),
+      linalg::Matrix(rows_per_chunk_ * num_chunks_, out_cols_));
+
+  for (std::size_t chunk = 0; chunk < num_chunks_; ++chunk) {
+    const auto& slot = results_[chunk];
+    std::vector<std::size_t> key(r);
+    for (std::size_t i = 0; i < r; ++i) key[i] = slot[i].first;
+    std::sort(key.begin(), key.end());
+
+    auto it = weight_cache_.find(key);
+    if (it == weight_cache_.end()) {
+      // weights[j][i]: reconstruction of (f∘u)(β_j) from evaluations at
+      // the responders' α's — Lagrange basis over the responder subset.
+      std::vector<double> pts(r);
+      for (std::size_t i = 0; i < r; ++i) pts[i] = code_.alpha(key[i]);
+      std::vector<std::vector<double>> weights(code_.m(),
+                                               std::vector<double>(r));
+      for (std::size_t j = 0; j < code_.m(); ++j) {
+        for (std::size_t i = 0; i < r; ++i) {
+          weights[j][i] = static_cast<double>(lagrange_basis(
+              pts, i, static_cast<long double>(code_.beta(j))));
+        }
+      }
+      it = weight_cache_.emplace(key, std::move(weights)).first;
+    }
+    const auto& weights = it->second;
+
+    for (std::size_t j = 0; j < code_.m(); ++j) {
+      for (std::size_t i = 0; i < r; ++i) {
+        const std::size_t worker = key[i];
+        const auto found = std::find_if(
+            slot.begin(), slot.end(),
+            [worker](const auto& p) { return p.first == worker; });
+        S2C2_CHECK(found != slot.end(), "responder disappeared");
+        const linalg::Matrix& eval = found->second;
+        const double w = weights[j][i];
+        if (w == 0.0) continue;
+        for (std::size_t rr = 0; rr < rows_per_chunk_; ++rr) {
+          const auto src = eval.row(rr);
+          const auto dst = out[j].row(chunk * rows_per_chunk_ + rr);
+          for (std::size_t cc = 0; cc < out_cols_; ++cc) {
+            dst[cc] += w * src[cc];
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace s2c2::coding

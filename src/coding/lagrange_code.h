@@ -1,0 +1,89 @@
+// Lagrange coded computing (Yu et al., AISTATS'19) — the paper's §2
+// "broader use" substrate: coded redundancy for *arbitrary polynomial*
+// computations over a batch of data blocks, not just linear maps.
+//
+// Data blocks X_1..X_m (equal shape) are interpolated by the matrix-valued
+// polynomial  u(z) = Σ_j X_j · ℓ_j(z)  with Lagrange basis ℓ_j over points
+// β_1..β_m, so u(β_j) = X_j. Worker i stores the single encoded block
+// Ũ_i = u(α_i) and computes f(Ũ_i) = (f∘u)(α_i). If f is a polynomial of
+// total degree d, f∘u has degree d·(m−1), so ANY R = d·(m−1)+1 worker
+// evaluations determine it — the master interpolates back to the β_j and
+// obtains every f(X_j) without ever seeing a straggler's result.
+//
+// S2C2 applies unchanged on top (§5's argument is code-agnostic): chunks
+// are row ranges of the f(Ũ_i) output and every chunk needs R distinct
+// responders; sched::proportional_allocation with k = R does the rest.
+//
+// Numerics: α's and β's are interleaved Chebyshev nodes on [-1,1]; decode
+// uses explicit Lagrange weights evaluated in long double.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "src/linalg/matrix.h"
+
+namespace s2c2::coding {
+
+class LagrangeCode {
+ public:
+  /// n workers over m data blocks for polynomials up to `degree`.
+  /// Requires n >= recovery_threshold() = degree*(m-1)+1.
+  LagrangeCode(std::size_t n, std::size_t m, std::size_t degree);
+
+  [[nodiscard]] std::size_t n() const noexcept { return alphas_.size(); }
+  [[nodiscard]] std::size_t m() const noexcept { return betas_.size(); }
+  [[nodiscard]] std::size_t degree() const noexcept { return degree_; }
+  [[nodiscard]] std::size_t recovery_threshold() const noexcept {
+    return degree_ * (m() - 1) + 1;
+  }
+  [[nodiscard]] double alpha(std::size_t worker) const {
+    return alphas_.at(worker);
+  }
+  [[nodiscard]] double beta(std::size_t block) const {
+    return betas_.at(block);
+  }
+
+  /// Encodes the batch: worker i receives u(α_i). All blocks must share
+  /// one shape.
+  [[nodiscard]] std::vector<linalg::Matrix> encode(
+      const std::vector<linalg::Matrix>& blocks) const;
+
+  /// Chunk-granular decoder over the f(Ũ) outputs (out_rows x out_cols
+  /// each, out_rows divisible by num_chunks).
+  class Decoder {
+   public:
+    Decoder(const LagrangeCode& code, std::size_t out_rows,
+            std::size_t num_chunks, std::size_t out_cols);
+
+    void add_chunk_result(std::size_t worker, std::size_t chunk,
+                          linalg::Matrix rows);
+    [[nodiscard]] bool decodable() const;
+    [[nodiscard]] std::vector<std::size_t> deficient_chunks() const;
+    [[nodiscard]] std::vector<std::size_t> responders(std::size_t chunk) const;
+
+    /// Reconstructs f(X_j) for every block j.
+    [[nodiscard]] std::vector<linalg::Matrix> decode() const;
+
+   private:
+    const LagrangeCode& code_;
+    std::size_t rows_per_chunk_;
+    std::size_t num_chunks_;
+    std::size_t out_cols_;
+    std::vector<std::vector<std::pair<std::size_t, linalg::Matrix>>> results_;
+    // Lagrange weights cached per responder subset: weights[j][i] is the
+    // coefficient of responder i's evaluation in the reconstruction at β_j.
+    mutable std::map<std::vector<std::size_t>,
+                     std::vector<std::vector<double>>>
+        weight_cache_;
+  };
+
+ private:
+  std::size_t degree_;
+  std::vector<double> alphas_;  // worker evaluation points
+  std::vector<double> betas_;   // data interpolation points
+};
+
+}  // namespace s2c2::coding

@@ -1,0 +1,195 @@
+#include "src/coding/poly_code.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "src/linalg/vandermonde.h"
+#include "src/util/require.h"
+
+namespace s2c2::coding {
+
+PolyCode::PolyCode(std::size_t n, std::size_t a, EvalPoints points) : a_(a) {
+  S2C2_REQUIRE(a >= 1, "a must be >= 1");
+  S2C2_REQUIRE(n >= a * a, "polynomial code needs n >= a^2 workers");
+  points_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (points == EvalPoints::kChebyshev) {
+      // Distinct Chebyshev-like nodes in (-1, 1).
+      points_[i] = std::cos(std::numbers::pi * (2.0 * i + 1.0) /
+                            (2.0 * static_cast<double>(n)));
+    } else {
+      points_[i] = static_cast<double>(i);
+    }
+  }
+}
+
+std::vector<PolyCode::WorkerOperands> PolyCode::encode(
+    const linalg::Matrix& a_mat) const {
+  S2C2_REQUIRE(a_mat.cols() % a_ == 0, "cols must be divisible by a");
+  const std::size_t bc = a_mat.cols() / a_;  // block columns
+  std::vector<WorkerOperands> out;
+  out.reserve(n());
+  for (std::size_t i = 0; i < n(); ++i) {
+    const double alpha = points_[i];
+    linalg::Matrix at(a_mat.rows(), bc);
+    linalg::Matrix bt(a_mat.rows(), bc);
+    double pa = 1.0;  // alpha^j
+    std::vector<double> pb(a_);
+    for (std::size_t j = 0; j < a_; ++j) {
+      pb[j] = std::pow(alpha, static_cast<double>(j * a_));
+    }
+    for (std::size_t j = 0; j < a_; ++j) {
+      for (std::size_t r = 0; r < a_mat.rows(); ++r) {
+        const auto src = a_mat.row(r);
+        auto arow = at.row(r);
+        auto brow = bt.row(r);
+        for (std::size_t c = 0; c < bc; ++c) {
+          const double v = src[j * bc + c];
+          arow[c] += pa * v;
+          brow[c] += pb[j] * v;
+        }
+      }
+      pa *= alpha;
+    }
+    out.push_back({std::move(at), std::move(bt)});
+  }
+  return out;
+}
+
+linalg::Matrix PolyCode::compute_rows(const WorkerOperands& ops,
+                                      std::span<const double> x,
+                                      std::size_t r0, std::size_t r1) {
+  S2C2_REQUIRE(x.size() == ops.a_tilde.rows(), "diag(x) size mismatch");
+  S2C2_REQUIRE(r0 <= r1 && r1 <= ops.a_tilde.cols(),
+               "compute_rows range out of bounds");
+  // P rows [r0,r1): P(r,c) = Σ_s Ã(s,r) · x_s · B̃(s,c).
+  const std::size_t cols = ops.b_tilde.cols();
+  linalg::Matrix p(r1 - r0, cols);
+  for (std::size_t s = 0; s < ops.a_tilde.rows(); ++s) {
+    const double xs = x[s];
+    if (xs == 0.0) continue;
+    const auto arow = ops.a_tilde.row(s);
+    const auto brow = ops.b_tilde.row(s);
+    for (std::size_t r = r0; r < r1; ++r) {
+      const double w = arow[r] * xs;
+      if (w == 0.0) continue;
+      auto prow = p.row(r - r0);
+      for (std::size_t c = 0; c < cols; ++c) prow[c] += w * brow[c];
+    }
+  }
+  return p;
+}
+
+PolyCode::Decoder::Decoder(const PolyCode& code, std::size_t out_rows,
+                           std::size_t num_chunks, std::size_t out_cols)
+    : code_(code), num_chunks_(num_chunks), out_cols_(out_cols) {
+  S2C2_REQUIRE(num_chunks > 0, "decoder needs at least one chunk");
+  S2C2_REQUIRE(out_rows % num_chunks == 0,
+               "output rows must be divisible by num_chunks");
+  rows_per_chunk_ = out_rows / num_chunks;
+  results_.resize(num_chunks_);
+}
+
+void PolyCode::Decoder::add_chunk_result(std::size_t worker, std::size_t chunk,
+                                         linalg::Matrix rows) {
+  S2C2_REQUIRE(worker < code_.n(), "worker index out of range");
+  S2C2_REQUIRE(chunk < num_chunks_, "chunk index out of range");
+  S2C2_REQUIRE(rows.rows() == rows_per_chunk_ && rows.cols() == out_cols_,
+               "chunk result shape mismatch");
+  auto& slot = results_[chunk];
+  for (const auto& [w, _] : slot) {
+    if (w == worker) return;
+  }
+  slot.emplace_back(worker, std::move(rows));
+}
+
+bool PolyCode::Decoder::decodable() const {
+  const std::size_t need = code_.required_responses();
+  return std::all_of(results_.begin(), results_.end(),
+                     [need](const auto& s) { return s.size() >= need; });
+}
+
+std::vector<std::size_t> PolyCode::Decoder::deficient_chunks() const {
+  const std::size_t need = code_.required_responses();
+  std::vector<std::size_t> out;
+  for (std::size_t c = 0; c < num_chunks_; ++c) {
+    if (results_[c].size() < need) out.push_back(c);
+  }
+  return out;
+}
+
+std::vector<std::size_t> PolyCode::Decoder::responders(
+    std::size_t chunk) const {
+  S2C2_REQUIRE(chunk < num_chunks_, "chunk index out of range");
+  std::vector<std::size_t> out;
+  for (const auto& [w, _] : results_[chunk]) out.push_back(w);
+  return out;
+}
+
+linalg::Matrix PolyCode::Decoder::decode() const {
+  const std::size_t m = code_.required_responses();  // a²
+  const std::size_t a = code_.a();
+  S2C2_CHECK(decodable(), "poly decode before coverage");
+  const std::size_t block = rows_per_chunk_ * num_chunks_;  // d/a
+  linalg::Matrix h(a * block, a * out_cols_);
+
+  for (std::size_t chunk = 0; chunk < num_chunks_; ++chunk) {
+    const auto& slot = results_[chunk];
+    std::vector<std::size_t> key(m);
+    for (std::size_t j = 0; j < m; ++j) key[j] = slot[j].first;
+    std::sort(key.begin(), key.end());
+
+    auto it = lu_cache_.find(key);
+    if (it == lu_cache_.end()) {
+      std::vector<double> pts(m);
+      for (std::size_t j = 0; j < m; ++j) pts[j] = code_.eval_point(key[j]);
+      it = lu_cache_
+               .emplace(key, std::make_unique<linalg::LuFactorization>(
+                                 linalg::vandermonde(pts, m)))
+               .first;
+    }
+    const linalg::LuFactorization& lu = *it->second;
+
+    // RHS: row j = flattened chunk result of worker key[j].
+    linalg::Matrix rhs(m, rows_per_chunk_ * out_cols_);
+    for (std::size_t j = 0; j < m; ++j) {
+      const std::size_t worker = key[j];
+      const auto found =
+          std::find_if(slot.begin(), slot.end(),
+                       [worker](const auto& p) { return p.first == worker; });
+      S2C2_CHECK(found != slot.end(), "responder disappeared");
+      std::copy(found->second.data().begin(), found->second.data().end(),
+                rhs.mutable_data().begin() +
+                    static_cast<std::ptrdiff_t>(j * rhs.cols()));
+    }
+    lu.solve_inplace(rhs.mutable_data(), rhs.cols());
+
+    // rhs row (j + a*l) = block C_{j+a·l} = A_jᵀ D A_l over chunk's rows.
+    for (std::size_t coef = 0; coef < m; ++coef) {
+      const std::size_t j = coef % a;  // row-block index of H
+      const std::size_t l = coef / a;  // col-block index of H
+      const std::size_t row0 = j * block + chunk * rows_per_chunk_;
+      const std::size_t col0 = l * out_cols_;
+      for (std::size_t r = 0; r < rows_per_chunk_; ++r) {
+        for (std::size_t c = 0; c < out_cols_; ++c) {
+          h(row0 + r, col0 + c) = rhs(coef, r * out_cols_ + c);
+        }
+      }
+    }
+  }
+  return h;
+}
+
+linalg::Matrix PolyCode::hessian_direct(const linalg::Matrix& a_mat,
+                                        std::span<const double> x) {
+  S2C2_REQUIRE(x.size() == a_mat.rows(), "diag(x) size mismatch");
+  linalg::Matrix scaled = a_mat;
+  for (std::size_t r = 0; r < scaled.rows(); ++r) {
+    auto row = scaled.row(r);
+    for (double& v : row) v *= x[r];
+  }
+  return a_mat.transposed().matmul(scaled);
+}
+
+}  // namespace s2c2::coding

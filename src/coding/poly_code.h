@@ -1,0 +1,103 @@
+// Polynomial codes (Yu, Maddah-Ali, Avestimehr, NeurIPS'17) for the
+// bilinear Hessian computation  H = Aᵀ · diag(x) · A  used in the paper's
+// §5/§7.2.3 extension of S2C2 beyond matrix-vector products.
+//
+// A (N x d) is split column-wise into `a` blocks A_0..A_{a-1}. Worker i
+// stores two encoded operands evaluated at its point α_i:
+//     Ã_i = Σ_j α_i^j     · A_j        (N x d/a)
+//     B̃_i = Σ_j α_i^(j·a) · A_j        (N x d/a)
+// and computes  P_i = Ã_iᵀ · diag(x) · B̃_i  (d/a x d/a), which equals the
+// degree-(a²-1) polynomial  Σ_m α_i^m · C_m  with C_{j+a·l} = A_jᵀ D A_l.
+// Any a² distinct evaluations recover every block of H.
+//
+// S2C2 applies on top exactly as in the MDS case: chunks are row ranges of
+// the P_i output, and each chunk needs >= a² responders (paper Fig 5).
+//
+// Evaluation points: Chebyshev nodes on [-1,1] by default (the paper's
+// integer points are kept as an option; they condition badly as a² grows).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "src/linalg/lu.h"
+#include "src/linalg/matrix.h"
+
+namespace s2c2::coding {
+
+enum class EvalPoints { kChebyshev, kIntegers };
+
+class PolyCode {
+ public:
+  /// n workers, A split into `a` column blocks; decode needs a² responses,
+  /// so n >= a² is required.
+  PolyCode(std::size_t n, std::size_t a,
+           EvalPoints points = EvalPoints::kChebyshev);
+
+  [[nodiscard]] std::size_t n() const noexcept { return points_.size(); }
+  [[nodiscard]] std::size_t a() const noexcept { return a_; }
+  /// Minimum responders per output row (the "k" of this code) = a².
+  [[nodiscard]] std::size_t required_responses() const noexcept {
+    return a_ * a_;
+  }
+  [[nodiscard]] double eval_point(std::size_t worker) const {
+    return points_.at(worker);
+  }
+
+  struct WorkerOperands {
+    linalg::Matrix a_tilde;  // N x d/a
+    linalg::Matrix b_tilde;  // N x d/a
+  };
+
+  /// Encodes A (N x d, d divisible by a) into per-worker operand pairs.
+  [[nodiscard]] std::vector<WorkerOperands> encode(
+      const linalg::Matrix& a_mat) const;
+
+  /// Worker-side kernel: rows [r0,r1) of P_i = Ã_iᵀ diag(x) B̃_i.
+  /// Cost model note: the diag(x)·B̃_i scaling is proportional to the full
+  /// operand and is NOT reduced by computing fewer rows — the engine's cost
+  /// model mirrors that (paper §7.2.3 observes S2C2 cannot squeeze it).
+  [[nodiscard]] static linalg::Matrix compute_rows(
+      const WorkerOperands& ops, std::span<const double> x, std::size_t r0,
+      std::size_t r1);
+
+  /// Chunk-granular decoder; mirrors coding/chunked_decoder.h but solves
+  /// Vandermonde systems in the evaluation points.
+  class Decoder {
+   public:
+    Decoder(const PolyCode& code, std::size_t out_rows,
+            std::size_t num_chunks, std::size_t out_cols);
+
+    void add_chunk_result(std::size_t worker, std::size_t chunk,
+                          linalg::Matrix rows);
+    [[nodiscard]] bool decodable() const;
+    [[nodiscard]] std::vector<std::size_t> deficient_chunks() const;
+    [[nodiscard]] std::vector<std::size_t> responders(std::size_t chunk) const;
+
+    /// Reassembles the full d x d Hessian.
+    [[nodiscard]] linalg::Matrix decode() const;
+
+   private:
+    const PolyCode& code_;
+    std::size_t rows_per_chunk_;
+    std::size_t num_chunks_;
+    std::size_t out_cols_;
+    std::vector<std::vector<std::pair<std::size_t, linalg::Matrix>>> results_;
+    mutable std::map<std::vector<std::size_t>,
+                     std::unique_ptr<linalg::LuFactorization>>
+        lu_cache_;
+  };
+
+  /// Uncoded reference for tests: Aᵀ · diag(x) · A.
+  [[nodiscard]] static linalg::Matrix hessian_direct(
+      const linalg::Matrix& a_mat, std::span<const double> x);
+
+ private:
+  std::size_t a_;
+  std::vector<double> points_;
+};
+
+}  // namespace s2c2::coding

@@ -1,0 +1,118 @@
+#include "src/core/coded_job.h"
+
+#include <algorithm>
+
+#include "src/util/require.h"
+
+namespace s2c2::core {
+
+namespace {
+
+/// Partition rows padded so they divide evenly into chunks.
+std::size_t padded_partition_rows(std::size_t data_rows, std::size_t k,
+                                  std::size_t chunks) {
+  S2C2_REQUIRE(chunks >= 1, "chunks_per_partition must be >= 1");
+  const std::size_t pr = (data_rows + k - 1) / k;
+  return (pr + chunks - 1) / chunks * chunks;
+}
+
+/// Zero-pads a dense operator to exactly k * partition_rows rows.
+linalg::Matrix pad_dense(const linalg::Matrix& a, std::size_t total_rows) {
+  if (a.rows() == total_rows) return a;
+  linalg::Matrix out(total_rows, a.cols());
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    std::copy(a.row(r).begin(), a.row(r).end(), out.row(r).begin());
+  }
+  return out;
+}
+
+linalg::CsrMatrix pad_sparse(const linalg::CsrMatrix& a,
+                             std::size_t total_rows) {
+  if (a.rows() == total_rows) return a;
+  std::vector<linalg::Triplet> trips;
+  trips.reserve(a.nnz());
+  const auto rp = a.row_ptr();
+  const auto ci = a.col_idx();
+  const auto vals = a.values();
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t p = rp[r]; p < rp[r + 1]; ++p) {
+      trips.push_back({r, ci[p], vals[p]});
+    }
+  }
+  return {total_rows, a.cols(), std::move(trips)};
+}
+
+}  // namespace
+
+CodedMatVecJob::CodedMatVecJob(std::size_t data_rows, std::size_t data_cols,
+                               std::size_t n, std::size_t k,
+                               std::size_t chunks)
+    : code_(n, k),
+      data_rows_(data_rows),
+      data_cols_(data_cols),
+      partition_rows_(padded_partition_rows(data_rows, k, chunks)),
+      chunks_(chunks) {}
+
+CodedMatVecJob::CodedMatVecJob(const linalg::Matrix& a, std::size_t n,
+                               std::size_t k, std::size_t chunks_per_partition,
+                               coding::ParityKind parity)
+    : code_(n, k, parity),
+      data_rows_(a.rows()),
+      data_cols_(a.cols()),
+      partition_rows_(padded_partition_rows(a.rows(), k, chunks_per_partition)),
+      chunks_(chunks_per_partition) {
+  partitions_ = code_.encode(pad_dense(a, k * partition_rows_));
+}
+
+CodedMatVecJob::CodedMatVecJob(const linalg::CsrMatrix& a, std::size_t n,
+                               std::size_t k, std::size_t chunks_per_partition,
+                               coding::ParityKind parity)
+    : code_(n, k, parity),
+      data_rows_(a.rows()),
+      data_cols_(a.cols()),
+      partition_rows_(padded_partition_rows(a.rows(), k, chunks_per_partition)),
+      chunks_(chunks_per_partition) {
+  partitions_ = code_.encode(pad_sparse(a, k * partition_rows_));
+}
+
+CodedMatVecJob CodedMatVecJob::cost_only(std::size_t data_rows,
+                                         std::size_t data_cols, std::size_t n,
+                                         std::size_t k,
+                                         std::size_t chunks_per_partition) {
+  return CodedMatVecJob(data_rows, data_cols, n, k, chunks_per_partition);
+}
+
+std::vector<double> CodedMatVecJob::compute_chunk(
+    std::size_t worker, std::size_t chunk, std::span<const double> x) const {
+  S2C2_REQUIRE(functional(), "compute_chunk on a cost-only job");
+  S2C2_REQUIRE(worker < n(), "worker out of range");
+  S2C2_REQUIRE(chunk < chunks_, "chunk out of range");
+  const std::size_t rpc = rows_per_chunk();
+  std::vector<double> out(rpc);
+  partitions_[worker].matvec_rows(chunk * rpc, (chunk + 1) * rpc, x, out);
+  return out;
+}
+
+coding::ChunkedDecoder CodedMatVecJob::make_decoder() const {
+  return coding::ChunkedDecoder(code_.generator(), partition_rows_, chunks_,
+                                1);
+}
+
+linalg::Vector CodedMatVecJob::trim(const linalg::Matrix& decoded) const {
+  S2C2_REQUIRE(decoded.rows() >= data_rows_ && decoded.cols() == 1,
+               "decoded result shape mismatch");
+  linalg::Vector y(data_rows_);
+  for (std::size_t r = 0; r < data_rows_; ++r) y[r] = decoded(r, 0);
+  return y;
+}
+
+double CodedMatVecJob::chunk_flops() const {
+  return matvec_flops(rows_per_chunk(), data_cols_);
+}
+
+std::size_t CodedMatVecJob::partition_bytes(std::size_t worker) const {
+  if (functional()) return partitions_.at(worker).storage_bytes();
+  return partition_rows_ * data_cols_ * 8;
+}
+
+}  // namespace s2c2::core

@@ -1,0 +1,88 @@
+// A coded matrix-vector job: the encoded operator plus its chunk geometry.
+//
+// Construction encodes once (the paper's one-time setup cost, excluded from
+// per-iteration latencies) and the job is then reused across iterations —
+// the whole point of S2C2 is that re-balancing work needs **no data
+// movement** because every worker already stores an encoded partition.
+//
+// Two modes:
+//  * functional — real operator encoded; compute_chunk() runs the actual
+//    kernels so decode correctness is verifiable end to end;
+//  * cost-only  — dimensions only; engines simulate latency shapes at
+//    scales where running the real kernels would be pointless.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "src/coding/chunked_decoder.h"
+#include "src/coding/mds_code.h"
+#include "src/core/strategy_config.h"
+
+namespace s2c2::core {
+
+class CodedMatVecJob {
+ public:
+  /// Functional job over a dense operator.
+  CodedMatVecJob(const linalg::Matrix& a, std::size_t n, std::size_t k,
+                 std::size_t chunks_per_partition,
+                 coding::ParityKind parity = coding::ParityKind::kGaussian);
+
+  /// Functional job over a sparse operator.
+  CodedMatVecJob(const linalg::CsrMatrix& a, std::size_t n, std::size_t k,
+                 std::size_t chunks_per_partition,
+                 coding::ParityKind parity = coding::ParityKind::kGaussian);
+
+  /// Cost-only job: no data, latency simulation only.
+  static CodedMatVecJob cost_only(std::size_t data_rows, std::size_t data_cols,
+                                  std::size_t n, std::size_t k,
+                                  std::size_t chunks_per_partition);
+
+  [[nodiscard]] std::size_t n() const { return code_.n(); }
+  [[nodiscard]] std::size_t k() const { return code_.k(); }
+  [[nodiscard]] std::size_t data_rows() const { return data_rows_; }
+  [[nodiscard]] std::size_t data_cols() const { return data_cols_; }
+  [[nodiscard]] std::size_t partition_rows() const { return partition_rows_; }
+  [[nodiscard]] std::size_t chunks_per_partition() const { return chunks_; }
+  [[nodiscard]] std::size_t rows_per_chunk() const {
+    return partition_rows_ / chunks_;
+  }
+  [[nodiscard]] bool functional() const { return !partitions_.empty(); }
+  [[nodiscard]] const coding::GeneratorMatrix& generator() const {
+    return code_.generator();
+  }
+
+  /// Worker-side kernel: values of partition `worker`, chunk `chunk`, times x.
+  [[nodiscard]] std::vector<double> compute_chunk(
+      std::size_t worker, std::size_t chunk, std::span<const double> x) const;
+
+  /// Fresh decoder wired to this job's geometry.
+  [[nodiscard]] coding::ChunkedDecoder make_decoder() const;
+
+  /// Trims a decoded (k * partition_rows) x 1 result to the original rows.
+  [[nodiscard]] linalg::Vector trim(const linalg::Matrix& decoded) const;
+
+  // ---- cost model ----
+  [[nodiscard]] std::size_t x_bytes() const { return data_cols_ * 8; }
+  [[nodiscard]] std::size_t chunk_result_bytes() const {
+    return rows_per_chunk() * 8;
+  }
+  [[nodiscard]] double chunk_flops() const;
+  /// Storage a worker needs for its partition, in bytes (Fig 3).
+  [[nodiscard]] std::size_t partition_bytes(std::size_t worker) const;
+
+ private:
+  CodedMatVecJob(std::size_t data_rows, std::size_t data_cols, std::size_t n,
+                 std::size_t k, std::size_t chunks);
+
+  coding::MdsCode code_;
+  std::size_t data_rows_ = 0;
+  std::size_t data_cols_ = 0;
+  std::size_t partition_rows_ = 0;  // padded to a multiple of chunks_
+  std::size_t chunks_ = 0;
+  std::vector<coding::EncodedPartition> partitions_;  // empty in cost-only
+};
+
+}  // namespace s2c2::core

@@ -1,0 +1,400 @@
+#include "src/core/engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+#include "src/sched/coverage.h"
+#include "src/sched/reassignment.h"
+#include "src/util/require.h"
+#include "src/util/stats.h"
+
+namespace s2c2::core {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Counts maximal runs of consecutive chunks with identical worker sets —
+/// the number of distinct decode systems the master must factorize.
+std::size_t count_groups(
+    const std::vector<std::vector<std::size_t>>& per_chunk) {
+  std::size_t groups = 0;
+  for (std::size_t c = 0; c < per_chunk.size(); ++c) {
+    if (c == 0 || per_chunk[c] != per_chunk[c - 1]) ++groups;
+  }
+  return groups;
+}
+}  // namespace
+
+CodedComputeEngine::CodedComputeEngine(
+    CodedMatVecJob job, ClusterSpec spec, EngineConfig config,
+    std::unique_ptr<predict::SpeedPredictor> predictor)
+    : job_(std::move(job)),
+      spec_(std::move(spec)),
+      config_(config),
+      predictor_(std::move(predictor)),
+      accounting_(spec_.num_workers()) {
+  S2C2_REQUIRE(spec_.num_workers() == job_.n(),
+               "cluster must provide one trace per code partition");
+  S2C2_REQUIRE(config_.chunks_per_partition == job_.chunks_per_partition(),
+               "engine and job chunk granularity must agree");
+  if (!predictor_ && !config_.oracle_speeds) {
+    predictor_ = std::make_unique<predict::LastValuePredictor>(job_.n());
+  }
+}
+
+std::vector<double> CodedComputeEngine::predicted_speeds(sim::Time t0) {
+  const std::size_t n = job_.n();
+  std::vector<double> speeds(n, 1.0);
+  if (config_.oracle_speeds) {
+    for (std::size_t w = 0; w < n; ++w) {
+      speeds[w] = spec_.traces[w].speed_at(t0);
+    }
+  } else {
+    for (std::size_t w = 0; w < n; ++w) {
+      speeds[w] = predictor_->predict(w);
+    }
+  }
+  return speeds;
+}
+
+sched::Allocation CodedComputeEngine::make_allocation(
+    std::span<const double> speeds) const {
+  const std::size_t n = job_.n();
+  const std::size_t k = job_.k();
+  const std::size_t c = config_.chunks_per_partition;
+  switch (config_.strategy) {
+    case Strategy::kMdsConventional:
+      return sched::full_allocation(n, c);
+    case Strategy::kS2C2Basic: {
+      // Flag stragglers below threshold x median predicted speed; keep at
+      // least k live workers by un-flagging the fastest flagged ones.
+      std::vector<double> sorted(speeds.begin(), speeds.end());
+      const double med = util::median(sorted);
+      std::vector<bool> straggler(n, false);
+      std::size_t live = 0;
+      for (std::size_t w = 0; w < n; ++w) {
+        straggler[w] = speeds[w] < config_.straggler_threshold * med;
+        if (!straggler[w]) ++live;
+      }
+      if (live < k) {
+        std::vector<std::size_t> flagged;
+        for (std::size_t w = 0; w < n; ++w) {
+          if (straggler[w]) flagged.push_back(w);
+        }
+        std::sort(flagged.begin(), flagged.end(),
+                  [&](std::size_t a, std::size_t b) {
+                    return speeds[a] > speeds[b];
+                  });
+        for (std::size_t i = 0; live < k && i < flagged.size(); ++i) {
+          straggler[flagged[i]] = false;
+          ++live;
+        }
+      }
+      return sched::basic_s2c2_allocation(straggler, k, c);
+    }
+    case Strategy::kS2C2General: {
+      std::vector<double> s(speeds.begin(), speeds.end());
+      std::size_t positive = 0;
+      for (double v : s) {
+        if (v > 0.0) ++positive;
+      }
+      if (positive < k) {
+        // Predictor wrote off too many workers: fall back to treating all
+        // of them as slow-but-alive so the allocation stays feasible; the
+        // timeout path recovers if they really are dead.
+        for (double& v : s) v = std::max(v, 0.05);
+      }
+      return sched::proportional_allocation(s, k, c);
+    }
+  }
+  throw std::logic_error("unreachable strategy");
+}
+
+CodedComputeEngine::WorkerTiming CodedComputeEngine::simulate_worker(
+    std::size_t w, sim::Time t0, std::size_t chunks) const {
+  WorkerTiming t;
+  t.assigned_chunks = chunks;
+  if (chunks == 0) return t;
+  t.x_arrival = t0 + spec_.net.transfer_time(job_.x_bytes());
+  const double work =
+      static_cast<double>(chunks) * job_.chunk_flops() / spec_.worker_flops;
+  t.compute_done = spec_.traces[w].time_to_complete(t.x_arrival, work);
+  t.response =
+      t.compute_done == kInf
+          ? kInf
+          : t.compute_done + spec_.net.transfer_time(
+                                 chunks * job_.chunk_result_bytes());
+  return t;
+}
+
+RoundResult CodedComputeEngine::run_round(std::span<const double> x) {
+  const std::size_t n = job_.n();
+  const std::size_t k = job_.k();
+  const sim::Time t0 = now_;
+  const bool functional = job_.functional() && !x.empty();
+  const double chunk_work = job_.chunk_flops() / spec_.worker_flops;
+
+  RoundResult result;
+  result.stats.start = t0;
+  result.predicted_speeds = predicted_speeds(t0);
+  const sched::Allocation alloc = make_allocation(result.predicted_speeds);
+
+  std::vector<WorkerTiming> timing(n);
+  for (std::size_t w = 0; w < n; ++w) {
+    timing[w] = simulate_worker(w, t0, alloc.per_worker[w].count);
+  }
+
+  // Workers with assigned work, ordered by response time.
+  std::vector<std::size_t> assigned;
+  for (std::size_t w = 0; w < n; ++w) {
+    if (timing[w].assigned_chunks > 0) assigned.push_back(w);
+  }
+  std::vector<std::size_t> by_response = assigned;
+  std::sort(by_response.begin(), by_response.end(),
+            [&](std::size_t a, std::size_t b) {
+              return timing[a].response < timing[b].response;
+            });
+  std::size_t finite = 0;
+  for (std::size_t w : by_response) {
+    if (timing[w].response < kInf) ++finite;
+  }
+  if (finite < k) {
+    throw std::runtime_error(
+        "cluster failure: fewer than k workers can respond");
+  }
+
+  // Final per-chunk responder sets (for decode-cost and functional decode),
+  // per-worker used chunks, and the round-completion bookkeeping below.
+  std::vector<std::vector<std::size_t>> final_chunk_workers(
+      alloc.chunks_per_partition);
+  std::vector<std::vector<std::size_t>> extra_chunks(n);  // reassigned work
+  std::vector<bool> used(n, false);
+  std::vector<bool> cancelled(n, false);
+  sim::Time coverage_time = 0.0;
+  sim::Time cancel_time = 0.0;  // when cancelled workers stop computing
+
+  if (config_.strategy == Strategy::kMdsConventional) {
+    // Fastest k full partitions win; everyone else is cancelled when the
+    // k-th response arrives.
+    const std::size_t kth = by_response[k - 1];
+    coverage_time = timing[kth].response;
+    cancel_time = coverage_time;
+    for (std::size_t i = 0; i < k; ++i) used[by_response[i]] = true;
+    for (std::size_t w : assigned) {
+      if (!used[w]) cancelled[w] = true;
+    }
+    for (std::size_t c = 0; c < alloc.chunks_per_partition; ++c) {
+      for (std::size_t i = 0; i < k; ++i) {
+        final_chunk_workers[c].push_back(by_response[i]);
+      }
+      std::sort(final_chunk_workers[c].begin(), final_chunk_workers[c].end());
+    }
+    result.stats.timeout_fired = false;
+  } else {
+    // S2C2 collection with the §4.3 timeout. The reference point is the
+    // k-th fastest response — the last one a minimal decode needs. (The
+    // paper words this as the *average* of the first k; when responses are
+    // balanced, as in its experiments, the two coincide. Under strong speed
+    // spread the fastest workers hit the partition cap and finish early,
+    // which drags the average below the balanced finish time of the
+    // uncapped workers and would fire the timeout every round — see
+    // DESIGN.md §5 and bench_abl_timeout.)
+    const double avg_k = timing[by_response[k - 1]].response - t0;
+    sim::Time deadline = t0 + config_.timeout_factor * avg_k;
+
+    // Responders within the deadline; grow the set until it can cover
+    // every chunk (needs at least k distinct workers).
+    std::size_t r_count = 0;
+    while (r_count < by_response.size() &&
+           timing[by_response[r_count]].response <= deadline) {
+      ++r_count;
+    }
+    while (r_count < k) {
+      deadline = timing[by_response[r_count]].response;
+      ++r_count;
+    }
+    std::vector<bool> responded(n, false);
+    for (std::size_t i = 0; i < r_count; ++i) {
+      responded[by_response[i]] = true;
+    }
+
+    const bool all_responded = r_count == assigned.size();
+    result.stats.timeout_fired = !all_responded;
+
+    // Base coverage from responders.
+    const auto alloc_chunk_workers = sched::chunk_workers(alloc);
+    for (std::size_t c = 0; c < alloc.chunks_per_partition; ++c) {
+      for (std::size_t w : alloc_chunk_workers[c]) {
+        if (responded[w]) final_chunk_workers[c].push_back(w);
+      }
+    }
+
+    for (std::size_t w : assigned) {
+      if (responded[w]) {
+        used[w] = true;
+      } else {
+        cancelled[w] = true;
+      }
+    }
+    coverage_time = timing[by_response[r_count - 1]].response;
+    cancel_time = deadline;
+
+    if (!all_responded) {
+      // Plan recovery for deficient chunks among the responders.
+      std::vector<std::size_t> deficient;
+      std::vector<std::vector<std::size_t>> have;
+      std::vector<std::size_t> needed;
+      for (std::size_t c = 0; c < alloc.chunks_per_partition; ++c) {
+        if (final_chunk_workers[c].size() < k) {
+          deficient.push_back(c);
+          have.push_back(final_chunk_workers[c]);
+          needed.push_back(k - final_chunk_workers[c].size());
+        }
+      }
+      if (!deficient.empty()) {
+        std::vector<double> rspeeds(n, 0.0);
+        for (std::size_t w = 0; w < n; ++w) {
+          if (responded[w]) {
+            rspeeds[w] = std::max(result.predicted_speeds[w], 1e-3);
+          }
+        }
+        const sched::ReassignmentPlan plan =
+            sched::plan_reassignment(deficient, have, needed, rspeeds);
+        result.stats.reassigned_chunks = plan.total_chunks();
+        for (std::size_t w = 0; w < n; ++w) {
+          const auto& extras = plan.chunks_per_worker[w];
+          if (extras.empty()) continue;
+          extra_chunks[w] = extras;
+          for (std::size_t c : extras) final_chunk_workers[c].push_back(w);
+          // The worker is free once it sent its original response; the
+          // master's reassignment message costs one network latency.
+          const sim::Time start =
+              std::max(deadline, timing[w].response) + spec_.net.latency_s;
+          const double work = static_cast<double>(extras.size()) * chunk_work;
+          const sim::Time done = spec_.traces[w].time_to_complete(start, work);
+          if (done == kInf) {
+            throw std::runtime_error(
+                "cluster failure: recovery worker died mid-reassignment");
+          }
+          const sim::Time resp =
+              done + spec_.net.transfer_time(extras.size() *
+                                             job_.chunk_result_bytes());
+          coverage_time = std::max(coverage_time, resp);
+        }
+      }
+      for (auto& ws : final_chunk_workers) std::sort(ws.begin(), ws.end());
+    }
+  }
+
+  // ---- decode cost ----
+  const std::size_t groups = count_groups(final_chunk_workers);
+  const std::size_t values = job_.k() * job_.partition_rows();
+  const sim::Time decode_time =
+      decode_flops(k, values, groups) / spec_.master_flops;
+  result.stats.end = coverage_time + decode_time;
+
+  // ---- accounting ----
+  for (std::size_t w : assigned) {
+    const double assigned_work =
+        static_cast<double>(timing[w].assigned_chunks) * chunk_work;
+    if (used[w]) {
+      accounting_.add_useful(w, assigned_work);
+      accounting_.add_useful(
+          w, static_cast<double>(extra_chunks[w].size()) * chunk_work);
+      accounting_.add_busy(w, timing[w].compute_done - timing[w].x_arrival);
+    } else {
+      const double done = std::min(
+          assigned_work,
+          spec_.traces[w].work_between(timing[w].x_arrival,
+                                       std::max(cancel_time,
+                                                timing[w].x_arrival)));
+      accounting_.add_wasted(w, done);
+    }
+    accounting_.add_traffic(
+        w,
+        static_cast<double>((timing[w].assigned_chunks +
+                             extra_chunks[w].size()) *
+                            job_.chunk_result_bytes()),
+        static_cast<double>(job_.x_bytes()));
+  }
+
+  // ---- observed speeds -> predictor ----
+  result.observed_speeds.assign(n, 0.0);
+  for (std::size_t w = 0; w < n; ++w) {
+    double obs;
+    if (timing[w].assigned_chunks == 0) {
+      // Idle worker: the master probes its current speed (basic S2C2 needs
+      // fresh straggler flags even for excluded workers).
+      obs = spec_.traces[w].speed_at(result.stats.end);
+    } else if (used[w]) {
+      const double work =
+          static_cast<double>(timing[w].assigned_chunks) * chunk_work;
+      obs = work / (timing[w].response - t0);
+    } else {
+      const sim::Time until = std::max(cancel_time, timing[w].x_arrival + 1e-9);
+      obs = spec_.traces[w].work_between(timing[w].x_arrival, until) /
+            (until - timing[w].x_arrival);
+    }
+    result.observed_speeds[w] = obs;
+    if (obs > 0.0) {
+      const double rel =
+          std::abs(result.predicted_speeds[w] - obs) / obs;
+      if (rel > 0.15) ++mispredictions_;
+      ++prediction_samples_;
+    }
+    if (predictor_) predictor_->observe(w, obs);
+  }
+
+  // ---- functional decode ----
+  if (functional) {
+    S2C2_REQUIRE(x.size() == job_.data_cols(), "input vector size mismatch");
+    coding::ChunkedDecoder decoder = job_.make_decoder();
+    for (std::size_t w = 0; w < n; ++w) {
+      if (used[w]) {
+        for (std::size_t c : alloc.chunks_of(w)) {
+          decoder.add_chunk_result(w, c, job_.compute_chunk(w, c, x));
+        }
+        for (std::size_t c : extra_chunks[w]) {
+          decoder.add_chunk_result(w, c, job_.compute_chunk(w, c, x));
+        }
+      }
+    }
+    result.y = job_.trim(decoder.decode());
+  }
+
+  now_ = result.stats.end;
+  ++rounds_run_;
+  if (result.stats.timeout_fired) ++timeouts_;
+  return result;
+}
+
+std::vector<RoundResult> CodedComputeEngine::run_rounds(std::size_t rounds) {
+  std::vector<RoundResult> out;
+  out.reserve(rounds);
+  for (std::size_t i = 0; i < rounds; ++i) out.push_back(run_round());
+  return out;
+}
+
+double CodedComputeEngine::timeout_rate() const {
+  return rounds_run_ > 0
+             ? static_cast<double>(timeouts_) / static_cast<double>(rounds_run_)
+             : 0.0;
+}
+
+double CodedComputeEngine::misprediction_rate() const {
+  return prediction_samples_ > 0
+             ? static_cast<double>(mispredictions_) /
+                   static_cast<double>(prediction_samples_)
+             : 0.0;
+}
+
+double total_latency(std::span<const RoundResult> results) {
+  double acc = 0.0;
+  for (const RoundResult& r : results) acc += r.stats.latency();
+  return acc;
+}
+
+}  // namespace s2c2::core

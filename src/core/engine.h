@@ -1,0 +1,104 @@
+// CodedComputeEngine — iterative coded matrix-vector execution under the
+// MDS-conventional, basic-S2C2, and general-S2C2 strategies (paper §4, §6).
+//
+// Per round (= one iteration of the distributed algorithm):
+//   1. speeds are predicted (LSTM/ARIMA predictor, or the oracle variant);
+//   2. the strategy allocates chunks (sched/allocation.h);
+//   3. the simulator computes when every worker's response reaches the
+//      master (input broadcast + chunk compute over the speed trace +
+//      result transfer);
+//   4. the master collects:
+//        - MDS: the fastest k full partitions; slower workers are
+//          cancelled and their progress counted as waste;
+//        - S2C2: all assigned responses, with the §4.3 timeout — if a
+//          worker misses 1.15x the mean response time of the fastest k,
+//          its pending chunks are reassigned among the workers that did
+//          respond (sched/reassignment.h) and its progress is waste;
+//   5. the master decodes (cost model; plus the *real* numeric decode when
+//      the job is functional and an input vector was supplied).
+//
+// The engine advances its private simulated clock across rounds, so speed
+// traces play out over the whole run exactly as the paper's clusters do.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "src/core/coded_job.h"
+#include "src/core/strategy_config.h"
+#include "src/predict/predictors.h"
+#include "src/sched/allocation.h"
+#include "src/sim/accounting.h"
+
+namespace s2c2::core {
+
+struct RoundResult {
+  sim::RoundStats stats;
+  std::optional<linalg::Vector> y;     // decoded product (functional mode)
+  std::vector<double> predicted_speeds;
+  std::vector<double> observed_speeds;
+};
+
+class CodedComputeEngine {
+ public:
+  /// `predictor` may be null: the engine then uses last-value prediction.
+  /// The spec must provide exactly job.n() traces.
+  CodedComputeEngine(CodedMatVecJob job, ClusterSpec spec, EngineConfig config,
+                     std::unique_ptr<predict::SpeedPredictor> predictor =
+                         nullptr);
+
+  /// Runs one round. In functional mode pass the input vector x (size =
+  /// job.data_cols()) to obtain the decoded product; with an empty span
+  /// the round is latency-only. Throws std::runtime_error if the cluster
+  /// cannot produce k responses (unrecoverable failure).
+  RoundResult run_round(std::span<const double> x = {});
+
+  /// Latency-only convenience loop.
+  std::vector<RoundResult> run_rounds(std::size_t rounds);
+
+  [[nodiscard]] sim::Time now() const noexcept { return now_; }
+  [[nodiscard]] const sim::Accounting& accounting() const noexcept {
+    return accounting_;
+  }
+  [[nodiscard]] const CodedMatVecJob& job() const noexcept { return job_; }
+
+  /// Fraction of completed rounds in which the timeout fired.
+  [[nodiscard]] double timeout_rate() const;
+
+  /// Fraction of (worker, round) observations where the prediction missed
+  /// the realized speed by more than 15% (the paper's mis-prediction
+  /// criterion).
+  [[nodiscard]] double misprediction_rate() const;
+
+ private:
+  struct WorkerTiming {
+    std::size_t assigned_chunks = 0;
+    sim::Time x_arrival = 0.0;
+    sim::Time compute_done = 0.0;
+    sim::Time response = 0.0;  // +inf if the worker never responds
+  };
+
+  [[nodiscard]] std::vector<double> predicted_speeds(sim::Time t0);
+  [[nodiscard]] sched::Allocation make_allocation(
+      std::span<const double> speeds) const;
+  [[nodiscard]] WorkerTiming simulate_worker(std::size_t w, sim::Time t0,
+                                             std::size_t chunks) const;
+
+  CodedMatVecJob job_;
+  ClusterSpec spec_;
+  EngineConfig config_;
+  std::unique_ptr<predict::SpeedPredictor> predictor_;
+  sim::Accounting accounting_;
+  sim::Time now_ = 0.0;
+  std::size_t rounds_run_ = 0;
+  std::size_t timeouts_ = 0;
+  std::size_t mispredictions_ = 0;
+  std::size_t prediction_samples_ = 0;
+};
+
+/// Sum of round latencies.
+[[nodiscard]] double total_latency(std::span<const RoundResult> results);
+
+}  // namespace s2c2::core

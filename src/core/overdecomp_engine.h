@@ -1,0 +1,66 @@
+// Over-decomposition + speed-predicted load balancing — the paper's cloud
+// baseline (§7.2, "Charm++ based over-decomposition baseline"): the data is
+// split into decomposition_factor x n uncoded partitions, replicated by
+// ~replication_factor, and every round the master re-balances partition
+// assignments using predicted speeds. A partition may only execute on a
+// worker holding a copy; otherwise it migrates first (transfer on that
+// worker's critical path) and the destination keeps the copy, growing its
+// storage footprint.
+//
+// With accurate predictions and stable speeds this baseline matches
+// S2C2's latency (Fig 8); under volatile speeds its migrations put data
+// movement back on the critical path and it loses (Fig 10).
+#pragma once
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "src/core/engine.h"
+#include "src/core/strategy_config.h"
+#include "src/predict/predictors.h"
+
+namespace s2c2::core {
+
+struct OverDecompConfig {
+  std::size_t decomposition_factor = 4;  // partitions per worker
+  double replication_factor = 1.42;      // ~ n/k of the matched MDS code
+  bool oracle_speeds = false;
+};
+
+class OverDecompositionEngine {
+ public:
+  OverDecompositionEngine(std::size_t data_rows, std::size_t data_cols,
+                          ClusterSpec spec, OverDecompConfig config,
+                          std::unique_ptr<predict::SpeedPredictor> predictor =
+                              nullptr);
+
+  RoundResult run_round();
+  std::vector<RoundResult> run_rounds(std::size_t rounds);
+
+  [[nodiscard]] sim::Time now() const noexcept { return now_; }
+  [[nodiscard]] const sim::Accounting& accounting() const noexcept {
+    return accounting_;
+  }
+  /// Bytes of partition data currently stored at `worker` (grows with
+  /// migrations — the storage-cost axis of the comparison).
+  [[nodiscard]] std::size_t storage_bytes(std::size_t worker) const;
+  [[nodiscard]] std::size_t total_migrations() const noexcept {
+    return migrations_;
+  }
+
+ private:
+  std::size_t data_rows_;
+  std::size_t data_cols_;
+  ClusterSpec spec_;
+  OverDecompConfig config_;
+  std::unique_ptr<predict::SpeedPredictor> predictor_;
+  std::vector<std::set<std::size_t>> holders_;  // per partition
+  sim::Accounting accounting_;
+  sim::Time now_ = 0.0;
+  std::size_t migrations_ = 0;
+  std::size_t num_partitions_ = 0;
+  std::size_t partition_rows_ = 0;
+};
+
+}  // namespace s2c2::core

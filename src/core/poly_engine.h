@@ -1,0 +1,77 @@
+// Polynomial-coded Hessian execution with and without S2C2 (paper §5 and
+// §7.2.3): H = Aᵀ diag(x) A over n workers, a x a block decomposition,
+// decode from any a² = required_responses() workers per output row.
+//
+// The S2C2 variant allocates output-row chunks proportionally to predicted
+// speeds with coverage exactly a² (the same allocator as the MDS case —
+// the whole point of §5 is that S2C2 is code-agnostic), plus the same
+// timeout/reassignment recovery. The conventional variant assigns every
+// worker its full output and waits for the fastest a².
+//
+// Cost model notes mirrored from the paper: the diag(x)·B̃ scaling is a
+// fixed per-round cost S2C2 cannot squeeze, and the master's decode is a
+// dense a²-system solve over every Hessian entry — both reasons measured
+// poly gains trail the ideal (n - a²)/a².
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/coding/poly_code.h"
+#include "src/core/engine.h"
+#include "src/core/strategy_config.h"
+#include "src/predict/predictors.h"
+
+namespace s2c2::core {
+
+struct PolyEngineConfig {
+  bool use_s2c2 = true;  // false = conventional polynomial coding
+  std::size_t chunks_per_partition = 24;
+  double timeout_factor = 1.15;
+  bool oracle_speeds = false;
+};
+
+struct PolyRoundResult {
+  sim::RoundStats stats;
+  std::optional<linalg::Matrix> hessian;  // functional mode
+};
+
+class PolyCodedEngine {
+ public:
+  /// Functional: encodes `a_mat` (N x d). Cost-only: pass std::nullopt with
+  /// explicit dims.
+  PolyCodedEngine(std::optional<linalg::Matrix> a_mat, std::size_t n_rows,
+                  std::size_t d_cols, std::size_t a_blocks, ClusterSpec spec,
+                  PolyEngineConfig config,
+                  std::unique_ptr<predict::SpeedPredictor> predictor =
+                      nullptr);
+
+  /// One Hessian evaluation round; pass x (size N) for a functional decode.
+  PolyRoundResult run_round(std::span<const double> x = {});
+  std::vector<PolyRoundResult> run_rounds(std::size_t rounds);
+
+  [[nodiscard]] sim::Time now() const noexcept { return now_; }
+  [[nodiscard]] const sim::Accounting& accounting() const noexcept {
+    return accounting_;
+  }
+  [[nodiscard]] const coding::PolyCode& code() const noexcept { return code_; }
+  [[nodiscard]] double timeout_rate() const;
+
+ private:
+  coding::PolyCode code_;
+  std::size_t n_rows_;   // N
+  std::size_t d_cols_;   // d
+  std::size_t out_rows_; // d / a (padded to chunk multiple)
+  std::size_t out_cols_; // d / a
+  ClusterSpec spec_;
+  PolyEngineConfig config_;
+  std::unique_ptr<predict::SpeedPredictor> predictor_;
+  std::vector<coding::PolyCode::WorkerOperands> operands_;  // functional
+  sim::Accounting accounting_;
+  sim::Time now_ = 0.0;
+  std::size_t rounds_run_ = 0;
+  std::size_t timeouts_ = 0;
+};
+
+}  // namespace s2c2::core

@@ -1,0 +1,71 @@
+// Uncoded r-replication with LATE-style speculative execution — the
+// paper's first controlled-cluster baseline (§7.1: "enhanced Hadoop-like
+// uncoded approach similar to LATE", 3 replicas, up to 6 speculative
+// tasks, data moved only when no idle replica holder exists).
+//
+// The data matrix splits into n uncoded partitions; worker w is the
+// primary for partition w, and each partition is additionally replicated
+// on r-1 random other workers. Once a `speculation_quantile` fraction of
+// tasks complete, the master speculatively relaunches the slowest
+// outstanding tasks on idle workers — preferring replica holders; a
+// non-holder pays the partition transfer on its critical path, which is
+// what makes this baseline degrade super-linearly once the straggler
+// count approaches the replication factor (Figs 1, 6, 7).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/engine.h"
+#include "src/core/strategy_config.h"
+
+namespace s2c2::core {
+
+enum class Placement {
+  kRoundRobin,  // partition p on workers {p, p+1, ..} — HDFS-like striping
+  kRandom,      // r-1 random distinct backups per partition
+};
+
+struct ReplicationConfig {
+  std::size_t replication = 3;
+  std::size_t max_speculative = 6;
+  double speculation_quantile = 0.25;
+  Placement placement = Placement::kRoundRobin;
+  std::uint64_t placement_seed = 99;
+  /// false = traditional Hadoop strict locality (Fig 1's baseline): a
+  /// speculative copy may only run on a replica holder, so a task whose
+  /// holders are all stragglers simply waits on its primary.
+  bool allow_data_movement = true;
+};
+
+class ReplicationEngine {
+ public:
+  ReplicationEngine(std::size_t data_rows, std::size_t data_cols,
+                    ClusterSpec spec, ReplicationConfig config);
+
+  /// One iteration (latency shape only; the uncoded result needs no decode).
+  RoundResult run_round();
+
+  std::vector<RoundResult> run_rounds(std::size_t rounds);
+
+  [[nodiscard]] sim::Time now() const noexcept { return now_; }
+  [[nodiscard]] const sim::Accounting& accounting() const noexcept {
+    return accounting_;
+  }
+  /// Replica holders of each partition (first entry = primary).
+  [[nodiscard]] const std::vector<std::vector<std::size_t>>& placement()
+      const noexcept {
+    return placement_;
+  }
+
+ private:
+  std::size_t data_rows_;
+  std::size_t data_cols_;
+  ClusterSpec spec_;
+  ReplicationConfig config_;
+  std::vector<std::vector<std::size_t>> placement_;
+  sim::Accounting accounting_;
+  sim::Time now_ = 0.0;
+};
+
+}  // namespace s2c2::core

@@ -1,0 +1,33 @@
+#include "src/core/strategy_config.h"
+
+namespace s2c2::core {
+
+ClusterSpec ClusterSpec::uniform(std::size_t n, double speed) {
+  ClusterSpec spec;
+  spec.traces.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    spec.traces.push_back(sim::SpeedTrace::constant(speed));
+  }
+  return spec;
+}
+
+const char* strategy_name(Strategy s) {
+  switch (s) {
+    case Strategy::kMdsConventional:
+      return "mds-conventional";
+    case Strategy::kS2C2Basic:
+      return "s2c2-basic";
+    case Strategy::kS2C2General:
+      return "s2c2-general";
+  }
+  return "unknown";
+}
+
+double decode_flops(std::size_t k, std::size_t values, std::size_t groups) {
+  const double kd = static_cast<double>(k);
+  const double lu = 2.0 / 3.0 * kd * kd * kd * static_cast<double>(groups);
+  const double solves = 2.0 * kd * kd * static_cast<double>(values) / kd;
+  return lu + solves;
+}
+
+}  // namespace s2c2::core

@@ -1,0 +1,72 @@
+// Cluster specification, cost model, and strategy configuration shared by
+// every execution engine.
+//
+// Work is measured in "unit-speed seconds": a kernel of F flops takes
+// F / worker_flops seconds on a worker running at relative speed 1.0, and
+// the speed trace integral converts that to wall-clock time. All of the
+// paper's results are relative latencies, so only the *ratios* between
+// compute, communication, and decode costs matter; defaults are calibrated
+// to a 1-vCPU cloud droplet with a 1 Gb/s NIC.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/sim/network.h"
+#include "src/sim/speed_trace.h"
+
+namespace s2c2::core {
+
+struct ClusterSpec {
+  std::vector<sim::SpeedTrace> traces;  // one per worker
+  sim::NetworkModel net{1e-4, 1.25e9};  // 10 Gb/s, 100us latency
+  double worker_flops = 1e9;            // at relative speed 1.0
+  double master_flops = 1e9;            // decode speed
+
+  [[nodiscard]] std::size_t num_workers() const { return traces.size(); }
+
+  /// Uniform cluster helper (tests / examples).
+  static ClusterSpec uniform(std::size_t n, double speed = 1.0);
+};
+
+enum class Strategy {
+  kMdsConventional,  // wait for fastest k full partitions (prior work [22])
+  kS2C2Basic,        // equal shares over non-straggler workers (paper §4.1)
+  kS2C2General,      // speed-proportional shares (paper §4.2, Algorithm 1)
+};
+
+[[nodiscard]] const char* strategy_name(Strategy s);
+
+struct EngineConfig {
+  Strategy strategy = Strategy::kS2C2General;
+
+  /// Chunk granularity per partition (over-decomposition factor). The
+  /// paper's Algorithm 1 uses Σu_i; a fixed power of two behaves the same
+  /// and keeps decode group counts stable (ablated in bench_abl_granularity).
+  std::size_t chunks_per_partition = 24;
+
+  /// Timeout = factor x (mean response time of first k) — paper §4.3 picks
+  /// 1.15 from the predictor's 16.7% MAPE.
+  double timeout_factor = 1.15;
+
+  /// Basic S2C2 flags worker w a straggler when its predicted speed falls
+  /// below threshold x median predicted speed.
+  double straggler_threshold = 0.5;
+
+  /// Use the true trace speed at round start instead of the predictor
+  /// (the paper's "knowing the exact speeds" variant in Figs 6/7).
+  bool oracle_speeds = false;
+};
+
+/// Flop-count helpers for the cost model.
+[[nodiscard]] constexpr double matvec_flops(std::size_t rows,
+                                            std::size_t cols) {
+  return 2.0 * static_cast<double>(rows) * static_cast<double>(cols);
+}
+
+/// Decode cost: `groups` distinct k x k LU factorizations plus triangular
+/// solves for every reconstructed value.
+[[nodiscard]] double decode_flops(std::size_t k, std::size_t values,
+                                  std::size_t groups);
+
+}  // namespace s2c2::core

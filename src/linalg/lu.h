@@ -1,0 +1,42 @@
+// Partial-pivot LU factorization.
+//
+// The decoder solves one k x k system per distinct responder set each round
+// (see coding/chunked_decoder.h); factors are computed once and reused for
+// every chunk and every right-hand side, so the factorization object owns
+// its pivots and exposes repeated solves.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "src/linalg/matrix.h"
+
+namespace s2c2::linalg {
+
+class LuFactorization {
+ public:
+  /// Factors a square matrix. Throws std::invalid_argument if `a` is not
+  /// square and std::domain_error if it is numerically singular.
+  explicit LuFactorization(Matrix a);
+
+  [[nodiscard]] std::size_t dim() const noexcept { return lu_.rows(); }
+
+  /// Solves A x = b for a single right-hand side.
+  [[nodiscard]] Vector solve(std::span<const double> b) const;
+
+  /// Solves A X = B column-block-wise: B is n x m, returns n x m.
+  [[nodiscard]] Matrix solve_matrix(const Matrix& b) const;
+
+  /// In-place variant over a row-major RHS laid out as n rows of width m.
+  void solve_inplace(std::span<double> b_rowmajor, std::size_t width) const;
+
+  /// Crude reciprocal-condition signal: min |U_ii| / max |U_ii|.
+  [[nodiscard]] double rcond_estimate() const noexcept { return rcond_; }
+
+ private:
+  Matrix lu_;                     // packed L (unit diag) and U
+  std::vector<std::size_t> piv_;  // row permutation
+  double rcond_ = 0.0;
+};
+
+}  // namespace s2c2::linalg

@@ -1,0 +1,98 @@
+#include "src/linalg/sparse.h"
+
+#include <algorithm>
+
+#include "src/util/require.h"
+
+namespace s2c2::linalg {
+
+CsrMatrix::CsrMatrix(std::size_t rows, std::size_t cols,
+                     std::vector<Triplet> triplets)
+    : rows_(rows), cols_(cols) {
+  for (const Triplet& t : triplets) {
+    S2C2_REQUIRE(t.row < rows && t.col < cols, "triplet out of bounds");
+  }
+  std::sort(triplets.begin(), triplets.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+  row_ptr_.assign(rows_ + 1, 0);
+  col_idx_.reserve(triplets.size());
+  values_.reserve(triplets.size());
+  for (std::size_t i = 0; i < triplets.size();) {
+    const std::size_t r = triplets[i].row;
+    const std::size_t c = triplets[i].col;
+    double v = 0.0;
+    while (i < triplets.size() && triplets[i].row == r &&
+           triplets[i].col == c) {
+      v += triplets[i].value;
+      ++i;
+    }
+    if (v != 0.0) {
+      col_idx_.push_back(c);
+      values_.push_back(v);
+      ++row_ptr_[r + 1];
+    }
+  }
+  for (std::size_t r = 0; r < rows_; ++r) row_ptr_[r + 1] += row_ptr_[r];
+}
+
+Vector CsrMatrix::matvec(std::span<const double> x) const {
+  Vector y(rows_, 0.0);
+  matvec_into(x, y);
+  return y;
+}
+
+void CsrMatrix::matvec_into(std::span<const double> x,
+                            std::span<double> y) const {
+  S2C2_REQUIRE(x.size() == cols_, "CSR matvec: x size mismatch");
+  S2C2_REQUIRE(y.size() == rows_, "CSR matvec: y size mismatch");
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    for (std::size_t p = row_ptr_[r]; p < row_ptr_[r + 1]; ++p) {
+      acc += values_[p] * x[col_idx_[p]];
+    }
+    y[r] = acc;
+  }
+}
+
+CsrMatrix CsrMatrix::row_block(std::size_t begin, std::size_t end) const {
+  S2C2_REQUIRE(begin <= end && end <= rows_, "row_block out of bounds");
+  CsrMatrix out;
+  out.rows_ = end - begin;
+  out.cols_ = cols_;
+  out.row_ptr_.assign(out.rows_ + 1, 0);
+  const std::size_t lo = row_ptr_[begin];
+  const std::size_t hi = row_ptr_[end];
+  out.col_idx_.assign(col_idx_.begin() + static_cast<std::ptrdiff_t>(lo),
+                      col_idx_.begin() + static_cast<std::ptrdiff_t>(hi));
+  out.values_.assign(values_.begin() + static_cast<std::ptrdiff_t>(lo),
+                     values_.begin() + static_cast<std::ptrdiff_t>(hi));
+  for (std::size_t r = 0; r < out.rows_; ++r) {
+    out.row_ptr_[r + 1] = row_ptr_[begin + r + 1] - lo;
+  }
+  return out;
+}
+
+CsrMatrix CsrMatrix::transposed() const {
+  std::vector<Triplet> trips;
+  trips.reserve(nnz());
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t p = row_ptr_[r]; p < row_ptr_[r + 1]; ++p) {
+      trips.push_back({col_idx_[p], r, values_[p]});
+    }
+  }
+  return CsrMatrix(cols_, rows_, std::move(trips));
+}
+
+Matrix CsrMatrix::to_dense() const {
+  Matrix d(rows_, cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t p = row_ptr_[r]; p < row_ptr_[r + 1]; ++p) {
+      d(r, col_idx_[p]) += values_[p];
+    }
+  }
+  return d;
+}
+
+}  // namespace s2c2::linalg

@@ -1,0 +1,67 @@
+// Compressed sparse row (CSR) matrices.
+//
+// Graph workloads (PageRank, graph filtering) operate on adjacency /
+// Laplacian matrices that are far too sparse for dense storage at realistic
+// node counts. Systematic partitions of a coded graph operator stay sparse;
+// only parity partitions densify (they are sums of row blocks), which
+// coding/mds_code.h handles by materializing parity blocks densely.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "src/linalg/matrix.h"
+
+namespace s2c2::linalg {
+
+struct Triplet {
+  std::size_t row;
+  std::size_t col;
+  double value;
+};
+
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+
+  /// Builds from triplets; duplicate (row,col) entries are summed.
+  CsrMatrix(std::size_t rows, std::size_t cols,
+            std::vector<Triplet> triplets);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] std::size_t nnz() const noexcept { return values_.size(); }
+
+  /// y = this * x.
+  [[nodiscard]] Vector matvec(std::span<const double> x) const;
+
+  void matvec_into(std::span<const double> x, std::span<double> y) const;
+
+  /// Rows [begin, end) as a new CSR matrix (same column space).
+  [[nodiscard]] CsrMatrix row_block(std::size_t begin, std::size_t end) const;
+
+  [[nodiscard]] CsrMatrix transposed() const;
+
+  [[nodiscard]] Matrix to_dense() const;
+
+  /// Accessors for the raw CSR arrays (read-only).
+  [[nodiscard]] std::span<const std::size_t> row_ptr() const noexcept {
+    return row_ptr_;
+  }
+  [[nodiscard]] std::span<const std::size_t> col_idx() const noexcept {
+    return col_idx_;
+  }
+  [[nodiscard]] std::span<const double> values() const noexcept {
+    return values_;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<std::size_t> row_ptr_;  // size rows_+1
+  std::vector<std::size_t> col_idx_;
+  std::vector<double> values_;
+};
+
+}  // namespace s2c2::linalg

@@ -1,0 +1,31 @@
+#include "src/linalg/vandermonde.h"
+
+#include "src/util/require.h"
+
+namespace s2c2::linalg {
+
+Matrix vandermonde(std::span<const double> points, std::size_t degree) {
+  S2C2_REQUIRE(degree > 0, "vandermonde degree must be positive");
+  Matrix m(points.size(), degree);
+  for (std::size_t r = 0; r < points.size(); ++r) {
+    double p = 1.0;
+    for (std::size_t c = 0; c < degree; ++c) {
+      m(r, c) = p;
+      p *= points[r];
+    }
+  }
+  return m;
+}
+
+Vector vandermonde_row(double x, std::size_t degree) {
+  S2C2_REQUIRE(degree > 0, "vandermonde degree must be positive");
+  Vector row(degree);
+  double p = 1.0;
+  for (std::size_t c = 0; c < degree; ++c) {
+    row[c] = p;
+    p *= x;
+  }
+  return row;
+}
+
+}  // namespace s2c2::linalg

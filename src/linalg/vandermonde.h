@@ -1,0 +1,28 @@
+// Vandermonde matrices over ℝ.
+//
+// Two uses in the reproduction:
+//  * parity rows for the classic MDS construction (paper's §2 worked
+//    example A1+A2, A1+2A2 is a Vandermonde parity at nodes 1, 2);
+//  * polynomial-code decoding, which inverts a Vandermonde system in the
+//    evaluation points of the responding workers (paper §5).
+//
+// Real-valued Vandermonde systems become hopelessly ill-conditioned as the
+// dimension grows, which is why coding/generator_matrix.h defaults to
+// Gaussian parity for large k (documented substitution in DESIGN.md).
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "src/linalg/matrix.h"
+
+namespace s2c2::linalg {
+
+/// Row i = [1, x_i, x_i^2, ..., x_i^{degree-1}].
+[[nodiscard]] Matrix vandermonde(std::span<const double> points,
+                                 std::size_t degree);
+
+/// Single Vandermonde row at point x: [1, x, ..., x^{degree-1}].
+[[nodiscard]] Vector vandermonde_row(double x, std::size_t degree);
+
+}  // namespace s2c2::linalg

@@ -1,0 +1,87 @@
+#include "src/predict/evaluation.h"
+
+#include <cmath>
+
+#include "src/predict/arima.h"
+#include "src/util/require.h"
+#include "src/util/stats.h"
+
+namespace s2c2::predict {
+
+namespace {
+
+/// Walk-forward one-step MAPE for any history->forecast functor.
+template <typename ForecastFn>
+double walk_forward_mape(const std::vector<std::vector<double>>& corpus,
+                         ForecastFn&& forecast) {
+  std::vector<double> preds;
+  std::vector<double> actuals;
+  for (const auto& series : corpus) {
+    for (std::size_t t = 1; t < series.size(); ++t) {
+      const std::span<const double> history(series.data(), t);
+      preds.push_back(forecast(history));
+      actuals.push_back(series[t]);
+    }
+  }
+  return util::mape(preds, actuals);
+}
+
+}  // namespace
+
+double lstm_mape(const Lstm& model,
+                 const std::vector<std::vector<double>>& corpus) {
+  std::vector<double> preds;
+  std::vector<double> actuals;
+  for (const auto& series : corpus) {
+    if (series.size() < 2) continue;
+    Lstm::State st = model.initial_state();
+    for (std::size_t t = 0; t + 1 < series.size(); ++t) {
+      const double x[1] = {series[t]};
+      preds.push_back(model.step(std::span<const double>(x, 1), st));
+      actuals.push_back(series[t + 1]);
+    }
+  }
+  return util::mape(preds, actuals);
+}
+
+std::vector<PredictionReport> evaluate_predictors(
+    const std::vector<std::vector<double>>& corpus,
+    const EvaluationConfig& config) {
+  S2C2_REQUIRE(corpus.size() >= 2, "need at least two series");
+  const auto split = static_cast<std::size_t>(
+      config.train_fraction * static_cast<double>(corpus.size()));
+  S2C2_REQUIRE(split >= 1 && split < corpus.size(),
+               "train fraction leaves an empty split");
+  const std::vector<std::vector<double>> train(corpus.begin(),
+                                               corpus.begin() + split);
+  const std::vector<std::vector<double>> test(corpus.begin() + split,
+                                              corpus.end());
+
+  std::vector<PredictionReport> out;
+
+  Lstm lstm(1, 4, config.lstm_seed);
+  lstm.train(train, config.lstm_train);
+  out.push_back({"LSTM(h=4)", lstm_mape(lstm, test)});
+
+  const ArModel ar1 = fit_ar(train, 1);
+  out.push_back({"ARIMA(1,0,0)", walk_forward_mape(test, [&](auto h) {
+                   return ar1.forecast(h);
+                 })});
+
+  const ArModel ar2 = fit_ar(train, 2);
+  out.push_back({"ARIMA(2,0,0)", walk_forward_mape(test, [&](auto h) {
+                   return ar2.forecast(h);
+                 })});
+
+  const ArimaModel a111 = fit_arima11(train, 1);
+  out.push_back({"ARIMA(1,1,1)", walk_forward_mape(test, [&](auto h) {
+                   return a111.forecast(h);
+                 })});
+
+  out.push_back({"last-value", walk_forward_mape(test, [](auto h) {
+                   return h.back();
+                 })});
+  return out;
+}
+
+}  // namespace s2c2::predict

@@ -1,0 +1,69 @@
+#include "src/predict/predictors.h"
+
+#include "src/util/require.h"
+
+namespace s2c2::predict {
+
+LastValuePredictor::LastValuePredictor(std::size_t num_workers)
+    : last_(num_workers, 1.0) {}
+
+void LastValuePredictor::observe(std::size_t worker, double speed) {
+  S2C2_REQUIRE(worker < last_.size(), "worker out of range");
+  last_[worker] = speed;
+}
+
+double LastValuePredictor::predict(std::size_t worker) {
+  S2C2_REQUIRE(worker < last_.size(), "worker out of range");
+  return last_[worker];
+}
+
+FrozenSpeedPredictor::FrozenSpeedPredictor(std::size_t num_workers,
+                                           std::size_t warmup_rounds)
+    : warmup_(warmup_rounds), seen_(num_workers, 0), sum_(num_workers, 0.0) {
+  S2C2_REQUIRE(warmup_rounds >= 1, "need at least one warmup round");
+}
+
+void FrozenSpeedPredictor::observe(std::size_t worker, double speed) {
+  S2C2_REQUIRE(worker < seen_.size(), "worker out of range");
+  if (seen_[worker] >= warmup_) return;  // frozen
+  sum_[worker] += speed;
+  ++seen_[worker];
+}
+
+double FrozenSpeedPredictor::predict(std::size_t worker) {
+  S2C2_REQUIRE(worker < seen_.size(), "worker out of range");
+  if (seen_[worker] == 0) return 1.0;
+  return sum_[worker] / static_cast<double>(seen_[worker]);
+}
+
+NoisyPredictor::NoisyPredictor(std::unique_ptr<SpeedPredictor> inner,
+                               double corrupt_prob, double rel_error,
+                               std::uint64_t seed)
+    : inner_(std::move(inner)),
+      corrupt_prob_(corrupt_prob),
+      rel_error_(rel_error),
+      rng_(seed) {
+  S2C2_REQUIRE(inner_ != nullptr, "inner predictor required");
+  S2C2_REQUIRE(corrupt_prob >= 0.0 && corrupt_prob <= 1.0,
+               "corrupt_prob in [0,1]");
+  S2C2_REQUIRE(rel_error >= 0.0, "rel_error must be >= 0");
+}
+
+void NoisyPredictor::observe(std::size_t worker, double speed) {
+  inner_->observe(worker, speed);
+}
+
+double NoisyPredictor::predict(std::size_t worker) {
+  double p = inner_->predict(worker);
+  if (rng_.bernoulli(corrupt_prob_)) {
+    const double sign = rng_.bernoulli(0.5) ? 1.0 : -1.0;
+    p *= 1.0 + sign * rel_error_;
+  }
+  return p > 0.0 ? p : 0.0;
+}
+
+std::string NoisyPredictor::name() const {
+  return "noisy(" + inner_->name() + ")";
+}
+
+}  // namespace s2c2::predict

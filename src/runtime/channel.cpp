@@ -1,0 +1,4 @@
+#include "src/runtime/channel.h"
+
+// Channel is a header-only template; this TU anchors the module.
+namespace s2c2::runtime {}

@@ -1,0 +1,73 @@
+// Blocking multi-producer channel for the thread runtime.
+//
+// Mirrors the paper's worker design (§6): each worker runs a communication
+// endpoint receiving assignments and a compute loop posting results; the
+// master consumes a single shared response channel. close() releases all
+// blocked receivers with std::nullopt.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+namespace s2c2::runtime {
+
+template <typename T>
+class Channel {
+ public:
+  Channel() = default;
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  /// Enqueues; wakes one receiver. Sending on a closed channel is a no-op
+  /// (shutdown race tolerance).
+  void send(T value) {
+    {
+      std::lock_guard lock(mutex_);
+      if (closed_) return;
+      queue_.push_back(std::move(value));
+    }
+    cv_.notify_one();
+  }
+
+  /// Blocks until a value or close(); nullopt means closed-and-drained.
+  std::optional<T> recv() {
+    std::unique_lock lock(mutex_);
+    cv_.wait(lock, [&] { return !queue_.empty() || closed_; });
+    if (queue_.empty()) return std::nullopt;
+    T v = std::move(queue_.front());
+    queue_.pop_front();
+    return v;
+  }
+
+  /// Non-blocking receive.
+  std::optional<T> try_recv() {
+    std::lock_guard lock(mutex_);
+    if (queue_.empty()) return std::nullopt;
+    T v = std::move(queue_.front());
+    queue_.pop_front();
+    return v;
+  }
+
+  void close() {
+    {
+      std::lock_guard lock(mutex_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    std::lock_guard lock(mutex_);
+    return closed_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<T> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace s2c2::runtime

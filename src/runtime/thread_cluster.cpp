@@ -1,0 +1,69 @@
+#include "src/runtime/thread_cluster.h"
+
+#include "src/util/require.h"
+
+namespace s2c2::runtime {
+
+ThreadCluster::ThreadCluster(const core::CodedMatVecJob& job, DelayHook delay)
+    : job_(job), delay_(std::move(delay)) {
+  S2C2_REQUIRE(job_.functional(), "thread cluster needs a functional job");
+  const std::size_t n = job_.n();
+  requests_.reserve(n);
+  for (std::size_t w = 0; w < n; ++w) {
+    requests_.push_back(std::make_unique<Channel<Request>>());
+  }
+  workers_.reserve(n);
+  for (std::size_t w = 0; w < n; ++w) {
+    workers_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+ThreadCluster::~ThreadCluster() {
+  for (auto& ch : requests_) {
+    ch->send(Request{0, true, {}, nullptr});
+    ch->close();
+  }
+  for (auto& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+  responses_.close();
+}
+
+void ThreadCluster::worker_loop(std::size_t id) {
+  while (true) {
+    auto req = requests_[id]->recv();
+    if (!req.has_value() || req->stop) return;
+    for (std::size_t chunk : req->chunks) {
+      if (delay_) delay_(id, chunk);
+      responses_.send(Response{req->round, id, chunk,
+                               job_.compute_chunk(id, chunk, *req->x)});
+    }
+  }
+}
+
+linalg::Vector ThreadCluster::run_round(const sched::Allocation& allocation,
+                                        const linalg::Vector& x) {
+  S2C2_REQUIRE(allocation.per_worker.size() == job_.n(),
+               "allocation shape mismatch");
+  S2C2_REQUIRE(allocation.chunks_per_partition == job_.chunks_per_partition(),
+               "allocation granularity mismatch");
+  S2C2_REQUIRE(x.size() == job_.data_cols(), "x size mismatch");
+  ++round_;
+  auto shared_x = std::make_shared<const linalg::Vector>(x);
+  for (std::size_t w = 0; w < job_.n(); ++w) {
+    const auto chunks = allocation.chunks_of(w);
+    if (chunks.empty()) continue;
+    requests_[w]->send(Request{round_, false, chunks, shared_x});
+  }
+  coding::ChunkedDecoder decoder = job_.make_decoder();
+  while (!decoder.decodable()) {
+    auto resp = responses_.recv();
+    S2C2_CHECK(resp.has_value(), "response channel closed mid-round");
+    if (resp->round != round_) continue;  // stale result from a slow worker
+    decoder.add_chunk_result(resp->worker, resp->chunk,
+                             std::move(resp->values));
+  }
+  return job_.trim(decoder.decode());
+}
+
+}  // namespace s2c2::runtime

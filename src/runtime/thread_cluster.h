@@ -1,0 +1,70 @@
+// Thread-backed coded cluster — the real-concurrency counterpart of the
+// simulator (paper §6: one compute and one communication role per worker,
+// master decodes as soon as any k responses cover every chunk).
+//
+// Workers are std::threads with per-worker request channels and one shared
+// response channel; results stream back per chunk, so the master can
+// decode the moment coverage is reached and simply drop late results from
+// slow workers — the any-k-of-n property exercised with real threads.
+// A per-worker delay hook injects stragglers (sleep per chunk) in tests.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/core/coded_job.h"
+#include "src/runtime/channel.h"
+#include "src/sched/allocation.h"
+
+namespace s2c2::runtime {
+
+/// Called before each chunk: (worker, chunk). Tests inject sleeps here.
+using DelayHook = std::function<void(std::size_t, std::size_t)>;
+
+class ThreadCluster {
+ public:
+  /// The job must be functional. The cluster owns n = job.n() threads.
+  ThreadCluster(const core::CodedMatVecJob& job, DelayHook delay = nullptr);
+
+  ThreadCluster(const ThreadCluster&) = delete;
+  ThreadCluster& operator=(const ThreadCluster&) = delete;
+  ~ThreadCluster();
+
+  /// Distributes `allocation` and x, blocks until every chunk has k
+  /// responses, decodes, and returns the (trimmed) product A·x. Responses
+  /// from slower workers may still be in flight when this returns; they
+  /// are discarded by round id.
+  [[nodiscard]] linalg::Vector run_round(const sched::Allocation& allocation,
+                                         const linalg::Vector& x);
+
+  [[nodiscard]] std::size_t num_workers() const { return workers_.size(); }
+
+ private:
+  struct Request {
+    std::uint64_t round = 0;
+    bool stop = false;
+    std::vector<std::size_t> chunks;
+    std::shared_ptr<const linalg::Vector> x;
+  };
+  struct Response {
+    std::uint64_t round = 0;
+    std::size_t worker = 0;
+    std::size_t chunk = 0;
+    std::vector<double> values;
+  };
+
+  void worker_loop(std::size_t id);
+
+  const core::CodedMatVecJob& job_;
+  DelayHook delay_;
+  std::vector<std::unique_ptr<Channel<Request>>> requests_;
+  Channel<Response> responses_;
+  std::vector<std::thread> workers_;
+  std::uint64_t round_ = 0;
+};
+
+}  // namespace s2c2::runtime

@@ -1,0 +1,240 @@
+#include "src/sched/allocation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "src/util/require.h"
+
+namespace s2c2::sched {
+
+std::vector<std::size_t> ChunkRange::indices(std::size_t c) const {
+  std::vector<std::size_t> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) out.push_back((begin + i) % c);
+  return out;
+}
+
+bool ChunkRange::contains(std::size_t chunk, std::size_t c) const {
+  if (count == 0) return false;
+  const std::size_t offset = (chunk + c - begin % c) % c;
+  return offset < count;
+}
+
+std::vector<std::size_t> Allocation::chunks_of(std::size_t worker) const {
+  S2C2_REQUIRE(worker < per_worker.size(), "worker index out of range");
+  return per_worker[worker].indices(chunks_per_partition);
+}
+
+std::size_t Allocation::total_chunks() const {
+  std::size_t total = 0;
+  for (const ChunkRange& r : per_worker) total += r.count;
+  return total;
+}
+
+namespace {
+
+/// Lays out counts as consecutive wrap-around ranges and validates the
+/// exact-k coverage invariant's preconditions.
+Allocation lay_out(const std::vector<std::size_t>& counts, std::size_t k,
+                   std::size_t c) {
+  const std::size_t total =
+      std::accumulate(counts.begin(), counts.end(), std::size_t{0});
+  S2C2_CHECK(total == k * c, "allocation must hand out exactly k*C chunks");
+  for (std::size_t cnt : counts) {
+    S2C2_CHECK(cnt <= c, "a worker cannot exceed its partition");
+  }
+  Allocation alloc;
+  alloc.chunks_per_partition = c;
+  alloc.per_worker.resize(counts.size());
+  std::size_t begin = 0;
+  for (std::size_t w = 0; w < counts.size(); ++w) {
+    alloc.per_worker[w] = ChunkRange{begin % c, counts[w]};
+    begin = (begin + counts[w]) % c;
+  }
+  return alloc;
+}
+
+/// Proportional split of k*C among workers with caps at C: largest-remainder
+/// rounding, then overflow redistribution among workers still under cap.
+std::vector<std::size_t> capped_proportional_counts(
+    std::span<const double> speeds, std::size_t k, std::size_t c) {
+  const std::size_t n = speeds.size();
+  std::size_t live = 0;
+  for (double s : speeds) {
+    S2C2_REQUIRE(s >= 0.0 && std::isfinite(s), "speeds must be finite >= 0");
+    if (s > 0.0) ++live;
+  }
+  S2C2_REQUIRE(live >= k, "need at least k workers with positive speed");
+
+  const double target = static_cast<double>(k * c);
+  std::vector<std::size_t> counts(n, 0);
+  std::vector<bool> capped(n, false);
+  double remaining = target;
+
+  // Iterate: assign proportional shares; cap overflowing workers at C and
+  // re-share the excess among the rest. Terminates because each pass caps
+  // at least one more worker or converges.
+  std::vector<std::size_t> open;
+  for (std::size_t w = 0; w < n; ++w) {
+    if (speeds[w] > 0.0) open.push_back(w);
+  }
+  while (remaining > 0.5 && !open.empty()) {
+    double speed_sum = 0.0;
+    for (std::size_t w : open) speed_sum += speeds[w];
+    S2C2_CHECK(speed_sum > 0.0, "no capacity left to allocate");
+
+    // Real-valued quotas for this pass.
+    std::vector<double> quota(open.size());
+    bool any_capped = false;
+    for (std::size_t i = 0; i < open.size(); ++i) {
+      const std::size_t w = open[i];
+      quota[i] = remaining * speeds[w] / speed_sum;
+      const double headroom = static_cast<double>(c - counts[w]);
+      if (quota[i] >= headroom) {
+        quota[i] = headroom;
+        capped[w] = true;
+        any_capped = true;
+      }
+    }
+    if (any_capped) {
+      // Commit the capped workers at their cap, keep the rest open.
+      std::vector<std::size_t> next_open;
+      for (std::size_t i = 0; i < open.size(); ++i) {
+        const std::size_t w = open[i];
+        if (capped[w]) {
+          remaining -= static_cast<double>(c - counts[w]);
+          counts[w] = c;
+        } else {
+          next_open.push_back(w);
+        }
+      }
+      open = std::move(next_open);
+      continue;
+    }
+    // No caps hit: integerize with largest remainder and finish.
+    std::vector<std::size_t> floors(open.size());
+    std::vector<std::pair<double, std::size_t>> fracs(open.size());
+    std::size_t assigned = 0;
+    for (std::size_t i = 0; i < open.size(); ++i) {
+      floors[i] = static_cast<std::size_t>(quota[i]);
+      fracs[i] = {quota[i] - static_cast<double>(floors[i]), i};
+      assigned += floors[i];
+    }
+    auto leftover =
+        static_cast<std::size_t>(std::llround(remaining)) - assigned;
+    std::sort(fracs.begin(), fracs.end(), [](const auto& a, const auto& b) {
+      return a.first > b.first;
+    });
+    for (std::size_t i = 0; i < open.size(); ++i) {
+      std::size_t cnt = floors[fracs[i].second];
+      if (leftover > 0 &&
+          counts[open[fracs[i].second]] + cnt < static_cast<std::size_t>(c)) {
+        ++cnt;
+        --leftover;
+      }
+      counts[open[fracs[i].second]] += cnt;
+    }
+    // Any leftover that could not be placed due to caps: sweep once more.
+    remaining = static_cast<double>(leftover);
+    if (leftover > 0) {
+      std::vector<std::size_t> next_open;
+      for (std::size_t w : open) {
+        if (counts[w] < c) next_open.push_back(w);
+      }
+      open = std::move(next_open);
+    } else {
+      remaining = 0.0;
+    }
+  }
+  S2C2_CHECK(std::accumulate(counts.begin(), counts.end(), std::size_t{0}) ==
+                 k * c,
+             "proportional allocation did not place exactly k*C chunks");
+  return counts;
+}
+
+}  // namespace
+
+Allocation algorithm1(std::span<const int> speeds, std::size_t k) {
+  S2C2_REQUIRE(k >= 1, "k must be >= 1");
+  long sum = 0;
+  for (int u : speeds) {
+    S2C2_REQUIRE(u >= 0, "algorithm1 speeds must be non-negative integers");
+    sum += u;
+  }
+  S2C2_REQUIRE(sum > 0, "algorithm1 needs positive total speed");
+
+  // maxChunksPerNode = Σ u_i ; totalChunks = k · maxChunksPerNode.
+  const auto c = static_cast<std::size_t>(sum);
+  double total_chunks = static_cast<double>(k) * static_cast<double>(c);
+
+  // Sort workers by speed, descending (stable: ties keep worker order).
+  std::vector<std::size_t> order(speeds.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a,
+                                                   std::size_t b) {
+    return speeds[a] > speeds[b];
+  });
+
+  // Remaining-share division exactly as in the paper's pseudo-code, with
+  // the "extra chunks to next worker" cap rule.
+  std::vector<std::size_t> counts(speeds.size(), 0);
+  double remaining_speed = static_cast<double>(sum);
+  for (std::size_t idx = 0; idx < order.size(); ++idx) {
+    const std::size_t w = order[idx];
+    if (speeds[w] <= 0 || total_chunks <= 0.0) break;
+    double share = static_cast<double>(speeds[w]) / remaining_speed *
+                   total_chunks;
+    share = std::min(share, static_cast<double>(c));  // cap at partition
+    const auto cnt = static_cast<std::size_t>(std::llround(share));
+    counts[w] = std::min(cnt, c);
+    total_chunks -= static_cast<double>(counts[w]);
+    remaining_speed -= static_cast<double>(speeds[w]);
+  }
+  // Rounding may leave a few chunks unplaced (or over-placed by one); fix
+  // by topping up / trimming the fastest workers with headroom.
+  long deficit = static_cast<long>(k) * static_cast<long>(c);
+  for (std::size_t cnt : counts) deficit -= static_cast<long>(cnt);
+  for (std::size_t idx = 0; deficit != 0 && idx < order.size(); ++idx) {
+    const std::size_t w = order[idx];
+    if (speeds[w] <= 0) continue;
+    if (deficit > 0) {
+      const auto room = static_cast<long>(c - counts[w]);
+      const long add = std::min(deficit, room);
+      counts[w] += static_cast<std::size_t>(add);
+      deficit -= add;
+    } else {
+      const auto take = std::min(-deficit, static_cast<long>(counts[w]));
+      counts[w] -= static_cast<std::size_t>(take);
+      deficit += take;
+    }
+  }
+  S2C2_REQUIRE(deficit == 0,
+               "algorithm1 infeasible: fewer than k workers with capacity");
+  return lay_out(counts, k, c);
+}
+
+Allocation proportional_allocation(std::span<const double> speeds,
+                                   std::size_t k, std::size_t c) {
+  S2C2_REQUIRE(k >= 1, "k must be >= 1");
+  S2C2_REQUIRE(c >= 1, "granularity must be >= 1");
+  return lay_out(capped_proportional_counts(speeds, k, c), k, c);
+}
+
+Allocation basic_s2c2_allocation(const std::vector<bool>& straggler,
+                                 std::size_t k, std::size_t c) {
+  std::vector<double> speeds(straggler.size());
+  for (std::size_t i = 0; i < straggler.size(); ++i) {
+    speeds[i] = straggler[i] ? 0.0 : 1.0;
+  }
+  return proportional_allocation(speeds, k, c);
+}
+
+Allocation full_allocation(std::size_t n, std::size_t c) {
+  Allocation alloc;
+  alloc.chunks_per_partition = c;
+  alloc.per_worker.assign(n, ChunkRange{0, c});
+  return alloc;
+}
+
+}  // namespace s2c2::sched

@@ -1,0 +1,70 @@
+// Work allocation — the heart of S2C2 (paper §4, Algorithm 1).
+//
+// Every worker stores one encoded partition, viewed as C equal row chunks.
+// An allocation assigns each worker a *contiguous wrap-around* range of
+// chunk indices on the circle [0, C). If the per-worker counts sum to k·C
+// and no single count exceeds C, walking the circle k full turns covers
+// every chunk index exactly k times — precisely what the chunked decoder
+// needs. Both allocators below construct such ranges.
+//
+//  * algorithm1()            — the paper's Algorithm 1, verbatim: integer
+//                              speeds, C = Σu_i, remaining-share division.
+//  * proportional_allocation() — production path: real-valued speeds, an
+//                              explicit granularity C, largest-remainder
+//                              rounding, and cap-overflow redistribution.
+//
+// Basic S2C2 (paper §4.1) is proportional_allocation() with speed 1 for
+// every live worker and 0 for flagged stragglers.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace s2c2::sched {
+
+/// Contiguous wrap-around chunk range: indices begin, begin+1, ... (mod C),
+/// `count` of them in total.
+struct ChunkRange {
+  std::size_t begin = 0;
+  std::size_t count = 0;
+
+  [[nodiscard]] std::vector<std::size_t> indices(std::size_t c) const;
+  [[nodiscard]] bool contains(std::size_t chunk, std::size_t c) const;
+};
+
+struct Allocation {
+  std::size_t chunks_per_partition = 0;          // C
+  std::vector<ChunkRange> per_worker;            // one range per worker
+
+  /// Chunk indices assigned to `worker`, materialized.
+  [[nodiscard]] std::vector<std::size_t> chunks_of(std::size_t worker) const;
+
+  /// Total chunks assigned across all workers.
+  [[nodiscard]] std::size_t total_chunks() const;
+};
+
+/// Paper Algorithm 1. `speeds` are positive integers (the paper uses the
+/// sum of speeds as the over-decomposition factor: C = Σ u_i). Workers with
+/// zero speed receive no work. Requires at least k workers with u_i > 0.
+[[nodiscard]] Allocation algorithm1(std::span<const int> speeds,
+                                    std::size_t k);
+
+/// Production allocator. Distributes k·C chunks proportionally to
+/// real-valued `speeds` with largest-remainder rounding; per-worker counts
+/// are capped at C with the overflow redistributed to the remaining
+/// workers (the paper's "re-assign these extra chunks to next worker").
+/// Requires at least k workers with speed > 0.
+[[nodiscard]] Allocation proportional_allocation(
+    std::span<const double> speeds, std::size_t k, std::size_t c);
+
+/// Basic S2C2: equal allocation over non-straggler workers.
+/// `straggler[i]` marks worker i as excluded this round.
+[[nodiscard]] Allocation basic_s2c2_allocation(
+    const std::vector<bool>& straggler, std::size_t k, std::size_t c);
+
+/// Conventional coded computation: every worker is assigned its entire
+/// partition (the decoder then simply uses the fastest k responses).
+[[nodiscard]] Allocation full_allocation(std::size_t n, std::size_t c);
+
+}  // namespace s2c2::sched

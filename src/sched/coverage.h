@@ -1,0 +1,40 @@
+// Coverage analysis of chunk allocations.
+//
+// The decodability invariant is: every chunk index in [0, C) is assigned to
+// at least k distinct workers. These helpers compute per-chunk coverage,
+// verify the invariant (property-tested heavily), and group consecutive
+// chunks that share the same responder set so the decoder can reuse LU
+// factorizations.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/sched/allocation.h"
+
+namespace s2c2::sched {
+
+/// coverage[c] = number of workers assigned chunk c.
+[[nodiscard]] std::vector<std::size_t> chunk_coverage(const Allocation& a);
+
+/// True iff every chunk is covered by at least k workers.
+[[nodiscard]] bool has_coverage(const Allocation& a, std::size_t k);
+
+/// True iff every chunk is covered by *exactly* k workers (S2C2 allocations
+/// guarantee this; conventional full allocations do not).
+[[nodiscard]] bool has_exact_coverage(const Allocation& a, std::size_t k);
+
+/// workers_per_chunk[c] = sorted list of workers assigned chunk c.
+[[nodiscard]] std::vector<std::vector<std::size_t>> chunk_workers(
+    const Allocation& a);
+
+/// Maximal runs of consecutive chunk indices with identical worker sets.
+struct CoverageGroup {
+  std::size_t first_chunk = 0;
+  std::size_t num_chunks = 0;
+  std::vector<std::size_t> workers;  // sorted
+};
+
+[[nodiscard]] std::vector<CoverageGroup> coverage_groups(const Allocation& a);
+
+}  // namespace s2c2::sched

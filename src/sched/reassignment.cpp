@@ -1,0 +1,113 @@
+#include "src/sched/reassignment.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "src/util/require.h"
+
+namespace s2c2::sched {
+
+bool ReassignmentPlan::empty() const {
+  return std::all_of(chunks_per_worker.begin(), chunks_per_worker.end(),
+                     [](const auto& v) { return v.empty(); });
+}
+
+std::size_t ReassignmentPlan::total_chunks() const {
+  std::size_t total = 0;
+  for (const auto& v : chunks_per_worker) total += v.size();
+  return total;
+}
+
+ReassignmentPlan plan_reassignment(
+    std::span<const std::size_t> deficient,
+    std::span<const std::vector<std::size_t>> have_workers,
+    std::span<const std::size_t> needed, std::span<const double> speeds) {
+  S2C2_REQUIRE(deficient.size() == have_workers.size() &&
+                   deficient.size() == needed.size(),
+               "reassignment inputs must be parallel arrays");
+  ReassignmentPlan plan;
+  plan.chunks_per_worker.resize(speeds.size());
+
+  const std::size_t total_needed =
+      std::accumulate(needed.begin(), needed.end(), std::size_t{0});
+  if (total_needed == 0) return plan;
+
+  // Candidate workers ordered fastest-first; speed-proportional quotas by
+  // largest remainder. Depleting quotas in candidate order yields
+  // *contiguous* chunk runs per worker, which keeps the number of distinct
+  // decode responder-sets (LU factorizations) small.
+  std::vector<std::size_t> order;
+  double speed_sum = 0.0;
+  for (std::size_t w = 0; w < speeds.size(); ++w) {
+    if (speeds[w] > 0.0) {
+      order.push_back(w);
+      speed_sum += speeds[w];
+    }
+  }
+  S2C2_REQUIRE(!order.empty(), "no live workers for reassignment");
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return speeds[a] > speeds[b]; });
+
+  std::vector<std::size_t> quota(speeds.size(), 0);
+  {
+    std::vector<std::pair<double, std::size_t>> fracs;
+    std::size_t assigned = 0;
+    for (std::size_t w : order) {
+      const double share =
+          static_cast<double>(total_needed) * speeds[w] / speed_sum;
+      quota[w] = static_cast<std::size_t>(share);
+      assigned += quota[w];
+      fracs.emplace_back(share - static_cast<double>(quota[w]), w);
+    }
+    std::sort(fracs.begin(), fracs.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+    for (std::size_t i = 0; assigned < total_needed && i < fracs.size(); ++i) {
+      ++quota[fracs[i].second];
+      ++assigned;
+    }
+  }
+
+  auto already_has = [&](std::size_t w, std::size_t i, std::size_t chunk) {
+    return std::find(have_workers[i].begin(), have_workers[i].end(), w) !=
+               have_workers[i].end() ||
+           std::find(plan.chunks_per_worker[w].begin(),
+                     plan.chunks_per_worker[w].end(),
+                     chunk) != plan.chunks_per_worker[w].end();
+  };
+
+  for (std::size_t i = 0; i < deficient.size(); ++i) {
+    const std::size_t chunk = deficient[i];
+    for (std::size_t need = 0; need < needed[i]; ++need) {
+      std::size_t best = speeds.size();
+      // Preferred: the first candidate (fastest-first) with quota left —
+      // consecutive chunks land on the same worker until it fills.
+      for (std::size_t w : order) {
+        if (quota[w] > 0 && !already_has(w, i, chunk)) {
+          best = w;
+          break;
+        }
+      }
+      if (best == speeds.size()) {
+        // Quotas exhausted by exclusion constraints: overflow to any
+        // eligible worker, least loaded first.
+        std::size_t best_load = 0;
+        for (std::size_t w : order) {
+          if (already_has(w, i, chunk)) continue;
+          if (best == speeds.size() ||
+              plan.chunks_per_worker[w].size() < best_load) {
+            best = w;
+            best_load = plan.chunks_per_worker[w].size();
+          }
+        }
+      }
+      S2C2_REQUIRE(best < speeds.size(),
+                   "reassignment infeasible: not enough distinct workers");
+      plan.chunks_per_worker[best].push_back(chunk);
+      if (quota[best] > 0) --quota[best];
+    }
+  }
+  return plan;
+}
+
+}  // namespace s2c2::sched

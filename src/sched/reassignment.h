@@ -1,0 +1,37 @@
+// Recovery planning for mis-predictions and failures (paper §4.3).
+//
+// When the timeout fires, some chunks have fewer than k results. The master
+// reassigns each missing (chunk, deficit) pair to workers that (a) already
+// responded this round, and (b) have not already computed that chunk —
+// a worker's second result for the same chunk adds no new equation.
+// Assignment is load-balanced by predicted speed: each candidate worker
+// accumulates chunks so as to minimize its projected finish time
+// (load+1)/speed.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace s2c2::sched {
+
+struct ReassignmentPlan {
+  /// chunks_per_worker[w] = extra chunk indices worker w must compute.
+  std::vector<std::vector<std::size_t>> chunks_per_worker;
+
+  [[nodiscard]] bool empty() const;
+  [[nodiscard]] std::size_t total_chunks() const;
+};
+
+/// `have_workers[i]` = workers that already produced chunk `deficient[i]`;
+/// `needed[i]` = how many additional distinct results that chunk requires;
+/// `speeds[w]` = predicted speed of candidate worker w (0 ⇒ unavailable).
+/// Throws std::invalid_argument when some chunk cannot reach its quota
+/// (fewer available distinct workers than needed) — callers treat that as
+/// an unrecoverable cluster failure.
+[[nodiscard]] ReassignmentPlan plan_reassignment(
+    std::span<const std::size_t> deficient,
+    std::span<const std::vector<std::size_t>> have_workers,
+    std::span<const std::size_t> needed, std::span<const double> speeds);
+
+}  // namespace s2c2::sched

@@ -1,0 +1,54 @@
+#include "src/sim/accounting.h"
+
+#include "src/util/require.h"
+
+namespace s2c2::sim {
+
+void Accounting::add_useful(std::size_t w, double work) {
+  S2C2_REQUIRE(w < workers_.size(), "worker out of range");
+  S2C2_REQUIRE(work >= 0.0, "negative work");
+  workers_[w].useful_work += work;
+}
+
+void Accounting::add_wasted(std::size_t w, double work) {
+  S2C2_REQUIRE(w < workers_.size(), "worker out of range");
+  S2C2_REQUIRE(work >= 0.0, "negative work");
+  workers_[w].wasted_work += work;
+}
+
+void Accounting::add_traffic(std::size_t w, double sent, double received) {
+  S2C2_REQUIRE(w < workers_.size(), "worker out of range");
+  workers_[w].bytes_sent += sent;
+  workers_[w].bytes_received += received;
+}
+
+void Accounting::add_busy(std::size_t w, Time t) {
+  S2C2_REQUIRE(w < workers_.size(), "worker out of range");
+  workers_[w].busy_time += t;
+}
+
+const WorkerAccount& Accounting::worker(std::size_t w) const {
+  S2C2_REQUIRE(w < workers_.size(), "worker out of range");
+  return workers_[w];
+}
+
+double Accounting::mean_wasted_fraction() const {
+  if (workers_.empty()) return 0.0;
+  double acc = 0.0;
+  for (const auto& w : workers_) acc += w.wasted_fraction();
+  return acc / static_cast<double>(workers_.size());
+}
+
+double Accounting::total_wasted() const {
+  double acc = 0.0;
+  for (const auto& w : workers_) acc += w.wasted_work;
+  return acc;
+}
+
+double Accounting::total_useful() const {
+  double acc = 0.0;
+  for (const auto& w : workers_) acc += w.useful_work;
+  return acc;
+}
+
+}  // namespace s2c2::sim

@@ -1,0 +1,40 @@
+#include "src/sim/event_queue.h"
+
+#include "src/util/require.h"
+
+namespace s2c2::sim {
+
+EventHandle EventQueue::schedule(Time at, std::function<void()> fn) {
+  S2C2_REQUIRE(at >= now_, "cannot schedule events in the past");
+  auto alive = std::make_shared<bool>(true);
+  queue_.push(Event{at, next_seq_++, std::move(fn), alive});
+  return EventHandle(std::move(alive));
+}
+
+EventHandle EventQueue::schedule_after(Time delay, std::function<void()> fn) {
+  S2C2_REQUIRE(delay >= 0.0, "negative delay");
+  return schedule(now_ + delay, std::move(fn));
+}
+
+bool EventQueue::run_next() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    if (!*ev.alive) continue;  // cancelled
+    now_ = ev.at;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+void EventQueue::run_until_empty(std::size_t max_events) {
+  std::size_t count = 0;
+  while (run_next()) {
+    S2C2_CHECK(++count <= max_events, "event budget exhausted (runaway sim?)");
+  }
+}
+
+bool EventQueue::empty() const noexcept { return queue_.empty(); }
+
+}  // namespace s2c2::sim

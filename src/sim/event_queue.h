@@ -1,0 +1,74 @@
+// Minimal deterministic discrete-event core.
+//
+// The cluster simulator is the substitute for the paper's physical testbed
+// (DESIGN.md §2). Determinism rules: ties in event time break by schedule
+// order (a monotone sequence number), so a simulation with the same seeds
+// replays identically. Events are cancellable — the master cancels a
+// straggler's outstanding compute events when it reassigns work (paper
+// §4.3) and the replication baseline cancels the loser of each
+// speculative-execution race.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+namespace s2c2::sim {
+
+using Time = double;
+
+/// Shared cancellation token; destroying the handle does NOT cancel.
+class EventHandle {
+ public:
+  EventHandle() = default;
+  void cancel() {
+    if (alive_) *alive_ = false;
+  }
+  [[nodiscard]] bool cancelled() const { return alive_ && !*alive_; }
+
+ private:
+  friend class EventQueue;
+  explicit EventHandle(std::shared_ptr<bool> alive)
+      : alive_(std::move(alive)) {}
+  std::shared_ptr<bool> alive_;
+};
+
+class EventQueue {
+ public:
+  /// Schedules `fn` at absolute time `at` (>= now()).
+  EventHandle schedule(Time at, std::function<void()> fn);
+
+  EventHandle schedule_after(Time delay, std::function<void()> fn);
+
+  /// Pops and runs the earliest live event; returns false when drained.
+  bool run_next();
+
+  /// Runs to completion; throws std::logic_error past `max_events`
+  /// (runaway-simulation guard).
+  void run_until_empty(std::size_t max_events = 100'000'000);
+
+  [[nodiscard]] Time now() const noexcept { return now_; }
+
+  [[nodiscard]] bool empty() const noexcept;
+
+ private:
+  struct Event {
+    Time at;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    std::shared_ptr<bool> alive;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  Time now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace s2c2::sim

@@ -1,0 +1,4 @@
+#include "src/sim/network.h"
+
+// NetworkModel is header-only; this TU anchors the module in the library.
+namespace s2c2::sim {}

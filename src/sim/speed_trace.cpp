@@ -1,0 +1,91 @@
+#include "src/sim/speed_trace.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/require.h"
+
+namespace s2c2::sim {
+
+SpeedTrace::SpeedTrace(std::vector<Time> start_times,
+                       std::vector<double> speeds)
+    : times_(std::move(start_times)), speeds_(std::move(speeds)) {
+  S2C2_REQUIRE(!times_.empty() && times_.size() == speeds_.size(),
+               "trace needs parallel non-empty times/speeds");
+  S2C2_REQUIRE(times_.front() == 0.0, "trace must start at t=0");
+  for (std::size_t i = 1; i < times_.size(); ++i) {
+    S2C2_REQUIRE(times_[i] > times_[i - 1], "trace times must increase");
+  }
+  for (double s : speeds_) {
+    S2C2_REQUIRE(s >= 0.0 && std::isfinite(s), "speeds must be finite >= 0");
+  }
+}
+
+SpeedTrace SpeedTrace::constant(double speed) {
+  return SpeedTrace({0.0}, {speed});
+}
+
+SpeedTrace SpeedTrace::step(Time t_change, double before, double after) {
+  S2C2_REQUIRE(t_change > 0.0, "step time must be positive");
+  return SpeedTrace({0.0, t_change}, {before, after});
+}
+
+SpeedTrace SpeedTrace::from_samples(std::span<const double> samples, Time dt) {
+  S2C2_REQUIRE(!samples.empty(), "need at least one sample");
+  S2C2_REQUIRE(dt > 0.0, "sample period must be positive");
+  std::vector<Time> times(samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    times[i] = static_cast<Time>(i) * dt;
+  }
+  return SpeedTrace(std::move(times),
+                    std::vector<double>(samples.begin(), samples.end()));
+}
+
+double SpeedTrace::speed_at(Time t) const {
+  S2C2_REQUIRE(t >= 0.0, "negative time");
+  const auto it = std::upper_bound(times_.begin(), times_.end(), t);
+  const auto idx = static_cast<std::size_t>(it - times_.begin()) - 1;
+  return speeds_[idx];
+}
+
+double SpeedTrace::work_between(Time t0, Time t1) const {
+  S2C2_REQUIRE(t0 >= 0.0 && t1 >= t0, "invalid window");
+  double work = 0.0;
+  for (std::size_t i = 0; i < speeds_.size(); ++i) {
+    const Time seg_start = times_[i];
+    const Time seg_end =
+        (i + 1 < times_.size()) ? times_[i + 1] : std::max(t1, seg_start);
+    const Time lo = std::max(t0, seg_start);
+    const Time hi = std::min(t1, seg_end);
+    if (hi > lo) work += speeds_[i] * (hi - lo);
+    if (seg_end >= t1) break;
+  }
+  return work;
+}
+
+Time SpeedTrace::time_to_complete(Time t0, double work) const {
+  S2C2_REQUIRE(t0 >= 0.0, "negative time");
+  S2C2_REQUIRE(work >= 0.0, "negative work");
+  if (work == 0.0) return t0;
+  double remaining = work;
+  Time t = t0;
+  // Find the segment containing t0.
+  auto it = std::upper_bound(times_.begin(), times_.end(), t0);
+  auto idx = static_cast<std::size_t>(it - times_.begin()) - 1;
+  while (true) {
+    const double s = speeds_[idx];
+    const bool last = idx + 1 == times_.size();
+    const Time seg_end = last ? kNever : times_[idx + 1];
+    if (s > 0.0) {
+      const Time needed = remaining / s;
+      if (last || t + needed <= seg_end) return t + needed;
+      remaining -= s * (seg_end - t);
+    } else if (last) {
+      return kNever;  // node is dead with work outstanding
+    }
+    t = seg_end;
+    ++idx;
+  }
+}
+
+}  // namespace s2c2::sim

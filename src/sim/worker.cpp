@@ -1,0 +1,35 @@
+#include "src/sim/worker.h"
+
+#include "src/util/require.h"
+
+namespace s2c2::sim {
+
+SimWorker::SimWorker(std::size_t id, SpeedTrace trace)
+    : id_(id), trace_(std::move(trace)) {}
+
+std::vector<Time> SimWorker::completion_times(
+    Time t0, std::span<const double> works) const {
+  std::vector<Time> out;
+  out.reserve(works.size());
+  Time t = t0;
+  for (double w : works) {
+    if (t == SpeedTrace::kNever) {
+      out.push_back(SpeedTrace::kNever);
+      continue;
+    }
+    t = trace_.time_to_complete(t, w);
+    out.push_back(t);
+  }
+  return out;
+}
+
+double SimWorker::work_done(Time t0, Time t1) const {
+  return trace_.work_between(t0, t1);
+}
+
+double SimWorker::average_speed(Time t0, Time t1) const {
+  S2C2_REQUIRE(t1 > t0, "empty window");
+  return trace_.work_between(t0, t1) / (t1 - t0);
+}
+
+}  // namespace s2c2::sim

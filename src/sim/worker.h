@@ -1,0 +1,41 @@
+// Simulated worker: sequential chunk execution over a speed trace.
+//
+// A worker executes its assigned chunks in order; completion times follow
+// from the trace's exact work integral. `progress_at` supports the waste
+// accounting when the master cancels outstanding work (how much of the
+// assignment had been processed by the cancellation instant).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "src/sim/speed_trace.h"
+
+namespace s2c2::sim {
+
+class SimWorker {
+ public:
+  SimWorker(std::size_t id, SpeedTrace trace);
+
+  [[nodiscard]] std::size_t id() const noexcept { return id_; }
+  [[nodiscard]] const SpeedTrace& trace() const noexcept { return trace_; }
+
+  /// Completion time of each sequential work unit started at t0.
+  /// Entries are +inf once the trace dies.
+  [[nodiscard]] std::vector<Time> completion_times(
+      Time t0, std::span<const double> works) const;
+
+  /// Work accomplished in [t0, t1).
+  [[nodiscard]] double work_done(Time t0, Time t1) const;
+
+  /// Average speed over a window (work / wall time); the master derives
+  /// observed speeds this way: speed_i = rows_i / response_time_i (§6.2).
+  [[nodiscard]] double average_speed(Time t0, Time t1) const;
+
+ private:
+  std::size_t id_;
+  SpeedTrace trace_;
+};
+
+}  // namespace s2c2::sim

@@ -1,0 +1,48 @@
+// Precondition / invariant checking for the s2c2 library.
+//
+// S2C2_REQUIRE  — validates caller-supplied arguments; throws
+//                 std::invalid_argument on failure. Never compiled out:
+//                 the library is used from benchmarks that run in Release.
+// S2C2_CHECK    — validates internal invariants; throws std::logic_error.
+//                 A failure indicates a bug in this library, not the caller.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace s2c2::util {
+
+[[noreturn]] inline void throw_invalid_argument(const char* expr,
+                                                const char* file, int line,
+                                                const std::string& msg) {
+  std::ostringstream os;
+  os << "s2c2 precondition failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::invalid_argument(os.str());
+}
+
+[[noreturn]] inline void throw_logic_error(const char* expr, const char* file,
+                                           int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "s2c2 internal invariant failed: (" << expr << ") at " << file << ":"
+     << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace s2c2::util
+
+#define S2C2_REQUIRE(cond, msg)                                              \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      ::s2c2::util::throw_invalid_argument(#cond, __FILE__, __LINE__, (msg)); \
+    }                                                                        \
+  } while (false)
+
+#define S2C2_CHECK(cond, msg)                                            \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::s2c2::util::throw_logic_error(#cond, __FILE__, __LINE__, (msg)); \
+    }                                                                    \
+  } while (false)

@@ -1,0 +1,5 @@
+#include "src/util/rng.h"
+
+// Rng is header-only today; this translation unit anchors the module in the
+// static library and is the future home of any heavier distributions.
+namespace s2c2::util {}

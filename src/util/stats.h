@@ -1,0 +1,40 @@
+// Small descriptive-statistics helpers used by the accounting, prediction
+// evaluation, and benchmark-reporting layers.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace s2c2::util {
+
+/// Arithmetic mean. Empty input is a precondition violation.
+[[nodiscard]] double mean(std::span<const double> xs);
+
+/// Population variance (divides by N).
+[[nodiscard]] double variance(std::span<const double> xs);
+
+[[nodiscard]] double stddev(std::span<const double> xs);
+
+/// Linear-interpolation percentile, p in [0,100].
+[[nodiscard]] double percentile(std::span<const double> xs, double p);
+
+[[nodiscard]] double median(std::span<const double> xs);
+
+[[nodiscard]] double min_of(std::span<const double> xs);
+[[nodiscard]] double max_of(std::span<const double> xs);
+[[nodiscard]] double sum(std::span<const double> xs);
+
+/// Mean Absolute Percentage Error (in percent, e.g. 16.7 for 16.7%).
+/// Entries where |actual| < eps are skipped to avoid division blowup;
+/// if all entries are skipped the result is 0.
+[[nodiscard]] double mape(std::span<const double> predicted,
+                          std::span<const double> actual,
+                          double eps = 1e-12);
+
+/// Divides every element by `denom` (used for "normalized execution time"
+/// reporting in the figure benches).
+[[nodiscard]] std::vector<double> normalized_by(std::span<const double> xs,
+                                                double denom);
+
+}  // namespace s2c2::util

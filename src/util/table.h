@@ -1,0 +1,34 @@
+// Fixed-width console table printer used by the figure-reproduction benches
+// so their output reads like the paper's tables/figure series.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace s2c2::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Adds a row; cells beyond the header count are a precondition violation.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: converts doubles with fixed precision.
+  void add_row_numeric(const std::string& label,
+                       const std::vector<double>& values, int precision = 3);
+
+  /// Renders with column auto-sizing, one header rule.
+  [[nodiscard]] std::string to_string() const;
+
+  void print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (benchmark output helper).
+[[nodiscard]] std::string fmt(double v, int precision = 3);
+
+}  // namespace s2c2::util

@@ -1,0 +1,34 @@
+#include "src/workload/datasets.h"
+
+#include <cmath>
+
+#include "src/util/require.h"
+
+namespace s2c2::workload {
+
+Dataset make_classification(std::size_t samples, std::size_t features,
+                            util::Rng& rng, double mean_shift, double noise) {
+  S2C2_REQUIRE(samples >= 2 && features >= 1, "dataset too small");
+  // Random unit direction for class separation.
+  linalg::Vector dir(features);
+  double norm = 0.0;
+  for (double& d : dir) {
+    d = rng.normal();
+    norm += d * d;
+  }
+  norm = std::sqrt(norm);
+  for (double& d : dir) d /= norm;
+
+  Dataset ds{linalg::Matrix(samples, features), linalg::Vector(samples)};
+  for (std::size_t i = 0; i < samples; ++i) {
+    const double label = (i % 2 == 0) ? 1.0 : -1.0;
+    ds.y[i] = label;
+    auto row = ds.x.row(i);
+    for (std::size_t j = 0; j < features; ++j) {
+      row[j] = label * mean_shift * dir[j] + rng.normal(0.0, noise);
+    }
+  }
+  return ds;
+}
+
+}  // namespace s2c2::workload

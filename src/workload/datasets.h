@@ -1,0 +1,29 @@
+// Synthetic datasets shaped like the paper's workloads.
+//
+// The paper trains logistic regression / SVM on the UCI gisette dataset
+// (dense, 5000 features) duplicated to fill 760 MB per node. We generate a
+// two-class Gaussian-blob dataset of configurable shape — for latency
+// results only the operand dimensions matter; for convergence tests the
+// classes are linearly separable with margin.
+#pragma once
+
+#include <cstddef>
+
+#include "src/linalg/matrix.h"
+#include "src/util/rng.h"
+
+namespace s2c2::workload {
+
+struct Dataset {
+  linalg::Matrix x;   // samples x features
+  linalg::Vector y;   // labels in {-1, +1}
+};
+
+/// Two Gaussian blobs at ±mean_shift along a random direction.
+[[nodiscard]] Dataset make_classification(std::size_t samples,
+                                          std::size_t features,
+                                          util::Rng& rng,
+                                          double mean_shift = 2.0,
+                                          double noise = 1.0);
+
+}  // namespace s2c2::workload

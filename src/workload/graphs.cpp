@@ -1,0 +1,94 @@
+#include "src/workload/graphs.h"
+
+#include <algorithm>
+
+#include "src/util/require.h"
+
+namespace s2c2::workload {
+
+linalg::CsrMatrix power_law_digraph(std::size_t nodes, std::size_t out_degree,
+                                    util::Rng& rng) {
+  S2C2_REQUIRE(nodes >= 2, "graph needs at least two nodes");
+  S2C2_REQUIRE(out_degree >= 1, "need positive out degree");
+  std::vector<linalg::Triplet> trips;
+  trips.reserve(nodes * out_degree);
+  // Repeated-targets list implements preferential attachment in O(E).
+  std::vector<std::size_t> attractor{0};
+  for (std::size_t v = 1; v < nodes; ++v) {
+    const std::size_t fan = std::min(out_degree, v);
+    for (std::size_t e = 0; e < fan; ++e) {
+      std::size_t target;
+      if (rng.bernoulli(0.15)) {
+        // Uniform escape hatch keeps the graph from degenerating.
+        target = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(v - 1)));
+      } else {
+        target = attractor[static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(attractor.size() - 1)))];
+        if (target >= v) target = static_cast<std::size_t>(v - 1);
+      }
+      trips.push_back({v, target, 1.0});
+      attractor.push_back(target);
+    }
+    attractor.push_back(v);
+  }
+  return {nodes, nodes, std::move(trips)};
+}
+
+linalg::CsrMatrix random_undirected(std::size_t nodes, double edge_prob,
+                                    util::Rng& rng) {
+  S2C2_REQUIRE(nodes >= 2, "graph needs at least two nodes");
+  S2C2_REQUIRE(edge_prob > 0.0 && edge_prob <= 1.0, "edge_prob in (0,1]");
+  std::vector<linalg::Triplet> trips;
+  for (std::size_t i = 0; i < nodes; ++i) {
+    for (std::size_t j = i + 1; j < nodes; ++j) {
+      if (rng.bernoulli(edge_prob)) {
+        trips.push_back({i, j, 1.0});
+        trips.push_back({j, i, 1.0});
+      }
+    }
+  }
+  return {nodes, nodes, std::move(trips)};
+}
+
+linalg::CsrMatrix link_matrix(const linalg::CsrMatrix& adj) {
+  // Out-degree of each source node (adj row = out-links of that node).
+  const std::size_t n = adj.rows();
+  std::vector<double> outdeg(n, 0.0);
+  const auto rp = adj.row_ptr();
+  const auto vals = adj.values();
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t p = rp[r]; p < rp[r + 1]; ++p) outdeg[r] += vals[p];
+  }
+  const auto ci = adj.col_idx();
+  std::vector<linalg::Triplet> trips;
+  trips.reserve(adj.nnz());
+  for (std::size_t r = 0; r < n; ++r) {
+    if (outdeg[r] == 0.0) continue;  // dangling: handled by teleport term
+    for (std::size_t p = rp[r]; p < rp[r + 1]; ++p) {
+      trips.push_back({ci[p], r, vals[p] / outdeg[r]});
+    }
+  }
+  return {n, n, std::move(trips)};
+}
+
+linalg::CsrMatrix combinatorial_laplacian(const linalg::CsrMatrix& adj) {
+  const std::size_t n = adj.rows();
+  S2C2_REQUIRE(adj.cols() == n, "adjacency must be square");
+  const auto rp = adj.row_ptr();
+  const auto ci = adj.col_idx();
+  const auto vals = adj.values();
+  std::vector<linalg::Triplet> trips;
+  trips.reserve(adj.nnz() + n);
+  for (std::size_t r = 0; r < n; ++r) {
+    double deg = 0.0;
+    for (std::size_t p = rp[r]; p < rp[r + 1]; ++p) {
+      deg += vals[p];
+      trips.push_back({r, ci[p], -vals[p]});
+    }
+    trips.push_back({r, r, deg});
+  }
+  return {n, n, std::move(trips)};
+}
+
+}  // namespace s2c2::workload

@@ -1,0 +1,36 @@
+// Synthetic graphs for the ranking / filtering workloads (paper §6.3).
+//
+// PageRank runs power iteration on the column-stochastic link matrix of a
+// directed power-law graph (preferential attachment, the paper's Toronto
+// web-graph stand-in). Graph filtering runs h-hop polynomials of the
+// combinatorial Laplacian L = D - A of an undirected graph.
+#pragma once
+
+#include <cstddef>
+
+#include "src/linalg/sparse.h"
+#include "src/util/rng.h"
+
+namespace s2c2::workload {
+
+/// Directed preferential-attachment graph: node v attaches `out_degree`
+/// edges to earlier nodes with probability proportional to in-degree+1.
+[[nodiscard]] linalg::CsrMatrix power_law_digraph(std::size_t nodes,
+                                                  std::size_t out_degree,
+                                                  util::Rng& rng);
+
+/// Erdos-Renyi undirected graph (symmetric adjacency, no self loops).
+[[nodiscard]] linalg::CsrMatrix random_undirected(std::size_t nodes,
+                                                  double edge_prob,
+                                                  util::Rng& rng);
+
+/// Google-matrix operator for PageRank: M(i,j) = 1/outdeg(j) when j->i.
+/// Dangling nodes (no out-links) are fixed up by the caller via the
+/// standard uniform-teleport correction.
+[[nodiscard]] linalg::CsrMatrix link_matrix(const linalg::CsrMatrix& adj);
+
+/// Combinatorial Laplacian L = D - A of an undirected adjacency.
+[[nodiscard]] linalg::CsrMatrix combinatorial_laplacian(
+    const linalg::CsrMatrix& adj);
+
+}  // namespace s2c2::workload

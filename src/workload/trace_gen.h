@@ -1,0 +1,80 @@
+// Synthetic speed-trace generation (substitute for the paper's measured
+// DigitalOcean data, Fig 2 — see DESIGN.md §2).
+//
+// The paper's empirical observations drive the generator's structure:
+//  * speeds vary slowly — "within 10% for about 10 samples in the
+//    neighborhood" — modelled as an AR(1) wander around a regime mean;
+//  * occasional drastic changes — modelled as a Markov regime switch with
+//    an instant drop and a multi-sample recovery ramp (asymmetric, which is
+//    exactly the nonlinearity an LSTM can exploit over ARIMA);
+//  * partial stragglers retain a fraction of nominal speed (the paper's
+//    controlled-cluster stragglers are 5x slower, i.e. speed 0.2).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/sim/speed_trace.h"
+#include "src/util/rng.h"
+
+namespace s2c2::workload {
+
+struct CloudTraceConfig {
+  std::vector<double> regime_levels{1.0, 0.8, 0.55, 0.2};
+  double switch_prob = 0.02;   // per-sample probability of a regime jump
+  double ar_rho = 0.85;        // within-regime mean reversion
+  double ar_sigma = 0.015;     // within-regime noise stddev
+  std::size_t recovery_ramp = 6;  // samples to ramp back up after a jump
+  double min_speed = 0.05;
+  /// When true, each regime switch samples a fresh level uniformly from
+  /// [continuous_level_min, 1] instead of the discrete regime_levels —
+  /// models fleets where every node sees its own contention level (used by
+  /// the Fig 3 storage study, where allocation boundaries must drift).
+  bool continuous_levels = false;
+  double continuous_level_min = 0.2;
+  /// Multiplier on switch_prob while a node sits in its *deepest* regime:
+  /// contention bursts (CPU steal) recover much faster than ordinary
+  /// regime drift, so deep dips are transient rather than persistent.
+  double deep_recovery_boost = 1.0;
+  /// Periodic contention (co-tenant batch/cron load): the output is
+  /// modulated by amplitude·sin(2π t/T + φ) with a random per-node phase φ
+  /// and a per-node period T drawn from periodic_period·[1−jitter, 1+jitter].
+  /// Per-node frequencies are the learnable structure behind the LSTM's
+  /// §6.1 edge: a recurrent state locks onto each node's own oscillation,
+  /// while a single pooled AR(p) filter can fit at most one frequency.
+  double periodic_amplitude = 0.0;
+  double periodic_period = 24.0;
+  double periodic_period_jitter = 0.0;
+};
+
+/// Low-volatility environment: nodes effectively stay in their regime for
+/// the whole run (paper Fig 8: 0% mis-prediction rate).
+[[nodiscard]] CloudTraceConfig stable_cloud_config();
+
+/// High-volatility environment: frequent sudden drops (paper Fig 10: the
+/// observed worst case was an 18% mis-prediction rate).
+[[nodiscard]] CloudTraceConfig volatile_cloud_config();
+
+/// One node's speed series, one sample per compute iteration.
+[[nodiscard]] std::vector<double> cloud_speed_series(
+    std::size_t length, const CloudTraceConfig& config, util::Rng& rng);
+
+/// Corpus of independent node series (predictor training / evaluation).
+[[nodiscard]] std::vector<std::vector<double>> cloud_speed_corpus(
+    std::size_t num_series, std::size_t length, const CloudTraceConfig& config,
+    util::Rng& rng);
+
+/// Controlled-cluster traces (paper §6.5/§7.1): `num_stragglers` nodes run
+/// at `straggler_speed` (default 5x slower); the rest at speeds uniform in
+/// [1-variation, 1]. Straggler slots are the *last* indices so figures
+/// match the paper's "worker 4 is the straggler" exposition.
+[[nodiscard]] std::vector<sim::SpeedTrace> controlled_cluster_traces(
+    std::size_t num_workers, std::size_t num_stragglers, double variation,
+    util::Rng& rng, double straggler_speed = 0.2);
+
+/// Converts per-iteration samples to traces with the given nominal
+/// iteration duration.
+[[nodiscard]] std::vector<sim::SpeedTrace> traces_from_series(
+    const std::vector<std::vector<double>>& series, sim::Time dt);
+
+}  // namespace s2c2::workload

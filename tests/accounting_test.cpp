@@ -1,0 +1,58 @@
+// Tests for work/waste accounting (Figs 9, 11 machinery).
+#include <gtest/gtest.h>
+
+#include "src/sim/accounting.h"
+
+namespace s2c2::sim {
+namespace {
+
+TEST(Accounting, WastedFraction) {
+  Accounting acc(2);
+  acc.add_useful(0, 3.0);
+  acc.add_wasted(0, 1.0);
+  EXPECT_DOUBLE_EQ(acc.worker(0).wasted_fraction(), 0.25);
+  EXPECT_DOUBLE_EQ(acc.worker(1).wasted_fraction(), 0.0);  // no work at all
+}
+
+TEST(Accounting, MeanWastedFraction) {
+  Accounting acc(2);
+  acc.add_useful(0, 1.0);
+  acc.add_wasted(1, 1.0);
+  EXPECT_DOUBLE_EQ(acc.mean_wasted_fraction(), 0.5);
+}
+
+TEST(Accounting, Totals) {
+  Accounting acc(3);
+  acc.add_useful(0, 1.0);
+  acc.add_useful(1, 2.0);
+  acc.add_wasted(2, 0.5);
+  EXPECT_DOUBLE_EQ(acc.total_useful(), 3.0);
+  EXPECT_DOUBLE_EQ(acc.total_wasted(), 0.5);
+}
+
+TEST(Accounting, TrafficAndBusy) {
+  Accounting acc(1);
+  acc.add_traffic(0, 100.0, 50.0);
+  acc.add_traffic(0, 10.0, 5.0);
+  acc.add_busy(0, 2.5);
+  EXPECT_DOUBLE_EQ(acc.worker(0).bytes_sent, 110.0);
+  EXPECT_DOUBLE_EQ(acc.worker(0).bytes_received, 55.0);
+  EXPECT_DOUBLE_EQ(acc.worker(0).busy_time, 2.5);
+}
+
+TEST(Accounting, BoundsChecked) {
+  Accounting acc(1);
+  EXPECT_THROW(acc.add_useful(1, 1.0), std::invalid_argument);
+  EXPECT_THROW(acc.add_wasted(0, -1.0), std::invalid_argument);
+  EXPECT_THROW(acc.worker(5), std::invalid_argument);
+}
+
+TEST(RoundStats, Latency) {
+  RoundStats s;
+  s.start = 2.0;
+  s.end = 5.5;
+  EXPECT_DOUBLE_EQ(s.latency(), 3.5);
+}
+
+}  // namespace
+}  // namespace s2c2::sim

@@ -1,0 +1,197 @@
+// Tests for the application layer: coded execution must match the uncoded
+// reference computation exactly (decode is lossless up to fp error), and
+// optimization must make progress.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/apps/graph_filter.h"
+#include "src/apps/hessian.h"
+#include "src/apps/logistic_regression.h"
+#include "src/apps/pagerank.h"
+#include "src/apps/svm.h"
+#include "src/util/rng.h"
+#include "src/workload/graphs.h"
+#include "src/workload/trace_gen.h"
+
+namespace s2c2::apps {
+namespace {
+
+core::ClusterSpec straggler_spec(std::size_t n, std::size_t stragglers,
+                                 std::uint64_t seed) {
+  util::Rng rng(seed);
+  core::ClusterSpec spec;
+  spec.traces = workload::controlled_cluster_traces(n, stragglers, 0.2, rng);
+  spec.worker_flops = 1e7;
+  return spec;
+}
+
+core::EngineConfig s2c2_config() {
+  core::EngineConfig cfg;
+  cfg.strategy = core::Strategy::kS2C2General;
+  cfg.chunks_per_partition = 12;
+  cfg.oracle_speeds = true;
+  return cfg;
+}
+
+TEST(LogisticRegression, LossDecreasesOverIterations) {
+  util::Rng rng(1);
+  const auto data = workload::make_classification(240, 20, rng, 3.0, 0.8);
+  GdConfig gd;
+  gd.iterations = 15;
+  gd.k = 6;
+  const auto result = train_logistic_regression(data, straggler_spec(12, 2, 2),
+                                                s2c2_config(), gd);
+  ASSERT_EQ(result.losses.size(), 15u);
+  EXPECT_LT(result.losses.back(), result.losses.front() * 0.8);
+  EXPECT_GT(result.total_latency, 0.0);
+}
+
+TEST(LogisticRegression, CodedTrajectoryMatchesDirectGradientDescent) {
+  // Decode is exact, so the coded GD iterates must equal uncoded GD.
+  util::Rng rng(3);
+  const auto data = workload::make_classification(120, 10, rng, 3.0, 0.8);
+  GdConfig gd;
+  gd.iterations = 5;
+  gd.k = 3;
+  gd.learning_rate = 0.3;
+  const auto coded = train_logistic_regression(data, straggler_spec(6, 1, 4),
+                                               s2c2_config(), gd);
+  // Direct reference.
+  linalg::Vector w(10, 0.0);
+  for (int it = 0; it < 5; ++it) {
+    const auto g = logistic_gradient(data, w, gd.l2_reg);
+    linalg::axpy(-gd.learning_rate, g, w);
+  }
+  for (std::size_t j = 0; j < w.size(); ++j) {
+    EXPECT_NEAR(coded.weights[j], w[j], 1e-6);
+  }
+}
+
+TEST(LogisticRegression, GradientMatchesFiniteDifference) {
+  util::Rng rng(5);
+  const auto data = workload::make_classification(40, 6, rng);
+  linalg::Vector w(6);
+  for (auto& v : w) v = rng.normal(0.0, 0.1);
+  const auto grad = logistic_gradient(data, w, 1e-3);
+  const double eps = 1e-6;
+  for (std::size_t j = 0; j < 6; ++j) {
+    linalg::Vector wp = w, wm = w;
+    wp[j] += eps;
+    wm[j] -= eps;
+    const double num =
+        (logistic_loss(data, wp, 1e-3) - logistic_loss(data, wm, 1e-3)) /
+        (2 * eps);
+    EXPECT_NEAR(grad[j], num, 1e-5);
+  }
+}
+
+TEST(Svm, ObjectiveDecreases) {
+  util::Rng rng(7);
+  const auto data = workload::make_classification(240, 20, rng, 4.0, 0.6);
+  SvmConfig cfg;
+  cfg.iterations = 15;
+  cfg.k = 6;
+  const auto result =
+      train_svm(data, straggler_spec(12, 3, 8), s2c2_config(), cfg);
+  EXPECT_LT(result.objectives.back(), result.objectives.front());
+}
+
+TEST(Svm, SeparableDataReachesLowHinge) {
+  util::Rng rng(9);
+  const auto data = workload::make_classification(200, 10, rng, 6.0, 0.3);
+  SvmConfig cfg;
+  cfg.iterations = 40;
+  cfg.k = 3;
+  cfg.learning_rate = 0.5;
+  const auto result =
+      train_svm(data, straggler_spec(6, 0, 10), s2c2_config(), cfg);
+  EXPECT_LT(result.objectives.back(), 0.3);
+}
+
+TEST(PageRank, CodedMatchesDirect) {
+  util::Rng rng(11);
+  const auto adj = workload::power_law_digraph(240, 3, rng);
+  PageRankConfig cfg;
+  cfg.max_iterations = 12;
+  cfg.tolerance = 0.0;  // run exactly 12 iterations for comparability
+  cfg.k = 6;
+  const auto coded =
+      coded_pagerank(adj, straggler_spec(12, 2, 12), s2c2_config(), cfg);
+  const auto direct = pagerank_direct(adj, cfg.damping, 12);
+  ASSERT_EQ(coded.ranks.size(), direct.size());
+  for (std::size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_NEAR(coded.ranks[i], direct[i], 1e-8);
+  }
+  EXPECT_EQ(coded.iterations, 12u);
+}
+
+TEST(PageRank, RanksSumToOneAndHubsRankHigh) {
+  util::Rng rng(13);
+  const auto adj = workload::power_law_digraph(300, 3, rng);
+  const auto ranks = pagerank_direct(adj, 0.85, 40);
+  double sum = 0.0;
+  for (double r : ranks) sum += r;
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+  // Node 0 (oldest, most attached) should out-rank the median node.
+  std::vector<double> sorted(ranks.begin(), ranks.end());
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_GT(ranks[0], sorted[150]);
+}
+
+TEST(PageRank, EarlyExitOnTolerance) {
+  util::Rng rng(15);
+  const auto adj = workload::power_law_digraph(120, 3, rng);
+  PageRankConfig cfg;
+  cfg.max_iterations = 100;
+  cfg.tolerance = 1e-4;
+  cfg.k = 3;
+  const auto result =
+      coded_pagerank(adj, straggler_spec(6, 0, 16), s2c2_config(), cfg);
+  EXPECT_LT(result.iterations, 100u);
+}
+
+TEST(GraphFilter, CodedMatchesDirect) {
+  util::Rng rng(17);
+  const auto adj = workload::random_undirected(180, 0.05, rng);
+  const auto lap = workload::combinatorial_laplacian(adj);
+  linalg::Vector signal(180);
+  for (auto& v : signal) v = rng.normal();
+  GraphFilterConfig cfg;
+  cfg.coefficients = {1.0, -0.4, 0.1, -0.02};  // 3-hop filter
+  cfg.k = 6;
+  const auto coded = coded_graph_filter(lap, signal, straggler_spec(12, 1, 18),
+                                        s2c2_config(), cfg);
+  const auto direct = graph_filter_direct(lap, signal, cfg.coefficients);
+  for (std::size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_NEAR(coded.filtered[i], direct[i], 1e-7);
+  }
+}
+
+TEST(GraphFilter, ZeroHopIsScaledIdentity) {
+  util::Rng rng(19);
+  const auto adj = workload::random_undirected(60, 0.1, rng);
+  const auto lap = workload::combinatorial_laplacian(adj);
+  linalg::Vector signal(60, 2.0);
+  const auto out = graph_filter_direct(lap, signal, {3.0});
+  for (double v : out) EXPECT_DOUBLE_EQ(v, 6.0);
+}
+
+TEST(Hessian, CodedMatchesDirect) {
+  util::Rng rng(21);
+  const auto a = linalg::Matrix::random_uniform(60, 24, rng);
+  linalg::Vector x(60);
+  for (auto& v : x) v = rng.uniform(0.05, 0.25);  // σ(1-σ)-like weights
+  HessianConfig cfg;
+  cfg.a_blocks = 3;
+  cfg.chunks_per_partition = 8;
+  cfg.oracle_speeds = true;
+  const auto result = coded_hessian(a, x, straggler_spec(12, 2, 22), cfg);
+  const auto truth = coding::PolyCode::hessian_direct(a, x);
+  const double scale = truth.frobenius_norm() + 1.0;
+  EXPECT_LT(result.hessian.max_abs_diff(truth) / scale, 1e-6);
+  EXPECT_GT(result.latency, 0.0);
+}
+
+}  // namespace
+}  // namespace s2c2::apps

@@ -1,0 +1,163 @@
+// Tests for the two uncoded baselines: LATE-style replication and
+// Charm++-style over-decomposition.
+#include <gtest/gtest.h>
+
+#include "src/core/overdecomp_engine.h"
+#include "src/core/replication_engine.h"
+#include "src/util/rng.h"
+#include "src/workload/trace_gen.h"
+
+namespace s2c2::core {
+namespace {
+
+ClusterSpec make_spec(std::vector<sim::SpeedTrace> traces) {
+  ClusterSpec spec;
+  spec.traces = std::move(traces);
+  spec.worker_flops = 1e7;
+  return spec;
+}
+
+TEST(Replication, PlacementHasRReplicasPerPartition) {
+  ReplicationConfig cfg;
+  cfg.replication = 3;
+  ReplicationEngine engine(1200, 100, ClusterSpec::uniform(12), cfg);
+  for (std::size_t p = 0; p < 12; ++p) {
+    const auto& holders = engine.placement()[p];
+    EXPECT_EQ(holders.size(), 3u);
+    EXPECT_EQ(holders[0], p);  // primary
+    // Distinct holders.
+    EXPECT_NE(holders[1], holders[0]);
+    EXPECT_NE(holders[2], holders[0]);
+    EXPECT_NE(holders[2], holders[1]);
+  }
+}
+
+TEST(Replication, NoStragglersRunsAtBaseline) {
+  util::Rng trng(1);
+  ReplicationEngine engine(
+      12000, 100, make_spec(workload::controlled_cluster_traces(12, 0, 0.0, trng)),
+      {});
+  const auto r = engine.run_round();
+  EXPECT_GT(r.stats.latency(), 0.0);
+  EXPECT_EQ(r.stats.data_moves, 0u);
+}
+
+TEST(Replication, StragglersTriggerSpeculationAndSlowdowns) {
+  auto latency_with = [&](std::size_t stragglers) {
+    util::Rng trng(2);
+    ReplicationEngine engine(
+        12000, 100,
+        make_spec(
+            workload::controlled_cluster_traces(12, stragglers, 0.0, trng)),
+        {});
+    return engine.run_rounds(3).back().stats.latency();
+  };
+  const double l0 = latency_with(0);
+  const double l2 = latency_with(2);
+  EXPECT_GT(l2, 1.5 * l0);  // speculation restarts cost ~a task
+}
+
+TEST(Replication, ManyStragglersDegradeSuperLinearly) {
+  auto latency_with = [&](std::size_t stragglers) {
+    util::Rng trng(3);
+    ReplicationEngine engine(
+        12000, 100,
+        make_spec(
+            workload::controlled_cluster_traces(12, stragglers, 0.0, trng)),
+        {});
+    return engine.run_rounds(2).back().stats.latency();
+  };
+  const double l0 = latency_with(0);
+  const double l5 = latency_with(5);
+  EXPECT_GT(l5 / l0, 2.0);
+}
+
+TEST(Replication, SpeculationWasteIsAccounted) {
+  util::Rng trng(4);
+  ReplicationEngine engine(
+      12000, 100,
+      make_spec(workload::controlled_cluster_traces(12, 2, 0.0, trng)), {});
+  engine.run_rounds(3);
+  EXPECT_GT(engine.accounting().total_wasted(), 0.0);
+}
+
+TEST(Replication, AllDeadThrows) {
+  std::vector<sim::SpeedTrace> traces(4, sim::SpeedTrace::constant(0.0));
+  ReplicationEngine engine(400, 10, make_spec(std::move(traces)), {});
+  EXPECT_THROW(engine.run_round(), std::runtime_error);
+}
+
+TEST(OverDecomp, StableSpeedsNoMigrationsAfterWarmup) {
+  util::Rng trng(5);
+  // 20% spread, constant speeds: after round 1 the assignment is learned
+  // and stays put.
+  OverDecompositionEngine engine(
+      12000, 100,
+      make_spec(workload::controlled_cluster_traces(10, 0, 0.2, trng)), {});
+  engine.run_rounds(2);  // warmup: learn speeds
+  const std::size_t moves_before = engine.total_migrations();
+  engine.run_rounds(5);
+  EXPECT_EQ(engine.total_migrations(), moves_before);
+}
+
+TEST(OverDecomp, VolatileSpeedsForceMigrations) {
+  util::Rng rng(6);
+  auto series = workload::cloud_speed_corpus(
+      10, 80, workload::volatile_cloud_config(), rng);
+  ClusterSpec spec = make_spec(workload::traces_from_series(series, 0.5));
+  OverDecompositionEngine engine(12000, 100, spec, {});
+  engine.run_rounds(25);
+  EXPECT_GT(engine.total_migrations(), 0u);
+}
+
+TEST(OverDecomp, StorageGrowsWithMigrations) {
+  util::Rng rng(7);
+  auto series = workload::cloud_speed_corpus(
+      10, 80, workload::volatile_cloud_config(), rng);
+  ClusterSpec spec = make_spec(workload::traces_from_series(series, 0.5));
+  OverDecompositionEngine engine(12000, 100, spec, {});
+  std::size_t initial = 0;
+  for (std::size_t w = 0; w < 10; ++w) initial += engine.storage_bytes(w);
+  engine.run_rounds(25);
+  std::size_t final_storage = 0;
+  for (std::size_t w = 0; w < 10; ++w) {
+    final_storage += engine.storage_bytes(w);
+  }
+  EXPECT_GE(final_storage, initial);
+  if (engine.total_migrations() > 0) {
+    EXPECT_GT(final_storage, initial);
+  }
+}
+
+TEST(OverDecomp, ReplicationFactorControlsInitialStorage) {
+  OverDecompConfig thin;
+  thin.replication_factor = 1.0;
+  OverDecompConfig fat;
+  fat.replication_factor = 1.42;
+  OverDecompositionEngine a(12000, 100, ClusterSpec::uniform(10), thin);
+  OverDecompositionEngine b(12000, 100, ClusterSpec::uniform(10), fat);
+  std::size_t sa = 0, sb = 0;
+  for (std::size_t w = 0; w < 10; ++w) {
+    sa += a.storage_bytes(w);
+    sb += b.storage_bytes(w);
+  }
+  EXPECT_GT(sb, sa);
+  EXPECT_NEAR(static_cast<double>(sb) / static_cast<double>(sa), 1.42, 0.06);
+}
+
+TEST(OverDecomp, OracleTracksProportionalShares) {
+  // 2:1 speeds with oracle predictions: fast worker should carry ~2x tasks,
+  // making the makespan ~ total/Σspeed.
+  std::vector<sim::SpeedTrace> traces{sim::SpeedTrace::constant(1.0),
+                                      sim::SpeedTrace::constant(0.5)};
+  OverDecompConfig cfg;
+  cfg.oracle_speeds = true;
+  OverDecompositionEngine engine(1200, 100, make_spec(std::move(traces)), cfg);
+  const auto r = engine.run_rounds(3);
+  // Ideal makespan: work = 2*1200*100/1e7 = 0.024 unit-seconds over total
+  // speed 1.5 -> 0.016s, plus comm and integer task rounding.
+  EXPECT_NEAR(r.back().stats.latency(), 0.016, 0.004);
+}
+
+}  // namespace
+}  // namespace s2c2::core

@@ -1,0 +1,319 @@
+// Tests for the coded-compute engine: functional correctness under every
+// strategy, timeout/failure recovery, waste accounting, and the latency
+// orderings the paper's figures rest on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/core/engine.h"
+#include "src/util/rng.h"
+#include "src/workload/trace_gen.h"
+
+namespace s2c2::core {
+namespace {
+
+// Fine granularity keeps integer rounding of a straggler's chunk quota
+// well under the 15% timeout margin — the same reason the paper's
+// Algorithm 1 over-decomposes with C = Σu_i.
+constexpr std::size_t kChunks = 24;
+
+ClusterSpec spec_with_traces(std::vector<sim::SpeedTrace> traces) {
+  ClusterSpec spec;
+  spec.traces = std::move(traces);
+  spec.worker_flops = 1e7;  // makes compute dominate comm at test sizes
+  spec.master_flops = 1e9;
+  return spec;
+}
+
+struct FunctionalSetup {
+  FunctionalSetup(std::size_t n, std::size_t k, std::uint64_t seed = 77)
+      : rng(seed),
+        a(linalg::Matrix::random_uniform(240, 30, rng)),
+        job(a, n, k, kChunks) {
+    x.resize(30);
+    for (auto& v : x) v = rng.normal();
+    truth = a.matvec(x);
+  }
+  util::Rng rng;
+  linalg::Matrix a;
+  CodedMatVecJob job;
+  linalg::Vector x;
+  linalg::Vector truth;
+};
+
+void expect_close(const linalg::Vector& got, const linalg::Vector& want,
+                  double tol = 1e-6) {
+  ASSERT_EQ(got.size(), want.size());
+  double max_err = 0.0;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    max_err = std::max(max_err, std::abs(got[i] - want[i]));
+  }
+  EXPECT_LT(max_err, tol);
+}
+
+TEST(Engine, RejectsMismatchedClusterSize) {
+  FunctionalSetup f(4, 2);
+  EngineConfig cfg;
+  cfg.chunks_per_partition = kChunks;
+  EXPECT_THROW(CodedComputeEngine(f.job, ClusterSpec::uniform(3), cfg),
+               std::invalid_argument);
+}
+
+TEST(Engine, RejectsGranularityMismatch) {
+  FunctionalSetup f(4, 2);
+  EngineConfig cfg;
+  cfg.chunks_per_partition = kChunks + 1;
+  EXPECT_THROW(CodedComputeEngine(f.job, ClusterSpec::uniform(4), cfg),
+               std::invalid_argument);
+}
+
+struct StrategyParam {
+  Strategy strategy;
+  std::size_t stragglers;
+};
+
+class FunctionalDecode : public ::testing::TestWithParam<StrategyParam> {};
+
+TEST_P(FunctionalDecode, MatchesDirectProduct) {
+  const auto p = GetParam();
+  FunctionalSetup f(12, 6);
+  util::Rng trng(123);
+  ClusterSpec spec = spec_with_traces(
+      workload::controlled_cluster_traces(12, p.stragglers, 0.2, trng));
+  EngineConfig cfg;
+  cfg.strategy = p.strategy;
+  cfg.chunks_per_partition = kChunks;
+  cfg.oracle_speeds = true;
+  CodedComputeEngine engine(f.job, spec, cfg);
+  for (int round = 0; round < 3; ++round) {
+    const RoundResult r = engine.run_round(f.x);
+    ASSERT_TRUE(r.y.has_value());
+    expect_close(*r.y, f.truth);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    StrategiesAndStragglers, FunctionalDecode,
+    ::testing::Values(StrategyParam{Strategy::kMdsConventional, 0},
+                      StrategyParam{Strategy::kMdsConventional, 3},
+                      StrategyParam{Strategy::kS2C2Basic, 0},
+                      StrategyParam{Strategy::kS2C2Basic, 2},
+                      StrategyParam{Strategy::kS2C2Basic, 5},
+                      StrategyParam{Strategy::kS2C2General, 0},
+                      StrategyParam{Strategy::kS2C2General, 3},
+                      StrategyParam{Strategy::kS2C2General, 6}));
+
+TEST(Engine, S2C2FasterThanMdsWithoutStragglers) {
+  // The paper's headline: with zero stragglers, conventional (n,k)-MDS
+  // still pays the 1/k-per-worker cost while S2C2 spreads 1/n.
+  util::Rng trng(5);
+  const auto traces = workload::controlled_cluster_traces(12, 0, 0.0, trng);
+
+  auto run = [&](Strategy s) {
+    EngineConfig cfg;
+    cfg.strategy = s;
+    cfg.chunks_per_partition = kChunks;
+    cfg.oracle_speeds = true;
+    CodedMatVecJob job = CodedMatVecJob::cost_only(2400, 500, 12, 6, kChunks);
+    CodedComputeEngine engine(job, spec_with_traces(traces), cfg);
+    return total_latency(engine.run_rounds(5));
+  };
+  const double mds = run(Strategy::kMdsConventional);
+  const double s2c2 = run(Strategy::kS2C2General);
+  // Ideal ratio 12/6 = 2; comm/decode overheads shave it.
+  EXPECT_GT(mds / s2c2, 1.5);
+}
+
+TEST(Engine, S2C2DegradesGracefullyWithStragglers) {
+  EngineConfig cfg;
+  cfg.strategy = Strategy::kS2C2General;
+  cfg.chunks_per_partition = kChunks;
+  cfg.oracle_speeds = true;
+  double prev = 0.0;
+  for (std::size_t s : {0u, 2u, 4u, 6u}) {
+    util::Rng trng(6);
+    CodedMatVecJob job = CodedMatVecJob::cost_only(2400, 500, 12, 6, kChunks);
+    CodedComputeEngine engine(
+        job,
+        spec_with_traces(workload::controlled_cluster_traces(12, s, 0.0, trng)),
+        cfg);
+    const double lat = total_latency(engine.run_rounds(3));
+    EXPECT_GT(lat, prev);  // monotone in straggler count...
+    prev = lat;
+  }
+  // ...but bounded: with 6 stragglers of a (12,6) code the slowdown is at
+  // most ~2x the no-straggler case plus straggler capacity reuse.
+}
+
+TEST(Engine, MdsLatencyFlatUpToRedundancyThenExplodes) {
+  EngineConfig cfg;
+  cfg.strategy = Strategy::kMdsConventional;
+  cfg.chunks_per_partition = kChunks;
+  cfg.oracle_speeds = true;
+  auto lat_with = [&](std::size_t stragglers) {
+    util::Rng trng(7);
+    CodedMatVecJob job = CodedMatVecJob::cost_only(2400, 500, 12, 10, kChunks);
+    CodedComputeEngine engine(
+        job,
+        spec_with_traces(
+            workload::controlled_cluster_traces(12, stragglers, 0.0, trng)),
+        cfg);
+    return total_latency(engine.run_rounds(2));
+  };
+  const double l0 = lat_with(0);
+  const double l2 = lat_with(2);
+  const double l3 = lat_with(3);
+  EXPECT_LT(l2 / l0, 1.3);   // within redundancy: flat
+  EXPECT_GT(l3 / l0, 2.5);   // beyond redundancy: waits on a 5x straggler
+}
+
+TEST(Engine, MdsWastesStragglersWorkS2C2DoesNot) {
+  util::Rng trng(8);
+  const auto traces = workload::controlled_cluster_traces(12, 2, 0.2, trng);
+  auto waste = [&](Strategy s) {
+    EngineConfig cfg;
+    cfg.strategy = s;
+    cfg.chunks_per_partition = kChunks;
+    cfg.oracle_speeds = true;
+    CodedMatVecJob job = CodedMatVecJob::cost_only(2400, 500, 12, 10, kChunks);
+    CodedComputeEngine engine(job, spec_with_traces(traces), cfg);
+    engine.run_rounds(5);
+    return engine.accounting().mean_wasted_fraction();
+  };
+  EXPECT_GT(waste(Strategy::kMdsConventional), 0.05);
+  EXPECT_NEAR(waste(Strategy::kS2C2General), 0.0, 1e-9);
+}
+
+TEST(Engine, TimeoutRecoversFromSuddenDeath) {
+  // Worker 11 dies mid-run; predictions (last-value) won't see it coming,
+  // so the timeout must fire, reassign, and still decode correctly.
+  FunctionalSetup f(12, 6);
+  std::vector<sim::SpeedTrace> traces;
+  for (std::size_t w = 0; w < 11; ++w) {
+    traces.push_back(sim::SpeedTrace::constant(1.0));
+  }
+  traces.push_back(sim::SpeedTrace::step(1e-4, 1.0, 0.0));  // dies instantly
+  EngineConfig cfg;
+  cfg.strategy = Strategy::kS2C2General;
+  cfg.chunks_per_partition = kChunks;
+  CodedComputeEngine engine(f.job, spec_with_traces(std::move(traces)), cfg);
+  const RoundResult r = engine.run_round(f.x);
+  EXPECT_TRUE(r.stats.timeout_fired);
+  EXPECT_GT(r.stats.reassigned_chunks, 0u);
+  ASSERT_TRUE(r.y.has_value());
+  expect_close(*r.y, f.truth);
+}
+
+TEST(Engine, RecoveredClusterKeepsIterating) {
+  // After the death round, subsequent rounds should allocate around the
+  // dead worker (observed speed ~ 0) without further timeouts.
+  FunctionalSetup f(12, 6);
+  std::vector<sim::SpeedTrace> traces;
+  for (std::size_t w = 0; w < 11; ++w) {
+    traces.push_back(sim::SpeedTrace::constant(1.0));
+  }
+  traces.push_back(sim::SpeedTrace::step(1e-4, 1.0, 0.0));
+  EngineConfig cfg;
+  cfg.strategy = Strategy::kS2C2General;
+  cfg.chunks_per_partition = kChunks;
+  CodedComputeEngine engine(f.job, spec_with_traces(std::move(traces)), cfg);
+  (void)engine.run_round(f.x);  // death round
+  for (int round = 0; round < 3; ++round) {
+    const RoundResult r = engine.run_round(f.x);
+    EXPECT_FALSE(r.stats.timeout_fired) << "round " << round;
+    ASSERT_TRUE(r.y.has_value());
+    expect_close(*r.y, f.truth);
+  }
+}
+
+TEST(Engine, ClusterFailureWhenTooFewSurvive) {
+  FunctionalSetup f(4, 3);
+  std::vector<sim::SpeedTrace> traces{
+      sim::SpeedTrace::constant(1.0), sim::SpeedTrace::constant(1.0),
+      sim::SpeedTrace::constant(0.0), sim::SpeedTrace::constant(0.0)};
+  EngineConfig cfg;
+  cfg.strategy = Strategy::kMdsConventional;
+  cfg.chunks_per_partition = kChunks;
+  CodedComputeEngine engine(f.job, spec_with_traces(std::move(traces)), cfg);
+  EXPECT_THROW(engine.run_round(f.x), std::runtime_error);
+}
+
+TEST(Engine, OracleBeatsEqualAssumptionUnderSpeedVariation) {
+  // General S2C2 with exact speeds must beat basic S2C2 (which treats all
+  // non-stragglers as equal) when speeds vary 20% (paper Fig 6 argument).
+  util::Rng trng(9);
+  const auto traces = workload::controlled_cluster_traces(12, 2, 0.2, trng);
+  auto run = [&](Strategy s) {
+    EngineConfig cfg;
+    cfg.strategy = s;
+    cfg.chunks_per_partition = kChunks;
+    cfg.oracle_speeds = true;
+    CodedMatVecJob job = CodedMatVecJob::cost_only(2400, 500, 12, 6, kChunks);
+    CodedComputeEngine engine(job, spec_with_traces(traces), cfg);
+    return total_latency(engine.run_rounds(5));
+  };
+  EXPECT_LT(run(Strategy::kS2C2General), run(Strategy::kS2C2Basic));
+}
+
+TEST(Engine, MispredictionRateTracked) {
+  // Volatile cloud traces with last-value prediction: some rounds must
+  // miss by >15%.
+  util::Rng rng(10);
+  auto series = workload::cloud_speed_corpus(
+      12, 60, workload::volatile_cloud_config(), rng);
+  ClusterSpec spec = spec_with_traces(
+      workload::traces_from_series(series, 0.5));
+  spec.worker_flops = 1e7;
+  EngineConfig cfg;
+  cfg.strategy = Strategy::kS2C2General;
+  cfg.chunks_per_partition = kChunks;
+  CodedMatVecJob job = CodedMatVecJob::cost_only(2400, 500, 12, 10, kChunks);
+  CodedComputeEngine engine(job, spec, cfg);
+  engine.run_rounds(30);
+  EXPECT_GT(engine.misprediction_rate(), 0.01);
+  EXPECT_LE(engine.misprediction_rate(), 1.0);
+  EXPECT_GE(engine.timeout_rate(), 0.0);
+}
+
+TEST(Engine, SparseOperatorFunctionalDecode) {
+  util::Rng rng(11);
+  std::vector<linalg::Triplet> trips;
+  for (int i = 0; i < 800; ++i) {
+    trips.push_back({static_cast<std::size_t>(rng.uniform_int(0, 239)),
+                     static_cast<std::size_t>(rng.uniform_int(0, 29)),
+                     rng.normal()});
+  }
+  const linalg::CsrMatrix a(240, 30, trips);
+  CodedMatVecJob job(a, 12, 6, kChunks);
+  linalg::Vector x(30);
+  for (auto& v : x) v = rng.normal();
+  const auto truth = a.matvec(x);
+
+  util::Rng trng(12);
+  EngineConfig cfg;
+  cfg.strategy = Strategy::kS2C2General;
+  cfg.chunks_per_partition = kChunks;
+  cfg.oracle_speeds = true;
+  CodedComputeEngine engine(
+      job,
+      spec_with_traces(workload::controlled_cluster_traces(12, 2, 0.2, trng)),
+      cfg);
+  const RoundResult r = engine.run_round(x);
+  ASSERT_TRUE(r.y.has_value());
+  expect_close(*r.y, truth);
+}
+
+TEST(Engine, ClockAdvancesAcrossRounds) {
+  CodedMatVecJob job = CodedMatVecJob::cost_only(240, 50, 4, 2, kChunks);
+  EngineConfig cfg;
+  cfg.chunks_per_partition = kChunks;
+  cfg.oracle_speeds = true;
+  CodedComputeEngine engine(job, ClusterSpec::uniform(4), cfg);
+  const auto r = engine.run_rounds(3);
+  EXPECT_GT(r[1].stats.start, r[0].stats.start);
+  EXPECT_DOUBLE_EQ(r[1].stats.start, r[0].stats.end);
+  EXPECT_DOUBLE_EQ(engine.now(), r[2].stats.end);
+}
+
+}  // namespace
+}  // namespace s2c2::core

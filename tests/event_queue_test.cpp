@@ -1,0 +1,89 @@
+// Tests for the discrete-event core: ordering, determinism, cancellation.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/event_queue.h"
+
+namespace s2c2::sim {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(3.0, [&] { order.push_back(3); });
+  q.schedule(1.0, [&] { order.push_back(1); });
+  q.schedule(2.0, [&] { order.push_back(2); });
+  q.run_until_empty();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.now(), 3.0);
+}
+
+TEST(EventQueue, TiesBreakByScheduleOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(1.0, [&] { order.push_back(0); });
+  q.schedule(1.0, [&] { order.push_back(1); });
+  q.schedule(1.0, [&] { order.push_back(2); });
+  q.run_until_empty();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(EventQueue, SchedulingInThePastThrows) {
+  EventQueue q;
+  q.schedule(5.0, [] {});
+  q.run_next();
+  EXPECT_THROW(q.schedule(1.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(q.schedule_after(-1.0, [] {}), std::invalid_argument);
+}
+
+TEST(EventQueue, CancelledEventsDoNotRun) {
+  EventQueue q;
+  bool ran = false;
+  EventHandle h = q.schedule(1.0, [&] { ran = true; });
+  h.cancel();
+  EXPECT_TRUE(h.cancelled());
+  q.run_until_empty();
+  EXPECT_FALSE(ran);
+  EXPECT_DOUBLE_EQ(q.now(), 0.0);  // cancelled events do not advance time
+}
+
+TEST(EventQueue, EventsCanScheduleMoreEvents) {
+  EventQueue q;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 5) q.schedule_after(1.0, chain);
+  };
+  q.schedule(0.0, chain);
+  q.run_until_empty();
+  EXPECT_EQ(count, 5);
+  EXPECT_DOUBLE_EQ(q.now(), 4.0);
+}
+
+TEST(EventQueue, EventsCanCancelOtherEvents) {
+  EventQueue q;
+  bool victim_ran = false;
+  EventHandle victim = q.schedule(2.0, [&] { victim_ran = true; });
+  q.schedule(1.0, [&] { victim.cancel(); });
+  q.run_until_empty();
+  EXPECT_FALSE(victim_ran);
+}
+
+TEST(EventQueue, RunBudgetGuardsAgainstRunaway) {
+  EventQueue q;
+  std::function<void()> forever = [&] { q.schedule_after(1.0, forever); };
+  q.schedule(0.0, forever);
+  EXPECT_THROW(q.run_until_empty(100), std::logic_error);
+}
+
+TEST(EventQueue, RunNextReturnsFalseWhenDrained) {
+  EventQueue q;
+  EXPECT_FALSE(q.run_next());
+  q.schedule(1.0, [] {});
+  EXPECT_TRUE(q.run_next());
+  EXPECT_FALSE(q.run_next());
+  EXPECT_TRUE(q.empty());
+}
+
+}  // namespace
+}  // namespace s2c2::sim

@@ -1,0 +1,223 @@
+// Fault-injection suite: deaths, cascades, controlled mis-prediction, and
+// the placement cliff — the failure paths a production deployment hits.
+#include <gtest/gtest.h>
+
+#include "src/core/engine.h"
+#include "src/core/overdecomp_engine.h"
+#include "src/core/replication_engine.h"
+#include "src/predict/predictors.h"
+#include "src/util/rng.h"
+#include "src/workload/trace_gen.h"
+
+namespace s2c2::core {
+namespace {
+
+constexpr std::size_t kChunks = 24;
+
+ClusterSpec spec_from(std::vector<sim::SpeedTrace> traces) {
+  ClusterSpec spec;
+  spec.traces = std::move(traces);
+  spec.worker_flops = 1e7;
+  return spec;
+}
+
+struct Functional {
+  Functional(std::size_t n, std::size_t k)
+      : rng(7),
+        a(linalg::Matrix::random_uniform(240, 30, rng)),
+        job(a, n, k, kChunks) {
+    x.resize(30);
+    for (auto& v : x) v = rng.normal();
+    truth = a.matvec(x);
+  }
+  util::Rng rng;
+  linalg::Matrix a;
+  CodedMatVecJob job;
+  linalg::Vector x;
+  linalg::Vector truth;
+
+  void expect_decode(const RoundResult& r, double tol = 1e-6) const {
+    ASSERT_TRUE(r.y.has_value());
+    for (std::size_t i = 0; i < truth.size(); ++i) {
+      ASSERT_NEAR((*r.y)[i], truth[i], tol);
+    }
+  }
+};
+
+TEST(FaultInjection, TwoSimultaneousDeathsWithinRedundancy) {
+  Functional f(12, 6);
+  std::vector<sim::SpeedTrace> traces;
+  for (int w = 0; w < 10; ++w) traces.push_back(sim::SpeedTrace::constant(1.0));
+  traces.push_back(sim::SpeedTrace::step(1e-4, 1.0, 0.0));
+  traces.push_back(sim::SpeedTrace::step(1e-4, 1.0, 0.0));
+  EngineConfig cfg;
+  cfg.strategy = Strategy::kS2C2General;
+  cfg.chunks_per_partition = kChunks;
+  CodedComputeEngine engine(f.job, spec_from(std::move(traces)), cfg);
+  const auto r = engine.run_round(f.x);
+  EXPECT_TRUE(r.stats.timeout_fired);
+  f.expect_decode(r);
+}
+
+TEST(FaultInjection, StaggeredDeathsAcrossRounds) {
+  Functional f(12, 6);
+  std::vector<sim::SpeedTrace> traces;
+  for (int w = 0; w < 12; ++w) {
+    traces.push_back(sim::SpeedTrace::constant(1.0));
+  }
+  // Workers die one by one across the first few rounds (round length is
+  // a few hundred microseconds at this scale).
+  traces[3] = sim::SpeedTrace::step(1e-3, 1.0, 0.0);
+  traces[7] = sim::SpeedTrace::step(2e-3, 1.0, 0.0);
+  traces[9] = sim::SpeedTrace::step(3e-3, 1.0, 0.0);
+  EngineConfig cfg;
+  cfg.strategy = Strategy::kS2C2General;
+  cfg.chunks_per_partition = kChunks;
+  CodedComputeEngine engine(f.job, spec_from(std::move(traces)), cfg);
+  for (int round = 0; round < 10; ++round) {
+    const auto r = engine.run_round(f.x);
+    f.expect_decode(r);
+  }
+  // Three workers are gone; the rest must carry an exact-6 coverage.
+  EXPECT_GT(engine.timeout_rate(), 0.0);
+}
+
+TEST(FaultInjection, DeathBeyondRedundancyEventuallyThrows) {
+  Functional f(6, 4);
+  std::vector<sim::SpeedTrace> traces;
+  for (int w = 0; w < 3; ++w) traces.push_back(sim::SpeedTrace::constant(1.0));
+  for (int w = 0; w < 3; ++w) {
+    traces.push_back(sim::SpeedTrace::step(1e-4, 1.0, 0.0));
+  }
+  EngineConfig cfg;
+  cfg.strategy = Strategy::kS2C2General;
+  cfg.chunks_per_partition = kChunks;
+  CodedComputeEngine engine(f.job, spec_from(std::move(traces)), cfg);
+  EXPECT_THROW((void)engine.run_round(f.x), std::runtime_error);
+}
+
+TEST(FaultInjection, RecoveryWorkerSlowButAliveStillDecodes) {
+  // The reassignment lands partly on a slow-but-alive worker: the round is
+  // long but correct.
+  Functional f(6, 4);
+  std::vector<sim::SpeedTrace> traces;
+  traces.push_back(sim::SpeedTrace::constant(1.0));
+  traces.push_back(sim::SpeedTrace::constant(1.0));
+  traces.push_back(sim::SpeedTrace::constant(0.3));
+  traces.push_back(sim::SpeedTrace::constant(1.0));
+  traces.push_back(sim::SpeedTrace::constant(1.0));
+  traces.push_back(sim::SpeedTrace::step(1e-4, 1.0, 0.0));  // dies
+  EngineConfig cfg;
+  cfg.strategy = Strategy::kS2C2General;
+  cfg.chunks_per_partition = kChunks;
+  CodedComputeEngine engine(f.job, spec_from(std::move(traces)), cfg);
+  const auto r = engine.run_round(f.x);
+  EXPECT_TRUE(r.stats.timeout_fired);
+  f.expect_decode(r);
+}
+
+TEST(FaultInjection, NoisyPredictorRaisesTimeoutRateMonotonically) {
+  // Controlled mis-prediction sweep: more corrupted predictions -> more
+  // timeout recoveries, never a wrong result.
+  Functional f(10, 7);
+  double prev_rate = -1.0;
+  for (const double corrupt : {0.0, 0.4, 0.9}) {
+    std::vector<sim::SpeedTrace> traces;
+    for (int w = 0; w < 10; ++w) {
+      traces.push_back(sim::SpeedTrace::constant(w % 2 == 0 ? 1.0 : 0.7));
+    }
+    CodedMatVecJob job(f.a, 10, 7, kChunks);
+    EngineConfig cfg;
+    cfg.strategy = Strategy::kS2C2General;
+    cfg.chunks_per_partition = kChunks;
+    auto inner = std::make_unique<predict::LastValuePredictor>(10);
+    auto noisy = std::make_unique<predict::NoisyPredictor>(
+        std::move(inner), corrupt, 0.6, 99);
+    CodedComputeEngine engine(job, spec_from(std::move(traces)), cfg,
+                              std::move(noisy));
+    for (int round = 0; round < 10; ++round) {
+      const auto r = engine.run_round(f.x);
+      ASSERT_TRUE(r.y.has_value());
+    }
+    EXPECT_GE(engine.timeout_rate(), prev_rate - 0.15)
+        << "corrupt=" << corrupt;
+    prev_rate = engine.timeout_rate();
+  }
+  EXPECT_GT(prev_rate, 0.3);  // 90% corruption must hurt
+}
+
+TEST(FaultInjection, ReplicationPlacementCliffWithStrictLocality) {
+  // Round-robin placement + contiguous stragglers: at stragglers ==
+  // replication factor, one partition's holders are all stragglers and
+  // strict locality pins the task to a 5x node (the Fig 1 cliff).
+  auto latency = [&](std::size_t stragglers) {
+    util::Rng rng(4);
+    ReplicationConfig cfg;
+    cfg.allow_data_movement = false;
+    ReplicationEngine engine(
+        12000, 100,
+        spec_from(workload::controlled_cluster_traces(12, stragglers, 0.0,
+                                                      rng)),
+        cfg);
+    return engine.run_round().stats.latency();
+  };
+  const double l2 = latency(2);
+  const double l3 = latency(3);
+  EXPECT_GT(l3, 2.0 * l2);  // the cliff
+}
+
+TEST(FaultInjection, ReplicationWithMovementAvoidsTheCliff) {
+  auto latency = [&](bool movement) {
+    util::Rng rng(4);
+    ReplicationConfig cfg;
+    cfg.allow_data_movement = movement;
+    ReplicationEngine engine(
+        12000, 100,
+        spec_from(workload::controlled_cluster_traces(12, 3, 0.0, rng)),
+        cfg);
+    return engine.run_round().stats.latency();
+  };
+  EXPECT_LT(latency(true), latency(false));
+}
+
+TEST(FaultInjection, OverDecompDeadWorkerThrows) {
+  std::vector<sim::SpeedTrace> traces(4, sim::SpeedTrace::constant(1.0));
+  traces[2] = sim::SpeedTrace::constant(0.0);
+  OverDecompConfig cfg;
+  cfg.oracle_speeds = true;
+  OverDecompositionEngine engine(1200, 40, spec_from(std::move(traces)), cfg);
+  // Oracle sees speed 0 -> quota 0 -> partitions migrate off the dead
+  // node; the round completes.
+  EXPECT_NO_THROW((void)engine.run_round());
+  EXPECT_GT(engine.total_migrations(), 0u);
+}
+
+TEST(FaultInjection, FrozenPredictorMissesRegimeChange) {
+  // A node slows permanently after warmup: the frozen predictor keeps
+  // over-assigning it, so timeouts persist; last-value recovers.
+  auto timeout_rate = [&](bool frozen) {
+    std::vector<sim::SpeedTrace> traces;
+    for (int w = 0; w < 9; ++w) {
+      traces.push_back(sim::SpeedTrace::constant(1.0));
+    }
+    traces.push_back(sim::SpeedTrace::step(0.2, 1.0, 0.3));
+    CodedMatVecJob job = CodedMatVecJob::cost_only(2400, 500, 10, 7, kChunks);
+    EngineConfig cfg;
+    cfg.strategy = Strategy::kS2C2General;
+    cfg.chunks_per_partition = kChunks;
+    std::unique_ptr<predict::SpeedPredictor> pred;
+    if (frozen) {
+      pred = std::make_unique<predict::FrozenSpeedPredictor>(10, 3);
+    } else {
+      pred = std::make_unique<predict::LastValuePredictor>(10);
+    }
+    CodedComputeEngine engine(job, spec_from(std::move(traces)), cfg,
+                              std::move(pred));
+    engine.run_rounds(20);
+    return engine.timeout_rate();
+  };
+  EXPECT_GT(timeout_rate(true), timeout_rate(false) + 0.2);
+}
+
+}  // namespace
+}  // namespace s2c2::core

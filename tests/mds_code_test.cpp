@@ -1,0 +1,117 @@
+// Tests for MDS encoding of dense and sparse operators.
+#include <gtest/gtest.h>
+
+#include "src/coding/mds_code.h"
+#include "src/util/rng.h"
+
+namespace s2c2::coding {
+namespace {
+
+TEST(MdsCode, PartitionRowsCeilDivision) {
+  const MdsCode code(4, 3);
+  EXPECT_EQ(code.partition_rows(9), 3u);
+  EXPECT_EQ(code.partition_rows(10), 4u);
+  EXPECT_THROW((void)code.partition_rows(0), std::invalid_argument);
+}
+
+TEST(MdsCode, SystematicPartitionsAreRawBlocks) {
+  util::Rng rng(7);
+  const linalg::Matrix a = linalg::Matrix::random_uniform(6, 4, rng);
+  const MdsCode code(5, 3);
+  const auto parts = code.encode(a);
+  ASSERT_EQ(parts.size(), 5u);
+  // Partition 1 should equal rows [2,4) of A.
+  const linalg::Vector x{1.0, -1.0, 0.5, 2.0};
+  const auto y = parts[1].matvec(x);
+  const auto direct = a.row_block(2, 4).matvec(x);
+  for (std::size_t i = 0; i < y.size(); ++i) EXPECT_NEAR(y[i], direct[i], 1e-12);
+}
+
+TEST(MdsCode, ParityPartitionIsGeneratorCombination) {
+  util::Rng rng(9);
+  const linalg::Matrix a = linalg::Matrix::random_uniform(4, 3, rng);
+  const MdsCode code(4, 2, ParityKind::kVandermonde);
+  const auto parts = code.encode(a);
+  // Worker 3 stores A1 + 2·A2 (paper's example).
+  const linalg::Vector x{1.0, 2.0, 3.0};
+  const auto y = parts[3].matvec(x);
+  const auto a1 = a.row_block(0, 2).matvec(x);
+  const auto a2 = a.row_block(2, 4).matvec(x);
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    EXPECT_NEAR(y[i], a1[i] + 2.0 * a2[i], 1e-12);
+  }
+}
+
+TEST(MdsCode, UnevenRowsArePaddedWithZeros) {
+  util::Rng rng(11);
+  const linalg::Matrix a = linalg::Matrix::random_uniform(5, 2, rng);
+  const MdsCode code(3, 2);
+  const auto parts = code.encode(a);
+  // partition_rows = ceil(5/2) = 3; last data block has a zero pad row.
+  ASSERT_EQ(parts[0].rows(), 3u);
+  const linalg::Vector x{1.0, 1.0};
+  const auto y1 = parts[1].matvec(x);
+  // Row 2 of partition 1 corresponds to (padded) row 5 of A -> zero.
+  EXPECT_DOUBLE_EQ(y1[2], 0.0);
+}
+
+TEST(MdsCode, SparseSystematicPartitionsStaySparse) {
+  const linalg::CsrMatrix a(
+      4, 4, {{0, 1, 1.0}, {1, 2, 2.0}, {2, 3, 3.0}, {3, 0, 4.0}});
+  const MdsCode code(4, 2);
+  const auto parts = code.encode(a);
+  EXPECT_TRUE(parts[0].is_sparse());
+  EXPECT_TRUE(parts[1].is_sparse());
+  EXPECT_FALSE(parts[2].is_sparse());  // parity densifies
+  EXPECT_FALSE(parts[3].is_sparse());
+}
+
+TEST(MdsCode, SparseStorageSmallerThanDenseForSystematic) {
+  std::vector<linalg::Triplet> trips;
+  for (std::size_t i = 0; i < 100; ++i) trips.push_back({i, i, 1.0});
+  const linalg::CsrMatrix a(100, 100, trips);
+  const MdsCode code(4, 2);
+  const auto parts = code.encode(a);
+  EXPECT_LT(parts[0].storage_bytes(), parts[2].storage_bytes());
+}
+
+TEST(MdsCode, SparseEncodeMatchesDenseEncode) {
+  util::Rng rng(13);
+  std::vector<linalg::Triplet> trips;
+  for (int i = 0; i < 60; ++i) {
+    trips.push_back({static_cast<std::size_t>(rng.uniform_int(0, 9)),
+                     static_cast<std::size_t>(rng.uniform_int(0, 7)),
+                     rng.normal()});
+  }
+  const linalg::CsrMatrix sparse(10, 8, trips);
+  const linalg::Matrix dense = sparse.to_dense();
+  const MdsCode code(5, 2);
+  const auto sp = code.encode(sparse);
+  const auto dp = code.encode(dense);
+  linalg::Vector x(8);
+  for (auto& v : x) v = rng.normal();
+  for (std::size_t w = 0; w < 5; ++w) {
+    const auto ys = sp[w].matvec(x);
+    const auto yd = dp[w].matvec(x);
+    ASSERT_EQ(ys.size(), yd.size());
+    for (std::size_t i = 0; i < ys.size(); ++i) {
+      EXPECT_NEAR(ys[i], yd[i], 1e-10) << "worker " << w;
+    }
+  }
+}
+
+TEST(EncodedPartition, MatvecRowsSubrange) {
+  util::Rng rng(17);
+  const linalg::Matrix m = linalg::Matrix::random_uniform(6, 3, rng);
+  const EncodedPartition part{linalg::Matrix(m)};
+  linalg::Vector x{1.0, 2.0, -1.0};
+  std::vector<double> out(2);
+  part.matvec_rows(2, 4, x, out);
+  const auto full = m.matvec(x);
+  EXPECT_NEAR(out[0], full[2], 1e-12);
+  EXPECT_NEAR(out[1], full[3], 1e-12);
+  EXPECT_THROW(part.matvec_rows(5, 7, x, out), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace s2c2::coding

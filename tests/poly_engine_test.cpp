@@ -1,0 +1,124 @@
+// Tests for the polynomial-coded Hessian engine (paper §5, §7.2.3).
+#include <gtest/gtest.h>
+
+#include "src/core/poly_engine.h"
+#include "src/util/rng.h"
+#include "src/workload/trace_gen.h"
+
+namespace s2c2::core {
+namespace {
+
+ClusterSpec make_spec(std::vector<sim::SpeedTrace> traces) {
+  ClusterSpec spec;
+  spec.traces = std::move(traces);
+  spec.worker_flops = 1e7;
+  return spec;
+}
+
+struct PolySetup {
+  explicit PolySetup(std::uint64_t seed = 3)
+      : rng(seed), a(linalg::Matrix::random_uniform(40, 24, rng)) {
+    x.resize(40);
+    for (auto& v : x) v = rng.uniform(0.1, 1.0);
+    truth = coding::PolyCode::hessian_direct(a, x);
+  }
+  util::Rng rng;
+  linalg::Matrix a;
+  linalg::Vector x;
+  linalg::Matrix truth;
+};
+
+void expect_hessian_close(const linalg::Matrix& got,
+                          const linalg::Matrix& want) {
+  ASSERT_EQ(got.rows(), want.rows());
+  ASSERT_EQ(got.cols(), want.cols());
+  const double scale = want.frobenius_norm() + 1.0;
+  EXPECT_LT(got.max_abs_diff(want) / scale, 1e-6);
+}
+
+TEST(PolyEngine, ConventionalFunctionalDecode) {
+  PolySetup s;
+  util::Rng trng(1);
+  PolyEngineConfig cfg;
+  cfg.use_s2c2 = false;
+  cfg.chunks_per_partition = 8;  // d/a = 8 rows
+  PolyCodedEngine engine(
+      s.a, 40, 24, 3,
+      make_spec(workload::controlled_cluster_traces(12, 2, 0.2, trng)), cfg);
+  const auto r = engine.run_round(s.x);
+  ASSERT_TRUE(r.hessian.has_value());
+  expect_hessian_close(*r.hessian, s.truth);
+}
+
+TEST(PolyEngine, S2C2FunctionalDecodeWithStragglers) {
+  PolySetup s;
+  util::Rng trng(2);
+  PolyEngineConfig cfg;
+  cfg.use_s2c2 = true;
+  cfg.chunks_per_partition = 8;
+  cfg.oracle_speeds = true;
+  PolyCodedEngine engine(
+      s.a, 40, 24, 3,
+      make_spec(workload::controlled_cluster_traces(12, 3, 0.2, trng)), cfg);
+  for (int round = 0; round < 2; ++round) {
+    const auto r = engine.run_round(s.x);
+    ASSERT_TRUE(r.hessian.has_value());
+    expect_hessian_close(*r.hessian, s.truth);
+  }
+}
+
+TEST(PolyEngine, S2C2FasterThanConventionalWhenAllFast) {
+  util::Rng trng(3);
+  const auto traces = workload::controlled_cluster_traces(12, 0, 0.0, trng);
+  auto run = [&](bool s2c2) {
+    PolyEngineConfig cfg;
+    cfg.use_s2c2 = s2c2;
+    cfg.chunks_per_partition = 12;
+    cfg.oracle_speeds = true;
+    PolyCodedEngine engine(std::nullopt, 600, 360, 3, make_spec(traces), cfg);
+    return engine.run_rounds(3).back().stats.latency();
+  };
+  const double conventional = run(false);
+  const double squeezed = run(true);
+  EXPECT_GT(conventional / squeezed, 1.1);  // ideal 12/9 = 1.33 minus fixed costs
+  EXPECT_LT(conventional / squeezed, 1.35);
+}
+
+TEST(PolyEngine, TimeoutRecoversFromDeath) {
+  PolySetup s;
+  std::vector<sim::SpeedTrace> traces;
+  for (int w = 0; w < 11; ++w) traces.push_back(sim::SpeedTrace::constant(1.0));
+  traces.push_back(sim::SpeedTrace::step(1e-4, 1.0, 0.0));
+  PolyEngineConfig cfg;
+  cfg.use_s2c2 = true;
+  cfg.chunks_per_partition = 8;
+  PolyCodedEngine engine(s.a, 40, 24, 3, make_spec(std::move(traces)), cfg);
+  const auto r = engine.run_round(s.x);
+  EXPECT_TRUE(r.stats.timeout_fired);
+  ASSERT_TRUE(r.hessian.has_value());
+  expect_hessian_close(*r.hessian, s.truth);
+  EXPECT_GT(engine.timeout_rate(), 0.0);
+}
+
+TEST(PolyEngine, FailureWhenFewerThanASquaredSurvive) {
+  std::vector<sim::SpeedTrace> traces;
+  for (int w = 0; w < 8; ++w) traces.push_back(sim::SpeedTrace::constant(1.0));
+  for (int w = 0; w < 4; ++w) traces.push_back(sim::SpeedTrace::constant(0.0));
+  PolyEngineConfig cfg;
+  cfg.chunks_per_partition = 8;
+  PolyCodedEngine engine(std::nullopt, 40, 24, 3, make_spec(std::move(traces)),
+                         cfg);
+  EXPECT_THROW(engine.run_round(), std::runtime_error);
+}
+
+TEST(PolyEngine, ValidatesShapes) {
+  PolyEngineConfig cfg;
+  cfg.chunks_per_partition = 8;
+  // d not divisible by a.
+  EXPECT_THROW(PolyCodedEngine(std::nullopt, 40, 25, 3,
+                               ClusterSpec::uniform(12), cfg),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace s2c2::core

@@ -1,0 +1,82 @@
+// Tests for timeout-recovery reassignment planning (paper §4.3).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/sched/reassignment.h"
+
+namespace s2c2::sched {
+namespace {
+
+TEST(Reassignment, EmptyInputsYieldEmptyPlan) {
+  const auto plan = plan_reassignment({}, {}, {}, std::vector<double>{1.0});
+  EXPECT_TRUE(plan.empty());
+  EXPECT_EQ(plan.total_chunks(), 0u);
+}
+
+TEST(Reassignment, FillsDeficitsWithDistinctWorkers) {
+  // Chunk 7 needs 2 more results; workers 0 and 1 already have it.
+  const std::vector<std::size_t> deficient{7};
+  const std::vector<std::vector<std::size_t>> have{{0, 1}};
+  const std::vector<std::size_t> needed{2};
+  const std::vector<double> speeds{1.0, 1.0, 2.0, 1.0, 0.0};
+  const auto plan = plan_reassignment(deficient, have, needed, speeds);
+  EXPECT_EQ(plan.total_chunks(), 2u);
+  // Workers 0/1 excluded (already have), worker 4 excluded (speed 0).
+  EXPECT_TRUE(plan.chunks_per_worker[0].empty());
+  EXPECT_TRUE(plan.chunks_per_worker[1].empty());
+  EXPECT_TRUE(plan.chunks_per_worker[4].empty());
+  EXPECT_EQ(plan.chunks_per_worker[2].size() + plan.chunks_per_worker[3].size(),
+            2u);
+}
+
+TEST(Reassignment, NeverAssignsSameChunkTwiceToOneWorker) {
+  const std::vector<std::size_t> deficient{3, 3};  // duplicated chunk entry
+  const std::vector<std::vector<std::size_t>> have{{}, {}};
+  const std::vector<std::size_t> needed{1, 1};
+  const std::vector<double> speeds{1.0, 1.0};
+  const auto plan = plan_reassignment(deficient, have, needed, speeds);
+  for (const auto& chunks : plan.chunks_per_worker) {
+    std::set<std::size_t> uniq(chunks.begin(), chunks.end());
+    EXPECT_EQ(uniq.size(), chunks.size());
+  }
+  EXPECT_EQ(plan.total_chunks(), 2u);
+}
+
+TEST(Reassignment, LoadBalancesBySpeed) {
+  // 9 deficits, workers with speeds 2:1 — fast worker should take ~2x.
+  std::vector<std::size_t> deficient;
+  std::vector<std::vector<std::size_t>> have;
+  std::vector<std::size_t> needed;
+  for (std::size_t c = 0; c < 9; ++c) {
+    deficient.push_back(c);
+    have.push_back({});
+    needed.push_back(1);
+  }
+  const std::vector<double> speeds{2.0, 1.0};
+  const auto plan = plan_reassignment(deficient, have, needed, speeds);
+  EXPECT_EQ(plan.chunks_per_worker[0].size(), 6u);
+  EXPECT_EQ(plan.chunks_per_worker[1].size(), 3u);
+}
+
+TEST(Reassignment, InfeasibleThrows) {
+  // Chunk needs 2 distinct new workers but only one candidate exists.
+  const std::vector<std::size_t> deficient{0};
+  const std::vector<std::vector<std::size_t>> have{{0}};
+  const std::vector<std::size_t> needed{2};
+  const std::vector<double> speeds{1.0, 1.0};  // worker 0 already has it
+  EXPECT_THROW(plan_reassignment(deficient, have, needed, speeds),
+               std::invalid_argument);
+}
+
+TEST(Reassignment, ParallelArrayMismatchThrows) {
+  const std::vector<std::size_t> deficient{0, 1};
+  const std::vector<std::vector<std::size_t>> have{{}};
+  const std::vector<std::size_t> needed{1, 1};
+  EXPECT_THROW(
+      plan_reassignment(deficient, have, needed, std::vector<double>{1.0}),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace s2c2::sched

@@ -1,0 +1,160 @@
+// Tests for the thread-backed cluster: real concurrency, any-k decoding,
+// straggler tolerance via sleeping workers, stale-response handling.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "src/runtime/channel.h"
+#include "src/runtime/thread_cluster.h"
+#include "src/sched/allocation.h"
+#include "src/util/rng.h"
+
+namespace s2c2::runtime {
+namespace {
+
+TEST(Channel, SendRecvOrder) {
+  Channel<int> ch;
+  ch.send(1);
+  ch.send(2);
+  EXPECT_EQ(ch.recv(), 1);
+  EXPECT_EQ(ch.recv(), 2);
+  EXPECT_EQ(ch.try_recv(), std::nullopt);
+}
+
+TEST(Channel, CloseReleasesBlockedReceiver) {
+  Channel<int> ch;
+  std::atomic<bool> released{false};
+  std::thread t([&] {
+    const auto v = ch.recv();
+    EXPECT_EQ(v, std::nullopt);
+    released = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  ch.close();
+  t.join();
+  EXPECT_TRUE(released);
+}
+
+TEST(Channel, SendAfterCloseIsNoop) {
+  Channel<int> ch;
+  ch.close();
+  ch.send(5);
+  EXPECT_EQ(ch.try_recv(), std::nullopt);
+}
+
+TEST(Channel, DrainsQueuedValuesBeforeReportingClosed) {
+  Channel<int> ch;
+  ch.send(7);
+  ch.close();
+  EXPECT_EQ(ch.recv(), 7);
+  EXPECT_EQ(ch.recv(), std::nullopt);
+}
+
+struct ClusterFixture {
+  ClusterFixture(std::size_t n, std::size_t k, DelayHook delay = nullptr)
+      : rng(99),
+        a(linalg::Matrix::random_uniform(120, 16, rng)),
+        job(a, n, k, 12),
+        cluster(job, std::move(delay)) {
+    x.resize(16);
+    for (auto& v : x) v = rng.normal();
+    truth = a.matvec(x);
+  }
+  util::Rng rng;
+  linalg::Matrix a;
+  core::CodedMatVecJob job;
+  runtime::ThreadCluster cluster;
+  linalg::Vector x;
+  linalg::Vector truth;
+};
+
+void expect_close(const linalg::Vector& got, const linalg::Vector& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_NEAR(got[i], want[i], 1e-7);
+  }
+}
+
+TEST(ThreadCluster, FullAllocationDecodes) {
+  ClusterFixture f(6, 4);
+  const auto alloc = sched::full_allocation(6, 12);
+  const auto y = f.cluster.run_round(alloc, f.x);
+  expect_close(y, f.truth);
+}
+
+TEST(ThreadCluster, S2C2AllocationDecodes) {
+  ClusterFixture f(6, 4);
+  const std::vector<double> speeds{1.0, 1.0, 0.5, 1.0, 0.2, 1.0};
+  const auto alloc = sched::proportional_allocation(speeds, 4, 12);
+  const auto y = f.cluster.run_round(alloc, f.x);
+  expect_close(y, f.truth);
+}
+
+TEST(ThreadCluster, MultipleRoundsWithChangingAllocations) {
+  ClusterFixture f(6, 4);
+  for (int round = 0; round < 5; ++round) {
+    std::vector<double> speeds(6, 1.0);
+    speeds[static_cast<std::size_t>(round) % 6] = 0.3;
+    const auto alloc = sched::proportional_allocation(speeds, 4, 12);
+    const auto y = f.cluster.run_round(alloc, f.x);
+    expect_close(y, f.truth);
+  }
+}
+
+TEST(ThreadCluster, SleepingStragglerDoesNotBlockDecode) {
+  // Worker 5 sleeps per chunk; with full allocation the master needs only
+  // k=4 of 6 responses per chunk and must return well before the straggler
+  // finishes everything.
+  std::atomic<int> straggler_chunks{0};
+  DelayHook delay = [&](std::size_t worker, std::size_t) {
+    if (worker == 5) {
+      ++straggler_chunks;
+      std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    }
+  };
+  ClusterFixture f(6, 4, delay);
+  const auto alloc = sched::full_allocation(6, 12);
+  const auto start = std::chrono::steady_clock::now();
+  const auto y = f.cluster.run_round(alloc, f.x);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  expect_close(y, f.truth);
+  // 12 chunks x 30ms = 360ms if we had waited for the straggler.
+  EXPECT_LT(elapsed.count(), 330);
+}
+
+TEST(ThreadCluster, StaleResponsesFromPreviousRoundDiscarded) {
+  // Straggler's round-1 responses arrive during round 2; decode must not
+  // be corrupted.
+  DelayHook delay = [](std::size_t worker, std::size_t) {
+    if (worker == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  };
+  ClusterFixture f(6, 4, delay);
+  const auto alloc = sched::full_allocation(6, 12);
+  for (int round = 0; round < 3; ++round) {
+    const auto y = f.cluster.run_round(alloc, f.x);
+    expect_close(y, f.truth);
+  }
+}
+
+TEST(ThreadCluster, ValidatesInputs) {
+  ClusterFixture f(4, 2);
+  const auto bad_alloc = sched::full_allocation(5, 12);  // wrong n
+  EXPECT_THROW((void)f.cluster.run_round(bad_alloc, f.x),
+               std::invalid_argument);
+  const auto alloc = sched::full_allocation(4, 12);
+  EXPECT_THROW((void)f.cluster.run_round(alloc, linalg::Vector(3, 0.0)),
+               std::invalid_argument);
+}
+
+TEST(ThreadCluster, RequiresFunctionalJob) {
+  const auto job = core::CodedMatVecJob::cost_only(100, 10, 4, 2, 10);
+  EXPECT_THROW(ThreadCluster cluster(job), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace s2c2::runtime

@@ -1,0 +1,96 @@
+// Unit tests for CSR sparse matrices.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "src/linalg/sparse.h"
+#include "src/util/rng.h"
+
+namespace s2c2::linalg {
+namespace {
+
+CsrMatrix small() {
+  // [ 1 0 2 ]
+  // [ 0 0 0 ]
+  // [ 3 4 0 ]
+  return CsrMatrix(3, 3, {{0, 0, 1.0}, {0, 2, 2.0}, {2, 0, 3.0}, {2, 1, 4.0}});
+}
+
+TEST(Csr, BuildAndNnz) {
+  const CsrMatrix m = small();
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.nnz(), 4u);
+}
+
+TEST(Csr, DuplicateTripletsSum) {
+  const CsrMatrix m(1, 1, {{0, 0, 1.5}, {0, 0, 2.5}});
+  EXPECT_EQ(m.nnz(), 1u);
+  EXPECT_DOUBLE_EQ(m.to_dense()(0, 0), 4.0);
+}
+
+TEST(Csr, DuplicatesCancellingToZeroAreDropped) {
+  const CsrMatrix m(1, 2, {{0, 0, 1.0}, {0, 0, -1.0}, {0, 1, 2.0}});
+  EXPECT_EQ(m.nnz(), 1u);
+}
+
+TEST(Csr, OutOfBoundsTripletThrows) {
+  EXPECT_THROW(CsrMatrix(1, 1, {{1, 0, 1.0}}), std::invalid_argument);
+}
+
+TEST(Csr, MatvecMatchesDense) {
+  const CsrMatrix m = small();
+  const Vector x{1.0, 2.0, 3.0};
+  const Vector y = m.matvec(x);
+  const Vector yd = m.to_dense().matvec(x);
+  for (std::size_t i = 0; i < y.size(); ++i) EXPECT_DOUBLE_EQ(y[i], yd[i]);
+}
+
+TEST(Csr, RowBlockKeepsValues) {
+  const CsrMatrix m = small();
+  const CsrMatrix b = m.row_block(1, 3);
+  EXPECT_EQ(b.rows(), 2u);
+  const Matrix d = b.to_dense();
+  EXPECT_DOUBLE_EQ(d(1, 0), 3.0);
+  EXPECT_DOUBLE_EQ(d(1, 1), 4.0);
+  EXPECT_DOUBLE_EQ(d(0, 0), 0.0);
+}
+
+TEST(Csr, TransposeMatchesDenseTranspose) {
+  const CsrMatrix m = small();
+  const Matrix t = m.transposed().to_dense();
+  const Matrix td = m.to_dense().transposed();
+  EXPECT_LT(t.max_abs_diff(td), 1e-15);
+}
+
+TEST(Csr, EmptyMatrixMatvec) {
+  const CsrMatrix m(2, 2, {});
+  const Vector y = m.matvec(std::vector<double>{1.0, 1.0});
+  EXPECT_DOUBLE_EQ(y[0], 0.0);
+  EXPECT_DOUBLE_EQ(y[1], 0.0);
+}
+
+// Property sweep: random sparse matvec equals densified matvec.
+class CsrRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(CsrRandom, MatvecAgreesWithDense) {
+  const int n = GetParam();
+  util::Rng rng(2000 + n);
+  std::vector<Triplet> trips;
+  for (int i = 0; i < n * 3; ++i) {
+    trips.push_back({static_cast<std::size_t>(rng.uniform_int(0, n - 1)),
+                     static_cast<std::size_t>(rng.uniform_int(0, n - 1)),
+                     rng.normal()});
+  }
+  const CsrMatrix m(n, n, trips);
+  Vector x(n);
+  for (auto& v : x) v = rng.normal();
+  const Vector a = m.matvec(x);
+  const Vector b = m.to_dense().matvec(x);
+  for (int i = 0; i < n; ++i) EXPECT_NEAR(a[i], b[i], 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CsrRandom, ::testing::Values(2, 5, 17, 50));
+
+}  // namespace
+}  // namespace s2c2::linalg

@@ -1,0 +1,89 @@
+// Tests for piecewise-constant speed traces: exact integrals and the
+// time/work inverse property.
+#include <gtest/gtest.h>
+
+#include "src/sim/speed_trace.h"
+#include "src/util/rng.h"
+
+namespace s2c2::sim {
+namespace {
+
+TEST(SpeedTrace, ConstantTrace) {
+  const SpeedTrace t = SpeedTrace::constant(2.0);
+  EXPECT_DOUBLE_EQ(t.speed_at(0.0), 2.0);
+  EXPECT_DOUBLE_EQ(t.speed_at(100.0), 2.0);
+  EXPECT_DOUBLE_EQ(t.work_between(1.0, 3.0), 4.0);
+  EXPECT_DOUBLE_EQ(t.time_to_complete(1.0, 4.0), 3.0);
+}
+
+TEST(SpeedTrace, StepTrace) {
+  const SpeedTrace t = SpeedTrace::step(10.0, 1.0, 0.5);
+  EXPECT_DOUBLE_EQ(t.speed_at(9.999), 1.0);
+  EXPECT_DOUBLE_EQ(t.speed_at(10.0), 0.5);
+  // 5 units of work starting at t=8: 2 units by t=10, 3 more at 0.5 -> t=16.
+  EXPECT_DOUBLE_EQ(t.time_to_complete(8.0, 5.0), 16.0);
+  EXPECT_DOUBLE_EQ(t.work_between(8.0, 16.0), 5.0);
+}
+
+TEST(SpeedTrace, ValidatesConstruction) {
+  EXPECT_THROW(SpeedTrace({1.0}, {1.0}), std::invalid_argument);  // t0 != 0
+  EXPECT_THROW(SpeedTrace({0.0, 0.0}, {1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(SpeedTrace({0.0}, {-1.0}), std::invalid_argument);
+  EXPECT_THROW(SpeedTrace({0.0}, {1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(SpeedTrace, DeadNodeNeverCompletes) {
+  const SpeedTrace t = SpeedTrace::step(5.0, 1.0, 0.0);
+  EXPECT_DOUBLE_EQ(t.time_to_complete(0.0, 4.0), 4.0);
+  EXPECT_EQ(t.time_to_complete(0.0, 6.0), SpeedTrace::kNever);
+  EXPECT_EQ(t.time_to_complete(10.0, 0.1), SpeedTrace::kNever);
+}
+
+TEST(SpeedTrace, ZeroWorkCompletesImmediately) {
+  const SpeedTrace t = SpeedTrace::constant(0.0);
+  EXPECT_DOUBLE_EQ(t.time_to_complete(3.0, 0.0), 3.0);
+}
+
+TEST(SpeedTrace, FromSamples) {
+  const std::vector<double> samples{1.0, 0.5, 2.0};
+  const SpeedTrace t = SpeedTrace::from_samples(samples, 10.0);
+  EXPECT_DOUBLE_EQ(t.speed_at(5.0), 1.0);
+  EXPECT_DOUBLE_EQ(t.speed_at(15.0), 0.5);
+  EXPECT_DOUBLE_EQ(t.speed_at(25.0), 2.0);
+  EXPECT_DOUBLE_EQ(t.speed_at(1000.0), 2.0);  // last sample extends
+  EXPECT_DOUBLE_EQ(t.work_between(0.0, 30.0), 35.0);
+}
+
+TEST(SpeedTrace, WorkBetweenPartialSegments) {
+  const SpeedTrace t({0.0, 2.0, 4.0}, {1.0, 3.0, 0.5});
+  EXPECT_DOUBLE_EQ(t.work_between(1.0, 5.0), 1.0 + 6.0 + 0.5);
+  EXPECT_DOUBLE_EQ(t.work_between(3.0, 3.0), 0.0);
+}
+
+// Property: time_to_complete inverts work_between on random traces.
+class TraceInverse : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TraceInverse, CompleteThenMeasureRoundTrips) {
+  util::Rng rng(GetParam());
+  // Random piecewise trace with strictly positive speeds.
+  std::vector<Time> times{0.0};
+  std::vector<double> speeds{rng.uniform(0.1, 2.0)};
+  for (int i = 0; i < 10; ++i) {
+    times.push_back(times.back() + rng.uniform(0.5, 3.0));
+    speeds.push_back(rng.uniform(0.1, 2.0));
+  }
+  const SpeedTrace t(times, speeds);
+  for (int trial = 0; trial < 30; ++trial) {
+    const Time t0 = rng.uniform(0.0, 20.0);
+    const double work = rng.uniform(0.01, 15.0);
+    const Time done = t.time_to_complete(t0, work);
+    ASSERT_LT(done, SpeedTrace::kNever);
+    EXPECT_NEAR(t.work_between(t0, done), work, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TraceInverse,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+}  // namespace
+}  // namespace s2c2::sim

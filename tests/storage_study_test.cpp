@@ -1,0 +1,104 @@
+// Tests for the Fig 3 storage-overhead study.
+#include <gtest/gtest.h>
+
+#include "src/baselines/storage_study.h"
+
+namespace s2c2::baselines {
+namespace {
+
+TEST(IntervalSet, InsertAndMeasure) {
+  IntervalSet s;
+  s.insert(0, 10);
+  EXPECT_EQ(s.total_length(), 10u);
+  s.insert(20, 30);
+  EXPECT_EQ(s.total_length(), 20u);
+  EXPECT_EQ(s.num_intervals(), 2u);
+}
+
+TEST(IntervalSet, MergesOverlaps) {
+  IntervalSet s;
+  s.insert(0, 10);
+  s.insert(5, 15);
+  EXPECT_EQ(s.total_length(), 15u);
+  EXPECT_EQ(s.num_intervals(), 1u);
+}
+
+TEST(IntervalSet, MergesTouchingIntervals) {
+  IntervalSet s;
+  s.insert(0, 5);
+  s.insert(5, 10);
+  EXPECT_EQ(s.num_intervals(), 1u);
+  EXPECT_EQ(s.total_length(), 10u);
+}
+
+TEST(IntervalSet, BridgingInsertMergesMultiple) {
+  IntervalSet s;
+  s.insert(0, 2);
+  s.insert(4, 6);
+  s.insert(8, 10);
+  s.insert(1, 9);
+  EXPECT_EQ(s.num_intervals(), 1u);
+  EXPECT_EQ(s.total_length(), 10u);
+}
+
+TEST(IntervalSet, EmptyInsertIgnored) {
+  IntervalSet s;
+  s.insert(3, 3);
+  EXPECT_EQ(s.total_length(), 0u);
+  EXPECT_THROW(s.insert(5, 4), std::invalid_argument);
+}
+
+TEST(IntervalSet, Contains) {
+  IntervalSet s;
+  s.insert(2, 5);
+  EXPECT_TRUE(s.contains(2));
+  EXPECT_TRUE(s.contains(4));
+  EXPECT_FALSE(s.contains(5));
+  EXPECT_FALSE(s.contains(0));
+}
+
+TEST(StorageStudy, ConstantEqualSpeedsNeedOnlyOneShare) {
+  // Identical speeds every round: each worker's range never moves.
+  const std::vector<std::vector<double>> speeds(10, std::vector<double>(4, 1.0));
+  const auto result = run_storage_study(speeds, 1000, 3);
+  EXPECT_NEAR(result.uncoded_mean_fraction.back(), 0.25, 1e-6);
+  EXPECT_NEAR(result.s2c2_fraction, 1.0 / 3.0, 1e-12);
+}
+
+TEST(StorageStudy, ShiftingSpeedsGrowStorage) {
+  // Rotate which worker is fast: allocation boundaries sweep the matrix and
+  // every worker accumulates coverage.
+  std::vector<std::vector<double>> speeds;
+  for (int r = 0; r < 40; ++r) {
+    std::vector<double> row(4, 1.0);
+    row[static_cast<std::size_t>(r) % 4] = 4.0;
+    speeds.push_back(row);
+  }
+  const auto result = run_storage_study(speeds, 1200, 10);
+  EXPECT_GT(result.uncoded_mean_fraction.back(),
+            result.uncoded_mean_fraction.front() * 1.5);
+  // Fig 3's qualitative claim: far above the S2C2 constant (1/k).
+  EXPECT_GT(result.uncoded_mean_fraction.back(), 3.0 * result.s2c2_fraction);
+}
+
+TEST(StorageStudy, FractionIsMonotoneNonDecreasing) {
+  std::vector<std::vector<double>> speeds;
+  for (int r = 0; r < 20; ++r) {
+    speeds.push_back({1.0, 1.0 + 0.1 * r, 1.0, 2.0});
+  }
+  const auto result = run_storage_study(speeds, 600, 8);
+  for (std::size_t t = 1; t < result.uncoded_mean_fraction.size(); ++t) {
+    EXPECT_GE(result.uncoded_mean_fraction[t],
+              result.uncoded_mean_fraction[t - 1] - 1e-12);
+  }
+}
+
+TEST(StorageStudy, ValidatesInputs) {
+  EXPECT_THROW(run_storage_study({}, 100, 2), std::invalid_argument);
+  EXPECT_THROW(run_storage_study({{1.0}, {1.0, 2.0}}, 100, 2),
+               std::invalid_argument);
+  EXPECT_THROW(run_storage_study({{0.0, 0.0}}, 100, 2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace s2c2::baselines

@@ -1,0 +1,96 @@
+// Tests for the synthetic cloud-trace generator: the statistical properties
+// the paper reports for its measured traces (Fig 2) must hold.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/util/stats.h"
+#include "src/workload/trace_gen.h"
+
+namespace s2c2::workload {
+namespace {
+
+TEST(TraceGen, SeriesLengthAndBounds) {
+  util::Rng rng(1);
+  const auto s = cloud_speed_series(500, volatile_cloud_config(), rng);
+  ASSERT_EQ(s.size(), 500u);
+  for (double v : s) {
+    EXPECT_GE(v, 0.05);
+    EXPECT_LE(v, 1.5);
+  }
+}
+
+TEST(TraceGen, StableConfigStaysNearRegime) {
+  // Paper: "speed observed at any time slot stays within 10% for about 10
+  // samples within the neighborhood."
+  util::Rng rng(2);
+  const auto s = cloud_speed_series(300, stable_cloud_config(), rng);
+  std::size_t close = 0, total = 0;
+  for (std::size_t t = 10; t < s.size(); ++t) {
+    for (std::size_t j = t - 10; j < t; ++j) {
+      ++total;
+      if (std::abs(s[j] - s[t]) <= 0.10 * s[t]) ++close;
+    }
+  }
+  EXPECT_GT(static_cast<double>(close) / static_cast<double>(total), 0.9);
+}
+
+TEST(TraceGen, VolatileConfigHasRegimeJumps) {
+  util::Rng rng(3);
+  // Aggregate across nodes: expected detectable jumps ~ 0.02/sample/node.
+  std::size_t jumps = 0;
+  for (int node = 0; node < 10; ++node) {
+    const auto s = cloud_speed_series(400, volatile_cloud_config(), rng);
+    for (std::size_t t = 1; t < s.size(); ++t) {
+      if (std::abs(s[t] - s[t - 1]) > 0.15) ++jumps;
+    }
+  }
+  EXPECT_GT(jumps, 10u);
+}
+
+TEST(TraceGen, CorpusShape) {
+  util::Rng rng(4);
+  const auto corpus = cloud_speed_corpus(7, 50, stable_cloud_config(), rng);
+  ASSERT_EQ(corpus.size(), 7u);
+  for (const auto& s : corpus) EXPECT_EQ(s.size(), 50u);
+}
+
+TEST(TraceGen, ControlledClusterStragglersAreLast) {
+  util::Rng rng(5);
+  const auto traces = controlled_cluster_traces(12, 3, 0.2, rng);
+  ASSERT_EQ(traces.size(), 12u);
+  for (std::size_t w = 0; w < 9; ++w) {
+    EXPECT_GE(traces[w].speed_at(0.0), 0.8);
+    EXPECT_LE(traces[w].speed_at(0.0), 1.0);
+  }
+  for (std::size_t w = 9; w < 12; ++w) {
+    EXPECT_DOUBLE_EQ(traces[w].speed_at(0.0), 0.2);  // 5x slower
+  }
+}
+
+TEST(TraceGen, ControlledClusterValidation) {
+  util::Rng rng(6);
+  EXPECT_THROW(controlled_cluster_traces(4, 5, 0.2, rng),
+               std::invalid_argument);
+  EXPECT_THROW(controlled_cluster_traces(4, 1, 1.5, rng),
+               std::invalid_argument);
+}
+
+TEST(TraceGen, TracesFromSeries) {
+  const std::vector<std::vector<double>> series{{1.0, 0.5}, {0.2, 0.2}};
+  const auto traces = traces_from_series(series, 2.0);
+  ASSERT_EQ(traces.size(), 2u);
+  EXPECT_DOUBLE_EQ(traces[0].speed_at(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(traces[0].speed_at(3.0), 0.5);
+  EXPECT_DOUBLE_EQ(traces[1].speed_at(100.0), 0.2);
+}
+
+TEST(TraceGen, DeterministicForSeed) {
+  util::Rng a(7), b(7);
+  const auto s1 = cloud_speed_series(100, volatile_cloud_config(), a);
+  const auto s2 = cloud_speed_series(100, volatile_cloud_config(), b);
+  EXPECT_EQ(s1, s2);
+}
+
+}  // namespace
+}  // namespace s2c2::workload

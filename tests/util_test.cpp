@@ -1,0 +1,153 @@
+// Unit tests for src/util: stats, table formatting, seeded RNG.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "src/util/require.h"
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+#include "src/util/table.h"
+
+namespace s2c2::util {
+namespace {
+
+TEST(Stats, MeanVarianceStddev) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+  EXPECT_DOUBLE_EQ(variance(xs), 1.25);
+  EXPECT_NEAR(stddev(xs), 1.1180339887, 1e-9);
+}
+
+TEST(Stats, MeanOfEmptyThrows) {
+  EXPECT_THROW((void)mean({}), std::invalid_argument);
+  EXPECT_THROW((void)variance({}), std::invalid_argument);
+  EXPECT_THROW((void)percentile({}, 50.0), std::invalid_argument);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> xs{10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 25.0);
+  EXPECT_DOUBLE_EQ(median(xs), 25.0);
+}
+
+TEST(Stats, PercentileSingleElement) {
+  const std::vector<double> xs{7.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 99.0), 7.0);
+}
+
+TEST(Stats, PercentileRejectsOutOfRangeP) {
+  const std::vector<double> xs{1.0};
+  EXPECT_THROW((void)percentile(xs, -1.0), std::invalid_argument);
+  EXPECT_THROW((void)percentile(xs, 101.0), std::invalid_argument);
+}
+
+TEST(Stats, MapeMatchesHandComputation) {
+  const std::vector<double> pred{1.1, 0.9};
+  const std::vector<double> act{1.0, 1.0};
+  EXPECT_NEAR(mape(pred, act), 10.0, 1e-9);
+}
+
+TEST(Stats, MapeSkipsNearZeroActuals) {
+  const std::vector<double> pred{1.0, 5.0};
+  const std::vector<double> act{0.0, 4.0};
+  EXPECT_NEAR(mape(pred, act), 25.0, 1e-9);
+}
+
+TEST(Stats, MapeSizeMismatchThrows) {
+  const std::vector<double> a{1.0};
+  const std::vector<double> b{1.0, 2.0};
+  EXPECT_THROW((void)mape(a, b), std::invalid_argument);
+}
+
+TEST(Stats, NormalizedBy) {
+  const std::vector<double> xs{2.0, 4.0};
+  const auto out = normalized_by(xs, 2.0);
+  EXPECT_DOUBLE_EQ(out[0], 1.0);
+  EXPECT_DOUBLE_EQ(out[1], 2.0);
+  EXPECT_THROW((void)normalized_by(xs, 0.0), std::invalid_argument);
+}
+
+TEST(Stats, MinMaxSum) {
+  const std::vector<double> xs{3.0, -1.0, 2.0};
+  EXPECT_DOUBLE_EQ(min_of(xs), -1.0);
+  EXPECT_DOUBLE_EQ(max_of(xs), 3.0);
+  EXPECT_DOUBLE_EQ(sum(xs), 4.0);
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) {
+    if (a.uniform() != b.uniform()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(7);
+  Rng child = a.split();
+  // Child continues deterministically regardless of parent advancement.
+  Rng a2(7);
+  Rng child2 = a2.split();
+  for (int i = 0; i < 50; ++i) a2.uniform();
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_DOUBLE_EQ(child.uniform(), child2.uniform());
+  }
+}
+
+TEST(Rng, UniformIntInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(-2, 5);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(5);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row_numeric("beta", {2.5}, 1);
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("2.5"), std::string::npos);
+  EXPECT_NE(s.find("name"), std::string::npos);
+}
+
+TEST(Table, RejectsTooManyCells) {
+  Table t({"one"});
+  EXPECT_THROW(t.add_row({"a", "b"}), std::invalid_argument);
+}
+
+TEST(Table, FmtPrecision) {
+  EXPECT_EQ(fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(fmt(2.0, 0), "2");
+}
+
+TEST(Require, MacrosThrowProperTypes) {
+  EXPECT_THROW(S2C2_REQUIRE(false, "msg"), std::invalid_argument);
+  EXPECT_THROW(S2C2_CHECK(false, "msg"), std::logic_error);
+  EXPECT_NO_THROW(S2C2_REQUIRE(true, ""));
+  EXPECT_NO_THROW(S2C2_CHECK(true, ""));
+}
+
+}  // namespace
+}  // namespace s2c2::util

@@ -1,0 +1,109 @@
+// Tests for synthetic datasets and graphs.
+#include <gtest/gtest.h>
+
+#include "src/workload/datasets.h"
+#include "src/workload/graphs.h"
+
+namespace s2c2::workload {
+namespace {
+
+TEST(Datasets, ShapeAndLabels) {
+  util::Rng rng(1);
+  const Dataset ds = make_classification(10, 4, rng);
+  EXPECT_EQ(ds.x.rows(), 10u);
+  EXPECT_EQ(ds.x.cols(), 4u);
+  EXPECT_EQ(ds.y.size(), 10u);
+  for (double y : ds.y) EXPECT_TRUE(y == 1.0 || y == -1.0);
+}
+
+TEST(Datasets, SeparableWithLargeMargin) {
+  util::Rng rng(2);
+  const Dataset ds = make_classification(200, 10, rng, 6.0, 0.5);
+  // A trivial centroid classifier should get almost everything right.
+  linalg::Vector centroid(10, 0.0);
+  for (std::size_t i = 0; i < ds.x.rows(); ++i) {
+    for (std::size_t j = 0; j < 10; ++j) {
+      centroid[j] += ds.y[i] * ds.x(i, j);
+    }
+  }
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < ds.x.rows(); ++i) {
+    const double score = linalg::dot(ds.x.row(i), centroid);
+    if (score * ds.y[i] > 0.0) ++correct;
+  }
+  EXPECT_GT(correct, 190u);
+}
+
+TEST(Graphs, PowerLawShape) {
+  util::Rng rng(3);
+  const auto g = power_law_digraph(200, 3, rng);
+  EXPECT_EQ(g.rows(), 200u);
+  EXPECT_GT(g.nnz(), 200u);
+}
+
+TEST(Graphs, PowerLawHasHubs) {
+  util::Rng rng(4);
+  const auto g = power_law_digraph(500, 4, rng);
+  // In-degree distribution should be skewed: max in-degree well above mean.
+  const auto gt = g.transposed();
+  const auto rp = gt.row_ptr();
+  std::size_t max_in = 0;
+  for (std::size_t r = 0; r < gt.rows(); ++r) {
+    max_in = std::max(max_in, rp[r + 1] - rp[r]);
+  }
+  const double mean_in =
+      static_cast<double>(g.nnz()) / static_cast<double>(g.rows());
+  EXPECT_GT(static_cast<double>(max_in), 5.0 * mean_in);
+}
+
+TEST(Graphs, RandomUndirectedIsSymmetric) {
+  util::Rng rng(5);
+  const auto g = random_undirected(40, 0.2, rng);
+  const auto d = g.to_dense();
+  const auto dt = g.transposed().to_dense();
+  EXPECT_LT(d.max_abs_diff(dt), 1e-15);
+  for (std::size_t i = 0; i < 40; ++i) EXPECT_DOUBLE_EQ(d(i, i), 0.0);
+}
+
+TEST(Graphs, LinkMatrixColumnsSumToOne) {
+  util::Rng rng(6);
+  const auto adj = power_law_digraph(50, 3, rng);
+  const auto m = link_matrix(adj);
+  const auto dense = m.to_dense();
+  const auto adj_dense = adj.to_dense();
+  for (std::size_t j = 0; j < 50; ++j) {
+    double outdeg = 0.0;
+    for (std::size_t c = 0; c < 50; ++c) outdeg += adj_dense(j, c);
+    double col_sum = 0.0;
+    for (std::size_t i = 0; i < 50; ++i) col_sum += dense(i, j);
+    if (outdeg > 0.0) {
+      EXPECT_NEAR(col_sum, 1.0, 1e-9) << "column " << j;
+    } else {
+      EXPECT_DOUBLE_EQ(col_sum, 0.0);
+    }
+  }
+}
+
+TEST(Graphs, LaplacianRowsSumToZero) {
+  util::Rng rng(7);
+  const auto adj = random_undirected(30, 0.3, rng);
+  const auto lap = combinatorial_laplacian(adj);
+  const linalg::Vector ones(30, 1.0);
+  const auto y = lap.matvec(ones);
+  for (double v : y) EXPECT_NEAR(v, 0.0, 1e-12);
+}
+
+TEST(Graphs, LaplacianPositiveSemidefiniteQuadraticForm) {
+  util::Rng rng(8);
+  const auto adj = random_undirected(25, 0.25, rng);
+  const auto lap = combinatorial_laplacian(adj);
+  for (int trial = 0; trial < 10; ++trial) {
+    linalg::Vector x(25);
+    for (auto& v : x) v = rng.normal();
+    const auto lx = lap.matvec(x);
+    EXPECT_GE(linalg::dot(x, lx), -1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace s2c2::workload
