@@ -1,0 +1,67 @@
+// Cross-engine scenario matrix at paper scale (cost-only): every engine x
+// workload x trace-profile cell from one fixed seed, reporting mean round
+// latency, timeout rate, and wasted work. This is the condensed version of
+// the paper's whole evaluation section — Figs 6-11 each correspond to a
+// slice of this table.
+//
+//   build/bench/bench_scenario_matrix [seed] [rounds] [scale]
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "bench/bench_common.h"
+#include "src/harness/scenario_matrix.h"
+
+int main(int argc, char** argv) {
+  using namespace s2c2;
+
+  harness::ScenarioConfig cfg;
+  cfg.workers = 12;
+  cfg.stragglers = 2;
+  cfg.rounds = 12;
+  cfg.functional = false;
+  if (argc > 1) cfg.seed = std::strtoull(argv[1], nullptr, 10);
+  if (argc > 2) cfg.rounds = std::strtoul(argv[2], nullptr, 10);
+  if (argc > 3) cfg.scale = std::strtod(argv[3], nullptr);
+
+  bench::print_header(
+      "Scenario matrix — engine x workload x trace profile",
+      "cost-only paper-scale operators, oracle speeds, seed " +
+          std::to_string(cfg.seed) + ", " + std::to_string(cfg.rounds) +
+          " rounds/cell");
+
+  const auto m = harness::run_scenario_matrix(cfg);
+
+  util::Table t({"engine", "workload", "trace", "mean latency (ms)",
+                 "timeout %", "wasted %"});
+  for (const auto& cell : m.cells) {
+    t.add_row({harness::engine_name(cell.engine),
+               harness::workload_name(cell.workload),
+               harness::trace_profile_name(cell.trace),
+               util::fmt(cell.mean_latency * 1e3, 3),
+               util::fmt(100.0 * cell.timeout_rate, 1),
+               util::fmt(100.0 * cell.mean_wasted_fraction, 1)});
+  }
+  t.print();
+
+  // Normalized headline: S2C2 vs the mat-vec baselines on the straggler
+  // cluster (the paper's Fig 6/7 comparison, collapsed to means). Poly is
+  // excluded — its cell computes a d x d Hessian, not the same product.
+  std::cout << "\nnormalized mean latency vs s2c2 (controlled stragglers, "
+               "logreg):\n";
+  const auto* ref = m.find(harness::EngineKind::kS2C2,
+                           harness::WorkloadKind::kLogisticRegression,
+                           harness::TraceProfile::kControlledStragglers);
+  for (const auto e :
+       {harness::EngineKind::kS2C2, harness::EngineKind::kReplication,
+        harness::EngineKind::kOverDecomposition}) {
+    const auto* cell =
+        m.find(e, harness::WorkloadKind::kLogisticRegression,
+               harness::TraceProfile::kControlledStragglers);
+    if (ref == nullptr || cell == nullptr || ref->mean_latency <= 0.0) break;
+    std::cout << "  " << harness::engine_name(e) << ": "
+              << util::fmt(cell->mean_latency / ref->mean_latency, 3) << "x\n";
+  }
+  std::cout << "\nmatrix fingerprint: " << m.fingerprint() << "\n";
+  return 0;
+}

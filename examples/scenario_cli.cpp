@@ -1,67 +1,162 @@
-// Scenario driver: run any strategy on a custom cluster from the command
-// line — the "kick the tires" tool a downstream user reaches for first.
+// Scenario driver over the harness (src/harness/scenario_matrix.h) — the
+// "kick the tires" tool a downstream user reaches for first. Runs either a
+// single engine/workload/trace cell with a per-round table, or the full
+// deterministic cross-engine matrix.
 //
-//   build/examples/scenario_cli --workers 12 --k 8 --stragglers 3 \
-//       --strategy s2c2-general --rounds 20 --env controlled
+//   build/examples/scenario_cli --engine s2c2 --workload logreg
+//       --trace controlled --workers 12 --stragglers 3 --rounds 20
+//   build/examples/scenario_cli --matrix --functional
 //
 // Flags (all optional):
-//   --workers N      cluster size                        (default 12)
-//   --k K            MDS parameter                       (default n-2)
-//   --stragglers S   5x-slow nodes, controlled env only  (default 1)
-//   --strategy X     mds | s2c2-basic | s2c2-general     (default s2c2-general)
-//   --env X          controlled | stable | volatile      (default controlled)
-//   --rounds R       iterations                          (default 15)
-//   --chunks C       chunks per partition                (default 48)
-//   --rows / --cols  operator shape                      (default 21000x2000)
-//   --lstm           schedule from a trained LSTM instead of the oracle
-#include <cstring>
+//   --matrix         run the full engine x workload x trace sweep
+//   --engine X       s2c2 | replication | poly | overdecomp  (default s2c2)
+//   --workload X     logreg | pagerank | svm | hessian       (default logreg)
+//   --trace X        controlled | stable | volatile          (default controlled)
+//   --workers N      cluster size                            (default 12)
+//   --k K            MDS parameter                           (default n-2)
+//   --stragglers S   5x-slow nodes, controlled trace only    (default 2)
+//   --rounds R       iterations per cell                     (default 15)
+//   --chunks C       chunks per partition                    (default 24)
+//   --seed S         RNG seed for the whole scenario         (default 42)
+//   --scale F        cost-only operator scale factor         (default 1.0)
+//   --functional     run real (small) operators; coded cells (s2c2, poly on
+//                    hessian) verify their decode and report the max error
+#include <cstdio>
 #include <iostream>
+#include <stdexcept>
 #include <string>
+#include <vector>
 
-#include "src/core/engine.h"
-#include "src/predict/lstm.h"
+#include "src/harness/scenario_matrix.h"
 #include "src/util/table.h"
-#include "src/workload/trace_gen.h"
 
 namespace {
 
 using namespace s2c2;
 
 struct Options {
-  std::size_t workers = 12;
-  std::size_t k = 0;
-  std::size_t stragglers = 1;
-  std::string strategy = "s2c2-general";
-  std::string env = "controlled";
-  std::size_t rounds = 15;
-  std::size_t chunks = 48;
-  std::size_t rows = 21000;
-  std::size_t cols = 2000;
-  bool lstm = false;
+  harness::ScenarioConfig config;
+  harness::EngineKind engine = harness::EngineKind::kS2C2;
+  harness::WorkloadKind workload = harness::WorkloadKind::kLogisticRegression;
+  harness::TraceProfile trace = harness::TraceProfile::kControlledStragglers;
+  bool matrix = false;
 };
+
+std::string fmt_sci(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2e", v);
+  return buf;
+}
+
+harness::EngineKind parse_engine(const std::string& s) {
+  for (const auto e : harness::all_engines()) {
+    if (s == harness::engine_name(e)) return e;
+  }
+  throw std::invalid_argument("unknown engine: " + s);
+}
+
+harness::WorkloadKind parse_workload(const std::string& s) {
+  for (const auto w : harness::all_workloads()) {
+    if (s == harness::workload_name(w)) return w;
+  }
+  throw std::invalid_argument("unknown workload: " + s);
+}
+
+harness::TraceProfile parse_trace(const std::string& s) {
+  for (const auto t : harness::all_trace_profiles()) {
+    if (s == harness::trace_profile_name(t)) return t;
+  }
+  throw std::invalid_argument("unknown trace profile: " + s);
+}
 
 Options parse(int argc, char** argv) {
   Options o;
+  o.config.rounds = 15;
   auto value = [&](int& i) -> std::string {
     if (i + 1 >= argc) throw std::invalid_argument("missing flag value");
     return argv[++i];
   };
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
-    if (flag == "--workers") o.workers = std::stoul(value(i));
-    else if (flag == "--k") o.k = std::stoul(value(i));
-    else if (flag == "--stragglers") o.stragglers = std::stoul(value(i));
-    else if (flag == "--strategy") o.strategy = value(i);
-    else if (flag == "--env") o.env = value(i);
-    else if (flag == "--rounds") o.rounds = std::stoul(value(i));
-    else if (flag == "--chunks") o.chunks = std::stoul(value(i));
-    else if (flag == "--rows") o.rows = std::stoul(value(i));
-    else if (flag == "--cols") o.cols = std::stoul(value(i));
-    else if (flag == "--lstm") o.lstm = true;
+    if (flag == "--matrix") o.matrix = true;
+    else if (flag == "--engine") o.engine = parse_engine(value(i));
+    else if (flag == "--workload") o.workload = parse_workload(value(i));
+    else if (flag == "--trace") o.trace = parse_trace(value(i));
+    else if (flag == "--workers") o.config.workers = std::stoul(value(i));
+    else if (flag == "--k") o.config.k = std::stoul(value(i));
+    else if (flag == "--stragglers") o.config.stragglers = std::stoul(value(i));
+    else if (flag == "--rounds") o.config.rounds = std::stoul(value(i));
+    else if (flag == "--chunks")
+      o.config.chunks_per_partition = std::stoul(value(i));
+    else if (flag == "--seed") o.config.seed = std::stoull(value(i));
+    else if (flag == "--scale") o.config.scale = std::stod(value(i));
+    else if (flag == "--functional") o.config.functional = true;
     else throw std::invalid_argument("unknown flag: " + flag);
   }
-  if (o.k == 0) o.k = o.workers >= 3 ? o.workers - 2 : o.workers;
   return o;
+}
+
+void print_cell_summary(const harness::CellResult& cell) {
+  std::cout << "\nmean latency " << util::fmt(cell.mean_latency * 1e3, 3)
+            << " ms | timeout rate "
+            << util::fmt(100.0 * cell.timeout_rate, 1)
+            << "% | mean wasted work "
+            << util::fmt(100.0 * cell.mean_wasted_fraction, 1) << "%";
+  if (cell.decode_checked) {
+    std::cout << " | max decode error " << fmt_sci(cell.max_decode_error);
+  }
+  std::cout << "\ncell fingerprint: " << cell.fingerprint() << "\n";
+}
+
+int run_single(const Options& o) {
+  std::cout << harness::engine_name(o.engine) << " / "
+            << harness::workload_name(o.workload) << " on "
+            << harness::trace_profile_name(o.trace) << " traces, "
+            << o.config.workers << " workers (k=" << o.config.effective_k()
+            << "), " << o.config.rounds << " rounds"
+            << (o.config.functional ? ", functional" : ", cost-only")
+            << "\n\n";
+  const auto cell =
+      harness::run_cell(o.config, o.engine, o.workload, o.trace);
+  util::Table t({"round", "latency (ms)"});
+  for (std::size_t r = 0; r < cell.round_latencies.size(); ++r) {
+    t.add_row({std::to_string(r + 1),
+               util::fmt(cell.round_latencies[r] * 1e3, 3)});
+  }
+  t.print();
+  print_cell_summary(cell);
+  return 0;
+}
+
+int run_matrix(const Options& o) {
+  std::cout << "scenario matrix: " << o.config.workers
+            << " workers (k=" << o.config.effective_k() << "), "
+            << o.config.rounds << " rounds/cell, seed " << o.config.seed
+            << (o.config.functional ? ", functional" : ", cost-only")
+            << "\n\n";
+  const auto m = harness::run_scenario_matrix(o.config);
+  std::vector<std::string> headers = {"engine", "workload", "trace",
+                                      "mean latency (ms)", "timeout %",
+                                      "wasted %"};
+  if (o.config.functional) headers.push_back("max decode err");
+  util::Table t(headers);
+  for (const auto& cell : m.cells) {
+    std::vector<std::string> row = {
+        harness::engine_name(cell.engine),
+        harness::workload_name(cell.workload),
+        harness::trace_profile_name(cell.trace),
+        util::fmt(cell.mean_latency * 1e3, 3),
+        util::fmt(100.0 * cell.timeout_rate, 1),
+        util::fmt(100.0 * cell.mean_wasted_fraction, 1)};
+    if (o.config.functional) {
+      row.push_back(cell.decode_checked ? fmt_sci(cell.max_decode_error)
+                                        : "-");
+    }
+    t.add_row(row);
+  }
+  t.print();
+  std::cout << "\nmatrix fingerprint: " << m.fingerprint() << "\n";
+  return 0;
 }
 
 }  // namespace
@@ -74,72 +169,10 @@ int main(int argc, char** argv) {
     std::cerr << "error: " << e.what() << "\n(see header comment for flags)\n";
     return 1;
   }
-
-  // Environment.
-  workload::CloudTraceConfig trace_cfg;
-  core::ClusterSpec spec;
-  util::Rng rng(1234);
-  if (o.env == "controlled") {
-    spec.traces = workload::controlled_cluster_traces(o.workers, o.stragglers,
-                                                      0.2, rng);
-    spec.net.bytes_per_s = 7e9;
-  } else {
-    trace_cfg = o.env == "stable" ? workload::stable_cloud_config()
-                                  : workload::volatile_cloud_config();
-    spec.traces = workload::traces_from_series(
-        workload::cloud_speed_corpus(o.workers, 400, trace_cfg, rng), 0.012);
-  }
-
-  // Strategy.
-  core::EngineConfig cfg;
-  cfg.chunks_per_partition = o.chunks;
-  cfg.oracle_speeds = !o.lstm;
-  if (o.strategy == "mds") cfg.strategy = core::Strategy::kMdsConventional;
-  else if (o.strategy == "s2c2-basic") cfg.strategy = core::Strategy::kS2C2Basic;
-  else if (o.strategy == "s2c2-general") cfg.strategy = core::Strategy::kS2C2General;
-  else {
-    std::cerr << "error: unknown strategy " << o.strategy << "\n";
+  try {
+    return o.matrix ? run_matrix(o) : run_single(o);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
     return 1;
   }
-
-  std::unique_ptr<predict::SpeedPredictor> predictor;
-  std::unique_ptr<predict::Lstm> lstm;
-  if (o.lstm) {
-    std::cout << "training LSTM predictor...\n";
-    util::Rng hist(5);
-    const auto corpus =
-        workload::cloud_speed_corpus(24, 150, trace_cfg, hist);
-    lstm = std::make_unique<predict::Lstm>(1, 4, 99);
-    predict::Lstm::TrainConfig tc;
-    tc.epochs = 120;
-    lstm->train(corpus, tc);
-    predictor = std::make_unique<predict::LstmPredictor>(o.workers, *lstm);
-  }
-
-  auto job = core::CodedMatVecJob::cost_only(o.rows, o.cols, o.workers, o.k,
-                                             o.chunks);
-  core::CodedComputeEngine engine(job, spec, cfg, std::move(predictor));
-
-  std::cout << "\n(" << o.workers << "," << o.k << ") " << o.strategy
-            << " on " << o.env << " cluster, " << o.rounds << " rounds\n\n";
-  util::Table t({"round", "latency (ms)", "timeout", "reassigned chunks"});
-  double total = 0.0;
-  for (std::size_t r = 0; r < o.rounds; ++r) {
-    const auto res = engine.run_round();
-    total += res.stats.latency();
-    t.add_row({std::to_string(r + 1),
-               util::fmt(res.stats.latency() * 1e3, 3),
-               res.stats.timeout_fired ? "yes" : "",
-               res.stats.reassigned_chunks > 0
-                   ? std::to_string(res.stats.reassigned_chunks)
-                   : ""});
-  }
-  t.print();
-  std::cout << "\nmean latency " << util::fmt(total / o.rounds * 1e3, 3)
-            << " ms | timeout rate "
-            << util::fmt(100.0 * engine.timeout_rate(), 1)
-            << "% | mean wasted work "
-            << util::fmt(100.0 * engine.accounting().mean_wasted_fraction(), 1)
-            << "%\n";
-  return 0;
 }

@@ -1,0 +1,458 @@
+#include "src/harness/scenario_matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+
+#include "src/coding/poly_code.h"
+#include "src/core/engine.h"
+#include "src/core/overdecomp_engine.h"
+#include "src/core/poly_engine.h"
+#include "src/core/replication_engine.h"
+#include "src/linalg/sparse.h"
+#include "src/util/rng.h"
+#include "src/workload/graphs.h"
+#include "src/workload/trace_gen.h"
+
+namespace s2c2::harness {
+
+namespace {
+
+// splitmix64 — the standard 64-bit finalizer; good enough to decorrelate
+// cell streams from a single user seed.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xffull;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::uint64_t fnv1a(std::uint64_t h, double d) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(d));
+  std::memcpy(&bits, &d, sizeof(bits));
+  return fnv1a(h, bits);
+}
+
+std::string hex64(std::uint64_t h) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(h));
+  return buf;
+}
+
+/// Rounds `d` down to a multiple of `a` (polynomial codes need d % a == 0),
+/// clamping up to `a` when d < a so degenerate shapes still yield one block.
+std::size_t round_to_blocks(std::size_t d, std::size_t a) {
+  return std::max<std::size_t>(a, d - d % a);
+}
+
+double worker_flops_for(const ScenarioConfig& config) {
+  // Functional cells run real (tiny) operators; a proportionally slower
+  // fleet keeps compute on the critical path, matching the cost-only shape.
+  return config.functional ? 1e7 : 1e9;
+}
+
+/// Nominal per-worker round time of the logistic-regression cell — the
+/// sample period for cloud traces, so regimes drift on the same timescale
+/// as rounds (mirrors the paper's one-sample-per-iteration measurement).
+double trace_sample_dt(const ScenarioConfig& config) {
+  const WorkloadShape s = workload_shape(WorkloadKind::kLogisticRegression,
+                                         config);
+  const double flops = core::matvec_flops(s.rows, s.cols);
+  return flops / (static_cast<double>(config.effective_k()) *
+                  worker_flops_for(config));
+}
+
+struct RoundSummary {
+  std::vector<double> latencies;
+  std::size_t timeouts = 0;
+};
+
+/// Shared per-round bookkeeping: `run_round` executes one engine round and
+/// returns its RoundStats (doing any cell-specific work, e.g. decode
+/// verification, before returning). Keeping this in one place keeps every
+/// engine's event log shaped identically.
+template <typename RunRound>
+RoundSummary run_rounds_loop(std::size_t rounds, RunRound&& run_round) {
+  RoundSummary rs;
+  for (std::size_t r = 0; r < rounds; ++r) {
+    const sim::RoundStats stats = run_round();
+    rs.latencies.push_back(stats.latency());
+    rs.timeouts += stats.timeout_fired ? 1 : 0;
+  }
+  return rs;
+}
+
+void finish_cell(CellResult& cell, const RoundSummary& rs,
+                 const sim::Accounting& acct) {
+  cell.rounds = rs.latencies.size();
+  cell.round_latencies = rs.latencies;
+  for (const double l : rs.latencies) cell.total_latency += l;
+  cell.mean_latency =
+      cell.rounds > 0 ? cell.total_latency / static_cast<double>(cell.rounds)
+                      : 0.0;
+  cell.timeout_rate =
+      cell.rounds > 0
+          ? static_cast<double>(rs.timeouts) / static_cast<double>(cell.rounds)
+          : 0.0;
+  cell.total_useful = acct.total_useful();
+  cell.total_wasted = acct.total_wasted();
+  cell.mean_wasted_fraction = acct.mean_wasted_fraction();
+}
+
+}  // namespace
+
+const char* engine_name(EngineKind e) {
+  switch (e) {
+    case EngineKind::kS2C2: return "s2c2";
+    case EngineKind::kReplication: return "replication";
+    case EngineKind::kPolyCoded: return "poly";
+    case EngineKind::kOverDecomposition: return "overdecomp";
+  }
+  return "?";
+}
+
+const char* workload_name(WorkloadKind w) {
+  switch (w) {
+    case WorkloadKind::kLogisticRegression: return "logreg";
+    case WorkloadKind::kPageRank: return "pagerank";
+    case WorkloadKind::kSvm: return "svm";
+    case WorkloadKind::kHessian: return "hessian";
+  }
+  return "?";
+}
+
+const char* trace_profile_name(TraceProfile t) {
+  switch (t) {
+    case TraceProfile::kControlledStragglers: return "controlled";
+    case TraceProfile::kStableCloud: return "stable";
+    case TraceProfile::kVolatileCloud: return "volatile";
+  }
+  return "?";
+}
+
+std::vector<EngineKind> all_engines() {
+  return {EngineKind::kS2C2, EngineKind::kReplication, EngineKind::kPolyCoded,
+          EngineKind::kOverDecomposition};
+}
+
+std::vector<WorkloadKind> all_workloads() {
+  return {WorkloadKind::kLogisticRegression, WorkloadKind::kPageRank,
+          WorkloadKind::kSvm, WorkloadKind::kHessian};
+}
+
+std::vector<TraceProfile> all_trace_profiles() {
+  return {TraceProfile::kControlledStragglers, TraceProfile::kStableCloud,
+          TraceProfile::kVolatileCloud};
+}
+
+WorkloadShape workload_shape(WorkloadKind w, const ScenarioConfig& config) {
+  WorkloadShape s;
+  // Largest block split with a² decode quorum the fleet can field.
+  s.a_blocks = config.workers >= 10 ? 3 : (config.workers >= 5 ? 2 : 1);
+  if (config.functional) {
+    switch (w) {
+      case WorkloadKind::kLogisticRegression: s.rows = 240; s.cols = 36; break;
+      case WorkloadKind::kPageRank:
+        s.rows = 216; s.cols = 216; s.sparse = true; break;
+      case WorkloadKind::kSvm: s.rows = 180; s.cols = 48; break;
+      case WorkloadKind::kHessian: s.rows = 72; s.cols = 24; break;
+    }
+    return s;
+  }
+  const double scale = std::max(config.scale, 1e-3);
+  auto scaled = [&](std::size_t rows) {
+    return std::max<std::size_t>(
+        config.workers, static_cast<std::size_t>(
+                            std::llround(static_cast<double>(rows) * scale)));
+  };
+  switch (w) {
+    // The paper's duplicated-gisette LR/SVM shape (§6.5/§7.2).
+    case WorkloadKind::kLogisticRegression:
+      s.rows = scaled(21000); s.cols = 2000; break;
+    // Square link matrix (Toronto web-graph stand-in, §6.3) — scaling must
+    // keep rows == cols or the cell stops modelling power iteration.
+    case WorkloadKind::kPageRank:
+      s.rows = scaled(12000); s.cols = s.rows; s.sparse = true; break;
+    case WorkloadKind::kSvm: s.rows = scaled(21000); s.cols = 2000; break;
+    // A is N x d; the poly engine computes the d x d Hessian from it.
+    case WorkloadKind::kHessian: s.rows = scaled(9000); s.cols = 900; break;
+  }
+  return s;
+}
+
+std::uint64_t cell_seed(std::uint64_t seed, EngineKind e, WorkloadKind w,
+                        TraceProfile t) {
+  std::uint64_t h = mix64(seed);
+  h = mix64(h ^ (static_cast<std::uint64_t>(e) + 1));
+  h = mix64(h ^ ((static_cast<std::uint64_t>(w) + 1) << 8));
+  h = mix64(h ^ ((static_cast<std::uint64_t>(t) + 1) << 16));
+  return h;
+}
+
+std::uint64_t trace_salt(std::uint64_t seed, WorkloadKind w, TraceProfile t) {
+  std::uint64_t h = mix64(seed ^ 0x7ace0c01u);
+  h = mix64(h ^ ((static_cast<std::uint64_t>(w) + 1) << 8));
+  h = mix64(h ^ ((static_cast<std::uint64_t>(t) + 1) << 16));
+  return h;
+}
+
+std::vector<sim::SpeedTrace> make_traces(TraceProfile profile,
+                                         const ScenarioConfig& config,
+                                         std::uint64_t salt) {
+  util::Rng rng(mix64(salt ^ 0x7ace5eedull));
+  switch (profile) {
+    case TraceProfile::kControlledStragglers:
+      return workload::controlled_cluster_traces(config.workers,
+                                                 config.stragglers, 0.1, rng);
+    case TraceProfile::kStableCloud:
+    case TraceProfile::kVolatileCloud: {
+      const auto cfg = profile == TraceProfile::kStableCloud
+                           ? workload::stable_cloud_config()
+                           : workload::volatile_cloud_config();
+      const std::size_t samples = std::max<std::size_t>(64, 4 * config.rounds);
+      return workload::traces_from_series(
+          workload::cloud_speed_corpus(config.workers, samples, cfg, rng),
+          trace_sample_dt(config));
+    }
+  }
+  throw std::invalid_argument("unknown trace profile");
+}
+
+core::ClusterSpec make_cluster(TraceProfile profile,
+                               const ScenarioConfig& config,
+                               std::uint64_t salt) {
+  core::ClusterSpec spec;
+  spec.traces = make_traces(profile, config, salt);
+  spec.worker_flops = worker_flops_for(config);
+  spec.master_flops = spec.worker_flops;
+  if (profile == TraceProfile::kControlledStragglers) {
+    spec.net.bytes_per_s = 7e9;  // the paper's FDR InfiniBand cluster
+  }
+  return spec;
+}
+
+std::string CellResult::fingerprint() const {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  h = fnv1a(h, static_cast<std::uint64_t>(engine));
+  h = fnv1a(h, static_cast<std::uint64_t>(workload));
+  h = fnv1a(h, static_cast<std::uint64_t>(trace));
+  h = fnv1a(h, static_cast<std::uint64_t>(rounds));
+  for (const double l : round_latencies) h = fnv1a(h, l);
+  h = fnv1a(h, total_useful);
+  h = fnv1a(h, total_wasted);
+  h = fnv1a(h, max_decode_error);
+  return hex64(h);
+}
+
+const CellResult* MatrixResult::find(EngineKind e, WorkloadKind w,
+                                     TraceProfile t) const {
+  for (const auto& cell : cells) {
+    if (cell.engine == e && cell.workload == w && cell.trace == t) {
+      return &cell;
+    }
+  }
+  return nullptr;
+}
+
+std::string MatrixResult::fingerprint() const {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const auto& cell : cells) {
+    for (const char c : cell.fingerprint()) {
+      h = fnv1a(h, static_cast<std::uint64_t>(c));
+    }
+  }
+  return hex64(h);
+}
+
+namespace {
+
+CellResult run_s2c2_cell(const ScenarioConfig& config, const WorkloadShape& s,
+                         const core::ClusterSpec& spec, std::uint64_t salt,
+                         CellResult cell) {
+  core::EngineConfig cfg;
+  cfg.strategy = core::Strategy::kS2C2General;
+  cfg.chunks_per_partition = config.chunks_per_partition;
+  cfg.oracle_speeds = true;
+
+  const std::size_t n = config.workers;
+  const std::size_t k = config.effective_k();
+  RoundSummary rs;
+
+  if (config.functional) {
+    util::Rng op_rng(mix64(salt ^ 0x0be7a70ull));
+    linalg::Vector x(s.cols);
+    for (auto& v : x) v = op_rng.normal();
+    linalg::Vector truth;
+    std::unique_ptr<core::CodedMatVecJob> job;
+    if (s.sparse) {
+      const auto adj = workload::power_law_digraph(s.rows, 6, op_rng);
+      const auto link = workload::link_matrix(adj);
+      truth = link.matvec(x);
+      job = std::make_unique<core::CodedMatVecJob>(
+          link, n, k, cfg.chunks_per_partition);
+    } else {
+      const auto a = linalg::Matrix::random_uniform(s.rows, s.cols, op_rng);
+      truth = a.matvec(x);
+      job = std::make_unique<core::CodedMatVecJob>(a, n, k,
+                                                   cfg.chunks_per_partition);
+    }
+    core::CodedComputeEngine engine(*job, spec, cfg);
+    cell.decode_checked = true;
+    rs = run_rounds_loop(config.rounds, [&] {
+      const auto res = engine.run_round(x);
+      if (res.y.has_value()) {
+        cell.max_decode_error = std::max(
+            cell.max_decode_error, linalg::max_abs_diff(*res.y, truth));
+      } else {
+        cell.max_decode_error = sim::SpeedTrace::kNever;
+      }
+      return res.stats;
+    });
+    finish_cell(cell, rs, engine.accounting());
+    return cell;
+  }
+
+  const auto job = core::CodedMatVecJob::cost_only(s.rows, s.cols, n, k,
+                                                   cfg.chunks_per_partition);
+  core::CodedComputeEngine engine(job, spec, cfg);
+  rs = run_rounds_loop(config.rounds, [&] { return engine.run_round().stats; });
+  finish_cell(cell, rs, engine.accounting());
+  return cell;
+}
+
+CellResult run_replication_cell(const ScenarioConfig& config,
+                                const WorkloadShape& s,
+                                const core::ClusterSpec& spec,
+                                std::uint64_t salt, CellResult cell) {
+  core::ReplicationConfig rcfg;
+  rcfg.placement_seed = mix64(salt ^ 0x91ace3e9ull);
+  core::ReplicationEngine engine(s.rows, s.cols, spec, rcfg);
+  const RoundSummary rs =
+      run_rounds_loop(config.rounds, [&] { return engine.run_round().stats; });
+  finish_cell(cell, rs, engine.accounting());
+  return cell;
+}
+
+CellResult run_poly_cell(const ScenarioConfig& config, const WorkloadShape& s,
+                         const core::ClusterSpec& spec, std::uint64_t salt,
+                         CellResult cell) {
+  const std::size_t d = round_to_blocks(s.cols, s.a_blocks);
+  const std::size_t out_rows = d / s.a_blocks;
+  core::PolyEngineConfig pcfg;
+  pcfg.use_s2c2 = true;
+  pcfg.oracle_speeds = true;
+  pcfg.chunks_per_partition =
+      std::min(config.chunks_per_partition, std::max<std::size_t>(out_rows, 1));
+
+  RoundSummary rs;
+  if (config.functional && cell.workload == WorkloadKind::kHessian) {
+    util::Rng op_rng(mix64(salt ^ 0x0be7a70ull));
+    const auto a = linalg::Matrix::random_uniform(s.rows, d, op_rng);
+    linalg::Vector x(s.rows);
+    for (auto& v : x) v = op_rng.uniform(0.1, 1.0);
+    const auto truth = coding::PolyCode::hessian_direct(a, x);
+    core::PolyCodedEngine engine(a, s.rows, d, s.a_blocks, spec, pcfg);
+    cell.decode_checked = true;
+    rs = run_rounds_loop(config.rounds, [&] {
+      const auto res = engine.run_round(x);
+      if (res.hessian.has_value()) {
+        cell.max_decode_error =
+            std::max(cell.max_decode_error, res.hessian->max_abs_diff(truth));
+      } else {
+        cell.max_decode_error = sim::SpeedTrace::kNever;
+      }
+      return res.stats;
+    });
+    finish_cell(cell, rs, engine.accounting());
+    return cell;
+  }
+
+  core::PolyCodedEngine engine(std::nullopt, s.rows, d, s.a_blocks, spec,
+                               pcfg);
+  rs = run_rounds_loop(config.rounds, [&] { return engine.run_round().stats; });
+  finish_cell(cell, rs, engine.accounting());
+  return cell;
+}
+
+CellResult run_overdecomp_cell(const ScenarioConfig& config,
+                               const WorkloadShape& s,
+                               const core::ClusterSpec& spec,
+                               CellResult cell) {
+  core::OverDecompConfig ocfg;
+  ocfg.oracle_speeds = true;
+  core::OverDecompositionEngine engine(s.rows, s.cols, spec, ocfg);
+  const RoundSummary rs =
+      run_rounds_loop(config.rounds, [&] { return engine.run_round().stats; });
+  finish_cell(cell, rs, engine.accounting());
+  return cell;
+}
+
+}  // namespace
+
+CellResult run_cell(const ScenarioConfig& config, EngineKind e,
+                    WorkloadKind w, TraceProfile t) {
+  if (config.workers < 2) {
+    throw std::invalid_argument("scenario matrix needs >= 2 workers");
+  }
+  const std::uint64_t salt = cell_seed(config.seed, e, w, t);
+  const WorkloadShape shape = workload_shape(w, config);
+  // Traces are salted per (workload, profile) column, NOT per engine —
+  // engines being compared must face the same realized cluster.
+  const core::ClusterSpec spec =
+      make_cluster(t, config, trace_salt(config.seed, w, t));
+
+  CellResult cell;
+  cell.engine = e;
+  cell.workload = w;
+  cell.trace = t;
+  switch (e) {
+    case EngineKind::kS2C2:
+      return run_s2c2_cell(config, shape, spec, salt, cell);
+    case EngineKind::kReplication:
+      return run_replication_cell(config, shape, spec, salt, cell);
+    case EngineKind::kPolyCoded:
+      return run_poly_cell(config, shape, spec, salt, cell);
+    case EngineKind::kOverDecomposition:
+      return run_overdecomp_cell(config, shape, spec, cell);
+  }
+  throw std::invalid_argument("unknown engine kind");
+}
+
+MatrixResult run_scenario_matrix(const ScenarioConfig& config,
+                                 std::span<const EngineKind> engines,
+                                 std::span<const WorkloadKind> workloads,
+                                 std::span<const TraceProfile> traces) {
+  MatrixResult out;
+  out.config = config;
+  out.cells.reserve(engines.size() * workloads.size() * traces.size());
+  for (const EngineKind e : engines) {
+    for (const WorkloadKind w : workloads) {
+      for (const TraceProfile t : traces) {
+        out.cells.push_back(run_cell(config, e, w, t));
+      }
+    }
+  }
+  return out;
+}
+
+MatrixResult run_scenario_matrix(const ScenarioConfig& config) {
+  const auto engines = all_engines();
+  const auto workloads = all_workloads();
+  const auto traces = all_trace_profiles();
+  return run_scenario_matrix(config, engines, workloads, traces);
+}
+
+}  // namespace s2c2::harness

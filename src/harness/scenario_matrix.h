@@ -1,0 +1,173 @@
+// Deterministic cross-engine scenario matrix (the repo's comparison rig).
+//
+// The paper's evaluation is a grid: straggler-mitigation strategy x
+// workload x cluster condition. This harness operationalizes that grid as
+// a single sweep — {S2C2, replication+LATE, polynomial coding,
+// over-decomposition} x {logistic regression, PageRank, SVM, Hessian} x
+// {speed-trace profiles} — under one fixed RNG seed, so every cell is
+// reproducible bit-for-bit and regressions in any engine/workload pair are
+// caught by diffing fingerprints.
+//
+// Three consumers share it:
+//   * tests/scenario_matrix_test.cpp — cross-engine invariants
+//     (decodability, exact-k coverage, S2C2 waste <= replication waste);
+//   * bench/bench_scenario_matrix.cpp — the paper-scale latency table;
+//   * examples/scenario_cli.cpp --matrix — the user-facing sweep.
+//
+// Determinism contract: every stochastic choice (traces, placement,
+// operators) derives from ScenarioConfig::seed mixed with the cell's
+// coordinates; engines run with oracle speeds (no trained predictor), so
+// run_scenario_matrix(config) == run_scenario_matrix(config) exactly.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/core/strategy_config.h"
+#include "src/sim/speed_trace.h"
+
+namespace s2c2::harness {
+
+enum class EngineKind {
+  kS2C2,               // MDS code + general S2C2 allocation (paper §4.2)
+  kReplication,        // uncoded 3-replication + LATE speculation (§7.1)
+  kPolyCoded,          // polynomial code, S2C2 allocation on top (§5)
+  kOverDecomposition,  // Charm++-style over-decomposition baseline (§7.2)
+};
+
+enum class WorkloadKind {
+  kLogisticRegression,  // tall dense operator (X and Xᵀ products, §6.3)
+  kPageRank,            // square link-matrix power iteration (§6.3)
+  kSvm,                 // hinge-loss training shape (§7.2)
+  kHessian,             // bilinear Aᵀ·diag(x)·A (§5, poly's home turf)
+};
+
+enum class TraceProfile {
+  kControlledStragglers,  // fixed 5x-slow nodes (§6.5/§7.1 cluster)
+  kStableCloud,           // low-volatility cloud regime (Fig 8)
+  kVolatileCloud,         // frequent regime switches (Fig 10)
+};
+
+[[nodiscard]] const char* engine_name(EngineKind e);
+[[nodiscard]] const char* workload_name(WorkloadKind w);
+[[nodiscard]] const char* trace_profile_name(TraceProfile t);
+
+[[nodiscard]] std::vector<EngineKind> all_engines();
+[[nodiscard]] std::vector<WorkloadKind> all_workloads();
+[[nodiscard]] std::vector<TraceProfile> all_trace_profiles();
+
+struct ScenarioConfig {
+  std::size_t workers = 12;
+  std::size_t k = 0;  // MDS parameter; 0 = workers - 2
+  std::size_t stragglers = 2;  // controlled profile only
+  std::size_t chunks_per_partition = 24;
+  std::size_t rounds = 6;
+  std::uint64_t seed = 42;
+
+  /// Functional mode runs real (small) operators through the engines;
+  /// cells with a decode — the S2C2 engine everywhere, the poly engine on
+  /// the Hessian workload — verify it against the uncoded reference
+  /// (decode_checked / max_decode_error). The uncoded baselines have
+  /// nothing to decode and stay latency-shape-only at functional scale.
+  /// Cost-only mode simulates latency shapes at paper scale.
+  bool functional = false;
+
+  /// Multiplies cost-only operator rows (scale-up studies).
+  double scale = 1.0;
+
+  [[nodiscard]] std::size_t effective_k() const {
+    return k != 0 ? k : (workers >= 3 ? workers - 2 : workers);
+  }
+};
+
+/// Operator geometry of one workload cell. `a_blocks` only matters for the
+/// polynomial engine (d_cols is always divisible by it).
+struct WorkloadShape {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::size_t a_blocks = 3;
+  bool sparse = false;  // PageRank's link matrix
+};
+
+[[nodiscard]] WorkloadShape workload_shape(WorkloadKind w,
+                                           const ScenarioConfig& config);
+
+/// Deterministic per-cell seed: config.seed mixed with the coordinates.
+/// Seeds cell-local randomness (operators, replica placement).
+[[nodiscard]] std::uint64_t cell_seed(std::uint64_t seed, EngineKind e,
+                                      WorkloadKind w, TraceProfile t);
+
+/// Trace salt for a (workload, profile) column — deliberately independent
+/// of the engine, so every engine in a column runs on the *same* realized
+/// cluster traces and cross-engine comparisons are apples-to-apples.
+[[nodiscard]] std::uint64_t trace_salt(std::uint64_t seed, WorkloadKind w,
+                                       TraceProfile t);
+
+/// The cluster traces a cell runs on, reproducible from (config, profile,
+/// salt). Exposed so tests can assert allocation invariants against the
+/// exact speeds the engines saw.
+[[nodiscard]] std::vector<sim::SpeedTrace> make_traces(
+    TraceProfile profile, const ScenarioConfig& config, std::uint64_t salt);
+
+/// Cluster spec for a cell: traces + network/flops calibrated to the
+/// workload scale (functional cells run on a proportionally slower fleet so
+/// network latency does not swamp the tiny operators).
+[[nodiscard]] core::ClusterSpec make_cluster(TraceProfile profile,
+                                             const ScenarioConfig& config,
+                                             std::uint64_t salt);
+
+struct CellResult {
+  EngineKind engine{};
+  WorkloadKind workload{};
+  TraceProfile trace{};
+
+  std::size_t rounds = 0;
+  double total_latency = 0.0;
+  double mean_latency = 0.0;
+  double timeout_rate = 0.0;
+
+  // Waste accounting (sim/accounting.h).
+  double total_useful = 0.0;
+  double total_wasted = 0.0;
+  double mean_wasted_fraction = 0.0;
+
+  // Functional-mode decode verification.
+  bool decode_checked = false;
+  double max_decode_error = 0.0;
+
+  /// Per-round latencies — the cell's event log; fingerprint() hashes the
+  /// exact bit patterns, so "same seed => identical log" is testable.
+  std::vector<double> round_latencies;
+
+  [[nodiscard]] std::string fingerprint() const;
+};
+
+struct MatrixResult {
+  ScenarioConfig config;
+  std::vector<CellResult> cells;
+
+  /// nullptr when the cell was not part of the sweep.
+  [[nodiscard]] const CellResult* find(EngineKind e, WorkloadKind w,
+                                       TraceProfile t) const;
+
+  /// Hash over every cell fingerprint (whole-sweep determinism check).
+  [[nodiscard]] std::string fingerprint() const;
+};
+
+/// Runs a single cell.
+[[nodiscard]] CellResult run_cell(const ScenarioConfig& config, EngineKind e,
+                                  WorkloadKind w, TraceProfile t);
+
+/// Sweeps the cross product of the given axes.
+[[nodiscard]] MatrixResult run_scenario_matrix(
+    const ScenarioConfig& config, std::span<const EngineKind> engines,
+    std::span<const WorkloadKind> workloads,
+    std::span<const TraceProfile> traces);
+
+/// Full 4 x 4 x 3 sweep.
+[[nodiscard]] MatrixResult run_scenario_matrix(const ScenarioConfig& config);
+
+}  // namespace s2c2::harness

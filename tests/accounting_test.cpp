@@ -44,7 +44,7 @@ TEST(Accounting, BoundsChecked) {
   Accounting acc(1);
   EXPECT_THROW(acc.add_useful(1, 1.0), std::invalid_argument);
   EXPECT_THROW(acc.add_wasted(0, -1.0), std::invalid_argument);
-  EXPECT_THROW(acc.worker(5), std::invalid_argument);
+  EXPECT_THROW((void)acc.worker(5), std::invalid_argument);
 }
 
 TEST(RoundStats, Latency) {

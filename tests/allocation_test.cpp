@@ -201,5 +201,65 @@ INSTANTIATE_TEST_SUITE_P(
                       CoverageParam{12, 10, 0, 13},
                       CoverageParam{10, 7, 0, 14}));
 
+// ---- combinatorial sweep: (workers, stragglers, chunks) ----
+//
+// Straggler-shaped speed profiles (the paper's controlled cluster: 5x-slow
+// nodes, and the harsher dead-node variant) across the full cross product
+// of cluster size x straggler count x chunk granularity. The decodability
+// guarantee must hold in every cell, for both the production proportional
+// allocator and basic S2C2's straggler-exclusion allocation.
+
+class StragglerSweep
+    : public ::testing::TestWithParam<
+          std::tuple<std::size_t, std::size_t, std::size_t>> {};
+
+TEST_P(StragglerSweep, ExactKCoverageUnderStragglerProfiles) {
+  const auto [workers, stragglers, chunks] = GetParam();
+  ASSERT_GT(workers, stragglers);
+  const std::size_t k = std::max<std::size_t>(1, workers - 3);
+  util::Rng rng(1000 + workers * 100 + stragglers * 10 + chunks);
+
+  for (const double straggler_speed : {0.2, 0.05, 0.0}) {
+    std::vector<double> speeds(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      speeds[w] = w >= workers - stragglers ? straggler_speed
+                                            : rng.uniform(0.85, 1.0);
+    }
+    const std::size_t live = straggler_speed > 0.0 ? workers
+                                                   : workers - stragglers;
+    ASSERT_GE(live, k);  // sweep stays in the feasible regime
+
+    const Allocation alloc = proportional_allocation(speeds, k, chunks);
+    EXPECT_TRUE(has_exact_coverage(alloc, k))
+        << "workers=" << workers << " stragglers=" << stragglers
+        << " chunks=" << chunks << " speed=" << straggler_speed;
+    EXPECT_EQ(alloc.total_chunks(), k * chunks);
+    for (std::size_t w = 0; w < workers; ++w) {
+      EXPECT_LE(alloc.per_worker[w].count, chunks);
+      if (speeds[w] == 0.0) {
+        EXPECT_EQ(alloc.per_worker[w].count, 0u);
+      }
+    }
+  }
+
+  // Basic S2C2: flagged stragglers are excluded outright; the equal-share
+  // allocation over the rest must still cover exactly k.
+  std::vector<bool> flagged(workers, false);
+  for (std::size_t w = workers - stragglers; w < workers; ++w) {
+    flagged[w] = true;
+  }
+  const Allocation basic = basic_s2c2_allocation(flagged, k, chunks);
+  EXPECT_TRUE(has_exact_coverage(basic, k));
+  for (std::size_t w = workers - stragglers; w < workers; ++w) {
+    EXPECT_EQ(basic.per_worker[w].count, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, StragglerSweep,
+    ::testing::Combine(::testing::Values<std::size_t>(4, 8, 12, 16, 24),
+                       ::testing::Values<std::size_t>(0, 1, 2, 3),
+                       ::testing::Values<std::size_t>(8, 24, 48)));
+
 }  // namespace
 }  // namespace s2c2::sched

@@ -6,16 +6,12 @@
 #include "src/core/replication_engine.h"
 #include "src/util/rng.h"
 #include "src/workload/trace_gen.h"
+#include "tests/test_util.h"
 
 namespace s2c2::core {
 namespace {
 
-ClusterSpec make_spec(std::vector<sim::SpeedTrace> traces) {
-  ClusterSpec spec;
-  spec.traces = std::move(traces);
-  spec.worker_flops = 1e7;
-  return spec;
-}
+using test::make_spec;
 
 TEST(Replication, PlacementHasRReplicasPerPartition) {
   ReplicationConfig cfg;

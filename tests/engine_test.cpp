@@ -8,48 +8,16 @@
 #include "src/core/engine.h"
 #include "src/util/rng.h"
 #include "src/workload/trace_gen.h"
+#include "tests/test_util.h"
 
 namespace s2c2::core {
 namespace {
 
-// Fine granularity keeps integer rounding of a straggler's chunk quota
-// well under the 15% timeout margin — the same reason the paper's
-// Algorithm 1 over-decomposes with C = Σu_i.
-constexpr std::size_t kChunks = 24;
+using test::expect_close;
+using test::kChunks;
+using test::make_spec;
 
-ClusterSpec spec_with_traces(std::vector<sim::SpeedTrace> traces) {
-  ClusterSpec spec;
-  spec.traces = std::move(traces);
-  spec.worker_flops = 1e7;  // makes compute dominate comm at test sizes
-  spec.master_flops = 1e9;
-  return spec;
-}
-
-struct FunctionalSetup {
-  FunctionalSetup(std::size_t n, std::size_t k, std::uint64_t seed = 77)
-      : rng(seed),
-        a(linalg::Matrix::random_uniform(240, 30, rng)),
-        job(a, n, k, kChunks) {
-    x.resize(30);
-    for (auto& v : x) v = rng.normal();
-    truth = a.matvec(x);
-  }
-  util::Rng rng;
-  linalg::Matrix a;
-  CodedMatVecJob job;
-  linalg::Vector x;
-  linalg::Vector truth;
-};
-
-void expect_close(const linalg::Vector& got, const linalg::Vector& want,
-                  double tol = 1e-6) {
-  ASSERT_EQ(got.size(), want.size());
-  double max_err = 0.0;
-  for (std::size_t i = 0; i < got.size(); ++i) {
-    max_err = std::max(max_err, std::abs(got[i] - want[i]));
-  }
-  EXPECT_LT(max_err, tol);
-}
+using FunctionalSetup = test::FunctionalMatVec;
 
 TEST(Engine, RejectsMismatchedClusterSize) {
   FunctionalSetup f(4, 2);
@@ -78,7 +46,7 @@ TEST_P(FunctionalDecode, MatchesDirectProduct) {
   const auto p = GetParam();
   FunctionalSetup f(12, 6);
   util::Rng trng(123);
-  ClusterSpec spec = spec_with_traces(
+  ClusterSpec spec = make_spec(
       workload::controlled_cluster_traces(12, p.stragglers, 0.2, trng));
   EngineConfig cfg;
   cfg.strategy = p.strategy;
@@ -115,7 +83,7 @@ TEST(Engine, S2C2FasterThanMdsWithoutStragglers) {
     cfg.chunks_per_partition = kChunks;
     cfg.oracle_speeds = true;
     CodedMatVecJob job = CodedMatVecJob::cost_only(2400, 500, 12, 6, kChunks);
-    CodedComputeEngine engine(job, spec_with_traces(traces), cfg);
+    CodedComputeEngine engine(job, make_spec(traces), cfg);
     return total_latency(engine.run_rounds(5));
   };
   const double mds = run(Strategy::kMdsConventional);
@@ -135,7 +103,7 @@ TEST(Engine, S2C2DegradesGracefullyWithStragglers) {
     CodedMatVecJob job = CodedMatVecJob::cost_only(2400, 500, 12, 6, kChunks);
     CodedComputeEngine engine(
         job,
-        spec_with_traces(workload::controlled_cluster_traces(12, s, 0.0, trng)),
+        make_spec(workload::controlled_cluster_traces(12, s, 0.0, trng)),
         cfg);
     const double lat = total_latency(engine.run_rounds(3));
     EXPECT_GT(lat, prev);  // monotone in straggler count...
@@ -155,7 +123,7 @@ TEST(Engine, MdsLatencyFlatUpToRedundancyThenExplodes) {
     CodedMatVecJob job = CodedMatVecJob::cost_only(2400, 500, 12, 10, kChunks);
     CodedComputeEngine engine(
         job,
-        spec_with_traces(
+        make_spec(
             workload::controlled_cluster_traces(12, stragglers, 0.0, trng)),
         cfg);
     return total_latency(engine.run_rounds(2));
@@ -176,7 +144,7 @@ TEST(Engine, MdsWastesStragglersWorkS2C2DoesNot) {
     cfg.chunks_per_partition = kChunks;
     cfg.oracle_speeds = true;
     CodedMatVecJob job = CodedMatVecJob::cost_only(2400, 500, 12, 10, kChunks);
-    CodedComputeEngine engine(job, spec_with_traces(traces), cfg);
+    CodedComputeEngine engine(job, make_spec(traces), cfg);
     engine.run_rounds(5);
     return engine.accounting().mean_wasted_fraction();
   };
@@ -188,15 +156,10 @@ TEST(Engine, TimeoutRecoversFromSuddenDeath) {
   // Worker 11 dies mid-run; predictions (last-value) won't see it coming,
   // so the timeout must fire, reassign, and still decode correctly.
   FunctionalSetup f(12, 6);
-  std::vector<sim::SpeedTrace> traces;
-  for (std::size_t w = 0; w < 11; ++w) {
-    traces.push_back(sim::SpeedTrace::constant(1.0));
-  }
-  traces.push_back(sim::SpeedTrace::step(1e-4, 1.0, 0.0));  // dies instantly
   EngineConfig cfg;
   cfg.strategy = Strategy::kS2C2General;
   cfg.chunks_per_partition = kChunks;
-  CodedComputeEngine engine(f.job, spec_with_traces(std::move(traces)), cfg);
+  CodedComputeEngine engine(f.job, make_spec(test::dying_traces(12, 1)), cfg);
   const RoundResult r = engine.run_round(f.x);
   EXPECT_TRUE(r.stats.timeout_fired);
   EXPECT_GT(r.stats.reassigned_chunks, 0u);
@@ -208,15 +171,10 @@ TEST(Engine, RecoveredClusterKeepsIterating) {
   // After the death round, subsequent rounds should allocate around the
   // dead worker (observed speed ~ 0) without further timeouts.
   FunctionalSetup f(12, 6);
-  std::vector<sim::SpeedTrace> traces;
-  for (std::size_t w = 0; w < 11; ++w) {
-    traces.push_back(sim::SpeedTrace::constant(1.0));
-  }
-  traces.push_back(sim::SpeedTrace::step(1e-4, 1.0, 0.0));
   EngineConfig cfg;
   cfg.strategy = Strategy::kS2C2General;
   cfg.chunks_per_partition = kChunks;
-  CodedComputeEngine engine(f.job, spec_with_traces(std::move(traces)), cfg);
+  CodedComputeEngine engine(f.job, make_spec(test::dying_traces(12, 1)), cfg);
   (void)engine.run_round(f.x);  // death round
   for (int round = 0; round < 3; ++round) {
     const RoundResult r = engine.run_round(f.x);
@@ -234,7 +192,7 @@ TEST(Engine, ClusterFailureWhenTooFewSurvive) {
   EngineConfig cfg;
   cfg.strategy = Strategy::kMdsConventional;
   cfg.chunks_per_partition = kChunks;
-  CodedComputeEngine engine(f.job, spec_with_traces(std::move(traces)), cfg);
+  CodedComputeEngine engine(f.job, make_spec(std::move(traces)), cfg);
   EXPECT_THROW(engine.run_round(f.x), std::runtime_error);
 }
 
@@ -249,7 +207,7 @@ TEST(Engine, OracleBeatsEqualAssumptionUnderSpeedVariation) {
     cfg.chunks_per_partition = kChunks;
     cfg.oracle_speeds = true;
     CodedMatVecJob job = CodedMatVecJob::cost_only(2400, 500, 12, 6, kChunks);
-    CodedComputeEngine engine(job, spec_with_traces(traces), cfg);
+    CodedComputeEngine engine(job, make_spec(traces), cfg);
     return total_latency(engine.run_rounds(5));
   };
   EXPECT_LT(run(Strategy::kS2C2General), run(Strategy::kS2C2Basic));
@@ -261,7 +219,7 @@ TEST(Engine, MispredictionRateTracked) {
   util::Rng rng(10);
   auto series = workload::cloud_speed_corpus(
       12, 60, workload::volatile_cloud_config(), rng);
-  ClusterSpec spec = spec_with_traces(
+  ClusterSpec spec = make_spec(
       workload::traces_from_series(series, 0.5));
   spec.worker_flops = 1e7;
   EngineConfig cfg;
@@ -296,7 +254,7 @@ TEST(Engine, SparseOperatorFunctionalDecode) {
   cfg.oracle_speeds = true;
   CodedComputeEngine engine(
       job,
-      spec_with_traces(workload::controlled_cluster_traces(12, 2, 0.2, trng)),
+      make_spec(workload::controlled_cluster_traces(12, 2, 0.2, trng)),
       cfg);
   const RoundResult r = engine.run_round(x);
   ASSERT_TRUE(r.y.has_value());

@@ -5,55 +5,36 @@
 #include "src/core/engine.h"
 #include "src/core/overdecomp_engine.h"
 #include "src/core/replication_engine.h"
+#include "src/harness/scenario_matrix.h"
 #include "src/predict/predictors.h"
 #include "src/util/rng.h"
 #include "src/workload/trace_gen.h"
+#include "tests/test_util.h"
 
 namespace s2c2::core {
 namespace {
 
-constexpr std::size_t kChunks = 24;
+using test::kChunks;
 
 ClusterSpec spec_from(std::vector<sim::SpeedTrace> traces) {
-  ClusterSpec spec;
-  spec.traces = std::move(traces);
-  spec.worker_flops = 1e7;
-  return spec;
+  return test::make_spec(std::move(traces));
 }
 
-struct Functional {
-  Functional(std::size_t n, std::size_t k)
-      : rng(7),
-        a(linalg::Matrix::random_uniform(240, 30, rng)),
-        job(a, n, k, kChunks) {
-    x.resize(30);
-    for (auto& v : x) v = rng.normal();
-    truth = a.matvec(x);
-  }
-  util::Rng rng;
-  linalg::Matrix a;
-  CodedMatVecJob job;
-  linalg::Vector x;
-  linalg::Vector truth;
+struct Functional : test::FunctionalMatVec {
+  Functional(std::size_t n, std::size_t k) : FunctionalMatVec(n, k) {}
 
   void expect_decode(const RoundResult& r, double tol = 1e-6) const {
     ASSERT_TRUE(r.y.has_value());
-    for (std::size_t i = 0; i < truth.size(); ++i) {
-      ASSERT_NEAR((*r.y)[i], truth[i], tol);
-    }
+    test::expect_close(*r.y, truth, tol);
   }
 };
 
 TEST(FaultInjection, TwoSimultaneousDeathsWithinRedundancy) {
   Functional f(12, 6);
-  std::vector<sim::SpeedTrace> traces;
-  for (int w = 0; w < 10; ++w) traces.push_back(sim::SpeedTrace::constant(1.0));
-  traces.push_back(sim::SpeedTrace::step(1e-4, 1.0, 0.0));
-  traces.push_back(sim::SpeedTrace::step(1e-4, 1.0, 0.0));
   EngineConfig cfg;
   cfg.strategy = Strategy::kS2C2General;
   cfg.chunks_per_partition = kChunks;
-  CodedComputeEngine engine(f.job, spec_from(std::move(traces)), cfg);
+  CodedComputeEngine engine(f.job, spec_from(test::dying_traces(12, 2)), cfg);
   const auto r = engine.run_round(f.x);
   EXPECT_TRUE(r.stats.timeout_fired);
   f.expect_decode(r);
@@ -190,6 +171,57 @@ TEST(FaultInjection, OverDecompDeadWorkerThrows) {
   // node; the round completes.
   EXPECT_NO_THROW((void)engine.run_round());
   EXPECT_GT(engine.total_migrations(), 0u);
+}
+
+TEST(FaultInjection, SameSeedYieldsIdenticalEventLog) {
+  // Determinism under failure: every engine, run twice from the same
+  // scenario seed on volatile traces, must replay a bit-identical
+  // per-round event log (latencies, waste, fingerprint).
+  harness::ScenarioConfig cfg;
+  cfg.workers = 12;
+  cfg.k = 10;
+  cfg.stragglers = 3;
+  cfg.rounds = 5;
+  cfg.seed = 99;
+  cfg.functional = true;
+  for (const auto e : harness::all_engines()) {
+    const auto a =
+        harness::run_cell(cfg, e, harness::WorkloadKind::kLogisticRegression,
+                          harness::TraceProfile::kVolatileCloud);
+    const auto b =
+        harness::run_cell(cfg, e, harness::WorkloadKind::kLogisticRegression,
+                          harness::TraceProfile::kVolatileCloud);
+    ASSERT_EQ(a.round_latencies.size(), b.round_latencies.size());
+    for (std::size_t r = 0; r < a.round_latencies.size(); ++r) {
+      EXPECT_EQ(a.round_latencies[r], b.round_latencies[r])
+          << harness::engine_name(e) << " round " << r;
+    }
+    EXPECT_EQ(a.total_useful, b.total_useful) << harness::engine_name(e);
+    EXPECT_EQ(a.total_wasted, b.total_wasted) << harness::engine_name(e);
+    EXPECT_EQ(a.fingerprint(), b.fingerprint()) << harness::engine_name(e);
+  }
+}
+
+TEST(FaultInjection, DeathRecoveryIsDeterministic) {
+  // The timeout/reassignment path itself must be replayable: two engines
+  // over identical death traces produce identical round latencies.
+  auto run = [] {
+    Functional f(12, 6);
+    EngineConfig cfg;
+    cfg.strategy = Strategy::kS2C2General;
+    cfg.chunks_per_partition = kChunks;
+    CodedComputeEngine engine(f.job, spec_from(test::dying_traces(12, 2)),
+                              cfg);
+    std::vector<double> latencies;
+    for (int round = 0; round < 5; ++round) {
+      latencies.push_back(engine.run_round(f.x).stats.latency());
+    }
+    return latencies;
+  };
+  const auto a = run();
+  const auto b = run();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
 }
 
 TEST(FaultInjection, FrozenPredictorMissesRegimeChange) {

@@ -4,36 +4,18 @@
 #include "src/core/poly_engine.h"
 #include "src/util/rng.h"
 #include "src/workload/trace_gen.h"
+#include "tests/test_util.h"
 
 namespace s2c2::core {
 namespace {
 
-ClusterSpec make_spec(std::vector<sim::SpeedTrace> traces) {
-  ClusterSpec spec;
-  spec.traces = std::move(traces);
-  spec.worker_flops = 1e7;
-  return spec;
-}
+using test::make_spec;
 
-struct PolySetup {
-  explicit PolySetup(std::uint64_t seed = 3)
-      : rng(seed), a(linalg::Matrix::random_uniform(40, 24, rng)) {
-    x.resize(40);
-    for (auto& v : x) v = rng.uniform(0.1, 1.0);
-    truth = coding::PolyCode::hessian_direct(a, x);
-  }
-  util::Rng rng;
-  linalg::Matrix a;
-  linalg::Vector x;
-  linalg::Matrix truth;
-};
+using PolySetup = test::FunctionalHessian;
 
 void expect_hessian_close(const linalg::Matrix& got,
                           const linalg::Matrix& want) {
-  ASSERT_EQ(got.rows(), want.rows());
-  ASSERT_EQ(got.cols(), want.cols());
-  const double scale = want.frobenius_norm() + 1.0;
-  EXPECT_LT(got.max_abs_diff(want) / scale, 1e-6);
+  test::expect_matrix_close(got, want);
 }
 
 TEST(PolyEngine, ConventionalFunctionalDecode) {
