@@ -1,33 +1,47 @@
-// Scenario driver over the harness (src/harness/scenario_matrix.h) — the
+// Scenario driver over the harness (src/harness/matrix_runner.h) — the
 // "kick the tires" tool a downstream user reaches for first. Runs either a
-// single engine/workload/trace cell with a per-round table, or the full
-// deterministic cross-engine matrix.
+// single engine/workload/trace cell with a per-round table, or the widened
+// cross-engine matrix, sharded over hardware threads.
 //
 //   build/examples/scenario_cli --engine s2c2 --workload logreg
 //       --trace controlled --workers 12 --stragglers 3 --rounds 20
-//   build/examples/scenario_cli --matrix --functional
+//   build/examples/scenario_cli --matrix --functional --jobs 0
+//   build/examples/scenario_cli --matrix --jobs 4 --axis sizes=12,24,48
+//       --axis predictors=oracle,last-value --axis engines=s2c2,replication
+//       --axis traces=controlled,failure
 //
 // Flags (all optional):
-//   --matrix         run the full engine x workload x trace sweep
-//   --engine X       s2c2 | replication | poly | overdecomp  (default s2c2)
-//   --workload X     logreg | pagerank | svm | hessian       (default logreg)
-//   --trace X        controlled | stable | volatile          (default controlled)
-//   --workers N      cluster size                            (default 12)
-//   --k K            MDS parameter                           (default n-2)
-//   --stragglers S   5x-slow nodes, controlled trace only    (default 2)
-//   --rounds R       iterations per cell                     (default 15)
-//   --chunks C       chunks per partition                    (default 24)
-//   --seed S         RNG seed for the whole scenario         (default 42)
-//   --scale F        cost-only operator scale factor         (default 1.0)
+//   --matrix         run the engine x workload x trace (x size x predictor)
+//                    sweep on the parallel matrix runner
+//   --jobs N         matrix worker threads (0 = all hardware threads;
+//                    default 1 — results are byte-identical either way)
+//   --axis K=V,V...  restrict/widen a matrix axis; repeatable. Axes:
+//                      engines     s2c2|replication|poly|overdecomp
+//                      workloads   logreg|pagerank|svm|hessian
+//                      traces      controlled|stable|volatile|failure
+//                      sizes       cluster sizes, e.g. 12,24,48
+//                      predictors  oracle|last-value|arima|lstm
+//   --engine X       single-cell engine                   (default s2c2)
+//   --workload X     single-cell workload                 (default logreg)
+//   --trace X        single-cell trace profile            (default controlled)
+//   --predictor X    speed source for capable engines     (default oracle)
+//   --workers N      cluster size                         (default 12)
+//   --k K            MDS parameter                        (default n-2)
+//   --stragglers S   5x-slow nodes, controlled trace only (default 2)
+//   --rounds R       iterations per cell                  (default 15)
+//   --chunks C       chunks per partition                 (default 24)
+//   --seed S         RNG seed for the whole scenario      (default 42)
+//   --scale F        cost-only operator scale factor      (default 1.0)
 //   --functional     run real (small) operators; coded cells (s2c2, poly on
 //                    hessian) verify their decode and report the max error
 #include <cstdio>
 #include <iostream>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
-#include "src/harness/scenario_matrix.h"
+#include "src/harness/matrix_runner.h"
 #include "src/util/table.h"
 
 namespace {
@@ -36,6 +50,8 @@ using namespace s2c2;
 
 struct Options {
   harness::ScenarioConfig config;
+  harness::MatrixAxes axes;
+  harness::RunnerOptions runner;
   harness::EngineKind engine = harness::EngineKind::kS2C2;
   harness::WorkloadKind workload = harness::WorkloadKind::kLogisticRegression;
   harness::TraceProfile trace = harness::TraceProfile::kControlledStragglers;
@@ -69,6 +85,55 @@ harness::TraceProfile parse_trace(const std::string& s) {
   throw std::invalid_argument("unknown trace profile: " + s);
 }
 
+harness::PredictorKind parse_predictor(const std::string& s) {
+  for (const auto p : harness::all_predictors()) {
+    if (s == harness::predictor_name(p)) return p;
+  }
+  throw std::invalid_argument("unknown predictor: " + s);
+}
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  if (out.empty()) throw std::invalid_argument("empty axis value list");
+  return out;
+}
+
+void apply_axis(harness::MatrixAxes& axes, const std::string& spec) {
+  const auto eq = spec.find('=');
+  if (eq == std::string::npos) {
+    throw std::invalid_argument("--axis expects name=v1,v2,... got: " + spec);
+  }
+  const std::string name = spec.substr(0, eq);
+  const auto values = split_csv(spec.substr(eq + 1));
+  if (name == "engines") {
+    axes.engines.clear();
+    for (const auto& v : values) axes.engines.push_back(parse_engine(v));
+  } else if (name == "workloads") {
+    axes.workloads.clear();
+    for (const auto& v : values) axes.workloads.push_back(parse_workload(v));
+  } else if (name == "traces") {
+    axes.traces.clear();
+    for (const auto& v : values) axes.traces.push_back(parse_trace(v));
+  } else if (name == "sizes") {
+    axes.cluster_sizes.clear();
+    for (const auto& v : values) {
+      axes.cluster_sizes.push_back(std::stoul(v));
+    }
+  } else if (name == "predictors") {
+    axes.predictors.clear();
+    for (const auto& v : values) {
+      axes.predictors.push_back(parse_predictor(v));
+    }
+  } else {
+    throw std::invalid_argument("unknown axis: " + name);
+  }
+}
+
 Options parse(int argc, char** argv) {
   Options o;
   o.config.rounds = 15;
@@ -79,9 +144,13 @@ Options parse(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
     if (flag == "--matrix") o.matrix = true;
+    else if (flag == "--jobs") o.runner.jobs = std::stoul(value(i));
+    else if (flag == "--axis") apply_axis(o.axes, value(i));
     else if (flag == "--engine") o.engine = parse_engine(value(i));
     else if (flag == "--workload") o.workload = parse_workload(value(i));
     else if (flag == "--trace") o.trace = parse_trace(value(i));
+    else if (flag == "--predictor")
+      o.config.predictor = parse_predictor(value(i));
     else if (flag == "--workers") o.config.workers = std::stoul(value(i));
     else if (flag == "--k") o.config.k = std::stoul(value(i));
     else if (flag == "--stragglers") o.config.stragglers = std::stoul(value(i));
@@ -113,11 +182,17 @@ int run_single(const Options& o) {
             << harness::workload_name(o.workload) << " on "
             << harness::trace_profile_name(o.trace) << " traces, "
             << o.config.workers << " workers (k=" << o.config.effective_k()
-            << "), " << o.config.rounds << " rounds"
+            << "), " << harness::predictor_name(o.config.predictor)
+            << " speeds, " << o.config.rounds << " rounds"
             << (o.config.functional ? ", functional" : ", cost-only")
             << "\n\n";
   const auto cell =
       harness::run_cell(o.config, o.engine, o.workload, o.trace);
+  if (cell.failed) {
+    std::cout << "cell failed: " << cell.error << "\n";
+    std::cout << "cell fingerprint: " << cell.fingerprint() << "\n";
+    return 0;
+  }
   util::Table t({"round", "latency (ms)"});
   for (std::size_t r = 0; r < cell.round_latencies.size(); ++r) {
     t.add_row({std::to_string(r + 1),
@@ -129,15 +204,18 @@ int run_single(const Options& o) {
 }
 
 int run_matrix(const Options& o) {
-  std::cout << "scenario matrix: " << o.config.workers
+  std::cout << "scenario matrix: base " << o.config.workers
             << " workers (k=" << o.config.effective_k() << "), "
             << o.config.rounds << " rounds/cell, seed " << o.config.seed
             << (o.config.functional ? ", functional" : ", cost-only")
+            << ", jobs="
+            << (o.runner.jobs == 0 ? std::string("auto")
+                                   : std::to_string(o.runner.jobs))
             << "\n\n";
-  const auto m = harness::run_scenario_matrix(o.config);
-  std::vector<std::string> headers = {"engine", "workload", "trace",
-                                      "mean latency (ms)", "timeout %",
-                                      "wasted %"};
+  const auto m = harness::run_matrix(o.config, o.axes, o.runner);
+  std::vector<std::string> headers = {"engine", "workload", "trace", "n",
+                                      "predictor", "mean latency (ms)",
+                                      "timeout %", "wasted %"};
   if (o.config.functional) headers.push_back("max decode err");
   util::Table t(headers);
   for (const auto& cell : m.cells) {
@@ -145,16 +223,31 @@ int run_matrix(const Options& o) {
         harness::engine_name(cell.engine),
         harness::workload_name(cell.workload),
         harness::trace_profile_name(cell.trace),
-        util::fmt(cell.mean_latency * 1e3, 3),
-        util::fmt(100.0 * cell.timeout_rate, 1),
-        util::fmt(100.0 * cell.mean_wasted_fraction, 1)};
+        std::to_string(cell.workers),
+        harness::predictor_name(cell.predictor)};
+    if (cell.failed) {
+      row.insert(row.end(), {"failed", "-", "-"});
+    } else {
+      row.insert(row.end(),
+                 {util::fmt(cell.mean_latency * 1e3, 3),
+                  util::fmt(100.0 * cell.timeout_rate, 1),
+                  util::fmt(100.0 * cell.mean_wasted_fraction, 1)});
+    }
     if (o.config.functional) {
-      row.push_back(cell.decode_checked ? fmt_sci(cell.max_decode_error)
-                                        : "-");
+      row.push_back(cell.decode_checked && !cell.failed
+                        ? fmt_sci(cell.max_decode_error)
+                        : "-");
     }
     t.add_row(row);
   }
   t.print();
+  std::size_t failed = 0;
+  for (const auto& cell : m.cells) failed += cell.failed ? 1 : 0;
+  if (failed > 0) {
+    std::cout << "\n" << failed
+              << " cell(s) recorded unrecoverable cluster failures "
+                 "(deterministic; see the failure-injection profile)\n";
+  }
   std::cout << "\nmatrix fingerprint: " << m.fingerprint() << "\n";
   return 0;
 }

@@ -16,6 +16,10 @@ namespace s2c2::core {
 namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
+// Finite stand-in for "until forever" when integrating a trace that ends at
+// zero speed (a dead worker's progress before its death).
+constexpr double kFarHorizon = 1e300;
+
 /// Counts maximal runs of consecutive chunks with identical worker sets —
 /// the number of distinct decode systems the master must factorize.
 std::size_t count_groups(
@@ -171,6 +175,8 @@ RoundResult CodedComputeEngine::run_round(std::span<const double> x) {
   std::vector<std::vector<std::size_t>> final_chunk_workers(
       alloc.chunks_per_partition);
   std::vector<std::vector<std::size_t>> extra_chunks(n);  // reassigned work
+  std::vector<sim::Time> recovery_busy(n, 0.0);  // compute spent on extras
+  std::vector<double> recovery_waste(n, 0.0);    // died mid-reassignment
   std::vector<bool> used(n, false);
   std::vector<bool> cancelled(n, false);
   sim::Time coverage_time = 0.0;
@@ -212,9 +218,18 @@ RoundResult CodedComputeEngine::run_round(std::span<const double> x) {
            timing[by_response[r_count]].response <= deadline) {
       ++r_count;
     }
-    while (r_count < k) {
-      deadline = timing[by_response[r_count]].response;
-      ++r_count;
+    if (r_count < k) {
+      // Fewer than k beat the deadline (reachable when timeout_factor < 1):
+      // the master must wait for the k-th fastest response anyway, so the
+      // effective deadline moves there — and the responder set has to be
+      // re-scanned against it, or workers tied at the extended deadline
+      // stay spuriously cancelled with their finished work booked as waste.
+      deadline = timing[by_response[k - 1]].response;
+      r_count = k;
+      while (r_count < by_response.size() &&
+             timing[by_response[r_count]].response <= deadline) {
+        ++r_count;
+      }
     }
     std::vector<bool> responded(n, false);
     for (std::size_t i = 0; i < r_count; ++i) {
@@ -243,47 +258,83 @@ RoundResult CodedComputeEngine::run_round(std::span<const double> x) {
     cancel_time = deadline;
 
     if (!all_responded) {
-      // Plan recovery for deficient chunks among the responders.
-      std::vector<std::size_t> deficient;
-      std::vector<std::vector<std::size_t>> have;
-      std::vector<std::size_t> needed;
-      for (std::size_t c = 0; c < alloc.chunks_per_partition; ++c) {
-        if (final_chunk_workers[c].size() < k) {
-          deficient.push_back(c);
-          have.push_back(final_chunk_workers[c]);
-          needed.push_back(k - final_chunk_workers[c].size());
+      // §4.3 recovery, generalized to cascading failures: deficient chunks
+      // are planned among live responders; a recovery worker that itself
+      // dies mid-reassignment is detected when the wave's timeout deadline
+      // passes, its partial progress is booked as waste, and its unfinished
+      // chunks are re-planned among the workers still alive. At most n
+      // waves run (every extra wave removes at least one dead worker).
+      std::vector<bool> recovery_live = responded;
+      // A worker is free for (more) recovery work once it sent its latest
+      // response — original or a previous wave's extras.
+      std::vector<sim::Time> free_at(n, 0.0);
+      for (std::size_t w : assigned) free_at[w] = timing[w].response;
+      sim::Time wave_issue = deadline;
+      for (std::size_t wave = 0; wave < n; ++wave) {
+        std::vector<std::size_t> deficient;
+        std::vector<std::vector<std::size_t>> have;
+        std::vector<std::size_t> needed;
+        for (std::size_t c = 0; c < alloc.chunks_per_partition; ++c) {
+          if (final_chunk_workers[c].size() < k) {
+            deficient.push_back(c);
+            have.push_back(final_chunk_workers[c]);
+            needed.push_back(k - final_chunk_workers[c].size());
+          }
         }
-      }
-      if (!deficient.empty()) {
+        if (deficient.empty()) break;
         std::vector<double> rspeeds(n, 0.0);
         for (std::size_t w = 0; w < n; ++w) {
-          if (responded[w]) {
+          if (recovery_live[w]) {
             rspeeds[w] = std::max(result.predicted_speeds[w], 1e-3);
           }
         }
-        const sched::ReassignmentPlan plan =
-            sched::plan_reassignment(deficient, have, needed, rspeeds);
-        result.stats.reassigned_chunks = plan.total_chunks();
+        sched::ReassignmentPlan plan;
+        try {
+          plan = sched::plan_reassignment(deficient, have, needed, rspeeds);
+        } catch (const std::invalid_argument& e) {
+          throw std::runtime_error(
+              std::string("cluster failure: recovery infeasible: ") +
+              e.what());
+        }
+        result.stats.reassigned_chunks += plan.total_chunks();
+        sim::Time wave_deadline = wave_issue;
+        bool any_death = false;
         for (std::size_t w = 0; w < n; ++w) {
           const auto& extras = plan.chunks_per_worker[w];
           if (extras.empty()) continue;
-          extra_chunks[w] = extras;
-          for (std::size_t c : extras) final_chunk_workers[c].push_back(w);
-          // The worker is free once it sent its original response; the
-          // master's reassignment message costs one network latency.
+          // The master's reassignment message costs one network latency.
           const sim::Time start =
-              std::max(deadline, timing[w].response) + spec_.net.latency_s;
+              std::max(wave_issue, free_at[w]) + spec_.net.latency_s;
           const double work = static_cast<double>(extras.size()) * chunk_work;
           const sim::Time done = spec_.traces[w].time_to_complete(start, work);
+          const sim::Time send =
+              spec_.net.transfer_time(extras.size() *
+                                      job_.chunk_result_bytes());
           if (done == kInf) {
-            throw std::runtime_error(
-                "cluster failure: recovery worker died mid-reassignment");
+            any_death = true;
+            recovery_live[w] = false;
+            recovery_waste[w] +=
+                spec_.traces[w].work_between(start, kFarHorizon);
+            // The master discovers the death when the worker's expected
+            // response (at its predicted speed) times out.
+            const sim::Time expected = start + work / rspeeds[w] + send;
+            wave_deadline =
+                std::max(wave_deadline,
+                         start + config_.timeout_factor * (expected - start));
+            continue;
           }
-          const sim::Time resp =
-              done + spec_.net.transfer_time(extras.size() *
-                                             job_.chunk_result_bytes());
-          coverage_time = std::max(coverage_time, resp);
+          recovery_busy[w] += done - start;
+          free_at[w] = done + send;
+          for (std::size_t c : extras) final_chunk_workers[c].push_back(w);
+          extra_chunks[w].insert(extra_chunks[w].end(), extras.begin(),
+                                 extras.end());
+          coverage_time = std::max(coverage_time, done + send);
         }
+        if (!any_death) break;
+        // No earlier wave can be issued: the master only learns about the
+        // death once the wave deadline passes.
+        coverage_time = std::max(coverage_time, wave_deadline);
+        wave_issue = wave_deadline;
       }
       for (auto& ws : final_chunk_workers) std::sort(ws.begin(), ws.end());
     }
@@ -294,6 +345,7 @@ RoundResult CodedComputeEngine::run_round(std::span<const double> x) {
   const std::size_t values = job_.k() * job_.partition_rows();
   const sim::Time decode_time =
       decode_flops(k, values, groups) / spec_.master_flops;
+  result.stats.coverage = coverage_time;
   result.stats.end = coverage_time + decode_time;
 
   // ---- accounting ----
@@ -304,7 +356,14 @@ RoundResult CodedComputeEngine::run_round(std::span<const double> x) {
       accounting_.add_useful(w, assigned_work);
       accounting_.add_useful(
           w, static_cast<double>(extra_chunks[w].size()) * chunk_work);
-      accounting_.add_busy(w, timing[w].compute_done - timing[w].x_arrival);
+      // Busy time covers both the original window and the recovery window
+      // spent on reassigned extras; otherwise utilization is under-reported
+      // exactly in the rounds where the timeout fires.
+      accounting_.add_busy(w, timing[w].compute_done - timing[w].x_arrival +
+                                  recovery_busy[w]);
+      if (recovery_waste[w] > 0.0) {
+        accounting_.add_wasted(w, recovery_waste[w]);
+      }
     } else {
       const double done = std::min(
           assigned_work,
@@ -327,8 +386,11 @@ RoundResult CodedComputeEngine::run_round(std::span<const double> x) {
     double obs;
     if (timing[w].assigned_chunks == 0) {
       // Idle worker: the master probes its current speed (basic S2C2 needs
-      // fresh straggler flags even for excluded workers).
-      obs = spec_.traces[w].speed_at(result.stats.end);
+      // fresh straggler flags even for excluded workers). Probe at coverage
+      // time — every busy worker's observation reflects the pre-decode
+      // round window, and training the predictor on post-decode timestamps
+      // for idle workers only would skew its inputs.
+      obs = spec_.traces[w].speed_at(coverage_time);
     } else if (used[w]) {
       const double work =
           static_cast<double>(timing[w].assigned_chunks) * chunk_work;

@@ -177,6 +177,7 @@ RoundResult OverDecompositionEngine::run_round() {
     result.observed_speeds[w] = obs;
     if (predictor_) predictor_->observe(w, obs);
   }
+  result.stats.coverage = end;  // uncoded: no master decode after collection
   result.stats.end = end;
   now_ = end;
   return result;

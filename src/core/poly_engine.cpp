@@ -143,9 +143,16 @@ PolyRoundResult PolyCodedEngine::run_round(std::span<const double> x) {
            timing[by_response[r_count]].response <= deadline) {
       ++r_count;
     }
-    while (r_count < m) {
-      deadline = timing[by_response[r_count]].response;
-      ++r_count;
+    if (r_count < m) {
+      // Extend to the a²-th fastest response and re-scan so workers tied
+      // at the extended deadline are collected (same §4.3 semantics as the
+      // MDS engine).
+      deadline = timing[by_response[m - 1]].response;
+      r_count = m;
+      while (r_count < by_response.size() &&
+             timing[by_response[r_count]].response <= deadline) {
+        ++r_count;
+      }
     }
     for (std::size_t i = 0; i < r_count; ++i) used[by_response[i]] = true;
     result.stats.timeout_fired = r_count != assigned.size();
@@ -173,8 +180,16 @@ PolyRoundResult PolyCodedEngine::run_round(std::span<const double> x) {
         for (std::size_t w = 0; w < n; ++w) {
           if (used[w]) rspeeds[w] = std::max(speeds[w], 1e-3);
         }
-        const auto plan =
-            sched::plan_reassignment(deficient, have, needed, rspeeds);
+        sched::ReassignmentPlan plan;
+        try {
+          plan = sched::plan_reassignment(deficient, have, needed, rspeeds);
+        } catch (const std::invalid_argument& e) {
+          // An infeasible recovery is a cluster failure (data for the
+          // scenario matrix), not a caller error.
+          throw std::runtime_error(
+              std::string("cluster failure: poly recovery infeasible: ") +
+              e.what());
+        }
         result.stats.reassigned_chunks = plan.total_chunks();
         for (std::size_t w = 0; w < n; ++w) {
           const auto& extras = plan.chunks_per_worker[w];
@@ -201,6 +216,7 @@ PolyRoundResult PolyCodedEngine::run_round(std::span<const double> x) {
   const std::size_t groups = config_.use_s2c2 ? 2 * n : 1;
   const sim::Time decode_time =
       decode_flops(m, values, groups) / spec_.master_flops;
+  result.stats.coverage = coverage_time;
   result.stats.end = coverage_time + decode_time;
 
   // Accounting + predictor updates.
@@ -223,7 +239,9 @@ PolyRoundResult PolyCodedEngine::run_round(std::span<const double> x) {
   }
   for (std::size_t w = 0; w < n; ++w) {
     if (timing[w].chunks == 0 && predictor_) {
-      predictor_->observe(w, spec_.traces[w].speed_at(result.stats.end));
+      // Probe idle workers at coverage time so the observation reflects the
+      // same pre-decode window as every busy worker's (see the MDS engine).
+      predictor_->observe(w, spec_.traces[w].speed_at(coverage_time));
     }
   }
 

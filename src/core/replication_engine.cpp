@@ -170,6 +170,7 @@ RoundResult ReplicationEngine::run_round() {
   if (end == kInf) {
     throw std::runtime_error("cluster failure: task cannot complete");
   }
+  result.stats.coverage = end;  // uncoded: no master decode after collection
   result.stats.end = end;
   now_ = end;
   return result;

@@ -4,7 +4,10 @@
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <future>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <stdexcept>
 
 #include "src/coding/poly_code.h"
@@ -13,6 +16,8 @@
 #include "src/core/poly_engine.h"
 #include "src/core/replication_engine.h"
 #include "src/linalg/sparse.h"
+#include "src/predict/arima.h"
+#include "src/predict/lstm.h"
 #include "src/util/rng.h"
 #include "src/workload/graphs.h"
 #include "src/workload/trace_gen.h"
@@ -112,6 +117,124 @@ void finish_cell(CellResult& cell, const RoundSummary& rs,
   cell.mean_wasted_fraction = acct.mean_wasted_fraction();
 }
 
+/// Predictor instance for one cell. The LSTM adapter holds a reference to
+/// its model, so the bundle keeps the trained model alive next to it; the
+/// bundle must outlive the engine it feeds.
+struct PredictorBundle {
+  std::unique_ptr<predict::SpeedPredictor> predictor;  // null for oracle
+  std::shared_ptr<const predict::Lstm> lstm;
+  bool oracle = true;
+};
+
+/// Training seed for the learned predictors — per (seed, workload, profile)
+/// column and independent of the engine, so every engine in a column
+/// forecasts from an identically-trained model.
+std::uint64_t predictor_train_salt(const ScenarioConfig& config,
+                                   WorkloadKind w, TraceProfile t) {
+  return mix64(trace_salt(config.seed, w, t) ^ 0x9ced1c70ull);
+}
+
+workload::CloudTraceConfig training_trace_config(TraceProfile t) {
+  // Cloud columns train on their own regime; the controlled/failure
+  // profiles have no generative model of their own, so their predictors
+  // train on the volatile regime (the paper's hardest forecasting setting).
+  return t == TraceProfile::kStableCloud ? workload::stable_cloud_config()
+                                         : workload::volatile_cloud_config();
+}
+
+// Every engine and cluster size in a column trains from the same salt, so
+// fitting is memoized on it. Training is a pure function of the salt and
+// profile, which keeps cached and freshly-trained cells byte-identical —
+// the cache only removes duplicate work under the parallel runner, never
+// changes a fingerprint. The mutex guards only the lookup/insert of a
+// per-salt future; training runs outside the lock, so independent columns
+// train concurrently while same-column cells share one run. (Bounded: one
+// entry per (seed, workload, profile) column touched by the process.)
+template <typename Model, typename Train>
+Model memoized_model(std::map<std::uint64_t, std::shared_future<Model>>& cache,
+                     std::mutex& mu, std::uint64_t salt, Train&& train) {
+  std::promise<Model> promise;
+  std::shared_future<Model> future;
+  bool trainer = false;
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = cache.find(salt);
+    if (it == cache.end()) {
+      trainer = true;
+      future = promise.get_future().share();
+      cache.emplace(salt, future);
+    } else {
+      future = it->second;
+    }
+  }
+  if (trainer) {
+    try {
+      promise.set_value(train());
+    } catch (...) {
+      promise.set_exception(std::current_exception());
+    }
+  }
+  return future.get();
+}
+
+predict::ArimaModel trained_arima(std::uint64_t salt, TraceProfile t) {
+  static std::mutex mu;
+  static std::map<std::uint64_t, std::shared_future<predict::ArimaModel>>
+      cache;
+  return memoized_model(cache, mu, salt, [&] {
+    util::Rng rng(salt);
+    const auto corpus =
+        workload::cloud_speed_corpus(8, 96, training_trace_config(t), rng);
+    return predict::fit_arima11(corpus, 0);
+  });
+}
+
+std::shared_ptr<const predict::Lstm> trained_lstm(std::uint64_t salt,
+                                                  TraceProfile t) {
+  static std::mutex mu;
+  static std::map<std::uint64_t,
+                  std::shared_future<std::shared_ptr<const predict::Lstm>>>
+      cache;
+  return memoized_model(cache, mu, salt,
+                        [&]() -> std::shared_ptr<const predict::Lstm> {
+    // Deliberately small (4 hidden units, short corpus, 12 epochs): the
+    // model must fit a per-cell time budget under the parallel runner.
+    util::Rng rng(salt);
+    const auto corpus =
+        workload::cloud_speed_corpus(6, 64, training_trace_config(t), rng);
+    auto lstm = std::make_shared<predict::Lstm>(1, 4, salt ^ 0x15ull);
+    predict::Lstm::TrainConfig tc;
+    tc.epochs = 12;
+    tc.bptt_window = 24;
+    lstm->train(corpus, tc);
+    return lstm;
+  });
+}
+
+PredictorBundle make_predictor(const ScenarioConfig& config, WorkloadKind w,
+                               TraceProfile t) {
+  PredictorBundle b;
+  const std::size_t n = config.workers;
+  switch (config.predictor) {
+    case PredictorKind::kOracle:
+      return b;
+    case PredictorKind::kLastValue:
+      b.predictor = std::make_unique<predict::LastValuePredictor>(n);
+      break;
+    case PredictorKind::kArima:
+      b.predictor = std::make_unique<predict::ArimaPredictor>(
+          n, trained_arima(predictor_train_salt(config, w, t), t));
+      break;
+    case PredictorKind::kLstm: {
+      b.lstm = trained_lstm(predictor_train_salt(config, w, t), t);
+      b.predictor = std::make_unique<predict::LstmPredictor>(n, *b.lstm);
+      break;
+    }
+  }
+  b.oracle = false;
+  return b;
+}
+
 }  // namespace
 
 const char* engine_name(EngineKind e) {
@@ -139,6 +262,17 @@ const char* trace_profile_name(TraceProfile t) {
     case TraceProfile::kControlledStragglers: return "controlled";
     case TraceProfile::kStableCloud: return "stable";
     case TraceProfile::kVolatileCloud: return "volatile";
+    case TraceProfile::kFailureInjection: return "failure";
+  }
+  return "?";
+}
+
+const char* predictor_name(PredictorKind p) {
+  switch (p) {
+    case PredictorKind::kOracle: return "oracle";
+    case PredictorKind::kLastValue: return "last-value";
+    case PredictorKind::kArima: return "arima";
+    case PredictorKind::kLstm: return "lstm";
   }
   return "?";
 }
@@ -155,7 +289,24 @@ std::vector<WorkloadKind> all_workloads() {
 
 std::vector<TraceProfile> all_trace_profiles() {
   return {TraceProfile::kControlledStragglers, TraceProfile::kStableCloud,
-          TraceProfile::kVolatileCloud};
+          TraceProfile::kVolatileCloud, TraceProfile::kFailureInjection};
+}
+
+std::vector<PredictorKind> all_predictors() {
+  return {PredictorKind::kOracle, PredictorKind::kLastValue,
+          PredictorKind::kArima, PredictorKind::kLstm};
+}
+
+bool engine_uses_predictions(EngineKind e) {
+  switch (e) {
+    case EngineKind::kS2C2:
+    case EngineKind::kPolyCoded:
+    case EngineKind::kOverDecomposition:
+      return true;
+    case EngineKind::kReplication:
+      return false;
+  }
+  return false;
 }
 
 WorkloadShape workload_shape(WorkloadKind w, const ScenarioConfig& config) {
@@ -227,6 +378,32 @@ std::vector<sim::SpeedTrace> make_traces(TraceProfile profile,
           workload::cloud_speed_corpus(config.workers, samples, cfg, rng),
           trace_sample_dt(config));
     }
+    case TraceProfile::kFailureInjection: {
+      // Workers dying mid-round: the last `dead` workers drop to speed 0 at
+      // staggered times inside the first few rounds, so the engines' §4.3
+      // timeout/reassignment (and the baselines' failure handling) runs
+      // against responses that never arrive (SpeedTrace::kNever completion).
+      // Deaths are capped at n - k: the decode quorum must survive.
+      const std::size_t n = config.workers;
+      const std::size_t k = config.effective_k();
+      const std::size_t dead =
+          std::min(n - std::min(k, n),
+                   std::max<std::size_t>(1, config.stragglers));
+      const double dt = trace_sample_dt(config);
+      std::vector<sim::SpeedTrace> traces;
+      traces.reserve(n);
+      for (std::size_t w = 0; w + dead < n; ++w) {
+        traces.push_back(
+            sim::SpeedTrace::constant(rng.uniform(0.85, 1.0)));
+      }
+      for (std::size_t i = 0; i < dead; ++i) {
+        const double speed = rng.uniform(0.85, 1.0);
+        const sim::Time t_death =
+            dt * (0.4 + 1.3 * static_cast<double>(i) + rng.uniform(0.0, 0.3));
+        traces.push_back(sim::SpeedTrace::step(t_death, speed, 0.0));
+      }
+      return traces;
+    }
   }
   throw std::invalid_argument("unknown trace profile");
 }
@@ -249,6 +426,10 @@ std::string CellResult::fingerprint() const {
   h = fnv1a(h, static_cast<std::uint64_t>(engine));
   h = fnv1a(h, static_cast<std::uint64_t>(workload));
   h = fnv1a(h, static_cast<std::uint64_t>(trace));
+  h = fnv1a(h, static_cast<std::uint64_t>(workers));
+  h = fnv1a(h, static_cast<std::uint64_t>(predictor));
+  h = fnv1a(h, static_cast<std::uint64_t>(failed ? 1 : 0));
+  for (const char c : error) h = fnv1a(h, static_cast<std::uint64_t>(c));
   h = fnv1a(h, static_cast<std::uint64_t>(rounds));
   for (const double l : round_latencies) h = fnv1a(h, l);
   h = fnv1a(h, total_useful);
@@ -261,6 +442,18 @@ const CellResult* MatrixResult::find(EngineKind e, WorkloadKind w,
                                      TraceProfile t) const {
   for (const auto& cell : cells) {
     if (cell.engine == e && cell.workload == w && cell.trace == t) {
+      return &cell;
+    }
+  }
+  return nullptr;
+}
+
+const CellResult* MatrixResult::find(EngineKind e, WorkloadKind w,
+                                     TraceProfile t, std::size_t workers,
+                                     PredictorKind p) const {
+  for (const auto& cell : cells) {
+    if (cell.engine == e && cell.workload == w && cell.trace == t &&
+        cell.workers == workers && cell.predictor == p) {
       return &cell;
     }
   }
@@ -282,10 +475,12 @@ namespace {
 CellResult run_s2c2_cell(const ScenarioConfig& config, const WorkloadShape& s,
                          const core::ClusterSpec& spec, std::uint64_t salt,
                          CellResult cell) {
+  PredictorBundle bundle =
+      make_predictor(config, cell.workload, cell.trace);
   core::EngineConfig cfg;
   cfg.strategy = core::Strategy::kS2C2General;
   cfg.chunks_per_partition = config.chunks_per_partition;
-  cfg.oracle_speeds = true;
+  cfg.oracle_speeds = bundle.oracle;
 
   const std::size_t n = config.workers;
   const std::size_t k = config.effective_k();
@@ -309,7 +504,8 @@ CellResult run_s2c2_cell(const ScenarioConfig& config, const WorkloadShape& s,
       job = std::make_unique<core::CodedMatVecJob>(a, n, k,
                                                    cfg.chunks_per_partition);
     }
-    core::CodedComputeEngine engine(*job, spec, cfg);
+    core::CodedComputeEngine engine(*job, spec, cfg,
+                                    std::move(bundle.predictor));
     cell.decode_checked = true;
     rs = run_rounds_loop(config.rounds, [&] {
       const auto res = engine.run_round(x);
@@ -327,7 +523,8 @@ CellResult run_s2c2_cell(const ScenarioConfig& config, const WorkloadShape& s,
 
   const auto job = core::CodedMatVecJob::cost_only(s.rows, s.cols, n, k,
                                                    cfg.chunks_per_partition);
-  core::CodedComputeEngine engine(job, spec, cfg);
+  core::CodedComputeEngine engine(job, spec, cfg,
+                                  std::move(bundle.predictor));
   rs = run_rounds_loop(config.rounds, [&] { return engine.run_round().stats; });
   finish_cell(cell, rs, engine.accounting());
   return cell;
@@ -351,9 +548,11 @@ CellResult run_poly_cell(const ScenarioConfig& config, const WorkloadShape& s,
                          CellResult cell) {
   const std::size_t d = round_to_blocks(s.cols, s.a_blocks);
   const std::size_t out_rows = d / s.a_blocks;
+  PredictorBundle bundle =
+      make_predictor(config, cell.workload, cell.trace);
   core::PolyEngineConfig pcfg;
   pcfg.use_s2c2 = true;
-  pcfg.oracle_speeds = true;
+  pcfg.oracle_speeds = bundle.oracle;
   pcfg.chunks_per_partition =
       std::min(config.chunks_per_partition, std::max<std::size_t>(out_rows, 1));
 
@@ -364,7 +563,8 @@ CellResult run_poly_cell(const ScenarioConfig& config, const WorkloadShape& s,
     linalg::Vector x(s.rows);
     for (auto& v : x) v = op_rng.uniform(0.1, 1.0);
     const auto truth = coding::PolyCode::hessian_direct(a, x);
-    core::PolyCodedEngine engine(a, s.rows, d, s.a_blocks, spec, pcfg);
+    core::PolyCodedEngine engine(a, s.rows, d, s.a_blocks, spec, pcfg,
+                                 std::move(bundle.predictor));
     cell.decode_checked = true;
     rs = run_rounds_loop(config.rounds, [&] {
       const auto res = engine.run_round(x);
@@ -381,7 +581,7 @@ CellResult run_poly_cell(const ScenarioConfig& config, const WorkloadShape& s,
   }
 
   core::PolyCodedEngine engine(std::nullopt, s.rows, d, s.a_blocks, spec,
-                               pcfg);
+                               pcfg, std::move(bundle.predictor));
   rs = run_rounds_loop(config.rounds, [&] { return engine.run_round().stats; });
   finish_cell(cell, rs, engine.accounting());
   return cell;
@@ -391,9 +591,12 @@ CellResult run_overdecomp_cell(const ScenarioConfig& config,
                                const WorkloadShape& s,
                                const core::ClusterSpec& spec,
                                CellResult cell) {
+  PredictorBundle bundle =
+      make_predictor(config, cell.workload, cell.trace);
   core::OverDecompConfig ocfg;
-  ocfg.oracle_speeds = true;
-  core::OverDecompositionEngine engine(s.rows, s.cols, spec, ocfg);
+  ocfg.oracle_speeds = bundle.oracle;
+  core::OverDecompositionEngine engine(s.rows, s.cols, spec, ocfg,
+                                       std::move(bundle.predictor));
   const RoundSummary rs =
       run_rounds_loop(config.rounds, [&] { return engine.run_round().stats; });
   finish_cell(cell, rs, engine.accounting());
@@ -418,15 +621,26 @@ CellResult run_cell(const ScenarioConfig& config, EngineKind e,
   cell.engine = e;
   cell.workload = w;
   cell.trace = t;
-  switch (e) {
-    case EngineKind::kS2C2:
-      return run_s2c2_cell(config, shape, spec, salt, cell);
-    case EngineKind::kReplication:
-      return run_replication_cell(config, shape, spec, salt, cell);
-    case EngineKind::kPolyCoded:
-      return run_poly_cell(config, shape, spec, salt, cell);
-    case EngineKind::kOverDecomposition:
-      return run_overdecomp_cell(config, shape, spec, cell);
+  cell.workers = config.workers;
+  cell.predictor = config.predictor;
+  try {
+    switch (e) {
+      case EngineKind::kS2C2:
+        return run_s2c2_cell(config, shape, spec, salt, cell);
+      case EngineKind::kReplication:
+        return run_replication_cell(config, shape, spec, salt, cell);
+      case EngineKind::kPolyCoded:
+        return run_poly_cell(config, shape, spec, salt, cell);
+      case EngineKind::kOverDecomposition:
+        return run_overdecomp_cell(config, shape, spec, cell);
+    }
+  } catch (const std::runtime_error& ex) {
+    // Unrecoverable cluster failures (the failure-injection profile can
+    // push a baseline past its redundancy) are data, not crashes: the cell
+    // records the deterministic failure and the sweep continues.
+    cell.failed = true;
+    cell.error = ex.what();
+    return cell;
   }
   throw std::invalid_argument("unknown engine kind");
 }

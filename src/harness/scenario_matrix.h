@@ -8,16 +8,19 @@
 // reproducible bit-for-bit and regressions in any engine/workload pair are
 // caught by diffing fingerprints.
 //
-// Three consumers share it:
+// Three consumers share it (all through src/harness/matrix_runner.h, the
+// parallel executor that adds the cluster-scale and predictor axes):
 //   * tests/scenario_matrix_test.cpp — cross-engine invariants
 //     (decodability, exact-k coverage, S2C2 waste <= replication waste);
 //   * bench/bench_scenario_matrix.cpp — the paper-scale latency table;
 //   * examples/scenario_cli.cpp --matrix — the user-facing sweep.
 //
 // Determinism contract: every stochastic choice (traces, placement,
-// operators) derives from ScenarioConfig::seed mixed with the cell's
-// coordinates; engines run with oracle speeds (no trained predictor), so
-// run_scenario_matrix(config) == run_scenario_matrix(config) exactly.
+// operators, predictor training) derives from ScenarioConfig::seed mixed
+// with the cell's coordinates, so run_cell(config, ...) is a pure function
+// of its arguments and run_scenario_matrix(config) ==
+// run_scenario_matrix(config) exactly — the property the parallel runner
+// leans on to shard cells across threads without changing a single bit.
 #pragma once
 
 #include <cstddef>
@@ -49,15 +52,33 @@ enum class TraceProfile {
   kControlledStragglers,  // fixed 5x-slow nodes (§6.5/§7.1 cluster)
   kStableCloud,           // low-volatility cloud regime (Fig 8)
   kVolatileCloud,         // frequent regime switches (Fig 10)
+  kFailureInjection,      // workers dying mid-round (§4.3 recovery / kNever)
+};
+
+/// Speed-information source for the prediction-capable engines (the S2C2,
+/// poly, and over-decomposition engines; replication ignores it). Oracle
+/// reads the true trace speed at round start; the rest are the paper's
+/// §6.1 predictor lineup trained on a per-column seeded corpus.
+enum class PredictorKind {
+  kOracle,
+  kLastValue,
+  kArima,  // ARIMA(1,0,1) fit by conditional sum of squares
+  kLstm,   // the paper's 4-hidden-unit LSTM, trained in-cell
 };
 
 [[nodiscard]] const char* engine_name(EngineKind e);
 [[nodiscard]] const char* workload_name(WorkloadKind w);
 [[nodiscard]] const char* trace_profile_name(TraceProfile t);
+[[nodiscard]] const char* predictor_name(PredictorKind p);
 
 [[nodiscard]] std::vector<EngineKind> all_engines();
 [[nodiscard]] std::vector<WorkloadKind> all_workloads();
 [[nodiscard]] std::vector<TraceProfile> all_trace_profiles();
+[[nodiscard]] std::vector<PredictorKind> all_predictors();
+
+/// True for engines whose allocation consumes speed predictions — the
+/// predictor axis only multiplies these; the others run once per column.
+[[nodiscard]] bool engine_uses_predictions(EngineKind e);
 
 struct ScenarioConfig {
   std::size_t workers = 12;
@@ -66,6 +87,11 @@ struct ScenarioConfig {
   std::size_t chunks_per_partition = 24;
   std::size_t rounds = 6;
   std::uint64_t seed = 42;
+
+  /// Speed source for prediction-capable engines. Non-oracle predictors are
+  /// trained/seeded per (seed, workload, profile) column, so every engine in
+  /// a column forecasts from the same model.
+  PredictorKind predictor = PredictorKind::kOracle;
 
   /// Functional mode runs real (small) operators through the engines;
   /// cells with a decode — the S2C2 engine everywhere, the poly engine on
@@ -123,6 +149,14 @@ struct CellResult {
   EngineKind engine{};
   WorkloadKind workload{};
   TraceProfile trace{};
+  std::size_t workers = 0;  // cluster size the cell ran at
+  PredictorKind predictor = PredictorKind::kOracle;
+
+  /// Engine threw (e.g. an unrecoverable cluster failure under the
+  /// failure-injection profile). Deterministic: the same config fails the
+  /// same way, and `error` participates in the fingerprint.
+  bool failed = false;
+  std::string error;
 
   std::size_t rounds = 0;
   double total_latency = 0.0;
@@ -149,9 +183,13 @@ struct MatrixResult {
   ScenarioConfig config;
   std::vector<CellResult> cells;
 
-  /// nullptr when the cell was not part of the sweep.
+  /// nullptr when the cell was not part of the sweep. The three-coordinate
+  /// form returns the first match over the runner's extra axes.
   [[nodiscard]] const CellResult* find(EngineKind e, WorkloadKind w,
                                        TraceProfile t) const;
+  [[nodiscard]] const CellResult* find(EngineKind e, WorkloadKind w,
+                                       TraceProfile t, std::size_t workers,
+                                       PredictorKind p) const;
 
   /// Hash over every cell fingerprint (whole-sweep determinism check).
   [[nodiscard]] std::string fingerprint() const;

@@ -1,5 +1,6 @@
 #include "src/runtime/thread_cluster.h"
 
+#include "src/sched/coverage.h"
 #include "src/util/require.h"
 
 namespace s2c2::runtime {
@@ -48,6 +49,12 @@ linalg::Vector ThreadCluster::run_round(const sched::Allocation& allocation,
   S2C2_REQUIRE(allocation.chunks_per_partition == job_.chunks_per_partition(),
                "allocation granularity mismatch");
   S2C2_REQUIRE(x.size() == job_.data_cols(), "x size mismatch");
+  // Decodability up front: the round loop below blocks until every chunk
+  // has k responses, so an allocation that cannot reach coverage would spin
+  // on recv() forever. Fail fast with a diagnosable error instead.
+  S2C2_REQUIRE(sched::has_coverage(allocation, job_.k()),
+               "allocation cannot decode: some chunk is assigned to fewer "
+               "than k workers");
   ++round_;
   auto shared_x = std::make_shared<const linalg::Vector>(x);
   for (std::size_t w = 0; w < job_.n(); ++w) {

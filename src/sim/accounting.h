@@ -28,7 +28,8 @@ struct WorkerAccount {
 
 struct RoundStats {
   Time start = 0.0;
-  Time end = 0.0;
+  Time coverage = 0.0;             // last needed response (pre-decode)
+  Time end = 0.0;                  // coverage + master decode
   bool timeout_fired = false;      // mis-prediction / failure recovery ran
   std::size_t reassigned_chunks = 0;
   std::size_t data_moves = 0;      // partition migrations (baselines)

@@ -1,0 +1,66 @@
+// Fixed-size worker-thread pool + a deterministic parallel_for.
+//
+// Built for the scenario-matrix executor (src/harness/matrix_runner.h):
+// matrix cells are independent, seeded computations, so the pool only needs
+// task submission and an idle barrier — no futures, no task graphs. The
+// companion parallel_for(count, jobs, fn) runs fn(0..count) across jobs
+// threads with each index executed exactly once; callers that write
+// results into a preallocated slot per index get bit-identical output
+// regardless of thread count, which is the harness's determinism contract.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace s2c2::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (clamped to >= 1).
+  explicit ThreadPool(std::size_t threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Drains the queue (pending tasks still run), then joins all workers.
+  ~ThreadPool();
+
+  /// Enqueues a task. Tasks must not throw — wrap and capture exceptions
+  /// at the call site (parallel_for does this for its callers).
+  void submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and no worker is running a task.
+  void wait_idle();
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// max(1, std::thread::hardware_concurrency()).
+  [[nodiscard]] static std::size_t hardware_threads();
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // queue non-empty or shutting down
+  std::condition_variable idle_cv_;   // queue empty and nothing in flight
+  std::deque<std::function<void()>> queue_;
+  std::size_t in_flight_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Runs fn(i) for every i in [0, count), spread over `jobs` threads
+/// (jobs == 0 means hardware_threads(); jobs <= 1 runs inline on the
+/// caller's thread). Each index runs exactly once; completion order is
+/// unspecified, so fn must only touch per-index state. The first exception
+/// thrown by any fn(i) is rethrown on the caller's thread after all
+/// submitted work has drained.
+void parallel_for(std::size_t count, std::size_t jobs,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace s2c2::util

@@ -1,7 +1,9 @@
 // Tests for work/waste accounting (Figs 9, 11 machinery).
 #include <gtest/gtest.h>
 
+#include "src/core/engine.h"
 #include "src/sim/accounting.h"
+#include "tests/test_util.h"
 
 namespace s2c2::sim {
 namespace {
@@ -45,6 +47,35 @@ TEST(Accounting, BoundsChecked) {
   EXPECT_THROW(acc.add_useful(1, 1.0), std::invalid_argument);
   EXPECT_THROW(acc.add_wasted(0, -1.0), std::invalid_argument);
   EXPECT_THROW((void)acc.worker(5), std::invalid_argument);
+}
+
+TEST(Accounting, BusyTimeCoversReassignedWork) {
+  // Regression: the engine credited a used worker's busy time only for its
+  // original compute window; compute for reassigned extra chunks was added
+  // to useful work but never to busy, so utilization was under-reported in
+  // exactly the rounds where the timeout fired. On unit-speed traces, work
+  // is measured in unit-speed seconds, so every worker must satisfy
+  // busy_time >= useful_work (equality for always-busy unit-speed workers).
+  using core::CodedComputeEngine;
+  using core::EngineConfig;
+  using core::RoundResult;
+  using core::Strategy;
+
+  test::FunctionalMatVec f(12, 6);
+  EngineConfig cfg;
+  cfg.strategy = Strategy::kS2C2General;
+  cfg.chunks_per_partition = test::kChunks;
+  CodedComputeEngine engine(
+      f.job, test::make_spec(test::dying_traces(12, 1)), cfg);
+  const RoundResult r = engine.run_round(f.x);
+  ASSERT_TRUE(r.stats.timeout_fired);
+  ASSERT_GT(r.stats.reassigned_chunks, 0u);
+  for (std::size_t w = 0; w < 11; ++w) {  // live workers ran at speed 1.0
+    const WorkerAccount& acct = engine.accounting().worker(w);
+    ASSERT_GT(acct.useful_work, 0.0) << w;
+    EXPECT_GE(acct.busy_time, acct.useful_work - 1e-12)
+        << "worker " << w << " booked more useful work than busy time";
+  }
 }
 
 TEST(RoundStats, Latency) {

@@ -152,6 +152,72 @@ TEST(Engine, MdsWastesStragglersWorkS2C2DoesNot) {
   EXPECT_NEAR(waste(Strategy::kS2C2General), 0.0, 1e-9);
 }
 
+TEST(Engine, TimeoutWindowCollectsTiesAtExtendedDeadline) {
+  // Regression: with a timeout factor < 1 and identical worker speeds,
+  // fewer than k responses beat the initial deadline, so the engine extends
+  // it to the k-th fastest response — and every response is *tied* at that
+  // extended deadline. The pre-fix collection never re-scanned after the
+  // extension: the ties stayed cancelled, their finished work was booked as
+  // waste, and timeout_fired reported true spuriously.
+  FunctionalSetup f(6, 3);
+  EngineConfig cfg;
+  cfg.strategy = Strategy::kS2C2General;
+  cfg.chunks_per_partition = kChunks;
+  cfg.oracle_speeds = true;
+  cfg.timeout_factor = 0.9;
+  CodedComputeEngine engine(f.job, make_spec(test::uniform_traces(6)), cfg);
+  const RoundResult r = engine.run_round(f.x);
+  EXPECT_FALSE(r.stats.timeout_fired);
+  EXPECT_EQ(r.stats.reassigned_chunks, 0u);
+  EXPECT_DOUBLE_EQ(engine.accounting().total_wasted(), 0.0);
+  for (std::size_t w = 0; w < 6; ++w) {
+    EXPECT_GT(engine.accounting().worker(w).useful_work, 0.0) << w;
+  }
+  ASSERT_TRUE(r.y.has_value());
+  expect_close(*r.y, f.truth);
+}
+
+TEST(Engine, IdleWorkerProbeReflectsPreDecodeWindow) {
+  // Regression: idle workers used to be probed at stats.end (post-decode)
+  // while every busy worker's observation reflects the pre-decode window.
+  // A speed step between coverage and decode-end flipped the straggler
+  // flag for the next round.
+  FunctionalSetup ref(12, 6);
+  EngineConfig cfg;
+  cfg.strategy = Strategy::kS2C2Basic;
+  cfg.chunks_per_partition = kChunks;
+
+  // Reference run (worker 11 idle via a pre-fed slow observation) to learn
+  // the round's coverage/end times; worker 11's trace does not affect them.
+  auto make_predictor = [] {
+    auto p = std::make_unique<predict::LastValuePredictor>(12);
+    for (std::size_t w = 0; w < 11; ++w) p->observe(w, 1.0);
+    p->observe(11, 0.01);  // flagged straggler => idle in round 1
+    return p;
+  };
+  CodedComputeEngine probe_engine(ref.job, make_spec(test::uniform_traces(12)),
+                                  cfg, make_predictor());
+  const RoundResult probe = probe_engine.run_round(ref.x);
+  ASSERT_LT(probe.stats.coverage, probe.stats.end);  // decode takes time
+
+  // Real run: worker 11's speed collapses after coverage but before decode
+  // finishes. The master's probe must see the pre-decode speed (1.0).
+  const sim::Time t_step = 0.5 * (probe.stats.coverage + probe.stats.end);
+  auto traces = test::uniform_traces(12);
+  traces[11] = sim::SpeedTrace::step(t_step, 1.0, 1e-3);
+  FunctionalSetup f(12, 6);
+  CodedComputeEngine engine(f.job, make_spec(std::move(traces)), cfg,
+                            make_predictor());
+  const RoundResult r1 = engine.run_round(f.x);
+  EXPECT_DOUBLE_EQ(r1.observed_speeds[11], 1.0);
+  // With the probe corrected, round 2 un-flags worker 11 and assigns it
+  // work (it then crawls at 1e-3 and is cancelled, so its round-2 progress
+  // shows up as waste); the skewed probe (1e-3) would have kept it idle.
+  const RoundResult r2 = engine.run_round(f.x);
+  EXPECT_DOUBLE_EQ(r2.predicted_speeds[11], 1.0);
+  EXPECT_GT(engine.accounting().worker(11).wasted_work, 0.0);
+}
+
 TEST(Engine, TimeoutRecoversFromSuddenDeath) {
   // Worker 11 dies mid-run; predictions (last-value) won't see it coming,
   // so the timeout must fire, reassign, and still decode correctly.
@@ -163,6 +229,48 @@ TEST(Engine, TimeoutRecoversFromSuddenDeath) {
   const RoundResult r = engine.run_round(f.x);
   EXPECT_TRUE(r.stats.timeout_fired);
   EXPECT_GT(r.stats.reassigned_chunks, 0u);
+  ASSERT_TRUE(r.y.has_value());
+  expect_close(*r.y, f.truth);
+}
+
+TEST(Engine, SurvivesRecoveryWorkerDyingMidReassignment) {
+  // Cascading failure: worker 3 dies mid-round, its chunks are reassigned,
+  // and worker 2 — one of the recovery workers — dies mid-reassignment.
+  // The engine must detect the second death, re-plan onto the survivors,
+  // and still decode (the single-shot recovery used to throw here).
+  const std::size_t n = 4, k = 2;
+
+  // Reference run with only worker 3 dying, to learn when recovery ends;
+  // the recovery window is (deadline, coverage], so a death just before
+  // coverage lands mid-reassignment.
+  FunctionalSetup ref(n, k);
+  EngineConfig cfg;
+  cfg.strategy = Strategy::kS2C2General;
+  cfg.chunks_per_partition = kChunks;
+  cfg.oracle_speeds = true;
+  // Slow fleet (1e6 flops): compute dominates transfer, so a death at 90%
+  // of the reference coverage time lands inside the recovery compute
+  // window rather than in the trailing result transfer.
+  const double flops = 1e6;
+  CodedComputeEngine ref_engine(
+      ref.job, make_spec(test::dying_traces(n, 1), flops), cfg);
+  const RoundResult ref_round = ref_engine.run_round(ref.x);
+  ASSERT_TRUE(ref_round.stats.timeout_fired);
+  const std::size_t first_wave = ref_round.stats.reassigned_chunks;
+  ASSERT_GT(first_wave, 0u);
+
+  auto traces = test::dying_traces(n, 1);
+  traces[2] = sim::SpeedTrace::step(0.9 * ref_round.stats.coverage, 1.0, 0.0);
+  FunctionalSetup f(n, k);
+  CodedComputeEngine engine(f.job, make_spec(std::move(traces), flops), cfg);
+  const RoundResult r = engine.run_round(f.x);
+  EXPECT_TRUE(r.stats.timeout_fired);
+  // The re-planned wave reassigns worker 2's unfinished chunks again.
+  EXPECT_GT(r.stats.reassigned_chunks, first_wave);
+  // Worker 2's partial recovery progress is waste on top of its useful
+  // original partition work.
+  EXPECT_GT(engine.accounting().worker(2).wasted_work, 0.0);
+  EXPECT_GT(engine.accounting().worker(2).useful_work, 0.0);
   ASSERT_TRUE(r.y.has_value());
   expect_close(*r.y, f.truth);
 }

@@ -59,6 +59,49 @@ TEST(Reassignment, LoadBalancesBySpeed) {
   EXPECT_EQ(plan.chunks_per_worker[1].size(), 3u);
 }
 
+TEST(Reassignment, QuotaExhaustionOverflowsToZeroQuotaWorker) {
+  // Regression for the overflow path: the fast worker holds the whole
+  // speed-proportional quota, but it already has both deficient chunks, so
+  // every assignment must overflow to the slow worker — whose quota is 0.
+  const std::vector<std::size_t> deficient{0, 1};
+  const std::vector<std::vector<std::size_t>> have{{0}, {0}};
+  const std::vector<std::size_t> needed{1, 1};
+  const std::vector<double> speeds{10.0, 1.0};
+  const auto plan = plan_reassignment(deficient, have, needed, speeds);
+  EXPECT_TRUE(plan.chunks_per_worker[0].empty());
+  EXPECT_EQ(plan.chunks_per_worker[1],
+            (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(plan.total_chunks(), 2u);
+}
+
+TEST(Reassignment, OverflowPicksLeastLoadedEligibleWorker) {
+  // Worker 0 again soaks up the quota but is excluded everywhere. The
+  // first overflow loads worker 1; the second must then prefer worker 2
+  // (load 0) over worker 1 (load 1) even though worker 1 is faster.
+  const std::vector<std::size_t> deficient{0, 1};
+  const std::vector<std::vector<std::size_t>> have{{0, 2}, {0}};
+  const std::vector<std::size_t> needed{1, 1};
+  const std::vector<double> speeds{8.0, 1.2, 1.1};
+  const auto plan = plan_reassignment(deficient, have, needed, speeds);
+  EXPECT_TRUE(plan.chunks_per_worker[0].empty());
+  EXPECT_EQ(plan.chunks_per_worker[1], (std::vector<std::size_t>{0}));
+  EXPECT_EQ(plan.chunks_per_worker[2], (std::vector<std::size_t>{1}));
+}
+
+TEST(Reassignment, OverflowNeverDuplicatesChunkOnOneWorker) {
+  // Quota-exhausted overflow must still honor the exclusion constraints:
+  // chunk 5 needs two extra copies and only workers 1 and 2 may take one
+  // each, regardless of worker 1 hoarding the quota.
+  const std::vector<std::size_t> deficient{5, 5};
+  const std::vector<std::vector<std::size_t>> have{{0}, {0}};
+  const std::vector<std::size_t> needed{1, 1};
+  const std::vector<double> speeds{100.0, 1.0, 1.0};
+  const auto plan = plan_reassignment(deficient, have, needed, speeds);
+  EXPECT_TRUE(plan.chunks_per_worker[0].empty());
+  EXPECT_EQ(plan.chunks_per_worker[1], (std::vector<std::size_t>{5}));
+  EXPECT_EQ(plan.chunks_per_worker[2], (std::vector<std::size_t>{5}));
+}
+
 TEST(Reassignment, InfeasibleThrows) {
   // Chunk needs 2 distinct new workers but only one candidate exists.
   const std::vector<std::size_t> deficient{0};

@@ -151,6 +151,24 @@ TEST(ThreadCluster, ValidatesInputs) {
                std::invalid_argument);
 }
 
+TEST(ThreadCluster, UndecodableAllocationFailsFastInsteadOfDeadlocking) {
+  // Regression: an allocation that can never reach k-coverage used to spin
+  // forever on the response channel (the decoder never becomes decodable).
+  // The coverage precheck must reject it immediately.
+  ClusterFixture f(4, 2);
+  sched::Allocation starved;
+  starved.chunks_per_partition = 12;
+  starved.per_worker.resize(4);
+  starved.per_worker[0] = {0, 12};  // worker 0 covers everything once...
+  // ...and nobody else works: every chunk has 1 < k = 2 assignees.
+  EXPECT_THROW((void)f.cluster.run_round(starved, f.x),
+               std::invalid_argument);
+  // The cluster is still usable afterwards: a decodable allocation decodes.
+  const auto y =
+      f.cluster.run_round(sched::full_allocation(4, 12), f.x);
+  expect_close(y, f.truth);
+}
+
 TEST(ThreadCluster, RequiresFunctionalJob) {
   const auto job = core::CodedMatVecJob::cost_only(100, 10, 4, 2, 10);
   EXPECT_THROW(ThreadCluster cluster(job), std::invalid_argument);

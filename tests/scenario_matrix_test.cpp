@@ -7,6 +7,7 @@
 
 #include <cmath>
 
+#include "src/harness/matrix_runner.h"
 #include "src/harness/scenario_matrix.h"
 #include "src/sched/allocation.h"
 #include "src/sched/coverage.h"
@@ -231,6 +232,160 @@ TEST(ScenarioMatrix, WorkloadShapesRespectPolyDivisibility) {
     return workload_shape(WorkloadKind::kSvm, c);
   }();
   EXPECT_EQ(big.rows, 2 * base.rows);
+}
+
+// ---- parallel matrix runner (src/harness/matrix_runner.h) ----
+
+// A widened grid small enough for unit tests: 2 engines x 1 workload x
+// {controlled, failure} x 2 cluster scales x {oracle, last-value}.
+MatrixAxes runner_axes() {
+  MatrixAxes axes;
+  axes.engines = {EngineKind::kS2C2, EngineKind::kReplication};
+  axes.workloads = {WorkloadKind::kLogisticRegression};
+  axes.traces = {TraceProfile::kControlledStragglers,
+                 TraceProfile::kFailureInjection};
+  axes.cluster_sizes = {12, 24};
+  axes.predictors = {PredictorKind::kOracle, PredictorKind::kLastValue};
+  return axes;
+}
+
+ScenarioConfig runner_config() {
+  ScenarioConfig cfg;
+  cfg.workers = 12;
+  cfg.rounds = 4;
+  cfg.seed = 99;
+  cfg.functional = true;
+  return cfg;
+}
+
+TEST(MatrixRunner, ParallelRunIsByteIdenticalToSerial) {
+  // The tentpole determinism contract: every cell owns its seeded RNGs and
+  // traces, so a 1-thread and an N-thread sweep must produce byte-equal
+  // fingerprints, cell for cell, in the same order.
+  const auto serial = run_matrix(runner_config(), runner_axes(), {.jobs = 1});
+  const auto parallel =
+      run_matrix(runner_config(), runner_axes(), {.jobs = 4});
+  ASSERT_EQ(serial.cells.size(), parallel.cells.size());
+  for (std::size_t i = 0; i < serial.cells.size(); ++i) {
+    EXPECT_EQ(serial.cells[i].fingerprint(), parallel.cells[i].fingerprint())
+        << engine_name(serial.cells[i].engine) << "/n="
+        << serial.cells[i].workers << "/"
+        << predictor_name(serial.cells[i].predictor) << "/"
+        << trace_profile_name(serial.cells[i].trace);
+    EXPECT_EQ(serial.cells[i].round_latencies,
+              parallel.cells[i].round_latencies);
+  }
+  EXPECT_EQ(serial.fingerprint(), parallel.fingerprint());
+}
+
+TEST(MatrixRunner, ExpandAxesSkipsPredictorVariantsForPredictionBlindEngines) {
+  const auto coords = expand_axes(runner_config(), runner_axes());
+  // Per cluster size: replication once per (workload, trace) = 2 cells,
+  // s2c2 per predictor = 2 x 2 = 4 cells. Two sizes => 12 cells total.
+  EXPECT_EQ(coords.size(), 12u);
+  std::size_t replication = 0;
+  for (const auto& c : coords) {
+    if (c.engine == EngineKind::kReplication) {
+      EXPECT_EQ(c.predictor, PredictorKind::kOracle);
+      ++replication;
+    }
+  }
+  EXPECT_EQ(replication, 4u);
+}
+
+TEST(MatrixRunner, CellConfigScalesKAndStragglersProportionally) {
+  ScenarioConfig base;
+  base.workers = 12;
+  base.k = 10;
+  base.stragglers = 2;
+  const auto big = cell_config(base, 48, PredictorKind::kLstm);
+  EXPECT_EQ(big.workers, 48u);
+  EXPECT_EQ(big.effective_k(), 40u);
+  EXPECT_EQ(big.stragglers, 8u);
+  EXPECT_EQ(big.predictor, PredictorKind::kLstm);
+  // The k = 0 default keeps its n - 2 rule.
+  base.k = 0;
+  EXPECT_EQ(cell_config(base, 24, PredictorKind::kOracle).effective_k(), 22u);
+}
+
+TEST(MatrixRunner, FailureInjectionCellsExerciseRecovery) {
+  // The S2C2 engine must *survive* the failure-injection profile: dead
+  // workers trip the §4.3 timeout (possibly cascading into recovery
+  // waves), and the decode still matches the uncoded reference.
+  ScenarioConfig cfg = runner_config();
+  const auto cell = run_cell(cfg, EngineKind::kS2C2,
+                             WorkloadKind::kLogisticRegression,
+                             TraceProfile::kFailureInjection);
+  ASSERT_FALSE(cell.failed) << cell.error;
+  EXPECT_GT(cell.timeout_rate, 0.0);
+  EXPECT_TRUE(cell.decode_checked);
+  EXPECT_LT(cell.max_decode_error, 1e-6);
+  // (No waste assertion: a worker that dies before its input arrives has
+  // no progress to discard, which this seed happens to produce.)
+  EXPECT_GT(cell.total_useful, 0.0);
+}
+
+TEST(MatrixRunner, FailureCellsAreDeterministicEvenWhenEnginesFail) {
+  // Baselines may legitimately hit unrecoverable cluster failures under
+  // failure injection; the cell then records the error as data, and two
+  // identical sweeps agree byte-for-byte.
+  ScenarioConfig cfg = runner_config();
+  cfg.functional = false;
+  cfg.scale = 0.05;
+  MatrixAxes axes = runner_axes();
+  axes.engines = all_engines();
+  axes.traces = {TraceProfile::kFailureInjection};
+  const auto a = run_matrix(cfg, axes, {.jobs = 3});
+  const auto b = run_matrix(cfg, axes, {.jobs = 1});
+  ASSERT_EQ(a.cells.size(), b.cells.size());
+  for (std::size_t i = 0; i < a.cells.size(); ++i) {
+    EXPECT_EQ(a.cells[i].failed, b.cells[i].failed);
+    EXPECT_EQ(a.cells[i].error, b.cells[i].error);
+    EXPECT_EQ(a.cells[i].fingerprint(), b.cells[i].fingerprint());
+  }
+  // The S2C2 cells must be among the survivors.
+  for (const auto& cell : a.cells) {
+    if (cell.engine == EngineKind::kS2C2) {
+      EXPECT_FALSE(cell.failed)
+          << "n=" << cell.workers << " "
+          << predictor_name(cell.predictor) << ": " << cell.error;
+    }
+  }
+}
+
+TEST(MatrixRunner, PredictorAxisChangesOutcomes) {
+  // A learned predictor on volatile traces cannot reproduce the oracle's
+  // event log; the axis must actually reach the engines.
+  ScenarioConfig cfg = runner_config();
+  cfg.predictor = PredictorKind::kOracle;
+  const auto oracle = run_cell(cfg, EngineKind::kS2C2,
+                               WorkloadKind::kLogisticRegression,
+                               TraceProfile::kVolatileCloud);
+  cfg.predictor = PredictorKind::kArima;
+  const auto arima = run_cell(cfg, EngineKind::kS2C2,
+                              WorkloadKind::kLogisticRegression,
+                              TraceProfile::kVolatileCloud);
+  EXPECT_NE(oracle.fingerprint(), arima.fingerprint());
+  ASSERT_FALSE(arima.failed) << arima.error;
+  EXPECT_TRUE(arima.decode_checked);
+  EXPECT_LT(arima.max_decode_error, 1e-6);  // mispredictions never corrupt
+}
+
+TEST(MatrixRunner, LstmPredictorCellRunsDeterministically) {
+  // The heaviest predictor: in-cell LSTM training must stay deterministic
+  // (the trained model is part of the cell's seeded computation).
+  ScenarioConfig cfg = runner_config();
+  cfg.rounds = 3;
+  cfg.predictor = PredictorKind::kLstm;
+  const auto a = run_cell(cfg, EngineKind::kS2C2,
+                          WorkloadKind::kLogisticRegression,
+                          TraceProfile::kStableCloud);
+  const auto b = run_cell(cfg, EngineKind::kS2C2,
+                          WorkloadKind::kLogisticRegression,
+                          TraceProfile::kStableCloud);
+  ASSERT_FALSE(a.failed) << a.error;
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+  EXPECT_LT(a.max_decode_error, 1e-6);
 }
 
 TEST(ScenarioMatrix, RejectsDegenerateClusters) {

@@ -1,0 +1,121 @@
+// Tests for the worker pool behind the parallel matrix runner: task
+// completion, the idle barrier, exactly-once parallel_for semantics, and
+// exception propagation to the calling thread.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "src/util/thread_pool.h"
+
+namespace s2c2::util {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(3);
+    EXPECT_EQ(pool.size(), 3u);
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&] { ++count; });
+    }
+    pool.wait_idle();
+    EXPECT_EQ(count.load(), 50);
+  }
+}
+
+TEST(ThreadPool, DestructorDrainsPendingTasks) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 20; ++i) {
+      pool.submit([&] {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        ++count;
+      });
+    }
+  }  // destructor joins after the queue drains
+  EXPECT_EQ(count.load(), 20);
+}
+
+TEST(ThreadPool, ClampsToAtLeastOneThread) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+  std::atomic<bool> ran{false};
+  pool.submit([&] { ran = true; });
+  pool.wait_idle();
+  EXPECT_TRUE(ran);
+}
+
+TEST(ParallelFor, EveryIndexRunsExactlyOnce) {
+  for (const std::size_t jobs : {1u, 2u, 5u, 16u}) {
+    std::vector<std::atomic<int>> hits(257);
+    parallel_for(hits.size(), jobs, [&](std::size_t i) { ++hits[i]; });
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "jobs=" << jobs << " index=" << i;
+    }
+  }
+}
+
+TEST(ParallelFor, SlotWritesAreDeterministicAcrossJobCounts) {
+  // The matrix runner's contract in miniature: each task writes only its
+  // own slot, so any job count yields identical output.
+  auto run = [](std::size_t jobs) {
+    std::vector<double> out(64);
+    parallel_for(out.size(), jobs, [&](std::size_t i) {
+      double acc = static_cast<double>(i) + 1.0;
+      for (int it = 0; it < 100; ++it) acc = acc * 1.0000001 + 0.5;
+      out[i] = acc;
+    });
+    return out;
+  };
+  const auto serial = run(1);
+  const auto parallel = run(8);
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i], parallel[i]) << i;  // bit-exact
+  }
+}
+
+TEST(ParallelFor, PropagatesFirstException) {
+  std::atomic<int> completed{0};
+  try {
+    parallel_for(32, 4, [&](std::size_t i) {
+      if (i == 7) throw std::runtime_error("boom");
+      ++completed;
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom");
+  }
+  // The sweep short-circuits after the failure (its results would be
+  // discarded anyway), so not every remaining index runs — but the indices
+  // claimed before the failure did.
+  EXPECT_GT(completed.load(), 0);
+  EXPECT_LT(completed.load(), 32);
+}
+
+TEST(ParallelFor, ShortCircuitsRemainingWorkAfterFailure) {
+  // The very first claimed index fails, so the bulk of the 1000-index
+  // sweep must be skipped once the stop flag is visible.
+  std::atomic<int> completed{0};
+  EXPECT_THROW(parallel_for(1000, 2, [&](std::size_t i) {
+                 if (i == 0) throw std::runtime_error("early");
+                 ++completed;
+               }),
+               std::runtime_error);
+  EXPECT_LT(completed.load(), 1000);
+}
+
+TEST(ParallelFor, ZeroJobsMeansHardwareThreads) {
+  std::atomic<int> count{0};
+  parallel_for(10, 0, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 10);
+  EXPECT_GE(ThreadPool::hardware_threads(), 1u);
+}
+
+}  // namespace
+}  // namespace s2c2::util
