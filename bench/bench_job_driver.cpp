@@ -1,0 +1,93 @@
+// Job-level evaluation at suite scale on the thread-pool sharding: every
+// application x strategy x trace-profile job from one fixed seed, run at
+// --jobs 1 and --jobs N with the fingerprints cross-checked (the driver's
+// determinism contract) and the wall-clock ratio reported as the sharding
+// speedup. The normalized table is the condensed form of the paper's
+// job-level evaluation (Figs 6-8, 10).
+//
+//   build/bench/bench_job_driver [seed] [iterations] [jobs]
+//
+// jobs defaults to all hardware threads (min 4, so the determinism
+// cross-check always exercises a genuinely concurrent run).
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "bench/bench_common.h"
+#include "src/harness/job_driver.h"
+#include "src/util/table.h"
+#include "src/util/thread_pool.h"
+
+int main(int argc, char** argv) {
+  using namespace s2c2;
+  using Clock = std::chrono::steady_clock;
+
+  harness::JobConfig cfg;
+  harness::JobGrid grid;
+  grid.traces = {harness::TraceProfile::kControlledStragglers,
+                 harness::TraceProfile::kStableCloud,
+                 harness::TraceProfile::kVolatileCloud,
+                 harness::TraceProfile::kFailureInjection};
+  std::size_t jobs =
+      std::max<std::size_t>(4, util::ThreadPool::hardware_threads());
+  if (argc > 1) cfg.seed = std::strtoull(argv[1], nullptr, 10);
+  if (argc > 2) cfg.max_iterations = std::strtoul(argv[2], nullptr, 10);
+  if (argc > 3) {
+    // Clamp to >= 2: comparing a serial run against another serial run
+    // would make the determinism cross-check vacuous.
+    jobs = std::max<std::size_t>(2, std::strtoul(argv[3], nullptr, 10));
+  }
+
+  bench::print_header(
+      "Job driver — full iterative jobs, app x strategy x trace",
+      "seed " + std::to_string(cfg.seed) + ", cap " +
+          std::to_string(cfg.max_iterations) + " iterations/job, " +
+          std::to_string(grid.apps.size() * grid.strategies.size() *
+                         grid.traces.size()) +
+          " jobs");
+
+  const auto t_serial0 = Clock::now();
+  const auto serial = harness::run_job_suite(cfg, grid, 1);
+  const double serial_s =
+      std::chrono::duration<double>(Clock::now() - t_serial0).count();
+
+  const auto t_par0 = Clock::now();
+  const auto parallel = harness::run_job_suite(cfg, grid, jobs);
+  const double parallel_s =
+      std::chrono::duration<double>(Clock::now() - t_par0).count();
+
+  util::Table t({"app", "trace", "strategy", "iters", "completion (ms)",
+                 "vs s2c2", "timeout %", "waste %"});
+  for (const auto& job : parallel.jobs) {
+    const auto* ref = parallel.find(job.app, harness::JobStrategy::kS2C2,
+                                    job.trace);
+    const bool has_ref =
+        ref != nullptr && !ref->failed && ref->completion_time > 0.0;
+    t.add_row(
+        {harness::job_app_name(job.app),
+         harness::trace_profile_name(job.trace),
+         harness::job_strategy_name(job.strategy),
+         job.failed ? "-" : std::to_string(job.iterations),
+         job.failed ? "failed" : util::fmt(job.completion_time * 1e3, 3),
+         job.failed || !has_ref
+             ? "-"
+             : util::fmt(job.completion_time / ref->completion_time, 2) + "x",
+         job.failed ? "-" : util::fmt(100.0 * job.timeout_rate, 1),
+         job.failed ? "-"
+                    : util::fmt(100.0 * job.mean_wasted_fraction, 1)});
+  }
+  t.print();
+
+  const bool identical = serial.fingerprint() == parallel.fingerprint();
+  std::cout << "\nexecutor: jobs=1 " << util::fmt(serial_s, 2)
+            << " s | jobs=" << jobs << " " << util::fmt(parallel_s, 2)
+            << " s | speedup " << util::fmt(serial_s / parallel_s, 2)
+            << "x (" << util::ThreadPool::hardware_threads()
+            << " hardware threads)\n";
+  std::cout << "determinism: serial and parallel fingerprints "
+            << (identical ? "IDENTICAL" : "DIFFER — REGRESSION") << "\n";
+  std::cout << "\nsuite fingerprint: " << parallel.fingerprint() << "\n";
+  return identical ? 0 : 1;
+}

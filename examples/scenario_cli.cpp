@@ -34,6 +34,7 @@
 //   --scale F        cost-only operator scale factor      (default 1.0)
 //   --functional     run real (small) operators; coded cells (s2c2, poly on
 //                    hessian) verify their decode and report the max error
+//   --help           print the same flag/axis listing to stdout
 #include <cstdio>
 #include <iostream>
 #include <sstream>
@@ -56,12 +57,28 @@ struct Options {
   harness::WorkloadKind workload = harness::WorkloadKind::kLogisticRegression;
   harness::TraceProfile trace = harness::TraceProfile::kControlledStragglers;
   bool matrix = false;
+  bool help = false;
 };
 
-std::string fmt_sci(double v) {
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%.2e", v);
-  return buf;
+void print_usage() {
+  std::cout <<
+      "scenario_cli — per-round scenario cells and the cross-engine matrix\n"
+      "\n"
+      "  scenario_cli [--engine E --workload W --trace T]   one cell\n"
+      "  scenario_cli --matrix [--jobs N] [--axis K=V,..]   widened sweep\n"
+      "\n"
+      "flags: --jobs N (0 = all hardware threads)  --workers N  --k K\n"
+      "       --stragglers S  --rounds R  --chunks C  --seed S  --scale F\n"
+      "       --predictor P  --functional  --help\n"
+      "axes (--axis name=v1,v2,... — repeatable):\n"
+      "       engines     s2c2|replication|poly|overdecomp\n"
+      "       workloads   logreg|pagerank|svm|hessian\n"
+      "       traces      controlled|stable|volatile|failure\n"
+      "       sizes       cluster sizes, e.g. 12,24,48\n"
+      "       predictors  oracle|last-value|arima|lstm\n"
+      "\n"
+      "Job-level runs (full iterative applications + report generation)\n"
+      "live in repro_cli; see README \"Job driver\" and docs/REPRODUCTION.md.\n";
 }
 
 harness::EngineKind parse_engine(const std::string& s) {
@@ -143,7 +160,8 @@ Options parse(int argc, char** argv) {
   };
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
-    if (flag == "--matrix") o.matrix = true;
+    if (flag == "--help" || flag == "-h") o.help = true;
+    else if (flag == "--matrix") o.matrix = true;
     else if (flag == "--jobs") o.runner.jobs = std::stoul(value(i));
     else if (flag == "--axis") apply_axis(o.axes, value(i));
     else if (flag == "--engine") o.engine = parse_engine(value(i));
@@ -172,7 +190,7 @@ void print_cell_summary(const harness::CellResult& cell) {
             << "% | mean wasted work "
             << util::fmt(100.0 * cell.mean_wasted_fraction, 1) << "%";
   if (cell.decode_checked) {
-    std::cout << " | max decode error " << fmt_sci(cell.max_decode_error);
+    std::cout << " | max decode error " << util::fmt_sci(cell.max_decode_error);
   }
   std::cout << "\ncell fingerprint: " << cell.fingerprint() << "\n";
 }
@@ -235,7 +253,7 @@ int run_matrix(const Options& o) {
     }
     if (o.config.functional) {
       row.push_back(cell.decode_checked && !cell.failed
-                        ? fmt_sci(cell.max_decode_error)
+                        ? util::fmt_sci(cell.max_decode_error)
                         : "-");
     }
     t.add_row(row);
@@ -259,8 +277,13 @@ int main(int argc, char** argv) {
   try {
     o = parse(argc, argv);
   } catch (const std::exception& e) {
-    std::cerr << "error: " << e.what() << "\n(see header comment for flags)\n";
+    std::cerr << "error: " << e.what() << "\n\n";
+    print_usage();
     return 1;
+  }
+  if (o.help) {
+    print_usage();
+    return 0;
   }
   try {
     return o.matrix ? run_matrix(o) : run_single(o);

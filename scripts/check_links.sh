@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Markdown link check over README.md and docs/ — dependency-free (bash +
+# grep only, no network): every *relative* link target must exist on disk.
+# http(s) links are counted but not fetched (CI has no network guarantee);
+# anchors (#...) are stripped before the existence check.
+#
+# Usage: scripts/check_links.sh [file-or-dir ...]   (default: README.md docs)
+set -u
+
+cd "$(dirname "$0")/.."
+
+targets=("$@")
+if [ ${#targets[@]} -eq 0 ]; then
+  targets=(README.md docs)
+fi
+
+files=()
+for t in "${targets[@]}"; do
+  if [ -d "$t" ]; then
+    while IFS= read -r f; do files+=("$f"); done \
+      < <(find "$t" -name '*.md' | sort)
+  else
+    files+=("$t")
+  fi
+done
+
+fail=0
+checked=0
+external=0
+for f in "${files[@]}"; do
+  dir=$(dirname "$f")
+  # Extract ](target) spans; tolerate multiple links per line.
+  while IFS= read -r link; do
+    case "$link" in
+      http://*|https://*) external=$((external + 1)); continue ;;
+      mailto:*|\#*) continue ;;
+    esac
+    target="${link%%#*}"
+    [ -n "$target" ] || continue
+    checked=$((checked + 1))
+    if [ ! -e "$dir/$target" ] && [ ! -e "$target" ]; then
+      echo "BROKEN: $f -> $link"
+      fail=1
+    fi
+  done < <(grep -o ']([^)]*)' "$f" 2>/dev/null | sed 's/^](//; s/)$//')
+done
+
+echo "link check: ${#files[@]} files, $checked relative links verified," \
+     "$external external links skipped"
+exit $fail

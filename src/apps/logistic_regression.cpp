@@ -6,10 +6,6 @@
 
 namespace s2c2::apps {
 
-namespace {
-
-/// Derivative of the mean logistic loss w.r.t. the margins u = Xw:
-/// r_i = -y_i * sigmoid(-y_i u_i) / m.
 linalg::Vector logistic_residual(const workload::Dataset& data,
                                  std::span<const double> margins) {
   const std::size_t m = data.x.rows();
@@ -20,8 +16,6 @@ linalg::Vector logistic_residual(const workload::Dataset& data,
   }
   return r;
 }
-
-}  // namespace
 
 double logistic_loss(const workload::Dataset& data, const linalg::Vector& w,
                      double l2_reg) {

@@ -46,4 +46,10 @@ struct TrainResult {
                                                const linalg::Vector& w,
                                                double l2_reg);
 
+/// Derivative of the mean logistic loss w.r.t. the margins u = X·w:
+/// r_i = -y_i·σ(-y_i·u_i)/m. The backward coded product computes Xᵀ·r —
+/// shared with the job driver so every strategy runs the same update.
+[[nodiscard]] linalg::Vector logistic_residual(const workload::Dataset& data,
+                                               std::span<const double> margins);
+
 }  // namespace s2c2::apps

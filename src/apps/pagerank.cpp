@@ -7,9 +7,6 @@
 
 namespace s2c2::apps {
 
-namespace {
-
-/// Per-node out-degrees; zero marks a dangling node.
 std::vector<double> out_degrees(const linalg::CsrMatrix& adj) {
   std::vector<double> deg(adj.rows(), 0.0);
   const auto rp = adj.row_ptr();
@@ -20,10 +17,9 @@ std::vector<double> out_degrees(const linalg::CsrMatrix& adj) {
   return deg;
 }
 
-/// One damping + teleport + dangling-mass update from t = M r.
-void apply_damping(std::span<const double> t, std::span<const double> r,
-                   std::span<const double> outdeg, double damping,
-                   std::span<double> out) {
+void pagerank_update(std::span<const double> t, std::span<const double> r,
+                     std::span<const double> outdeg, double damping,
+                     std::span<double> out) {
   const auto nd = static_cast<double>(r.size());
   double dangling = 0.0;
   for (std::size_t i = 0; i < r.size(); ++i) {
@@ -34,8 +30,6 @@ void apply_damping(std::span<const double> t, std::span<const double> r,
     out[i] = damping * t[i] + base;
   }
 }
-
-}  // namespace
 
 PageRankResult coded_pagerank(const linalg::CsrMatrix& adj,
                               const core::ClusterSpec& spec,
@@ -60,7 +54,7 @@ PageRankResult coded_pagerank(const linalg::CsrMatrix& adj,
   for (std::size_t it = 0; it < pr.max_iterations; ++it) {
     const core::RoundResult round = engine.run_round(result.ranks);
     S2C2_CHECK(round.y.has_value(), "functional round must decode");
-    apply_damping(*round.y, result.ranks, outdeg, pr.damping, next);
+    pagerank_update(*round.y, result.ranks, outdeg, pr.damping, next);
     result.total_latency += round.stats.latency();
     result.timeout_rounds += round.stats.timeout_fired ? 1 : 0;
     ++result.iterations;
@@ -84,7 +78,7 @@ linalg::Vector pagerank_direct(const linalg::CsrMatrix& adj, double damping,
   linalg::Vector t(nodes), next(nodes);
   for (std::size_t it = 0; it < iterations; ++it) {
     m.matvec_into(r, t);
-    apply_damping(t, r, outdeg, damping, next);
+    pagerank_update(t, r, outdeg, damping, next);
     r = next;
   }
   return r;

@@ -38,4 +38,14 @@ struct PageRankResult {
                                              double damping,
                                              std::size_t iterations);
 
+/// Per-node out-degrees of the adjacency; zero marks a dangling node.
+[[nodiscard]] std::vector<double> out_degrees(const linalg::CsrMatrix& adj);
+
+/// One damping + teleport + dangling-mass update from t = M·r (M the link
+/// matrix, r the previous ranks). Shared with the job driver so every
+/// strategy applies the identical master-side step.
+void pagerank_update(std::span<const double> t, std::span<const double> r,
+                     std::span<const double> outdeg, double damping,
+                     std::span<double> out);
+
 }  // namespace s2c2::apps

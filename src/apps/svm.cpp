@@ -6,8 +6,6 @@
 
 namespace s2c2::apps {
 
-namespace {
-
 linalg::Vector hinge_residual(const workload::Dataset& data,
                               std::span<const double> margins) {
   const std::size_t m = data.x.rows();
@@ -19,8 +17,6 @@ linalg::Vector hinge_residual(const workload::Dataset& data,
   }
   return r;
 }
-
-}  // namespace
 
 double hinge_objective(const workload::Dataset& data, const linalg::Vector& w,
                        double lambda) {

@@ -38,4 +38,9 @@ struct SvmResult {
                                                const linalg::Vector& w,
                                                double lambda);
 
+/// Hinge-loss subgradient w.r.t. the margins u = X·w: r_i = -y_i/m inside
+/// the margin, else 0. Shared with the job driver's strategy-generic loop.
+[[nodiscard]] linalg::Vector hinge_residual(const workload::Dataset& data,
+                                            std::span<const double> margins);
+
 }  // namespace s2c2::apps

@@ -392,9 +392,15 @@ RoundResult CodedComputeEngine::run_round(std::span<const double> x) {
       // for idle workers only would skew its inputs.
       obs = spec_.traces[w].speed_at(coverage_time);
     } else if (used[w]) {
+      // Realized *execution* speed over the compute window. Transfers and
+      // queueing must stay out of the denominator: predictions are trace
+      // speeds, and folding the network share of the round into the
+      // observation would bias every sample low — inflating the §6.1
+      // misprediction rate (to 100% under an exact oracle once network
+      // time is a sizable round fraction) and mis-training the predictor.
       const double work =
           static_cast<double>(timing[w].assigned_chunks) * chunk_work;
-      obs = work / (timing[w].response - t0);
+      obs = work / (timing[w].compute_done - timing[w].x_arrival);
     } else {
       const sim::Time until = std::max(cancel_time, timing[w].x_arrival + 1e-9);
       obs = spec_.traces[w].work_between(timing[w].x_arrival, until) /
@@ -433,10 +439,11 @@ RoundResult CodedComputeEngine::run_round(std::span<const double> x) {
   return result;
 }
 
-std::vector<RoundResult> CodedComputeEngine::run_rounds(std::size_t rounds) {
+std::vector<RoundResult> CodedComputeEngine::run_rounds(
+    std::size_t rounds, std::span<const double> x) {
   std::vector<RoundResult> out;
   out.reserve(rounds);
-  for (std::size_t i = 0; i < rounds; ++i) out.push_back(run_round());
+  for (std::size_t i = 0; i < rounds; ++i) out.push_back(run_round(x));
   return out;
 }
 

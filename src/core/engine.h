@@ -55,8 +55,15 @@ class CodedComputeEngine {
   /// cannot produce k responses (unrecoverable failure).
   RoundResult run_round(std::span<const double> x = {});
 
-  /// Latency-only convenience loop.
-  std::vector<RoundResult> run_rounds(std::size_t rounds);
+  /// Convenience loop. With an input vector (functional mode) every
+  /// returned RoundResult carries its decoded product in `y` — same-x
+  /// products are recomputed per round because the cluster state (clock,
+  /// predictor) advances, so each round's latency and decode differ. With
+  /// the default empty span the rounds are latency-only and `y` stays
+  /// empty; callers running convergence checks must pass x or they are
+  /// silently measuring latency shapes, not results.
+  std::vector<RoundResult> run_rounds(std::size_t rounds,
+                                      std::span<const double> x = {});
 
   [[nodiscard]] sim::Time now() const noexcept { return now_; }
   [[nodiscard]] const sim::Accounting& accounting() const noexcept {

@@ -172,8 +172,11 @@ RoundResult OverDecompositionEngine::run_round() {
     accounting_.add_busy(w, done - x_arrival);
     accounting_.add_traffic(w, static_cast<double>(tasks * result_bytes),
                             static_cast<double>(x_bytes));
+    // Execution speed over the compute window (migration waits included —
+    // that slot genuinely was not computing); result transfer and the
+    // initial broadcast stay out (see the matching note in engine.cpp).
     const double obs =
-        static_cast<double>(tasks) * task_work / (resp - t0);
+        static_cast<double>(tasks) * task_work / (done - x_arrival);
     result.observed_speeds[w] = obs;
     if (predictor_) predictor_->observe(w, obs);
   }

@@ -89,6 +89,7 @@ PolyRoundResult PolyCodedEngine::run_round(std::span<const double> x) {
   struct Timing {
     std::size_t chunks = 0;
     sim::Time x_arrival = 0.0;
+    sim::Time compute_done = kInf;
     sim::Time response = kInf;
   };
   std::vector<Timing> timing(n);
@@ -102,6 +103,7 @@ PolyRoundResult PolyCodedEngine::run_round(std::span<const double> x) {
         pre_work + static_cast<double>(timing[w].chunks) * chunk_work;
     const sim::Time done =
         spec_.traces[w].time_to_complete(timing[w].x_arrival, work);
+    timing[w].compute_done = done;
     timing[w].response =
         done == kInf ? kInf
                      : done + spec_.net.transfer_time(timing[w].chunks *
@@ -227,7 +229,9 @@ PolyRoundResult PolyCodedEngine::run_round(std::span<const double> x) {
     if (used[w]) {
       accounting_.add_useful(
           w, work + static_cast<double>(extra_chunks[w].size()) * chunk_work);
-      obs = work / (timing[w].response - t0);
+      // Execution speed over the compute window only — transfers stay out
+      // of the denominator (see the matching note in engine.cpp).
+      obs = work / (timing[w].compute_done - timing[w].x_arrival);
     } else {
       const sim::Time until = std::max(cancel_time, timing[w].x_arrival + 1e-9);
       const double done = std::min(

@@ -5,8 +5,10 @@
 // F / worker_flops seconds on a worker running at relative speed 1.0, and
 // the speed trace integral converts that to wall-clock time. All of the
 // paper's results are relative latencies, so only the *ratios* between
-// compute, communication, and decode costs matter; defaults are calibrated
-// to a 1-vCPU cloud droplet with a 1 Gb/s NIC.
+// compute, communication, and decode costs matter; the defaults model a
+// ~1 Gflop/s (1-vCPU) cloud node on a 10 Gb/s / 100 us network, and the
+// harness layers rescale them per scenario (see make_cluster /
+// job_cluster) to keep those ratios honest at test-sized operators.
 #pragma once
 
 #include <cstddef>

@@ -15,7 +15,12 @@
 //
 // Cell order in the output is the axis nesting order — cluster size, then
 // the prediction-blind engines once, then predictor x prediction-capable
-// engine, workload, trace — independent of completion order.
+// engine, workload, trace — independent of completion order. Sharding
+// semantics: jobs = 0 uses every hardware thread, jobs = 1 runs inline on
+// the caller's thread, jobs = N runs cells on an N-thread util::ThreadPool
+// with each cell writing only its preassigned output slot (no ordering or
+// atomicity requirements between cells). src/report consumes this runner
+// for the predictor-sensitivity slice of REPRODUCTION.md.
 #pragma once
 
 #include <cstddef>

@@ -2,11 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
-#include <cstdio>
-#include <cstring>
 #include <future>
 #include <map>
-#include <memory>
 #include <mutex>
 #include <stdexcept>
 
@@ -17,7 +14,7 @@
 #include "src/core/replication_engine.h"
 #include "src/linalg/sparse.h"
 #include "src/predict/arima.h"
-#include "src/predict/lstm.h"
+#include "src/util/hash.h"
 #include "src/util/rng.h"
 #include "src/workload/graphs.h"
 #include "src/workload/trace_gen.h"
@@ -26,36 +23,9 @@ namespace s2c2::harness {
 
 namespace {
 
-// splitmix64 — the standard 64-bit finalizer; good enough to decorrelate
-// cell streams from a single user seed.
-std::uint64_t mix64(std::uint64_t x) {
-  x += 0x9e3779b97f4a7c15ull;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
-  return x ^ (x >> 31);
-}
-
-std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) {
-    h ^= (v >> (8 * i)) & 0xffull;
-    h *= 0x100000001b3ull;
-  }
-  return h;
-}
-
-std::uint64_t fnv1a(std::uint64_t h, double d) {
-  std::uint64_t bits;
-  static_assert(sizeof(bits) == sizeof(d));
-  std::memcpy(&bits, &d, sizeof(bits));
-  return fnv1a(h, bits);
-}
-
-std::string hex64(std::uint64_t h) {
-  char buf[17];
-  std::snprintf(buf, sizeof(buf), "%016llx",
-                static_cast<unsigned long long>(h));
-  return buf;
-}
+using util::fnv1a;
+using util::hex64;
+using util::mix64;
 
 /// Rounds `d` down to a multiple of `a` (polynomial codes need d % a == 0),
 /// clamping up to `a` when d < a so degenerate shapes still yield one block.
@@ -116,15 +86,6 @@ void finish_cell(CellResult& cell, const RoundSummary& rs,
   cell.total_wasted = acct.total_wasted();
   cell.mean_wasted_fraction = acct.mean_wasted_fraction();
 }
-
-/// Predictor instance for one cell. The LSTM adapter holds a reference to
-/// its model, so the bundle keeps the trained model alive next to it; the
-/// bundle must outlive the engine it feeds.
-struct PredictorBundle {
-  std::unique_ptr<predict::SpeedPredictor> predictor;  // null for oracle
-  std::shared_ptr<const predict::Lstm> lstm;
-  bool oracle = true;
-};
 
 /// Training seed for the learned predictors — per (seed, workload, profile)
 /// column and independent of the engine, so every engine in a column
@@ -211,9 +172,11 @@ std::shared_ptr<const predict::Lstm> trained_lstm(std::uint64_t salt,
   });
 }
 
-PredictorBundle make_predictor(const ScenarioConfig& config, WorkloadKind w,
-                               TraceProfile t) {
-  PredictorBundle b;
+}  // namespace
+
+ColumnPredictor make_column_predictor(const ScenarioConfig& config,
+                                      WorkloadKind w, TraceProfile t) {
+  ColumnPredictor b;
   const std::size_t n = config.workers;
   switch (config.predictor) {
     case PredictorKind::kOracle:
@@ -231,11 +194,8 @@ PredictorBundle make_predictor(const ScenarioConfig& config, WorkloadKind w,
       break;
     }
   }
-  b.oracle = false;
   return b;
 }
-
-}  // namespace
 
 const char* engine_name(EngineKind e) {
   switch (e) {
@@ -475,12 +435,12 @@ namespace {
 CellResult run_s2c2_cell(const ScenarioConfig& config, const WorkloadShape& s,
                          const core::ClusterSpec& spec, std::uint64_t salt,
                          CellResult cell) {
-  PredictorBundle bundle =
-      make_predictor(config, cell.workload, cell.trace);
+  ColumnPredictor bundle =
+      make_column_predictor(config, cell.workload, cell.trace);
   core::EngineConfig cfg;
   cfg.strategy = core::Strategy::kS2C2General;
   cfg.chunks_per_partition = config.chunks_per_partition;
-  cfg.oracle_speeds = bundle.oracle;
+  cfg.oracle_speeds = bundle.oracle();
 
   const std::size_t n = config.workers;
   const std::size_t k = config.effective_k();
@@ -548,11 +508,11 @@ CellResult run_poly_cell(const ScenarioConfig& config, const WorkloadShape& s,
                          CellResult cell) {
   const std::size_t d = round_to_blocks(s.cols, s.a_blocks);
   const std::size_t out_rows = d / s.a_blocks;
-  PredictorBundle bundle =
-      make_predictor(config, cell.workload, cell.trace);
+  ColumnPredictor bundle =
+      make_column_predictor(config, cell.workload, cell.trace);
   core::PolyEngineConfig pcfg;
   pcfg.use_s2c2 = true;
-  pcfg.oracle_speeds = bundle.oracle;
+  pcfg.oracle_speeds = bundle.oracle();
   pcfg.chunks_per_partition =
       std::min(config.chunks_per_partition, std::max<std::size_t>(out_rows, 1));
 
@@ -591,10 +551,10 @@ CellResult run_overdecomp_cell(const ScenarioConfig& config,
                                const WorkloadShape& s,
                                const core::ClusterSpec& spec,
                                CellResult cell) {
-  PredictorBundle bundle =
-      make_predictor(config, cell.workload, cell.trace);
+  ColumnPredictor bundle =
+      make_column_predictor(config, cell.workload, cell.trace);
   core::OverDecompConfig ocfg;
-  ocfg.oracle_speeds = bundle.oracle;
+  ocfg.oracle_speeds = bundle.oracle();
   core::OverDecompositionEngine engine(s.rows, s.cols, spec, ocfg,
                                        std::move(bundle.predictor));
   const RoundSummary rs =

@@ -8,12 +8,15 @@
 // reproducible bit-for-bit and regressions in any engine/workload pair are
 // caught by diffing fingerprints.
 //
-// Three consumers share it (all through src/harness/matrix_runner.h, the
+// Consumers (the first three through src/harness/matrix_runner.h, the
 // parallel executor that adds the cluster-scale and predictor axes):
 //   * tests/scenario_matrix_test.cpp — cross-engine invariants
 //     (decodability, exact-k coverage, S2C2 waste <= replication waste);
 //   * bench/bench_scenario_matrix.cpp — the paper-scale latency table;
-//   * examples/scenario_cli.cpp --matrix — the user-facing sweep.
+//   * examples/scenario_cli.cpp --matrix — the user-facing sweep;
+//   * src/harness/job_driver.h — reuses the trace/cluster/predictor
+//     column machinery (trace_salt, make_cluster, make_column_predictor)
+//     so job-level and round-level comparisons share one clock and fleet.
 //
 // Determinism contract: every stochastic choice (traces, placement,
 // operators, predictor training) derives from ScenarioConfig::seed mixed
@@ -25,11 +28,14 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "src/core/strategy_config.h"
+#include "src/predict/lstm.h"
+#include "src/predict/predictors.h"
 #include "src/sim/speed_trace.h"
 
 namespace s2c2::harness {
@@ -79,6 +85,19 @@ enum class PredictorKind {
 /// True for engines whose allocation consumes speed predictions — the
 /// predictor axis only multiplies these; the others run once per column.
 [[nodiscard]] bool engine_uses_predictions(EngineKind e);
+
+/// A speed source built for one (workload, trace) column. `predictor` is
+/// null for PredictorKind::kOracle (engines then read the true trace speed
+/// via their oracle flag); the learned predictors are trained per column
+/// from the config seed, memoized on the training salt, so every engine —
+/// and every consumer (matrix cells, job driver) — in a column forecasts
+/// from an identically-trained model. The LstmPredictor adapter holds a
+/// reference into `lstm`, so the bundle must outlive the engine it feeds.
+struct ColumnPredictor {
+  std::unique_ptr<predict::SpeedPredictor> predictor;  // null for oracle
+  std::shared_ptr<const predict::Lstm> lstm;           // keeps model alive
+  [[nodiscard]] bool oracle() const { return predictor == nullptr; }
+};
 
 struct ScenarioConfig {
   std::size_t workers = 12;
@@ -144,6 +163,12 @@ struct WorkloadShape {
 [[nodiscard]] core::ClusterSpec make_cluster(TraceProfile profile,
                                              const ScenarioConfig& config,
                                              std::uint64_t salt);
+
+/// Builds config.predictor for the (w, t) column, sized to config.workers.
+/// Pure in its arguments (training is seeded + memoized per column), so
+/// concurrent callers at any thread count get byte-identical forecasts.
+[[nodiscard]] ColumnPredictor make_column_predictor(
+    const ScenarioConfig& config, WorkloadKind w, TraceProfile t);
 
 struct CellResult {
   EngineKind engine{};

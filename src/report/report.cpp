@@ -1,0 +1,437 @@
+#include "src/report/report.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+namespace s2c2::report {
+
+namespace {
+
+using harness::JobApp;
+using harness::JobResult;
+using harness::JobStrategy;
+using harness::JobSuiteResult;
+using harness::TraceProfile;
+
+/// Deterministic number rendering for CSV/markdown: %.9g in the C locale
+/// round-trips doubles closely enough for diffing while staying readable.
+std::string num(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+std::string fixed(double v, int precision) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+/// Appends parts one by one — no std::string operator+ chains, which trip
+/// GCC 12's -Wrestrict false positive (PR 105651) under -O2 -Werror.
+void append(std::string& out, std::initializer_list<std::string_view> parts) {
+  for (const std::string_view p : parts) out += p;
+}
+
+/// First-seen-order unique axis values actually present in the suite —
+/// renderers follow the data, not the full enum, so filtered grids render
+/// without empty rows.
+template <typename T, typename Get>
+std::vector<T> distinct(const JobSuiteResult& suite, Get&& get) {
+  std::vector<T> out;
+  for (const JobResult& job : suite.jobs) {
+    const T v = get(job);
+    bool seen = false;
+    for (const T u : out) seen = seen || u == v;
+    if (!seen) out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<TraceProfile> suite_traces(const JobSuiteResult& s) {
+  return distinct<TraceProfile>(s, [](const JobResult& j) { return j.trace; });
+}
+std::vector<JobApp> suite_apps(const JobSuiteResult& s) {
+  return distinct<JobApp>(s, [](const JobResult& j) { return j.app; });
+}
+std::vector<JobStrategy> suite_strategies(const JobSuiteResult& s) {
+  return distinct<JobStrategy>(s, [](const JobResult& j) { return j.strategy; });
+}
+
+/// S2C2's completion time for the job's (app, trace) column, or 0 when
+/// unavailable (not in the grid, or failed) — callers emit an empty cell.
+double s2c2_reference_time(const JobSuiteResult& suite, const JobResult& job) {
+  const JobResult* ref =
+      suite.find(job.app, JobStrategy::kS2C2, job.trace);
+  if (ref == nullptr || ref->failed || ref->completion_time <= 0.0) {
+    return 0.0;
+  }
+  return ref->completion_time;
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot write " + path);
+  out << content;
+}
+
+}  // namespace
+
+ReportConfig ReportConfig::defaults() {
+  ReportConfig cfg;
+  cfg.grid.traces = {TraceProfile::kControlledStragglers,
+                     TraceProfile::kStableCloud, TraceProfile::kVolatileCloud,
+                     TraceProfile::kFailureInjection};
+  return cfg;
+}
+
+ReportInputs run_report_inputs(const ReportConfig& config) {
+  ReportInputs inputs;
+  inputs.suite =
+      harness::run_job_suite(config.job_base, config.grid, config.jobs);
+
+  // Predictor-sensitivity slice: the S2C2 engine over the mat-vec
+  // workloads and both cloud regimes, cost-only at paper scale, once per
+  // §6.1 predictor.
+  harness::ScenarioConfig mcfg = config.job_base.scenario();
+  mcfg.functional = false;
+  mcfg.rounds = config.predictor_rounds;
+  harness::MatrixAxes axes;
+  axes.engines = {harness::EngineKind::kS2C2};
+  axes.workloads = {harness::WorkloadKind::kLogisticRegression,
+                    harness::WorkloadKind::kPageRank};
+  axes.traces = {TraceProfile::kStableCloud, TraceProfile::kVolatileCloud};
+  axes.predictors = harness::all_predictors();
+  inputs.predictor_matrix =
+      harness::run_matrix(mcfg, axes, {.jobs = config.jobs});
+  return inputs;
+}
+
+std::string job_completion_csv(const JobSuiteResult& suite) {
+  std::string csv =
+      "app,trace,strategy,predictor,failed,converged,iterations,rounds,"
+      "completion_time_s,normalized_vs_s2c2,timeout_rate,misprediction_rate,"
+      "reassigned_chunks,data_moves,final_metric,solution_error\n";
+  for (const JobResult& job : suite.jobs) {
+    csv += harness::job_app_name(job.app);
+    csv += ',';
+    csv += harness::trace_profile_name(job.trace);
+    csv += ',';
+    csv += harness::job_strategy_name(job.strategy);
+    csv += ',';
+    csv += harness::predictor_name(job.predictor);
+    csv += ',';
+    csv += job.failed ? "1" : "0";
+    if (job.failed) {
+      csv += ",,,,,,,,,,,\n";
+      continue;
+    }
+    const double ref = s2c2_reference_time(suite, job);
+    csv += ',';
+    csv += job.converged ? "1" : "0";
+    csv += ',' + std::to_string(job.iterations);
+    csv += ',' + std::to_string(job.rounds);
+    csv += ',' + num(job.completion_time);
+    csv += ',';
+    if (ref > 0.0) csv += num(job.completion_time / ref);
+    csv += ',' + num(job.timeout_rate);
+    csv += ',' + num(job.misprediction_rate);
+    csv += ',' + std::to_string(job.reassigned_chunks);
+    csv += ',' + std::to_string(job.data_moves);
+    csv += ',' + num(job.final_metric);
+    csv += ',' + num(job.solution_error);
+    csv += '\n';
+  }
+  return csv;
+}
+
+std::string utilization_csv(const JobSuiteResult& suite) {
+  std::string csv =
+      "app,trace,strategy,useful_work,wasted_work,waste_pct,"
+      "mean_wasted_fraction_pct,busy_time_s,reassigned_chunks,data_moves\n";
+  for (const JobResult& job : suite.jobs) {
+    csv += harness::job_app_name(job.app);
+    csv += ',';
+    csv += harness::trace_profile_name(job.trace);
+    csv += ',';
+    csv += harness::job_strategy_name(job.strategy);
+    if (job.failed) {
+      csv += ",,,,,,,\n";
+      continue;
+    }
+    const double total = job.total_useful + job.total_wasted;
+    csv += ',' + num(job.total_useful);
+    csv += ',' + num(job.total_wasted);
+    csv += ',' + num(total > 0.0 ? 100.0 * job.total_wasted / total : 0.0);
+    csv += ',' + num(100.0 * job.mean_wasted_fraction);
+    csv += ',' + num(job.total_busy);
+    csv += ',' + std::to_string(job.reassigned_chunks);
+    csv += ',' + std::to_string(job.data_moves);
+    csv += '\n';
+  }
+  return csv;
+}
+
+std::string predictor_sensitivity_csv(const harness::MatrixResult& matrix) {
+  std::string csv =
+      "predictor,workload,trace,mean_latency_ms,normalized_vs_oracle,"
+      "timeout_pct,wasted_pct\n";
+  for (const auto& cell : matrix.cells) {
+    csv += harness::predictor_name(cell.predictor);
+    csv += ',';
+    csv += harness::workload_name(cell.workload);
+    csv += ',';
+    csv += harness::trace_profile_name(cell.trace);
+    if (cell.failed) {
+      csv += ",,,,\n";
+      continue;
+    }
+    const auto* oracle =
+        matrix.find(cell.engine, cell.workload, cell.trace, cell.workers,
+                    harness::PredictorKind::kOracle);
+    csv += ',' + num(cell.mean_latency * 1e3);
+    csv += ',';
+    if (oracle != nullptr && !oracle->failed && oracle->mean_latency > 0.0) {
+      csv += num(cell.mean_latency / oracle->mean_latency);
+    }
+    csv += ',' + num(100.0 * cell.timeout_rate);
+    csv += ',' + num(100.0 * cell.mean_wasted_fraction);
+    csv += '\n';
+  }
+  return csv;
+}
+
+std::string reproduction_markdown(const ReportInputs& inputs) {
+  const JobSuiteResult& suite = inputs.suite;
+  const harness::JobConfig& base = suite.base;
+  const auto traces = suite_traces(suite);
+  const auto apps = suite_apps(suite);
+  const auto strategies = suite_strategies(suite);
+
+  std::string md;
+  md += "# S2C2 reproduction report\n\n";
+  md +=
+      "> Generated by `build/examples/repro_cli --report`. Do not edit by\n"
+      "> hand — regenerate instead. For one binary the output is\n"
+      "> byte-identical at any `--jobs` thread count; across compilers or\n"
+      "> libm versions low-order digits may legitimately move.\n\n";
+
+  md += "## Provenance\n\n";
+  md += "- seed " + std::to_string(base.seed) + ", " +
+        std::to_string(base.workers) + " workers (k=" +
+        std::to_string(base.effective_k()) + "), " +
+        std::to_string(base.chunks_per_partition) + " chunks/partition\n";
+  md += "- iteration cap " + std::to_string(base.max_iterations) +
+        ", tolerance " + num(base.tolerance) + ", predictor " +
+        harness::predictor_name(base.predictor) + "\n";
+  md += "- job suite: " + std::to_string(suite.jobs.size()) +
+        " jobs, fingerprint `" + suite.fingerprint() + "`\n";
+  md += "- predictor matrix: " +
+        std::to_string(inputs.predictor_matrix.cells.size()) +
+        " cells, fingerprint `" + inputs.predictor_matrix.fingerprint() +
+        "`\n\n";
+
+  md += "## Figure-by-figure mapping\n\n";
+  md +=
+      "| Paper anchor | What it shows | Command | Output to read |\n"
+      "|---|---|---|---|\n"
+      "| §4.3 (timeout + reassignment) | recovery under mispredictions and "
+      "failures | `repro_cli --report` | `job_completion.csv` columns "
+      "`timeout_rate`, `reassigned_chunks`; rows with trace `failure` |\n"
+      "| §6.1 (predictor lineup) | latency cost of each speed predictor vs "
+      "the oracle | `repro_cli --report` | `predictor_sensitivity.csv` "
+      "column `normalized_vs_oracle` |\n"
+      "| §6.5/§7.1, Figs 6–7 (controlled cluster) | normalized job time, "
+      "S2C2 vs baselines, fixed 5x stragglers | `repro_cli --report` | "
+      "`job_completion.csv` column `normalized_vs_s2c2`, trace `controlled` "
+      "|\n"
+      "| §7.2, Fig 8 (low-volatility cloud) | job completion time under "
+      "stable cloud traces | `repro_cli --report` | `job_completion.csv`, "
+      "trace `stable` |\n"
+      "| §7.2, Figs 9/11 (compute waste) | useful vs wasted work per "
+      "strategy | `repro_cli --report` | `utilization.csv` column "
+      "`waste_pct` |\n"
+      "| §7.2, Fig 10 (high-volatility cloud) | job completion time under "
+      "volatile cloud traces | `repro_cli --report` | `job_completion.csv`, "
+      "trace `volatile` |\n"
+      "| §7.2.3/§5 (polynomial coding) | S2C2 on a non-MDS code | "
+      "`scenario_cli --matrix --axis engines=poly` | scenario-matrix table "
+      "(Hessian rows) |\n"
+      "| Fig 13 (cluster scale) | behaviour at n ∈ {12, 24, 48} | "
+      "`scenario_cli --matrix --axis sizes=12,24,48` | scenario-matrix "
+      "table, column `n` |\n\n";
+
+  md += "## Normalized job completion time (Figs 6–8, 10 analogue)\n\n";
+  md +=
+      "Each cell is the strategy's job completion time divided by S2C2's "
+      "on the same (application, trace) column — the same clusters, traces, "
+      "and operators, so > 1.00 means S2C2 finishes the whole iterative job "
+      "that factor faster. Absolute seconds in `job_completion.csv`.\n";
+  for (const TraceProfile t : traces) {
+    append(md, {"\n### Trace `", harness::trace_profile_name(t),
+                "`\n\n| app |"});
+    for (const JobStrategy s : strategies) {
+      append(md, {" ", harness::job_strategy_name(s), " |"});
+    }
+    md += "\n|---|";
+    for (std::size_t i = 0; i < strategies.size(); ++i) md += "---|";
+    md += "\n";
+    for (const JobApp a : apps) {
+      append(md, {"| ", harness::job_app_name(a), " |"});
+      for (const JobStrategy s : strategies) {
+        const JobResult* job = suite.find(a, s, t);
+        if (job == nullptr) {
+          md += " - |";
+        } else if (job->failed) {
+          md += " failed |";
+        } else {
+          const double ref = s2c2_reference_time(suite, *job);
+          if (ref > 0.0) {
+            append(md, {" ", fixed(job->completion_time / ref, 2), "x |"});
+          } else {
+            append(md, {" ", num(job->completion_time), " s |"});
+          }
+        }
+      }
+      md += "\n";
+    }
+  }
+
+  md += "\n## Compute-utilization / waste breakdown (Figs 9, 11 analogue)\n\n";
+  md +=
+      "Percentage of the cluster's executed work the master discarded "
+      "(cancelled stragglers, losing speculative copies, recovery "
+      "casualties). Absolute work units in `utilization.csv`.\n";
+  for (const TraceProfile t : traces) {
+    append(md, {"\n### Trace `", harness::trace_profile_name(t),
+                "`\n\n| app |"});
+    for (const JobStrategy s : strategies) {
+      append(md, {" ", harness::job_strategy_name(s), " |"});
+    }
+    md += "\n|---|";
+    for (std::size_t i = 0; i < strategies.size(); ++i) md += "---|";
+    md += "\n";
+    for (const JobApp a : apps) {
+      append(md, {"| ", harness::job_app_name(a), " |"});
+      for (const JobStrategy s : strategies) {
+        const JobResult* job = suite.find(a, s, t);
+        if (job == nullptr) {
+          md += " - |";
+        } else if (job->failed) {
+          md += " failed |";
+        } else {
+          const double total = job->total_useful + job->total_wasted;
+          append(md, {" ",
+                      fixed(total > 0.0 ? 100.0 * job->total_wasted / total
+                                        : 0.0,
+                            1),
+                      "% |"});
+        }
+      }
+      md += "\n";
+    }
+  }
+
+  md += "\n## Predictor sensitivity (§6.1)\n\n";
+  md +=
+      "| predictor | workload | trace | mean latency (ms) | vs oracle | "
+      "timeout % |\n|---|---|---|---|---|---|\n";
+  for (const auto& cell : inputs.predictor_matrix.cells) {
+    md += "| " + std::string(harness::predictor_name(cell.predictor)) +
+          " | " + harness::workload_name(cell.workload) + " | " +
+          harness::trace_profile_name(cell.trace) + " | ";
+    if (cell.failed) {
+      md += "failed | - | - |\n";
+      continue;
+    }
+    const auto* oracle = inputs.predictor_matrix.find(
+        cell.engine, cell.workload, cell.trace, cell.workers,
+        harness::PredictorKind::kOracle);
+    md += fixed(cell.mean_latency * 1e3, 3) + " | ";
+    md += (oracle != nullptr && !oracle->failed && oracle->mean_latency > 0.0)
+              ? fixed(cell.mean_latency / oracle->mean_latency, 3) + "x"
+              : "-";
+    md += " | " + fixed(100.0 * cell.timeout_rate, 1) + " |\n";
+  }
+
+  md += "\n## Convergence integrity\n\n";
+  md +=
+      "Max deviation of each strategy's iterate trajectory from the "
+      "uncoded reference run in lockstep — decode-level floating-point "
+      "noise for the coded strategies, exact zero for the uncoded "
+      "baselines. A large value would mean a strategy changed the math, "
+      "not just the schedule.\n\n";
+  md += "| app | trace | strategy | iterations | converged | "
+        "solution error |\n|---|---|---|---|---|---|\n";
+  for (const JobResult& job : suite.jobs) {
+    md += "| " + std::string(harness::job_app_name(job.app)) + " | " +
+          harness::trace_profile_name(job.trace) + " | " +
+          harness::job_strategy_name(job.strategy) + " | ";
+    if (job.failed) {
+      md += "failed | - | - |\n";
+      continue;
+    }
+    md += std::to_string(job.iterations);
+    md += std::string(" | ") + (job.converged ? "yes" : "cap") + " | " +
+          num(job.solution_error) + " |\n";
+  }
+
+  md += "\n## Known deviations from the paper\n\n";
+  md +=
+      "1. **Synthetic inputs.** Speed traces are generated (AR(1) wander + "
+      "Markov regime switches calibrated to Fig 2's observations), not the "
+      "paper's measured DigitalOcean data; datasets are Gaussian-blob "
+      "stand-ins with the paper's operator *shapes*, not gisette/Toronto "
+      "downloads. All comparisons are therefore relative latencies, never "
+      "absolute seconds.\n"
+      "2. **Timeout reference point.** The §4.3 deadline is computed from "
+      "the k-th fastest response rather than the paper's mean of the first "
+      "k — see README \"Timeout-window semantics\" for why the average "
+      "misfires under strong speed spread.\n"
+      "3. **Functional scale.** Job-driver operators are small (hundreds "
+      "of rows) so every decode is verified end to end; the paper's "
+      "760 MB/node operators appear only in cost-only scenario-matrix "
+      "cells.\n"
+      "4. **Uncoded baselines compute exactly.** Replication and "
+      "over-decomposition produce the true product by construction, so the "
+      "driver simulates only their latency; their `solution_error` is "
+      "exactly 0 rather than measured.\n"
+      "5. **Graph filtering is run to a fixed point.** The paper's n-hop "
+      "filter has a fixed hop count; the driver runs the geometric "
+      "diffusion variant so all four applications share one "
+      "convergence-driven job semantics.\n"
+      "6. **Predictor budget.** The LSTM is the paper's 4-hidden-unit "
+      "architecture but trained in-process on a short synthetic corpus "
+      "(per-column seed), not offline on weeks of cloud measurements.\n"
+      "7. **Per-binary determinism.** Byte-identical regeneration is "
+      "guaranteed for one binary at any `--jobs`; different "
+      "compilers/libm builds may move low-order digits.\n";
+  return md;
+}
+
+ReportArtifacts write_report(const ReportInputs& inputs,
+                             const std::string& out_dir) {
+  std::filesystem::create_directories(out_dir);
+  ReportArtifacts art;
+  art.suite_fingerprint = inputs.suite.fingerprint();
+  art.matrix_fingerprint = inputs.predictor_matrix.fingerprint();
+  art.job_completion_path = out_dir + "/job_completion.csv";
+  art.utilization_path = out_dir + "/utilization.csv";
+  art.predictor_sensitivity_path = out_dir + "/predictor_sensitivity.csv";
+  art.reproduction_path = out_dir + "/REPRODUCTION.md";
+  write_file(art.job_completion_path, job_completion_csv(inputs.suite));
+  write_file(art.utilization_path, utilization_csv(inputs.suite));
+  write_file(art.predictor_sensitivity_path,
+             predictor_sensitivity_csv(inputs.predictor_matrix));
+  write_file(art.reproduction_path, reproduction_markdown(inputs));
+  return art;
+}
+
+ReportArtifacts generate_report(const ReportConfig& config) {
+  return write_report(run_report_inputs(config), config.out_dir);
+}
+
+}  // namespace s2c2::report

@@ -28,10 +28,14 @@ struct WorkerAccount {
 
 struct RoundStats {
   Time start = 0.0;
-  Time coverage = 0.0;             // last needed response (pre-decode)
+  /// Instant the master holds every response a decode needs (including
+  /// recovery waves) but has not started decoding — the timestamp idle
+  /// workers are speed-probed at, so all predictor observations reflect
+  /// the same pre-decode window. Uncoded engines set coverage == end.
+  Time coverage = 0.0;
   Time end = 0.0;                  // coverage + master decode
   bool timeout_fired = false;      // mis-prediction / failure recovery ran
-  std::size_t reassigned_chunks = 0;
+  std::size_t reassigned_chunks = 0;  // §4.3 recovery volume, all waves
   std::size_t data_moves = 0;      // partition migrations (baselines)
 
   [[nodiscard]] Time latency() const { return end - start; }

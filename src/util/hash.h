@@ -1,0 +1,64 @@
+// Deterministic hashing helpers shared by the result-fingerprinting layers
+// (scenario matrix cells, job-driver results, report artifacts).
+//
+// Fingerprints exist so "same seed => identical run" is a *testable*
+// property: every result type hashes the exact bit patterns of its event
+// log with fnv1a and renders the 64-bit digest as hex. mix64 (splitmix64's
+// finalizer) decorrelates seed streams derived from one user seed.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+namespace s2c2::util {
+
+/// splitmix64 finalizer — decorrelates derived seed streams.
+[[nodiscard]] inline std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// FNV-1a offset basis — start fingerprints from this.
+inline constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+
+/// Folds the 8 bytes of `v` into the running FNV-1a hash `h`.
+[[nodiscard]] inline std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xffull;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+/// Folds a double's exact bit pattern (fingerprints must be bit-faithful,
+/// not value-approximate: 0.0 and -0.0 hash differently on purpose).
+[[nodiscard]] inline std::uint64_t fnv1a(std::uint64_t h, double d) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(d));
+  std::memcpy(&bits, &d, sizeof(bits));
+  return fnv1a(h, bits);
+}
+
+/// Folds a string byte-by-byte.
+[[nodiscard]] inline std::uint64_t fnv1a(std::uint64_t h,
+                                         const std::string& s) {
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+/// Lower-case 16-digit hex rendering of a digest.
+[[nodiscard]] inline std::string hex64(std::uint64_t h) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(h));
+  return buf;
+}
+
+}  // namespace s2c2::util

@@ -64,4 +64,10 @@ std::string fmt(double v, int precision) {
   return os.str();
 }
 
+std::string fmt_sci(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2e", v);
+  return buf;
+}
+
 }  // namespace s2c2::util

@@ -31,4 +31,7 @@ class Table {
 /// Formats a double with fixed precision (benchmark output helper).
 [[nodiscard]] std::string fmt(double v, int precision = 3);
 
+/// Scientific notation with 2 significant decimals (decode errors, norms).
+[[nodiscard]] std::string fmt_sci(double v);
+
 }  // namespace s2c2::util

@@ -381,5 +381,26 @@ TEST(Engine, ClockAdvancesAcrossRounds) {
   EXPECT_DOUBLE_EQ(engine.now(), r[2].stats.end);
 }
 
+TEST(Engine, RunRoundsSurfacesDecodedProductInFunctionalMode) {
+  // Regression: run_rounds used to drop the decoded product even when the
+  // job was functional, so loop-based convergence checks silently ran
+  // latency-only. With the input vector passed through, every round must
+  // decode — and decode correctly.
+  FunctionalSetup f(6, 4);
+  EngineConfig cfg;
+  cfg.chunks_per_partition = kChunks;
+  cfg.oracle_speeds = true;
+  CodedComputeEngine engine(f.job, make_spec(test::uniform_traces(6)), cfg);
+  const auto rounds = engine.run_rounds(3, f.x);
+  ASSERT_EQ(rounds.size(), 3u);
+  for (const RoundResult& r : rounds) {
+    ASSERT_TRUE(r.y.has_value());
+    expect_close(*r.y, f.truth, 1e-9);
+  }
+  // Latency-only default stays latency-only.
+  const auto bare = engine.run_rounds(2);
+  for (const RoundResult& r : bare) EXPECT_FALSE(r.y.has_value());
+}
+
 }  // namespace
 }  // namespace s2c2::core
