@@ -1,0 +1,192 @@
+// Decode-scale benchmark: the seed dense-LU decode path (a fresh O(k³)
+// factorization per responder set per round) against the cached,
+// Schur-reduced DecodeContext (coding/decode_context.h), wall-clock, at
+// recovery dimensions up to the thousand-worker fleet. Responder sets
+// cycle through a small pool, mirroring iterative jobs whose sets repeat
+// heavily across rounds; both paths decode the same multi-RHS batches and
+// the results are cross-checked to 1e-9 before any timing is trusted.
+//
+// Emits a JSON snapshot (default: BENCH_decode.json — CI uploads it as the
+// perf-trajectory baseline artifact; a reference copy is checked in at
+// bench/baselines/BENCH_decode.json) and exits nonzero if the per-round
+// speedup for repeated responder sets at k >= 40 falls below the 5x
+// acceptance bar (measured speedups are 1-3 orders above it; methodology
+// and a results table: docs/PERFORMANCE.md).
+//
+// Usage: bench_decode_scale [rounds=12] [json_path=BENCH_decode.json]
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/coding/decode_context.h"
+#include "src/coding/generator_matrix.h"
+#include "src/linalg/lu.h"
+#include "src/util/rng.h"
+#include "src/util/table.h"
+
+namespace {
+
+using namespace s2c2;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+struct Case {
+  std::size_t n = 0;
+  std::size_t k = 0;
+  std::size_t columns = 0;     // RHS columns per decode (batched chunks)
+  std::size_t rounds = 0;      // repeated-responder-set rounds timed
+  std::size_t pool = 0;        // distinct responder sets cycled through
+  double dense_ms_per_round = 0.0;
+  double cached_ms_per_round = 0.0;
+  double speedup = 0.0;
+  double max_diff = 0.0;       // dense vs cached numeric agreement
+};
+
+/// The responder-set pool: set i drops systematic workers in a sliding
+/// window and backfills with the parity rows — the shape wrap-around
+/// allocations actually produce.
+std::vector<std::vector<std::size_t>> make_pool(std::size_t n, std::size_t k,
+                                                std::size_t pool) {
+  std::vector<std::vector<std::size_t>> sets(pool);
+  const std::size_t p = n - k;
+  for (std::size_t i = 0; i < pool; ++i) {
+    std::vector<std::size_t>& s = sets[i];
+    for (std::size_t w = 0; w < k; ++w) {
+      s.push_back((w + i) % k < k - p ? w : k + (w + i) % p);
+    }
+    std::sort(s.begin(), s.end());
+    s.erase(std::unique(s.begin(), s.end()), s.end());
+    // Top up if the modular backfill collided (possible for small p).
+    for (std::size_t w = 0; s.size() < k && w < n; ++w) {
+      if (std::find(s.begin(), s.end(), w) == s.end()) s.push_back(w);
+    }
+    std::sort(s.begin(), s.end());
+  }
+  return sets;
+}
+
+Case run_case(std::size_t n, std::size_t k, std::size_t columns,
+              std::size_t rounds, util::Rng& rng) {
+  Case c;
+  c.n = n;
+  c.k = k;
+  c.columns = columns;
+  c.rounds = rounds;
+  c.pool = 4;
+  const coding::GeneratorMatrix gen(n, k);
+  const auto pool = make_pool(n, k, c.pool);
+
+  std::vector<double> rhs(k * columns);
+  for (auto& v : rhs) v = rng.normal();
+
+  // Both paths time the decode proper — factorization + solve — with the
+  // RHS staged outside the clock (response buffers exist either way).
+  // Seed path: every round refactorizes its responder set densely.
+  std::vector<std::vector<double>> dense_out;
+  double dense_s = 0.0;
+  for (std::size_t r = 0; r < rounds; ++r) {
+    const auto& subset = pool[r % pool.size()];
+    std::vector<double> out = rhs;
+    const auto t0 = Clock::now();
+    const linalg::LuFactorization lu(gen.submatrix(subset));
+    lu.solve_inplace(out, columns);
+    dense_s += seconds_since(t0);
+    dense_out.push_back(std::move(out));
+  }
+  c.dense_ms_per_round = 1e3 * dense_s / static_cast<double>(rounds);
+
+  // Cached path: one persistent context across every round.
+  coding::DecodeContext ctx(gen);
+  std::vector<std::vector<double>> cached_out;
+  double cached_s = 0.0;
+  for (std::size_t r = 0; r < rounds; ++r) {
+    std::vector<double> out = rhs;
+    const auto t0 = Clock::now();
+    ctx.solve_inplace(pool[r % pool.size()], out, columns);
+    cached_s += seconds_since(t0);
+    cached_out.push_back(std::move(out));
+  }
+  c.cached_ms_per_round = 1e3 * cached_s / static_cast<double>(rounds);
+
+  for (std::size_t r = 0; r < rounds; ++r) {
+    for (std::size_t i = 0; i < rhs.size(); ++i) {
+      c.max_diff = std::max(c.max_diff,
+                            std::abs(dense_out[r][i] - cached_out[r][i]));
+    }
+  }
+  c.speedup = c.cached_ms_per_round > 0.0
+                  ? c.dense_ms_per_round / c.cached_ms_per_round
+                  : 0.0;
+  return c;
+}
+
+void write_json(const std::string& path, const std::vector<Case>& cases) {
+  std::ofstream out(path);
+  out << "{\n  \"bench\": \"decode_scale\",\n  \"unit\": \"ms_per_round\",\n"
+      << "  \"cases\": [\n";
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const Case& c = cases[i];
+    out << "    {\"n\": " << c.n << ", \"k\": " << c.k
+        << ", \"columns\": " << c.columns << ", \"rounds\": " << c.rounds
+        << ", \"responder_sets\": " << c.pool
+        << ", \"dense_ms_per_round\": " << c.dense_ms_per_round
+        << ", \"cached_ms_per_round\": " << c.cached_ms_per_round
+        << ", \"speedup\": " << c.speedup
+        << ", \"max_abs_diff\": " << c.max_diff << "}"
+        << (i + 1 < cases.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t rounds = argc > 1 ? std::stoul(argv[1]) : 12;
+  const std::string json_path = argc > 2 ? argv[2] : "BENCH_decode.json";
+
+  std::cout << "Decode at fleet scale — dense per-round LU (seed) vs cached "
+               "Schur-reduced DecodeContext\n"
+            << rounds << " rounds, 4 responder sets cycled, 96-column "
+               "batched RHS; numeric agreement checked to 1e-9.\n\n";
+
+  util::Rng rng(0x5eedull);
+  std::vector<Case> cases;
+  for (const std::size_t k : {40u, 100u, 250u, 998u}) {
+    cases.push_back(run_case(k + 2, k, 96, rounds, rng));
+  }
+
+  util::Table t({"n", "k", "dense ms/round", "cached ms/round", "speedup",
+                 "max |diff|"});
+  for (const Case& c : cases) {
+    t.add_row({std::to_string(c.n), std::to_string(c.k),
+               util::fmt(c.dense_ms_per_round, 3),
+               util::fmt(c.cached_ms_per_round, 3),
+               util::fmt(c.speedup, 1) + "x", util::fmt_sci(c.max_diff)});
+  }
+  t.print();
+  write_json(json_path, cases);
+  std::cout << "\nwrote " << json_path << "\n";
+
+  bool ok = true;
+  for (const Case& c : cases) {
+    if (c.max_diff > 1e-9) {
+      std::cout << "FAIL: dense/cached decode disagree at k=" << c.k
+                << " (max |diff| " << c.max_diff << ")\n";
+      ok = false;
+    }
+    if (c.k >= 40 && c.speedup < 5.0) {
+      std::cout << "FAIL: speedup " << c.speedup << "x < 5x at k=" << c.k
+                << "\n";
+      ok = false;
+    }
+  }
+  if (ok) std::cout << "acceptance: >= 5x at every k >= 40 — PASS\n";
+  return ok ? 0 : 1;
+}

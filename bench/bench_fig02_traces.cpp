@@ -1,6 +1,6 @@
 // Fig 2: measured cloud node speeds. The paper plots four representative
 // DigitalOcean droplets; our substitute is the calibrated trace generator
-// (DESIGN.md §2). This bench prints representative generated traces plus
+// (docs/DESIGN.md §2). This bench prints representative generated traces plus
 // the statistics the paper calls out: speeds stay within ~10% over a
 // ~10-sample neighborhood, with occasional drastic regime changes.
 #include "bench/bench_common.h"

@@ -13,6 +13,11 @@
 // Flags (all optional):
 //   --matrix         run the engine x workload x trace (x size x predictor)
 //                    sweep on the parallel matrix runner
+//   --large-scale    the thousand-worker sweep: MatrixAxes::large_scale()
+//                    (n in {100, 250, 1000}, k/stragglers rescaled) —
+//                    feasible because decode is cached + Schur-reduced,
+//                    see docs/PERFORMANCE.md; combinable with --axis to
+//                    narrow further (e.g. --axis sizes=250)
 //   --jobs N         matrix worker threads (0 = all hardware threads;
 //                    default 1 — results are byte-identical either way)
 //   --axis K=V,V...  restrict/widen a matrix axis; repeatable. Axes:
@@ -56,6 +61,8 @@ struct Options {
   harness::EngineKind engine = harness::EngineKind::kS2C2;
   harness::WorkloadKind workload = harness::WorkloadKind::kLogisticRegression;
   harness::TraceProfile trace = harness::TraceProfile::kControlledStragglers;
+  std::vector<std::string> axis_specs;  // applied after flag parsing
+  bool large_scale = false;
   bool matrix = false;
   bool help = false;
 };
@@ -66,6 +73,8 @@ void print_usage() {
       "\n"
       "  scenario_cli [--engine E --workload W --trace T]   one cell\n"
       "  scenario_cli --matrix [--jobs N] [--axis K=V,..]   widened sweep\n"
+      "  scenario_cli --large-scale [--jobs N]              n=100/250/1000\n"
+      "                                                     fleet sweep\n"
       "\n"
       "flags: --jobs N (0 = all hardware threads)  --workers N  --k K\n"
       "       --stragglers S  --rounds R  --chunks C  --seed S  --scale F\n"
@@ -162,8 +171,12 @@ Options parse(int argc, char** argv) {
     const std::string flag = argv[i];
     if (flag == "--help" || flag == "-h") o.help = true;
     else if (flag == "--matrix") o.matrix = true;
+    else if (flag == "--large-scale") {
+      o.matrix = true;
+      o.large_scale = true;
+    }
     else if (flag == "--jobs") o.runner.jobs = std::stoul(value(i));
-    else if (flag == "--axis") apply_axis(o.axes, value(i));
+    else if (flag == "--axis") o.axis_specs.push_back(value(i));
     else if (flag == "--engine") o.engine = parse_engine(value(i));
     else if (flag == "--workload") o.workload = parse_workload(value(i));
     else if (flag == "--trace") o.trace = parse_trace(value(i));
@@ -180,6 +193,11 @@ Options parse(int argc, char** argv) {
     else if (flag == "--functional") o.config.functional = true;
     else throw std::invalid_argument("unknown flag: " + flag);
   }
+  // Presets first, then --axis restrictions, so "--axis sizes=250
+  // --large-scale" and "--large-scale --axis sizes=250" both narrow the
+  // large-scale preset (flag order must not matter).
+  if (o.large_scale) o.axes = harness::MatrixAxes::large_scale();
+  for (const std::string& spec : o.axis_specs) apply_axis(o.axes, spec);
   return o;
 }
 

@@ -4,6 +4,11 @@
 # http(s) links are counted but not fetched (CI has no network guarantee);
 # anchors (#...) are stripped before the existence check.
 #
+# Also sweeps source comments (src/ bench/ examples/ tests/ scripts/) for
+# `docs/<name>.md` references and fails on any that point at a missing
+# file — the rot that once left src/sim/event_queue.h citing a DESIGN.md
+# nobody had written.
+#
 # Usage: scripts/check_links.sh [file-or-dir ...]   (default: README.md docs)
 set -u
 
@@ -45,6 +50,20 @@ for f in "${files[@]}"; do
   done < <(grep -o ']([^)]*)' "$f" 2>/dev/null | sed 's/^](//; s/)$//')
 done
 
+sources=0
+while IFS= read -r line; do
+  [ -n "$line" ] || continue
+  src="${line%%:*}"
+  ref="${line#*:}"
+  sources=$((sources + 1))
+  if [ ! -e "$ref" ]; then
+    echo "BROKEN: $src -> $ref (dead doc reference in source comment)"
+    fail=1
+  fi
+done < <(grep -roE --include='*.h' --include='*.cpp' --include='*.sh' \
+             'docs/[A-Za-z0-9_.-]+\.md' src bench examples tests scripts \
+             2>/dev/null | sort -u)
+
 echo "link check: ${#files[@]} files, $checked relative links verified," \
-     "$external external links skipped"
+     "$external external links skipped, $sources source doc refs verified"
 exit $fail

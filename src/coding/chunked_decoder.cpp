@@ -8,7 +8,8 @@ namespace s2c2::coding {
 
 ChunkedDecoder::ChunkedDecoder(const GeneratorMatrix& generator,
                                std::size_t rows_per_partition,
-                               std::size_t num_chunks, std::size_t width)
+                               std::size_t num_chunks, std::size_t width,
+                               DecodeContext* context)
     : generator_(generator), num_chunks_(num_chunks), width_(width) {
   S2C2_REQUIRE(num_chunks > 0, "decoder needs at least one chunk");
   S2C2_REQUIRE(rows_per_partition % num_chunks == 0,
@@ -16,6 +17,12 @@ ChunkedDecoder::ChunkedDecoder(const GeneratorMatrix& generator,
   S2C2_REQUIRE(width > 0, "width must be positive");
   rows_per_chunk_ = rows_per_partition / num_chunks;
   results_.resize(num_chunks_);
+  if (context) {
+    context_ = context;
+  } else {
+    owned_context_ = std::make_unique<DecodeContext>(generator_);
+    context_ = owned_context_.get();
+  }
 }
 
 void ChunkedDecoder::add_chunk_result(std::size_t worker, std::size_t chunk,
@@ -54,53 +61,64 @@ std::vector<std::size_t> ChunkedDecoder::responders(std::size_t chunk) const {
   return out;
 }
 
-linalg::Matrix ChunkedDecoder::decode() const {
+linalg::Matrix ChunkedDecoder::decode() {
   const std::size_t k = generator_.k();
   S2C2_CHECK(decodable(), "decode() called before coverage reached k");
   linalg::Matrix out(k * rows_per_chunk_ * num_chunks_, width_);
+  const std::size_t chunk_cols = rows_per_chunk_ * width_;
 
+  // Per-chunk decode subsets: the first k responders (arrival order),
+  // sorted so identical membership yields an identical cache key.
+  std::vector<std::vector<std::size_t>> keys(num_chunks_);
   for (std::size_t chunk = 0; chunk < num_chunks_; ++chunk) {
-    const auto& slot = results_[chunk];
-    // Use the first k responders (arrival order) as the decode subset.
-    std::vector<std::size_t> subset(k);
-    for (std::size_t j = 0; j < k; ++j) subset[j] = slot[j].first;
-    std::vector<std::size_t> key = subset;
-    std::sort(key.begin(), key.end());
-
-    auto it = lu_cache_.find(key);
-    if (it == lu_cache_.end()) {
-      it = lu_cache_
-               .emplace(key, std::make_unique<linalg::LuFactorization>(
-                                 generator_.submatrix(key)))
-               .first;
-    }
-    const linalg::LuFactorization& lu = *it->second;
-
-    // Build the RHS in the *sorted-key* row order so it matches the cached
-    // factorization of generator_.submatrix(key).
-    linalg::Matrix rhs(k, rows_per_chunk_ * width_);
+    keys[chunk].resize(k);
     for (std::size_t j = 0; j < k; ++j) {
-      const std::size_t worker = key[j];
-      const auto found =
-          std::find_if(slot.begin(), slot.end(),
-                       [worker](const auto& p) { return p.first == worker; });
-      S2C2_CHECK(found != slot.end(), "responder disappeared");
-      std::copy(found->second.begin(), found->second.end(),
-                rhs.mutable_data().begin() +
-                    static_cast<std::ptrdiff_t>(j * rhs.cols()));
+      keys[chunk][j] = results_[chunk][j].first;
     }
-    lu.solve_inplace(rhs.mutable_data(), rhs.cols());
+    std::sort(keys[chunk].begin(), keys[chunk].end());
+  }
 
-    // rhs row i now holds (A_i x) over this chunk's rows; scatter to output.
-    for (std::size_t i = 0; i < k; ++i) {
-      const std::size_t out_row0 =
-          i * rows_per_chunk_ * num_chunks_ + chunk * rows_per_chunk_;
-      for (std::size_t r = 0; r < rows_per_chunk_; ++r) {
-        for (std::size_t c = 0; c < width_; ++c) {
-          out(out_row0 + r, c) = rhs(i, r * width_ + c);
+  // Batched multi-RHS decode: consecutive chunks sharing a responder set
+  // are one solve against the cached factorization — RHS row j carries
+  // worker key[j]'s values for every chunk of the run, side by side.
+  for (std::size_t begin = 0; begin < num_chunks_;) {
+    std::size_t end = begin + 1;
+    while (end < num_chunks_ && keys[end] == keys[begin]) ++end;
+    const std::vector<std::size_t>& key = keys[begin];
+    const std::size_t group = end - begin;
+
+    linalg::Matrix rhs(k, group * chunk_cols);
+    for (std::size_t chunk = begin; chunk < end; ++chunk) {
+      const auto& slot = results_[chunk];
+      for (std::size_t j = 0; j < k; ++j) {
+        const std::size_t worker = key[j];
+        const auto found = std::find_if(
+            slot.begin(), slot.end(),
+            [worker](const auto& p) { return p.first == worker; });
+        S2C2_CHECK(found != slot.end(), "responder disappeared");
+        std::copy(found->second.begin(), found->second.end(),
+                  rhs.mutable_data().begin() +
+                      static_cast<std::ptrdiff_t>(j * rhs.cols() +
+                                                  (chunk - begin) *
+                                                      chunk_cols));
+      }
+    }
+    context_->solve_inplace(key, rhs.mutable_data(), rhs.cols());
+
+    // rhs row i now holds (A_i x) over the run's rows; scatter to output.
+    for (std::size_t chunk = begin; chunk < end; ++chunk) {
+      for (std::size_t i = 0; i < k; ++i) {
+        const std::size_t out_row0 =
+            i * rows_per_chunk_ * num_chunks_ + chunk * rows_per_chunk_;
+        for (std::size_t r = 0; r < rows_per_chunk_; ++r) {
+          for (std::size_t c = 0; c < width_; ++c) {
+            out(out_row0 + r, c) =
+                rhs(i, (chunk - begin) * chunk_cols + r * width_ + c);
+          }
         }
       }
     }
+    begin = end;
   }
   return out;
 }

@@ -7,18 +7,24 @@
 // k x k system G_sub · Y = B where row j of B holds worker j's computed
 // values for that chunk. Y row i recovers (A_i · x) over the chunk's rows.
 //
-// Wrap-around allocations produce only O(n) distinct responder sets per
-// round, so LU factorizations are cached keyed by the responder subset.
+// Solves go through a DecodeContext (coding/decode_context.h): wrap-around
+// allocations produce only O(n) distinct responder sets per round, and
+// iterative jobs repeat them across rounds, so factorizations are cached
+// keyed by the responder bitmap and each fresh set costs only the O(p³)
+// Schur-reduced factorization (p = parity responders <= n - k), never the
+// dense O(k³) LU. Consecutive chunks sharing a responder set are decoded
+// in one batched multi-RHS solve. Pass an external context to keep the
+// cache warm across rounds (engines do); by default the decoder owns a
+// private one. Complexity table: docs/PERFORMANCE.md.
 #pragma once
 
 #include <cstddef>
-#include <map>
 #include <memory>
 #include <span>
 #include <vector>
 
+#include "src/coding/decode_context.h"
 #include "src/coding/generator_matrix.h"
-#include "src/linalg/lu.h"
 #include "src/linalg/matrix.h"
 
 namespace s2c2::coding {
@@ -26,10 +32,14 @@ namespace s2c2::coding {
 class ChunkedDecoder {
  public:
   /// `rows_per_partition` must be divisible by `num_chunks`; `width` is the
-  /// number of values per computed row (1 for matvec).
+  /// number of values per computed row (1 for matvec). `context`, when
+  /// non-null, is borrowed for every solve (its generator must be the same
+  /// object as `generator`) so cached factorizations survive this
+  /// decoder — engines pass their per-job context to amortize across
+  /// rounds. When null the decoder owns a fresh context.
   ChunkedDecoder(const GeneratorMatrix& generator,
                  std::size_t rows_per_partition, std::size_t num_chunks,
-                 std::size_t width = 1);
+                 std::size_t width = 1, DecodeContext* context = nullptr);
 
   [[nodiscard]] std::size_t num_chunks() const noexcept { return num_chunks_; }
   [[nodiscard]] std::size_t rows_per_chunk() const noexcept {
@@ -54,12 +64,18 @@ class ChunkedDecoder {
 
   /// Reconstructs the original product: (k * rows_per_partition) rows x
   /// width, row-major. Throws std::logic_error if not decodable().
-  [[nodiscard]] linalg::Matrix decode() const;
+  /// Amortized O(k²) per responder set via the decode context; consecutive
+  /// same-responder-set chunks share one batched multi-RHS solve.
+  [[nodiscard]] linalg::Matrix decode();
 
-  /// Number of distinct k x k systems factorized by the last decode().
+  /// Distinct responder sets resident in the decode context's cache (for a
+  /// private context: the sets this decoder factorized).
   [[nodiscard]] std::size_t lu_cache_size() const noexcept {
-    return lu_cache_.size();
+    return context_->stats().entries;
   }
+
+  /// The context solves go through (owned or borrowed).
+  [[nodiscard]] DecodeContext& context() noexcept { return *context_; }
 
   void reset();
 
@@ -71,9 +87,8 @@ class ChunkedDecoder {
   // per chunk: (worker, values) in arrival order.
   std::vector<std::vector<std::pair<std::size_t, std::vector<double>>>>
       results_;
-  mutable std::map<std::vector<std::size_t>,
-                   std::unique_ptr<linalg::LuFactorization>>
-      lu_cache_;
+  std::unique_ptr<DecodeContext> owned_context_;
+  DecodeContext* context_;
 };
 
 }  // namespace s2c2::coding

@@ -1,0 +1,144 @@
+// DecodeContext — the cached, structure-exploiting decode subsystem.
+//
+// Every coded round the master must solve one k x k recovery system per
+// distinct per-chunk responder set: G_sub · Y = B for the MDS code, a pure
+// Vandermonde system in the responders' evaluation points for the
+// polynomial code. The seed implementation paid a dense O(k³) LU per set
+// per round, which is exactly the decode wall that capped the harnesses at
+// n ≈ 50 workers. DecodeContext removes it two ways:
+//
+//  1. **Structure.** MDS generators here are systematic (rows < k are the
+//     identity, coding/generator_matrix.h), so a responder set with s
+//     systematic rows pins s of the k unknown blocks outright and the
+//     recovery system Schur-reduces to the p x p parity block, p = k - s
+//     (p <= n - k always — two for the default n-2 rule, regardless of
+//     fleet size). Factorization is O(p³), solves O((ps + p²) · m) for m
+//     RHS columns. Pure-Vandermonde systems (poly codes) skip
+//     factorization entirely: the Björck–Pereyra solver
+//     (linalg/vandermonde.h) runs O(k²) per RHS straight from the nodes.
+//  2. **Caching.** Wrap-around allocations produce only O(n) distinct
+//     responder sets per round and iterative jobs repeat them heavily
+//     across rounds, so factorizations are cached for the context's
+//     lifetime. An engine owns one context per job and reuses it every
+//     round: repeated sets decode at amortized solve-only cost.
+//
+// Cache-key and invalidation contract:
+//  * The key is the responder set as a **sorted worker bitmap** (one bit
+//    per worker, packed into 64-bit words) — identical membership gives an
+//    identical key regardless of arrival order.
+//  * An entry is a pure function of (key, generator-or-nodes), both
+//    immutable for the context's lifetime, so entries never go stale and
+//    there is no implicit invalidation. The context borrows the
+//    GeneratorMatrix; the caller keeps it alive (engines own both via
+//    their job). `clear()` is the only invalidation: call it if you must
+//    re-bind a context, otherwise never.
+//  * Entries are independent of RHS width/geometry; one entry serves every
+//    chunk batch and every round that shows the same responder set.
+//  * Not thread-safe: one context per engine, engines per sweep cell, and
+//    cells never share state (the matrix runner's determinism contract).
+//
+// Cost model (charged flops mirror the numeric work; table and measured
+// speedups in docs/PERFORMANCE.md):
+//   dense LU (seed)        factor 2/3·k³        solve 2k²·m
+//   systematic Schur       factor 2/3·p³        solve (2ps + 2p² + k)·m
+//   Björck–Pereyra         factor 0             solve (2k² + k)·m
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "src/coding/generator_matrix.h"
+#include "src/linalg/lu.h"
+#include "src/linalg/matrix.h"
+#include "src/linalg/vandermonde.h"
+
+namespace s2c2::coding {
+
+/// What one charge() cost the simulated master.
+struct DecodeCharge {
+  double flops = 0.0;
+  bool cache_hit = false;
+};
+
+/// Cumulative cache/cost telemetry. Every lookup — charge() or
+/// solve_inplace() — counts one hit or miss; `entries` is the number of
+/// distinct responder sets resident.
+struct DecodeContextStats {
+  std::size_t entries = 0;
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+  double factor_flops = 0.0;  // cumulative factorization cost charged
+  double solve_flops = 0.0;   // cumulative solve cost charged
+};
+
+class DecodeContext {
+ public:
+  /// Systematic-MDS backend: recovery systems are k x k row subsets of
+  /// `generator`, solved by Schur reduction onto the parity responders.
+  /// Borrows the generator — it must outlive the context.
+  explicit DecodeContext(const GeneratorMatrix& generator);
+
+  /// Pure-Vandermonde backend (polynomial codes): worker w's row is
+  /// [1, x_w, x_w², ...] at evaluation point x_w = eval_points[w]; any
+  /// k-subset solves by Björck–Pereyra in O(k²) per RHS.
+  DecodeContext(std::vector<double> eval_points, std::size_t k);
+
+  // Move-only (cache entries are an incomplete type here).
+  DecodeContext(DecodeContext&&) noexcept;
+  DecodeContext& operator=(DecodeContext&&) noexcept;
+  ~DecodeContext();
+
+  /// Workers in the code (bitmap width).
+  [[nodiscard]] std::size_t n() const noexcept;
+  /// Recovery-system dimension (k for MDS, a² for poly codes).
+  [[nodiscard]] std::size_t k() const noexcept { return k_; }
+
+  /// Cost-model entry point: registers `subset` (sorted, size k, distinct
+  /// workers) and returns the flops the simulated master spends decoding
+  /// `columns` RHS columns against it. First sight of a subset pays the
+  /// factorization; repeats pay solve cost only — identical cache
+  /// semantics to solve_inplace, so cost-only and functional runs charge
+  /// the same latencies.
+  DecodeCharge charge(std::span<const std::size_t> subset,
+                      std::size_t columns);
+
+  /// Numeric entry point: solves  System(subset) · Y = B  in place. `rhs`
+  /// is row-major, row j holding the `width` values of responder subset[j];
+  /// on return row i holds unknown block i. Factorizations are cached;
+  /// cached and fresh solves are bit-identical (same factors either way).
+  /// Throws std::domain_error if the subset's system is singular.
+  void solve_inplace(std::span<const std::size_t> subset,
+                     std::span<double> rhs_rowmajor, std::size_t width);
+
+  [[nodiscard]] const DecodeContextStats& stats() const noexcept {
+    return stats_;
+  }
+
+  /// Drops every cached factorization and zeroes the stats. The only
+  /// invalidation operation; see the contract in the header comment.
+  void clear();
+
+ private:
+  struct Entry;
+
+  [[nodiscard]] std::vector<std::uint64_t> make_key(
+      std::span<const std::size_t> subset) const;
+  Entry& acquire(std::span<const std::size_t> subset);
+  [[nodiscard]] double solve_cost(const Entry& e, std::size_t columns) const;
+  [[nodiscard]] double factor_cost(const Entry& e) const;
+
+  const GeneratorMatrix* generator_ = nullptr;  // MDS backend
+  std::vector<double> eval_points_;             // Vandermonde backend
+  std::size_t k_ = 0;
+  std::map<std::vector<std::uint64_t>, std::unique_ptr<Entry>> cache_;
+  DecodeContextStats stats_;
+  // Solve scratch, reused across calls so the per-round hot path does not
+  // allocate (decode runs once per chunk group per round).
+  std::vector<double> scratch_reduced_;
+};
+
+}  // namespace s2c2::coding

@@ -11,9 +11,14 @@
 //    unusable beyond small k (entries grow like α^(k-1)).
 //
 //  * kGaussian — parity rows drawn i.i.d. N(0,1) from a seeded RNG. Any
-//    k x k submatrix is almost surely invertible and the conditioning stays
-//    workable up to the paper's largest configuration (k = 40, Fig 13).
-//    This is the default and a documented substitution (DESIGN.md §2).
+//    k x k submatrix is almost surely invertible and the conditioning
+//    stays workable through the thousand-worker fleet (k = 998). This is
+//    the default and a documented substitution (docs/DESIGN.md §2).
+//
+// Both families are systematic, which is what the decode subsystem's
+// Schur reduction exploits: a responder set's systematic rows pin their
+// blocks outright and only the parity block (p <= n - k rows) needs a
+// factorization (coding/decode_context.h, docs/PERFORMANCE.md).
 #pragma once
 
 #include <cstddef>
@@ -50,7 +55,11 @@ class GeneratorMatrix {
     return worker < k();
   }
 
-  /// k x k submatrix formed by the given worker rows (decode system matrix).
+  /// k x k submatrix formed by the given worker rows — the dense decode
+  /// system matrix. O(k²) to materialize; factorizing it densely is the
+  /// seed's O(k³) decode path, kept as the reference baseline
+  /// (bench_decode_scale) — production decode goes through
+  /// coding/decode_context.h instead.
   [[nodiscard]] linalg::Matrix submatrix(
       std::span<const std::size_t> workers) const;
 

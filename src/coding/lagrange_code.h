@@ -64,7 +64,10 @@ class LagrangeCode {
     [[nodiscard]] std::vector<std::size_t> deficient_chunks() const;
     [[nodiscard]] std::vector<std::size_t> responders(std::size_t chunk) const;
 
-    /// Reconstructs f(X_j) for every block j.
+    /// Reconstructs f(X_j) for every block j. Already structured: explicit
+    /// Lagrange-weight interpolation is O(R²) setup per responder set plus
+    /// O(R·m) per reconstructed value — no O(R³) factorization — so it
+    /// needs no DecodeContext routing (cost model: docs/PERFORMANCE.md).
     [[nodiscard]] std::vector<linalg::Matrix> decode() const;
 
    private:

@@ -11,6 +11,11 @@
 // partitions in CSR form; parity partitions are sums of row blocks and
 // densify, so they are materialized densely. EncodedPartition hides the
 // difference behind one matvec interface.
+//
+// Complexity: encode() is a one-time O(n·D·m/k) cost, excluded from
+// per-iteration latencies (paper's setup phase). Decode goes through
+// coding/chunked_decoder.h + coding/decode_context.h at amortized O(k²)
+// per responder set — cost model in docs/PERFORMANCE.md.
 #pragma once
 
 #include <cstddef>

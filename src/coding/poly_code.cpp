@@ -82,13 +82,21 @@ linalg::Matrix PolyCode::compute_rows(const WorkerOperands& ops,
 }
 
 PolyCode::Decoder::Decoder(const PolyCode& code, std::size_t out_rows,
-                           std::size_t num_chunks, std::size_t out_cols)
+                           std::size_t num_chunks, std::size_t out_cols,
+                           DecodeContext* context)
     : code_(code), num_chunks_(num_chunks), out_cols_(out_cols) {
   S2C2_REQUIRE(num_chunks > 0, "decoder needs at least one chunk");
   S2C2_REQUIRE(out_rows % num_chunks == 0,
                "output rows must be divisible by num_chunks");
   rows_per_chunk_ = out_rows / num_chunks;
   results_.resize(num_chunks_);
+  if (context) {
+    context_ = context;
+  } else {
+    owned_context_ =
+        std::make_unique<DecodeContext>(code_.make_decode_context());
+    context_ = owned_context_.get();
+  }
 }
 
 void PolyCode::Decoder::add_chunk_result(std::size_t worker, std::size_t chunk,
@@ -127,7 +135,7 @@ std::vector<std::size_t> PolyCode::Decoder::responders(
   return out;
 }
 
-linalg::Matrix PolyCode::Decoder::decode() const {
+linalg::Matrix PolyCode::Decoder::decode() {
   const std::size_t m = code_.required_responses();  // a²
   const std::size_t a = code_.a();
   S2C2_CHECK(decodable(), "poly decode before coverage");
@@ -140,18 +148,9 @@ linalg::Matrix PolyCode::Decoder::decode() const {
     for (std::size_t j = 0; j < m; ++j) key[j] = slot[j].first;
     std::sort(key.begin(), key.end());
 
-    auto it = lu_cache_.find(key);
-    if (it == lu_cache_.end()) {
-      std::vector<double> pts(m);
-      for (std::size_t j = 0; j < m; ++j) pts[j] = code_.eval_point(key[j]);
-      it = lu_cache_
-               .emplace(key, std::make_unique<linalg::LuFactorization>(
-                                 linalg::vandermonde(pts, m)))
-               .first;
-    }
-    const linalg::LuFactorization& lu = *it->second;
-
-    // RHS: row j = flattened chunk result of worker key[j].
+    // RHS: row j = flattened chunk result of worker key[j]; the context
+    // solves the Vandermonde system in the workers' evaluation points via
+    // the O(m²)-per-column Björck–Pereyra pass.
     linalg::Matrix rhs(m, rows_per_chunk_ * out_cols_);
     for (std::size_t j = 0; j < m; ++j) {
       const std::size_t worker = key[j];
@@ -163,7 +162,7 @@ linalg::Matrix PolyCode::Decoder::decode() const {
                 rhs.mutable_data().begin() +
                     static_cast<std::ptrdiff_t>(j * rhs.cols()));
     }
-    lu.solve_inplace(rhs.mutable_data(), rhs.cols());
+    context_->solve_inplace(key, rhs.mutable_data(), rhs.cols());
 
     // rhs row (j + a*l) = block C_{j+a·l} = A_jᵀ D A_l over chunk's rows.
     for (std::size_t coef = 0; coef < m; ++coef) {

@@ -18,12 +18,11 @@
 #pragma once
 
 #include <cstddef>
-#include <map>
 #include <memory>
 #include <span>
 #include <vector>
 
-#include "src/linalg/lu.h"
+#include "src/coding/decode_context.h"
 #include "src/linalg/matrix.h"
 
 namespace s2c2::coding {
@@ -65,11 +64,17 @@ class PolyCode {
       std::size_t r1);
 
   /// Chunk-granular decoder; mirrors coding/chunked_decoder.h but solves
-  /// Vandermonde systems in the evaluation points.
+  /// pure Vandermonde systems in the evaluation points — the DecodeContext
+  /// routes these through the Björck–Pereyra structured solver
+  /// (linalg/vandermonde.h): O(a⁴) per RHS column (k = a² here) with no
+  /// O(k³) factorization at all. Pass the engine's context to share cache
+  /// telemetry across rounds; by default the decoder owns a private one.
+  /// Cost model: docs/PERFORMANCE.md.
   class Decoder {
    public:
     Decoder(const PolyCode& code, std::size_t out_rows,
-            std::size_t num_chunks, std::size_t out_cols);
+            std::size_t num_chunks, std::size_t out_cols,
+            DecodeContext* context = nullptr);
 
     void add_chunk_result(std::size_t worker, std::size_t chunk,
                           linalg::Matrix rows);
@@ -77,8 +82,9 @@ class PolyCode {
     [[nodiscard]] std::vector<std::size_t> deficient_chunks() const;
     [[nodiscard]] std::vector<std::size_t> responders(std::size_t chunk) const;
 
-    /// Reassembles the full d x d Hessian.
-    [[nodiscard]] linalg::Matrix decode() const;
+    /// Reassembles the full d x d Hessian. Amortized O(k²) per responder
+    /// set and RHS column via the decode context.
+    [[nodiscard]] linalg::Matrix decode();
 
    private:
     const PolyCode& code_;
@@ -86,10 +92,16 @@ class PolyCode {
     std::size_t num_chunks_;
     std::size_t out_cols_;
     std::vector<std::vector<std::pair<std::size_t, linalg::Matrix>>> results_;
-    mutable std::map<std::vector<std::size_t>,
-                     std::unique_ptr<linalg::LuFactorization>>
-        lu_cache_;
+    std::unique_ptr<DecodeContext> owned_context_;
+    DecodeContext* context_;
   };
+
+  /// A decode context wired to this code's evaluation points (Vandermonde
+  /// backend, recovery dimension a²) — engines own one per job so cached
+  /// responder sets survive across rounds.
+  [[nodiscard]] DecodeContext make_decode_context() const {
+    return DecodeContext(points_, required_responses());
+  }
 
   /// Uncoded reference for tests: Aᵀ · diag(x) · A.
   [[nodiscard]] static linalg::Matrix hessian_direct(

@@ -93,9 +93,10 @@ std::vector<double> CodedMatVecJob::compute_chunk(
   return out;
 }
 
-coding::ChunkedDecoder CodedMatVecJob::make_decoder() const {
+coding::ChunkedDecoder CodedMatVecJob::make_decoder(
+    coding::DecodeContext* context) const {
   return coding::ChunkedDecoder(code_.generator(), partition_rows_, chunks_,
-                                1);
+                                1, context);
 }
 
 linalg::Vector CodedMatVecJob::trim(const linalg::Matrix& decoded) const {

@@ -58,8 +58,11 @@ class CodedMatVecJob {
   [[nodiscard]] std::vector<double> compute_chunk(
       std::size_t worker, std::size_t chunk, std::span<const double> x) const;
 
-  /// Fresh decoder wired to this job's geometry.
-  [[nodiscard]] coding::ChunkedDecoder make_decoder() const;
+  /// Fresh decoder wired to this job's geometry. Pass a DecodeContext
+  /// built over generator() to reuse cached responder-set factorizations
+  /// across rounds (engines do); null gives the decoder a private context.
+  [[nodiscard]] coding::ChunkedDecoder make_decoder(
+      coding::DecodeContext* context = nullptr) const;
 
   /// Trims a decoded (k * partition_rows) x 1 result to the original rows.
   [[nodiscard]] linalg::Vector trim(const linalg::Matrix& decoded) const;

@@ -19,17 +19,6 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 // Finite stand-in for "until forever" when integrating a trace that ends at
 // zero speed (a dead worker's progress before its death).
 constexpr double kFarHorizon = 1e300;
-
-/// Counts maximal runs of consecutive chunks with identical worker sets —
-/// the number of distinct decode systems the master must factorize.
-std::size_t count_groups(
-    const std::vector<std::vector<std::size_t>>& per_chunk) {
-  std::size_t groups = 0;
-  for (std::size_t c = 0; c < per_chunk.size(); ++c) {
-    if (c == 0 || per_chunk[c] != per_chunk[c - 1]) ++groups;
-  }
-  return groups;
-}
 }  // namespace
 
 CodedComputeEngine::CodedComputeEngine(
@@ -39,6 +28,7 @@ CodedComputeEngine::CodedComputeEngine(
       spec_(std::move(spec)),
       config_(config),
       predictor_(std::move(predictor)),
+      decode_ctx_(job_.generator()),
       accounting_(spec_.num_workers()) {
   S2C2_REQUIRE(spec_.num_workers() == job_.n(),
                "cluster must provide one trace per code partition");
@@ -207,7 +197,7 @@ RoundResult CodedComputeEngine::run_round(std::span<const double> x) {
     // spread the fastest workers hit the partition cap and finish early,
     // which drags the average below the balanced finish time of the
     // uncapped workers and would fire the timeout every round — see
-    // DESIGN.md §5 and bench_abl_timeout.)
+    // docs/DESIGN.md §5 and bench_abl_timeout.)
     const double avg_k = timing[by_response[k - 1]].response - t0;
     sim::Time deadline = t0 + config_.timeout_factor * avg_k;
 
@@ -341,10 +331,33 @@ RoundResult CodedComputeEngine::run_round(std::span<const double> x) {
   }
 
   // ---- decode cost ----
-  const std::size_t groups = count_groups(final_chunk_workers);
-  const std::size_t values = job_.k() * job_.partition_rows();
-  const sim::Time decode_time =
-      decode_flops(k, values, groups) / spec_.master_flops;
+  // One recovery system per maximal run of consecutive chunks sharing a
+  // decode subset (the k smallest responding worker ids —
+  // final_chunk_workers is sorted, matching the functional decoder's
+  // arrival order, so cost-model cache keys and numeric cache keys are the
+  // same). The context charges the Schur-reduced factorization only on
+  // cache misses; repeated responder sets across rounds pay solve cost
+  // alone. The seed's dense model is decode_flops() in strategy_config.h.
+  std::vector<std::vector<std::size_t>> decode_subsets(
+      alloc.chunks_per_partition);
+  for (std::size_t c = 0; c < alloc.chunks_per_partition; ++c) {
+    decode_subsets[c].assign(final_chunk_workers[c].begin(),
+                             final_chunk_workers[c].begin() +
+                                 static_cast<std::ptrdiff_t>(k));
+  }
+  double dec_flops = 0.0;
+  for (std::size_t c = 0; c < alloc.chunks_per_partition;) {
+    std::size_t e = c + 1;
+    while (e < alloc.chunks_per_partition &&
+           decode_subsets[e] == decode_subsets[c]) {
+      ++e;
+    }
+    dec_flops +=
+        decode_ctx_.charge(decode_subsets[c], (e - c) * job_.rows_per_chunk())
+            .flops;
+    c = e;
+  }
+  const sim::Time decode_time = dec_flops / spec_.master_flops;
   result.stats.coverage = coverage_time;
   result.stats.end = coverage_time + decode_time;
 
@@ -419,7 +432,7 @@ RoundResult CodedComputeEngine::run_round(std::span<const double> x) {
   // ---- functional decode ----
   if (functional) {
     S2C2_REQUIRE(x.size() == job_.data_cols(), "input vector size mismatch");
-    coding::ChunkedDecoder decoder = job_.make_decoder();
+    coding::ChunkedDecoder decoder = job_.make_decoder(&decode_ctx_);
     for (std::size_t w = 0; w < n; ++w) {
       if (used[w]) {
         for (std::size_t c : alloc.chunks_of(w)) {

@@ -15,7 +15,12 @@
 //          its pending chunks are reassigned among the workers that did
 //          respond (sched/reassignment.h) and its progress is waste;
 //   5. the master decodes (cost model; plus the *real* numeric decode when
-//      the job is functional and an input vector was supplied).
+//      the job is functional and an input vector was supplied). Decode
+//      goes through a per-engine coding::DecodeContext that persists
+//      across rounds: responder sets repeat heavily in iterative jobs, so
+//      repeated sets decode at amortized solve-only cost and the latency
+//      model charges factorization only on cache misses (the thousand-
+//      worker unlock — docs/PERFORMANCE.md).
 //
 // The engine advances its private simulated clock across rounds, so speed
 // traces play out over the whole run exactly as the paper's clusters do.
@@ -49,6 +54,14 @@ class CodedComputeEngine {
                      std::unique_ptr<predict::SpeedPredictor> predictor =
                          nullptr);
 
+  // Not movable: decode_ctx_ borrows job_.generator(), and a move would
+  // leave the context pointing into the moved-from engine. Construct in
+  // place (every current consumer does).
+  CodedComputeEngine(const CodedComputeEngine&) = delete;
+  CodedComputeEngine& operator=(const CodedComputeEngine&) = delete;
+  CodedComputeEngine(CodedComputeEngine&&) = delete;
+  CodedComputeEngine& operator=(CodedComputeEngine&&) = delete;
+
   /// Runs one round. In functional mode pass the input vector x (size =
   /// job.data_cols()) to obtain the decoded product; with an empty span
   /// the round is latency-only. Throws std::runtime_error if the cluster
@@ -79,6 +92,13 @@ class CodedComputeEngine {
   /// criterion).
   [[nodiscard]] double misprediction_rate() const;
 
+  /// Decode-cache telemetry across every round so far (responder sets
+  /// resident, hits/misses, charged flops) — see coding/decode_context.h.
+  [[nodiscard]] const coding::DecodeContextStats& decode_stats()
+      const noexcept {
+    return decode_ctx_.stats();
+  }
+
  private:
   struct WorkerTiming {
     std::size_t assigned_chunks = 0;
@@ -97,6 +117,9 @@ class CodedComputeEngine {
   ClusterSpec spec_;
   EngineConfig config_;
   std::unique_ptr<predict::SpeedPredictor> predictor_;
+  /// Persists across rounds so repeated responder sets decode from cache;
+  /// borrows job_.generator() (declared after job_, never rebound).
+  coding::DecodeContext decode_ctx_;
   sim::Accounting accounting_;
   sim::Time now_ = 0.0;
   std::size_t rounds_run_ = 0;

@@ -22,6 +22,7 @@ PolyCodedEngine::PolyCodedEngine(
     PolyEngineConfig config,
     std::unique_ptr<predict::SpeedPredictor> predictor)
     : code_(spec.num_workers(), a_blocks),
+      decode_ctx_(code_.make_decode_context()),
       n_rows_(n_rows),
       d_cols_(d_cols),
       spec_(std::move(spec)),
@@ -212,12 +213,43 @@ PolyRoundResult PolyCodedEngine::run_round(std::span<const double> x) {
     }
   }
 
-  // Decode cost: one a²-dim LU per responder group plus triangular solves
-  // for every Hessian entry.
-  const std::size_t values = m * out_rows_ * out_cols_;
-  const std::size_t groups = config_.use_s2c2 ? 2 * n : 1;
-  const sim::Time decode_time =
-      decode_flops(m, values, groups) / spec_.master_flops;
+  // Decode cost: one a²-dim Vandermonde system per maximal run of chunks
+  // sharing a decode subset, charged through the persistent context — the
+  // Björck–Pereyra solve is O(m²) per RHS column with no factorization at
+  // all (the seed's dense model is decode_flops() in strategy_config.h).
+  // Subsets mirror the functional decoder's keys: the m smallest
+  // responding worker ids per chunk.
+  const auto alloc_chunk_workers_final = sched::chunk_workers(alloc);
+  // Invert the (rare) reassigned extras into per-chunk lists once, instead
+  // of scanning every worker's extras per chunk.
+  std::vector<std::vector<std::size_t>> extra_workers(c);
+  for (std::size_t w = 0; w < n; ++w) {
+    for (std::size_t ch : extra_chunks[w]) extra_workers[ch].push_back(w);
+  }
+  std::vector<std::vector<std::size_t>> decode_subsets(c);
+  for (std::size_t ch = 0; ch < c; ++ch) {
+    std::vector<std::size_t>& responders = decode_subsets[ch];
+    for (std::size_t w : alloc_chunk_workers_final[ch]) {
+      if (used[w]) responders.push_back(w);
+    }
+    responders.insert(responders.end(), extra_workers[ch].begin(),
+                      extra_workers[ch].end());
+    std::sort(responders.begin(), responders.end());
+    responders.erase(std::unique(responders.begin(), responders.end()),
+                     responders.end());
+    responders.resize(m);  // m smallest ids = the decoder's arrival subset
+  }
+  double dec_flops = 0.0;
+  for (std::size_t ch = 0; ch < c;) {
+    std::size_t e = ch + 1;
+    while (e < c && decode_subsets[e] == decode_subsets[ch]) ++e;
+    dec_flops += decode_ctx_
+                     .charge(decode_subsets[ch],
+                             (e - ch) * rpc * out_cols_)
+                     .flops;
+    ch = e;
+  }
+  const sim::Time decode_time = dec_flops / spec_.master_flops;
   result.stats.coverage = coverage_time;
   result.stats.end = coverage_time + decode_time;
 
@@ -252,7 +284,8 @@ PolyRoundResult PolyCodedEngine::run_round(std::span<const double> x) {
   // Functional decode.
   if (functional) {
     S2C2_REQUIRE(x.size() == n_rows_, "x size mismatch");
-    coding::PolyCode::Decoder decoder(code_, out_rows_, c, out_cols_);
+    coding::PolyCode::Decoder decoder(code_, out_rows_, c, out_cols_,
+                                      &decode_ctx_);
     for (std::size_t w = 0; w < n; ++w) {
       if (!used[w]) continue;
       for (std::size_t ch : alloc.chunks_of(w)) {

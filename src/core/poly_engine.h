@@ -58,8 +58,17 @@ class PolyCodedEngine {
   [[nodiscard]] const coding::PolyCode& code() const noexcept { return code_; }
   [[nodiscard]] double timeout_rate() const;
 
+  /// Decode telemetry across rounds (structured Vandermonde solves via
+  /// coding/decode_context.h; cost model in docs/PERFORMANCE.md).
+  [[nodiscard]] const coding::DecodeContextStats& decode_stats()
+      const noexcept {
+    return decode_ctx_.stats();
+  }
+
  private:
   coding::PolyCode code_;
+  /// Persists across rounds; Vandermonde backend over code_'s points.
+  coding::DecodeContext decode_ctx_;
   std::size_t n_rows_;   // N
   std::size_t d_cols_;   // d
   std::size_t out_rows_; // d / a (padded to chunk multiple)

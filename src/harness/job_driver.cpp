@@ -11,6 +11,7 @@
 #include "src/apps/logistic_regression.h"
 #include "src/apps/pagerank.h"
 #include "src/apps/svm.h"
+#include "src/coding/decode_context.h"
 #include "src/core/engine.h"
 #include "src/core/overdecomp_engine.h"
 #include "src/core/replication_engine.h"
@@ -58,6 +59,11 @@ class ProductChannel {
                                    linalg::Vector& y) = 0;
   [[nodiscard]] virtual const sim::Accounting& accounting() const = 0;
   [[nodiscard]] virtual double misprediction_rate() const { return 0.0; }
+  /// Decode-cache telemetry; uncoded channels have no decode stage and
+  /// report the default empty stats.
+  [[nodiscard]] virtual coding::DecodeContextStats decode_stats() const {
+    return {};
+  }
 };
 
 class CodedChannel final : public ProductChannel {
@@ -82,6 +88,9 @@ class CodedChannel final : public ProductChannel {
   }
   [[nodiscard]] double misprediction_rate() const override {
     return engine_.misprediction_rate();
+  }
+  [[nodiscard]] coding::DecodeContextStats decode_stats() const override {
+    return engine_.decode_stats();
   }
 
  private:
@@ -279,6 +288,9 @@ void aggregate_accounting(
   double mispred = 0.0;
   for (const ProductChannel* ch : channels) {
     mispred += ch->misprediction_rate();
+    const coding::DecodeContextStats ds = ch->decode_stats();
+    result.decode_sets += ds.entries;
+    result.decode_cache_hits += ds.hits;
   }
   result.misprediction_rate =
       channels.empty() ? 0.0 : mispred / static_cast<double>(channels.size());
@@ -587,6 +599,8 @@ std::string JobResult::fingerprint() const {
   h = fnv1a(h, misprediction_rate);
   h = fnv1a(h, static_cast<std::uint64_t>(reassigned_chunks));
   h = fnv1a(h, static_cast<std::uint64_t>(data_moves));
+  h = fnv1a(h, static_cast<std::uint64_t>(decode_sets));
+  h = fnv1a(h, static_cast<std::uint64_t>(decode_cache_hits));
   for (const double v : convergence) h = fnv1a(h, v);
   h = fnv1a(h, final_metric);
   h = fnv1a(h, solution_error);

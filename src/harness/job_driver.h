@@ -137,6 +137,14 @@ struct JobResult {
   std::size_t reassigned_chunks = 0;  // §4.3 recovery volume
   std::size_t data_moves = 0;         // baseline partition migrations
 
+  /// Decode-cache telemetry summed over the job's coded channels
+  /// (coding/decode_context.h): distinct responder-set factorizations
+  /// resident at job end, and lookups served from cache across every
+  /// round — iterative jobs repeat responder sets heavily, so hits should
+  /// dwarf sets. Zero for the uncoded baselines (no decode stage).
+  std::size_t decode_sets = 0;
+  std::size_t decode_cache_hits = 0;
+
   /// Per-iteration convergence metric (objective for logreg/svm, L1 delta
   /// for pagerank, term norm for graph filter); the job's event log —
   /// fingerprint() hashes the exact bit patterns.

@@ -15,6 +15,20 @@ MatrixAxes MatrixAxes::full() {
   return axes;
 }
 
+MatrixAxes MatrixAxes::large_scale() {
+  MatrixAxes axes;
+  // Two workload shapes (tall-dense and square-sparse) x two cluster
+  // conditions keep the sweep minutes-scale while still exercising every
+  // engine's decode/collection path at fleet sizes the paper never ran.
+  axes.workloads = {WorkloadKind::kLogisticRegression,
+                    WorkloadKind::kPageRank};
+  axes.traces = {TraceProfile::kControlledStragglers,
+                 TraceProfile::kStableCloud};
+  axes.cluster_sizes = {100, 250, 1000};
+  axes.predictors = {PredictorKind::kOracle};
+  return axes;
+}
+
 ScenarioConfig cell_config(const ScenarioConfig& base, std::size_t workers,
                            PredictorKind predictor) {
   ScenarioConfig cfg = base;

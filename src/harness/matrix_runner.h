@@ -43,6 +43,14 @@ struct MatrixAxes {
   /// The widened full grid: every engine/workload/trace, cluster scale
   /// n in {12, 24, 48}, and all four predictors.
   [[nodiscard]] static MatrixAxes full();
+
+  /// The thousand-worker sweep: every engine at n in {100, 250, 1000}
+  /// (k/stragglers rescaled by cell_config), cost-only-sized workloads
+  /// on the oracle predictor. Tractable because decode is charged through
+  /// the cached Schur-reduced context (docs/PERFORMANCE.md) instead of a
+  /// dense O(k³) LU per round — the seed model made n = 1000 cells decode-
+  /// bound by hours. Deterministic at any --jobs like every other sweep.
+  [[nodiscard]] static MatrixAxes large_scale();
 };
 
 /// One cell coordinate in the widened grid.

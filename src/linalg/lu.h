@@ -1,9 +1,12 @@
-// Partial-pivot LU factorization.
+// Partial-pivot LU factorization. O(n³) to factor (2/3·n³ flops), O(n²)
+// per right-hand-side solve.
 //
-// The decoder solves one k x k system per distinct responder set each round
-// (see coding/chunked_decoder.h); factors are computed once and reused for
-// every chunk and every right-hand side, so the factorization object owns
-// its pivots and exposes repeated solves.
+// Role in decode: the general dense fallback. The decode subsystem
+// (coding/decode_context.h) Schur-reduces MDS recovery systems onto their
+// p x p parity block and LU-factorizes only that — p <= n - k, so at
+// fleet scale this class factors 2 x 2 systems, not k x k ones — and
+// caches the result per responder set. Pure Vandermonde systems skip LU
+// entirely (linalg/vandermonde.h). Cost model: docs/PERFORMANCE.md.
 #pragma once
 
 #include <cstddef>

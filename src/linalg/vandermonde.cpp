@@ -1,5 +1,8 @@
 #include "src/linalg/vandermonde.h"
 
+#include <algorithm>
+#include <stdexcept>
+
 #include "src/util/require.h"
 
 namespace s2c2::linalg {
@@ -26,6 +29,58 @@ Vector vandermonde_row(double x, std::size_t degree) {
     p *= x;
   }
   return row;
+}
+
+VandermondeSolver::VandermondeSolver(std::vector<double> points)
+    : points_(std::move(points)) {
+  S2C2_REQUIRE(!points_.empty(), "VandermondeSolver needs >= 1 node");
+  std::vector<double> sorted = points_;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 1; i < sorted.size(); ++i) {
+    if (sorted[i] == sorted[i - 1]) {
+      throw std::invalid_argument(
+          "VandermondeSolver: coincident nodes make the system singular");
+    }
+  }
+}
+
+Vector VandermondeSolver::solve(std::span<const double> b) const {
+  const std::size_t k = dim();
+  S2C2_REQUIRE(b.size() == k, "Vandermonde solve: rhs size mismatch");
+  Vector a(b.begin(), b.end());
+  solve_inplace(a, 1);
+  return a;
+}
+
+void VandermondeSolver::solve_inplace(std::span<double> b_rowmajor,
+                                      std::size_t width) const {
+  const std::size_t k = dim();
+  S2C2_REQUIRE(width > 0 && b_rowmajor.size() == k * width,
+               "Vandermonde solve_inplace: rhs layout mismatch");
+  const std::span<const double> x = points_;
+  // Björck–Pereyra, vectorized across the RHS columns.
+  // Pass 1: divided differences — row i becomes f[x_{i-j-1}, ..., x_i].
+  for (std::size_t j = 0; j + 1 < k; ++j) {
+    for (std::size_t i = k - 1; i > j; --i) {
+      const double denom = x[i] - x[i - j - 1];
+      double* ri = b_rowmajor.data() + i * width;
+      const double* rp = b_rowmajor.data() + (i - 1) * width;
+      for (std::size_t c = 0; c < width; ++c) {
+        ri[c] = (ri[c] - rp[c]) / denom;
+      }
+    }
+  }
+  // Pass 2: Newton basis -> monomial coefficients (synthetic division).
+  for (std::size_t jj = k - 1; jj-- > 0;) {
+    const double xj = x[jj];
+    for (std::size_t i = jj; i + 1 < k; ++i) {
+      double* ri = b_rowmajor.data() + i * width;
+      const double* rn = b_rowmajor.data() + (i + 1) * width;
+      for (std::size_t c = 0; c < width; ++c) {
+        ri[c] -= xj * rn[c];
+      }
+    }
+  }
 }
 
 }  // namespace s2c2::linalg

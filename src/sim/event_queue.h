@@ -1,7 +1,7 @@
 // Minimal deterministic discrete-event core.
 //
 // The cluster simulator is the substitute for the paper's physical testbed
-// (DESIGN.md §2). Determinism rules: ties in event time break by schedule
+// (docs/DESIGN.md §2). Determinism rules: ties in event time break by schedule
 // order (a monotone sequence number), so a simulation with the same seeds
 // replays identically. Events are cancellable — the master cancels a
 // straggler's outstanding compute events when it reassigns work (paper

@@ -1,5 +1,5 @@
 // Synthetic speed-trace generation (substitute for the paper's measured
-// DigitalOcean data, Fig 2 — see DESIGN.md §2).
+// DigitalOcean data, Fig 2 — see docs/DESIGN.md §2).
 //
 // The paper's empirical observations drive the generator's structure:
 //  * speeds vary slowly — "within 10% for about 10 samples in the

@@ -40,6 +40,25 @@ TEST(JobDriver, RunJobIsPureInItsConfig) {
   }
 }
 
+TEST(JobDriver, CodedJobsAmortizeDecodeAcrossRounds) {
+  // A coded job's responder sets repeat round to round, so the persistent
+  // decode cache must report far more hits than factorized sets; uncoded
+  // baselines have no decode stage and report zeros.
+  const JobResult coded = run_job(job_at(JobApp::kPageRank, JobStrategy::kS2C2,
+                                         TraceProfile::kControlledStragglers));
+  ASSERT_FALSE(coded.failed);
+  EXPECT_GT(coded.rounds, 1u);
+  EXPECT_GT(coded.decode_sets, 0u);
+  EXPECT_GT(coded.decode_cache_hits, coded.decode_sets);
+
+  const JobResult uncoded =
+      run_job(job_at(JobApp::kPageRank, JobStrategy::kReplication,
+                     TraceProfile::kControlledStragglers));
+  ASSERT_FALSE(uncoded.failed);
+  EXPECT_EQ(uncoded.decode_sets, 0u);
+  EXPECT_EQ(uncoded.decode_cache_hits, 0u);
+}
+
 TEST(JobDriver, SuiteByteIdenticalAtAnyThreadCount) {
   JobGrid grid;
   grid.apps = {JobApp::kLogReg, JobApp::kPageRank};
@@ -126,16 +145,21 @@ TEST(JobDriver, S2C2BeatsMdsAndReplicationUnderControlledStragglers) {
 }
 
 TEST(JobDriver, S2C2JobTimeAtMostMdsUnderVolatileTraces) {
-  // Volatile clouds: adaptation pays. The one caveat is logreg, where the
-  // realized regime draws leave the two within a whisker of each other —
-  // bounded at 5% rather than strictly ordered.
+  // Volatile clouds: adaptation pays. With decode amortized by the cache
+  // (coding/decode_context.h) it no longer separates the strategies, so
+  // what remains is compute/straggler time under realized regime draws —
+  // which leaves the GD apps within a whisker of each other (logreg
+  // always was; svm joined it when the dense per-round LU cost
+  // disappeared), bounded at 5%. The graph apps keep a clear ~15% margin
+  // and stay strictly ordered so a genuine S2C2 regression still fails.
   for (const JobApp app : all_job_apps()) {
     const TraceProfile t = TraceProfile::kVolatileCloud;
     const JobResult s2c2 = run_job(job_at(app, JobStrategy::kS2C2, t, 25));
     const JobResult mds = run_job(job_at(app, JobStrategy::kMds, t, 25));
     ASSERT_FALSE(s2c2.failed || mds.failed) << job_app_name(app);
-    if (app == JobApp::kLogReg) {
-      EXPECT_LE(s2c2.completion_time, 1.05 * mds.completion_time);
+    if (app == JobApp::kLogReg || app == JobApp::kSvm) {
+      EXPECT_LE(s2c2.completion_time, 1.05 * mds.completion_time)
+          << job_app_name(app);
     } else {
       EXPECT_LE(s2c2.completion_time, mds.completion_time)
           << job_app_name(app);

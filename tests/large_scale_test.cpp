@@ -1,0 +1,81 @@
+// Thousand-worker fleet tests: the scenario matrix's large-scale axis
+// (matrix_runner.h, MatrixAxes::large_scale) must complete and stay
+// byte-identical at any thread count now that decode is cached and
+// Schur-reduced (coding/decode_context.h, docs/PERFORMANCE.md). These
+// cells run cost-only: the latency model exercises the same decode-charge
+// path the functional decode uses, at fleet sizes where running real
+// kernels would be pointless.
+#include <gtest/gtest.h>
+
+#include "src/harness/matrix_runner.h"
+
+namespace s2c2::harness {
+namespace {
+
+ScenarioConfig base_config() {
+  ScenarioConfig cfg;
+  cfg.workers = 12;
+  cfg.stragglers = 2;
+  cfg.rounds = 3;
+  cfg.seed = 42;
+  return cfg;
+}
+
+TEST(LargeScale, ThousandWorkerCellIsByteIdenticalAtAnyJobs) {
+  // The acceptance-criteria cell: n = 1000 (k rescales to 998 via the
+  // n - 2 default rule), S2C2 on a stable cloud, serial vs 4 threads.
+  MatrixAxes axes;
+  axes.engines = {EngineKind::kS2C2};
+  axes.workloads = {WorkloadKind::kLogisticRegression};
+  axes.traces = {TraceProfile::kStableCloud};
+  axes.cluster_sizes = {1000};
+
+  const MatrixResult serial = run_matrix(base_config(), axes, {.jobs = 1});
+  const MatrixResult sharded = run_matrix(base_config(), axes, {.jobs = 4});
+  ASSERT_EQ(serial.cells.size(), 1u);
+  ASSERT_EQ(sharded.cells.size(), 1u);
+
+  const CellResult& cell = serial.cells[0];
+  ASSERT_FALSE(cell.failed) << cell.error;
+  EXPECT_EQ(cell.workers, 1000u);
+  EXPECT_EQ(cell.rounds, 3u);
+  for (const double l : cell.round_latencies) EXPECT_GT(l, 0.0);
+  EXPECT_EQ(serial.fingerprint(), sharded.fingerprint());
+  EXPECT_EQ(cell.fingerprint(), sharded.cells[0].fingerprint());
+}
+
+TEST(LargeScale, CellConfigRescalesRedundancyAndStragglers) {
+  ScenarioConfig base = base_config();
+  const ScenarioConfig big =
+      cell_config(base, 1000, PredictorKind::kOracle);
+  EXPECT_EQ(big.workers, 1000u);
+  EXPECT_EQ(big.effective_k(), 998u);  // k = 0 keeps the n - 2 rule
+  EXPECT_EQ(big.stragglers, 166u);     // 2/12 of the fleet
+
+  base.k = 9;  // explicit k keeps its redundancy ratio
+  const ScenarioConfig ratio =
+      cell_config(base, 1000, PredictorKind::kOracle);
+  EXPECT_EQ(ratio.k, 750u);
+}
+
+TEST(LargeScale, LargeScaleAxesSweepEveryEngineAtMidScale) {
+  // One n = 250 slice of the large-scale preset across all four engines:
+  // every cell completes (or records a deterministic failure — none is
+  // expected on these profiles) with positive latencies.
+  MatrixAxes axes = MatrixAxes::large_scale();
+  axes.cluster_sizes = {250};
+  axes.workloads = {WorkloadKind::kLogisticRegression};
+  axes.traces = {TraceProfile::kControlledStragglers};
+
+  const MatrixResult m = run_matrix(base_config(), axes, {.jobs = 0});
+  ASSERT_EQ(m.cells.size(), all_engines().size());
+  for (const CellResult& cell : m.cells) {
+    ASSERT_FALSE(cell.failed)
+        << engine_name(cell.engine) << ": " << cell.error;
+    EXPECT_EQ(cell.workers, 250u);
+    EXPECT_GT(cell.mean_latency, 0.0) << engine_name(cell.engine);
+  }
+}
+
+}  // namespace
+}  // namespace s2c2::harness
