@@ -23,7 +23,7 @@ int main() {
 
   auto run = [&](std::unique_ptr<predict::SpeedPredictor> pred, bool oracle) {
     core::EngineConfig ecfg;
-    ecfg.strategy = core::Strategy::kS2C2General;
+    ecfg.strategy = core::StrategyKind::kS2C2;
     ecfg.chunks_per_partition = chunks;
     ecfg.oracle_speeds = oracle;
     auto job = core::CodedMatVecJob::cost_only(shape.rows, shape.cols, 10, 7,

@@ -20,7 +20,7 @@ int main() {
 
   auto run_with_chunks = [&](std::size_t chunks) {
     const auto spec = bench::controlled_spec(12, 2, 0.2, 300);
-    const auto r = bench::run_coded(core::Strategy::kS2C2General, 12, 6,
+    const auto r = bench::run_coded(core::StrategyKind::kS2C2, 12, 6,
                                     shape, spec, rounds, chunks, true);
     return r;
   };

@@ -18,7 +18,7 @@ int main() {
 
   // Baseline: lightest possible coding, all workers fast.
   const double base =
-      bench::run_coded(core::Strategy::kS2C2General, 12, 11, shape,
+      bench::run_coded(core::StrategyKind::kS2C2, 12, 11, shape,
                        bench::controlled_spec(12, 0, 0.0, 400), rounds,
                        chunks, true)
           .mean_latency;
@@ -36,12 +36,12 @@ int main() {
         continue;
       }
       mds_row.push_back(
-          bench::run_coded(core::Strategy::kMdsConventional, 12, k, shape,
+          bench::run_coded(core::StrategyKind::kMds, 12, k, shape,
                            spec, rounds, chunks, true)
               .mean_latency /
           base);
       s2c2_row.push_back(
-          bench::run_coded(core::Strategy::kS2C2General, 12, k, shape, spec,
+          bench::run_coded(core::StrategyKind::kS2C2, 12, k, shape, spec,
                            rounds, chunks, true)
               .mean_latency /
           base);

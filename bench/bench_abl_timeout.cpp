@@ -20,7 +20,7 @@ int main() {
 
   auto run_with_factor = [&](double factor) {
     core::EngineConfig ecfg;
-    ecfg.strategy = core::Strategy::kS2C2General;
+    ecfg.strategy = core::StrategyKind::kS2C2;
     ecfg.chunks_per_partition = chunks;
     ecfg.timeout_factor = factor;
     auto job = core::CodedMatVecJob::cost_only(shape.rows, shape.cols, 10, 7,

@@ -75,7 +75,7 @@ inline predict::Lstm train_speed_lstm(const workload::CloudTraceConfig& cfg,
 }
 
 /// Runs `rounds` coded iterations and reports the mean round latency.
-inline CodedRunResult run_coded(core::Strategy strategy, std::size_t n,
+inline CodedRunResult run_coded(core::StrategyKind strategy, std::size_t n,
                                 std::size_t k, const WorkloadShape& shape,
                                 const core::ClusterSpec& spec,
                                 std::size_t rounds, std::size_t chunks,

@@ -30,10 +30,10 @@ int main() {
   for (std::size_t s = 0; s <= 3; ++s) {
     const auto spec = bench::controlled_spec(12, s, 0.0, 42);
     uncoded.push_back(bench::run_replication(shape, spec, rounds, rep));
-    mds10.push_back(bench::run_coded(core::Strategy::kMdsConventional, 12, 10,
+    mds10.push_back(bench::run_coded(core::StrategyKind::kMds, 12, 10,
                                      shape, spec, rounds, chunks, true)
                         .mean_latency);
-    mds9.push_back(bench::run_coded(core::Strategy::kMdsConventional, 12, 9,
+    mds9.push_back(bench::run_coded(core::StrategyKind::kMds, 12, 9,
                                     shape, spec, rounds, chunks, true)
                        .mean_latency);
   }

@@ -29,16 +29,16 @@ int main() {
   for (std::size_t s = 0; s <= 6; ++s) {
     const auto spec = bench::controlled_spec(12, s, 0.2, 200);
     uncoded.push_back(bench::run_replication(shape, spec, rounds));
-    mds10.push_back(bench::run_coded(core::Strategy::kMdsConventional, 12, 10,
+    mds10.push_back(bench::run_coded(core::StrategyKind::kMds, 12, 10,
                                      shape, spec, rounds, chunks, true)
                         .mean_latency);
-    mds6.push_back(bench::run_coded(core::Strategy::kMdsConventional, 12, 6,
+    mds6.push_back(bench::run_coded(core::StrategyKind::kMds, 12, 6,
                                     shape, spec, rounds, chunks, true)
                        .mean_latency);
-    basic6.push_back(bench::run_coded(core::Strategy::kS2C2Basic, 12, 6,
+    basic6.push_back(bench::run_coded(core::StrategyKind::kS2C2Basic, 12, 6,
                                       shape, spec, rounds, chunks, true)
                          .mean_latency);
-    general6.push_back(bench::run_coded(core::Strategy::kS2C2General, 12, 6,
+    general6.push_back(bench::run_coded(core::StrategyKind::kS2C2, 12, 6,
                                         shape, spec, rounds, chunks, true)
                            .mean_latency);
   }

@@ -41,10 +41,10 @@ int main() {
   std::vector<double> mds, s2c2;
   std::vector<bench::CodedRunResult> full;
   for (std::size_t n : {8u, 9u, 10u}) {
-    mds.push_back(bench::run_coded(core::Strategy::kMdsConventional, n, 7,
+    mds.push_back(bench::run_coded(core::StrategyKind::kMds, n, 7,
                                    shape, sub_spec(n), rounds, chunks, true)
                       .mean_latency);
-    full.push_back(bench::run_coded(core::Strategy::kS2C2General, n, 7, shape,
+    full.push_back(bench::run_coded(core::StrategyKind::kS2C2, n, 7, shape,
                                     sub_spec(n), rounds, chunks, true));
     s2c2.push_back(full.back().mean_latency);
   }
@@ -71,7 +71,7 @@ int main() {
       "Fraction of computed work the master ignored ((10,7) code).\n"
       "Paper: MDS wastes heavily on the 3 ignored workers (up to ~90%);\n"
       "S2C2 wastes nothing when predictions hold.");
-  const auto mds_full = bench::run_coded(core::Strategy::kMdsConventional, 10,
+  const auto mds_full = bench::run_coded(core::StrategyKind::kMds, 10,
                                          7, shape, spec10, rounds, chunks,
                                          true);
   const auto& s2c2_full = full[2];

@@ -37,10 +37,10 @@ int main() {
   std::vector<double> mds, s2c2;
   std::vector<bench::CodedRunResult> full;
   for (std::size_t n : {8u, 9u, 10u}) {
-    mds.push_back(bench::run_coded(core::Strategy::kMdsConventional, n, 7,
+    mds.push_back(bench::run_coded(core::StrategyKind::kMds, n, 7,
                                    shape, sub_spec(n), rounds, chunks, true)
                       .mean_latency);
-    full.push_back(bench::run_coded(core::Strategy::kS2C2General, n, 7, shape,
+    full.push_back(bench::run_coded(core::StrategyKind::kS2C2, n, 7, shape,
                                     sub_spec(n), rounds, chunks, false,
                                     &lstm));
     s2c2.push_back(full.back().mean_latency);
@@ -73,7 +73,7 @@ int main() {
       "Fig 11 — per-worker wasted computation, HIGH mis-prediction",
       "Paper: both schemes waste under mis-prediction, but conventional\n"
       "(10,7)-MDS incurs ~47% more wasted work than S2C2 on average.");
-  const auto mds_full = bench::run_coded(core::Strategy::kMdsConventional, 10,
+  const auto mds_full = bench::run_coded(core::StrategyKind::kMds, 10,
                                          7, shape, spec10, rounds, chunks,
                                          true);
   const auto& s2c2_full = full[2];

@@ -15,7 +15,8 @@ double run_poly(bool use_s2c2, const s2c2::core::ClusterSpec& spec,
                 std::size_t rounds) {
   using namespace s2c2;
   core::PolyEngineConfig cfg;
-  cfg.use_s2c2 = use_s2c2;
+  cfg.strategy = use_s2c2 ? core::StrategyKind::kPoly
+                          : core::StrategyKind::kPolyConventional;
   cfg.chunks_per_partition = 40;
   cfg.oracle_speeds = oracle;
   std::unique_ptr<predict::SpeedPredictor> predictor;

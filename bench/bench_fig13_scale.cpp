@@ -23,10 +23,10 @@ int main() {
   low_cfg.regime_levels = {1.0, 0.96};
   const auto low_spec = bench::cloud_spec(50, low_cfg, 41, 0.03);
   const double low_mds =
-      bench::run_coded(core::Strategy::kMdsConventional, 50, 40, shape,
+      bench::run_coded(core::StrategyKind::kMds, 50, 40, shape,
                        low_spec, rounds, chunks, true)
           .mean_latency;
-  const auto low_s2c2 = bench::run_coded(core::Strategy::kS2C2General, 50, 40,
+  const auto low_s2c2 = bench::run_coded(core::StrategyKind::kS2C2, 50, 40,
                                          shape, low_spec, rounds, chunks,
                                          true);
 
@@ -36,10 +36,10 @@ int main() {
   const predict::Lstm lstm = bench::train_speed_lstm(high_cfg, 141);
   const auto high_spec = bench::cloud_spec(50, high_cfg, 241, 0.05);
   const double high_mds =
-      bench::run_coded(core::Strategy::kMdsConventional, 50, 40, shape,
+      bench::run_coded(core::StrategyKind::kMds, 50, 40, shape,
                        high_spec, rounds, chunks, true)
           .mean_latency;
-  const auto high_s2c2 = bench::run_coded(core::Strategy::kS2C2General, 50, 40,
+  const auto high_s2c2 = bench::run_coded(core::StrategyKind::kS2C2, 50, 40,
                                           shape, high_spec, rounds, chunks,
                                           false, &lstm);
 

@@ -61,14 +61,14 @@ int main(int argc, char** argv) {
   util::Table t({"app", "trace", "strategy", "iters", "completion (ms)",
                  "vs s2c2", "timeout %", "waste %"});
   for (const auto& job : parallel.jobs) {
-    const auto* ref = parallel.find(job.app, harness::JobStrategy::kS2C2,
+    const auto* ref = parallel.find(job.app, harness::StrategyKind::kS2C2,
                                     job.trace);
     const bool has_ref =
         ref != nullptr && !ref->failed && ref->completion_time > 0.0;
     t.add_row(
         {harness::job_app_name(job.app),
          harness::trace_profile_name(job.trace),
-         harness::job_strategy_name(job.strategy),
+         core::strategy_name(job.strategy),
          job.failed ? "-" : std::to_string(job.iterations),
          job.failed ? "failed" : util::fmt(job.completion_time * 1e3, 3),
          job.failed || !has_ref

@@ -66,7 +66,7 @@ int main(int argc, char** argv) {
   util::Table t({"engine", "workload", "trace", "n", "predictor",
                  "mean latency (ms)", "timeout %", "wasted %"});
   for (const auto& cell : parallel.cells) {
-    t.add_row({harness::engine_name(cell.engine),
+    t.add_row({core::strategy_name(cell.engine),
                harness::workload_name(cell.workload),
                harness::trace_profile_name(cell.trace),
                std::to_string(cell.workers),
@@ -83,19 +83,19 @@ int main(int argc, char** argv) {
   // base scale with oracle speeds.
   std::cout << "\nnormalized mean latency vs s2c2 (controlled stragglers, "
                "logreg, n=12, oracle):\n";
-  const auto* ref = parallel.find(harness::EngineKind::kS2C2,
+  const auto* ref = parallel.find(harness::StrategyKind::kS2C2,
                                   harness::WorkloadKind::kLogisticRegression,
                                   harness::TraceProfile::kControlledStragglers,
                                   12, harness::PredictorKind::kOracle);
   for (const auto e :
-       {harness::EngineKind::kS2C2, harness::EngineKind::kReplication,
-        harness::EngineKind::kOverDecomposition}) {
+       {harness::StrategyKind::kS2C2, harness::StrategyKind::kReplication,
+        harness::StrategyKind::kOverDecomp}) {
     const auto* cell =
         parallel.find(e, harness::WorkloadKind::kLogisticRegression,
                       harness::TraceProfile::kControlledStragglers, 12,
                       harness::PredictorKind::kOracle);
     if (ref == nullptr || cell == nullptr || ref->mean_latency <= 0.0) break;
-    std::cout << "  " << harness::engine_name(e) << ": "
+    std::cout << "  " << core::strategy_name(e) << ": "
               << util::fmt(cell->mean_latency / ref->mean_latency, 3) << "x\n";
   }
 

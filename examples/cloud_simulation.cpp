@@ -38,7 +38,7 @@ int main() {
 
   const std::size_t rows = 21000, cols = 2000, chunks = 100, rounds = 30;
 
-  auto coded = [&](core::Strategy strategy, std::size_t k) {
+  auto coded = [&](core::StrategyKind strategy, std::size_t k) {
     core::EngineConfig cfg;
     cfg.strategy = strategy;
     cfg.chunks_per_partition = chunks;
@@ -55,8 +55,8 @@ int main() {
                engine.accounting().mean_wasted_fraction()};
   };
 
-  const auto mds = coded(core::Strategy::kMdsConventional, 7);
-  const auto s2c2 = coded(core::Strategy::kS2C2General, 7);
+  const auto mds = coded(core::StrategyKind::kMds, 7);
+  const auto s2c2 = coded(core::StrategyKind::kS2C2, 7);
 
   core::OverDecompositionEngine od(
       rows, cols, spec, {},

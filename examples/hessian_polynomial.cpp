@@ -32,9 +32,9 @@ int main() {
   cfg.chunks_per_partition = 16;
   cfg.oracle_speeds = true;
 
-  cfg.use_s2c2 = false;
+  cfg.strategy = core::StrategyKind::kPolyConventional;
   const auto conventional = apps::coded_hessian(a, x, spec, cfg);
-  cfg.use_s2c2 = true;
+  cfg.strategy = core::StrategyKind::kPoly;
   const auto squeezed = apps::coded_hessian(a, x, spec, cfg);
 
   const auto truth = coding::PolyCode::hessian_direct(a, x);

@@ -27,7 +27,7 @@ int main() {
   gd.learning_rate = 0.5;
   gd.k = 8;  // (12,8)-MDS: tolerate up to 4 stragglers
 
-  auto run = [&](core::Strategy strategy, const char* label) {
+  auto run = [&](core::StrategyKind strategy, const char* label) {
     core::EngineConfig cfg;
     cfg.strategy = strategy;
     cfg.chunks_per_partition = 24;
@@ -40,8 +40,8 @@ int main() {
     return result;
   };
 
-  const auto mds = run(core::Strategy::kMdsConventional, "conventional MDS ");
-  const auto s2c2 = run(core::Strategy::kS2C2General, "S2C2 (general)   ");
+  const auto mds = run(core::StrategyKind::kMds, "conventional MDS ");
+  const auto s2c2 = run(core::StrategyKind::kS2C2, "S2C2 (general)   ");
 
   std::cout << "\nLoss trajectories are identical (decode is exact):\n";
   util::Table t({"iteration", "MDS loss", "S2C2 loss"});

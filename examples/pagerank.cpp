@@ -25,7 +25,7 @@ int main() {
   spec.worker_flops = 1e8;
 
   core::EngineConfig cfg;
-  cfg.strategy = core::Strategy::kS2C2General;
+  cfg.strategy = core::StrategyKind::kS2C2;
   cfg.chunks_per_partition = 24;
   cfg.oracle_speeds = true;
 

@@ -34,7 +34,7 @@ int main() {
   spec.worker_flops = 1e8;
 
   // 4. Run both strategies for a few rounds.
-  auto run = [&](core::Strategy strategy) {
+  auto run = [&](core::StrategyKind strategy) {
     core::EngineConfig cfg;
     cfg.strategy = strategy;
     cfg.chunks_per_partition = chunks;
@@ -55,8 +55,8 @@ int main() {
     return latency / 5;
   };
 
-  const double mds = run(core::Strategy::kMdsConventional);
-  const double s2c2 = run(core::Strategy::kS2C2General);
+  const double mds = run(core::StrategyKind::kMds);
+  const double s2c2 = run(core::StrategyKind::kS2C2);
 
   std::cout << "\nS2C2 squeezed the coded-computing slack: "
             << util::fmt(100.0 * (mds - s2c2) / mds, 1)

@@ -61,11 +61,14 @@ harness::JobApp parse_app(const std::string& s) {
   throw std::invalid_argument("unknown app: " + s);
 }
 
-harness::JobStrategy parse_strategy(const std::string& s) {
-  for (const auto st : harness::all_job_strategies()) {
-    if (s == harness::job_strategy_name(st)) return st;
+harness::StrategyKind parse_strategy(const std::string& s) {
+  // One parser for every surface (core::parse_strategy); the job driver
+  // additionally restricts to its four strategy families.
+  const auto st = core::parse_strategy(s);
+  for (const auto allowed : harness::all_job_strategies()) {
+    if (st == allowed) return st;
   }
-  throw std::invalid_argument("unknown strategy: " + s);
+  throw std::invalid_argument("strategy is not a job-driver strategy: " + s);
 }
 
 harness::TraceProfile parse_trace(const std::string& s) {
@@ -171,7 +174,7 @@ Options parse(int argc, char** argv) {
 int run_single(const Options& o) {
   const harness::JobConfig& cfg = o.report.job_base;
   std::cout << harness::job_app_name(cfg.app) << " via "
-            << harness::job_strategy_name(cfg.strategy) << " on "
+            << core::strategy_name(cfg.strategy) << " on "
             << harness::trace_profile_name(cfg.trace) << " traces, "
             << cfg.workers << " workers (k=" << cfg.effective_k() << "), "
             << harness::predictor_name(cfg.predictor)
@@ -204,11 +207,11 @@ void print_suite(const harness::JobSuiteResult& suite) {
   for (const auto& job : suite.jobs) {
     std::vector<std::string> row = {harness::job_app_name(job.app),
                                     harness::trace_profile_name(job.trace),
-                                    harness::job_strategy_name(job.strategy)};
+                                    core::strategy_name(job.strategy)};
     if (job.failed) {
       row.insert(row.end(), {"-", "failed", "-", "-", "-", "-"});
     } else {
-      const auto* ref = suite.find(job.app, harness::JobStrategy::kS2C2,
+      const auto* ref = suite.find(job.app, harness::StrategyKind::kS2C2,
                                    job.trace);
       const bool has_ref =
           ref != nullptr && !ref->failed && ref->completion_time > 0.0;

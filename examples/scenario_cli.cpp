@@ -58,7 +58,7 @@ struct Options {
   harness::ScenarioConfig config;
   harness::MatrixAxes axes;
   harness::RunnerOptions runner;
-  harness::EngineKind engine = harness::EngineKind::kS2C2;
+  harness::StrategyKind engine = harness::StrategyKind::kS2C2;
   harness::WorkloadKind workload = harness::WorkloadKind::kLogisticRegression;
   harness::TraceProfile trace = harness::TraceProfile::kControlledStragglers;
   std::vector<std::string> axis_specs;  // applied after flag parsing
@@ -90,11 +90,14 @@ void print_usage() {
       "live in repro_cli; see README \"Job driver\" and docs/REPRODUCTION.md.\n";
 }
 
-harness::EngineKind parse_engine(const std::string& s) {
-  for (const auto e : harness::all_engines()) {
-    if (s == harness::engine_name(e)) return e;
+harness::StrategyKind parse_engine(const std::string& s) {
+  // One parser for every surface (core::parse_strategy); the matrix
+  // additionally restricts to its four engine families.
+  const auto e = core::parse_strategy(s);
+  for (const auto allowed : harness::all_engines()) {
+    if (e == allowed) return e;
   }
-  throw std::invalid_argument("unknown engine: " + s);
+  throw std::invalid_argument("strategy is not a matrix engine: " + s);
 }
 
 harness::WorkloadKind parse_workload(const std::string& s) {
@@ -214,7 +217,7 @@ void print_cell_summary(const harness::CellResult& cell) {
 }
 
 int run_single(const Options& o) {
-  std::cout << harness::engine_name(o.engine) << " / "
+  std::cout << core::strategy_name(o.engine) << " / "
             << harness::workload_name(o.workload) << " on "
             << harness::trace_profile_name(o.trace) << " traces, "
             << o.config.workers << " workers (k=" << o.config.effective_k()
@@ -256,7 +259,7 @@ int run_matrix(const Options& o) {
   util::Table t(headers);
   for (const auto& cell : m.cells) {
     std::vector<std::string> row = {
-        harness::engine_name(cell.engine),
+        core::strategy_name(cell.engine),
         harness::workload_name(cell.workload),
         harness::trace_profile_name(cell.trace),
         std::to_string(cell.workers),

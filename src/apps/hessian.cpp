@@ -9,12 +9,12 @@ HessianResult coded_hessian(const linalg::Matrix& a, const linalg::Vector& x,
                             const HessianConfig& config) {
   S2C2_REQUIRE(x.size() == a.rows(), "diag(x) size mismatch");
   core::PolyEngineConfig pc;
-  pc.use_s2c2 = config.use_s2c2;
+  pc.strategy = config.strategy;
   pc.chunks_per_partition = config.chunks_per_partition;
   pc.oracle_speeds = config.oracle_speeds;
   core::PolyCodedEngine engine(a, a.rows(), a.cols(), config.a_blocks, spec,
                                pc);
-  const core::PolyRoundResult round = engine.run_round(x);
+  const core::RoundResult round = engine.run_round(x);
   S2C2_CHECK(round.hessian.has_value(), "functional round must decode");
   return HessianResult{*round.hessian, round.stats.latency(),
                        round.stats.timeout_fired};

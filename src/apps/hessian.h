@@ -10,7 +10,8 @@ namespace s2c2::apps {
 
 struct HessianConfig {
   std::size_t a_blocks = 3;  // paper partitions A into 3 sub-matrices
-  bool use_s2c2 = true;
+  /// kPoly (S2C2 allocation) or kPolyConventional.
+  core::StrategyKind strategy = core::StrategyKind::kPoly;
   std::size_t chunks_per_partition = 24;
   bool oracle_speeds = false;
 };

@@ -1,482 +1,72 @@
 #include "src/core/engine.h"
 
-#include <algorithm>
-#include <cmath>
-#include <limits>
-#include <numeric>
-#include <stdexcept>
+#include <utility>
 
-#include "src/sched/coverage.h"
-#include "src/sched/reassignment.h"
+#include "src/coding/chunked_decoder.h"
 #include "src/util/require.h"
-#include "src/util/stats.h"
 
 namespace s2c2::core {
 
 namespace {
-constexpr double kInf = std::numeric_limits<double>::infinity();
 
-// Finite stand-in for "until forever" when integrating a trace that ends at
-// zero speed (a dead worker's progress before its death).
-constexpr double kFarHorizon = 1e300;
+StrategyKind validated_kind(const EngineConfig& config) {
+  S2C2_REQUIRE(config.strategy == StrategyKind::kS2C2 ||
+                   config.strategy == StrategyKind::kS2C2Basic ||
+                   config.strategy == StrategyKind::kMds,
+               "CodedComputeEngine runs the MDS-coded strategies only "
+               "(s2c2, s2c2-basic, mds)");
+  return config.strategy;
+}
+
 }  // namespace
 
 CodedComputeEngine::CodedComputeEngine(
     CodedMatVecJob job, ClusterSpec spec, EngineConfig config,
     std::unique_ptr<predict::SpeedPredictor> predictor)
-    : job_(std::move(job)),
-      spec_(std::move(spec)),
-      config_(config),
-      predictor_(std::move(predictor)),
-      decode_ctx_(job_.generator()),
-      accounting_(spec_.num_workers()) {
+    : RoundExecutor(validated_kind(config), std::move(spec),
+                    std::move(predictor), config.oracle_speeds,
+                    config.timeout_factor, config.straggler_threshold,
+                    config.chunks_per_partition),
+      job_(std::move(job)),
+      decode_ctx_(job_.generator()) {
   S2C2_REQUIRE(spec_.num_workers() == job_.n(),
                "cluster must provide one trace per code partition");
-  S2C2_REQUIRE(config_.chunks_per_partition == job_.chunks_per_partition(),
+  S2C2_REQUIRE(config.chunks_per_partition == job_.chunks_per_partition(),
                "engine and job chunk granularity must agree");
-  if (!predictor_ && !config_.oracle_speeds) {
-    predictor_ = std::make_unique<predict::LastValuePredictor>(job_.n());
-  }
 }
 
-std::vector<double> CodedComputeEngine::predicted_speeds(sim::Time t0) {
-  const std::size_t n = job_.n();
-  std::vector<double> speeds(n, 1.0);
-  if (config_.oracle_speeds) {
-    for (std::size_t w = 0; w < n; ++w) {
-      speeds[w] = spec_.traces[w].speed_at(t0);
-    }
-  } else {
-    for (std::size_t w = 0; w < n; ++w) {
-      speeds[w] = predictor_->predict(w);
-    }
-  }
-  return speeds;
-}
-
-sched::Allocation CodedComputeEngine::make_allocation(
-    std::span<const double> speeds) const {
-  const std::size_t n = job_.n();
+std::vector<std::vector<std::size_t>> CodedComputeEngine::decode_subsets(
+    const RoundLedger& ledger) const {
+  // The k smallest responding worker ids per chunk — final_chunk_workers
+  // is sorted, matching the functional decoder's arrival order, so
+  // cost-model cache keys and numeric cache keys are the same.
   const std::size_t k = job_.k();
-  const std::size_t c = config_.chunks_per_partition;
-  switch (config_.strategy) {
-    case Strategy::kMdsConventional:
-      return sched::full_allocation(n, c);
-    case Strategy::kS2C2Basic: {
-      // Flag stragglers below threshold x median predicted speed; keep at
-      // least k live workers by un-flagging the fastest flagged ones.
-      std::vector<double> sorted(speeds.begin(), speeds.end());
-      const double med = util::median(sorted);
-      std::vector<bool> straggler(n, false);
-      std::size_t live = 0;
-      for (std::size_t w = 0; w < n; ++w) {
-        straggler[w] = speeds[w] < config_.straggler_threshold * med;
-        if (!straggler[w]) ++live;
-      }
-      if (live < k) {
-        std::vector<std::size_t> flagged;
-        for (std::size_t w = 0; w < n; ++w) {
-          if (straggler[w]) flagged.push_back(w);
-        }
-        std::sort(flagged.begin(), flagged.end(),
-                  [&](std::size_t a, std::size_t b) {
-                    return speeds[a] > speeds[b];
-                  });
-        for (std::size_t i = 0; live < k && i < flagged.size(); ++i) {
-          straggler[flagged[i]] = false;
-          ++live;
-        }
-      }
-      return sched::basic_s2c2_allocation(straggler, k, c);
-    }
-    case Strategy::kS2C2General: {
-      std::vector<double> s(speeds.begin(), speeds.end());
-      std::size_t positive = 0;
-      for (double v : s) {
-        if (v > 0.0) ++positive;
-      }
-      if (positive < k) {
-        // Predictor wrote off too many workers: fall back to treating all
-        // of them as slow-but-alive so the allocation stays feasible; the
-        // timeout path recovers if they really are dead.
-        for (double& v : s) v = std::max(v, 0.05);
-      }
-      return sched::proportional_allocation(s, k, c);
-    }
+  std::vector<std::vector<std::size_t>> subsets(
+      ledger.final_chunk_workers.size());
+  for (std::size_t c = 0; c < subsets.size(); ++c) {
+    subsets[c].assign(ledger.final_chunk_workers[c].begin(),
+                      ledger.final_chunk_workers[c].begin() +
+                          static_cast<std::ptrdiff_t>(k));
   }
-  throw std::logic_error("unreachable strategy");
+  return subsets;
 }
 
-CodedComputeEngine::WorkerTiming CodedComputeEngine::simulate_worker(
-    std::size_t w, sim::Time t0, std::size_t chunks) const {
-  WorkerTiming t;
-  t.assigned_chunks = chunks;
-  if (chunks == 0) return t;
-  t.x_arrival = t0 + spec_.net.transfer_time(job_.x_bytes());
-  const double work =
-      static_cast<double>(chunks) * job_.chunk_flops() / spec_.worker_flops;
-  t.compute_done = spec_.traces[w].time_to_complete(t.x_arrival, work);
-  t.response =
-      t.compute_done == kInf
-          ? kInf
-          : t.compute_done + spec_.net.transfer_time(
-                                 chunks * job_.chunk_result_bytes());
-  return t;
-}
-
-RoundResult CodedComputeEngine::run_round(std::span<const double> x) {
-  const std::size_t n = job_.n();
-  const std::size_t k = job_.k();
-  const sim::Time t0 = now_;
-  const bool functional = job_.functional() && !x.empty();
-  const double chunk_work = job_.chunk_flops() / spec_.worker_flops;
-
-  RoundResult result;
-  result.stats.start = t0;
-  result.predicted_speeds = predicted_speeds(t0);
-  const sched::Allocation alloc = make_allocation(result.predicted_speeds);
-
-  std::vector<WorkerTiming> timing(n);
-  for (std::size_t w = 0; w < n; ++w) {
-    timing[w] = simulate_worker(w, t0, alloc.per_worker[w].count);
-  }
-
-  // Workers with assigned work, ordered by response time.
-  std::vector<std::size_t> assigned;
-  for (std::size_t w = 0; w < n; ++w) {
-    if (timing[w].assigned_chunks > 0) assigned.push_back(w);
-  }
-  std::vector<std::size_t> by_response = assigned;
-  std::sort(by_response.begin(), by_response.end(),
-            [&](std::size_t a, std::size_t b) {
-              return timing[a].response < timing[b].response;
-            });
-  std::size_t finite = 0;
-  for (std::size_t w : by_response) {
-    if (timing[w].response < kInf) ++finite;
-  }
-  if (finite < k) {
-    throw std::runtime_error(
-        "cluster failure: fewer than k workers can respond");
-  }
-
-  // Final per-chunk responder sets (for decode-cost and functional decode),
-  // per-worker used chunks, and the round-completion bookkeeping below.
-  std::vector<std::vector<std::size_t>> final_chunk_workers(
-      alloc.chunks_per_partition);
-  std::vector<std::vector<std::size_t>> extra_chunks(n);  // reassigned work
-  std::vector<sim::Time> recovery_busy(n, 0.0);  // compute spent on extras
-  std::vector<double> recovery_waste(n, 0.0);    // died mid-reassignment
-  std::vector<bool> used(n, false);
-  std::vector<bool> cancelled(n, false);
-  sim::Time coverage_time = 0.0;
-  sim::Time cancel_time = 0.0;  // when cancelled workers stop computing
-
-  if (config_.strategy == Strategy::kMdsConventional) {
-    // Fastest k full partitions win; everyone else is cancelled when the
-    // k-th response arrives.
-    const std::size_t kth = by_response[k - 1];
-    coverage_time = timing[kth].response;
-    cancel_time = coverage_time;
-    for (std::size_t i = 0; i < k; ++i) used[by_response[i]] = true;
-    for (std::size_t w : assigned) {
-      if (!used[w]) cancelled[w] = true;
-    }
-    for (std::size_t c = 0; c < alloc.chunks_per_partition; ++c) {
-      for (std::size_t i = 0; i < k; ++i) {
-        final_chunk_workers[c].push_back(by_response[i]);
+void CodedComputeEngine::decode_product(RoundResult& result,
+                                        const RoundLedger& ledger,
+                                        std::span<const double> x) {
+  S2C2_REQUIRE(x.size() == job_.data_cols(), "input vector size mismatch");
+  coding::ChunkedDecoder decoder = job_.make_decoder(&decode_ctx_);
+  for (std::size_t w = 0; w < spec_.num_workers(); ++w) {
+    if (ledger.used[w]) {
+      for (std::size_t c : ledger.alloc.chunks_of(w)) {
+        decoder.add_chunk_result(w, c, job_.compute_chunk(w, c, x));
       }
-      std::sort(final_chunk_workers[c].begin(), final_chunk_workers[c].end());
-    }
-    result.stats.timeout_fired = false;
-  } else {
-    // S2C2 collection with the §4.3 timeout. The reference point is the
-    // k-th fastest response — the last one a minimal decode needs. (The
-    // paper words this as the *average* of the first k; when responses are
-    // balanced, as in its experiments, the two coincide. Under strong speed
-    // spread the fastest workers hit the partition cap and finish early,
-    // which drags the average below the balanced finish time of the
-    // uncapped workers and would fire the timeout every round — see
-    // docs/DESIGN.md §5 and bench_abl_timeout.)
-    const double avg_k = timing[by_response[k - 1]].response - t0;
-    sim::Time deadline = t0 + config_.timeout_factor * avg_k;
-
-    // Responders within the deadline; grow the set until it can cover
-    // every chunk (needs at least k distinct workers).
-    std::size_t r_count = 0;
-    while (r_count < by_response.size() &&
-           timing[by_response[r_count]].response <= deadline) {
-      ++r_count;
-    }
-    if (r_count < k) {
-      // Fewer than k beat the deadline (reachable when timeout_factor < 1):
-      // the master must wait for the k-th fastest response anyway, so the
-      // effective deadline moves there — and the responder set has to be
-      // re-scanned against it, or workers tied at the extended deadline
-      // stay spuriously cancelled with their finished work booked as waste.
-      deadline = timing[by_response[k - 1]].response;
-      r_count = k;
-      while (r_count < by_response.size() &&
-             timing[by_response[r_count]].response <= deadline) {
-        ++r_count;
+      for (std::size_t c : ledger.extra_chunks[w]) {
+        decoder.add_chunk_result(w, c, job_.compute_chunk(w, c, x));
       }
     }
-    std::vector<bool> responded(n, false);
-    for (std::size_t i = 0; i < r_count; ++i) {
-      responded[by_response[i]] = true;
-    }
-
-    const bool all_responded = r_count == assigned.size();
-    result.stats.timeout_fired = !all_responded;
-
-    // Base coverage from responders.
-    const auto alloc_chunk_workers = sched::chunk_workers(alloc);
-    for (std::size_t c = 0; c < alloc.chunks_per_partition; ++c) {
-      for (std::size_t w : alloc_chunk_workers[c]) {
-        if (responded[w]) final_chunk_workers[c].push_back(w);
-      }
-    }
-
-    for (std::size_t w : assigned) {
-      if (responded[w]) {
-        used[w] = true;
-      } else {
-        cancelled[w] = true;
-      }
-    }
-    coverage_time = timing[by_response[r_count - 1]].response;
-    cancel_time = deadline;
-
-    if (!all_responded) {
-      // §4.3 recovery, generalized to cascading failures: deficient chunks
-      // are planned among live responders; a recovery worker that itself
-      // dies mid-reassignment is detected when the wave's timeout deadline
-      // passes, its partial progress is booked as waste, and its unfinished
-      // chunks are re-planned among the workers still alive. At most n
-      // waves run (every extra wave removes at least one dead worker).
-      std::vector<bool> recovery_live = responded;
-      // A worker is free for (more) recovery work once it sent its latest
-      // response — original or a previous wave's extras.
-      std::vector<sim::Time> free_at(n, 0.0);
-      for (std::size_t w : assigned) free_at[w] = timing[w].response;
-      sim::Time wave_issue = deadline;
-      for (std::size_t wave = 0; wave < n; ++wave) {
-        std::vector<std::size_t> deficient;
-        std::vector<std::vector<std::size_t>> have;
-        std::vector<std::size_t> needed;
-        for (std::size_t c = 0; c < alloc.chunks_per_partition; ++c) {
-          if (final_chunk_workers[c].size() < k) {
-            deficient.push_back(c);
-            have.push_back(final_chunk_workers[c]);
-            needed.push_back(k - final_chunk_workers[c].size());
-          }
-        }
-        if (deficient.empty()) break;
-        std::vector<double> rspeeds(n, 0.0);
-        for (std::size_t w = 0; w < n; ++w) {
-          if (recovery_live[w]) {
-            rspeeds[w] = std::max(result.predicted_speeds[w], 1e-3);
-          }
-        }
-        sched::ReassignmentPlan plan;
-        try {
-          plan = sched::plan_reassignment(deficient, have, needed, rspeeds);
-        } catch (const std::invalid_argument& e) {
-          throw std::runtime_error(
-              std::string("cluster failure: recovery infeasible: ") +
-              e.what());
-        }
-        result.stats.reassigned_chunks += plan.total_chunks();
-        sim::Time wave_deadline = wave_issue;
-        bool any_death = false;
-        for (std::size_t w = 0; w < n; ++w) {
-          const auto& extras = plan.chunks_per_worker[w];
-          if (extras.empty()) continue;
-          // The master's reassignment message costs one network latency.
-          const sim::Time start =
-              std::max(wave_issue, free_at[w]) + spec_.net.latency_s;
-          const double work = static_cast<double>(extras.size()) * chunk_work;
-          const sim::Time done = spec_.traces[w].time_to_complete(start, work);
-          const sim::Time send =
-              spec_.net.transfer_time(extras.size() *
-                                      job_.chunk_result_bytes());
-          if (done == kInf) {
-            any_death = true;
-            recovery_live[w] = false;
-            recovery_waste[w] +=
-                spec_.traces[w].work_between(start, kFarHorizon);
-            // The master discovers the death when the worker's expected
-            // response (at its predicted speed) times out.
-            const sim::Time expected = start + work / rspeeds[w] + send;
-            wave_deadline =
-                std::max(wave_deadline,
-                         start + config_.timeout_factor * (expected - start));
-            continue;
-          }
-          recovery_busy[w] += done - start;
-          free_at[w] = done + send;
-          for (std::size_t c : extras) final_chunk_workers[c].push_back(w);
-          extra_chunks[w].insert(extra_chunks[w].end(), extras.begin(),
-                                 extras.end());
-          coverage_time = std::max(coverage_time, done + send);
-        }
-        if (!any_death) break;
-        // No earlier wave can be issued: the master only learns about the
-        // death once the wave deadline passes.
-        coverage_time = std::max(coverage_time, wave_deadline);
-        wave_issue = wave_deadline;
-      }
-      for (auto& ws : final_chunk_workers) std::sort(ws.begin(), ws.end());
-    }
   }
-
-  // ---- decode cost ----
-  // One recovery system per maximal run of consecutive chunks sharing a
-  // decode subset (the k smallest responding worker ids —
-  // final_chunk_workers is sorted, matching the functional decoder's
-  // arrival order, so cost-model cache keys and numeric cache keys are the
-  // same). The context charges the Schur-reduced factorization only on
-  // cache misses; repeated responder sets across rounds pay solve cost
-  // alone. The seed's dense model is decode_flops() in strategy_config.h.
-  std::vector<std::vector<std::size_t>> decode_subsets(
-      alloc.chunks_per_partition);
-  for (std::size_t c = 0; c < alloc.chunks_per_partition; ++c) {
-    decode_subsets[c].assign(final_chunk_workers[c].begin(),
-                             final_chunk_workers[c].begin() +
-                                 static_cast<std::ptrdiff_t>(k));
-  }
-  double dec_flops = 0.0;
-  for (std::size_t c = 0; c < alloc.chunks_per_partition;) {
-    std::size_t e = c + 1;
-    while (e < alloc.chunks_per_partition &&
-           decode_subsets[e] == decode_subsets[c]) {
-      ++e;
-    }
-    dec_flops +=
-        decode_ctx_.charge(decode_subsets[c], (e - c) * job_.rows_per_chunk())
-            .flops;
-    c = e;
-  }
-  const sim::Time decode_time = dec_flops / spec_.master_flops;
-  result.stats.coverage = coverage_time;
-  result.stats.end = coverage_time + decode_time;
-
-  // ---- accounting ----
-  for (std::size_t w : assigned) {
-    const double assigned_work =
-        static_cast<double>(timing[w].assigned_chunks) * chunk_work;
-    if (used[w]) {
-      accounting_.add_useful(w, assigned_work);
-      accounting_.add_useful(
-          w, static_cast<double>(extra_chunks[w].size()) * chunk_work);
-      // Busy time covers both the original window and the recovery window
-      // spent on reassigned extras; otherwise utilization is under-reported
-      // exactly in the rounds where the timeout fires.
-      accounting_.add_busy(w, timing[w].compute_done - timing[w].x_arrival +
-                                  recovery_busy[w]);
-      if (recovery_waste[w] > 0.0) {
-        accounting_.add_wasted(w, recovery_waste[w]);
-      }
-    } else {
-      const double done = std::min(
-          assigned_work,
-          spec_.traces[w].work_between(timing[w].x_arrival,
-                                       std::max(cancel_time,
-                                                timing[w].x_arrival)));
-      accounting_.add_wasted(w, done);
-    }
-    accounting_.add_traffic(
-        w,
-        static_cast<double>((timing[w].assigned_chunks +
-                             extra_chunks[w].size()) *
-                            job_.chunk_result_bytes()),
-        static_cast<double>(job_.x_bytes()));
-  }
-
-  // ---- observed speeds -> predictor ----
-  result.observed_speeds.assign(n, 0.0);
-  for (std::size_t w = 0; w < n; ++w) {
-    double obs;
-    if (timing[w].assigned_chunks == 0) {
-      // Idle worker: the master probes its current speed (basic S2C2 needs
-      // fresh straggler flags even for excluded workers). Probe at coverage
-      // time — every busy worker's observation reflects the pre-decode
-      // round window, and training the predictor on post-decode timestamps
-      // for idle workers only would skew its inputs.
-      obs = spec_.traces[w].speed_at(coverage_time);
-    } else if (used[w]) {
-      // Realized *execution* speed over the compute window. Transfers and
-      // queueing must stay out of the denominator: predictions are trace
-      // speeds, and folding the network share of the round into the
-      // observation would bias every sample low — inflating the §6.1
-      // misprediction rate (to 100% under an exact oracle once network
-      // time is a sizable round fraction) and mis-training the predictor.
-      const double work =
-          static_cast<double>(timing[w].assigned_chunks) * chunk_work;
-      obs = work / (timing[w].compute_done - timing[w].x_arrival);
-    } else {
-      const sim::Time until = std::max(cancel_time, timing[w].x_arrival + 1e-9);
-      obs = spec_.traces[w].work_between(timing[w].x_arrival, until) /
-            (until - timing[w].x_arrival);
-    }
-    result.observed_speeds[w] = obs;
-    if (obs > 0.0) {
-      const double rel =
-          std::abs(result.predicted_speeds[w] - obs) / obs;
-      if (rel > 0.15) ++mispredictions_;
-      ++prediction_samples_;
-    }
-    if (predictor_) predictor_->observe(w, obs);
-  }
-
-  // ---- functional decode ----
-  if (functional) {
-    S2C2_REQUIRE(x.size() == job_.data_cols(), "input vector size mismatch");
-    coding::ChunkedDecoder decoder = job_.make_decoder(&decode_ctx_);
-    for (std::size_t w = 0; w < n; ++w) {
-      if (used[w]) {
-        for (std::size_t c : alloc.chunks_of(w)) {
-          decoder.add_chunk_result(w, c, job_.compute_chunk(w, c, x));
-        }
-        for (std::size_t c : extra_chunks[w]) {
-          decoder.add_chunk_result(w, c, job_.compute_chunk(w, c, x));
-        }
-      }
-    }
-    result.y = job_.trim(decoder.decode());
-  }
-
-  now_ = result.stats.end;
-  ++rounds_run_;
-  if (result.stats.timeout_fired) ++timeouts_;
-  return result;
-}
-
-std::vector<RoundResult> CodedComputeEngine::run_rounds(
-    std::size_t rounds, std::span<const double> x) {
-  std::vector<RoundResult> out;
-  out.reserve(rounds);
-  for (std::size_t i = 0; i < rounds; ++i) out.push_back(run_round(x));
-  return out;
-}
-
-double CodedComputeEngine::timeout_rate() const {
-  return rounds_run_ > 0
-             ? static_cast<double>(timeouts_) / static_cast<double>(rounds_run_)
-             : 0.0;
-}
-
-double CodedComputeEngine::misprediction_rate() const {
-  return prediction_samples_ > 0
-             ? static_cast<double>(mispredictions_) /
-                   static_cast<double>(prediction_samples_)
-             : 0.0;
-}
-
-double total_latency(std::span<const RoundResult> results) {
-  double acc = 0.0;
-  for (const RoundResult& r : results) acc += r.stats.latency();
-  return acc;
+  result.y = job_.trim(decoder.decode());
 }
 
 }  // namespace s2c2::core

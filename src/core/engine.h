@@ -1,134 +1,102 @@
 // CodedComputeEngine — iterative coded matrix-vector execution under the
 // MDS-conventional, basic-S2C2, and general-S2C2 strategies (paper §4, §6).
 //
-// Per round (= one iteration of the distributed algorithm):
-//   1. speeds are predicted (LSTM/ARIMA predictor, or the oracle variant);
-//   2. the strategy allocates chunks (sched/allocation.h);
-//   3. the simulator computes when every worker's response reaches the
-//      master (input broadcast + chunk compute over the speed trace +
-//      result transfer);
-//   4. the master collects:
-//        - MDS: the fastest k full partitions; slower workers are
-//          cancelled and their progress counted as waste;
-//        - S2C2: all assigned responses, with the §4.3 timeout — if a
-//          worker misses 1.15x the mean response time of the fastest k,
-//          its pending chunks are reassigned among the workers that did
-//          respond (sched/reassignment.h) and its progress is waste;
-//   5. the master decodes (cost model; plus the *real* numeric decode when
-//      the job is functional and an input vector was supplied). Decode
-//      goes through a per-engine coding::DecodeContext that persists
-//      across rounds: responder sets repeat heavily in iterative jobs, so
-//      repeated sets decode at amortized solve-only cost and the latency
-//      model charges factorization only on cache misses (the thousand-
-//      worker unlock — docs/PERFORMANCE.md).
+// The round lifecycle (predict → allocate → dispatch → §4.3 timeout/
+// collection → wave recovery → decode-cost charge → accounting →
+// functional decode) lives in core::RoundExecutor and is shared with the
+// polynomial-coded engine; this class supplies only the MDS-specific
+// ingredients: the coded job's cost geometry, the k-response quorum, the
+// ChunkedDecoder numeric decode through a per-engine coding::DecodeContext
+// that persists across rounds (responder sets repeat heavily in iterative
+// jobs, so repeated sets decode at amortized solve-only cost and the
+// latency model charges factorization only on cache misses — the
+// thousand-worker unlock, docs/PERFORMANCE.md).
 //
 // The engine advances its private simulated clock across rounds, so speed
 // traces play out over the whole run exactly as the paper's clusters do.
+// Construct directly, or through make_engine in engine_factory.h.
 #pragma once
 
 #include <memory>
-#include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "src/core/coded_job.h"
+#include "src/core/round_executor.h"
 #include "src/core/strategy_config.h"
-#include "src/predict/predictors.h"
-#include "src/sched/allocation.h"
-#include "src/sim/accounting.h"
 
 namespace s2c2::core {
 
-struct RoundResult {
-  sim::RoundStats stats;
-  std::optional<linalg::Vector> y;     // decoded product (functional mode)
-  std::vector<double> predicted_speeds;
-  std::vector<double> observed_speeds;
-};
-
-class CodedComputeEngine {
+class CodedComputeEngine final : public RoundExecutor {
  public:
   /// `predictor` may be null: the engine then uses last-value prediction.
-  /// The spec must provide exactly job.n() traces.
+  /// The spec must provide exactly job.n() traces. config.strategy must
+  /// be one of kS2C2, kS2C2Basic, kMds.
   CodedComputeEngine(CodedMatVecJob job, ClusterSpec spec, EngineConfig config,
                      std::unique_ptr<predict::SpeedPredictor> predictor =
                          nullptr);
 
-  // Not movable: decode_ctx_ borrows job_.generator(), and a move would
-  // leave the context pointing into the moved-from engine. Construct in
-  // place (every current consumer does).
-  CodedComputeEngine(const CodedComputeEngine&) = delete;
-  CodedComputeEngine& operator=(const CodedComputeEngine&) = delete;
-  CodedComputeEngine(CodedComputeEngine&&) = delete;
-  CodedComputeEngine& operator=(CodedComputeEngine&&) = delete;
-
-  /// Runs one round. In functional mode pass the input vector x (size =
-  /// job.data_cols()) to obtain the decoded product; with an empty span
-  /// the round is latency-only. Throws std::runtime_error if the cluster
-  /// cannot produce k responses (unrecoverable failure).
-  RoundResult run_round(std::span<const double> x = {});
-
-  /// Convenience loop. With an input vector (functional mode) every
-  /// returned RoundResult carries its decoded product in `y` — same-x
-  /// products are recomputed per round because the cluster state (clock,
-  /// predictor) advances, so each round's latency and decode differ. With
-  /// the default empty span the rounds are latency-only and `y` stays
-  /// empty; callers running convergence checks must pass x or they are
-  /// silently measuring latency shapes, not results.
-  std::vector<RoundResult> run_rounds(std::size_t rounds,
-                                      std::span<const double> x = {});
-
-  [[nodiscard]] sim::Time now() const noexcept { return now_; }
-  [[nodiscard]] const sim::Accounting& accounting() const noexcept {
-    return accounting_;
-  }
   [[nodiscard]] const CodedMatVecJob& job() const noexcept { return job_; }
-
-  /// Fraction of completed rounds in which the timeout fired.
-  [[nodiscard]] double timeout_rate() const;
-
-  /// Fraction of (worker, round) observations where the prediction missed
-  /// the realized speed by more than 15% (the paper's mis-prediction
-  /// criterion).
-  [[nodiscard]] double misprediction_rate() const;
 
   /// Decode-cache telemetry across every round so far (responder sets
   /// resident, hits/misses, charged flops) — see coding/decode_context.h.
-  [[nodiscard]] const coding::DecodeContextStats& decode_stats()
-      const noexcept {
+  [[nodiscard]] coding::DecodeContextStats decode_stats() const override {
     return decode_ctx_.stats();
   }
 
+ protected:
+  // RoundExecutor hooks (see round_executor.h for the lifecycle).
+  [[nodiscard]] std::size_t quorum() const override { return job_.k(); }
+  [[nodiscard]] std::size_t x_bytes() const override { return job_.x_bytes(); }
+  [[nodiscard]] std::size_t chunk_result_bytes() const override {
+    return job_.chunk_result_bytes();
+  }
+  [[nodiscard]] double dispatch_work(std::size_t chunks) const override {
+    return static_cast<double>(chunks) * job_.chunk_flops() /
+           spec_.worker_flops;
+  }
+  [[nodiscard]] double accounted_work(std::size_t chunks) const override {
+    return static_cast<double>(chunks) *
+           (job_.chunk_flops() / spec_.worker_flops);
+  }
+  [[nodiscard]] double recovery_chunk_work() const override {
+    return job_.chunk_flops() / spec_.worker_flops;
+  }
+  [[nodiscard]] bool recovery_survives_death() const override { return true; }
+  [[nodiscard]] const char* quorum_failure_error() const override {
+    return "cluster failure: fewer than k workers can respond";
+  }
+  [[nodiscard]] std::string recovery_infeasible_error(
+      const char* what) const override {
+    return std::string("cluster failure: recovery infeasible: ") + what;
+  }
+  [[nodiscard]] const char* recovery_death_error() const override {
+    return "cluster failure during recovery";  // unreachable: cascades
+  }
+  [[nodiscard]] coding::DecodeContext& decode_context() override {
+    return decode_ctx_;
+  }
+  [[nodiscard]] std::vector<std::vector<std::size_t>> decode_subsets(
+      const RoundLedger& ledger) const override;
+  [[nodiscard]] std::size_t decode_values_per_chunk() const override {
+    return job_.rows_per_chunk();
+  }
+  [[nodiscard]] bool functional_round(
+      std::span<const double> x) const override {
+    return job_.functional() && !x.empty();
+  }
+  void decode_product(RoundResult& result, const RoundLedger& ledger,
+                      std::span<const double> x) override;
+  [[nodiscard]] AccountingStyle accounting_style() const override {
+    return AccountingStyle::kFullTelemetry;
+  }
+
  private:
-  struct WorkerTiming {
-    std::size_t assigned_chunks = 0;
-    sim::Time x_arrival = 0.0;
-    sim::Time compute_done = 0.0;
-    sim::Time response = 0.0;  // +inf if the worker never responds
-  };
-
-  [[nodiscard]] std::vector<double> predicted_speeds(sim::Time t0);
-  [[nodiscard]] sched::Allocation make_allocation(
-      std::span<const double> speeds) const;
-  [[nodiscard]] WorkerTiming simulate_worker(std::size_t w, sim::Time t0,
-                                             std::size_t chunks) const;
-
   CodedMatVecJob job_;
-  ClusterSpec spec_;
-  EngineConfig config_;
-  std::unique_ptr<predict::SpeedPredictor> predictor_;
   /// Persists across rounds so repeated responder sets decode from cache;
   /// borrows job_.generator() (declared after job_, never rebound).
   coding::DecodeContext decode_ctx_;
-  sim::Accounting accounting_;
-  sim::Time now_ = 0.0;
-  std::size_t rounds_run_ = 0;
-  std::size_t timeouts_ = 0;
-  std::size_t mispredictions_ = 0;
-  std::size_t prediction_samples_ = 0;
 };
-
-/// Sum of round latencies.
-[[nodiscard]] double total_latency(std::span<const RoundResult> results);
 
 }  // namespace s2c2::core

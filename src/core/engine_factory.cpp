@@ -1,0 +1,147 @@
+#include "src/core/engine_factory.h"
+
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+
+namespace s2c2::core {
+
+namespace {
+
+/// Borrowing multiply closure over the params' operator (empty when the
+/// engine is cost-only).
+DirectMultiply direct_multiply(const EngineParams& p) {
+  if (p.dense != nullptr) {
+    return [a = p.dense](std::span<const double> x) { return a->matvec(x); };
+  }
+  if (p.sparse != nullptr) {
+    return [a = p.sparse](std::span<const double> x) { return a->matvec(x); };
+  }
+  return {};
+}
+
+std::unique_ptr<StrategyEngine> make_mds_coded(StrategyKind kind,
+                                               EngineParams p) {
+  EngineConfig cfg;
+  cfg.strategy = kind;
+  cfg.chunks_per_partition = p.chunks_per_partition;
+  cfg.timeout_factor = p.timeout_factor;
+  cfg.straggler_threshold = p.straggler_threshold;
+  cfg.oracle_speeds = p.oracle_speeds;
+  const std::size_t n = p.cluster.num_workers();
+  auto job = p.dense != nullptr
+                 ? CodedMatVecJob(*p.dense, n, p.k, p.chunks_per_partition)
+                 : (p.sparse != nullptr
+                        ? CodedMatVecJob(*p.sparse, n, p.k,
+                                         p.chunks_per_partition)
+                        : CodedMatVecJob::cost_only(p.rows, p.cols, n, p.k,
+                                                    p.chunks_per_partition));
+  return std::make_unique<CodedComputeEngine>(std::move(job),
+                                              std::move(p.cluster), cfg,
+                                              std::move(p.predictor));
+}
+
+std::unique_ptr<StrategyEngine> make_poly_coded(StrategyKind kind,
+                                                EngineParams p) {
+  PolyEngineConfig cfg;
+  cfg.strategy = kind;
+  cfg.chunks_per_partition = p.chunks_per_partition;
+  cfg.timeout_factor = p.timeout_factor;
+  cfg.oracle_speeds = p.oracle_speeds;
+  std::optional<linalg::Matrix> operand;
+  if (p.dense != nullptr) operand = *p.dense;  // the engine encodes a copy
+  const std::size_t rows = p.op_rows();
+  const std::size_t cols = p.op_cols();
+  return std::make_unique<PolyCodedEngine>(std::move(operand), rows, cols,
+                                           p.a_blocks, std::move(p.cluster),
+                                           cfg, std::move(p.predictor));
+}
+
+std::unique_ptr<StrategyEngine> make_replication(EngineParams p) {
+  return std::make_unique<ReplicationEngine>(p.op_rows(), p.op_cols(),
+                                             std::move(p.cluster),
+                                             p.replication,
+                                             direct_multiply(p));
+}
+
+std::unique_ptr<StrategyEngine> make_overdecomp(EngineParams p) {
+  OverDecompConfig cfg = p.overdecomp;
+  cfg.oracle_speeds = p.oracle_speeds;
+  return std::make_unique<OverDecompositionEngine>(
+      p.op_rows(), p.op_cols(), std::move(p.cluster), cfg,
+      std::move(p.predictor), direct_multiply(p));
+}
+
+struct Registry {
+  std::mutex mu;
+  std::map<StrategyKind, EngineFactory> factories;
+};
+
+Registry& registry() {
+  // Seeded on first use instead of static-initializer self-registration:
+  // a static library's linker drops unreferenced registration objects,
+  // and the four built-ins must always be constructible.
+  static Registry* r = [] {
+    auto* reg = new Registry();
+    for (const StrategyKind k :
+         {StrategyKind::kS2C2, StrategyKind::kS2C2Basic, StrategyKind::kMds}) {
+      reg->factories[k] = [k](EngineParams p) {
+        return make_mds_coded(k, std::move(p));
+      };
+    }
+    for (const StrategyKind k :
+         {StrategyKind::kPoly, StrategyKind::kPolyConventional}) {
+      reg->factories[k] = [k](EngineParams p) {
+        return make_poly_coded(k, std::move(p));
+      };
+    }
+    reg->factories[StrategyKind::kReplication] = make_replication;
+    reg->factories[StrategyKind::kOverDecomp] = make_overdecomp;
+    return reg;
+  }();
+  return *r;
+}
+
+}  // namespace
+
+std::unique_ptr<StrategyEngine> make_engine(StrategyKind kind,
+                                            EngineParams params) {
+  EngineFactory factory;
+  {
+    Registry& reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    const auto it = reg.factories.find(kind);
+    if (it == reg.factories.end()) {
+      throw std::invalid_argument(
+          std::string("no engine factory registered for strategy: ") +
+          strategy_name(kind));
+    }
+    factory = it->second;
+  }
+  return factory(std::move(params));
+}
+
+EngineFactory engine_factory(StrategyKind kind) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  const auto it = reg.factories.find(kind);
+  return it != reg.factories.end() ? it->second : EngineFactory{};
+}
+
+void register_engine_factory(StrategyKind kind, EngineFactory factory) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  reg.factories[kind] = std::move(factory);
+}
+
+std::vector<StrategyKind> registered_strategies() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  std::vector<StrategyKind> out;
+  out.reserve(reg.factories.size());
+  for (const auto& [kind, factory] : reg.factories) out.push_back(kind);
+  return out;
+}
+
+}  // namespace s2c2::core

@@ -1,0 +1,91 @@
+// Registry-driven strategy-engine construction — the one way every
+// consumer (harness cells, job driver, report, examples, benches, CLIs)
+// builds an engine from a StrategyKind.
+//
+//   EngineParams p;
+//   p.cluster = spec; p.k = k; p.dense = &a; ...
+//   std::unique_ptr<StrategyEngine> e = make_engine(StrategyKind::kS2C2,
+//                                                   std::move(p));
+//
+// EngineParams is the superset of what the built-in strategies need; each
+// factory reads its slice and ignores the rest (the README strategy table
+// documents which hooks each engine consumes). The registry seeds itself
+// with the four built-in families on first use — a function-local
+// registry rather than static-initializer self-registration, which a
+// static library's linker would silently drop — and register_engine_factory
+// lets downstream strategies (rateless/LT codes, gradient coding; see
+// ROADMAP.md) plug in without touching a single switch ladder.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "src/core/engine.h"
+#include "src/core/overdecomp_engine.h"
+#include "src/core/poly_engine.h"
+#include "src/core/replication_engine.h"
+#include "src/core/strategy_engine.h"
+#include "src/linalg/sparse.h"
+
+namespace s2c2::core {
+
+/// Construction inputs for any strategy. Operator pointers are borrowed:
+/// the matrix must outlive the engine (the coded engines copy what they
+/// encode; the uncoded baselines keep a direct-multiply closure over it).
+struct EngineParams {
+  ClusterSpec cluster;
+
+  /// Functional operator — at most one of dense/sparse. When both are
+  /// null the engine runs cost-only from `rows` x `cols`.
+  const linalg::Matrix* dense = nullptr;
+  const linalg::CsrMatrix* sparse = nullptr;
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+
+  /// Coded-strategy knobs (MDS parameter k, chunk granularity, §4.3
+  /// timeout, basic-S2C2 straggler threshold, poly block split).
+  std::size_t k = 0;
+  std::size_t chunks_per_partition = 24;
+  double timeout_factor = 1.15;
+  double straggler_threshold = 0.5;
+  std::size_t a_blocks = 3;
+
+  /// Speed source for prediction-capable strategies: a trained predictor,
+  /// or oracle_speeds to read the true trace speed at round start.
+  bool oracle_speeds = false;
+  std::unique_ptr<predict::SpeedPredictor> predictor;
+
+  /// Baseline-specific knobs.
+  ReplicationConfig replication;
+  OverDecompConfig overdecomp;
+
+  [[nodiscard]] std::size_t op_rows() const {
+    return dense != nullptr ? dense->rows()
+                            : (sparse != nullptr ? sparse->rows() : rows);
+  }
+  [[nodiscard]] std::size_t op_cols() const {
+    return dense != nullptr ? dense->cols()
+                            : (sparse != nullptr ? sparse->cols() : cols);
+  }
+};
+
+using EngineFactory =
+    std::function<std::unique_ptr<StrategyEngine>(EngineParams)>;
+
+/// Builds an engine for `kind`. Throws std::invalid_argument when no
+/// factory is registered for the kind.
+[[nodiscard]] std::unique_ptr<StrategyEngine> make_engine(StrategyKind kind,
+                                                          EngineParams params);
+
+/// Registers (or replaces) the factory for a kind. The built-in kinds are
+/// pre-registered; use this to plug in new strategies.
+void register_engine_factory(StrategyKind kind, EngineFactory factory);
+
+/// The currently registered factory for a kind (empty when none) —
+/// lets callers that temporarily override a binding restore it.
+[[nodiscard]] EngineFactory engine_factory(StrategyKind kind);
+
+/// Kinds currently constructible through make_engine, in enum order.
+[[nodiscard]] std::vector<StrategyKind> registered_strategies();
+
+}  // namespace s2c2::core

@@ -17,20 +17,18 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 OverDecompositionEngine::OverDecompositionEngine(
     std::size_t data_rows, std::size_t data_cols, ClusterSpec spec,
     OverDecompConfig config,
-    std::unique_ptr<predict::SpeedPredictor> predictor)
-    : data_rows_(data_rows),
+    std::unique_ptr<predict::SpeedPredictor> predictor, DirectMultiply direct)
+    : StrategyEngine(StrategyKind::kOverDecomp, std::move(spec),
+                     std::move(predictor)),
+      data_rows_(data_rows),
       data_cols_(data_cols),
-      spec_(std::move(spec)),
       config_(config),
-      predictor_(std::move(predictor)),
-      accounting_(spec_.num_workers()) {
+      direct_(std::move(direct)) {
   const std::size_t n = spec_.num_workers();
   S2C2_REQUIRE(n >= 2, "need at least two workers");
   S2C2_REQUIRE(config_.decomposition_factor >= 1, "decomposition factor >= 1");
   S2C2_REQUIRE(config_.replication_factor >= 1.0, "replication factor >= 1");
-  if (!predictor_ && !config_.oracle_speeds) {
-    predictor_ = std::make_unique<predict::LastValuePredictor>(n);
-  }
+  ensure_predictor(config_.oracle_speeds);
   num_partitions_ = n * config_.decomposition_factor;
   partition_rows_ = (data_rows_ + num_partitions_ - 1) / num_partitions_;
   // Primary copies: worker w holds partitions [w*F, (w+1)*F). Extra copies
@@ -50,7 +48,7 @@ OverDecompositionEngine::OverDecompositionEngine(
   }
 }
 
-RoundResult OverDecompositionEngine::run_round() {
+RoundResult OverDecompositionEngine::run_round(std::span<const double> x) {
   const std::size_t n = spec_.num_workers();
   const sim::Time t0 = now_;
   const double task_work =
@@ -174,7 +172,8 @@ RoundResult OverDecompositionEngine::run_round() {
                             static_cast<double>(x_bytes));
     // Execution speed over the compute window (migration waits included —
     // that slot genuinely was not computing); result transfer and the
-    // initial broadcast stay out (see the matching note in engine.cpp).
+    // initial broadcast stay out (see the matching note in
+    // round_executor.cpp).
     const double obs =
         static_cast<double>(tasks) * task_work / (done - x_arrival);
     result.observed_speeds[w] = obs;
@@ -182,16 +181,15 @@ RoundResult OverDecompositionEngine::run_round() {
   }
   result.stats.coverage = end;  // uncoded: no master decode after collection
   result.stats.end = end;
-  now_ = end;
-  return result;
-}
 
-std::vector<RoundResult> OverDecompositionEngine::run_rounds(
-    std::size_t rounds) {
-  std::vector<RoundResult> out;
-  out.reserve(rounds);
-  for (std::size_t i = 0; i < rounds; ++i) out.push_back(run_round());
-  return out;
+  // Uncoded execution computes the exact product by construction: forward
+  // it so functional loops go through the same code path as the coded
+  // engines (mirrors the PR 3 run_rounds fix).
+  if (direct_ && !x.empty()) result.y = direct_(x);
+
+  now_ = end;
+  ++rounds_run_;
+  return result;
 }
 
 std::size_t OverDecompositionEngine::storage_bytes(std::size_t worker) const {

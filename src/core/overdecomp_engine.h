@@ -10,15 +10,20 @@
 // With accurate predictions and stable speeds this baseline matches
 // S2C2's latency (Fig 8); under volatile speeds its migrations put data
 // movement back on the critical path and it loses (Fig 10).
+//
+// A StrategyEngine with bespoke dynamics: predictions drive the
+// rebalancing but there is no coding and no §4.3 recovery window, so this
+// engine implements run_round directly instead of deriving from
+// RoundExecutor. In functional mode it forwards the exact product through
+// the DirectMultiply closure. Construct directly, or through make_engine
+// in engine_factory.h.
 #pragma once
 
 #include <memory>
 #include <set>
 #include <vector>
 
-#include "src/core/engine.h"
-#include "src/core/strategy_config.h"
-#include "src/predict/predictors.h"
+#include "src/core/strategy_engine.h"
 
 namespace s2c2::core {
 
@@ -28,20 +33,21 @@ struct OverDecompConfig {
   bool oracle_speeds = false;
 };
 
-class OverDecompositionEngine {
+class OverDecompositionEngine final : public StrategyEngine {
  public:
+  /// `direct` (optional) enables functional mode: run_round(x) returns
+  /// the exact product direct(x). The closure's operator must outlive the
+  /// engine.
   OverDecompositionEngine(std::size_t data_rows, std::size_t data_cols,
                           ClusterSpec spec, OverDecompConfig config,
                           std::unique_ptr<predict::SpeedPredictor> predictor =
-                              nullptr);
+                              nullptr,
+                          DirectMultiply direct = {});
 
-  RoundResult run_round();
-  std::vector<RoundResult> run_rounds(std::size_t rounds);
+  /// One rebalanced iteration; with a functional operator and a non-empty
+  /// x the exact product is forwarded in RoundResult::y.
+  RoundResult run_round(std::span<const double> x = {}) override;
 
-  [[nodiscard]] sim::Time now() const noexcept { return now_; }
-  [[nodiscard]] const sim::Accounting& accounting() const noexcept {
-    return accounting_;
-  }
   /// Bytes of partition data currently stored at `worker` (grows with
   /// migrations — the storage-cost axis of the comparison).
   [[nodiscard]] std::size_t storage_bytes(std::size_t worker) const;
@@ -52,12 +58,9 @@ class OverDecompositionEngine {
  private:
   std::size_t data_rows_;
   std::size_t data_cols_;
-  ClusterSpec spec_;
   OverDecompConfig config_;
-  std::unique_ptr<predict::SpeedPredictor> predictor_;
+  DirectMultiply direct_;
   std::vector<std::set<std::size_t>> holders_;  // per partition
-  sim::Accounting accounting_;
-  sim::Time now_ = 0.0;
   std::size_t migrations_ = 0;
   std::size_t num_partitions_ = 0;
   std::size_t partition_rows_ = 0;

@@ -1,236 +1,79 @@
 #include "src/core/poly_engine.h"
 
 #include <algorithm>
-#include <cmath>
-#include <limits>
-#include <stdexcept>
+#include <utility>
 
-#include "src/sched/allocation.h"
 #include "src/sched/coverage.h"
-#include "src/sched/reassignment.h"
 #include "src/util/require.h"
 
 namespace s2c2::core {
 
 namespace {
-constexpr double kInf = std::numeric_limits<double>::infinity();
+
+StrategyKind validated_kind(const PolyEngineConfig& config) {
+  S2C2_REQUIRE(config.strategy == StrategyKind::kPoly ||
+                   config.strategy == StrategyKind::kPolyConventional,
+               "PolyCodedEngine runs the polynomial-coded strategies only "
+               "(poly, poly-conventional)");
+  return config.strategy;
 }
+
+}  // namespace
 
 PolyCodedEngine::PolyCodedEngine(
     std::optional<linalg::Matrix> a_mat, std::size_t n_rows,
     std::size_t d_cols, std::size_t a_blocks, ClusterSpec spec,
     PolyEngineConfig config,
     std::unique_ptr<predict::SpeedPredictor> predictor)
-    : code_(spec.num_workers(), a_blocks),
+    : RoundExecutor(validated_kind(config), std::move(spec),
+                    std::move(predictor), config.oracle_speeds,
+                    config.timeout_factor, /*straggler_threshold=*/0.5,
+                    config.chunks_per_partition),
+      code_(spec_.num_workers(), a_blocks),
       decode_ctx_(code_.make_decode_context()),
       n_rows_(n_rows),
-      d_cols_(d_cols),
-      spec_(std::move(spec)),
-      config_(config),
-      predictor_(std::move(predictor)),
-      accounting_(spec_.num_workers()) {
+      d_cols_(d_cols) {
   S2C2_REQUIRE(d_cols_ % a_blocks == 0, "d must be divisible by a");
   out_cols_ = d_cols_ / a_blocks;
-  const std::size_t c = config_.chunks_per_partition;
+  const std::size_t c = config.chunks_per_partition;
   out_rows_ = (out_cols_ + c - 1) / c * c;  // output rows padded to chunks
+  rows_per_chunk_ = out_rows_ / c;
   S2C2_REQUIRE(out_rows_ == out_cols_ || !a_mat.has_value(),
                "functional mode requires d/a divisible by chunk count");
+  // Cost model: fixed diag(x)·B̃ scaling + per-chunk block-product work.
+  pre_work_ = static_cast<double>(n_rows_) * static_cast<double>(out_cols_) /
+              spec_.worker_flops;
+  chunk_work_ = 2.0 * static_cast<double>(rows_per_chunk_) *
+                static_cast<double>(n_rows_) *
+                static_cast<double>(out_cols_) / spec_.worker_flops;
   if (a_mat.has_value()) {
     S2C2_REQUIRE(a_mat->rows() == n_rows_ && a_mat->cols() == d_cols_,
                  "operand shape mismatch");
     operands_ = code_.encode(*a_mat);
   }
-  if (!predictor_ && !config_.oracle_speeds) {
-    predictor_ =
-        std::make_unique<predict::LastValuePredictor>(spec_.num_workers());
-  }
 }
 
-PolyRoundResult PolyCodedEngine::run_round(std::span<const double> x) {
-  const std::size_t n = code_.n();
-  const std::size_t m = code_.required_responses();  // a²
-  const std::size_t c = config_.chunks_per_partition;
-  const std::size_t rpc = out_rows_ / c;
-  const sim::Time t0 = now_;
-  const bool functional = !operands_.empty() && !x.empty();
-
-  // Cost model: fixed diag(x)·B̃ scaling + per-chunk block-product work.
-  const double pre_work = static_cast<double>(n_rows_) *
-                          static_cast<double>(out_cols_) / spec_.worker_flops;
-  const double chunk_work = 2.0 * static_cast<double>(rpc) *
-                            static_cast<double>(n_rows_) *
-                            static_cast<double>(out_cols_) /
-                            spec_.worker_flops;
-  const std::size_t x_bytes = n_rows_ * 8;
-  const std::size_t chunk_bytes = rpc * out_cols_ * 8;
-
-  // Allocation.
-  std::vector<double> speeds(n, 1.0);
-  if (config_.oracle_speeds) {
-    for (std::size_t w = 0; w < n; ++w) speeds[w] = spec_.traces[w].speed_at(t0);
-  } else {
-    for (std::size_t w = 0; w < n; ++w) speeds[w] = predictor_->predict(w);
-  }
-  sched::Allocation alloc;
-  if (config_.use_s2c2) {
-    std::vector<double> s = speeds;
-    std::size_t positive = 0;
-    for (double v : s) {
-      if (v > 0.0) ++positive;
-    }
-    if (positive < m) {
-      for (double& v : s) v = std::max(v, 0.05);
-    }
-    alloc = sched::proportional_allocation(s, m, c);
-  } else {
-    alloc = sched::full_allocation(n, c);
-  }
-
-  // Worker timings.
-  struct Timing {
-    std::size_t chunks = 0;
-    sim::Time x_arrival = 0.0;
-    sim::Time compute_done = kInf;
-    sim::Time response = kInf;
-  };
-  std::vector<Timing> timing(n);
-  std::vector<std::size_t> assigned;
-  for (std::size_t w = 0; w < n; ++w) {
-    timing[w].chunks = alloc.per_worker[w].count;
-    if (timing[w].chunks == 0) continue;
-    assigned.push_back(w);
-    timing[w].x_arrival = t0 + spec_.net.transfer_time(x_bytes);
-    const double work =
-        pre_work + static_cast<double>(timing[w].chunks) * chunk_work;
-    const sim::Time done =
-        spec_.traces[w].time_to_complete(timing[w].x_arrival, work);
-    timing[w].compute_done = done;
-    timing[w].response =
-        done == kInf ? kInf
-                     : done + spec_.net.transfer_time(timing[w].chunks *
-                                                      chunk_bytes);
-  }
-  std::vector<std::size_t> by_response = assigned;
-  std::sort(by_response.begin(), by_response.end(),
-            [&](std::size_t a, std::size_t b) {
-              return timing[a].response < timing[b].response;
-            });
-  std::size_t finite = 0;
-  for (std::size_t w : by_response) {
-    if (timing[w].response < kInf) ++finite;
-  }
-  if (finite < m) {
-    throw std::runtime_error("cluster failure: fewer than a^2 responders");
-  }
-
-  PolyRoundResult result;
-  result.stats.start = t0;
-  std::vector<bool> used(n, false);
-  std::vector<std::vector<std::size_t>> extra_chunks(n);
-  sim::Time coverage_time = 0.0;
-  sim::Time cancel_time = 0.0;
-
-  if (!config_.use_s2c2) {
-    // Conventional: fastest a² full outputs.
-    const std::size_t mth = by_response[m - 1];
-    coverage_time = timing[mth].response;
-    cancel_time = coverage_time;
-    for (std::size_t i = 0; i < m; ++i) used[by_response[i]] = true;
-  } else {
-    // Reference = the a²-th fastest response (see the MDS engine for why
-    // this beats the first-a² average under strong speed spread).
-    const double avg = timing[by_response[m - 1]].response - t0;
-    sim::Time deadline = t0 + config_.timeout_factor * avg;
-    std::size_t r_count = 0;
-    while (r_count < by_response.size() &&
-           timing[by_response[r_count]].response <= deadline) {
-      ++r_count;
-    }
-    if (r_count < m) {
-      // Extend to the a²-th fastest response and re-scan so workers tied
-      // at the extended deadline are collected (same §4.3 semantics as the
-      // MDS engine).
-      deadline = timing[by_response[m - 1]].response;
-      r_count = m;
-      while (r_count < by_response.size() &&
-             timing[by_response[r_count]].response <= deadline) {
-        ++r_count;
-      }
-    }
-    for (std::size_t i = 0; i < r_count; ++i) used[by_response[i]] = true;
-    result.stats.timeout_fired = r_count != assigned.size();
-    coverage_time = timing[by_response[r_count - 1]].response;
-    cancel_time = deadline;
-
-    if (result.stats.timeout_fired) {
-      const auto alloc_chunk_workers = sched::chunk_workers(alloc);
-      std::vector<std::size_t> deficient;
-      std::vector<std::vector<std::size_t>> have;
-      std::vector<std::size_t> needed;
-      for (std::size_t ch = 0; ch < c; ++ch) {
-        std::vector<std::size_t> responders;
-        for (std::size_t w : alloc_chunk_workers[ch]) {
-          if (used[w]) responders.push_back(w);
-        }
-        if (responders.size() < m) {
-          deficient.push_back(ch);
-          needed.push_back(m - responders.size());
-          have.push_back(std::move(responders));
-        }
-      }
-      if (!deficient.empty()) {
-        std::vector<double> rspeeds(n, 0.0);
-        for (std::size_t w = 0; w < n; ++w) {
-          if (used[w]) rspeeds[w] = std::max(speeds[w], 1e-3);
-        }
-        sched::ReassignmentPlan plan;
-        try {
-          plan = sched::plan_reassignment(deficient, have, needed, rspeeds);
-        } catch (const std::invalid_argument& e) {
-          // An infeasible recovery is a cluster failure (data for the
-          // scenario matrix), not a caller error.
-          throw std::runtime_error(
-              std::string("cluster failure: poly recovery infeasible: ") +
-              e.what());
-        }
-        result.stats.reassigned_chunks = plan.total_chunks();
-        for (std::size_t w = 0; w < n; ++w) {
-          const auto& extras = plan.chunks_per_worker[w];
-          if (extras.empty()) continue;
-          extra_chunks[w] = extras;
-          const sim::Time start =
-              std::max(deadline, timing[w].response) + spec_.net.latency_s;
-          const sim::Time done = spec_.traces[w].time_to_complete(
-              start, static_cast<double>(extras.size()) * chunk_work);
-          if (done == kInf) {
-            throw std::runtime_error("cluster failure during poly recovery");
-          }
-          coverage_time = std::max(
-              coverage_time,
-              done + spec_.net.transfer_time(extras.size() * chunk_bytes));
-        }
-      }
-    }
-  }
-
-  // Decode cost: one a²-dim Vandermonde system per maximal run of chunks
-  // sharing a decode subset, charged through the persistent context — the
-  // Björck–Pereyra solve is O(m²) per RHS column with no factorization at
-  // all (the seed's dense model is decode_flops() in strategy_config.h).
-  // Subsets mirror the functional decoder's keys: the m smallest
-  // responding worker ids per chunk.
-  const auto alloc_chunk_workers_final = sched::chunk_workers(alloc);
-  // Invert the (rare) reassigned extras into per-chunk lists once, instead
-  // of scanning every worker's extras per chunk.
+std::vector<std::vector<std::size_t>> PolyCodedEngine::decode_subsets(
+    const RoundLedger& ledger) const {
+  // Subsets mirror the functional decoder's keys: the a² smallest
+  // responding worker ids per chunk. Invert the (rare) reassigned extras
+  // into per-chunk lists once, instead of scanning every worker's extras
+  // per chunk.
+  const std::size_t n = spec_.num_workers();
+  const std::size_t m = code_.required_responses();
+  const std::size_t c = ledger.alloc.chunks_per_partition;
+  const auto alloc_chunk_workers = sched::chunk_workers(ledger.alloc);
   std::vector<std::vector<std::size_t>> extra_workers(c);
   for (std::size_t w = 0; w < n; ++w) {
-    for (std::size_t ch : extra_chunks[w]) extra_workers[ch].push_back(w);
+    for (std::size_t ch : ledger.extra_chunks[w]) {
+      extra_workers[ch].push_back(w);
+    }
   }
-  std::vector<std::vector<std::size_t>> decode_subsets(c);
+  std::vector<std::vector<std::size_t>> subsets(c);
   for (std::size_t ch = 0; ch < c; ++ch) {
-    std::vector<std::size_t>& responders = decode_subsets[ch];
-    for (std::size_t w : alloc_chunk_workers_final[ch]) {
-      if (used[w]) responders.push_back(w);
+    std::vector<std::size_t>& responders = subsets[ch];
+    for (std::size_t w : alloc_chunk_workers[ch]) {
+      if (ledger.used[w]) responders.push_back(w);
     }
     responders.insert(responders.end(), extra_workers[ch].begin(),
                       extra_workers[ch].end());
@@ -239,89 +82,33 @@ PolyRoundResult PolyCodedEngine::run_round(std::span<const double> x) {
                      responders.end());
     responders.resize(m);  // m smallest ids = the decoder's arrival subset
   }
-  double dec_flops = 0.0;
-  for (std::size_t ch = 0; ch < c;) {
-    std::size_t e = ch + 1;
-    while (e < c && decode_subsets[e] == decode_subsets[ch]) ++e;
-    dec_flops += decode_ctx_
-                     .charge(decode_subsets[ch],
-                             (e - ch) * rpc * out_cols_)
-                     .flops;
-    ch = e;
-  }
-  const sim::Time decode_time = dec_flops / spec_.master_flops;
-  result.stats.coverage = coverage_time;
-  result.stats.end = coverage_time + decode_time;
-
-  // Accounting + predictor updates.
-  for (std::size_t w : assigned) {
-    const double work =
-        pre_work + static_cast<double>(timing[w].chunks) * chunk_work;
-    double obs;
-    if (used[w]) {
-      accounting_.add_useful(
-          w, work + static_cast<double>(extra_chunks[w].size()) * chunk_work);
-      // Execution speed over the compute window only — transfers stay out
-      // of the denominator (see the matching note in engine.cpp).
-      obs = work / (timing[w].compute_done - timing[w].x_arrival);
-    } else {
-      const sim::Time until = std::max(cancel_time, timing[w].x_arrival + 1e-9);
-      const double done = std::min(
-          work, spec_.traces[w].work_between(timing[w].x_arrival, until));
-      accounting_.add_wasted(w, done);
-      obs = done / (until - timing[w].x_arrival);
-    }
-    if (predictor_) predictor_->observe(w, obs);
-  }
-  for (std::size_t w = 0; w < n; ++w) {
-    if (timing[w].chunks == 0 && predictor_) {
-      // Probe idle workers at coverage time so the observation reflects the
-      // same pre-decode window as every busy worker's (see the MDS engine).
-      predictor_->observe(w, spec_.traces[w].speed_at(coverage_time));
-    }
-  }
-
-  // Functional decode.
-  if (functional) {
-    S2C2_REQUIRE(x.size() == n_rows_, "x size mismatch");
-    coding::PolyCode::Decoder decoder(code_, out_rows_, c, out_cols_,
-                                      &decode_ctx_);
-    for (std::size_t w = 0; w < n; ++w) {
-      if (!used[w]) continue;
-      for (std::size_t ch : alloc.chunks_of(w)) {
-        decoder.add_chunk_result(
-            w, ch,
-            coding::PolyCode::compute_rows(operands_[w], x, ch * rpc,
-                                           (ch + 1) * rpc));
-      }
-      for (std::size_t ch : extra_chunks[w]) {
-        decoder.add_chunk_result(
-            w, ch,
-            coding::PolyCode::compute_rows(operands_[w], x, ch * rpc,
-                                           (ch + 1) * rpc));
-      }
-    }
-    result.hessian = decoder.decode();
-  }
-
-  now_ = result.stats.end;
-  ++rounds_run_;
-  if (result.stats.timeout_fired) ++timeouts_;
-  return result;
+  return subsets;
 }
 
-std::vector<PolyRoundResult> PolyCodedEngine::run_rounds(std::size_t rounds) {
-  std::vector<PolyRoundResult> out;
-  out.reserve(rounds);
-  for (std::size_t i = 0; i < rounds; ++i) out.push_back(run_round());
-  return out;
-}
-
-double PolyCodedEngine::timeout_rate() const {
-  return rounds_run_ > 0
-             ? static_cast<double>(timeouts_) /
-                   static_cast<double>(rounds_run_)
-             : 0.0;
+void PolyCodedEngine::decode_product(RoundResult& result,
+                                     const RoundLedger& ledger,
+                                     std::span<const double> x) {
+  S2C2_REQUIRE(x.size() == n_rows_, "x size mismatch");
+  coding::PolyCode::Decoder decoder(code_, out_rows_,
+                                    ledger.alloc.chunks_per_partition,
+                                    out_cols_, &decode_ctx_);
+  const std::size_t rpc = rows_per_chunk_;
+  for (std::size_t w = 0; w < spec_.num_workers(); ++w) {
+    if (!ledger.used[w]) continue;
+    for (std::size_t ch : ledger.alloc.chunks_of(w)) {
+      decoder.add_chunk_result(
+          w, ch,
+          coding::PolyCode::compute_rows(operands_[w], x, ch * rpc,
+                                         (ch + 1) * rpc));
+    }
+    for (std::size_t ch : ledger.extra_chunks[w]) {
+      decoder.add_chunk_result(
+          w, ch,
+          coding::PolyCode::compute_rows(operands_[w], x, ch * rpc,
+                                         (ch + 1) * rpc));
+    }
+  }
+  result.hessian = decoder.decode();
 }
 
 }  // namespace s2c2::core

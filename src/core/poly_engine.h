@@ -2,42 +2,42 @@
 // §7.2.3): H = Aᵀ diag(x) A over n workers, a x a block decomposition,
 // decode from any a² = required_responses() workers per output row.
 //
-// The S2C2 variant allocates output-row chunks proportionally to predicted
-// speeds with coverage exactly a² (the same allocator as the MDS case —
-// the whole point of §5 is that S2C2 is code-agnostic), plus the same
-// timeout/reassignment recovery. The conventional variant assigns every
+// The kPoly strategy allocates output-row chunks proportionally to
+// predicted speeds with coverage exactly a² (the same allocator as the
+// MDS case — the whole point of §5 is that S2C2 is code-agnostic), plus
+// the same timeout/reassignment recovery. kPolyConventional assigns every
 // worker its full output and waits for the fastest a².
 //
-// Cost model notes mirrored from the paper: the diag(x)·B̃ scaling is a
-// fixed per-round cost S2C2 cannot squeeze, and the master's decode is a
-// dense a²-system solve over every Hessian entry — both reasons measured
-// poly gains trail the ideal (n - a²)/a².
+// The round lifecycle lives in core::RoundExecutor; this class is reduced
+// to the polynomial-coding ingredients: the a² quorum, the fixed
+// diag(x)·B̃ pre-scaling in the cost model (a per-round cost S2C2 cannot
+// squeeze), the Vandermonde decode subsets/context, and the numeric
+// Hessian decode. The master's decode is a dense a²-system solve over
+// every Hessian entry — both reasons measured poly gains trail the ideal
+// (n - a²)/a². Construct directly, or through make_engine in
+// engine_factory.h.
 #pragma once
 
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "src/coding/poly_code.h"
-#include "src/core/engine.h"
+#include "src/core/round_executor.h"
 #include "src/core/strategy_config.h"
-#include "src/predict/predictors.h"
 
 namespace s2c2::core {
 
 struct PolyEngineConfig {
-  bool use_s2c2 = true;  // false = conventional polynomial coding
+  /// kPoly (S2C2 allocation + §4.3 recovery) or kPolyConventional.
+  StrategyKind strategy = StrategyKind::kPoly;
   std::size_t chunks_per_partition = 24;
   double timeout_factor = 1.15;
   bool oracle_speeds = false;
 };
 
-struct PolyRoundResult {
-  sim::RoundStats stats;
-  std::optional<linalg::Matrix> hessian;  // functional mode
-};
-
-class PolyCodedEngine {
+class PolyCodedEngine final : public RoundExecutor {
  public:
   /// Functional: encodes `a_mat` (N x d). Cost-only: pass std::nullopt with
   /// explicit dims.
@@ -47,40 +47,75 @@ class PolyCodedEngine {
                   std::unique_ptr<predict::SpeedPredictor> predictor =
                       nullptr);
 
-  /// One Hessian evaluation round; pass x (size N) for a functional decode.
-  PolyRoundResult run_round(std::span<const double> x = {});
-  std::vector<PolyRoundResult> run_rounds(std::size_t rounds);
-
-  [[nodiscard]] sim::Time now() const noexcept { return now_; }
-  [[nodiscard]] const sim::Accounting& accounting() const noexcept {
-    return accounting_;
-  }
   [[nodiscard]] const coding::PolyCode& code() const noexcept { return code_; }
-  [[nodiscard]] double timeout_rate() const;
 
   /// Decode telemetry across rounds (structured Vandermonde solves via
   /// coding/decode_context.h; cost model in docs/PERFORMANCE.md).
-  [[nodiscard]] const coding::DecodeContextStats& decode_stats()
-      const noexcept {
+  [[nodiscard]] coding::DecodeContextStats decode_stats() const override {
     return decode_ctx_.stats();
+  }
+
+ protected:
+  // RoundExecutor hooks (see round_executor.h for the lifecycle).
+  [[nodiscard]] std::size_t quorum() const override {
+    return code_.required_responses();  // a²
+  }
+  [[nodiscard]] std::size_t x_bytes() const override { return n_rows_ * 8; }
+  [[nodiscard]] std::size_t chunk_result_bytes() const override {
+    return rows_per_chunk_ * out_cols_ * 8;
+  }
+  [[nodiscard]] double dispatch_work(std::size_t chunks) const override {
+    return pre_work_ + static_cast<double>(chunks) * chunk_work_;
+  }
+  [[nodiscard]] double accounted_work(std::size_t chunks) const override {
+    return pre_work_ + static_cast<double>(chunks) * chunk_work_;
+  }
+  [[nodiscard]] double recovery_chunk_work() const override {
+    return chunk_work_;
+  }
+  [[nodiscard]] bool recovery_survives_death() const override { return false; }
+  [[nodiscard]] const char* quorum_failure_error() const override {
+    return "cluster failure: fewer than a^2 responders";
+  }
+  [[nodiscard]] std::string recovery_infeasible_error(
+      const char* what) const override {
+    // An infeasible recovery is a cluster failure (data for the scenario
+    // matrix), not a caller error.
+    return std::string("cluster failure: poly recovery infeasible: ") + what;
+  }
+  [[nodiscard]] const char* recovery_death_error() const override {
+    return "cluster failure during poly recovery";
+  }
+  [[nodiscard]] coding::DecodeContext& decode_context() override {
+    return decode_ctx_;
+  }
+  [[nodiscard]] std::vector<std::vector<std::size_t>> decode_subsets(
+      const RoundLedger& ledger) const override;
+  [[nodiscard]] std::size_t decode_values_per_chunk() const override {
+    return rows_per_chunk_ * out_cols_;
+  }
+  [[nodiscard]] bool functional_round(
+      std::span<const double> x) const override {
+    return !operands_.empty() && !x.empty();
+  }
+  void decode_product(RoundResult& result, const RoundLedger& ledger,
+                      std::span<const double> x) override;
+  [[nodiscard]] AccountingStyle accounting_style() const override {
+    return AccountingStyle::kComputeOnly;
   }
 
  private:
   coding::PolyCode code_;
   /// Persists across rounds; Vandermonde backend over code_'s points.
   coding::DecodeContext decode_ctx_;
-  std::size_t n_rows_;   // N
-  std::size_t d_cols_;   // d
-  std::size_t out_rows_; // d / a (padded to chunk multiple)
-  std::size_t out_cols_; // d / a
-  ClusterSpec spec_;
-  PolyEngineConfig config_;
-  std::unique_ptr<predict::SpeedPredictor> predictor_;
+  std::size_t n_rows_;          // N
+  std::size_t d_cols_;          // d
+  std::size_t out_rows_;        // d / a (padded to chunk multiple)
+  std::size_t out_cols_;        // d / a
+  std::size_t rows_per_chunk_;  // out_rows_ / chunks_per_partition
+  double pre_work_ = 0.0;   // fixed diag(x)·B̃ scaling per round
+  double chunk_work_ = 0.0;  // per-chunk block-product work
   std::vector<coding::PolyCode::WorkerOperands> operands_;  // functional
-  sim::Accounting accounting_;
-  sim::Time now_ = 0.0;
-  std::size_t rounds_run_ = 0;
-  std::size_t timeouts_ = 0;
 };
 
 }  // namespace s2c2::core

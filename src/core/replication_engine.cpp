@@ -16,12 +16,13 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 
 ReplicationEngine::ReplicationEngine(std::size_t data_rows,
                                      std::size_t data_cols, ClusterSpec spec,
-                                     ReplicationConfig config)
-    : data_rows_(data_rows),
+                                     ReplicationConfig config,
+                                     DirectMultiply direct)
+    : StrategyEngine(StrategyKind::kReplication, std::move(spec), nullptr),
+      data_rows_(data_rows),
       data_cols_(data_cols),
-      spec_(std::move(spec)),
       config_(config),
-      accounting_(spec_.num_workers()) {
+      direct_(std::move(direct)) {
   const std::size_t n = spec_.num_workers();
   S2C2_REQUIRE(n >= 2, "need at least two workers");
   S2C2_REQUIRE(config_.replication >= 1 && config_.replication <= n,
@@ -48,7 +49,7 @@ ReplicationEngine::ReplicationEngine(std::size_t data_rows,
   }
 }
 
-RoundResult ReplicationEngine::run_round() {
+RoundResult ReplicationEngine::run_round(std::span<const double> x) {
   const std::size_t n = spec_.num_workers();
   const sim::Time t0 = now_;
   const std::size_t task_rows = (data_rows_ + n - 1) / n;
@@ -172,15 +173,15 @@ RoundResult ReplicationEngine::run_round() {
   }
   result.stats.coverage = end;  // uncoded: no master decode after collection
   result.stats.end = end;
-  now_ = end;
-  return result;
-}
 
-std::vector<RoundResult> ReplicationEngine::run_rounds(std::size_t rounds) {
-  std::vector<RoundResult> out;
-  out.reserve(rounds);
-  for (std::size_t i = 0; i < rounds; ++i) out.push_back(run_round());
-  return out;
+  // Uncoded execution computes the exact product by construction: forward
+  // it so functional loops go through the same code path as the coded
+  // engines (mirrors the PR 3 run_rounds fix).
+  if (direct_ && !x.empty()) result.y = direct_(x);
+
+  now_ = end;
+  ++rounds_run_;
+  return result;
 }
 
 }  // namespace s2c2::core

@@ -11,13 +11,20 @@
 // non-holder pays the partition transfer on its critical path, which is
 // what makes this baseline degrade super-linearly once the straggler
 // count approaches the replication factor (Figs 1, 6, 7).
+//
+// A StrategyEngine with bespoke dynamics: no coding, no predictions, no
+// §4.3 recovery window — the speculation race IS the collection policy,
+// so this engine implements run_round directly instead of deriving from
+// RoundExecutor. In functional mode it forwards the exact product through
+// the DirectMultiply closure (uncoded execution computes the true result
+// by construction), so convergence loops drive it exactly like the coded
+// engines. Construct directly, or through make_engine in engine_factory.h.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
-#include "src/core/engine.h"
-#include "src/core/strategy_config.h"
+#include "src/core/strategy_engine.h"
 
 namespace s2c2::core {
 
@@ -38,20 +45,20 @@ struct ReplicationConfig {
   bool allow_data_movement = true;
 };
 
-class ReplicationEngine {
+class ReplicationEngine final : public StrategyEngine {
  public:
+  /// `direct` (optional) enables functional mode: run_round(x) returns
+  /// the exact product direct(x). The closure's operator must outlive the
+  /// engine.
   ReplicationEngine(std::size_t data_rows, std::size_t data_cols,
-                    ClusterSpec spec, ReplicationConfig config);
+                    ClusterSpec spec, ReplicationConfig config,
+                    DirectMultiply direct = {});
 
-  /// One iteration (latency shape only; the uncoded result needs no decode).
-  RoundResult run_round();
+  /// One iteration. Latency comes from the simulated speculation race;
+  /// with a functional operator and a non-empty x the exact product is
+  /// forwarded in RoundResult::y (no decode — the result is uncoded).
+  RoundResult run_round(std::span<const double> x = {}) override;
 
-  std::vector<RoundResult> run_rounds(std::size_t rounds);
-
-  [[nodiscard]] sim::Time now() const noexcept { return now_; }
-  [[nodiscard]] const sim::Accounting& accounting() const noexcept {
-    return accounting_;
-  }
   /// Replica holders of each partition (first entry = primary).
   [[nodiscard]] const std::vector<std::vector<std::size_t>>& placement()
       const noexcept {
@@ -61,11 +68,9 @@ class ReplicationEngine {
  private:
   std::size_t data_rows_;
   std::size_t data_cols_;
-  ClusterSpec spec_;
   ReplicationConfig config_;
+  DirectMultiply direct_;
   std::vector<std::vector<std::size_t>> placement_;
-  sim::Accounting accounting_;
-  sim::Time now_ = 0.0;
 };
 
 }  // namespace s2c2::core

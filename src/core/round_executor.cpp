@@ -1,0 +1,451 @@
+#include "src/core/round_executor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+#include "src/sched/coverage.h"
+#include "src/sched/reassignment.h"
+#include "src/util/require.h"
+#include "src/util/stats.h"
+
+namespace s2c2::core {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Finite stand-in for "until forever" when integrating a trace that ends at
+// zero speed (a dead worker's progress before its death).
+constexpr double kFarHorizon = 1e300;
+}  // namespace
+
+RoundExecutor::RoundExecutor(StrategyKind kind, ClusterSpec spec,
+                             std::unique_ptr<predict::SpeedPredictor>
+                                 predictor,
+                             bool oracle_speeds, double timeout_factor,
+                             double straggler_threshold,
+                             std::size_t chunks_per_partition)
+    : StrategyEngine(kind, std::move(spec), std::move(predictor)),
+      oracle_speeds_(oracle_speeds),
+      timeout_factor_(timeout_factor),
+      straggler_threshold_(straggler_threshold),
+      chunks_per_partition_(chunks_per_partition) {
+  ensure_predictor(oracle_speeds_);
+}
+
+std::vector<double> RoundExecutor::predict_speeds(sim::Time t0) {
+  const std::size_t n = spec_.num_workers();
+  std::vector<double> speeds(n, 1.0);
+  if (oracle_speeds_) {
+    for (std::size_t w = 0; w < n; ++w) {
+      speeds[w] = spec_.traces[w].speed_at(t0);
+    }
+  } else {
+    for (std::size_t w = 0; w < n; ++w) {
+      speeds[w] = predictor_->predict(w);
+    }
+  }
+  return speeds;
+}
+
+sched::Allocation RoundExecutor::allocate(
+    std::span<const double> speeds) const {
+  const std::size_t n = spec_.num_workers();
+  const std::size_t q = quorum();
+  const std::size_t c = chunks_per_partition_;
+  switch (kind()) {
+    case StrategyKind::kMds:
+    case StrategyKind::kPolyConventional:
+      return sched::full_allocation(n, c);
+    case StrategyKind::kS2C2Basic: {
+      // Flag stragglers below threshold x median predicted speed; keep at
+      // least quorum live workers by un-flagging the fastest flagged ones.
+      std::vector<double> sorted(speeds.begin(), speeds.end());
+      const double med = util::median(sorted);
+      std::vector<bool> straggler(n, false);
+      std::size_t live = 0;
+      for (std::size_t w = 0; w < n; ++w) {
+        straggler[w] = speeds[w] < straggler_threshold_ * med;
+        if (!straggler[w]) ++live;
+      }
+      if (live < q) {
+        std::vector<std::size_t> flagged;
+        for (std::size_t w = 0; w < n; ++w) {
+          if (straggler[w]) flagged.push_back(w);
+        }
+        std::sort(flagged.begin(), flagged.end(),
+                  [&](std::size_t a, std::size_t b) {
+                    return speeds[a] > speeds[b];
+                  });
+        for (std::size_t i = 0; live < q && i < flagged.size(); ++i) {
+          straggler[flagged[i]] = false;
+          ++live;
+        }
+      }
+      return sched::basic_s2c2_allocation(straggler, q, c);
+    }
+    case StrategyKind::kS2C2:
+    case StrategyKind::kPoly: {
+      std::vector<double> s(speeds.begin(), speeds.end());
+      std::size_t positive = 0;
+      for (double v : s) {
+        if (v > 0.0) ++positive;
+      }
+      if (positive < q) {
+        // Predictor wrote off too many workers: fall back to treating all
+        // of them as slow-but-alive so the allocation stays feasible; the
+        // timeout path recovers if they really are dead.
+        for (double& v : s) v = std::max(v, 0.05);
+      }
+      return sched::proportional_allocation(s, q, c);
+    }
+    case StrategyKind::kReplication:
+    case StrategyKind::kOverDecomp:
+      break;  // uncoded strategies never reach the coded executor
+  }
+  throw std::logic_error("unreachable strategy");
+}
+
+RoundExecutor::WorkerTiming RoundExecutor::simulate_worker(
+    std::size_t w, sim::Time t0, std::size_t chunks) const {
+  WorkerTiming t;
+  t.assigned_chunks = chunks;
+  if (chunks == 0) return t;
+  t.x_arrival = t0 + spec_.net.transfer_time(x_bytes());
+  t.compute_done =
+      spec_.traces[w].time_to_complete(t.x_arrival, dispatch_work(chunks));
+  t.response =
+      t.compute_done == kInf
+          ? kInf
+          : t.compute_done + spec_.net.transfer_time(
+                                 chunks * chunk_result_bytes());
+  return t;
+}
+
+RoundResult RoundExecutor::run_round(std::span<const double> x) {
+  const std::size_t n = spec_.num_workers();
+  const std::size_t q = quorum();
+  const sim::Time t0 = now_;
+  const bool functional = functional_round(x);
+  const bool timeout_collection = strategy_uses_recovery(kind());
+  const bool full_telemetry =
+      accounting_style() == AccountingStyle::kFullTelemetry;
+
+  RoundResult result;
+  result.stats.start = t0;
+  result.predicted_speeds = predict_speeds(t0);
+  const sched::Allocation alloc = allocate(result.predicted_speeds);
+
+  std::vector<WorkerTiming> timing(n);
+  for (std::size_t w = 0; w < n; ++w) {
+    timing[w] = simulate_worker(w, t0, alloc.per_worker[w].count);
+  }
+
+  // Workers with assigned work, ordered by response time.
+  std::vector<std::size_t> assigned;
+  for (std::size_t w = 0; w < n; ++w) {
+    if (timing[w].assigned_chunks > 0) assigned.push_back(w);
+  }
+  std::vector<std::size_t> by_response = assigned;
+  std::sort(by_response.begin(), by_response.end(),
+            [&](std::size_t a, std::size_t b) {
+              return timing[a].response < timing[b].response;
+            });
+  std::size_t finite = 0;
+  for (std::size_t w : by_response) {
+    if (timing[w].response < kInf) ++finite;
+  }
+  if (finite < q) {
+    throw std::runtime_error(quorum_failure_error());
+  }
+
+  // Final per-chunk responder sets (for decode-cost and functional decode),
+  // per-worker reassigned chunks, and the round-completion bookkeeping.
+  std::vector<std::vector<std::size_t>> final_chunk_workers(
+      alloc.chunks_per_partition);
+  std::vector<std::vector<std::size_t>> extra_chunks(n);  // reassigned work
+  std::vector<sim::Time> recovery_busy(n, 0.0);  // compute spent on extras
+  std::vector<double> recovery_waste(n, 0.0);    // died mid-reassignment
+  std::vector<bool> used(n, false);
+  sim::Time coverage_time = 0.0;
+  sim::Time cancel_time = 0.0;  // when cancelled workers stop computing
+
+  if (!timeout_collection) {
+    // Conventional collection: the fastest quorum full partitions win;
+    // everyone else is cancelled when the quorum-th response arrives.
+    const std::size_t qth = by_response[q - 1];
+    coverage_time = timing[qth].response;
+    cancel_time = coverage_time;
+    for (std::size_t i = 0; i < q; ++i) used[by_response[i]] = true;
+    for (std::size_t c = 0; c < alloc.chunks_per_partition; ++c) {
+      for (std::size_t i = 0; i < q; ++i) {
+        final_chunk_workers[c].push_back(by_response[i]);
+      }
+      std::sort(final_chunk_workers[c].begin(), final_chunk_workers[c].end());
+    }
+    result.stats.timeout_fired = false;
+  } else {
+    // S2C2 collection with the §4.3 timeout. The reference point is the
+    // quorum-th fastest response — the last one a minimal decode needs.
+    // (The paper words this as the *average* of the first k; when
+    // responses are balanced, as in its experiments, the two coincide.
+    // Under strong speed spread the fastest workers hit the partition cap
+    // and finish early, which drags the average below the balanced finish
+    // time of the uncapped workers and would fire the timeout every round
+    // — see docs/DESIGN.md §5 and bench_abl_timeout.)
+    const double avg_q = timing[by_response[q - 1]].response - t0;
+    sim::Time deadline = t0 + timeout_factor_ * avg_q;
+
+    // Responders within the deadline; grow the set until it can cover
+    // every chunk (needs at least quorum distinct workers).
+    std::size_t r_count = 0;
+    while (r_count < by_response.size() &&
+           timing[by_response[r_count]].response <= deadline) {
+      ++r_count;
+    }
+    if (r_count < q) {
+      // Fewer than quorum beat the deadline (reachable when
+      // timeout_factor < 1): the master must wait for the quorum-th
+      // fastest response anyway, so the effective deadline moves there —
+      // and the responder set has to be re-scanned against it, or workers
+      // tied at the extended deadline stay spuriously cancelled with
+      // their finished work booked as waste.
+      deadline = timing[by_response[q - 1]].response;
+      r_count = q;
+      while (r_count < by_response.size() &&
+             timing[by_response[r_count]].response <= deadline) {
+        ++r_count;
+      }
+    }
+    std::vector<bool> responded(n, false);
+    for (std::size_t i = 0; i < r_count; ++i) {
+      responded[by_response[i]] = true;
+    }
+
+    const bool all_responded = r_count == assigned.size();
+    result.stats.timeout_fired = !all_responded;
+
+    // Base coverage from responders.
+    const auto alloc_chunk_workers = sched::chunk_workers(alloc);
+    for (std::size_t c = 0; c < alloc.chunks_per_partition; ++c) {
+      for (std::size_t w : alloc_chunk_workers[c]) {
+        if (responded[w]) final_chunk_workers[c].push_back(w);
+      }
+    }
+    for (std::size_t w : assigned) {
+      if (responded[w]) used[w] = true;
+    }
+    coverage_time = timing[by_response[r_count - 1]].response;
+    cancel_time = deadline;
+
+    if (!all_responded) {
+      // §4.3 recovery, generalized to cascading failures: deficient chunks
+      // are planned among live responders; a recovery worker that itself
+      // dies mid-reassignment is detected when the wave's timeout deadline
+      // passes, its partial progress is booked as waste, and its
+      // unfinished chunks are re-planned among the workers still alive
+      // (strategies with recovery_survives_death() == false instead treat
+      // that death as an unrecoverable cluster failure). At most n waves
+      // run (every extra wave removes at least one dead worker).
+      std::vector<bool> recovery_live = responded;
+      // A worker is free for (more) recovery work once it sent its latest
+      // response — original or a previous wave's extras.
+      std::vector<sim::Time> free_at(n, 0.0);
+      for (std::size_t w : assigned) free_at[w] = timing[w].response;
+      sim::Time wave_issue = deadline;
+      for (std::size_t wave = 0; wave < n; ++wave) {
+        std::vector<std::size_t> deficient;
+        std::vector<std::vector<std::size_t>> have;
+        std::vector<std::size_t> needed;
+        for (std::size_t c = 0; c < alloc.chunks_per_partition; ++c) {
+          if (final_chunk_workers[c].size() < q) {
+            deficient.push_back(c);
+            have.push_back(final_chunk_workers[c]);
+            needed.push_back(q - final_chunk_workers[c].size());
+          }
+        }
+        if (deficient.empty()) break;
+        std::vector<double> rspeeds(n, 0.0);
+        for (std::size_t w = 0; w < n; ++w) {
+          if (recovery_live[w]) {
+            rspeeds[w] = std::max(result.predicted_speeds[w], 1e-3);
+          }
+        }
+        sched::ReassignmentPlan plan;
+        try {
+          plan = sched::plan_reassignment(deficient, have, needed, rspeeds);
+        } catch (const std::invalid_argument& e) {
+          throw std::runtime_error(recovery_infeasible_error(e.what()));
+        }
+        result.stats.reassigned_chunks += plan.total_chunks();
+        sim::Time wave_deadline = wave_issue;
+        bool any_death = false;
+        for (std::size_t w = 0; w < n; ++w) {
+          const auto& extras = plan.chunks_per_worker[w];
+          if (extras.empty()) continue;
+          // The master's reassignment message costs one network latency.
+          const sim::Time start =
+              std::max(wave_issue, free_at[w]) + spec_.net.latency_s;
+          const double work =
+              static_cast<double>(extras.size()) * recovery_chunk_work();
+          const sim::Time done = spec_.traces[w].time_to_complete(start, work);
+          const sim::Time send =
+              spec_.net.transfer_time(extras.size() * chunk_result_bytes());
+          if (done == kInf) {
+            if (!recovery_survives_death()) {
+              throw std::runtime_error(recovery_death_error());
+            }
+            any_death = true;
+            recovery_live[w] = false;
+            recovery_waste[w] +=
+                spec_.traces[w].work_between(start, kFarHorizon);
+            // The master discovers the death when the worker's expected
+            // response (at its predicted speed) times out.
+            const sim::Time expected = start + work / rspeeds[w] + send;
+            wave_deadline =
+                std::max(wave_deadline,
+                         start + timeout_factor_ * (expected - start));
+            continue;
+          }
+          recovery_busy[w] += done - start;
+          free_at[w] = done + send;
+          for (std::size_t c : extras) final_chunk_workers[c].push_back(w);
+          extra_chunks[w].insert(extra_chunks[w].end(), extras.begin(),
+                                 extras.end());
+          coverage_time = std::max(coverage_time, done + send);
+        }
+        if (!any_death) break;
+        // No earlier wave can be issued: the master only learns about the
+        // death once the wave deadline passes.
+        coverage_time = std::max(coverage_time, wave_deadline);
+        wave_issue = wave_deadline;
+      }
+      for (auto& ws : final_chunk_workers) std::sort(ws.begin(), ws.end());
+    }
+  }
+
+  // ---- decode cost ----
+  // One recovery system per maximal run of consecutive chunks sharing a
+  // decode subset. The strategy's context charges the structured
+  // factorization only on cache misses; repeated responder sets across
+  // rounds pay solve cost alone (docs/PERFORMANCE.md).
+  const RoundLedger ledger{alloc, timing, used, final_chunk_workers,
+                           extra_chunks};
+  const std::vector<std::vector<std::size_t>> subsets =
+      decode_subsets(ledger);
+  double dec_flops = 0.0;
+  for (std::size_t c = 0; c < alloc.chunks_per_partition;) {
+    std::size_t e = c + 1;
+    while (e < alloc.chunks_per_partition && subsets[e] == subsets[c]) {
+      ++e;
+    }
+    dec_flops +=
+        decode_context().charge(subsets[c], (e - c) * decode_values_per_chunk())
+            .flops;
+    c = e;
+  }
+  const sim::Time decode_time = dec_flops / spec_.master_flops;
+  result.stats.coverage = coverage_time;
+  result.stats.end = coverage_time + decode_time;
+
+  // ---- accounting ----
+  for (std::size_t w : assigned) {
+    const double base_work = accounted_work(timing[w].assigned_chunks);
+    const double extra_work =
+        static_cast<double>(extra_chunks[w].size()) * recovery_chunk_work();
+    if (used[w]) {
+      if (full_telemetry) {
+        accounting_.add_useful(w, base_work);
+        accounting_.add_useful(w, extra_work);
+        // Busy time covers both the original window and the recovery
+        // window spent on reassigned extras; otherwise utilization is
+        // under-reported exactly in the rounds where the timeout fires.
+        accounting_.add_busy(w, timing[w].compute_done - timing[w].x_arrival +
+                                    recovery_busy[w]);
+        if (recovery_waste[w] > 0.0) {
+          accounting_.add_wasted(w, recovery_waste[w]);
+        }
+      } else {
+        accounting_.add_useful(w, base_work + extra_work);
+      }
+    } else if (full_telemetry) {
+      const double done = std::min(
+          base_work,
+          spec_.traces[w].work_between(timing[w].x_arrival,
+                                       std::max(cancel_time,
+                                                timing[w].x_arrival)));
+      accounting_.add_wasted(w, done);
+    } else {
+      const sim::Time until = std::max(cancel_time, timing[w].x_arrival + 1e-9);
+      const double done = std::min(
+          base_work,
+          spec_.traces[w].work_between(timing[w].x_arrival, until));
+      accounting_.add_wasted(w, done);
+    }
+    if (full_telemetry) {
+      accounting_.add_traffic(
+          w,
+          static_cast<double>((timing[w].assigned_chunks +
+                               extra_chunks[w].size()) *
+                              chunk_result_bytes()),
+          static_cast<double>(x_bytes()));
+    }
+  }
+
+  // ---- observed speeds -> predictor ----
+  result.observed_speeds.assign(n, 0.0);
+  for (std::size_t w = 0; w < n; ++w) {
+    double obs;
+    if (timing[w].assigned_chunks == 0) {
+      // Idle worker: the master probes its current speed (basic S2C2 needs
+      // fresh straggler flags even for excluded workers). Probe at coverage
+      // time — every busy worker's observation reflects the pre-decode
+      // round window, and training the predictor on post-decode timestamps
+      // for idle workers only would skew its inputs.
+      obs = spec_.traces[w].speed_at(coverage_time);
+    } else if (used[w]) {
+      // Realized *execution* speed over the compute window. Transfers and
+      // queueing must stay out of the denominator: predictions are trace
+      // speeds, and folding the network share of the round into the
+      // observation would bias every sample low — inflating the §6.1
+      // misprediction rate (to 100% under an exact oracle once network
+      // time is a sizable round fraction) and mis-training the predictor.
+      obs = accounted_work(timing[w].assigned_chunks) /
+            (timing[w].compute_done - timing[w].x_arrival);
+    } else if (full_telemetry) {
+      const sim::Time until = std::max(cancel_time, timing[w].x_arrival + 1e-9);
+      obs = spec_.traces[w].work_between(timing[w].x_arrival, until) /
+            (until - timing[w].x_arrival);
+    } else {
+      // kComputeOnly clamps the cancelled worker's progress to its
+      // assigned work (a worker that finished computing but was cancelled
+      // mid-transfer observes at most its assignment's speed).
+      const sim::Time until = std::max(cancel_time, timing[w].x_arrival + 1e-9);
+      const double done = std::min(
+          accounted_work(timing[w].assigned_chunks),
+          spec_.traces[w].work_between(timing[w].x_arrival, until));
+      obs = done / (until - timing[w].x_arrival);
+    }
+    result.observed_speeds[w] = obs;
+    if (obs > 0.0) {
+      const double rel = std::abs(result.predicted_speeds[w] - obs) / obs;
+      if (rel > 0.15) ++mispredictions_;
+      ++prediction_samples_;
+    }
+    if (predictor_) predictor_->observe(w, obs);
+  }
+
+  // ---- functional decode ----
+  if (functional) {
+    decode_product(result, ledger, x);
+  }
+
+  now_ = result.stats.end;
+  ++rounds_run_;
+  if (result.stats.timeout_fired) ++timeouts_;
+  return result;
+}
+
+}  // namespace s2c2::core

@@ -1,0 +1,165 @@
+// The shared round lifecycle of every *coded* strategy (paper §4, §6):
+//
+//   predict speeds → allocate chunks → dispatch (broadcast + compute +
+//   response transfer over the speed traces) → collect (fastest-quorum
+//   for the conventional strategies, the §4.3 timeout window for the S2C2
+//   family) → wave-based chunk-reassignment recovery → decode-cost charge
+//   through the strategy's coding::DecodeContext → accounting + predictor
+//   observations → functional decode.
+//
+// Before PR 5 this loop existed twice — engine.cpp and poly_engine.cpp —
+// and every timeout/collection fix had to be mirrored by hand (PR 2). Now
+// RoundExecutor::run_round is the only copy; concrete coded engines
+// (CodedComputeEngine, PolyCodedEngine, and future rateless/gradient-
+// coding engines) supply only the strategy-specific ingredients through
+// the protected hooks: cost geometry, allocation (defaulted by
+// StrategyKind), decode subsets/charging, and the functional decode.
+//
+// Collection semantics are derived from kind(): strategy_uses_recovery
+// kinds run the §4.3 timeout + recovery window; the rest wait for the
+// fastest quorum() responders and cancel the stragglers. The timeout
+// reference point is the quorum-th fastest response — see docs/DESIGN.md
+// §5 for why this beats the paper's "average of the first k" wording
+// under strong speed spread.
+//
+// Bitwise-behavior contract: the executor reproduces the pre-unification
+// engines' floating-point arithmetic exactly (tests/fingerprint_guard_test
+// pins it). The two AccountingStyle values below preserve the engines'
+// historically different accounting arithmetic — see the enum comment.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/core/strategy_engine.h"
+#include "src/sched/allocation.h"
+
+namespace s2c2::core {
+
+class RoundExecutor : public StrategyEngine {
+ public:
+  /// One coded round through the shared lifecycle. Hooks are called in
+  /// lifecycle order; the engine's private clock advances to stats.end.
+  RoundResult run_round(std::span<const double> x = {}) final;
+
+ protected:
+  RoundExecutor(StrategyKind kind, ClusterSpec spec,
+                std::unique_ptr<predict::SpeedPredictor> predictor,
+                bool oracle_speeds, double timeout_factor,
+                double straggler_threshold,
+                std::size_t chunks_per_partition);
+
+  struct WorkerTiming {
+    std::size_t assigned_chunks = 0;
+    sim::Time x_arrival = 0.0;
+    sim::Time compute_done = 0.0;
+    sim::Time response = 0.0;  // +inf if the worker never responds
+  };
+
+  /// Read-only view of a finished collection/recovery phase, handed to
+  /// the decode hooks. `final_chunk_workers[c]` holds the responders that
+  /// delivered chunk c in ascending worker-id order; `extra_chunks[w]`
+  /// the chunks worker w picked up during recovery.
+  struct RoundLedger {
+    const sched::Allocation& alloc;
+    std::span<const WorkerTiming> timing;
+    const std::vector<bool>& used;
+    const std::vector<std::vector<std::size_t>>& final_chunk_workers;
+    const std::vector<std::vector<std::size_t>>& extra_chunks;
+  };
+
+  /// How a strategy historically booked work into sim::Accounting. The
+  /// two styles are bitwise-preserved from the pre-unification engines:
+  /// fingerprints hash accounting totals, and double addition is not
+  /// associative, so the *order* of add_useful calls is behavior.
+  enum class AccountingStyle {
+    /// MDS/S2C2 engine legacy: useful work booked as base + recovery in
+    /// two adds, busy time and traffic tracked, recovery waste booked,
+    /// cancelled workers' observed speed left unclamped.
+    kFullTelemetry,
+    /// Poly engine legacy: one combined useful add, compute accounting
+    /// only (no busy/traffic), cancelled workers' observation clamped to
+    /// their assigned work.
+    kComputeOnly,
+  };
+
+  // ---- geometry / cost hooks -------------------------------------------
+  /// Responses a decode needs: k for MDS codes, a² for polynomial codes.
+  [[nodiscard]] virtual std::size_t quorum() const = 0;
+  /// Input-broadcast and per-chunk response sizes on the wire.
+  [[nodiscard]] virtual std::size_t x_bytes() const = 0;
+  [[nodiscard]] virtual std::size_t chunk_result_bytes() const = 0;
+  /// Unit-speed seconds of a worker's original assignment (may include a
+  /// fixed per-round term, e.g. poly's diag(x)·B̃ scaling).
+  [[nodiscard]] virtual double dispatch_work(std::size_t chunks) const = 0;
+  /// Unit-speed seconds booked into accounting for the same assignment.
+  /// Kept separate from dispatch_work: the MDS engine historically used
+  /// (chunks · flops) / worker_flops when dispatching but
+  /// chunks · (flops / worker_flops) when accounting, and the last-bit
+  /// difference is fingerprinted behavior.
+  [[nodiscard]] virtual double accounted_work(std::size_t chunks) const = 0;
+  /// Unit-speed seconds per chunk reassigned during recovery.
+  [[nodiscard]] virtual double recovery_chunk_work() const = 0;
+
+  // ---- allocation hook --------------------------------------------------
+  /// Chunk allocation from predicted speeds. The default dispatches on
+  /// kind(): full allocation (kMds, kPolyConventional), equal shares over
+  /// non-stragglers (kS2C2Basic), speed-proportional shares with the
+  /// quorum-feasibility guard (kS2C2, kPoly). Override for novel
+  /// allocation policies.
+  [[nodiscard]] virtual sched::Allocation allocate(
+      std::span<const double> speeds) const;
+
+  // ---- recovery policy --------------------------------------------------
+  /// True: a recovery worker dying mid-reassignment books its partial
+  /// progress as waste and its chunks re-plan among survivors in the next
+  /// wave (the §4.3 generalization). False: the death is an unrecoverable
+  /// cluster failure (the poly engine's historical behavior).
+  [[nodiscard]] virtual bool recovery_survives_death() const = 0;
+  [[nodiscard]] virtual const char* quorum_failure_error() const = 0;
+  [[nodiscard]] virtual std::string recovery_infeasible_error(
+      const char* what) const = 0;
+  [[nodiscard]] virtual const char* recovery_death_error() const = 0;
+
+  // ---- decode hooks -----------------------------------------------------
+  /// The strategy's persistent decode context (cache lives across rounds).
+  [[nodiscard]] virtual coding::DecodeContext& decode_context() = 0;
+  /// Per-chunk decode subsets (the exact worker ids the decoder will
+  /// solve from — cost-model cache keys must match the numeric decoder's).
+  [[nodiscard]] virtual std::vector<std::vector<std::size_t>> decode_subsets(
+      const RoundLedger& ledger) const = 0;
+  /// Reconstructed values per chunk (multiplies the per-RHS solve cost).
+  [[nodiscard]] virtual std::size_t decode_values_per_chunk() const = 0;
+  /// True when this round should run the numeric decode for input x.
+  [[nodiscard]] virtual bool functional_round(
+      std::span<const double> x) const = 0;
+  /// Runs the numeric decode and stores the product into `result` (y for
+  /// matrix-vector strategies, hessian for bilinear ones).
+  virtual void decode_product(RoundResult& result, const RoundLedger& ledger,
+                              std::span<const double> x) = 0;
+
+  // ---- accounting -------------------------------------------------------
+  [[nodiscard]] virtual AccountingStyle accounting_style() const = 0;
+
+  [[nodiscard]] double timeout_factor() const noexcept {
+    return timeout_factor_;
+  }
+  [[nodiscard]] std::size_t chunks_per_partition() const noexcept {
+    return chunks_per_partition_;
+  }
+  [[nodiscard]] bool oracle_speeds() const noexcept { return oracle_speeds_; }
+
+ private:
+  [[nodiscard]] std::vector<double> predict_speeds(sim::Time t0);
+  [[nodiscard]] WorkerTiming simulate_worker(std::size_t w, sim::Time t0,
+                                             std::size_t chunks) const;
+
+  bool oracle_speeds_;
+  double timeout_factor_;
+  double straggler_threshold_;
+  std::size_t chunks_per_partition_;
+};
+
+}  // namespace s2c2::core

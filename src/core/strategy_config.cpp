@@ -1,5 +1,7 @@
 #include "src/core/strategy_config.h"
 
+#include <stdexcept>
+
 namespace s2c2::core {
 
 ClusterSpec ClusterSpec::uniform(std::size_t n, double speed) {
@@ -11,16 +13,83 @@ ClusterSpec ClusterSpec::uniform(std::size_t n, double speed) {
   return spec;
 }
 
-const char* strategy_name(Strategy s) {
+const char* strategy_name(StrategyKind s) {
   switch (s) {
-    case Strategy::kMdsConventional:
-      return "mds-conventional";
-    case Strategy::kS2C2Basic:
+    case StrategyKind::kS2C2:
+      return "s2c2";
+    case StrategyKind::kS2C2Basic:
       return "s2c2-basic";
-    case Strategy::kS2C2General:
-      return "s2c2-general";
+    case StrategyKind::kMds:
+      return "mds";
+    case StrategyKind::kPoly:
+      return "poly";
+    case StrategyKind::kPolyConventional:
+      return "poly-conventional";
+    case StrategyKind::kReplication:
+      return "replication";
+    case StrategyKind::kOverDecomp:
+      return "overdecomp";
   }
   return "unknown";
+}
+
+StrategyKind parse_strategy(const std::string& name) {
+  for (const StrategyKind s : all_strategy_kinds()) {
+    if (name == strategy_name(s)) return s;
+  }
+  throw std::invalid_argument("unknown strategy: " + name);
+}
+
+std::vector<StrategyKind> all_strategy_kinds() {
+  return {StrategyKind::kS2C2,        StrategyKind::kS2C2Basic,
+          StrategyKind::kMds,         StrategyKind::kPoly,
+          StrategyKind::kPolyConventional, StrategyKind::kReplication,
+          StrategyKind::kOverDecomp};
+}
+
+bool strategy_uses_predictions(StrategyKind s) {
+  switch (s) {
+    case StrategyKind::kS2C2:
+    case StrategyKind::kS2C2Basic:
+    case StrategyKind::kPoly:
+    case StrategyKind::kOverDecomp:
+      return true;
+    case StrategyKind::kMds:
+    case StrategyKind::kPolyConventional:
+    case StrategyKind::kReplication:
+      return false;
+  }
+  return false;
+}
+
+bool strategy_is_coded(StrategyKind s) {
+  switch (s) {
+    case StrategyKind::kS2C2:
+    case StrategyKind::kS2C2Basic:
+    case StrategyKind::kMds:
+    case StrategyKind::kPoly:
+    case StrategyKind::kPolyConventional:
+      return true;
+    case StrategyKind::kReplication:
+    case StrategyKind::kOverDecomp:
+      return false;
+  }
+  return false;
+}
+
+bool strategy_uses_recovery(StrategyKind s) {
+  switch (s) {
+    case StrategyKind::kS2C2:
+    case StrategyKind::kS2C2Basic:
+    case StrategyKind::kPoly:
+      return true;
+    case StrategyKind::kMds:
+    case StrategyKind::kPolyConventional:
+    case StrategyKind::kReplication:
+    case StrategyKind::kOverDecomp:
+      return false;
+  }
+  return false;
 }
 
 double decode_flops(std::size_t k, std::size_t values, std::size_t groups) {

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
 #include <vector>
 
 #include "src/sim/network.h"
@@ -31,16 +32,54 @@ struct ClusterSpec {
   static ClusterSpec uniform(std::size_t n, double speed = 1.0);
 };
 
-enum class Strategy {
-  kMdsConventional,  // wait for fastest k full partitions (prior work [22])
-  kS2C2Basic,        // equal shares over non-straggler workers (paper §4.1)
-  kS2C2General,      // speed-proportional shares (paper §4.2, Algorithm 1)
+/// The one strategy taxonomy every layer shares — engines, harness axes,
+/// job driver, report, CLIs. Replaces the pre-PR-5 trio of
+/// core::Strategy / harness::EngineKind / harness::JobStrategy, which
+/// drifted independently and were switch-dispatched at every consumer.
+/// `strategy_name` / `parse_strategy` are the single naming authority;
+/// capability predicates below drive the harness axes and the README
+/// strategy table. Engines are constructed through the registry in
+/// engine_factory.h.
+enum class StrategyKind {
+  kS2C2,              // speed-proportional MDS shares (paper §4.2, Alg. 1)
+  kS2C2Basic,         // equal shares over non-stragglers (paper §4.1)
+  kMds,               // fastest k full partitions (prior work [22])
+  kPoly,              // polynomial code + S2C2 allocation (§5)
+  kPolyConventional,  // polynomial code, fastest-a² collection
+  kReplication,       // uncoded r-replication + LATE speculation (§7.1)
+  kOverDecomp,        // over-decomposition + predicted balancing (§7.2)
 };
 
-[[nodiscard]] const char* strategy_name(Strategy s);
+/// Canonical short name ("s2c2", "mds", "poly", ... ) — the spelling CLIs
+/// parse, tables print, and report CSVs embed.
+[[nodiscard]] const char* strategy_name(StrategyKind s);
+
+/// Inverse of strategy_name. Throws std::invalid_argument on unknown
+/// names; callers restricting to an axis subset (e.g. the scenario
+/// matrix's four engines) check membership on top.
+[[nodiscard]] StrategyKind parse_strategy(const std::string& name);
+
+/// All kinds, in enum order (the registry's seed list).
+[[nodiscard]] std::vector<StrategyKind> all_strategy_kinds();
+
+/// True when the strategy's *allocation* consumes speed predictions.
+/// kMds reads oracle speeds for misprediction telemetry only, so it is
+/// prediction-blind here (matching the harness axes' historical split).
+[[nodiscard]] bool strategy_uses_predictions(StrategyKind s);
+
+/// True for strategies whose master runs a decode (MDS / polynomial
+/// codes); the uncoded baselines compute exact products directly.
+[[nodiscard]] bool strategy_is_coded(StrategyKind s);
+
+/// True when the strategy runs the §4.3 timeout + chunk-reassignment
+/// recovery window (the S2C2 family); fastest-quorum and uncoded
+/// strategies simply cancel or speculate.
+[[nodiscard]] bool strategy_uses_recovery(StrategyKind s);
 
 struct EngineConfig {
-  Strategy strategy = Strategy::kS2C2General;
+  /// Allocation/collection policy of the MDS-coded engine; one of
+  /// kS2C2, kS2C2Basic, kMds.
+  StrategyKind strategy = StrategyKind::kS2C2;
 
   /// Chunk granularity per partition (over-decomposition factor). The
   /// paper's Algorithm 1 uses Σu_i; a fixed power of two behaves the same

@@ -1,0 +1,47 @@
+#include "src/core/strategy_engine.h"
+
+namespace s2c2::core {
+
+StrategyEngine::StrategyEngine(StrategyKind kind, ClusterSpec spec,
+                               std::unique_ptr<predict::SpeedPredictor>
+                                   predictor)
+    : spec_(std::move(spec)),
+      predictor_(std::move(predictor)),
+      accounting_(spec_.num_workers()),
+      kind_(kind) {}
+
+void StrategyEngine::ensure_predictor(bool oracle_speeds) {
+  if (!predictor_ && !oracle_speeds) {
+    predictor_ =
+        std::make_unique<predict::LastValuePredictor>(spec_.num_workers());
+  }
+}
+
+std::vector<RoundResult> StrategyEngine::run_rounds(
+    std::size_t rounds, std::span<const double> x) {
+  std::vector<RoundResult> out;
+  out.reserve(rounds);
+  for (std::size_t i = 0; i < rounds; ++i) out.push_back(run_round(x));
+  return out;
+}
+
+double StrategyEngine::timeout_rate() const {
+  return rounds_run_ > 0
+             ? static_cast<double>(timeouts_) / static_cast<double>(rounds_run_)
+             : 0.0;
+}
+
+double StrategyEngine::misprediction_rate() const {
+  return prediction_samples_ > 0
+             ? static_cast<double>(mispredictions_) /
+                   static_cast<double>(prediction_samples_)
+             : 0.0;
+}
+
+double total_latency(std::span<const RoundResult> results) {
+  double acc = 0.0;
+  for (const RoundResult& r : results) acc += r.stats.latency();
+  return acc;
+}
+
+}  // namespace s2c2::core

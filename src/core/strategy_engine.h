@@ -1,0 +1,122 @@
+// Polymorphic strategy-engine interface — the one contract every
+// straggler-mitigation strategy implements, coded or not.
+//
+// The paper's argument is comparative: S2C2 vs conventional MDS vs
+// replication vs over-decomposition under identical traces. This layer
+// makes the comparison structural. Every strategy is a StrategyEngine:
+// `run_round(x)` advances one simulated iteration on the engine's private
+// clock and returns a RoundResult; the harness, job driver, benches, and
+// CLIs drive any strategy through this interface and construct them
+// through the registry in engine_factory.h. Coded strategies additionally
+// share the §4.3 round lifecycle in round_executor.h; the uncoded
+// baselines implement run_round with their own dynamics (LATE
+// speculation, partition rebalancing) but still forward the exact product
+// in functional mode, so convergence loops are strategy-agnostic.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "src/coding/decode_context.h"
+#include "src/core/strategy_config.h"
+#include "src/linalg/matrix.h"
+#include "src/predict/predictors.h"
+#include "src/sim/accounting.h"
+
+namespace s2c2::core {
+
+/// One simulated round from any strategy (the pre-PR-5 RoundResult and
+/// PolyRoundResult collapsed into one type). Which functional payload is
+/// set depends on the strategy's product shape: matrix-vector strategies
+/// (MDS/S2C2, uncoded baselines) fill `y`; the bilinear polynomial
+/// strategies fill `hessian`. Cost-only rounds leave both empty.
+struct RoundResult {
+  sim::RoundStats stats;
+  std::optional<linalg::Vector> y;        // decoded/exact product A·x
+  std::optional<linalg::Matrix> hessian;  // decoded Aᵀ·diag(x)·A
+  std::vector<double> predicted_speeds;
+  std::vector<double> observed_speeds;
+};
+
+/// Exact-multiply closure the uncoded baselines use to forward the true
+/// product in functional mode (uncoded execution computes the exact
+/// result by construction — only its *time* needs simulating). The
+/// closure typically borrows the operator; the operator must outlive the
+/// engine.
+using DirectMultiply =
+    std::function<linalg::Vector(std::span<const double>)>;
+
+class StrategyEngine {
+ public:
+  virtual ~StrategyEngine() = default;
+
+  StrategyEngine(const StrategyEngine&) = delete;
+  StrategyEngine& operator=(const StrategyEngine&) = delete;
+  StrategyEngine(StrategyEngine&&) = delete;
+  StrategyEngine& operator=(StrategyEngine&&) = delete;
+
+  /// Runs one round. In functional mode pass the input vector x to obtain
+  /// the product (decoded for coded strategies, exact for the uncoded
+  /// baselines); with an empty span the round is latency-only. Throws
+  /// std::runtime_error on unrecoverable cluster failure.
+  virtual RoundResult run_round(std::span<const double> x = {}) = 0;
+
+  /// Convenience loop. With an input vector every returned RoundResult
+  /// carries its product — same-x products are recomputed per round
+  /// because the cluster state (clock, predictor) advances. With the
+  /// default empty span the rounds are latency-only; callers running
+  /// convergence checks must pass x or they are silently measuring
+  /// latency shapes, not results.
+  std::vector<RoundResult> run_rounds(std::size_t rounds,
+                                      std::span<const double> x = {});
+
+  [[nodiscard]] StrategyKind kind() const noexcept { return kind_; }
+  [[nodiscard]] sim::Time now() const noexcept { return now_; }
+  [[nodiscard]] const sim::Accounting& accounting() const noexcept {
+    return accounting_;
+  }
+  [[nodiscard]] const ClusterSpec& cluster() const noexcept { return spec_; }
+
+  /// Fraction of completed rounds in which the §4.3 timeout fired
+  /// (always 0 for strategies without a timeout window).
+  [[nodiscard]] double timeout_rate() const;
+
+  /// Fraction of (worker, round) observations where the prediction missed
+  /// the realized speed by more than 15% (the paper's mis-prediction
+  /// criterion); 0 for strategies that never sample predictions.
+  [[nodiscard]] double misprediction_rate() const;
+
+  /// Decode-cache telemetry (coding/decode_context.h); the uncoded
+  /// baselines have no decode stage and report empty stats.
+  [[nodiscard]] virtual coding::DecodeContextStats decode_stats() const {
+    return {};
+  }
+
+ protected:
+  StrategyEngine(StrategyKind kind, ClusterSpec spec,
+                 std::unique_ptr<predict::SpeedPredictor> predictor);
+
+  /// Installs the last-value default used by every predicting engine when
+  /// the caller supplied no predictor and no oracle flag.
+  void ensure_predictor(bool oracle_speeds);
+
+  ClusterSpec spec_;
+  std::unique_ptr<predict::SpeedPredictor> predictor_;
+  sim::Accounting accounting_;
+  sim::Time now_ = 0.0;
+  std::size_t rounds_run_ = 0;
+  std::size_t timeouts_ = 0;
+  std::size_t mispredictions_ = 0;
+  std::size_t prediction_samples_ = 0;
+
+ private:
+  StrategyKind kind_;
+};
+
+/// Sum of round latencies.
+[[nodiscard]] double total_latency(std::span<const RoundResult> results);
+
+}  // namespace s2c2::core

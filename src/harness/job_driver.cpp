@@ -12,9 +12,7 @@
 #include "src/apps/pagerank.h"
 #include "src/apps/svm.h"
 #include "src/coding/decode_context.h"
-#include "src/core/engine.h"
-#include "src/core/overdecomp_engine.h"
-#include "src/core/replication_engine.h"
+#include "src/core/engine_factory.h"
 #include "src/util/hash.h"
 #include "src/util/require.h"
 #include "src/util/rng.h"
@@ -29,6 +27,23 @@ namespace {
 using util::fnv1a;
 using util::hex64;
 using util::mix64;
+
+/// Legacy axis id of a job strategy — the wire format job fingerprints
+/// are built from ({s2c2, mds, replication, overdecomp} = 0..3). It
+/// predates the unified StrategyKind and is pinned by the golden
+/// fingerprints in tests/fingerprint_guard_test.cpp; never renumber.
+std::uint64_t strategy_axis_id(core::StrategyKind s) {
+  switch (s) {
+    case core::StrategyKind::kS2C2: return 0;
+    case core::StrategyKind::kMds: return 1;
+    case core::StrategyKind::kReplication: return 2;
+    case core::StrategyKind::kOverDecomp: return 3;
+    default:
+      throw std::invalid_argument(
+          std::string("strategy is not a job-driver axis: ") +
+          core::strategy_name(s));
+  }
+}
 
 // Functional operator sizes. Larger than the scenario matrix's functional
 // cells on purpose: the paper's regime has per-round worker compute well
@@ -49,180 +64,75 @@ constexpr double kFilterAlpha = 0.4;
 
 /// One straggler-protected matrix-vector product under a strategy: the
 /// latency comes from a simulated engine round, the numeric product from
-/// the decode (coded strategies) or an exact direct multiply (uncoded
-/// baselines compute the true product by construction — only their *time*
-/// needs simulating).
-class ProductChannel {
+/// run_round's unified forwarding — decoded for the coded strategies,
+/// exact direct multiply for the uncoded baselines (which compute the
+/// true product by construction; only their *time* needs simulating).
+/// One class for every strategy: the polymorphic StrategyEngine replaced
+/// the per-strategy channel hierarchy this file carried before PR 5.
+class StrategyChannel {
  public:
-  virtual ~ProductChannel() = default;
-  virtual sim::RoundStats multiply(std::span<const double> x,
-                                   linalg::Vector& y) = 0;
-  [[nodiscard]] virtual const sim::Accounting& accounting() const = 0;
-  [[nodiscard]] virtual double misprediction_rate() const { return 0.0; }
-  /// Decode-cache telemetry; uncoded channels have no decode stage and
-  /// report the default empty stats.
-  [[nodiscard]] virtual coding::DecodeContextStats decode_stats() const {
-    return {};
-  }
-};
+  StrategyChannel(std::unique_ptr<core::StrategyEngine> engine,
+                  ColumnPredictor bundle)
+      : bundle_(std::move(bundle)), engine_(std::move(engine)) {}
 
-class CodedChannel final : public ProductChannel {
- public:
-  CodedChannel(core::CodedMatVecJob job, const core::ClusterSpec& spec,
-               const core::EngineConfig& cfg, ColumnPredictor bundle)
-      : bundle_(std::move(bundle)),
-        engine_(std::move(job), spec, cfg, std::move(bundle_.predictor)) {}
-
-  sim::RoundStats multiply(std::span<const double> x,
-                           linalg::Vector& y) override {
-    core::RoundResult res = engine_.run_round(x);
-    // run_round(x) with a functional job must decode; a missing product
-    // here would mean the convergence loop silently went latency-only.
-    S2C2_CHECK(res.y.has_value(), "functional round must decode");
+  sim::RoundStats multiply(std::span<const double> x, linalg::Vector& y) {
+    core::RoundResult res = engine_->run_round(x);
+    // Every strategy forwards the product in functional mode; a missing
+    // one would mean the convergence loop silently went latency-only
+    // (the PR 3 run_rounds regression, now guarded for all strategies).
+    S2C2_CHECK(res.y.has_value(), "functional round must produce a product");
     y = std::move(*res.y);
     return res.stats;
   }
 
-  [[nodiscard]] const sim::Accounting& accounting() const override {
-    return engine_.accounting();
+  [[nodiscard]] const sim::Accounting& accounting() const {
+    return engine_->accounting();
   }
-  [[nodiscard]] double misprediction_rate() const override {
-    return engine_.misprediction_rate();
+  [[nodiscard]] double misprediction_rate() const {
+    return engine_->misprediction_rate();
   }
-  [[nodiscard]] coding::DecodeContextStats decode_stats() const override {
-    return engine_.decode_stats();
+  [[nodiscard]] coding::DecodeContextStats decode_stats() const {
+    return engine_->decode_stats();
   }
 
  private:
   ColumnPredictor bundle_;  // must outlive engine_ (LSTM adapter refs it)
-  core::CodedComputeEngine engine_;
+  std::unique_ptr<core::StrategyEngine> engine_;
 };
 
-/// Exact multiply closure for the uncoded baselines (dense or sparse).
-using DirectFn = std::function<linalg::Vector(std::span<const double>)>;
-
-class ReplicationChannel final : public ProductChannel {
- public:
-  ReplicationChannel(std::size_t rows, std::size_t cols,
-                     const core::ClusterSpec& spec,
-                     const core::ReplicationConfig& cfg, DirectFn direct)
-      : engine_(rows, cols, spec, cfg), direct_(std::move(direct)) {}
-
-  sim::RoundStats multiply(std::span<const double> x,
-                           linalg::Vector& y) override {
-    const core::RoundResult res = engine_.run_round();
-    y = direct_(x);
-    return res.stats;
-  }
-
-  [[nodiscard]] const sim::Accounting& accounting() const override {
-    return engine_.accounting();
-  }
-
- private:
-  core::ReplicationEngine engine_;
-  DirectFn direct_;
-};
-
-class OverDecompChannel final : public ProductChannel {
- public:
-  OverDecompChannel(std::size_t rows, std::size_t cols,
-                    const core::ClusterSpec& spec,
-                    const core::OverDecompConfig& cfg, ColumnPredictor bundle,
-                    DirectFn direct)
-      : bundle_(std::move(bundle)),
-        engine_(rows, cols, spec, cfg, std::move(bundle_.predictor)),
-        direct_(std::move(direct)) {}
-
-  sim::RoundStats multiply(std::span<const double> x,
-                           linalg::Vector& y) override {
-    const core::RoundResult res = engine_.run_round();
-    y = direct_(x);
-    return res.stats;
-  }
-
-  [[nodiscard]] const sim::Accounting& accounting() const override {
-    return engine_.accounting();
-  }
-
- private:
-  ColumnPredictor bundle_;
-  core::OverDecompositionEngine engine_;
-  DirectFn direct_;
-};
-
-/// Factory for one operator's channel under the job's strategy. Dense
-/// operators pass `dense`; sparse pass `sparse` (exactly one non-null).
-/// The operator must outlive the returned channel: the uncoded baselines'
-/// direct-multiply closures hold a pointer into it, not a copy.
-std::unique_ptr<ProductChannel> make_channel(
+/// Builds one operator's channel under the job's strategy through the
+/// engine registry. Dense operators pass `dense`; sparse pass `sparse`
+/// (exactly one non-null). The operator must outlive the returned
+/// channel: engines borrow it (the uncoded baselines' direct-multiply
+/// closures hold a pointer into it, not a copy).
+std::unique_ptr<StrategyChannel> make_channel(
     const JobConfig& config, const core::ClusterSpec& spec,
     const linalg::Matrix* dense, const linalg::CsrMatrix* sparse,
     std::uint64_t placement_salt) {
-  const std::size_t n = config.workers;
-  const std::size_t k = config.effective_k();
-  const std::size_t rows = dense != nullptr ? dense->rows() : sparse->rows();
-  const std::size_t cols = dense != nullptr ? dense->cols() : sparse->cols();
   const ScenarioConfig sc = config.scenario();
   const WorkloadKind column = job_trace_column(config.app);
 
-  switch (config.strategy) {
-    case JobStrategy::kS2C2:
-    case JobStrategy::kMds: {
-      core::EngineConfig cfg;
-      cfg.strategy = config.strategy == JobStrategy::kS2C2
-                         ? core::Strategy::kS2C2General
-                         : core::Strategy::kMdsConventional;
-      cfg.chunks_per_partition = config.chunks_per_partition;
-      ColumnPredictor bundle;
-      if (config.strategy == JobStrategy::kS2C2) {
-        bundle = make_column_predictor(sc, column, config.trace);
-        cfg.oracle_speeds = bundle.oracle();
-      } else {
-        // Conventional MDS allocates everyone a full partition; speeds only
-        // feed its misprediction telemetry, so it reads the oracle.
-        cfg.oracle_speeds = true;
-      }
-      auto job = dense != nullptr
-                     ? core::CodedMatVecJob(*dense, n, k,
-                                            cfg.chunks_per_partition)
-                     : core::CodedMatVecJob(*sparse, n, k,
-                                            cfg.chunks_per_partition);
-      return std::make_unique<CodedChannel>(std::move(job), spec, cfg,
-                                            std::move(bundle));
-    }
-    case JobStrategy::kReplication: {
-      core::ReplicationConfig rcfg;
-      rcfg.placement_seed = mix64(placement_salt ^ 0x91ace3e9ull);
-      DirectFn direct =
-          dense != nullptr
-              ? DirectFn([a = dense](std::span<const double> x) {
-                  return a->matvec(x);
-                })
-              : DirectFn([a = sparse](std::span<const double> x) {
-                  return a->matvec(x);
-                });
-      return std::make_unique<ReplicationChannel>(rows, cols, spec, rcfg,
-                                                  std::move(direct));
-    }
-    case JobStrategy::kOverDecomp: {
-      core::OverDecompConfig ocfg;
-      ColumnPredictor bundle = make_column_predictor(sc, column, config.trace);
-      ocfg.oracle_speeds = bundle.oracle();
-      DirectFn direct =
-          dense != nullptr
-              ? DirectFn([a = dense](std::span<const double> x) {
-                  return a->matvec(x);
-                })
-              : DirectFn([a = sparse](std::span<const double> x) {
-                  return a->matvec(x);
-                });
-      return std::make_unique<OverDecompChannel>(rows, cols, spec, ocfg,
-                                                 std::move(bundle),
-                                                 std::move(direct));
-    }
+  core::EngineParams params;
+  params.cluster = spec;
+  params.dense = dense;
+  params.sparse = sparse;
+  params.k = config.effective_k();
+  params.chunks_per_partition = config.chunks_per_partition;
+  params.replication.placement_seed = mix64(placement_salt ^ 0x91ace3e9ull);
+
+  ColumnPredictor bundle;
+  if (core::strategy_uses_predictions(config.strategy)) {
+    bundle = make_column_predictor(sc, column, config.trace);
+    params.oracle_speeds = bundle.oracle();
+    params.predictor = std::move(bundle.predictor);
+  } else if (config.strategy == core::StrategyKind::kMds) {
+    // Conventional MDS allocates everyone a full partition; speeds only
+    // feed its misprediction telemetry, so it reads the oracle.
+    params.oracle_speeds = true;
   }
-  throw std::invalid_argument("unknown job strategy");
+  return std::make_unique<StrategyChannel>(
+      core::make_engine(config.strategy, std::move(params)),
+      std::move(bundle));
 }
 
 /// Per-round bookkeeping accumulated by the app loops.
@@ -244,15 +154,15 @@ struct RoundLog {
   /// Transcribes the log (and the channels' accounting) into the result —
   /// the one place every app loop finishes through.
   void finish(JobResult& result,
-              std::span<const ProductChannel* const> channels) const;
+              std::span<const StrategyChannel* const> channels) const;
 };
 
 /// Sums the channels' per-worker accounts into the job-level totals.
 void aggregate_accounting(
-    JobResult& result, std::span<const ProductChannel* const> channels);
+    JobResult& result, std::span<const StrategyChannel* const> channels);
 
 void RoundLog::finish(JobResult& result,
-                      std::span<const ProductChannel* const> channels) const {
+                      std::span<const StrategyChannel* const> channels) const {
   result.rounds = rounds;
   result.completion_time = completion_time;
   result.timeout_rate =
@@ -264,15 +174,15 @@ void RoundLog::finish(JobResult& result,
 }
 
 void aggregate_accounting(
-    JobResult& result, std::span<const ProductChannel* const> channels) {
+    JobResult& result, std::span<const StrategyChannel* const> channels) {
   std::size_t workers = 0;
-  for (const ProductChannel* ch : channels) {
+  for (const StrategyChannel* ch : channels) {
     workers = std::max(workers, ch->accounting().num_workers());
   }
   double fraction_sum = 0.0;
   for (std::size_t w = 0; w < workers; ++w) {
     double useful = 0.0, wasted = 0.0;
-    for (const ProductChannel* ch : channels) {
+    for (const StrategyChannel* ch : channels) {
       const sim::WorkerAccount& acct = ch->accounting().worker(w);
       useful += acct.useful_work;
       wasted += acct.wasted_work;
@@ -286,7 +196,7 @@ void aggregate_accounting(
   result.mean_wasted_fraction =
       workers > 0 ? fraction_sum / static_cast<double>(workers) : 0.0;
   double mispred = 0.0;
-  for (const ProductChannel* ch : channels) {
+  for (const StrategyChannel* ch : channels) {
     mispred += ch->misprediction_rate();
     const coding::DecodeContextStats ds = ch->decode_stats();
     result.decode_sets += ds.entries;
@@ -407,7 +317,7 @@ void run_gd_job(const JobConfig& config, const core::ClusterSpec& spec,
       break;
     }
   }
-  const ProductChannel* chans[] = {fwd.get(), bwd.get()};
+  const StrategyChannel* chans[] = {fwd.get(), bwd.get()};
   log.finish(result, chans);
 }
 
@@ -450,7 +360,7 @@ void run_pagerank_job(const JobConfig& config, const core::ClusterSpec& spec,
       break;
     }
   }
-  const ProductChannel* chans[] = {ch.get()};
+  const StrategyChannel* chans[] = {ch.get()};
   log.finish(result, chans);
 }
 
@@ -505,7 +415,7 @@ void run_filter_job(const JobConfig& config, const core::ClusterSpec& spec,
       break;
     }
   }
-  const ProductChannel* chans[] = {ch.get()};
+  const StrategyChannel* chans[] = {ch.get()};
   log.finish(result, chans);
 }
 
@@ -521,36 +431,14 @@ const char* job_app_name(JobApp a) {
   return "?";
 }
 
-const char* job_strategy_name(JobStrategy s) {
-  switch (s) {
-    case JobStrategy::kS2C2: return "s2c2";
-    case JobStrategy::kMds: return "mds";
-    case JobStrategy::kReplication: return "replication";
-    case JobStrategy::kOverDecomp: return "overdecomp";
-  }
-  return "?";
-}
-
 std::vector<JobApp> all_job_apps() {
   return {JobApp::kLogReg, JobApp::kSvm, JobApp::kPageRank,
           JobApp::kGraphFilter};
 }
 
-std::vector<JobStrategy> all_job_strategies() {
-  return {JobStrategy::kS2C2, JobStrategy::kMds, JobStrategy::kReplication,
-          JobStrategy::kOverDecomp};
-}
-
-bool job_strategy_uses_predictions(JobStrategy s) {
-  switch (s) {
-    case JobStrategy::kS2C2:
-    case JobStrategy::kOverDecomp:
-      return true;
-    case JobStrategy::kMds:
-    case JobStrategy::kReplication:
-      return false;
-  }
-  return false;
+std::vector<StrategyKind> all_job_strategies() {
+  return {StrategyKind::kS2C2, StrategyKind::kMds, StrategyKind::kReplication,
+          StrategyKind::kOverDecomp};
 }
 
 WorkloadKind job_trace_column(JobApp a) {
@@ -581,7 +469,7 @@ ScenarioConfig JobConfig::scenario() const {
 std::string JobResult::fingerprint() const {
   std::uint64_t h = util::kFnvOffset;
   h = fnv1a(h, static_cast<std::uint64_t>(app));
-  h = fnv1a(h, static_cast<std::uint64_t>(strategy));
+  h = fnv1a(h, strategy_axis_id(strategy));
   h = fnv1a(h, static_cast<std::uint64_t>(trace));
   h = fnv1a(h, static_cast<std::uint64_t>(workers));
   h = fnv1a(h, static_cast<std::uint64_t>(predictor));
@@ -617,7 +505,7 @@ JobResult identity_result(const JobConfig& config) {
   result.strategy = config.strategy;
   result.trace = config.trace;
   result.workers = config.workers;
-  result.predictor = job_strategy_uses_predictions(config.strategy)
+  result.predictor = core::strategy_uses_predictions(config.strategy)
                          ? config.predictor
                          : PredictorKind::kOracle;
   return result;
@@ -629,6 +517,10 @@ JobResult run_job(const JobConfig& config) {
   if (config.workers < 2) {
     throw std::invalid_argument("job driver needs >= 2 workers");
   }
+  // Validate the strategy axis up front: the unified StrategyKind makes
+  // every kind type-legal here, but only the four driver strategies have
+  // job semantics — fail with the axis error, not a deep engine REQUIRE.
+  (void)strategy_axis_id(config.strategy);
   JobResult result = identity_result(config);
 
   // Traces are salted per (app, trace) column, NOT per strategy — all
@@ -662,7 +554,7 @@ JobResult run_job(const JobConfig& config) {
   return result;
 }
 
-const JobResult* JobSuiteResult::find(JobApp a, JobStrategy s,
+const JobResult* JobSuiteResult::find(JobApp a, StrategyKind s,
                                       TraceProfile t) const {
   for (const JobResult& job : jobs) {
     if (job.app == a && job.strategy == s && job.trace == t) return &job;
@@ -680,12 +572,12 @@ JobSuiteResult run_job_suite(const JobConfig& base, const JobGrid& grid,
                              std::size_t jobs_threads) {
   struct Coord {
     JobApp app;
-    JobStrategy strategy;
+    StrategyKind strategy;
     TraceProfile trace;
   };
   std::vector<Coord> coords;
   for (const JobApp a : grid.apps) {
-    for (const JobStrategy s : grid.strategies) {
+    for (const StrategyKind s : grid.strategies) {
       for (const TraceProfile t : grid.traces) {
         coords.push_back({a, s, t});
       }

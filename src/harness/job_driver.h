@@ -46,21 +46,14 @@ enum class JobApp {
   kGraphFilter,  // Laplacian diffusion to L-inf fixed-point tolerance (§6.3)
 };
 
-enum class JobStrategy {
-  kS2C2,         // general S2C2 over an MDS code (paper §4.2)
-  kMds,          // conventional MDS, fastest-k collection (prior work [22])
-  kReplication,  // uncoded 3-replication + LATE speculation (§7.1)
-  kOverDecomp,   // over-decomposition + predicted balancing (§7.2)
-};
-
 [[nodiscard]] const char* job_app_name(JobApp a);
-[[nodiscard]] const char* job_strategy_name(JobStrategy s);
 [[nodiscard]] std::vector<JobApp> all_job_apps();
-[[nodiscard]] std::vector<JobStrategy> all_job_strategies();
 
-/// True for strategies whose allocation consumes speed predictions; the
-/// others ignore JobConfig::predictor and record kOracle in the result.
-[[nodiscard]] bool job_strategy_uses_predictions(JobStrategy s);
+/// The driver's strategy axis: {kS2C2, kMds, kReplication, kOverDecomp}
+/// (naming/parsing and the prediction-use predicate live in core —
+/// core::strategy_name / core::strategy_uses_predictions; strategies that
+/// ignore predictions record kOracle in the result).
+[[nodiscard]] std::vector<StrategyKind> all_job_strategies();
 
 /// Workload column an app shares traces/operators with. The first three
 /// apps map to their scenario-matrix namesakes; graph filtering reuses the
@@ -70,7 +63,7 @@ enum class JobStrategy {
 
 struct JobConfig {
   JobApp app = JobApp::kLogReg;
-  JobStrategy strategy = JobStrategy::kS2C2;
+  StrategyKind strategy = StrategyKind::kS2C2;
   TraceProfile trace = TraceProfile::kControlledStragglers;
 
   std::size_t workers = 12;
@@ -106,7 +99,7 @@ struct JobConfig {
 
 struct JobResult {
   JobApp app{};
-  JobStrategy strategy{};
+  StrategyKind strategy{};
   TraceProfile trace{};
   std::size_t workers = 0;
   PredictorKind predictor = PredictorKind::kOracle;
@@ -167,7 +160,7 @@ struct JobResult {
 /// the base config's cluster/predictor settings.
 struct JobGrid {
   std::vector<JobApp> apps = all_job_apps();
-  std::vector<JobStrategy> strategies = all_job_strategies();
+  std::vector<StrategyKind> strategies = all_job_strategies();
   std::vector<TraceProfile> traces = {TraceProfile::kControlledStragglers,
                                       TraceProfile::kVolatileCloud};
 };
@@ -177,7 +170,7 @@ struct JobSuiteResult {
   std::vector<JobResult> jobs;
 
   /// nullptr when the job was not part of the sweep.
-  [[nodiscard]] const JobResult* find(JobApp a, JobStrategy s,
+  [[nodiscard]] const JobResult* find(JobApp a, StrategyKind s,
                                       TraceProfile t) const;
 
   /// Hash over every job fingerprint (whole-suite determinism check).

@@ -61,8 +61,8 @@ std::vector<CellCoord> expand_axes(const ScenarioConfig& base,
   for (const std::size_t n : sizes) {
     // Prediction-blind engines run once per cluster size (recorded under
     // kOracle); re-running them per predictor would duplicate cells.
-    for (const EngineKind e : axes.engines) {
-      if (engine_uses_predictions(e)) continue;
+    for (const StrategyKind e : axes.engines) {
+      if (core::strategy_uses_predictions(e)) continue;
       for (const WorkloadKind w : axes.workloads) {
         for (const TraceProfile t : axes.traces) {
           coords.push_back({e, w, t, n, PredictorKind::kOracle});
@@ -70,8 +70,8 @@ std::vector<CellCoord> expand_axes(const ScenarioConfig& base,
       }
     }
     for (const PredictorKind p : axes.predictors) {
-      for (const EngineKind e : axes.engines) {
-        if (!engine_uses_predictions(e)) continue;
+      for (const StrategyKind e : axes.engines) {
+        if (!core::strategy_uses_predictions(e)) continue;
         for (const WorkloadKind w : axes.workloads) {
           for (const TraceProfile t : axes.traces) {
             coords.push_back({e, w, t, n, p});

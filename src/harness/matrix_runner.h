@@ -34,7 +34,7 @@ namespace s2c2::harness {
 /// config's cluster"; `predictors` always applies to prediction-capable
 /// engines only (replication runs once per column, with kOracle recorded).
 struct MatrixAxes {
-  std::vector<EngineKind> engines = all_engines();
+  std::vector<StrategyKind> engines = all_engines();
   std::vector<WorkloadKind> workloads = all_workloads();
   std::vector<TraceProfile> traces = all_trace_profiles();
   std::vector<std::size_t> cluster_sizes;  // empty => {config.workers}
@@ -55,7 +55,7 @@ struct MatrixAxes {
 
 /// One cell coordinate in the widened grid.
 struct CellCoord {
-  EngineKind engine{};
+  StrategyKind engine{};
   WorkloadKind workload{};
   TraceProfile trace{};
   std::size_t workers = 0;

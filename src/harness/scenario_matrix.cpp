@@ -8,10 +8,7 @@
 #include <stdexcept>
 
 #include "src/coding/poly_code.h"
-#include "src/core/engine.h"
-#include "src/core/overdecomp_engine.h"
-#include "src/core/poly_engine.h"
-#include "src/core/replication_engine.h"
+#include "src/core/engine_factory.h"
 #include "src/linalg/sparse.h"
 #include "src/predict/arima.h"
 #include "src/util/hash.h"
@@ -26,6 +23,23 @@ namespace {
 using util::fnv1a;
 using util::hex64;
 using util::mix64;
+
+/// Legacy axis id of a matrix engine — the wire format cell seeds and
+/// cell fingerprints are built from. It predates the unified StrategyKind
+/// (whose enum values must stay free to grow) and is pinned by the golden
+/// fingerprints in tests/fingerprint_guard_test.cpp; never renumber.
+std::uint64_t engine_axis_id(StrategyKind e) {
+  switch (e) {
+    case StrategyKind::kS2C2: return 0;
+    case StrategyKind::kReplication: return 1;
+    case StrategyKind::kPoly: return 2;
+    case StrategyKind::kOverDecomp: return 3;
+    default:
+      throw std::invalid_argument(
+          std::string("strategy is not a scenario-matrix engine axis: ") +
+          core::strategy_name(e));
+  }
+}
 
 /// Rounds `d` down to a multiple of `a` (polynomial codes need d % a == 0),
 /// clamping up to `a` when d < a so degenerate shapes still yield one block.
@@ -197,16 +211,6 @@ ColumnPredictor make_column_predictor(const ScenarioConfig& config,
   return b;
 }
 
-const char* engine_name(EngineKind e) {
-  switch (e) {
-    case EngineKind::kS2C2: return "s2c2";
-    case EngineKind::kReplication: return "replication";
-    case EngineKind::kPolyCoded: return "poly";
-    case EngineKind::kOverDecomposition: return "overdecomp";
-  }
-  return "?";
-}
-
 const char* workload_name(WorkloadKind w) {
   switch (w) {
     case WorkloadKind::kLogisticRegression: return "logreg";
@@ -237,9 +241,9 @@ const char* predictor_name(PredictorKind p) {
   return "?";
 }
 
-std::vector<EngineKind> all_engines() {
-  return {EngineKind::kS2C2, EngineKind::kReplication, EngineKind::kPolyCoded,
-          EngineKind::kOverDecomposition};
+std::vector<StrategyKind> all_engines() {
+  return {StrategyKind::kS2C2, StrategyKind::kReplication, StrategyKind::kPoly,
+          StrategyKind::kOverDecomp};
 }
 
 std::vector<WorkloadKind> all_workloads() {
@@ -255,18 +259,6 @@ std::vector<TraceProfile> all_trace_profiles() {
 std::vector<PredictorKind> all_predictors() {
   return {PredictorKind::kOracle, PredictorKind::kLastValue,
           PredictorKind::kArima, PredictorKind::kLstm};
-}
-
-bool engine_uses_predictions(EngineKind e) {
-  switch (e) {
-    case EngineKind::kS2C2:
-    case EngineKind::kPolyCoded:
-    case EngineKind::kOverDecomposition:
-      return true;
-    case EngineKind::kReplication:
-      return false;
-  }
-  return false;
 }
 
 WorkloadShape workload_shape(WorkloadKind w, const ScenarioConfig& config) {
@@ -304,10 +296,10 @@ WorkloadShape workload_shape(WorkloadKind w, const ScenarioConfig& config) {
   return s;
 }
 
-std::uint64_t cell_seed(std::uint64_t seed, EngineKind e, WorkloadKind w,
+std::uint64_t cell_seed(std::uint64_t seed, StrategyKind e, WorkloadKind w,
                         TraceProfile t) {
   std::uint64_t h = mix64(seed);
-  h = mix64(h ^ (static_cast<std::uint64_t>(e) + 1));
+  h = mix64(h ^ (engine_axis_id(e) + 1));
   h = mix64(h ^ ((static_cast<std::uint64_t>(w) + 1) << 8));
   h = mix64(h ^ ((static_cast<std::uint64_t>(t) + 1) << 16));
   return h;
@@ -383,7 +375,7 @@ core::ClusterSpec make_cluster(TraceProfile profile,
 
 std::string CellResult::fingerprint() const {
   std::uint64_t h = 0xcbf29ce484222325ull;
-  h = fnv1a(h, static_cast<std::uint64_t>(engine));
+  h = fnv1a(h, engine_axis_id(engine));
   h = fnv1a(h, static_cast<std::uint64_t>(workload));
   h = fnv1a(h, static_cast<std::uint64_t>(trace));
   h = fnv1a(h, static_cast<std::uint64_t>(workers));
@@ -398,7 +390,7 @@ std::string CellResult::fingerprint() const {
   return hex64(h);
 }
 
-const CellResult* MatrixResult::find(EngineKind e, WorkloadKind w,
+const CellResult* MatrixResult::find(StrategyKind e, WorkloadKind w,
                                      TraceProfile t) const {
   for (const auto& cell : cells) {
     if (cell.engine == e && cell.workload == w && cell.trace == t) {
@@ -408,7 +400,7 @@ const CellResult* MatrixResult::find(EngineKind e, WorkloadKind w,
   return nullptr;
 }
 
-const CellResult* MatrixResult::find(EngineKind e, WorkloadKind w,
+const CellResult* MatrixResult::find(StrategyKind e, WorkloadKind w,
                                      TraceProfile t, std::size_t workers,
                                      PredictorKind p) const {
   for (const auto& cell : cells) {
@@ -432,140 +424,136 @@ std::string MatrixResult::fingerprint() const {
 
 namespace {
 
-CellResult run_s2c2_cell(const ScenarioConfig& config, const WorkloadShape& s,
-                         const core::ClusterSpec& spec, std::uint64_t salt,
-                         CellResult cell) {
-  ColumnPredictor bundle =
-      make_column_predictor(config, cell.workload, cell.trace);
-  core::EngineConfig cfg;
-  cfg.strategy = core::Strategy::kS2C2General;
-  cfg.chunks_per_partition = config.chunks_per_partition;
-  cfg.oracle_speeds = bundle.oracle();
-
-  const std::size_t n = config.workers;
-  const std::size_t k = config.effective_k();
+/// Runs the cell's rounds with optional decode verification against a
+/// vector or Hessian truth (functional coded cells), then books the
+/// summary. Verification is generic over the unified RoundResult: a cell
+/// whose engine should decode but returns no product records kNever.
+void run_cell_rounds(const ScenarioConfig& config,
+                     core::StrategyEngine& engine, CellResult& cell,
+                     std::span<const double> x, const linalg::Vector* truth_y,
+                     const linalg::Matrix* truth_h) {
   RoundSummary rs;
-
-  if (config.functional) {
-    util::Rng op_rng(mix64(salt ^ 0x0be7a70ull));
-    linalg::Vector x(s.cols);
-    for (auto& v : x) v = op_rng.normal();
-    linalg::Vector truth;
-    std::unique_ptr<core::CodedMatVecJob> job;
-    if (s.sparse) {
-      const auto adj = workload::power_law_digraph(s.rows, 6, op_rng);
-      const auto link = workload::link_matrix(adj);
-      truth = link.matvec(x);
-      job = std::make_unique<core::CodedMatVecJob>(
-          link, n, k, cfg.chunks_per_partition);
-    } else {
-      const auto a = linalg::Matrix::random_uniform(s.rows, s.cols, op_rng);
-      truth = a.matvec(x);
-      job = std::make_unique<core::CodedMatVecJob>(a, n, k,
-                                                   cfg.chunks_per_partition);
-    }
-    core::CodedComputeEngine engine(*job, spec, cfg,
-                                    std::move(bundle.predictor));
+  if (truth_y != nullptr || truth_h != nullptr) {
     cell.decode_checked = true;
     rs = run_rounds_loop(config.rounds, [&] {
-      const auto res = engine.run_round(x);
-      if (res.y.has_value()) {
+      const core::RoundResult res = engine.run_round(x);
+      if (truth_y != nullptr && res.y.has_value()) {
         cell.max_decode_error = std::max(
-            cell.max_decode_error, linalg::max_abs_diff(*res.y, truth));
+            cell.max_decode_error, linalg::max_abs_diff(*res.y, *truth_y));
+      } else if (truth_h != nullptr && res.hessian.has_value()) {
+        cell.max_decode_error = std::max(cell.max_decode_error,
+                                         res.hessian->max_abs_diff(*truth_h));
       } else {
         cell.max_decode_error = sim::SpeedTrace::kNever;
       }
       return res.stats;
     });
-    finish_cell(cell, rs, engine.accounting());
-    return cell;
+  } else {
+    rs = run_rounds_loop(config.rounds,
+                         [&] { return engine.run_round().stats; });
   }
-
-  const auto job = core::CodedMatVecJob::cost_only(s.rows, s.cols, n, k,
-                                                   cfg.chunks_per_partition);
-  core::CodedComputeEngine engine(job, spec, cfg,
-                                  std::move(bundle.predictor));
-  rs = run_rounds_loop(config.rounds, [&] { return engine.run_round().stats; });
   finish_cell(cell, rs, engine.accounting());
-  return cell;
 }
 
-CellResult run_replication_cell(const ScenarioConfig& config,
-                                const WorkloadShape& s,
-                                const core::ClusterSpec& spec,
-                                std::uint64_t salt, CellResult cell) {
-  core::ReplicationConfig rcfg;
-  rcfg.placement_seed = mix64(salt ^ 0x91ace3e9ull);
-  core::ReplicationEngine engine(s.rows, s.cols, spec, rcfg);
-  const RoundSummary rs =
-      run_rounds_loop(config.rounds, [&] { return engine.run_round().stats; });
-  finish_cell(cell, rs, engine.accounting());
-  return cell;
-}
-
-CellResult run_poly_cell(const ScenarioConfig& config, const WorkloadShape& s,
+CellResult run_cell_impl(const ScenarioConfig& config, const WorkloadShape& s,
                          const core::ClusterSpec& spec, std::uint64_t salt,
                          CellResult cell) {
-  const std::size_t d = round_to_blocks(s.cols, s.a_blocks);
-  const std::size_t out_rows = d / s.a_blocks;
-  ColumnPredictor bundle =
-      make_column_predictor(config, cell.workload, cell.trace);
-  core::PolyEngineConfig pcfg;
-  pcfg.use_s2c2 = true;
-  pcfg.oracle_speeds = bundle.oracle();
-  pcfg.chunks_per_partition =
-      std::min(config.chunks_per_partition, std::max<std::size_t>(out_rows, 1));
+  const StrategyKind e = cell.engine;
 
-  RoundSummary rs;
-  if (config.functional && cell.workload == WorkloadKind::kHessian) {
-    util::Rng op_rng(mix64(salt ^ 0x0be7a70ull));
-    const auto a = linalg::Matrix::random_uniform(s.rows, d, op_rng);
-    linalg::Vector x(s.rows);
-    for (auto& v : x) v = op_rng.uniform(0.1, 1.0);
-    const auto truth = coding::PolyCode::hessian_direct(a, x);
-    core::PolyCodedEngine engine(a, s.rows, d, s.a_blocks, spec, pcfg,
-                                 std::move(bundle.predictor));
-    cell.decode_checked = true;
-    rs = run_rounds_loop(config.rounds, [&] {
-      const auto res = engine.run_round(x);
-      if (res.hessian.has_value()) {
-        cell.max_decode_error =
-            std::max(cell.max_decode_error, res.hessian->max_abs_diff(truth));
-      } else {
-        cell.max_decode_error = sim::SpeedTrace::kNever;
-      }
-      return res.stats;
-    });
-    finish_cell(cell, rs, engine.accounting());
-    return cell;
+  core::EngineParams params;
+  params.cluster = spec;
+  params.k = config.effective_k();
+  params.chunks_per_partition = config.chunks_per_partition;
+  params.a_blocks = s.a_blocks;
+  // The bundle outlives the engine: the LSTM adapter references it.
+  ColumnPredictor bundle;
+  if (core::strategy_uses_predictions(e)) {
+    bundle = make_column_predictor(config, cell.workload, cell.trace);
+    params.oracle_speeds = bundle.oracle();
+    params.predictor = std::move(bundle.predictor);
   }
 
-  core::PolyCodedEngine engine(std::nullopt, s.rows, d, s.a_blocks, spec,
-                               pcfg, std::move(bundle.predictor));
-  rs = run_rounds_loop(config.rounds, [&] { return engine.run_round().stats; });
-  finish_cell(cell, rs, engine.accounting());
-  return cell;
-}
+  // Cell-local operators and truths; params borrow pointers, so these
+  // must outlive the engine below. Only coded cells with a decode verify
+  // (the S2C2 engine everywhere, poly on the Hessian workload); the
+  // uncoded baselines have nothing to decode and stay latency-shape-only.
+  linalg::Matrix dense;
+  linalg::CsrMatrix link;
+  linalg::Vector x;
+  linalg::Vector truth_y;
+  linalg::Matrix truth_h;
+  bool verify_y = false;
+  bool verify_h = false;
 
-CellResult run_overdecomp_cell(const ScenarioConfig& config,
-                               const WorkloadShape& s,
-                               const core::ClusterSpec& spec,
-                               CellResult cell) {
-  ColumnPredictor bundle =
-      make_column_predictor(config, cell.workload, cell.trace);
-  core::OverDecompConfig ocfg;
-  ocfg.oracle_speeds = bundle.oracle();
-  core::OverDecompositionEngine engine(s.rows, s.cols, spec, ocfg,
-                                       std::move(bundle.predictor));
-  const RoundSummary rs =
-      run_rounds_loop(config.rounds, [&] { return engine.run_round().stats; });
-  finish_cell(cell, rs, engine.accounting());
+  switch (e) {
+    case StrategyKind::kS2C2:
+      if (config.functional) {
+        util::Rng op_rng(mix64(salt ^ 0x0be7a70ull));
+        x.resize(s.cols);
+        for (auto& v : x) v = op_rng.normal();
+        if (s.sparse) {
+          const auto adj = workload::power_law_digraph(s.rows, 6, op_rng);
+          link = workload::link_matrix(adj);
+          truth_y = link.matvec(x);
+          params.sparse = &link;
+        } else {
+          dense = linalg::Matrix::random_uniform(s.rows, s.cols, op_rng);
+          truth_y = dense.matvec(x);
+          params.dense = &dense;
+        }
+        verify_y = true;
+      } else {
+        params.rows = s.rows;
+        params.cols = s.cols;
+      }
+      break;
+    case StrategyKind::kPoly: {
+      const std::size_t d = round_to_blocks(s.cols, s.a_blocks);
+      const std::size_t out_rows = d / s.a_blocks;
+      params.chunks_per_partition = std::min(
+          config.chunks_per_partition, std::max<std::size_t>(out_rows, 1));
+      if (config.functional && cell.workload == WorkloadKind::kHessian) {
+        util::Rng op_rng(mix64(salt ^ 0x0be7a70ull));
+        dense = linalg::Matrix::random_uniform(s.rows, d, op_rng);
+        x.resize(s.rows);
+        for (auto& v : x) v = op_rng.uniform(0.1, 1.0);
+        truth_h = coding::PolyCode::hessian_direct(dense, x);
+        params.dense = &dense;
+        verify_h = true;
+      } else {
+        params.rows = s.rows;
+        params.cols = d;
+      }
+      break;
+    }
+    case StrategyKind::kReplication:
+      params.replication.placement_seed = mix64(salt ^ 0x91ace3e9ull);
+      params.rows = s.rows;
+      params.cols = s.cols;
+      break;
+    case StrategyKind::kOverDecomp:
+      params.rows = s.rows;
+      params.cols = s.cols;
+      break;
+    default:
+      throw std::invalid_argument(
+          std::string("strategy is not a scenario-matrix engine axis: ") +
+          core::strategy_name(e));
+  }
+
+  const std::unique_ptr<core::StrategyEngine> engine =
+      core::make_engine(e, std::move(params));
+  run_cell_rounds(config, *engine, cell,
+                  (verify_y || verify_h) ? std::span<const double>(x)
+                                         : std::span<const double>{},
+                  verify_y ? &truth_y : nullptr,
+                  verify_h ? &truth_h : nullptr);
   return cell;
 }
 
 }  // namespace
 
-CellResult run_cell(const ScenarioConfig& config, EngineKind e,
+CellResult run_cell(const ScenarioConfig& config, StrategyKind e,
                     WorkloadKind w, TraceProfile t) {
   if (config.workers < 2) {
     throw std::invalid_argument("scenario matrix needs >= 2 workers");
@@ -584,16 +572,7 @@ CellResult run_cell(const ScenarioConfig& config, EngineKind e,
   cell.workers = config.workers;
   cell.predictor = config.predictor;
   try {
-    switch (e) {
-      case EngineKind::kS2C2:
-        return run_s2c2_cell(config, shape, spec, salt, cell);
-      case EngineKind::kReplication:
-        return run_replication_cell(config, shape, spec, salt, cell);
-      case EngineKind::kPolyCoded:
-        return run_poly_cell(config, shape, spec, salt, cell);
-      case EngineKind::kOverDecomposition:
-        return run_overdecomp_cell(config, shape, spec, cell);
-    }
+    return run_cell_impl(config, shape, spec, salt, cell);
   } catch (const std::runtime_error& ex) {
     // Unrecoverable cluster failures (the failure-injection profile can
     // push a baseline past its redundancy) are data, not crashes: the cell
@@ -602,17 +581,16 @@ CellResult run_cell(const ScenarioConfig& config, EngineKind e,
     cell.error = ex.what();
     return cell;
   }
-  throw std::invalid_argument("unknown engine kind");
 }
 
 MatrixResult run_scenario_matrix(const ScenarioConfig& config,
-                                 std::span<const EngineKind> engines,
+                                 std::span<const StrategyKind> engines,
                                  std::span<const WorkloadKind> workloads,
                                  std::span<const TraceProfile> traces) {
   MatrixResult out;
   out.config = config;
   out.cells.reserve(engines.size() * workloads.size() * traces.size());
-  for (const EngineKind e : engines) {
+  for (const StrategyKind e : engines) {
     for (const WorkloadKind w : workloads) {
       for (const TraceProfile t : traces) {
         out.cells.push_back(run_cell(config, e, w, t));

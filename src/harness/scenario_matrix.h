@@ -40,12 +40,11 @@
 
 namespace s2c2::harness {
 
-enum class EngineKind {
-  kS2C2,               // MDS code + general S2C2 allocation (paper §4.2)
-  kReplication,        // uncoded 3-replication + LATE speculation (§7.1)
-  kPolyCoded,          // polynomial code, S2C2 allocation on top (§5)
-  kOverDecomposition,  // Charm++-style over-decomposition baseline (§7.2)
-};
+/// The harness sweeps strategies by their core::StrategyKind (the unified
+/// taxonomy in src/core/strategy_config.h — the pre-PR-5 EngineKind enum
+/// is gone). The matrix's engine axis is the four paper families returned
+/// by all_engines(): kS2C2, kReplication, kPoly, kOverDecomp.
+using StrategyKind = core::StrategyKind;
 
 enum class WorkloadKind {
   kLogisticRegression,  // tall dense operator (X and Xᵀ products, §6.3)
@@ -72,19 +71,19 @@ enum class PredictorKind {
   kLstm,   // the paper's 4-hidden-unit LSTM, trained in-cell
 };
 
-[[nodiscard]] const char* engine_name(EngineKind e);
+// Strategy naming/parsing lives in core (core::strategy_name /
+// core::parse_strategy); the helpers below cover the harness-local axes.
 [[nodiscard]] const char* workload_name(WorkloadKind w);
 [[nodiscard]] const char* trace_profile_name(TraceProfile t);
 [[nodiscard]] const char* predictor_name(PredictorKind p);
 
-[[nodiscard]] std::vector<EngineKind> all_engines();
+/// The matrix's engine axis: the four paper strategy families. Prediction
+/// use (core::strategy_uses_predictions) decides which of them the
+/// predictor axis multiplies; the others run once per column.
+[[nodiscard]] std::vector<StrategyKind> all_engines();
 [[nodiscard]] std::vector<WorkloadKind> all_workloads();
 [[nodiscard]] std::vector<TraceProfile> all_trace_profiles();
 [[nodiscard]] std::vector<PredictorKind> all_predictors();
-
-/// True for engines whose allocation consumes speed predictions — the
-/// predictor axis only multiplies these; the others run once per column.
-[[nodiscard]] bool engine_uses_predictions(EngineKind e);
 
 /// A speed source built for one (workload, trace) column. `predictor` is
 /// null for PredictorKind::kOracle (engines then read the true trace speed
@@ -142,7 +141,7 @@ struct WorkloadShape {
 
 /// Deterministic per-cell seed: config.seed mixed with the coordinates.
 /// Seeds cell-local randomness (operators, replica placement).
-[[nodiscard]] std::uint64_t cell_seed(std::uint64_t seed, EngineKind e,
+[[nodiscard]] std::uint64_t cell_seed(std::uint64_t seed, StrategyKind e,
                                       WorkloadKind w, TraceProfile t);
 
 /// Trace salt for a (workload, profile) column — deliberately independent
@@ -171,7 +170,7 @@ struct WorkloadShape {
     const ScenarioConfig& config, WorkloadKind w, TraceProfile t);
 
 struct CellResult {
-  EngineKind engine{};
+  StrategyKind engine{};
   WorkloadKind workload{};
   TraceProfile trace{};
   std::size_t workers = 0;  // cluster size the cell ran at
@@ -210,9 +209,9 @@ struct MatrixResult {
 
   /// nullptr when the cell was not part of the sweep. The three-coordinate
   /// form returns the first match over the runner's extra axes.
-  [[nodiscard]] const CellResult* find(EngineKind e, WorkloadKind w,
+  [[nodiscard]] const CellResult* find(StrategyKind e, WorkloadKind w,
                                        TraceProfile t) const;
-  [[nodiscard]] const CellResult* find(EngineKind e, WorkloadKind w,
+  [[nodiscard]] const CellResult* find(StrategyKind e, WorkloadKind w,
                                        TraceProfile t, std::size_t workers,
                                        PredictorKind p) const;
 
@@ -221,12 +220,13 @@ struct MatrixResult {
 };
 
 /// Runs a single cell.
-[[nodiscard]] CellResult run_cell(const ScenarioConfig& config, EngineKind e,
-                                  WorkloadKind w, TraceProfile t);
+[[nodiscard]] CellResult run_cell(const ScenarioConfig& config,
+                                  StrategyKind e, WorkloadKind w,
+                                  TraceProfile t);
 
 /// Sweeps the cross product of the given axes.
 [[nodiscard]] MatrixResult run_scenario_matrix(
-    const ScenarioConfig& config, std::span<const EngineKind> engines,
+    const ScenarioConfig& config, std::span<const StrategyKind> engines,
     std::span<const WorkloadKind> workloads,
     std::span<const TraceProfile> traces);
 

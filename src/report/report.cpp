@@ -12,7 +12,7 @@ namespace {
 
 using harness::JobApp;
 using harness::JobResult;
-using harness::JobStrategy;
+using core::StrategyKind;
 using harness::JobSuiteResult;
 using harness::TraceProfile;
 
@@ -57,15 +57,15 @@ std::vector<TraceProfile> suite_traces(const JobSuiteResult& s) {
 std::vector<JobApp> suite_apps(const JobSuiteResult& s) {
   return distinct<JobApp>(s, [](const JobResult& j) { return j.app; });
 }
-std::vector<JobStrategy> suite_strategies(const JobSuiteResult& s) {
-  return distinct<JobStrategy>(s, [](const JobResult& j) { return j.strategy; });
+std::vector<StrategyKind> suite_strategies(const JobSuiteResult& s) {
+  return distinct<StrategyKind>(s, [](const JobResult& j) { return j.strategy; });
 }
 
 /// S2C2's completion time for the job's (app, trace) column, or 0 when
 /// unavailable (not in the grid, or failed) — callers emit an empty cell.
 double s2c2_reference_time(const JobSuiteResult& suite, const JobResult& job) {
   const JobResult* ref =
-      suite.find(job.app, JobStrategy::kS2C2, job.trace);
+      suite.find(job.app, StrategyKind::kS2C2, job.trace);
   if (ref == nullptr || ref->failed || ref->completion_time <= 0.0) {
     return 0.0;
   }
@@ -100,7 +100,7 @@ ReportInputs run_report_inputs(const ReportConfig& config) {
   mcfg.functional = false;
   mcfg.rounds = config.predictor_rounds;
   harness::MatrixAxes axes;
-  axes.engines = {harness::EngineKind::kS2C2};
+  axes.engines = {StrategyKind::kS2C2};
   axes.workloads = {harness::WorkloadKind::kLogisticRegression,
                     harness::WorkloadKind::kPageRank};
   axes.traces = {TraceProfile::kStableCloud, TraceProfile::kVolatileCloud};
@@ -120,7 +120,7 @@ std::string job_completion_csv(const JobSuiteResult& suite) {
     csv += ',';
     csv += harness::trace_profile_name(job.trace);
     csv += ',';
-    csv += harness::job_strategy_name(job.strategy);
+    csv += core::strategy_name(job.strategy);
     csv += ',';
     csv += harness::predictor_name(job.predictor);
     csv += ',';
@@ -157,7 +157,7 @@ std::string utilization_csv(const JobSuiteResult& suite) {
     csv += ',';
     csv += harness::trace_profile_name(job.trace);
     csv += ',';
-    csv += harness::job_strategy_name(job.strategy);
+    csv += core::strategy_name(job.strategy);
     if (job.failed) {
       csv += ",,,,,,,\n";
       continue;
@@ -273,15 +273,15 @@ std::string reproduction_markdown(const ReportInputs& inputs) {
   for (const TraceProfile t : traces) {
     append(md, {"\n### Trace `", harness::trace_profile_name(t),
                 "`\n\n| app |"});
-    for (const JobStrategy s : strategies) {
-      append(md, {" ", harness::job_strategy_name(s), " |"});
+    for (const StrategyKind s : strategies) {
+      append(md, {" ", core::strategy_name(s), " |"});
     }
     md += "\n|---|";
     for (std::size_t i = 0; i < strategies.size(); ++i) md += "---|";
     md += "\n";
     for (const JobApp a : apps) {
       append(md, {"| ", harness::job_app_name(a), " |"});
-      for (const JobStrategy s : strategies) {
+      for (const StrategyKind s : strategies) {
         const JobResult* job = suite.find(a, s, t);
         if (job == nullptr) {
           md += " - |";
@@ -308,15 +308,15 @@ std::string reproduction_markdown(const ReportInputs& inputs) {
   for (const TraceProfile t : traces) {
     append(md, {"\n### Trace `", harness::trace_profile_name(t),
                 "`\n\n| app |"});
-    for (const JobStrategy s : strategies) {
-      append(md, {" ", harness::job_strategy_name(s), " |"});
+    for (const StrategyKind s : strategies) {
+      append(md, {" ", core::strategy_name(s), " |"});
     }
     md += "\n|---|";
     for (std::size_t i = 0; i < strategies.size(); ++i) md += "---|";
     md += "\n";
     for (const JobApp a : apps) {
       append(md, {"| ", harness::job_app_name(a), " |"});
-      for (const JobStrategy s : strategies) {
+      for (const StrategyKind s : strategies) {
         const JobResult* job = suite.find(a, s, t);
         if (job == nullptr) {
           md += " - |";
@@ -369,7 +369,7 @@ std::string reproduction_markdown(const ReportInputs& inputs) {
   for (const JobResult& job : suite.jobs) {
     md += "| " + std::string(harness::job_app_name(job.app)) + " | " +
           harness::trace_profile_name(job.trace) + " | " +
-          harness::job_strategy_name(job.strategy) + " | ";
+          core::strategy_name(job.strategy) + " | ";
     if (job.failed) {
       md += "failed | - | - |\n";
       continue;

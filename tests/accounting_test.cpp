@@ -59,11 +59,11 @@ TEST(Accounting, BusyTimeCoversReassignedWork) {
   using core::CodedComputeEngine;
   using core::EngineConfig;
   using core::RoundResult;
-  using core::Strategy;
+  using core::StrategyKind;
 
   test::FunctionalMatVec f(12, 6);
   EngineConfig cfg;
-  cfg.strategy = Strategy::kS2C2General;
+  cfg.strategy = StrategyKind::kS2C2;
   cfg.chunks_per_partition = test::kChunks;
   CodedComputeEngine engine(
       f.job, test::make_spec(test::dying_traces(12, 1)), cfg);

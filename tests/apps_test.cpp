@@ -28,7 +28,7 @@ core::ClusterSpec straggler_spec(std::size_t n, std::size_t stragglers,
 
 core::EngineConfig s2c2_config() {
   core::EngineConfig cfg;
-  cfg.strategy = core::Strategy::kS2C2General;
+  cfg.strategy = core::StrategyKind::kS2C2;
   cfg.chunks_per_partition = 12;
   cfg.oracle_speeds = true;
   return cfg;

@@ -155,5 +155,62 @@ TEST(OverDecomp, OracleTracksProportionalShares) {
   EXPECT_NEAR(r.back().stats.latency(), 0.016, 0.004);
 }
 
+// ---- product forwarding (the run_round(x) unification) -------------------
+// The uncoded baselines must forward the exact product in functional mode,
+// so job-driver convergence loops drive every strategy through one code
+// path instead of strategy-specific latency-only shims. Mirrors the PR 3
+// CodedComputeEngine::run_rounds regression: an engine that silently drops
+// the product turns convergence checks into latency measurements.
+
+TEST(Replication, FunctionalRoundForwardsExactProduct) {
+  util::Rng rng(11);
+  const auto a = linalg::Matrix::random_uniform(96, 24, rng);
+  linalg::Vector x(24);
+  for (auto& v : x) v = rng.normal();
+  const linalg::Vector truth = a.matvec(x);
+
+  ReplicationEngine engine(
+      a.rows(), a.cols(), ClusterSpec::uniform(12), {},
+      [&a](std::span<const double> in) { return a.matvec(in); });
+  // Every round of a functional loop must carry the product (run_rounds
+  // would silently go latency-only otherwise).
+  const auto rounds = engine.run_rounds(3, x);
+  ASSERT_EQ(rounds.size(), 3u);
+  for (const RoundResult& r : rounds) {
+    ASSERT_TRUE(r.y.has_value());
+    EXPECT_EQ(linalg::max_abs_diff(*r.y, truth), 0.0);  // exact, not decoded
+  }
+  // Latency-only rounds stay latency-only.
+  EXPECT_FALSE(engine.run_round().y.has_value());
+}
+
+TEST(OverDecomp, FunctionalRoundForwardsExactProduct) {
+  util::Rng rng(12);
+  const auto a = linalg::Matrix::random_uniform(80, 20, rng);
+  linalg::Vector x(20);
+  for (auto& v : x) v = rng.normal();
+  const linalg::Vector truth = a.matvec(x);
+
+  OverDecompConfig cfg;
+  cfg.oracle_speeds = true;
+  OverDecompositionEngine engine(
+      a.rows(), a.cols(), ClusterSpec::uniform(10), cfg, nullptr,
+      [&a](std::span<const double> in) { return a.matvec(in); });
+  const auto rounds = engine.run_rounds(2, x);
+  for (const RoundResult& r : rounds) {
+    ASSERT_TRUE(r.y.has_value());
+    EXPECT_EQ(linalg::max_abs_diff(*r.y, truth), 0.0);
+  }
+  EXPECT_FALSE(engine.run_round().y.has_value());
+}
+
+TEST(Baselines, CostOnlyEngineIgnoresInputVector) {
+  // Without a functional operator an input vector cannot produce a
+  // product; the round must stay latency-only rather than fabricate one.
+  ReplicationEngine engine(1200, 100, ClusterSpec::uniform(12), {});
+  linalg::Vector x(100, 1.0);
+  EXPECT_FALSE(engine.run_round(x).y.has_value());
+}
+
 }  // namespace
 }  // namespace s2c2::core

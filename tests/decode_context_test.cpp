@@ -207,7 +207,7 @@ TEST(DecodeContext, EngineCacheHitsAccrueAcrossRounds) {
   // every later round decodes from cache.
   test::FunctionalMatVec f(12, 6);
   core::EngineConfig cfg;
-  cfg.strategy = core::Strategy::kS2C2General;
+  cfg.strategy = core::StrategyKind::kS2C2;
   cfg.chunks_per_partition = test::kChunks;
   cfg.oracle_speeds = true;
   core::CodedComputeEngine engine(

@@ -36,7 +36,7 @@ TEST(Engine, RejectsGranularityMismatch) {
 }
 
 struct StrategyParam {
-  Strategy strategy;
+  StrategyKind strategy;
   std::size_t stragglers;
 };
 
@@ -62,14 +62,14 @@ TEST_P(FunctionalDecode, MatchesDirectProduct) {
 
 INSTANTIATE_TEST_SUITE_P(
     StrategiesAndStragglers, FunctionalDecode,
-    ::testing::Values(StrategyParam{Strategy::kMdsConventional, 0},
-                      StrategyParam{Strategy::kMdsConventional, 3},
-                      StrategyParam{Strategy::kS2C2Basic, 0},
-                      StrategyParam{Strategy::kS2C2Basic, 2},
-                      StrategyParam{Strategy::kS2C2Basic, 5},
-                      StrategyParam{Strategy::kS2C2General, 0},
-                      StrategyParam{Strategy::kS2C2General, 3},
-                      StrategyParam{Strategy::kS2C2General, 6}));
+    ::testing::Values(StrategyParam{StrategyKind::kMds, 0},
+                      StrategyParam{StrategyKind::kMds, 3},
+                      StrategyParam{StrategyKind::kS2C2Basic, 0},
+                      StrategyParam{StrategyKind::kS2C2Basic, 2},
+                      StrategyParam{StrategyKind::kS2C2Basic, 5},
+                      StrategyParam{StrategyKind::kS2C2, 0},
+                      StrategyParam{StrategyKind::kS2C2, 3},
+                      StrategyParam{StrategyKind::kS2C2, 6}));
 
 TEST(Engine, S2C2FasterThanMdsWithoutStragglers) {
   // The paper's headline: with zero stragglers, conventional (n,k)-MDS
@@ -77,7 +77,7 @@ TEST(Engine, S2C2FasterThanMdsWithoutStragglers) {
   util::Rng trng(5);
   const auto traces = workload::controlled_cluster_traces(12, 0, 0.0, trng);
 
-  auto run = [&](Strategy s) {
+  auto run = [&](StrategyKind s) {
     EngineConfig cfg;
     cfg.strategy = s;
     cfg.chunks_per_partition = kChunks;
@@ -86,15 +86,15 @@ TEST(Engine, S2C2FasterThanMdsWithoutStragglers) {
     CodedComputeEngine engine(job, make_spec(traces), cfg);
     return total_latency(engine.run_rounds(5));
   };
-  const double mds = run(Strategy::kMdsConventional);
-  const double s2c2 = run(Strategy::kS2C2General);
+  const double mds = run(StrategyKind::kMds);
+  const double s2c2 = run(StrategyKind::kS2C2);
   // Ideal ratio 12/6 = 2; comm/decode overheads shave it.
   EXPECT_GT(mds / s2c2, 1.5);
 }
 
 TEST(Engine, S2C2DegradesGracefullyWithStragglers) {
   EngineConfig cfg;
-  cfg.strategy = Strategy::kS2C2General;
+  cfg.strategy = StrategyKind::kS2C2;
   cfg.chunks_per_partition = kChunks;
   cfg.oracle_speeds = true;
   double prev = 0.0;
@@ -115,7 +115,7 @@ TEST(Engine, S2C2DegradesGracefullyWithStragglers) {
 
 TEST(Engine, MdsLatencyFlatUpToRedundancyThenExplodes) {
   EngineConfig cfg;
-  cfg.strategy = Strategy::kMdsConventional;
+  cfg.strategy = StrategyKind::kMds;
   cfg.chunks_per_partition = kChunks;
   cfg.oracle_speeds = true;
   auto lat_with = [&](std::size_t stragglers) {
@@ -138,7 +138,7 @@ TEST(Engine, MdsLatencyFlatUpToRedundancyThenExplodes) {
 TEST(Engine, MdsWastesStragglersWorkS2C2DoesNot) {
   util::Rng trng(8);
   const auto traces = workload::controlled_cluster_traces(12, 2, 0.2, trng);
-  auto waste = [&](Strategy s) {
+  auto waste = [&](StrategyKind s) {
     EngineConfig cfg;
     cfg.strategy = s;
     cfg.chunks_per_partition = kChunks;
@@ -148,8 +148,8 @@ TEST(Engine, MdsWastesStragglersWorkS2C2DoesNot) {
     engine.run_rounds(5);
     return engine.accounting().mean_wasted_fraction();
   };
-  EXPECT_GT(waste(Strategy::kMdsConventional), 0.05);
-  EXPECT_NEAR(waste(Strategy::kS2C2General), 0.0, 1e-9);
+  EXPECT_GT(waste(StrategyKind::kMds), 0.05);
+  EXPECT_NEAR(waste(StrategyKind::kS2C2), 0.0, 1e-9);
 }
 
 TEST(Engine, TimeoutWindowCollectsTiesAtExtendedDeadline) {
@@ -161,7 +161,7 @@ TEST(Engine, TimeoutWindowCollectsTiesAtExtendedDeadline) {
   // waste, and timeout_fired reported true spuriously.
   FunctionalSetup f(6, 3);
   EngineConfig cfg;
-  cfg.strategy = Strategy::kS2C2General;
+  cfg.strategy = StrategyKind::kS2C2;
   cfg.chunks_per_partition = kChunks;
   cfg.oracle_speeds = true;
   cfg.timeout_factor = 0.9;
@@ -184,7 +184,7 @@ TEST(Engine, IdleWorkerProbeReflectsPreDecodeWindow) {
   // flag for the next round.
   FunctionalSetup ref(12, 6);
   EngineConfig cfg;
-  cfg.strategy = Strategy::kS2C2Basic;
+  cfg.strategy = StrategyKind::kS2C2Basic;
   cfg.chunks_per_partition = kChunks;
 
   // Reference run (worker 11 idle via a pre-fed slow observation) to learn
@@ -223,7 +223,7 @@ TEST(Engine, TimeoutRecoversFromSuddenDeath) {
   // so the timeout must fire, reassign, and still decode correctly.
   FunctionalSetup f(12, 6);
   EngineConfig cfg;
-  cfg.strategy = Strategy::kS2C2General;
+  cfg.strategy = StrategyKind::kS2C2;
   cfg.chunks_per_partition = kChunks;
   CodedComputeEngine engine(f.job, make_spec(test::dying_traces(12, 1)), cfg);
   const RoundResult r = engine.run_round(f.x);
@@ -245,7 +245,7 @@ TEST(Engine, SurvivesRecoveryWorkerDyingMidReassignment) {
   // coverage lands mid-reassignment.
   FunctionalSetup ref(n, k);
   EngineConfig cfg;
-  cfg.strategy = Strategy::kS2C2General;
+  cfg.strategy = StrategyKind::kS2C2;
   cfg.chunks_per_partition = kChunks;
   cfg.oracle_speeds = true;
   // Slow fleet (1e6 flops): compute dominates transfer, so a death at 90%
@@ -280,7 +280,7 @@ TEST(Engine, RecoveredClusterKeepsIterating) {
   // dead worker (observed speed ~ 0) without further timeouts.
   FunctionalSetup f(12, 6);
   EngineConfig cfg;
-  cfg.strategy = Strategy::kS2C2General;
+  cfg.strategy = StrategyKind::kS2C2;
   cfg.chunks_per_partition = kChunks;
   CodedComputeEngine engine(f.job, make_spec(test::dying_traces(12, 1)), cfg);
   (void)engine.run_round(f.x);  // death round
@@ -298,7 +298,7 @@ TEST(Engine, ClusterFailureWhenTooFewSurvive) {
       sim::SpeedTrace::constant(1.0), sim::SpeedTrace::constant(1.0),
       sim::SpeedTrace::constant(0.0), sim::SpeedTrace::constant(0.0)};
   EngineConfig cfg;
-  cfg.strategy = Strategy::kMdsConventional;
+  cfg.strategy = StrategyKind::kMds;
   cfg.chunks_per_partition = kChunks;
   CodedComputeEngine engine(f.job, make_spec(std::move(traces)), cfg);
   EXPECT_THROW(engine.run_round(f.x), std::runtime_error);
@@ -309,7 +309,7 @@ TEST(Engine, OracleBeatsEqualAssumptionUnderSpeedVariation) {
   // non-stragglers as equal) when speeds vary 20% (paper Fig 6 argument).
   util::Rng trng(9);
   const auto traces = workload::controlled_cluster_traces(12, 2, 0.2, trng);
-  auto run = [&](Strategy s) {
+  auto run = [&](StrategyKind s) {
     EngineConfig cfg;
     cfg.strategy = s;
     cfg.chunks_per_partition = kChunks;
@@ -318,7 +318,7 @@ TEST(Engine, OracleBeatsEqualAssumptionUnderSpeedVariation) {
     CodedComputeEngine engine(job, make_spec(traces), cfg);
     return total_latency(engine.run_rounds(5));
   };
-  EXPECT_LT(run(Strategy::kS2C2General), run(Strategy::kS2C2Basic));
+  EXPECT_LT(run(StrategyKind::kS2C2), run(StrategyKind::kS2C2Basic));
 }
 
 TEST(Engine, MispredictionRateTracked) {
@@ -331,7 +331,7 @@ TEST(Engine, MispredictionRateTracked) {
       workload::traces_from_series(series, 0.5));
   spec.worker_flops = 1e7;
   EngineConfig cfg;
-  cfg.strategy = Strategy::kS2C2General;
+  cfg.strategy = StrategyKind::kS2C2;
   cfg.chunks_per_partition = kChunks;
   CodedMatVecJob job = CodedMatVecJob::cost_only(2400, 500, 12, 10, kChunks);
   CodedComputeEngine engine(job, spec, cfg);
@@ -357,7 +357,7 @@ TEST(Engine, SparseOperatorFunctionalDecode) {
 
   util::Rng trng(12);
   EngineConfig cfg;
-  cfg.strategy = Strategy::kS2C2General;
+  cfg.strategy = StrategyKind::kS2C2;
   cfg.chunks_per_partition = kChunks;
   cfg.oracle_speeds = true;
   CodedComputeEngine engine(

@@ -32,7 +32,7 @@ struct Functional : test::FunctionalMatVec {
 TEST(FaultInjection, TwoSimultaneousDeathsWithinRedundancy) {
   Functional f(12, 6);
   EngineConfig cfg;
-  cfg.strategy = Strategy::kS2C2General;
+  cfg.strategy = StrategyKind::kS2C2;
   cfg.chunks_per_partition = kChunks;
   CodedComputeEngine engine(f.job, spec_from(test::dying_traces(12, 2)), cfg);
   const auto r = engine.run_round(f.x);
@@ -52,7 +52,7 @@ TEST(FaultInjection, StaggeredDeathsAcrossRounds) {
   traces[7] = sim::SpeedTrace::step(2e-3, 1.0, 0.0);
   traces[9] = sim::SpeedTrace::step(3e-3, 1.0, 0.0);
   EngineConfig cfg;
-  cfg.strategy = Strategy::kS2C2General;
+  cfg.strategy = StrategyKind::kS2C2;
   cfg.chunks_per_partition = kChunks;
   CodedComputeEngine engine(f.job, spec_from(std::move(traces)), cfg);
   for (int round = 0; round < 10; ++round) {
@@ -71,7 +71,7 @@ TEST(FaultInjection, DeathBeyondRedundancyEventuallyThrows) {
     traces.push_back(sim::SpeedTrace::step(1e-4, 1.0, 0.0));
   }
   EngineConfig cfg;
-  cfg.strategy = Strategy::kS2C2General;
+  cfg.strategy = StrategyKind::kS2C2;
   cfg.chunks_per_partition = kChunks;
   CodedComputeEngine engine(f.job, spec_from(std::move(traces)), cfg);
   EXPECT_THROW((void)engine.run_round(f.x), std::runtime_error);
@@ -89,7 +89,7 @@ TEST(FaultInjection, RecoveryWorkerSlowButAliveStillDecodes) {
   traces.push_back(sim::SpeedTrace::constant(1.0));
   traces.push_back(sim::SpeedTrace::step(1e-4, 1.0, 0.0));  // dies
   EngineConfig cfg;
-  cfg.strategy = Strategy::kS2C2General;
+  cfg.strategy = StrategyKind::kS2C2;
   cfg.chunks_per_partition = kChunks;
   CodedComputeEngine engine(f.job, spec_from(std::move(traces)), cfg);
   const auto r = engine.run_round(f.x);
@@ -109,7 +109,7 @@ TEST(FaultInjection, NoisyPredictorRaisesTimeoutRateMonotonically) {
     }
     CodedMatVecJob job(f.a, 10, 7, kChunks);
     EngineConfig cfg;
-    cfg.strategy = Strategy::kS2C2General;
+    cfg.strategy = StrategyKind::kS2C2;
     cfg.chunks_per_partition = kChunks;
     auto inner = std::make_unique<predict::LastValuePredictor>(10);
     auto noisy = std::make_unique<predict::NoisyPredictor>(
@@ -194,11 +194,11 @@ TEST(FaultInjection, SameSeedYieldsIdenticalEventLog) {
     ASSERT_EQ(a.round_latencies.size(), b.round_latencies.size());
     for (std::size_t r = 0; r < a.round_latencies.size(); ++r) {
       EXPECT_EQ(a.round_latencies[r], b.round_latencies[r])
-          << harness::engine_name(e) << " round " << r;
+          << core::strategy_name(e) << " round " << r;
     }
-    EXPECT_EQ(a.total_useful, b.total_useful) << harness::engine_name(e);
-    EXPECT_EQ(a.total_wasted, b.total_wasted) << harness::engine_name(e);
-    EXPECT_EQ(a.fingerprint(), b.fingerprint()) << harness::engine_name(e);
+    EXPECT_EQ(a.total_useful, b.total_useful) << core::strategy_name(e);
+    EXPECT_EQ(a.total_wasted, b.total_wasted) << core::strategy_name(e);
+    EXPECT_EQ(a.fingerprint(), b.fingerprint()) << core::strategy_name(e);
   }
 }
 
@@ -208,7 +208,7 @@ TEST(FaultInjection, DeathRecoveryIsDeterministic) {
   auto run = [] {
     Functional f(12, 6);
     EngineConfig cfg;
-    cfg.strategy = Strategy::kS2C2General;
+    cfg.strategy = StrategyKind::kS2C2;
     cfg.chunks_per_partition = kChunks;
     CodedComputeEngine engine(f.job, spec_from(test::dying_traces(12, 2)),
                               cfg);
@@ -235,7 +235,7 @@ TEST(FaultInjection, FrozenPredictorMissesRegimeChange) {
     traces.push_back(sim::SpeedTrace::step(0.2, 1.0, 0.3));
     CodedMatVecJob job = CodedMatVecJob::cost_only(2400, 500, 10, 7, kChunks);
     EngineConfig cfg;
-    cfg.strategy = Strategy::kS2C2General;
+    cfg.strategy = StrategyKind::kS2C2;
     cfg.chunks_per_partition = kChunks;
     std::unique_ptr<predict::SpeedPredictor> pred;
     if (frozen) {

@@ -1,0 +1,77 @@
+// Golden-fingerprint guard for the refactor-sensitive sweeps.
+//
+// These fingerprints hash the exact bit patterns of every simulated round
+// (latencies, accounting totals, decode errors) for pinned seeds, so ANY
+// behavioral drift in the engines, the round lifecycle, the harness
+// salting, or the predictor plumbing shows up as a mismatch here — even a
+// last-bit change in one double. Refactors (engine unification, executor
+// changes) must keep all four goldens byte-identical; a legitimate
+// behavioral change must update them in the same commit that explains why.
+//
+// To regenerate after an intentional change: run this suite and copy the
+// "actual" values from the failure messages. (Do NOT copy fingerprints
+// from the CLIs: scenario_cli --matrix goes through the widened
+// matrix-runner grid and repro_cli through ReportConfig defaults, both of
+// which hash different cell sets than the plain sweeps pinned here.)
+//
+// Caveat (same as docs/ARCHITECTURE.md's determinism contract): the values
+// are stable per toolchain — one compiler/libm pair reproduces them
+// bit-for-bit at any optimization level or thread count, but a different
+// libm may legitimately move low-order bits. CI pins one toolchain.
+#include <gtest/gtest.h>
+
+#include "src/harness/job_driver.h"
+#include "src/harness/matrix_runner.h"
+
+namespace s2c2 {
+namespace {
+
+// Pinned at PR 5 (engine unification), seed 42.
+constexpr char kSmallCostOnlyGolden[] = "f0771b8a4ccac94c";
+constexpr char kSmallFunctionalGolden[] = "c491678f9207cf5c";
+constexpr char kLargeScaleCellGolden[] = "52243eed9f56ea89";
+constexpr char kJobSuiteGolden[] = "16e232dec5ebdda4";
+
+harness::ScenarioConfig base_config() {
+  harness::ScenarioConfig cfg;  // workers 12, k n-2, rounds 6, seed 42
+  return cfg;
+}
+
+TEST(FingerprintGuard, SmallCostOnlyMatrix) {
+  const auto m = harness::run_scenario_matrix(base_config());
+  EXPECT_EQ(m.fingerprint(), kSmallCostOnlyGolden);
+}
+
+TEST(FingerprintGuard, SmallFunctionalMatrix) {
+  harness::ScenarioConfig cfg = base_config();
+  cfg.functional = true;
+  const auto m = harness::run_scenario_matrix(cfg);
+  EXPECT_EQ(m.fingerprint(), kSmallFunctionalGolden);
+}
+
+// One thousand-worker cell (k = 998 by the n - 2 rule, stragglers
+// rescaled): exercises the cached decode path and the proportional
+// allocator at fleet scale.
+TEST(FingerprintGuard, LargeScaleCell) {
+  const harness::ScenarioConfig cfg =
+      harness::cell_config(base_config(), 1000, harness::PredictorKind::kOracle);
+  const auto cell =
+      harness::run_cell(cfg, harness::StrategyKind::kS2C2,
+                        harness::WorkloadKind::kLogisticRegression,
+                        harness::TraceProfile::kControlledStragglers);
+  EXPECT_FALSE(cell.failed) << cell.error;
+  EXPECT_EQ(cell.fingerprint(), kLargeScaleCellGolden);
+}
+
+// The full default job-driver suite (4 apps x 4 strategies x
+// {controlled, volatile}): functional engines, real decodes, convergence
+// trajectories — the deepest end-to-end path the repo has.
+TEST(FingerprintGuard, JobSuite) {
+  const harness::JobConfig base;  // workers 12, stragglers 3, seed 42
+  const harness::JobGrid grid;
+  const auto suite = harness::run_job_suite(base, grid, 0);
+  EXPECT_EQ(suite.fingerprint(), kJobSuiteGolden);
+}
+
+}  // namespace
+}  // namespace s2c2

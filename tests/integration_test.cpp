@@ -40,7 +40,7 @@ TEST(Integration, LstmPredictorDrivesS2C2EndToEnd) {
   const auto truth = a.matvec(x);
 
   core::EngineConfig cfg;
-  cfg.strategy = core::Strategy::kS2C2General;
+  cfg.strategy = core::StrategyKind::kS2C2;
   cfg.chunks_per_partition = 14;
   core::CodedComputeEngine engine(
       core::CodedMatVecJob(a, 10, 7, 14), spec, cfg,
@@ -68,7 +68,7 @@ TEST(Integration, S2C2BeatsMdsOnCloudTracesEndToEnd) {
   spec.traces = workload::traces_from_series(series, 0.5);
   spec.worker_flops = 1e7;
 
-  auto run = [&](core::Strategy s) {
+  auto run = [&](core::StrategyKind s) {
     core::EngineConfig cfg;
     cfg.strategy = s;
     cfg.chunks_per_partition = 14;
@@ -77,8 +77,8 @@ TEST(Integration, S2C2BeatsMdsOnCloudTracesEndToEnd) {
     core::CodedComputeEngine engine(job, spec, cfg);
     return core::total_latency(engine.run_rounds(15));
   };
-  const double mds = run(core::Strategy::kMdsConventional);
-  const double s2c2 = run(core::Strategy::kS2C2General);
+  const double mds = run(core::StrategyKind::kMds);
+  const double s2c2 = run(core::StrategyKind::kS2C2);
   // Paper Fig 8: (10,7)-S2C2 beats (10,7)-MDS by ~39% in the stable cloud.
   EXPECT_GT((mds - s2c2) / mds, 0.2);
 }
@@ -94,7 +94,7 @@ TEST(Integration, SvmTrainsOnVolatileClusterWithRecoveries) {
   util::Rng drng(14);
   const auto data = workload::make_classification(160, 12, drng, 4.0, 0.5);
   core::EngineConfig cfg;
-  cfg.strategy = core::Strategy::kS2C2General;
+  cfg.strategy = core::StrategyKind::kS2C2;
   cfg.chunks_per_partition = 8;
   apps::SvmConfig svm;
   svm.iterations = 25;

@@ -18,7 +18,7 @@ JobConfig base_config() {
   return cfg;
 }
 
-JobConfig job_at(JobApp app, JobStrategy strategy, TraceProfile trace,
+JobConfig job_at(JobApp app, StrategyKind strategy, TraceProfile trace,
                  std::size_t iterations = 12) {
   JobConfig cfg = base_config();
   cfg.app = app;
@@ -29,7 +29,7 @@ JobConfig job_at(JobApp app, JobStrategy strategy, TraceProfile trace,
 }
 
 TEST(JobDriver, RunJobIsPureInItsConfig) {
-  const JobConfig cfg = job_at(JobApp::kPageRank, JobStrategy::kS2C2,
+  const JobConfig cfg = job_at(JobApp::kPageRank, StrategyKind::kS2C2,
                                TraceProfile::kVolatileCloud);
   const JobResult a = run_job(cfg);
   const JobResult b = run_job(cfg);
@@ -44,7 +44,7 @@ TEST(JobDriver, CodedJobsAmortizeDecodeAcrossRounds) {
   // A coded job's responder sets repeat round to round, so the persistent
   // decode cache must report far more hits than factorized sets; uncoded
   // baselines have no decode stage and report zeros.
-  const JobResult coded = run_job(job_at(JobApp::kPageRank, JobStrategy::kS2C2,
+  const JobResult coded = run_job(job_at(JobApp::kPageRank, StrategyKind::kS2C2,
                                          TraceProfile::kControlledStragglers));
   ASSERT_FALSE(coded.failed);
   EXPECT_GT(coded.rounds, 1u);
@@ -52,7 +52,7 @@ TEST(JobDriver, CodedJobsAmortizeDecodeAcrossRounds) {
   EXPECT_GT(coded.decode_cache_hits, coded.decode_sets);
 
   const JobResult uncoded =
-      run_job(job_at(JobApp::kPageRank, JobStrategy::kReplication,
+      run_job(job_at(JobApp::kPageRank, StrategyKind::kReplication,
                      TraceProfile::kControlledStragglers));
   ASSERT_FALSE(uncoded.failed);
   EXPECT_EQ(uncoded.decode_sets, 0u);
@@ -62,7 +62,7 @@ TEST(JobDriver, CodedJobsAmortizeDecodeAcrossRounds) {
 TEST(JobDriver, SuiteByteIdenticalAtAnyThreadCount) {
   JobGrid grid;
   grid.apps = {JobApp::kLogReg, JobApp::kPageRank};
-  grid.strategies = {JobStrategy::kS2C2, JobStrategy::kReplication};
+  grid.strategies = {StrategyKind::kS2C2, StrategyKind::kReplication};
   grid.traces = {TraceProfile::kControlledStragglers,
                  TraceProfile::kVolatileCloud};
   JobConfig cfg = base_config();
@@ -82,7 +82,7 @@ TEST(JobDriver, CodedTrajectoryMatchesUncodedReference) {
   // direct gradient-descent trajectory to ~decode noise, for every app.
   for (const JobApp app : all_job_apps()) {
     const JobResult job = run_job(
-        job_at(app, JobStrategy::kS2C2, TraceProfile::kControlledStragglers));
+        job_at(app, StrategyKind::kS2C2, TraceProfile::kControlledStragglers));
     ASSERT_FALSE(job.failed) << job_app_name(app);
     EXPECT_GT(job.iterations, 0u) << job_app_name(app);
     EXPECT_LT(job.solution_error, 1e-8) << job_app_name(app);
@@ -92,18 +92,18 @@ TEST(JobDriver, CodedTrajectoryMatchesUncodedReference) {
 TEST(JobDriver, UncodedBaselinesComputeExactly) {
   // Replication/over-decomposition take the math from a direct multiply,
   // so their trajectories equal the reference bit for bit.
-  for (const JobStrategy s :
-       {JobStrategy::kReplication, JobStrategy::kOverDecomp}) {
+  for (const StrategyKind s :
+       {StrategyKind::kReplication, StrategyKind::kOverDecomp}) {
     const JobResult job = run_job(
         job_at(JobApp::kLogReg, s, TraceProfile::kControlledStragglers));
-    ASSERT_FALSE(job.failed) << job_strategy_name(s);
-    EXPECT_EQ(job.solution_error, 0.0) << job_strategy_name(s);
+    ASSERT_FALSE(job.failed) << core::strategy_name(s);
+    EXPECT_EQ(job.solution_error, 0.0) << core::strategy_name(s);
   }
 }
 
 TEST(JobDriver, ConvergenceMetricDecreasesForGradientDescent) {
   const JobResult job =
-      run_job(job_at(JobApp::kLogReg, JobStrategy::kS2C2,
+      run_job(job_at(JobApp::kLogReg, StrategyKind::kS2C2,
                      TraceProfile::kStableCloud, 15));
   ASSERT_FALSE(job.failed);
   ASSERT_GE(job.convergence.size(), 2u);
@@ -112,7 +112,7 @@ TEST(JobDriver, ConvergenceMetricDecreasesForGradientDescent) {
 
 TEST(JobDriver, FixedPointAppsReachTolerance) {
   for (const JobApp app : {JobApp::kPageRank, JobApp::kGraphFilter}) {
-    JobConfig cfg = job_at(app, JobStrategy::kS2C2,
+    JobConfig cfg = job_at(app, StrategyKind::kS2C2,
                            TraceProfile::kControlledStragglers, 30);
     cfg.tolerance = 1e-3;
     const JobResult job = run_job(cfg);
@@ -128,9 +128,9 @@ TEST(JobDriver, S2C2BeatsMdsAndReplicationUnderControlledStragglers) {
   // the paper's Figs 6-7 regime, at job granularity.
   for (const JobApp app : all_job_apps()) {
     const TraceProfile t = TraceProfile::kControlledStragglers;
-    const JobResult s2c2 = run_job(job_at(app, JobStrategy::kS2C2, t));
-    const JobResult mds = run_job(job_at(app, JobStrategy::kMds, t));
-    const JobResult repl = run_job(job_at(app, JobStrategy::kReplication, t));
+    const JobResult s2c2 = run_job(job_at(app, StrategyKind::kS2C2, t));
+    const JobResult mds = run_job(job_at(app, StrategyKind::kMds, t));
+    const JobResult repl = run_job(job_at(app, StrategyKind::kReplication, t));
     ASSERT_FALSE(s2c2.failed || mds.failed || repl.failed)
         << job_app_name(app);
     EXPECT_LT(s2c2.completion_time, mds.completion_time) << job_app_name(app);
@@ -154,8 +154,8 @@ TEST(JobDriver, S2C2JobTimeAtMostMdsUnderVolatileTraces) {
   // and stay strictly ordered so a genuine S2C2 regression still fails.
   for (const JobApp app : all_job_apps()) {
     const TraceProfile t = TraceProfile::kVolatileCloud;
-    const JobResult s2c2 = run_job(job_at(app, JobStrategy::kS2C2, t, 25));
-    const JobResult mds = run_job(job_at(app, JobStrategy::kMds, t, 25));
+    const JobResult s2c2 = run_job(job_at(app, StrategyKind::kS2C2, t, 25));
+    const JobResult mds = run_job(job_at(app, StrategyKind::kMds, t, 25));
     ASSERT_FALSE(s2c2.failed || mds.failed) << job_app_name(app);
     if (app == JobApp::kLogReg || app == JobApp::kSvm) {
       EXPECT_LE(s2c2.completion_time, 1.05 * mds.completion_time)
@@ -173,7 +173,7 @@ TEST(JobDriver, FailureInjectionJobSurvivesViaWaveRecovery) {
   // have run (timeouts fired, chunks were reassigned).
   for (const JobApp app : all_job_apps()) {
     const JobResult job = run_job(
-        job_at(app, JobStrategy::kS2C2, TraceProfile::kFailureInjection, 25));
+        job_at(app, StrategyKind::kS2C2, TraceProfile::kFailureInjection, 25));
     ASSERT_FALSE(job.failed) << job_app_name(app);
     EXPECT_GT(job.iterations, 0u) << job_app_name(app);
     EXPECT_GT(job.timeout_rate, 0.0) << job_app_name(app);
@@ -187,24 +187,24 @@ TEST(JobDriver, MispredictionRateZeroForOracleOnConstantSpeeds) {
   // oracle's round-start read is exact; under volatile clouds speeds drift
   // mid-round and even the oracle misses sometimes.
   const JobResult controlled =
-      run_job(job_at(JobApp::kPageRank, JobStrategy::kS2C2,
+      run_job(job_at(JobApp::kPageRank, StrategyKind::kS2C2,
                      TraceProfile::kControlledStragglers));
   ASSERT_FALSE(controlled.failed);
   EXPECT_EQ(controlled.misprediction_rate, 0.0);
   const JobResult volatile_job = run_job(job_at(
-      JobApp::kPageRank, JobStrategy::kS2C2, TraceProfile::kVolatileCloud,
+      JobApp::kPageRank, StrategyKind::kS2C2, TraceProfile::kVolatileCloud,
       25));
   ASSERT_FALSE(volatile_job.failed);
   EXPECT_GT(volatile_job.misprediction_rate, 0.0);
 }
 
 TEST(JobDriver, PredictionBlindStrategiesRecordOracle) {
-  JobConfig cfg = job_at(JobApp::kLogReg, JobStrategy::kMds,
+  JobConfig cfg = job_at(JobApp::kLogReg, StrategyKind::kMds,
                          TraceProfile::kStableCloud, 4);
   cfg.predictor = PredictorKind::kLastValue;
   const JobResult mds = run_job(cfg);
   EXPECT_EQ(mds.predictor, PredictorKind::kOracle);
-  cfg.strategy = JobStrategy::kS2C2;
+  cfg.strategy = StrategyKind::kS2C2;
   const JobResult s2c2 = run_job(cfg);
   EXPECT_EQ(s2c2.predictor, PredictorKind::kLastValue);
 }
@@ -212,16 +212,16 @@ TEST(JobDriver, PredictionBlindStrategiesRecordOracle) {
 TEST(JobDriver, SuiteFindLocatesCells) {
   JobGrid grid;
   grid.apps = {JobApp::kSvm};
-  grid.strategies = {JobStrategy::kS2C2, JobStrategy::kMds};
+  grid.strategies = {StrategyKind::kS2C2, StrategyKind::kMds};
   grid.traces = {TraceProfile::kStableCloud};
   JobConfig cfg = base_config();
   cfg.max_iterations = 3;
   const JobSuiteResult suite = run_job_suite(cfg, grid, 2);
   ASSERT_EQ(suite.jobs.size(), 2u);
-  EXPECT_NE(suite.find(JobApp::kSvm, JobStrategy::kMds,
+  EXPECT_NE(suite.find(JobApp::kSvm, StrategyKind::kMds,
                        TraceProfile::kStableCloud),
             nullptr);
-  EXPECT_EQ(suite.find(JobApp::kSvm, JobStrategy::kReplication,
+  EXPECT_EQ(suite.find(JobApp::kSvm, StrategyKind::kReplication,
                        TraceProfile::kStableCloud),
             nullptr);
 }
@@ -251,4 +251,13 @@ TEST(JobDriver, TraceColumnSharedAcrossStrategies) {
 }
 
 }  // namespace
+TEST(JobDriver, RejectsNonDriverStrategyUpFront) {
+  // Every StrategyKind is type-legal in JobConfig since the enum
+  // unification; kinds outside the driver's axis must fail with the axis
+  // error before any engine construction starts.
+  harness::JobConfig cfg;
+  cfg.strategy = core::StrategyKind::kPoly;
+  EXPECT_THROW((void)harness::run_job(cfg), std::invalid_argument);
+}
+
 }  // namespace s2c2::harness

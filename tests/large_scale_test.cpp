@@ -25,7 +25,7 @@ TEST(LargeScale, ThousandWorkerCellIsByteIdenticalAtAnyJobs) {
   // The acceptance-criteria cell: n = 1000 (k rescales to 998 via the
   // n - 2 default rule), S2C2 on a stable cloud, serial vs 4 threads.
   MatrixAxes axes;
-  axes.engines = {EngineKind::kS2C2};
+  axes.engines = {StrategyKind::kS2C2};
   axes.workloads = {WorkloadKind::kLogisticRegression};
   axes.traces = {TraceProfile::kStableCloud};
   axes.cluster_sizes = {1000};
@@ -71,9 +71,9 @@ TEST(LargeScale, LargeScaleAxesSweepEveryEngineAtMidScale) {
   ASSERT_EQ(m.cells.size(), all_engines().size());
   for (const CellResult& cell : m.cells) {
     ASSERT_FALSE(cell.failed)
-        << engine_name(cell.engine) << ": " << cell.error;
+        << core::strategy_name(cell.engine) << ": " << cell.error;
     EXPECT_EQ(cell.workers, 250u);
-    EXPECT_GT(cell.mean_latency, 0.0) << engine_name(cell.engine);
+    EXPECT_GT(cell.mean_latency, 0.0) << core::strategy_name(cell.engine);
   }
 }
 

@@ -22,7 +22,7 @@ TEST(PolyEngine, ConventionalFunctionalDecode) {
   PolySetup s;
   util::Rng trng(1);
   PolyEngineConfig cfg;
-  cfg.use_s2c2 = false;
+  cfg.strategy = core::StrategyKind::kPolyConventional;
   cfg.chunks_per_partition = 8;  // d/a = 8 rows
   PolyCodedEngine engine(
       s.a, 40, 24, 3,
@@ -36,7 +36,7 @@ TEST(PolyEngine, S2C2FunctionalDecodeWithStragglers) {
   PolySetup s;
   util::Rng trng(2);
   PolyEngineConfig cfg;
-  cfg.use_s2c2 = true;
+  cfg.strategy = core::StrategyKind::kPoly;
   cfg.chunks_per_partition = 8;
   cfg.oracle_speeds = true;
   PolyCodedEngine engine(
@@ -54,7 +54,7 @@ TEST(PolyEngine, S2C2FasterThanConventionalWhenAllFast) {
   const auto traces = workload::controlled_cluster_traces(12, 0, 0.0, trng);
   auto run = [&](bool s2c2) {
     PolyEngineConfig cfg;
-    cfg.use_s2c2 = s2c2;
+    cfg.strategy = s2c2 ? StrategyKind::kPoly : StrategyKind::kPolyConventional;
     cfg.chunks_per_partition = 12;
     cfg.oracle_speeds = true;
     PolyCodedEngine engine(std::nullopt, 600, 360, 3, make_spec(traces), cfg);
@@ -72,7 +72,7 @@ TEST(PolyEngine, TimeoutRecoversFromDeath) {
   for (int w = 0; w < 11; ++w) traces.push_back(sim::SpeedTrace::constant(1.0));
   traces.push_back(sim::SpeedTrace::step(1e-4, 1.0, 0.0));
   PolyEngineConfig cfg;
-  cfg.use_s2c2 = true;
+  cfg.strategy = core::StrategyKind::kPoly;
   cfg.chunks_per_partition = 8;
   PolyCodedEngine engine(s.a, 40, 24, 3, make_spec(std::move(traces)), cfg);
   const auto r = engine.run_round(s.x);

@@ -81,10 +81,10 @@ TEST(Report, JobCompletionCsvShape) {
 TEST(Report, UtilizationCsvReflectsWasteOrdering) {
   const ReportInputs inputs = run_report_inputs(small_config());
   const harness::JobResult* s2c2 = inputs.suite.find(
-      harness::JobApp::kLogReg, harness::JobStrategy::kS2C2,
+      harness::JobApp::kLogReg, harness::StrategyKind::kS2C2,
       harness::TraceProfile::kControlledStragglers);
   const harness::JobResult* mds = inputs.suite.find(
-      harness::JobApp::kLogReg, harness::JobStrategy::kMds,
+      harness::JobApp::kLogReg, harness::StrategyKind::kMds,
       harness::TraceProfile::kControlledStragglers);
   ASSERT_NE(s2c2, nullptr);
   ASSERT_NE(mds, nullptr);
@@ -140,7 +140,7 @@ TEST(Report, MarkdownCarriesFigureMappingAndDeviations) {
             std::string::npos);
   // Every strategy column shows up in the tables.
   for (const auto s : harness::all_job_strategies()) {
-    EXPECT_NE(md.find(harness::job_strategy_name(s)), std::string::npos);
+    EXPECT_NE(md.find(core::strategy_name(s)), std::string::npos);
   }
 }
 

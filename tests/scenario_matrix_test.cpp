@@ -57,13 +57,13 @@ TEST(ScenarioMatrix, SweepsFullCrossProduct) {
                            TraceProfile::kVolatileCloud}) {
         const auto* cell = m.find(e, w, t);
         ASSERT_NE(cell, nullptr)
-            << engine_name(e) << "/" << workload_name(w) << "/"
+            << core::strategy_name(e) << "/" << workload_name(w) << "/"
             << trace_profile_name(t);
         EXPECT_EQ(cell->rounds, 4u);
       }
     }
   }
-  EXPECT_EQ(m.find(EngineKind::kS2C2, WorkloadKind::kSvm,
+  EXPECT_EQ(m.find(StrategyKind::kS2C2, WorkloadKind::kSvm,
                    TraceProfile::kStableCloud),
             nullptr);
 }
@@ -94,7 +94,7 @@ TEST(ScenarioMatrix, SameSeedProducesIdenticalEventLogs) {
       // Bit-exact, not approximately equal: the harness is a reproducible
       // event log, so any drift is a real regression.
       EXPECT_EQ(a.round_latencies[r], b.round_latencies[r])
-          << engine_name(a.engine) << "/" << workload_name(a.workload) << "/"
+          << core::strategy_name(a.engine) << "/" << workload_name(a.workload) << "/"
           << trace_profile_name(a.trace) << " round " << r;
     }
     EXPECT_EQ(a.total_wasted, b.total_wasted);
@@ -105,11 +105,11 @@ TEST(ScenarioMatrix, SameSeedProducesIdenticalEventLogs) {
 
 TEST(ScenarioMatrix, DifferentSeedsProduceDifferentCloudRuns) {
   ScenarioConfig cfg = small_config();
-  const auto a = run_cell(cfg, EngineKind::kS2C2,
+  const auto a = run_cell(cfg, StrategyKind::kS2C2,
                           WorkloadKind::kLogisticRegression,
                           TraceProfile::kVolatileCloud);
   cfg.seed = 5678;
-  const auto b = run_cell(cfg, EngineKind::kS2C2,
+  const auto b = run_cell(cfg, StrategyKind::kS2C2,
                           WorkloadKind::kLogisticRegression,
                           TraceProfile::kVolatileCloud);
   EXPECT_NE(a.fingerprint(), b.fingerprint());
@@ -119,14 +119,14 @@ TEST(ScenarioMatrix, FunctionalCodedCellsDecodeExactly) {
   const auto& m = shared_acceptance_matrix();
   std::size_t checked = 0;
   for (const auto& cell : m.cells) {
-    if (cell.engine == EngineKind::kS2C2) {
+    if (cell.engine == StrategyKind::kS2C2) {
       EXPECT_TRUE(cell.decode_checked);
       EXPECT_LT(cell.max_decode_error, 1e-6)
           << workload_name(cell.workload) << "/"
           << trace_profile_name(cell.trace);
       ++checked;
     }
-    if (cell.engine == EngineKind::kPolyCoded &&
+    if (cell.engine == StrategyKind::kPoly &&
         cell.workload == WorkloadKind::kHessian) {
       EXPECT_TRUE(cell.decode_checked);
       // Vandermonde solves in the poly evaluation points are less
@@ -181,8 +181,8 @@ TEST(ScenarioMatrix, S2C2WastesNoMoreThanReplicationUnderStragglers) {
   for (const auto w : {WorkloadKind::kLogisticRegression,
                        WorkloadKind::kPageRank, WorkloadKind::kHessian}) {
     const auto* s2c2 =
-        m.find(EngineKind::kS2C2, w, TraceProfile::kControlledStragglers);
-    const auto* repl = m.find(EngineKind::kReplication, w,
+        m.find(StrategyKind::kS2C2, w, TraceProfile::kControlledStragglers);
+    const auto* repl = m.find(StrategyKind::kReplication, w,
                               TraceProfile::kControlledStragglers);
     ASSERT_NE(s2c2, nullptr);
     ASSERT_NE(repl, nullptr);
@@ -198,8 +198,8 @@ TEST(ScenarioMatrix, CostOnlyModeRunsAtScale) {
   cfg.seed = 7;
   cfg.functional = false;
   cfg.scale = 0.1;  // keep the sweep fast in unit tests
-  const std::vector<EngineKind> engines = {EngineKind::kS2C2,
-                                           EngineKind::kReplication};
+  const std::vector<StrategyKind> engines = {StrategyKind::kS2C2,
+                                           StrategyKind::kReplication};
   const std::vector<WorkloadKind> workloads = {WorkloadKind::kSvm};
   const std::vector<TraceProfile> traces = {
       TraceProfile::kControlledStragglers};
@@ -240,7 +240,7 @@ TEST(ScenarioMatrix, WorkloadShapesRespectPolyDivisibility) {
 // {controlled, failure} x 2 cluster scales x {oracle, last-value}.
 MatrixAxes runner_axes() {
   MatrixAxes axes;
-  axes.engines = {EngineKind::kS2C2, EngineKind::kReplication};
+  axes.engines = {StrategyKind::kS2C2, StrategyKind::kReplication};
   axes.workloads = {WorkloadKind::kLogisticRegression};
   axes.traces = {TraceProfile::kControlledStragglers,
                  TraceProfile::kFailureInjection};
@@ -268,7 +268,7 @@ TEST(MatrixRunner, ParallelRunIsByteIdenticalToSerial) {
   ASSERT_EQ(serial.cells.size(), parallel.cells.size());
   for (std::size_t i = 0; i < serial.cells.size(); ++i) {
     EXPECT_EQ(serial.cells[i].fingerprint(), parallel.cells[i].fingerprint())
-        << engine_name(serial.cells[i].engine) << "/n="
+        << core::strategy_name(serial.cells[i].engine) << "/n="
         << serial.cells[i].workers << "/"
         << predictor_name(serial.cells[i].predictor) << "/"
         << trace_profile_name(serial.cells[i].trace);
@@ -285,7 +285,7 @@ TEST(MatrixRunner, ExpandAxesSkipsPredictorVariantsForPredictionBlindEngines) {
   EXPECT_EQ(coords.size(), 12u);
   std::size_t replication = 0;
   for (const auto& c : coords) {
-    if (c.engine == EngineKind::kReplication) {
+    if (c.engine == StrategyKind::kReplication) {
       EXPECT_EQ(c.predictor, PredictorKind::kOracle);
       ++replication;
     }
@@ -313,7 +313,7 @@ TEST(MatrixRunner, FailureInjectionCellsExerciseRecovery) {
   // workers trip the §4.3 timeout (possibly cascading into recovery
   // waves), and the decode still matches the uncoded reference.
   ScenarioConfig cfg = runner_config();
-  const auto cell = run_cell(cfg, EngineKind::kS2C2,
+  const auto cell = run_cell(cfg, StrategyKind::kS2C2,
                              WorkloadKind::kLogisticRegression,
                              TraceProfile::kFailureInjection);
   ASSERT_FALSE(cell.failed) << cell.error;
@@ -345,7 +345,7 @@ TEST(MatrixRunner, FailureCellsAreDeterministicEvenWhenEnginesFail) {
   }
   // The S2C2 cells must be among the survivors.
   for (const auto& cell : a.cells) {
-    if (cell.engine == EngineKind::kS2C2) {
+    if (cell.engine == StrategyKind::kS2C2) {
       EXPECT_FALSE(cell.failed)
           << "n=" << cell.workers << " "
           << predictor_name(cell.predictor) << ": " << cell.error;
@@ -358,11 +358,11 @@ TEST(MatrixRunner, PredictorAxisChangesOutcomes) {
   // event log; the axis must actually reach the engines.
   ScenarioConfig cfg = runner_config();
   cfg.predictor = PredictorKind::kOracle;
-  const auto oracle = run_cell(cfg, EngineKind::kS2C2,
+  const auto oracle = run_cell(cfg, StrategyKind::kS2C2,
                                WorkloadKind::kLogisticRegression,
                                TraceProfile::kVolatileCloud);
   cfg.predictor = PredictorKind::kArima;
-  const auto arima = run_cell(cfg, EngineKind::kS2C2,
+  const auto arima = run_cell(cfg, StrategyKind::kS2C2,
                               WorkloadKind::kLogisticRegression,
                               TraceProfile::kVolatileCloud);
   EXPECT_NE(oracle.fingerprint(), arima.fingerprint());
@@ -377,10 +377,10 @@ TEST(MatrixRunner, LstmPredictorCellRunsDeterministically) {
   ScenarioConfig cfg = runner_config();
   cfg.rounds = 3;
   cfg.predictor = PredictorKind::kLstm;
-  const auto a = run_cell(cfg, EngineKind::kS2C2,
+  const auto a = run_cell(cfg, StrategyKind::kS2C2,
                           WorkloadKind::kLogisticRegression,
                           TraceProfile::kStableCloud);
-  const auto b = run_cell(cfg, EngineKind::kS2C2,
+  const auto b = run_cell(cfg, StrategyKind::kS2C2,
                           WorkloadKind::kLogisticRegression,
                           TraceProfile::kStableCloud);
   ASSERT_FALSE(a.failed) << a.error;
@@ -392,7 +392,7 @@ TEST(ScenarioMatrix, RejectsDegenerateClusters) {
   ScenarioConfig cfg = small_config();
   cfg.workers = 1;
   cfg.k = 1;
-  EXPECT_THROW((void)run_cell(cfg, EngineKind::kS2C2,
+  EXPECT_THROW((void)run_cell(cfg, StrategyKind::kS2C2,
                               WorkloadKind::kLogisticRegression,
                               TraceProfile::kControlledStragglers),
                std::invalid_argument);
