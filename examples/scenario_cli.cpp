@@ -18,12 +18,17 @@
 //                    feasible because decode is cached + Schur-reduced,
 //                    see docs/PERFORMANCE.md; combinable with --axis to
 //                    narrow further (e.g. --axis sizes=250)
+//   --robustness     the trace-zoo sweep: MatrixAxes::robustness()
+//                    (fail-slow, bursty, diurnal, byzantine traces on the
+//                    last-value predictor with health-informed prediction);
+//                    combinable with --axis like --large-scale
 //   --jobs N         matrix worker threads (0 = all hardware threads;
 //                    default 1 — results are byte-identical either way)
 //   --axis K=V,V...  restrict/widen a matrix axis; repeatable. Axes:
 //                      engines     s2c2|replication|poly|overdecomp
 //                      workloads   logreg|pagerank|svm|hessian
-//                      traces      controlled|stable|volatile|failure
+//                      traces      controlled|stable|volatile|failure|
+//                                  fail-slow|bursty|diurnal|byzantine
 //                      sizes       cluster sizes, e.g. 12,24,48
 //                      predictors  oracle|last-value|arima|lstm
 //   --engine X       single-cell engine                   (default s2c2)
@@ -63,6 +68,7 @@ struct Options {
   harness::TraceProfile trace = harness::TraceProfile::kControlledStragglers;
   std::vector<std::string> axis_specs;  // applied after flag parsing
   bool large_scale = false;
+  bool robustness = false;
   bool matrix = false;
   bool help = false;
 };
@@ -75,6 +81,8 @@ void print_usage() {
       "  scenario_cli --matrix [--jobs N] [--axis K=V,..]   widened sweep\n"
       "  scenario_cli --large-scale [--jobs N]              n=100/250/1000\n"
       "                                                     fleet sweep\n"
+      "  scenario_cli --robustness [--jobs N]               fail-slow/bursty/\n"
+      "                                                     diurnal/byzantine\n"
       "\n"
       "flags: --jobs N (0 = all hardware threads)  --workers N  --k K\n"
       "       --stragglers S  --rounds R  --chunks C  --seed S  --scale F\n"
@@ -82,7 +90,8 @@ void print_usage() {
       "axes (--axis name=v1,v2,... — repeatable):\n"
       "       engines     s2c2|replication|poly|overdecomp\n"
       "       workloads   logreg|pagerank|svm|hessian\n"
-      "       traces      controlled|stable|volatile|failure\n"
+      "       traces      controlled|stable|volatile|failure|\n"
+      "                   fail-slow|bursty|diurnal|byzantine\n"
       "       sizes       cluster sizes, e.g. 12,24,48\n"
       "       predictors  oracle|last-value|arima|lstm\n"
       "\n"
@@ -108,7 +117,8 @@ harness::WorkloadKind parse_workload(const std::string& s) {
 }
 
 harness::TraceProfile parse_trace(const std::string& s) {
-  for (const auto t : harness::all_trace_profiles()) {
+  // Extended list: the original four plus the robustness zoo.
+  for (const auto t : harness::extended_trace_profiles()) {
     if (s == harness::trace_profile_name(t)) return t;
   }
   throw std::invalid_argument("unknown trace profile: " + s);
@@ -178,6 +188,10 @@ Options parse(int argc, char** argv) {
       o.matrix = true;
       o.large_scale = true;
     }
+    else if (flag == "--robustness") {
+      o.matrix = true;
+      o.robustness = true;
+    }
     else if (flag == "--jobs") o.runner.jobs = std::stoul(value(i));
     else if (flag == "--axis") o.axis_specs.push_back(value(i));
     else if (flag == "--engine") o.engine = parse_engine(value(i));
@@ -199,7 +213,12 @@ Options parse(int argc, char** argv) {
   // Presets first, then --axis restrictions, so "--axis sizes=250
   // --large-scale" and "--large-scale --axis sizes=250" both narrow the
   // large-scale preset (flag order must not matter).
+  if (o.large_scale && o.robustness) {
+    throw std::invalid_argument(
+        "--large-scale and --robustness are mutually exclusive presets");
+  }
   if (o.large_scale) o.axes = harness::MatrixAxes::large_scale();
+  if (o.robustness) o.axes = harness::MatrixAxes::robustness();
   for (const std::string& spec : o.axis_specs) apply_axis(o.axes, spec);
   return o;
 }

@@ -1,6 +1,7 @@
 #include "src/coding/chunked_decoder.h"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "src/util/require.h"
 
@@ -119,6 +120,112 @@ linalg::Matrix ChunkedDecoder::decode() {
       }
     }
     begin = end;
+  }
+  return out;
+}
+
+ChunkVerification ChunkedDecoder::verify_chunks(double tolerance) {
+  const std::size_t k = generator_.k();
+  const std::size_t chunk_cols = rows_per_chunk_ * width_;
+  ChunkVerification out;
+
+  // Scratch for (subset, rhs) assembly over a chunk's responder slot,
+  // optionally skipping an exclusion set of slot positions.
+  std::vector<std::size_t> order;   // slot positions sorted by worker id
+  std::vector<std::size_t> subset;
+  std::vector<double> rhs;
+  const auto residual_excluding =
+      [&](const std::vector<std::pair<std::size_t, std::vector<double>>>& slot,
+          const std::vector<std::size_t>& excluded_pos) {
+        subset.clear();
+        rhs.clear();
+        for (const std::size_t pos : order) {
+          if (std::find(excluded_pos.begin(), excluded_pos.end(), pos) !=
+              excluded_pos.end()) {
+            continue;
+          }
+          subset.push_back(slot[pos].first);
+          rhs.insert(rhs.end(), slot[pos].second.begin(),
+                     slot[pos].second.end());
+        }
+        return context_->redundant_residual(subset, rhs, chunk_cols);
+      };
+
+  for (std::size_t chunk = 0; chunk < num_chunks_; ++chunk) {
+    const auto& slot = results_[chunk];
+    const std::size_t r = slot.size();
+    if (r <= k) continue;  // no redundancy: nothing to verify
+    order.resize(r);
+    for (std::size_t i = 0; i < r; ++i) order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&slot](std::size_t a, std::size_t b) {
+                return slot[a].first < slot[b].first;
+              });
+    ++out.verified_chunks;
+    const double res = residual_excluding(slot, {});
+    if (res <= tolerance) {
+      out.max_clean_residual = std::max(out.max_clean_residual, res);
+      continue;
+    }
+    ++out.corrupted_chunks;
+    // Minimal exclusion-set search: smallest consistent exclusion wins.
+    // The budget r - k - 1 keeps >= k + 1 survivors, so consistency is
+    // confirmed by at least one genuinely redundant row, never vacuously.
+    bool identified = false;
+    const std::size_t budget = r - k - 1;
+    std::vector<std::size_t> excl;
+    for (std::size_t e = 1; e <= budget && !identified; ++e) {
+      excl.assign(e, 0);
+      for (std::size_t i = 0; i < e; ++i) excl[i] = i;
+      while (true) {
+        if (residual_excluding(slot, excl) <= tolerance) {
+          for (const std::size_t pos : excl) {
+            out.corrupt_workers.push_back(slot[pos].first);
+          }
+          identified = true;
+          break;
+        }
+        // Next lexicographic e-combination of {0..r-1}.
+        std::size_t i = e;
+        while (i-- > 0) {
+          if (excl[i] + (e - i) < r) {
+            ++excl[i];
+            for (std::size_t j = i + 1; j < e; ++j) excl[j] = excl[j - 1] + 1;
+            break;
+          }
+          if (i == 0) goto exhausted;
+        }
+      }
+    exhausted:;
+    }
+    if (!identified) {
+      throw std::runtime_error(
+          "cluster failure: byzantine corruption unidentifiable — no "
+          "consistent responder subset within the redundancy budget");
+    }
+  }
+
+  // Voting: a responder convicted on any chunk is distrusted everywhere.
+  std::sort(out.corrupt_workers.begin(), out.corrupt_workers.end());
+  out.corrupt_workers.erase(
+      std::unique(out.corrupt_workers.begin(), out.corrupt_workers.end()),
+      out.corrupt_workers.end());
+  if (!out.corrupt_workers.empty()) {
+    for (std::size_t chunk = 0; chunk < num_chunks_; ++chunk) {
+      auto& slot = results_[chunk];
+      slot.erase(std::remove_if(slot.begin(), slot.end(),
+                                [&out](const auto& p) {
+                                  return std::binary_search(
+                                      out.corrupt_workers.begin(),
+                                      out.corrupt_workers.end(), p.first);
+                                }),
+                 slot.end());
+      if (slot.size() < k) {
+        throw std::runtime_error(
+            "cluster failure: byzantine pruning left a chunk below k "
+            "responders");
+      }
+    }
   }
   return out;
 }

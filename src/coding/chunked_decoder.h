@@ -29,6 +29,15 @@
 
 namespace s2c2::coding {
 
+/// Outcome of a Byzantine verification pass over the registered chunk
+/// results (ChunkedDecoder::verify_chunks).
+struct ChunkVerification {
+  std::vector<std::size_t> corrupt_workers;  // convicted responders, sorted
+  std::size_t corrupted_chunks = 0;          // chunks that failed the check
+  std::size_t verified_chunks = 0;           // chunks with redundancy checked
+  double max_clean_residual = 0.0;           // over the chunks that passed
+};
+
 class ChunkedDecoder {
  public:
   /// `rows_per_partition` must be divisible by `num_chunks`; `width` is the
@@ -67,6 +76,18 @@ class ChunkedDecoder {
   /// Amortized O(k²) per responder set via the decode context; consecutive
   /// same-responder-set chunks share one batched multi-RHS solve.
   [[nodiscard]] linalg::Matrix decode();
+
+  /// Byzantine verification-and-voting pass (docs/DESIGN.md §7): every
+  /// chunk holding more than k results is residual-checked through the
+  /// decode context; on failure the corrupted responders are identified by
+  /// minimal exclusion-set enumeration (set sizes 1..r-k-1, smallest
+  /// first — sound for up to r-k-1 corruptions since at least one
+  /// redundant row must remain to confirm the survivors' consistency).
+  /// A responder convicted on any chunk is distrusted everywhere: all of
+  /// its submissions are dropped, so decode() then runs from clean rows
+  /// only. Throws std::runtime_error when no exclusion set restores
+  /// consistency or when pruning would leave a chunk below k responders.
+  [[nodiscard]] ChunkVerification verify_chunks(double tolerance);
 
   /// Distinct responder sets resident in the decode context's cache (for a
   /// private context: the sets this decoder factorized).

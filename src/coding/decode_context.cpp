@@ -1,6 +1,7 @@
 #include "src/coding/decode_context.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "src/util/require.h"
 
@@ -195,6 +196,55 @@ void DecodeContext::solve_inplace(std::span<const std::size_t> subset,
     std::copy(src, src + width,
               rhs_rowmajor.data() + e.missing[r] * width);
   }
+}
+
+double DecodeContext::redundant_residual(std::span<const std::size_t> subset,
+                                         std::span<const double> rhs,
+                                         std::size_t width) {
+  S2C2_REQUIRE(subset.size() >= k_ && subset.size() <= n(),
+               "redundant_residual: subset size must be in [k, n]");
+  S2C2_REQUIRE(width > 0 && rhs.size() == subset.size() * width,
+               "redundant_residual: rhs layout mismatch");
+  S2C2_REQUIRE(std::is_sorted(subset.begin(), subset.end()) &&
+                   std::adjacent_find(subset.begin(), subset.end()) ==
+                       subset.end(),
+               "redundant_residual: subset must be sorted and distinct");
+  if (subset.size() == k_) return 0.0;  // no redundancy to check
+
+  double scale = 1.0;
+  for (const double v : rhs) scale = std::max(scale, std::abs(v));
+
+  // Decode from the first k responders on a scratch copy (solve_inplace
+  // leaves the unknown blocks in block order, which is exactly what the
+  // code-row evaluation below consumes).
+  scratch_verify_.assign(rhs.begin(), rhs.begin() + k_ * width);
+  solve_inplace(subset.first(k_),
+                std::span<double>(scratch_verify_.data(), k_ * width), width);
+
+  double max_residual = 0.0;
+  for (std::size_t i = k_; i < subset.size(); ++i) {
+    const std::size_t w = subset[i];
+    const double* sent = rhs.data() + i * width;
+    for (std::size_t c = 0; c < width; ++c) {
+      double predicted;
+      if (generator_) {
+        predicted = 0.0;
+        for (std::size_t b = 0; b < k_; ++b) {
+          predicted += generator_->coeff(w, b) * scratch_verify_[b * width + c];
+        }
+      } else {
+        // Vandermonde row [1, x, x², ...]: Horner over the solved
+        // coefficient blocks.
+        const double x = eval_points_[w];
+        predicted = scratch_verify_[(k_ - 1) * width + c];
+        for (std::size_t b = k_ - 1; b-- > 0;) {
+          predicted = predicted * x + scratch_verify_[b * width + c];
+        }
+      }
+      max_residual = std::max(max_residual, std::abs(predicted - sent[c]));
+    }
+  }
+  return max_residual / scale;
 }
 
 void DecodeContext::clear() {

@@ -114,6 +114,21 @@ class DecodeContext {
   void solve_inplace(std::span<const std::size_t> subset,
                      std::span<double> rhs_rowmajor, std::size_t width);
 
+  /// Redundancy check (Byzantine detection — soundness bounds in
+  /// docs/DESIGN.md §7): decode the chunk from the *first k* responders of
+  /// `subset` (sorted, distinct, size r with k <= r <= n), then evaluate
+  /// the code rows of the remaining r - k responders and compare against
+  /// the values they actually sent. Returns the max abs residual over the
+  /// redundant rows, relative to max(1, largest |value| supplied) — 0 when
+  /// r == k (no redundancy, nothing to check). A clean responder set
+  /// yields residuals at solver-roundoff level (< 1e-9 for the harness
+  /// sizes); ANY corruption among the r rows perturbs it almost surely.
+  /// `rhs` is r x width row-major in subset order and is not modified.
+  /// Shares (and populates) the factorization cache with solve_inplace.
+  [[nodiscard]] double redundant_residual(std::span<const std::size_t> subset,
+                                          std::span<const double> rhs,
+                                          std::size_t width);
+
   [[nodiscard]] const DecodeContextStats& stats() const noexcept {
     return stats_;
   }
@@ -139,6 +154,7 @@ class DecodeContext {
   // Solve scratch, reused across calls so the per-round hot path does not
   // allocate (decode runs once per chunk group per round).
   std::vector<double> scratch_reduced_;
+  std::vector<double> scratch_verify_;  // redundant_residual's k x width copy
 };
 
 }  // namespace s2c2::coding

@@ -1,8 +1,11 @@
 #include "src/core/engine.h"
 
+#include <algorithm>
+#include <cstdint>
 #include <utility>
 
 #include "src/coding/chunked_decoder.h"
+#include "src/util/hash.h"
 #include "src/util/require.h"
 
 namespace s2c2::core {
@@ -18,6 +21,29 @@ StrategyKind validated_kind(const EngineConfig& config) {
   return config.strategy;
 }
 
+// Decode-residual acceptance threshold for the Byzantine verification
+// pass. Clean chunks sit at the solver's rounding floor (< 1e-9 relative,
+// tests/byzantine_test.cpp); corrupted chunks land corruption_scale/|v|
+// above it — the gap spans many orders of magnitude, so the constant is
+// uncritical (docs/DESIGN.md §7).
+constexpr double kVerifyTolerance = 1e-7;
+
+// Deterministic corruption a declared-Byzantine worker applies to its
+// chunk values: an additive offset of 1-2x corruption_scale whose exact
+// size is a mix64 hash of (seed, worker, chunk, index) — reproducible at
+// any --jobs, unlike anything drawn from a shared RNG stream.
+void corrupt_values(std::vector<double>& values, const ByzantineSpec& byz,
+                    std::size_t worker, std::size_t chunk) {
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const std::uint64_t h =
+        util::mix64(byz.seed ^ (static_cast<std::uint64_t>(worker) << 40) ^
+                    (static_cast<std::uint64_t>(chunk) << 20) ^
+                    static_cast<std::uint64_t>(i));
+    values[i] += byz.corruption_scale *
+                 (1.0 + static_cast<double>(h & 0x3ff) / 1024.0);
+  }
+}
+
 }  // namespace
 
 CodedComputeEngine::CodedComputeEngine(
@@ -26,7 +52,7 @@ CodedComputeEngine::CodedComputeEngine(
     : RoundExecutor(validated_kind(config), std::move(spec),
                     std::move(predictor), config.oracle_speeds,
                     config.timeout_factor, config.straggler_threshold,
-                    config.chunks_per_partition),
+                    config.chunks_per_partition, config.health_informed),
       job_(std::move(job)),
       decode_ctx_(job_.generator()) {
   S2C2_REQUIRE(spec_.num_workers() == job_.n(),
@@ -65,6 +91,30 @@ void CodedComputeEngine::decode_product(RoundResult& result,
         decoder.add_chunk_result(w, c, job_.compute_chunk(w, c, x));
       }
     }
+  }
+  if (spec_.byzantine.active()) {
+    // Re-add the corrupted responses the executor stripped, appended
+    // *after* the clean ones: the verification pass prunes them again, so
+    // the surviving arrival order — and with it the decode subsets and
+    // cache keys — matches the honest decode exactly.
+    std::vector<std::size_t> expected;
+    for (std::size_t c = 0; c < ledger.byzantine_chunk_workers.size(); ++c) {
+      for (std::size_t w : ledger.byzantine_chunk_workers[c]) {
+        std::vector<double> values = job_.compute_chunk(w, c, x);
+        corrupt_values(values, spec_.byzantine, w, c);
+        decoder.add_chunk_result(w, c, std::move(values));
+        expected.push_back(w);
+      }
+    }
+    std::sort(expected.begin(), expected.end());
+    expected.erase(std::unique(expected.begin(), expected.end()),
+                   expected.end());
+    const coding::ChunkVerification verification =
+        decoder.verify_chunks(kVerifyTolerance);
+    // The residual check must convict exactly the responders whose values
+    // were perturbed — no misses, no honest casualties.
+    S2C2_CHECK(verification.corrupt_workers == expected,
+               "byzantine verification convicted the wrong responder set");
   }
   result.y = job_.trim(decoder.decode());
 }

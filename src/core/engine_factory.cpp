@@ -29,6 +29,7 @@ std::unique_ptr<StrategyEngine> make_mds_coded(StrategyKind kind,
   cfg.timeout_factor = p.timeout_factor;
   cfg.straggler_threshold = p.straggler_threshold;
   cfg.oracle_speeds = p.oracle_speeds;
+  cfg.health_informed = p.health_informed;
   const std::size_t n = p.cluster.num_workers();
   auto job = p.dense != nullptr
                  ? CodedMatVecJob(*p.dense, n, p.k, p.chunks_per_partition)
@@ -49,6 +50,7 @@ std::unique_ptr<StrategyEngine> make_poly_coded(StrategyKind kind,
   cfg.chunks_per_partition = p.chunks_per_partition;
   cfg.timeout_factor = p.timeout_factor;
   cfg.oracle_speeds = p.oracle_speeds;
+  cfg.health_informed = p.health_informed;
   std::optional<linalg::Matrix> operand;
   if (p.dense != nullptr) operand = *p.dense;  // the engine encodes a copy
   const std::size_t rows = p.op_rows();

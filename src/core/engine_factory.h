@@ -55,6 +55,10 @@ struct EngineParams {
   bool oracle_speeds = false;
   std::unique_ptr<predict::SpeedPredictor> predictor;
 
+  /// Scale predictions by health-monitor degradation factors (coded
+  /// engines only; see EngineConfig::health_informed).
+  bool health_informed = false;
+
   /// Baseline-specific knobs.
   ReplicationConfig replication;
   OverDecompConfig overdecomp;

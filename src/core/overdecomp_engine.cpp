@@ -49,6 +49,15 @@ OverDecompositionEngine::OverDecompositionEngine(
 }
 
 RoundResult OverDecompositionEngine::run_round(std::span<const double> x) {
+  if (spec_.byzantine.active()) {
+    // Uncoded micro-tasks have no redundant responses to vote with; a
+    // corrupted task result flows straight into the assembled product, so
+    // the strategy fails deterministically (a `failed` scenario-matrix
+    // cell — docs/DESIGN.md §7).
+    throw std::runtime_error(
+        "cluster failure: over-decomposition cannot verify byzantine "
+        "responses");
+  }
   const std::size_t n = spec_.num_workers();
   const sim::Time t0 = now_;
   const double task_work =

@@ -28,7 +28,7 @@ PolyCodedEngine::PolyCodedEngine(
     : RoundExecutor(validated_kind(config), std::move(spec),
                     std::move(predictor), config.oracle_speeds,
                     config.timeout_factor, /*straggler_threshold=*/0.5,
-                    config.chunks_per_partition),
+                    config.chunks_per_partition, config.health_informed),
       code_(spec_.num_workers(), a_blocks),
       decode_ctx_(code_.make_decode_context()),
       n_rows_(n_rows),

@@ -35,6 +35,10 @@ struct PolyEngineConfig {
   std::size_t chunks_per_partition = 24;
   double timeout_factor = 1.15;
   bool oracle_speeds = false;
+  /// Scale predictions by the health monitor's degradation factor
+  /// (telemetry/health_monitor.h). Changes allocations, so the pinned
+  /// honest-cluster fingerprints keep it off.
+  bool health_informed = false;
 };
 
 class PolyCodedEngine final : public RoundExecutor {

@@ -50,6 +50,14 @@ ReplicationEngine::ReplicationEngine(std::size_t data_rows,
 }
 
 RoundResult ReplicationEngine::run_round(std::span<const double> x) {
+  if (spec_.byzantine.active()) {
+    // Replicas carry no redundancy a residual check could verify against:
+    // a corrupted copy is indistinguishable from an honest one, so the
+    // strategy fails deterministically (a `failed` scenario-matrix cell —
+    // docs/DESIGN.md §7).
+    throw std::runtime_error(
+        "cluster failure: replication cannot verify byzantine responses");
+  }
   const std::size_t n = spec_.num_workers();
   const sim::Time t0 = now_;
   const std::size_t task_rows = (data_rows_ + n - 1) / n;

@@ -26,13 +26,34 @@ RoundExecutor::RoundExecutor(StrategyKind kind, ClusterSpec spec,
                                  predictor,
                              bool oracle_speeds, double timeout_factor,
                              double straggler_threshold,
-                             std::size_t chunks_per_partition)
+                             std::size_t chunks_per_partition,
+                             bool health_informed)
     : StrategyEngine(kind, std::move(spec), std::move(predictor)),
       oracle_speeds_(oracle_speeds),
       timeout_factor_(timeout_factor),
       straggler_threshold_(straggler_threshold),
-      chunks_per_partition_(chunks_per_partition) {
+      chunks_per_partition_(chunks_per_partition),
+      health_informed_(health_informed),
+      health_(spec_.num_workers()) {
   ensure_predictor(oracle_speeds_);
+  if (health_informed_ && !oracle_speeds_ && predictor_) {
+    // Health-informed prediction: scale the inner predictor's estimate by
+    // the monitor's degradation factor. Opt-in (harness robustness
+    // profiles) — the wrap changes predicted speeds and therefore
+    // allocations, so the pinned honest-cluster fingerprints never see it.
+    predictor_ = std::make_unique<predict::HealthInformedPredictor>(
+        std::move(predictor_),
+        [this](std::size_t w) { return health_.prediction_scale(w); });
+  }
+}
+
+std::size_t RoundExecutor::collection_quorum() const {
+  const std::size_t q = quorum();
+  if (!spec_.byzantine.active()) return q;
+  const std::size_t n = spec_.num_workers();
+  const std::size_t e = spec_.byzantine.corrupt_workers.size();
+  const std::size_t margin = std::min(n - q, std::max(e + 1, 2 * e));
+  return q + margin;
 }
 
 std::vector<double> RoundExecutor::predict_speeds(sim::Time t0) {
@@ -53,7 +74,7 @@ std::vector<double> RoundExecutor::predict_speeds(sim::Time t0) {
 sched::Allocation RoundExecutor::allocate(
     std::span<const double> speeds) const {
   const std::size_t n = spec_.num_workers();
-  const std::size_t q = quorum();
+  const std::size_t q = collection_quorum();
   const std::size_t c = chunks_per_partition_;
   switch (kind()) {
     case StrategyKind::kMds:
@@ -126,7 +147,11 @@ RoundExecutor::WorkerTiming RoundExecutor::simulate_worker(
 
 RoundResult RoundExecutor::run_round(std::span<const double> x) {
   const std::size_t n = spec_.num_workers();
-  const std::size_t q = quorum();
+  // Every coverage target below — allocation, deadline reference, wave
+  // deficiency — uses the (possibly over-provisioned) collection quorum,
+  // so Byzantine rounds gather the redundancy the verification pass needs
+  // through the existing §4.3 machinery. Honest clusters see quorum().
+  const std::size_t q = collection_quorum();
   const sim::Time t0 = now_;
   const bool functional = functional_round(x);
   const bool timeout_collection = strategy_uses_recovery(kind());
@@ -326,13 +351,57 @@ RoundResult RoundExecutor::run_round(std::span<const double> x) {
     }
   }
 
+  // ---- Byzantine verification ----
+  // Corrupted responders fail the master's decode-residual check
+  // (coding/chunked_decoder.h verify_chunks; docs/DESIGN.md §7). The
+  // executor books the *outcome* deterministically: every response from a
+  // declared-corrupt worker is stripped from chunk coverage, the worker's
+  // whole assignment is re-booked as waste through the standard cancelled-
+  // worker branch below, and the over-provisioned collection quorum
+  // guarantees >= quorum() clean responders per chunk survive. Functional
+  // rounds additionally run the numeric identification on the corrupted
+  // values via ledger.byzantine_chunk_workers.
+  std::vector<std::vector<std::size_t>> byzantine_chunk_workers(
+      alloc.chunks_per_partition);
+  if (spec_.byzantine.active()) {
+    std::vector<bool> corrupt(n, false);
+    for (std::size_t w : spec_.byzantine.corrupt_workers) {
+      if (w < n) corrupt[w] = true;
+    }
+    for (std::size_t ch = 0; ch < alloc.chunks_per_partition; ++ch) {
+      auto& ws = final_chunk_workers[ch];
+      auto& stripped = byzantine_chunk_workers[ch];
+      for (std::size_t w : ws) {
+        if (corrupt[w]) stripped.push_back(w);
+      }
+      if (stripped.empty()) continue;
+      ws.erase(
+          std::remove_if(ws.begin(), ws.end(),
+                         [&corrupt](std::size_t w) { return corrupt[w]; }),
+          ws.end());
+      ++result.stats.corrupted_chunks;
+      if (ws.size() < quorum()) {
+        throw std::runtime_error(
+            "cluster failure: byzantine stripping left a chunk below the "
+            "decode quorum");
+      }
+    }
+    for (std::size_t w = 0; w < n; ++w) {
+      if (corrupt[w] && used[w]) {
+        used[w] = false;  // whole assignment lands in the waste branch below
+        ++result.stats.byzantine_detected;
+      }
+    }
+  }
+
   // ---- decode cost ----
   // One recovery system per maximal run of consecutive chunks sharing a
   // decode subset. The strategy's context charges the structured
   // factorization only on cache misses; repeated responder sets across
   // rounds pay solve cost alone (docs/PERFORMANCE.md).
-  const RoundLedger ledger{alloc, timing, used, final_chunk_workers,
-                           extra_chunks};
+  const RoundLedger ledger{alloc,         timing,       used,
+                           final_chunk_workers, extra_chunks,
+                           byzantine_chunk_workers};
   const std::vector<std::vector<std::size_t>> subsets =
       decode_subsets(ledger);
   double dec_flops = 0.0;
@@ -436,6 +505,33 @@ RoundResult RoundExecutor::run_round(std::span<const double> x) {
     }
     if (predictor_) predictor_->observe(w, obs);
   }
+
+  // ---- health telemetry ----
+  // Liveness pulses for the worker-health monitor. Unlike the predictor
+  // observation above — whose window is bitwise-pinned behavior — a used
+  // worker's pulse spans the *whole* window it was computing in: base plus
+  // recovery work over the dispatch window plus the recovery busy time.
+  // Without the recovery term the rounds where the §4.3 timeout fires
+  // would inflate a recovering worker's baseline by extra/base and mask
+  // real degradation (tests/health_monitor_test.cpp pins this).
+  for (std::size_t w = 0; w < n; ++w) {
+    if (timing[w].assigned_chunks == 0) {
+      health_.record_pulse(w, result.observed_speeds[w]);
+    } else if (used[w]) {
+      const double extra_work =
+          static_cast<double>(extra_chunks[w].size()) * recovery_chunk_work();
+      const sim::Time window = timing[w].compute_done - timing[w].x_arrival +
+                               recovery_busy[w];
+      health_.record_pulse(
+          w, (accounted_work(timing[w].assigned_chunks) + extra_work) /
+                 window);
+    } else if (result.observed_speeds[w] > 0.0) {
+      health_.record_pulse(w, result.observed_speeds[w]);
+    } else {
+      health_.record_missed(w);
+    }
+  }
+  result.stats.degrading_workers = health_.degrading_count();
 
   // ---- functional decode ----
   if (functional) {

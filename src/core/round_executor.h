@@ -35,6 +35,7 @@
 
 #include "src/core/strategy_engine.h"
 #include "src/sched/allocation.h"
+#include "src/telemetry/health_monitor.h"
 
 namespace s2c2::core {
 
@@ -44,12 +45,18 @@ class RoundExecutor : public StrategyEngine {
   /// lifecycle order; the engine's private clock advances to stats.end.
   RoundResult run_round(std::span<const double> x = {}) final;
 
+  [[nodiscard]] const telemetry::HealthMonitor* health_monitor()
+      const override {
+    return &health_;
+  }
+
  protected:
   RoundExecutor(StrategyKind kind, ClusterSpec spec,
                 std::unique_ptr<predict::SpeedPredictor> predictor,
                 bool oracle_speeds, double timeout_factor,
                 double straggler_threshold,
-                std::size_t chunks_per_partition);
+                std::size_t chunks_per_partition,
+                bool health_informed = false);
 
   struct WorkerTiming {
     std::size_t assigned_chunks = 0;
@@ -62,12 +69,17 @@ class RoundExecutor : public StrategyEngine {
   /// the decode hooks. `final_chunk_workers[c]` holds the responders that
   /// delivered chunk c in ascending worker-id order; `extra_chunks[w]`
   /// the chunks worker w picked up during recovery.
+  /// `byzantine_chunk_workers[c]` lists the corrupted responders stripped
+  /// from chunk c after collection (empty on honest clusters) — functional
+  /// decodes re-add their corrupted values so the decoder's residual check
+  /// performs the identification numerically (docs/DESIGN.md §7).
   struct RoundLedger {
     const sched::Allocation& alloc;
     std::span<const WorkerTiming> timing;
     const std::vector<bool>& used;
     const std::vector<std::vector<std::size_t>>& final_chunk_workers;
     const std::vector<std::vector<std::size_t>>& extra_chunks;
+    const std::vector<std::vector<std::size_t>>& byzantine_chunk_workers;
   };
 
   /// How a strategy historically booked work into sim::Accounting. The
@@ -151,6 +163,14 @@ class RoundExecutor : public StrategyEngine {
   }
   [[nodiscard]] bool oracle_speeds() const noexcept { return oracle_speeds_; }
 
+  /// Responses the master collects per chunk. Exactly quorum() on honest
+  /// clusters. When the cluster spec declares Byzantine workers the
+  /// collection over-provisions by min(n - q, max(e + 1, 2e)) extra
+  /// responders so each chunk keeps >= quorum() clean responders after the
+  /// corrupted ones are stripped, and the functional decoder retains
+  /// >= k + e + 1 rows — the identification bound of docs/DESIGN.md §7.
+  [[nodiscard]] std::size_t collection_quorum() const;
+
  private:
   [[nodiscard]] std::vector<double> predict_speeds(sim::Time t0);
   [[nodiscard]] WorkerTiming simulate_worker(std::size_t w, sim::Time t0,
@@ -160,6 +180,8 @@ class RoundExecutor : public StrategyEngine {
   double timeout_factor_;
   double straggler_threshold_;
   std::size_t chunks_per_partition_;
+  bool health_informed_;
+  telemetry::HealthMonitor health_;
 };
 
 }  // namespace s2c2::core

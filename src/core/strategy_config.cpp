@@ -92,6 +92,12 @@ bool strategy_uses_recovery(StrategyKind s) {
   return false;
 }
 
+bool strategy_tolerates_byzantine(StrategyKind s) {
+  // Redundant coded responses are what the residual check verifies
+  // against, so tolerance coincides with being coded.
+  return strategy_is_coded(s);
+}
+
 double decode_flops(std::size_t k, std::size_t values, std::size_t groups) {
   const double kd = static_cast<double>(k);
   const double lu = 2.0 / 3.0 * kd * kd * kd * static_cast<double>(groups);

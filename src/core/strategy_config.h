@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -20,11 +21,29 @@
 
 namespace s2c2::core {
 
+/// Byzantine adversary model: the listed workers compute honestly-timed
+/// but *corrupted* products every round (deterministic corruption pattern
+/// derived from `seed`). Coded engines over-provision coverage, identify
+/// the corrupted responders through the decode-residual check
+/// (docs/DESIGN.md §7), book their work as waste, and recover through the
+/// §4.3 wave hooks; uncoded strategies have no redundancy to verify
+/// against and fail deterministically. Soundness requires
+/// |corrupt_workers| <= n - k - 1 (at least one redundant response beyond
+/// the exclusion set must remain to confirm consistency).
+struct ByzantineSpec {
+  std::vector<std::size_t> corrupt_workers;  // empty = honest cluster
+  double corruption_scale = 1e3;  // magnitude of the injected perturbation
+  std::uint64_t seed = 0;         // deterministic corruption pattern
+
+  [[nodiscard]] bool active() const { return !corrupt_workers.empty(); }
+};
+
 struct ClusterSpec {
   std::vector<sim::SpeedTrace> traces;  // one per worker
   sim::NetworkModel net{1e-4, 1.25e9};  // 10 Gb/s, 100us latency
   double worker_flops = 1e9;            // at relative speed 1.0
   double master_flops = 1e9;            // decode speed
+  ByzantineSpec byzantine;              // default: honest cluster
 
   [[nodiscard]] std::size_t num_workers() const { return traces.size(); }
 
@@ -76,6 +95,13 @@ enum class StrategyKind {
 /// strategies simply cancel or speculate.
 [[nodiscard]] bool strategy_uses_recovery(StrategyKind s);
 
+/// True when the strategy can detect and survive Byzantine (corrupted)
+/// responses: every coded strategy, by spending redundancy on the
+/// decode-residual check (docs/DESIGN.md §7). The uncoded baselines
+/// forward unverifiable products and fail deterministically under a
+/// ByzantineSpec.
+[[nodiscard]] bool strategy_tolerates_byzantine(StrategyKind s);
+
 struct EngineConfig {
   /// Allocation/collection policy of the MDS-coded engine; one of
   /// kS2C2, kS2C2Basic, kMds.
@@ -97,6 +123,13 @@ struct EngineConfig {
   /// Use the true trace speed at round start instead of the predictor
   /// (the paper's "knowing the exact speeds" variant in Figs 6/7).
   bool oracle_speeds = false;
+
+  /// Wrap the predictor in predict::HealthInformedPredictor: predictions
+  /// are scaled by the health monitor's degradation factor, so a fail-slow
+  /// worker's allocation shrinks ahead of the EWMA the raw predictor
+  /// tracks. Off by default — it changes allocations, and the pinned
+  /// honest-cluster fingerprints must not see it.
+  bool health_informed = false;
 };
 
 /// Flop-count helpers for the cost model.

@@ -26,6 +26,10 @@
 #include "src/predict/predictors.h"
 #include "src/sim/accounting.h"
 
+namespace s2c2::telemetry {
+class HealthMonitor;
+}
+
 namespace s2c2::core {
 
 /// One simulated round from any strategy (the pre-PR-5 RoundResult and
@@ -93,6 +97,14 @@ class StrategyEngine {
   /// baselines have no decode stage and report empty stats.
   [[nodiscard]] virtual coding::DecodeContextStats decode_stats() const {
     return {};
+  }
+
+  /// Worker-health telemetry fed from the round lifecycle
+  /// (telemetry/health_monitor.h). Engines without the shared lifecycle
+  /// (the uncoded baselines) report none.
+  [[nodiscard]] virtual const telemetry::HealthMonitor* health_monitor()
+      const {
+    return nullptr;
   }
 
  protected:

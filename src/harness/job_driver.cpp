@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <stdexcept>
 #include <utility>
@@ -13,6 +14,7 @@
 #include "src/apps/svm.h"
 #include "src/coding/decode_context.h"
 #include "src/core/engine_factory.h"
+#include "src/telemetry/health_monitor.h"
 #include "src/util/hash.h"
 #include "src/util/require.h"
 #include "src/util/rng.h"
@@ -94,6 +96,10 @@ class StrategyChannel {
   [[nodiscard]] coding::DecodeContextStats decode_stats() const {
     return engine_->decode_stats();
   }
+  /// Null for strategies without a health monitor (uncoded baselines).
+  [[nodiscard]] const telemetry::HealthMonitor* health() const {
+    return engine_->health_monitor();
+  }
 
  private:
   ColumnPredictor bundle_;  // must outlive engine_ (LSTM adapter refs it)
@@ -119,6 +125,10 @@ std::unique_ptr<StrategyChannel> make_channel(
   params.k = config.effective_k();
   params.chunks_per_partition = config.chunks_per_partition;
   params.replication.placement_seed = mix64(placement_salt ^ 0x91ace3e9ull);
+  // Health-informed prediction only on the robustness traces: the scale
+  // hook changes allocations, and the default-grid traces are pinned by
+  // the JobSuite golden fingerprint.
+  params.health_informed = trace_profile_is_robustness(config.trace);
 
   ColumnPredictor bundle;
   if (core::strategy_uses_predictions(config.strategy)) {
@@ -142,6 +152,8 @@ struct RoundLog {
   double completion_time = 0.0;
   std::size_t reassigned_chunks = 0;
   std::size_t data_moves = 0;
+  std::size_t byzantine_detected = 0;
+  std::size_t corrupted_chunks = 0;
 
   void record(const sim::RoundStats& stats) {
     ++rounds;
@@ -149,6 +161,8 @@ struct RoundLog {
     completion_time += stats.latency();
     reassigned_chunks += stats.reassigned_chunks;
     data_moves += stats.data_moves;
+    byzantine_detected += stats.byzantine_detected;
+    corrupted_chunks += stats.corrupted_chunks;
   }
 
   /// Transcribes the log (and the channels' accounting) into the result —
@@ -170,6 +184,21 @@ void RoundLog::finish(JobResult& result,
                  : 0.0;
   result.reassigned_chunks = reassigned_chunks;
   result.data_moves = data_moves;
+  result.byzantine_detected = byzantine_detected;
+  result.corrupted_chunks = corrupted_chunks;
+  // End-of-job health snapshot. A GD job's forward and backward channels
+  // monitor the same fleet, so take the pessimistic view across channels.
+  bool any_monitor = false;
+  double min_ttf = std::numeric_limits<double>::infinity();
+  for (const StrategyChannel* ch : channels) {
+    const telemetry::HealthMonitor* hm = ch->health();
+    if (hm == nullptr) continue;
+    any_monitor = true;
+    result.degrading_workers =
+        std::max(result.degrading_workers, hm->degrading_count());
+    min_ttf = std::min(min_ttf, hm->min_time_to_failure());
+  }
+  result.health_min_ttf = any_monitor ? min_ttf : 0.0;
   aggregate_accounting(result, channels);
 }
 
@@ -489,6 +518,15 @@ std::string JobResult::fingerprint() const {
   h = fnv1a(h, static_cast<std::uint64_t>(data_moves));
   h = fnv1a(h, static_cast<std::uint64_t>(decode_sets));
   h = fnv1a(h, static_cast<std::uint64_t>(decode_cache_hits));
+  // Robustness fields are hashed only on the robustness traces: the
+  // JobSuite golden pins the default grid (controlled + volatile traces),
+  // where these stay identically zero and must not perturb the hash.
+  if (trace_profile_is_robustness(trace)) {
+    h = fnv1a(h, static_cast<std::uint64_t>(byzantine_detected));
+    h = fnv1a(h, static_cast<std::uint64_t>(corrupted_chunks));
+    h = fnv1a(h, static_cast<std::uint64_t>(degrading_workers));
+    h = fnv1a(h, health_min_ttf);
+  }
   for (const double v : convergence) h = fnv1a(h, v);
   h = fnv1a(h, final_metric);
   h = fnv1a(h, solution_error);

@@ -130,6 +130,17 @@ struct JobResult {
   std::size_t reassigned_chunks = 0;  // §4.3 recovery volume
   std::size_t data_moves = 0;         // baseline partition migrations
 
+  // Robustness and worker-health telemetry (telemetry/health_monitor.h;
+  // docs/DESIGN.md §7). Summed over rounds except degrading_workers (the
+  // health monitor's flag count at job end) and health_min_ttf (the
+  // smallest estimated time-to-failure across the fleet at job end; 0 when
+  // the strategy has no monitor). Hashed into the fingerprint only on the
+  // robustness trace profiles so the PR 5 goldens stay valid.
+  std::size_t byzantine_detected = 0;
+  std::size_t corrupted_chunks = 0;
+  std::size_t degrading_workers = 0;
+  double health_min_ttf = 0.0;
+
   /// Decode-cache telemetry summed over the job's coded channels
   /// (coding/decode_context.h): distinct responder-set factorizations
   /// resident at job end, and lookups served from cache across every

@@ -29,6 +29,16 @@ MatrixAxes MatrixAxes::large_scale() {
   return axes;
 }
 
+MatrixAxes MatrixAxes::robustness() {
+  MatrixAxes axes;
+  axes.traces = robustness_trace_profiles();
+  // Last-value prediction, not oracle: health-informed scaling only wraps
+  // a real predictor, and the fail-slow column is exactly the setting
+  // where the wrap should beat raw last-value tracking.
+  axes.predictors = {PredictorKind::kLastValue};
+  return axes;
+}
+
 ScenarioConfig cell_config(const ScenarioConfig& base, std::size_t workers,
                            PredictorKind predictor) {
   ScenarioConfig cfg = base;

@@ -51,6 +51,13 @@ struct MatrixAxes {
   /// dense O(k³) LU per round — the seed model made n = 1000 cells decode-
   /// bound by hours. Deterministic at any --jobs like every other sweep.
   [[nodiscard]] static MatrixAxes large_scale();
+
+  /// The robustness sweep: every engine x workload over the PR 6 trace
+  /// zoo (fail-slow, bursty colocation, diurnal, byzantine) on the
+  /// last-value predictor — coded cells detect and survive the byzantine
+  /// column, the uncoded baselines record deterministic failed cells, and
+  /// health-informed prediction is active throughout.
+  [[nodiscard]] static MatrixAxes robustness();
 };
 
 /// One cell coordinate in the widened grid.

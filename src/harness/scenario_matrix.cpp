@@ -67,6 +67,9 @@ double trace_sample_dt(const ScenarioConfig& config) {
 struct RoundSummary {
   std::vector<double> latencies;
   std::size_t timeouts = 0;
+  std::size_t byzantine_detected = 0;
+  std::size_t corrupted_chunks = 0;
+  std::size_t degrading_workers = 0;  // final round's flag count
 };
 
 /// Shared per-round bookkeeping: `run_round` executes one engine round and
@@ -80,6 +83,9 @@ RoundSummary run_rounds_loop(std::size_t rounds, RunRound&& run_round) {
     const sim::RoundStats stats = run_round();
     rs.latencies.push_back(stats.latency());
     rs.timeouts += stats.timeout_fired ? 1 : 0;
+    rs.byzantine_detected += stats.byzantine_detected;
+    rs.corrupted_chunks += stats.corrupted_chunks;
+    rs.degrading_workers = stats.degrading_workers;
   }
   return rs;
 }
@@ -99,6 +105,9 @@ void finish_cell(CellResult& cell, const RoundSummary& rs,
   cell.total_useful = acct.total_useful();
   cell.total_wasted = acct.total_wasted();
   cell.mean_wasted_fraction = acct.mean_wasted_fraction();
+  cell.byzantine_detected = rs.byzantine_detected;
+  cell.corrupted_chunks = rs.corrupted_chunks;
+  cell.degrading_workers = rs.degrading_workers;
 }
 
 /// Training seed for the learned predictors — per (seed, workload, profile)
@@ -227,6 +236,10 @@ const char* trace_profile_name(TraceProfile t) {
     case TraceProfile::kStableCloud: return "stable";
     case TraceProfile::kVolatileCloud: return "volatile";
     case TraceProfile::kFailureInjection: return "failure";
+    case TraceProfile::kFailSlow: return "fail-slow";
+    case TraceProfile::kBurstyColocation: return "bursty";
+    case TraceProfile::kDiurnal: return "diurnal";
+    case TraceProfile::kByzantine: return "byzantine";
   }
   return "?";
 }
@@ -254,6 +267,22 @@ std::vector<WorkloadKind> all_workloads() {
 std::vector<TraceProfile> all_trace_profiles() {
   return {TraceProfile::kControlledStragglers, TraceProfile::kStableCloud,
           TraceProfile::kVolatileCloud, TraceProfile::kFailureInjection};
+}
+
+std::vector<TraceProfile> robustness_trace_profiles() {
+  return {TraceProfile::kFailSlow, TraceProfile::kBurstyColocation,
+          TraceProfile::kDiurnal, TraceProfile::kByzantine};
+}
+
+std::vector<TraceProfile> extended_trace_profiles() {
+  std::vector<TraceProfile> out = all_trace_profiles();
+  const std::vector<TraceProfile> extra = robustness_trace_profiles();
+  out.insert(out.end(), extra.begin(), extra.end());
+  return out;
+}
+
+bool trace_profile_is_robustness(TraceProfile t) {
+  return static_cast<int>(t) > static_cast<int>(TraceProfile::kFailureInjection);
 }
 
 std::vector<PredictorKind> all_predictors() {
@@ -356,6 +385,34 @@ std::vector<sim::SpeedTrace> make_traces(TraceProfile profile,
       }
       return traces;
     }
+    case TraceProfile::kFailSlow: {
+      // Monotone degradation toward a floor past a random onset — the
+      // signature the health monitor's drift baselines exist to catch.
+      const std::size_t samples = std::max<std::size_t>(64, 4 * config.rounds);
+      return workload::traces_from_series(
+          workload::fail_slow_corpus(config.workers, samples,
+                                     workload::FailSlowConfig{}, rng),
+          trace_sample_dt(config));
+    }
+    case TraceProfile::kBurstyColocation:
+    case TraceProfile::kDiurnal: {
+      const auto cfg = profile == TraceProfile::kBurstyColocation
+                           ? workload::bursty_colocation_config()
+                           : workload::diurnal_config();
+      const std::size_t samples = std::max<std::size_t>(64, 4 * config.rounds);
+      return workload::traces_from_series(
+          workload::cloud_speed_corpus(config.workers, samples, cfg, rng),
+          trace_sample_dt(config));
+    }
+    case TraceProfile::kByzantine: {
+      // Corruption is the story, so speeds stay tame: the stable-cloud
+      // generator on the byzantine column's own salt stream.
+      const std::size_t samples = std::max<std::size_t>(64, 4 * config.rounds);
+      return workload::traces_from_series(
+          workload::cloud_speed_corpus(config.workers, samples,
+                                       workload::stable_cloud_config(), rng),
+          trace_sample_dt(config));
+    }
   }
   throw std::invalid_argument("unknown trace profile");
 }
@@ -369,6 +426,20 @@ core::ClusterSpec make_cluster(TraceProfile profile,
   spec.master_flops = spec.worker_flops;
   if (profile == TraceProfile::kControlledStragglers) {
     spec.net.bytes_per_s = 7e9;  // the paper's FDR InfiniBand cluster
+  }
+  if (profile == TraceProfile::kByzantine) {
+    // The last e workers corrupt their products every round, with e capped
+    // at the n - k - 1 identification budget (docs/DESIGN.md §7) so a
+    // coded cell always completes with the correct decoded product.
+    const std::size_t n = config.workers;
+    const std::size_t k = config.effective_k();
+    const std::size_t budget = n > k + 1 ? n - k - 1 : 0;
+    const std::size_t e =
+        std::min(budget, std::max<std::size_t>(1, n / 8));
+    for (std::size_t i = 0; i < e; ++i) {
+      spec.byzantine.corrupt_workers.push_back(n - 1 - i);
+    }
+    spec.byzantine.seed = mix64(salt ^ 0xb72a27ull);
   }
   return spec;
 }
@@ -387,6 +458,13 @@ std::string CellResult::fingerprint() const {
   h = fnv1a(h, total_useful);
   h = fnv1a(h, total_wasted);
   h = fnv1a(h, max_decode_error);
+  if (trace_profile_is_robustness(trace)) {
+    // Only the robustness profiles hash their telemetry — adding fields to
+    // the original profiles' digests would invalidate the PR 5 goldens.
+    h = fnv1a(h, static_cast<std::uint64_t>(byzantine_detected));
+    h = fnv1a(h, static_cast<std::uint64_t>(corrupted_chunks));
+    h = fnv1a(h, static_cast<std::uint64_t>(degrading_workers));
+  }
   return hex64(h);
 }
 
@@ -465,6 +543,11 @@ CellResult run_cell_impl(const ScenarioConfig& config, const WorkloadShape& s,
   params.k = config.effective_k();
   params.chunks_per_partition = config.chunks_per_partition;
   params.a_blocks = s.a_blocks;
+  // The robustness profiles run health-informed prediction (the monitor's
+  // degradation scale shrinks a fail-slow worker's allocation ahead of
+  // the raw predictor); the original profiles must not — the wrap changes
+  // allocations, and their fingerprints are golden-pinned.
+  params.health_informed = trace_profile_is_robustness(cell.trace);
   // The bundle outlives the engine: the LSTM adapter references it.
   ColumnPredictor bundle;
   if (core::strategy_uses_predictions(e)) {

@@ -58,6 +58,15 @@ enum class TraceProfile {
   kStableCloud,           // low-volatility cloud regime (Fig 8)
   kVolatileCloud,         // frequent regime switches (Fig 10)
   kFailureInjection,      // workers dying mid-round (§4.3 recovery / kNever)
+  // Robustness profiles (the PR 6 trace zoo). Appended after the original
+  // four — enum values feed seeds and fingerprints, so the order above is
+  // wire format. all_trace_profiles() still returns only the original
+  // four (the golden-pinned default sweep); these live in
+  // robustness_trace_profiles() / extended_trace_profiles().
+  kFailSlow,          // monotone degradation toward a floor (health drift)
+  kBurstyColocation,  // short deep co-tenant bursts, fast recovery
+  kDiurnal,           // per-node periodic contention, quiet baseline
+  kByzantine,         // corrupted products from <= n-k-1 workers
 };
 
 /// Speed-information source for the prediction-capable engines (the S2C2,
@@ -82,7 +91,17 @@ enum class PredictorKind {
 /// predictor axis multiplies; the others run once per column.
 [[nodiscard]] std::vector<StrategyKind> all_engines();
 [[nodiscard]] std::vector<WorkloadKind> all_workloads();
+/// The original four profiles only — this list drives the default sweep
+/// whose fingerprints are golden-pinned, so it must never grow.
 [[nodiscard]] std::vector<TraceProfile> all_trace_profiles();
+/// The PR 6 robustness additions (fail-slow, bursty, diurnal, byzantine).
+[[nodiscard]] std::vector<TraceProfile> robustness_trace_profiles();
+/// Original four + robustness profiles, in enum order (CLI parsing).
+[[nodiscard]] std::vector<TraceProfile> extended_trace_profiles();
+/// True for the robustness profiles. Cells on these profiles hash their
+/// robustness counters (and may run health-informed prediction); cells on
+/// the original profiles keep the pinned PR 5 fingerprints bit-for-bit.
+[[nodiscard]] bool trace_profile_is_robustness(TraceProfile t);
 [[nodiscard]] std::vector<PredictorKind> all_predictors();
 
 /// A speed source built for one (workload, trace) column. `predictor` is
@@ -195,6 +214,14 @@ struct CellResult {
   // Functional-mode decode verification.
   bool decode_checked = false;
   double max_decode_error = 0.0;
+
+  // Robustness telemetry (sim::RoundStats), summed over rounds except for
+  // degrading_workers (the final round's health-monitor flag count).
+  // Hashed into the fingerprint only on robustness profiles, so the
+  // original profiles' goldens are untouched.
+  std::size_t byzantine_detected = 0;
+  std::size_t corrupted_chunks = 0;
+  std::size_t degrading_workers = 0;
 
   /// Per-round latencies — the cell's event log; fingerprint() hashes the
   /// exact bit patterns, so "same seed => identical log" is testable.

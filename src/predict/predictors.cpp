@@ -66,4 +66,27 @@ std::string NoisyPredictor::name() const {
   return "noisy(" + inner_->name() + ")";
 }
 
+HealthInformedPredictor::HealthInformedPredictor(
+    std::unique_ptr<SpeedPredictor> inner, ScaleFn scale)
+    : inner_(std::move(inner)), scale_(std::move(scale)) {
+  S2C2_REQUIRE(inner_ != nullptr, "inner predictor required");
+}
+
+void HealthInformedPredictor::observe(std::size_t worker, double speed) {
+  inner_->observe(worker, speed);
+}
+
+double HealthInformedPredictor::predict(std::size_t worker) {
+  const double p = inner_->predict(worker);
+  if (!scale_) return p;
+  double s = scale_(worker);
+  if (!(s > 0.0)) s = 1.0;  // empty/invalid health signal: pass through
+  if (s > 1.0) s = 1.0;     // health can only bid a worker down
+  return p * s;
+}
+
+std::string HealthInformedPredictor::name() const {
+  return "health(" + inner_->name() + ")";
+}
+
 }  // namespace s2c2::predict

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -84,6 +85,27 @@ class NoisyPredictor final : public SpeedPredictor {
   double corrupt_prob_;
   double rel_error_;
   util::Rng rng_;
+};
+
+/// Wraps another predictor and scales its estimates by an externally
+/// supplied per-worker health factor in (0, 1] — the hook
+/// `telemetry::HealthMonitor::prediction_scale` plugs into. The predict
+/// layer stays below telemetry: the wrapper only sees a callback, so the
+/// monitor (owned by the engine) can bid down degrading workers before
+/// the trace itself confirms the decline. An empty callback or an
+/// out-of-range factor degrades to the inner prediction unchanged.
+class HealthInformedPredictor final : public SpeedPredictor {
+ public:
+  using ScaleFn = std::function<double(std::size_t)>;
+  HealthInformedPredictor(std::unique_ptr<SpeedPredictor> inner,
+                          ScaleFn scale);
+  void observe(std::size_t worker, double speed) override;
+  double predict(std::size_t worker) override;
+  std::string name() const override;
+
+ private:
+  std::unique_ptr<SpeedPredictor> inner_;
+  ScaleFn scale_;
 };
 
 }  // namespace s2c2::predict

@@ -114,7 +114,9 @@ std::string job_completion_csv(const JobSuiteResult& suite) {
   std::string csv =
       "app,trace,strategy,predictor,failed,converged,iterations,rounds,"
       "completion_time_s,normalized_vs_s2c2,timeout_rate,misprediction_rate,"
-      "reassigned_chunks,data_moves,final_metric,solution_error\n";
+      "reassigned_chunks,data_moves,final_metric,solution_error,"
+      "byzantine_detected,corrupted_chunks,degrading_workers,"
+      "health_min_ttf\n";
   for (const JobResult& job : suite.jobs) {
     csv += harness::job_app_name(job.app);
     csv += ',';
@@ -126,7 +128,7 @@ std::string job_completion_csv(const JobSuiteResult& suite) {
     csv += ',';
     csv += job.failed ? "1" : "0";
     if (job.failed) {
-      csv += ",,,,,,,,,,,\n";
+      csv += ",,,,,,,,,,,,,,,\n";
       continue;
     }
     const double ref = s2c2_reference_time(suite, job);
@@ -143,6 +145,11 @@ std::string job_completion_csv(const JobSuiteResult& suite) {
     csv += ',' + std::to_string(job.data_moves);
     csv += ',' + num(job.final_metric);
     csv += ',' + num(job.solution_error);
+    csv += ',' + std::to_string(job.byzantine_detected);
+    csv += ',' + std::to_string(job.corrupted_chunks);
+    csv += ',' + std::to_string(job.degrading_workers);
+    // +inf renders as "inf" (nobody projected to fail); 0 = no monitor.
+    csv += ',' + num(job.health_min_ttf);
     csv += '\n';
   }
   return csv;
@@ -151,7 +158,8 @@ std::string job_completion_csv(const JobSuiteResult& suite) {
 std::string utilization_csv(const JobSuiteResult& suite) {
   std::string csv =
       "app,trace,strategy,useful_work,wasted_work,waste_pct,"
-      "mean_wasted_fraction_pct,busy_time_s,reassigned_chunks,data_moves\n";
+      "mean_wasted_fraction_pct,busy_time_s,reassigned_chunks,data_moves,"
+      "byzantine_detected,corrupted_chunks\n";
   for (const JobResult& job : suite.jobs) {
     csv += harness::job_app_name(job.app);
     csv += ',';
@@ -159,7 +167,7 @@ std::string utilization_csv(const JobSuiteResult& suite) {
     csv += ',';
     csv += core::strategy_name(job.strategy);
     if (job.failed) {
-      csv += ",,,,,,,\n";
+      csv += ",,,,,,,,,\n";
       continue;
     }
     const double total = job.total_useful + job.total_wasted;
@@ -170,6 +178,8 @@ std::string utilization_csv(const JobSuiteResult& suite) {
     csv += ',' + num(job.total_busy);
     csv += ',' + std::to_string(job.reassigned_chunks);
     csv += ',' + std::to_string(job.data_moves);
+    csv += ',' + std::to_string(job.byzantine_detected);
+    csv += ',' + std::to_string(job.corrupted_chunks);
     csv += '\n';
   }
   return csv;

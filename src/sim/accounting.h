@@ -37,6 +37,12 @@ struct RoundStats {
   bool timeout_fired = false;      // mis-prediction / failure recovery ran
   std::size_t reassigned_chunks = 0;  // §4.3 recovery volume, all waves
   std::size_t data_moves = 0;      // partition migrations (baselines)
+  // Robustness telemetry (zero on honest clusters / engines without the
+  // coded verification pass — see round_executor.cpp and
+  // telemetry/health_monitor.h).
+  std::size_t byzantine_detected = 0;  // corrupted responders identified
+  std::size_t corrupted_chunks = 0;    // chunks carrying a corrupted product
+  std::size_t degrading_workers = 0;   // health-monitor drift flags, post-round
 
   [[nodiscard]] Time latency() const { return end - start; }
 };

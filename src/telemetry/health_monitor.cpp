@@ -1,0 +1,84 @@
+#include "src/telemetry/health_monitor.h"
+
+#include <algorithm>
+
+#include "src/util/require.h"
+
+namespace s2c2::telemetry {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+HealthMonitor::HealthMonitor(std::size_t num_workers,
+                             HealthMonitorConfig config)
+    : config_(config), workers_(num_workers) {
+  S2C2_REQUIRE(config_.fast_alpha > 0.0 && config_.fast_alpha <= 1.0,
+               "fast_alpha in (0,1]");
+  S2C2_REQUIRE(config_.slow_alpha > 0.0 && config_.slow_alpha <= 1.0,
+               "slow_alpha in (0,1]");
+  S2C2_REQUIRE(config_.min_pulses >= 1, "min_pulses >= 1");
+}
+
+void HealthMonitor::record_pulse(std::size_t worker, double speed) {
+  S2C2_REQUIRE(worker < workers_.size(), "worker out of range");
+  S2C2_REQUIRE(speed >= 0.0, "speed must be >= 0");
+  WorkerHealth& h = workers_[worker];
+  if (h.pulses == 0) {
+    h.ewma_fast = speed;
+    h.ewma_slow = speed;
+    h.drift = 0.0;
+  } else {
+    const double prev_fast = h.ewma_fast;
+    h.ewma_fast += config_.fast_alpha * (speed - h.ewma_fast);
+    h.ewma_slow += config_.slow_alpha * (speed - h.ewma_slow);
+    h.drift += config_.drift_alpha * ((h.ewma_fast - prev_fast) - h.drift);
+  }
+  ++h.pulses;
+  h.degrading =
+      h.pulses >= config_.min_pulses &&
+      h.ewma_fast < h.ewma_slow * (1.0 - config_.drift_threshold);
+  // Extrapolate the fast baseline to the failure floor at the smoothed
+  // drift rate; a flat or improving worker never projects a failure.
+  if (h.degrading && h.drift < 0.0 && h.ewma_fast > config_.failure_floor) {
+    h.time_to_failure = (h.ewma_fast - config_.failure_floor) / (-h.drift);
+  } else if (h.ewma_fast <= config_.failure_floor &&
+             h.pulses >= config_.min_pulses) {
+    h.time_to_failure = 0.0;
+  } else {
+    h.time_to_failure = kInf;
+  }
+}
+
+void HealthMonitor::record_missed(std::size_t worker) {
+  S2C2_REQUIRE(worker < workers_.size(), "worker out of range");
+  ++workers_[worker].missed_pulses;
+}
+
+const WorkerHealth& HealthMonitor::health(std::size_t worker) const {
+  S2C2_REQUIRE(worker < workers_.size(), "worker out of range");
+  return workers_[worker];
+}
+
+std::size_t HealthMonitor::degrading_count() const {
+  std::size_t n = 0;
+  for (const WorkerHealth& h : workers_) n += h.degrading ? 1 : 0;
+  return n;
+}
+
+double HealthMonitor::min_time_to_failure() const {
+  double ttf = kInf;
+  for (const WorkerHealth& h : workers_) {
+    ttf = std::min(ttf, h.time_to_failure);
+  }
+  return ttf;
+}
+
+double HealthMonitor::prediction_scale(std::size_t worker) const {
+  S2C2_REQUIRE(worker < workers_.size(), "worker out of range");
+  const WorkerHealth& h = workers_[worker];
+  if (!h.degrading || h.ewma_slow <= 0.0) return 1.0;
+  return std::clamp(h.ewma_fast / h.ewma_slow, 0.25, 1.0);
+}
+
+}  // namespace s2c2::telemetry

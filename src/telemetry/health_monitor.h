@@ -1,0 +1,89 @@
+// Per-worker health telemetry: liveness pulses, EWMA speed baselines,
+// drift detection, and time-to-failure extrapolation.
+//
+// The monitor is a passive sink: `core::RoundExecutor` feeds it one pulse
+// per worker per round (the worker's execution-window speed, with recovery
+// windows *included* so reassignment overlap cannot inflate the baseline —
+// see the satellite fix note in round_executor.cpp), or a missed pulse when
+// the worker never responded. From the pulse stream it maintains, per
+// worker:
+//
+//  * a fast and a slow EWMA of observed speed (short- vs long-horizon
+//    baseline);
+//  * a drift estimate (EWMA of the fast baseline's per-round delta) — a
+//    persistently negative drift is the fail-slow signature;
+//  * a time-to-failure estimate: rounds until the fast baseline crosses
+//    `failure_floor` at the current drift rate (+inf when not declining);
+//  * a `degrading` flag once the fast baseline sits `drift_threshold`
+//    below the slow baseline with enough pulses to trust it.
+//
+// Consumers: `predict::HealthInformedPredictor` scales an inner
+// predictor's estimates by `prediction_scale(worker)` (degrading workers
+// are bid down before the trace itself confirms the decline), and the
+// harness surfaces `degrading_count()` / `min_time_to_failure()` in
+// `RoundStats` / `JobResult` / the report CSVs. Everything here is
+// deterministic: no clocks, no RNG — pure functions of the pulse stream.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace s2c2::telemetry {
+
+struct HealthMonitorConfig {
+  double fast_alpha = 0.4;       // short-horizon EWMA weight
+  double slow_alpha = 0.08;      // long-horizon baseline weight
+  double drift_alpha = 0.3;      // smoothing on the per-round fast delta
+  double drift_threshold = 0.05; // relative fast-below-slow to flag degrading
+  double failure_floor = 0.1;    // speed at which a worker counts as failed
+  std::size_t min_pulses = 3;    // pulses before the flags are trusted
+};
+
+struct WorkerHealth {
+  double ewma_fast = 1.0;
+  double ewma_slow = 1.0;
+  double drift = 0.0;  // smoothed per-round change of the fast baseline
+  double time_to_failure =
+      std::numeric_limits<double>::infinity();  // rounds, +inf if healthy
+  std::size_t pulses = 0;
+  std::size_t missed_pulses = 0;
+  bool degrading = false;
+};
+
+class HealthMonitor {
+ public:
+  explicit HealthMonitor(std::size_t num_workers,
+                         HealthMonitorConfig config = {});
+
+  /// One responded-worker sample: the worker's execution-window speed for
+  /// the round (work done over the full busy window, recovery included).
+  void record_pulse(std::size_t worker, double speed);
+
+  /// The worker produced no response this round (dead or cancelled before
+  /// any work landed). Counts against liveness; baselines are untouched.
+  void record_missed(std::size_t worker);
+
+  [[nodiscard]] const WorkerHealth& health(std::size_t worker) const;
+  [[nodiscard]] std::size_t num_workers() const noexcept {
+    return workers_.size();
+  }
+
+  /// Workers currently flagged as degrading.
+  [[nodiscard]] std::size_t degrading_count() const;
+
+  /// Smallest time-to-failure estimate across the fleet (+inf when nobody
+  /// is projected to fail).
+  [[nodiscard]] double min_time_to_failure() const;
+
+  /// Multiplier in (0, 1] for a predictor's speed estimate: 1 for healthy
+  /// workers, the fast/slow baseline ratio (clamped below) for degrading
+  /// ones — the health-informed prediction hook.
+  [[nodiscard]] double prediction_scale(std::size_t worker) const;
+
+ private:
+  HealthMonitorConfig config_;
+  std::vector<WorkerHealth> workers_;
+};
+
+}  // namespace s2c2::telemetry

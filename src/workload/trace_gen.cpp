@@ -33,6 +33,65 @@ CloudTraceConfig volatile_cloud_config() {
   return c;
 }
 
+CloudTraceConfig bursty_colocation_config() {
+  CloudTraceConfig c;
+  // Frequent entry into one deep burst regime; the boosted deep-regime
+  // switch probability clears a burst within a couple of samples, so the
+  // signature is a high baseline pocked with short deep dips.
+  c.switch_prob = 0.10;
+  c.ar_sigma = 0.012;
+  c.recovery_ramp = 2;
+  c.regime_levels = {1.0, 0.95, 0.4};
+  c.deep_recovery_boost = 6.0;
+  return c;
+}
+
+CloudTraceConfig diurnal_config() {
+  CloudTraceConfig c;
+  c.switch_prob = 0.0;  // no regime churn — the period is the story
+  c.ar_sigma = 0.006;
+  c.regime_levels = {0.9};
+  c.periodic_amplitude = 0.3;
+  c.periodic_period = 16.0;
+  c.periodic_period_jitter = 0.15;
+  return c;
+}
+
+std::vector<double> fail_slow_series(std::size_t length,
+                                     const FailSlowConfig& config,
+                                     bool affected, util::Rng& rng) {
+  S2C2_REQUIRE(length > 0, "series length must be positive");
+  S2C2_REQUIRE(config.decay_per_sample > 0.0 && config.decay_per_sample < 1.0,
+               "decay_per_sample in (0,1)");
+  S2C2_REQUIRE(config.floor_speed > 0.0, "floor_speed must be positive");
+  std::vector<double> out(length);
+  const std::size_t onset = static_cast<std::size_t>(
+      rng.uniform(config.onset_fraction_min, config.onset_fraction_max) *
+      static_cast<double>(length));
+  double base = 1.0;
+  for (std::size_t t = 0; t < length; ++t) {
+    if (affected && t >= onset) {
+      base = std::max(config.floor_speed, base * config.decay_per_sample);
+    }
+    out[t] = std::max(config.floor_speed * 0.5,
+                      base + rng.normal(0.0, config.ar_sigma));
+  }
+  return out;
+}
+
+std::vector<std::vector<double>> fail_slow_corpus(std::size_t num_series,
+                                                  std::size_t length,
+                                                  const FailSlowConfig& config,
+                                                  util::Rng& rng) {
+  std::vector<std::vector<double>> corpus;
+  corpus.reserve(num_series);
+  for (std::size_t i = 0; i < num_series; ++i) {
+    const bool affected = rng.bernoulli(config.affected_fraction);
+    corpus.push_back(fail_slow_series(length, config, affected, rng));
+  }
+  return corpus;
+}
+
 std::vector<double> cloud_speed_series(std::size_t length,
                                        const CloudTraceConfig& config,
                                        util::Rng& rng) {

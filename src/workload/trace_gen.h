@@ -55,6 +55,41 @@ struct CloudTraceConfig {
 /// observed worst case was an 18% mis-prediction rate).
 [[nodiscard]] CloudTraceConfig volatile_cloud_config();
 
+/// Bursty colocation: a mostly-fast fleet hit by frequent, deep, but
+/// *short-lived* co-tenant bursts (CPU steal) — high switch probability
+/// into a deep regime whose own switch probability is boosted so bursts
+/// clear within a couple of samples.
+[[nodiscard]] CloudTraceConfig bursty_colocation_config();
+
+/// Diurnal contention: per-node periodic modulation (co-tenant cron/batch
+/// load) over a quiet baseline — regime machinery off, oscillation on.
+[[nodiscard]] CloudTraceConfig diurnal_config();
+
+/// Fail-slow degradation (Gupta et al., PAPERS.md): an affected node
+/// starts nominal, then past a random onset decays multiplicatively each
+/// sample toward `floor_speed` and stays there — the monotone drift the
+/// health monitor's baselines are built to catch. Unaffected nodes wander
+/// gently around 1.0.
+struct FailSlowConfig {
+  double affected_fraction = 0.5;   // chance a node degrades at all
+  double onset_fraction_min = 0.15; // onset uniform in this series fraction
+  double onset_fraction_max = 0.5;
+  double decay_per_sample = 0.97;   // multiplicative decay after onset
+  double floor_speed = 0.15;        // degraded steady-state speed
+  double ar_sigma = 0.008;          // gentle noise on every sample
+};
+
+/// One node's fail-slow series; `affected` selects the degrading branch.
+[[nodiscard]] std::vector<double> fail_slow_series(
+    std::size_t length, const FailSlowConfig& config, bool affected,
+    util::Rng& rng);
+
+/// Corpus of fail-slow node series; each node draws its affected flag from
+/// `config.affected_fraction`.
+[[nodiscard]] std::vector<std::vector<double>> fail_slow_corpus(
+    std::size_t num_series, std::size_t length, const FailSlowConfig& config,
+    util::Rng& rng);
+
 /// One node's speed series, one sample per compute iteration.
 [[nodiscard]] std::vector<double> cloud_speed_series(
     std::size_t length, const CloudTraceConfig& config, util::Rng& rng);

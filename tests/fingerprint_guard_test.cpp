@@ -31,6 +31,12 @@ constexpr char kSmallCostOnlyGolden[] = "f0771b8a4ccac94c";
 constexpr char kSmallFunctionalGolden[] = "c491678f9207cf5c";
 constexpr char kLargeScaleCellGolden[] = "52243eed9f56ea89";
 constexpr char kJobSuiteGolden[] = "16e232dec5ebdda4";
+// Pinned at PR 6 (telemetry + byzantine verification), seed 42. Unlike the
+// PR 5 goldens, robustness-profile cells also hash the byzantine/health
+// counters (byzantine_detected, corrupted_chunks, degrading_workers,
+// health_min_ttf), so this golden additionally guards the detection and
+// telemetry pipelines — and the uncoded baselines' deterministic failures.
+constexpr char kRobustnessSliceGolden[] = "3fddcc5fa8ba4a99";
 
 harness::ScenarioConfig base_config() {
   harness::ScenarioConfig cfg;  // workers 12, k n-2, rounds 6, seed 42
@@ -61,6 +67,22 @@ TEST(FingerprintGuard, LargeScaleCell) {
                         harness::TraceProfile::kControlledStragglers);
   EXPECT_FALSE(cell.failed) << cell.error;
   EXPECT_EQ(cell.fingerprint(), kLargeScaleCellGolden);
+}
+
+// The byzantine + fail-slow slice of the robustness sweep (every engine x
+// workload on the last-value predictor), run serially and on a 4-thread
+// pool: the two results must be byte-identical (the runner's determinism
+// contract) and match the pinned golden.
+TEST(FingerprintGuard, RobustnessSliceMatrix) {
+  harness::MatrixAxes axes = harness::MatrixAxes::robustness();
+  axes.traces = {harness::TraceProfile::kFailSlow,
+                 harness::TraceProfile::kByzantine};
+  const auto serial =
+      harness::run_matrix(base_config(), axes, {.jobs = 1});
+  const auto pooled =
+      harness::run_matrix(base_config(), axes, {.jobs = 4});
+  EXPECT_EQ(serial.fingerprint(), pooled.fingerprint());
+  EXPECT_EQ(serial.fingerprint(), kRobustnessSliceGolden);
 }
 
 // The full default job-driver suite (4 apps x 4 strategies x

@@ -1,0 +1,223 @@
+// Tests for the worker-health telemetry layer: EWMA baselines, drift
+// detection, time-to-failure extrapolation, the health-informed prediction
+// hook, and the recovery-window clamp on the pulses RoundExecutor feeds
+// (the observed-speed bias regression).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "src/core/engine.h"
+#include "src/predict/predictors.h"
+#include "src/telemetry/health_monitor.h"
+#include "src/workload/trace_gen.h"
+#include "tests/test_util.h"
+
+namespace s2c2 {
+namespace {
+
+using telemetry::HealthMonitor;
+using telemetry::HealthMonitorConfig;
+using test::kChunks;
+using test::make_spec;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(HealthMonitor, SteadyWorkerStaysHealthy) {
+  HealthMonitor mon(2);
+  for (int i = 0; i < 20; ++i) mon.record_pulse(0, 1.0);
+  const auto& h = mon.health(0);
+  EXPECT_FALSE(h.degrading);
+  EXPECT_NEAR(h.ewma_fast, 1.0, 1e-12);
+  EXPECT_NEAR(h.ewma_slow, 1.0, 1e-12);
+  EXPECT_EQ(h.time_to_failure, kInf);
+  EXPECT_EQ(mon.degrading_count(), 0u);
+  EXPECT_EQ(mon.min_time_to_failure(), kInf);
+  EXPECT_EQ(mon.prediction_scale(0), 1.0);
+}
+
+TEST(HealthMonitor, FirstPulseSeedsBothBaselines) {
+  HealthMonitor mon(1);
+  mon.record_pulse(0, 0.4);
+  EXPECT_DOUBLE_EQ(mon.health(0).ewma_fast, 0.4);
+  EXPECT_DOUBLE_EQ(mon.health(0).ewma_slow, 0.4);
+  EXPECT_DOUBLE_EQ(mon.health(0).drift, 0.0);
+}
+
+TEST(HealthMonitor, FailSlowDeclineFlagsDegrading) {
+  HealthMonitor mon(1);
+  double speed = 1.0;
+  for (int i = 0; i < 12; ++i) {
+    mon.record_pulse(0, speed);
+    speed *= 0.9;  // the fail-slow signature: multiplicative decay
+  }
+  const auto& h = mon.health(0);
+  EXPECT_TRUE(h.degrading);
+  EXPECT_LT(h.drift, 0.0);
+  EXPECT_LT(h.ewma_fast, h.ewma_slow);
+  EXPECT_EQ(mon.degrading_count(), 1u);
+}
+
+TEST(HealthMonitor, TimeToFailureExtrapolatesToFloor) {
+  HealthMonitor mon(1);
+  // Linear decline: 0.04/round from 1.0. The fast EWMA tracks with a lag,
+  // so the projection should land within a small factor of the true
+  // crossing distance, and must be finite and positive while above floor.
+  double speed = 1.0;
+  for (int i = 0; i < 10; ++i) {
+    mon.record_pulse(0, speed);
+    speed -= 0.04;
+  }
+  const auto& h = mon.health(0);
+  ASSERT_TRUE(h.degrading);
+  ASSERT_LT(h.drift, 0.0);
+  EXPECT_GT(h.time_to_failure, 0.0);
+  EXPECT_LT(h.time_to_failure, kInf);
+  const double naive_rounds = (h.ewma_fast - 0.1) / 0.04;
+  EXPECT_GT(h.time_to_failure, 0.3 * naive_rounds);
+  EXPECT_LT(h.time_to_failure, 3.0 * naive_rounds);
+}
+
+TEST(HealthMonitor, WorkerAtFloorProjectsZeroTtf) {
+  HealthMonitor mon(1);
+  for (int i = 0; i < 5; ++i) mon.record_pulse(0, 0.05);
+  EXPECT_EQ(mon.health(0).time_to_failure, 0.0);
+  EXPECT_EQ(mon.min_time_to_failure(), 0.0);
+}
+
+TEST(HealthMonitor, RecoveryClearsTheFlag) {
+  HealthMonitor mon(1);
+  double speed = 1.0;
+  for (int i = 0; i < 10; ++i) {
+    mon.record_pulse(0, speed);
+    speed *= 0.85;
+  }
+  ASSERT_TRUE(mon.health(0).degrading);
+  for (int i = 0; i < 40; ++i) mon.record_pulse(0, 1.0);
+  EXPECT_FALSE(mon.health(0).degrading);
+  EXPECT_EQ(mon.health(0).time_to_failure, kInf);
+  EXPECT_EQ(mon.prediction_scale(0), 1.0);
+}
+
+TEST(HealthMonitor, PredictionScaleClampedForDeepDecline) {
+  HealthMonitor mon(1);
+  // Long healthy history, then a cliff: fast collapses, slow lags high.
+  for (int i = 0; i < 30; ++i) mon.record_pulse(0, 1.0);
+  for (int i = 0; i < 6; ++i) mon.record_pulse(0, 0.01);
+  ASSERT_TRUE(mon.health(0).degrading);
+  const double s = mon.prediction_scale(0);
+  EXPECT_GE(s, 0.25);  // clamp floor
+  EXPECT_LT(s, 1.0);
+}
+
+TEST(HealthMonitor, MissedPulsesCountWithoutMovingBaselines) {
+  HealthMonitor mon(1);
+  mon.record_pulse(0, 0.8);
+  mon.record_missed(0);
+  mon.record_missed(0);
+  EXPECT_EQ(mon.health(0).missed_pulses, 2u);
+  EXPECT_EQ(mon.health(0).pulses, 1u);
+  EXPECT_DOUBLE_EQ(mon.health(0).ewma_fast, 0.8);
+}
+
+TEST(HealthMonitor, AggregatesAcrossTheFleet) {
+  HealthMonitor mon(4);
+  for (int i = 0; i < 12; ++i) {
+    mon.record_pulse(0, 1.0);
+    mon.record_pulse(1, 1.0 * std::pow(0.9, i));
+    mon.record_pulse(2, 0.9 * std::pow(0.92, i));
+    mon.record_pulse(3, 0.95);
+  }
+  EXPECT_EQ(mon.degrading_count(), 2u);
+  const double ttf = mon.min_time_to_failure();
+  EXPECT_LT(ttf, kInf);
+  EXPECT_LE(ttf, mon.health(1).time_to_failure);
+  EXPECT_LE(ttf, mon.health(2).time_to_failure);
+}
+
+TEST(HealthMonitor, RejectsBadConfigAndRange) {
+  EXPECT_THROW(HealthMonitor(2, HealthMonitorConfig{.fast_alpha = 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(HealthMonitor(2, HealthMonitorConfig{.min_pulses = 0}),
+               std::invalid_argument);
+  HealthMonitor mon(2);
+  EXPECT_THROW(mon.record_pulse(2, 1.0), std::invalid_argument);
+  EXPECT_THROW(mon.record_pulse(0, -1.0), std::invalid_argument);
+  EXPECT_THROW((void)mon.health(5), std::invalid_argument);
+}
+
+TEST(HealthInformedPredictor, ScalesInnerEstimate) {
+  auto inner = std::make_unique<predict::LastValuePredictor>(2);
+  inner->observe(0, 0.8);
+  predict::HealthInformedPredictor hp(std::move(inner),
+                                      [](std::size_t) { return 0.5; });
+  EXPECT_DOUBLE_EQ(hp.predict(0), 0.4);
+  hp.observe(0, 0.6);  // observations pass through to the inner model
+  EXPECT_DOUBLE_EQ(hp.predict(0), 0.3);
+}
+
+TEST(HealthInformedPredictor, DegradesToInnerOnBadScale) {
+  auto make = [](predict::HealthInformedPredictor::ScaleFn fn) {
+    auto inner = std::make_unique<predict::LastValuePredictor>(1);
+    inner->observe(0, 0.8);
+    return predict::HealthInformedPredictor(std::move(inner), std::move(fn));
+  };
+  EXPECT_DOUBLE_EQ(make({}).predict(0), 0.8);  // empty callback
+  EXPECT_DOUBLE_EQ(make([](std::size_t) { return 1.7; }).predict(0), 0.8);
+  EXPECT_DOUBLE_EQ(make([](std::size_t) { return 0.0; }).predict(0), 0.8);
+  EXPECT_DOUBLE_EQ(make([](std::size_t) { return -2.0; }).predict(0), 0.8);
+}
+
+// Regression for the observed-speed recovery-window bias: the health pulse
+// divides a worker's full round work (base + §4.3 recovery extras) by its
+// full busy window (base compute + recovery). The pre-fix formulation
+// divided total work by the base window only, so on a constant-speed
+// cluster any worker that absorbed reassigned chunks got a baseline
+// *above* its true speed. With the clamp, no pulse can exceed true speed
+// on a constant-speed fleet — recovery or not.
+TEST(HealthMonitor, RecoveryWindowDoesNotInflateEngineBaselines) {
+  test::FunctionalMatVec f(12, 10);
+  // 11 workers at speed 1.0, one 5x straggler; an equal-speed predictor
+  // mispredicts the straggler every round, so the timeout fires and its
+  // chunks are reassigned to the fast workers (recovery extras).
+  auto traces = test::uniform_traces(12);
+  traces[11] = sim::SpeedTrace::constant(0.2);
+  core::EngineConfig cfg;
+  cfg.chunks_per_partition = kChunks;
+  core::CodedComputeEngine engine(
+      f.job, make_spec(traces), cfg,
+      std::make_unique<predict::EqualSpeedPredictor>());
+
+  bool recovered = false;
+  for (int round = 0; round < 4; ++round) {
+    const core::RoundResult r = engine.run_round(f.x);
+    recovered = recovered || r.stats.reassigned_chunks > 0;
+  }
+  ASSERT_TRUE(recovered) << "setup must exercise the recovery path";
+
+  const telemetry::HealthMonitor* mon = engine.health_monitor();
+  ASSERT_NE(mon, nullptr);
+  for (std::size_t w = 0; w < 11; ++w) {
+    // Fast workers ran at exactly 1.0; an inflated pulse would push the
+    // fast EWMA above it. (Slightly below is fine: windows include
+    // non-compute overheads.)
+    EXPECT_LE(mon->health(w).ewma_fast, 1.0 + 1e-9) << "worker " << w;
+    EXPECT_GT(mon->health(w).pulses, 0u) << "worker " << w;
+  }
+}
+
+// The uncoded baselines expose no monitor: the base-class hook stays null.
+TEST(HealthMonitor, EngineExposesMonitorThroughStrategyEngine) {
+  test::FunctionalMatVec f(6, 4);
+  core::EngineConfig cfg;
+  cfg.chunks_per_partition = kChunks;
+  cfg.oracle_speeds = true;
+  core::CodedComputeEngine engine(f.job, test::make_spec(test::uniform_traces(6)),
+                                  cfg);
+  const core::StrategyEngine& base = engine;
+  EXPECT_NE(base.health_monitor(), nullptr);
+  EXPECT_EQ(base.health_monitor()->num_workers(), 6u);
+}
+
+}  // namespace
+}  // namespace s2c2

@@ -1,0 +1,301 @@
+// Statistical shape tests for the robustness trace zoo (fail-slow, bursty
+// colocation, diurnal, byzantine) and the cross-profile salting guard:
+// every profile must be deterministic in (config, salt), distinct across
+// profiles at the same seed, and shaped like the failure mode it models.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "src/harness/matrix_runner.h"
+#include "src/harness/scenario_matrix.h"
+#include "src/util/rng.h"
+#include "src/workload/trace_gen.h"
+
+namespace s2c2 {
+namespace {
+
+using harness::ScenarioConfig;
+using harness::TraceProfile;
+
+// ---- raw series shapes ----------------------------------------------------
+
+TEST(TraceZoo, FailSlowAffectedSeriesDeclinesToFloor) {
+  const workload::FailSlowConfig cfg;
+  util::Rng rng(21);
+  const auto series = workload::fail_slow_series(200, cfg, true, rng);
+  ASSERT_EQ(series.size(), 200u);
+  // Starts nominal, ends pinned near the floor.
+  EXPECT_GT(series.front(), 0.8);
+  EXPECT_LT(series.back(), cfg.floor_speed + 0.1);
+  // The decline is one-way: once well below nominal it never recovers.
+  bool seen_low = false;
+  for (const double s : series) {
+    if (s < 0.5) seen_low = true;
+    if (seen_low) {
+      EXPECT_LT(s, 0.6);
+    }
+  }
+}
+
+TEST(TraceZoo, FailSlowUnaffectedSeriesStaysNominal) {
+  const workload::FailSlowConfig cfg;
+  util::Rng rng(22);
+  const auto series = workload::fail_slow_series(200, cfg, false, rng);
+  for (const double s : series) {
+    EXPECT_GT(s, 0.8);
+    EXPECT_LT(s, 1.2);
+  }
+}
+
+TEST(TraceZoo, FailSlowCorpusMixesAffectedAndHealthyNodes) {
+  const workload::FailSlowConfig cfg;  // affected_fraction = 0.5
+  util::Rng rng(23);
+  const auto corpus = workload::fail_slow_corpus(200, 120, cfg, rng);
+  std::size_t degraded = 0;
+  for (const auto& series : corpus) {
+    degraded += series.back() < 0.5 ? 1 : 0;
+  }
+  // Binomial(200, 0.5): far outside [60, 140] would mean broken sampling.
+  EXPECT_GT(degraded, 60u);
+  EXPECT_LT(degraded, 140u);
+}
+
+TEST(TraceZoo, BurstyColocationBurstsAreDeepButShort) {
+  const workload::CloudTraceConfig cfg = workload::bursty_colocation_config();
+  util::Rng rng(24);
+  std::size_t burst_samples = 0, total = 0, max_run = 0, run = 0;
+  double sum = 0.0;
+  for (int node = 0; node < 20; ++node) {
+    const auto series = workload::cloud_speed_series(300, cfg, rng);
+    for (const double s : series) {
+      ++total;
+      sum += s;
+      if (s < 0.5) {
+        ++burst_samples;
+        ++run;
+        max_run = std::max(max_run, run);
+      } else {
+        run = 0;
+      }
+    }
+    run = 0;
+  }
+  // Bursts happen (deep regime is reachable)…
+  EXPECT_GT(burst_samples, 0u);
+  // …but the fleet is mostly fast and no burst persists: the deep regime's
+  // boosted switch probability caps dwell time well under the ~1/0.1
+  // samples ordinary regime drift would give.
+  EXPECT_GT(sum / static_cast<double>(total), 0.75);
+  EXPECT_LT(burst_samples, total / 4);
+  EXPECT_LE(max_run, 25u);
+}
+
+TEST(TraceZoo, DiurnalSeriesOscillateAroundAQuietBaseline) {
+  const workload::CloudTraceConfig cfg = workload::diurnal_config();
+  util::Rng rng(25);
+  for (int node = 0; node < 8; ++node) {
+    const auto series = workload::cloud_speed_series(256, cfg, rng);
+    double mn = 1e9, mx = -1e9, sum = 0.0;
+    for (const double s : series) {
+      mn = std::min(mn, s);
+      mx = std::max(mx, s);
+      sum += s;
+    }
+    const double mean = sum / static_cast<double>(series.size());
+    // Periodic modulation is visible (amplitude 0.3 on a 0.9 level)…
+    EXPECT_GT(mx - mn, 0.25) << "node " << node;
+    // …and symmetric: the series keeps crossing its own mean rather than
+    // trending (regime machinery is off for this profile).
+    std::size_t crossings = 0;
+    for (std::size_t i = 1; i < series.size(); ++i) {
+      if ((series[i - 1] < mean) != (series[i] < mean)) ++crossings;
+    }
+    EXPECT_GT(crossings, 8u) << "node " << node;
+  }
+}
+
+// ---- harness wiring -------------------------------------------------------
+
+ScenarioConfig base_config() {
+  ScenarioConfig cfg;  // workers 12, k n-2, seed 42
+  return cfg;
+}
+
+std::vector<double> sample_cluster(const std::vector<sim::SpeedTrace>& traces,
+                                   std::size_t samples, double dt) {
+  std::vector<double> out;
+  out.reserve(traces.size() * samples);
+  for (const auto& trace : traces) {
+    for (std::size_t i = 0; i < samples; ++i) {
+      out.push_back(trace.speed_at(static_cast<double>(i) * dt));
+    }
+  }
+  return out;
+}
+
+double correlation(const std::vector<double>& a, const std::vector<double>& b) {
+  const std::size_t n = a.size();
+  double ma = 0.0, mb = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    ma += a[i];
+    mb += b[i];
+  }
+  ma /= static_cast<double>(n);
+  mb /= static_cast<double>(n);
+  double cov = 0.0, va = 0.0, vb = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    cov += (a[i] - ma) * (b[i] - mb);
+    va += (a[i] - ma) * (a[i] - ma);
+    vb += (b[i] - mb) * (b[i] - mb);
+  }
+  if (va == 0.0 || vb == 0.0) return 0.0;
+  return cov / std::sqrt(va * vb);
+}
+
+TEST(TraceZoo, MakeTracesIsDeterministicPerProfileAndSalt) {
+  const ScenarioConfig cfg = base_config();
+  for (const TraceProfile t : harness::robustness_trace_profiles()) {
+    const auto first = harness::make_traces(t, cfg, 0xabcdu);
+    const auto second = harness::make_traces(t, cfg, 0xabcdu);
+    ASSERT_EQ(first.size(), cfg.workers);
+    const auto s1 = sample_cluster(first, 64, 0.05);
+    const auto s2 = sample_cluster(second, 64, 0.05);
+    EXPECT_EQ(s1, s2) << harness::trace_profile_name(t);
+    // A different salt realizes a different cluster.
+    const auto other = sample_cluster(
+        harness::make_traces(t, cfg, 0x1234u), 64, 0.05);
+    EXPECT_NE(s1, other) << harness::trace_profile_name(t);
+  }
+}
+
+// The cross-profile salting guard. make_traces itself deliberately shares
+// generators across profiles (byzantine reuses the stable-cloud generator:
+// corruption, not speed, is its story), so profile separation lives in
+// trace_salt: every (workload, profile) column must get its own salt, and
+// the clusters realized at those column salts must be distinct. A salting
+// bug — profile or workload not mixed into the stream — shows up as a
+// duplicated salt or a duplicated/correlated realized cluster.
+TEST(TraceZoo, ColumnSaltsSeparateEveryProfileAndWorkload) {
+  const ScenarioConfig cfg = base_config();
+  std::vector<std::uint64_t> salts;
+  for (const harness::WorkloadKind w : harness::all_workloads()) {
+    for (const TraceProfile t : harness::extended_trace_profiles()) {
+      salts.push_back(harness::trace_salt(cfg.seed, w, t));
+    }
+  }
+  std::vector<std::uint64_t> unique_salts = salts;
+  std::sort(unique_salts.begin(), unique_salts.end());
+  unique_salts.erase(std::unique(unique_salts.begin(), unique_salts.end()),
+                     unique_salts.end());
+  EXPECT_EQ(unique_salts.size(), salts.size());
+  // And the seed itself must matter.
+  EXPECT_NE(harness::trace_salt(cfg.seed + 1, harness::all_workloads().front(),
+                                TraceProfile::kByzantine),
+            salts.back());
+}
+
+TEST(TraceZoo, ProfilesAtTheirColumnSaltsRealizeDistinctClusters) {
+  const ScenarioConfig cfg = base_config();
+  const auto profiles = harness::extended_trace_profiles();
+  const harness::WorkloadKind w = harness::all_workloads().front();
+  std::vector<std::vector<double>> sampled;
+  for (const TraceProfile t : profiles) {
+    sampled.push_back(sample_cluster(
+        harness::make_traces(t, cfg, harness::trace_salt(cfg.seed, w, t)), 96,
+        0.05));
+  }
+  const auto is_cloud_family = [](TraceProfile t) {
+    // Stochastic generators with no pinned per-slot structure; the
+    // controlled/failure profiles place stragglers in the same last slots
+    // by convention, so their raw correlation is structural, not a bug.
+    return t != TraceProfile::kControlledStragglers &&
+           t != TraceProfile::kFailureInjection;
+  };
+  for (std::size_t i = 0; i < sampled.size(); ++i) {
+    for (std::size_t j = i + 1; j < sampled.size(); ++j) {
+      EXPECT_NE(sampled[i], sampled[j])
+          << harness::trace_profile_name(profiles[i]) << " vs "
+          << harness::trace_profile_name(profiles[j]);
+      if (is_cloud_family(profiles[i]) && is_cloud_family(profiles[j])) {
+        EXPECT_LT(std::abs(correlation(sampled[i], sampled[j])), 0.9)
+            << harness::trace_profile_name(profiles[i]) << " vs "
+            << harness::trace_profile_name(profiles[j]);
+      }
+    }
+  }
+}
+
+TEST(TraceZoo, ByzantineClusterSpecStaysWithinTheSoundnessBudget) {
+  for (const std::size_t workers : {6u, 12u, 24u, 48u}) {
+    ScenarioConfig cfg = base_config();
+    cfg.workers = workers;
+    const auto spec = harness::make_cluster(TraceProfile::kByzantine, cfg, 77);
+    ASSERT_TRUE(spec.byzantine.active()) << workers;
+    const std::size_t budget = workers - cfg.effective_k() - 1;
+    const std::size_t expected =
+        std::min(budget, std::max<std::size_t>(1, workers / 8));
+    EXPECT_EQ(spec.byzantine.corrupt_workers.size(), expected) << workers;
+    EXPECT_NE(spec.byzantine.seed, 0u);
+    // Corrupt slots are the *last* indices, mirroring the controlled-cluster
+    // straggler convention.
+    for (std::size_t i = 0; i < spec.byzantine.corrupt_workers.size(); ++i) {
+      EXPECT_EQ(spec.byzantine.corrupt_workers[i], workers - 1 - i);
+    }
+  }
+  // Every other profile keeps the cluster honest.
+  for (const TraceProfile t :
+       {TraceProfile::kControlledStragglers, TraceProfile::kFailSlow,
+        TraceProfile::kBurstyColocation, TraceProfile::kDiurnal}) {
+    const auto spec = harness::make_cluster(t, base_config(), 77);
+    EXPECT_FALSE(spec.byzantine.active()) << harness::trace_profile_name(t);
+  }
+}
+
+TEST(TraceZoo, ProfileListsArePinnedAndPartitioned) {
+  // The default list backs the golden-pinned sweeps: it must never grow.
+  const auto original = harness::all_trace_profiles();
+  ASSERT_EQ(original.size(), 4u);
+  const auto robustness = harness::robustness_trace_profiles();
+  ASSERT_EQ(robustness.size(), 4u);
+  const auto extended = harness::extended_trace_profiles();
+  ASSERT_EQ(extended.size(), 8u);
+  for (std::size_t i = 0; i < extended.size(); ++i) {
+    EXPECT_EQ(static_cast<int>(extended[i]), static_cast<int>(i));
+  }
+  for (const TraceProfile t : original) {
+    EXPECT_FALSE(harness::trace_profile_is_robustness(t))
+        << harness::trace_profile_name(t);
+  }
+  for (const TraceProfile t : robustness) {
+    EXPECT_TRUE(harness::trace_profile_is_robustness(t))
+        << harness::trace_profile_name(t);
+  }
+  // Names are the CLI/CSV wire format: unique and stable.
+  EXPECT_STREQ(harness::trace_profile_name(TraceProfile::kFailSlow),
+               "fail-slow");
+  EXPECT_STREQ(harness::trace_profile_name(TraceProfile::kBurstyColocation),
+               "bursty");
+  EXPECT_STREQ(harness::trace_profile_name(TraceProfile::kDiurnal), "diurnal");
+  EXPECT_STREQ(harness::trace_profile_name(TraceProfile::kByzantine),
+               "byzantine");
+  std::vector<std::string> names;
+  for (const TraceProfile t : extended) {
+    names.emplace_back(harness::trace_profile_name(t));
+  }
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(std::unique(names.begin(), names.end()), names.end());
+}
+
+TEST(TraceZoo, RobustnessAxesSelectTheZooOnly) {
+  const auto axes = harness::MatrixAxes::robustness();
+  EXPECT_EQ(axes.traces, harness::robustness_trace_profiles());
+  EXPECT_EQ(axes.predictors,
+            (std::vector<harness::PredictorKind>{
+                harness::PredictorKind::kLastValue}));
+}
+
+}  // namespace
+}  // namespace s2c2
