@@ -9,6 +9,8 @@
 //   build/examples/scenario_cli --matrix --jobs 4 --axis sizes=12,24,48
 //       --axis predictors=oracle,last-value --axis engines=s2c2,replication
 //       --axis traces=controlled,failure
+//   build/examples/scenario_cli --serve --requests 128 --batch 16
+//       --serve-json serve.json
 //
 // Flags (all optional):
 //   --matrix         run the engine x workload x trace (x size x predictor)
@@ -22,6 +24,13 @@
 //                    (fail-slow, bursty, diurnal, byzantine traces on the
 //                    last-value predictor with health-informed prediction);
 //                    combinable with --axis like --large-scale
+//   --serve          coalesced serving cells (harness/serve.h) at
+//                    n in {100, 250}: open-loop arrivals batched into
+//                    multi-RHS block rounds; honors --engine/--trace/
+//                    --chunks/--seed/--jobs/--functional
+//   --requests N     serve mode: open-loop requests per cell (default 64)
+//   --batch B        serve mode: coalescing cap max_batch (default 16)
+//   --serve-json P   serve mode: also write the cells as JSON to path P
 //   --jobs N         matrix worker threads (0 = all hardware threads;
 //                    default 1 — results are byte-identical either way)
 //   --axis K=V,V...  restrict/widen a matrix axis; repeatable. Axes:
@@ -46,6 +55,7 @@
 //                    hessian) verify their decode and report the max error
 //   --help           print the same flag/axis listing to stdout
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <sstream>
 #include <stdexcept>
@@ -53,6 +63,7 @@
 #include <vector>
 
 #include "src/harness/matrix_runner.h"
+#include "src/harness/serve.h"
 #include "src/util/table.h"
 
 namespace {
@@ -70,6 +81,10 @@ struct Options {
   bool large_scale = false;
   bool robustness = false;
   bool matrix = false;
+  bool serve = false;
+  std::size_t requests = 64;
+  std::size_t batch = 16;
+  std::string serve_json;
   bool help = false;
 };
 
@@ -83,6 +98,8 @@ void print_usage() {
       "                                                     fleet sweep\n"
       "  scenario_cli --robustness [--jobs N]               fail-slow/bursty/\n"
       "                                                     diurnal/byzantine\n"
+      "  scenario_cli --serve [--requests N --batch B       coalesced serving\n"
+      "                        --serve-json PATH]           at n=100/250\n"
       "\n"
       "flags: --jobs N (0 = all hardware threads)  --workers N  --k K\n"
       "       --stragglers S  --rounds R  --chunks C  --seed S  --scale F\n"
@@ -192,6 +209,10 @@ Options parse(int argc, char** argv) {
       o.matrix = true;
       o.robustness = true;
     }
+    else if (flag == "--serve") o.serve = true;
+    else if (flag == "--requests") o.requests = std::stoul(value(i));
+    else if (flag == "--batch") o.batch = std::stoul(value(i));
+    else if (flag == "--serve-json") o.serve_json = value(i);
     else if (flag == "--jobs") o.runner.jobs = std::stoul(value(i));
     else if (flag == "--axis") o.axis_specs.push_back(value(i));
     else if (flag == "--engine") o.engine = parse_engine(value(i));
@@ -310,6 +331,96 @@ int run_matrix(const Options& o) {
   return 0;
 }
 
+int run_serve_mode(const Options& o) {
+  // Serving cells at the paper's fleet sizes for the chosen strategy plus
+  // the MDS baseline (deduped when they coincide); one sweep, sharded
+  // across --jobs threads with byte-identical results at any count.
+  std::vector<harness::ServeConfig> cells;
+  for (const std::size_t n : {std::size_t{100}, std::size_t{250}}) {
+    std::vector<harness::StrategyKind> strategies = {o.engine};
+    if (o.engine != harness::StrategyKind::kMds) {
+      strategies.push_back(harness::StrategyKind::kMds);
+    }
+    for (const auto s : strategies) {
+      harness::ServeConfig c;
+      c.label = std::string(core::strategy_name(s)) + " n=" +
+                std::to_string(n);
+      c.strategy = s;
+      c.trace = harness::TraceProfile::kStableCloud;
+      c.workers = n;  // k defaults to n - 2 inside the serve layer
+      c.stragglers = o.config.stragglers;
+      c.chunks_per_partition = o.config.chunks_per_partition;
+      c.requests = o.requests;
+      c.load_factor = 16.0;
+      c.max_batch = o.batch;
+      c.functional = o.config.functional;
+      c.seed = o.config.seed;
+      if (!o.config.functional) {
+        c.op_rows = 4 * n;
+        c.op_cols = 48;
+      }
+      cells.push_back(c);
+    }
+  }
+  std::cout << "coalesced serving: " << o.requests
+            << " open-loop requests/cell, max_batch " << o.batch << ", seed "
+            << o.config.seed
+            << (o.config.functional ? ", functional" : ", cost-only")
+            << ", jobs="
+            << (o.runner.jobs == 0 ? std::string("auto")
+                                   : std::to_string(o.runner.jobs))
+            << "\n\n";
+  const std::vector<harness::ServeResult> results =
+      harness::run_serve_sweep(cells, o.runner.jobs);
+
+  std::vector<std::string> headers = {"cell",    "rounds",  "jobs/s",
+                                      "p50 lat", "p99 lat", "decode hit/miss",
+                                      "fingerprint"};
+  if (o.config.functional) {
+    headers.insert(headers.end() - 1, "max err");
+  }
+  util::Table t(headers);
+  for (const harness::ServeResult& r : results) {
+    std::vector<std::string> row = {
+        r.config.label,
+        std::to_string(r.rounds),
+        util::fmt(r.jobs_per_sec, 2),
+        util::fmt(r.p50_latency, 3),
+        util::fmt(r.p99_latency, 3),
+        std::to_string(r.decode.hits) + "/" +
+            std::to_string(r.decode.misses)};
+    if (o.config.functional) row.push_back(util::fmt_sci(r.max_error));
+    row.push_back(r.fingerprint());
+    t.add_row(row);
+  }
+  t.print();
+
+  if (!o.serve_json.empty()) {
+    std::ofstream out(o.serve_json);
+    out << "{\n  \"bench\": \"serve\",\n  \"unit\": \"jobs_per_sec\",\n"
+        << "  \"cases\": [\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const harness::ServeResult& r = results[i];
+      out << "    {\"label\": \"" << r.config.label << "\", \"n\": "
+          << r.config.workers << ", \"k\": " << r.config.effective_k()
+          << ", \"requests\": " << r.config.requests
+          << ", \"max_batch\": " << r.config.max_batch
+          << ", \"rounds\": " << r.rounds
+          << ", \"completed\": " << r.completed
+          << ", \"jobs_per_sec\": " << r.jobs_per_sec
+          << ", \"p50_latency\": " << r.p50_latency
+          << ", \"p99_latency\": " << r.p99_latency
+          << ", \"decode_hits\": " << r.decode.hits
+          << ", \"decode_misses\": " << r.decode.misses
+          << ", \"fingerprint\": \"" << r.fingerprint() << "\"}"
+          << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    std::cout << "\nwrote " << o.serve_json << "\n";
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -326,6 +437,7 @@ int main(int argc, char** argv) {
     return 0;
   }
   try {
+    if (o.serve) return run_serve_mode(o);
     return o.matrix ? run_matrix(o) : run_single(o);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

@@ -126,11 +126,14 @@ linalg::Matrix ChunkedDecoder::decode() {
 
 ChunkVerification ChunkedDecoder::verify_chunks(double tolerance) {
   const std::size_t k = generator_.k();
-  const std::size_t chunk_cols = rows_per_chunk_ * width_;
   ChunkVerification out;
 
   // Scratch for (subset, rhs) assembly over a chunk's responder slot,
-  // optionally skipping an exclusion set of slot positions.
+  // optionally skipping an exclusion set of slot positions. Residuals are
+  // checked one RHS column at a time — each column is normalized against
+  // its own magnitude, so a large column cannot mask corruption in a small
+  // one — and the per-column maxima are combined. At width 1 the single
+  // column is the whole panel, so the b=1 path is bit-for-bit unchanged.
   std::vector<std::size_t> order;   // slot positions sorted by worker id
   std::vector<std::size_t> subset;
   std::vector<double> rhs;
@@ -138,17 +141,31 @@ ChunkVerification ChunkedDecoder::verify_chunks(double tolerance) {
       [&](const std::vector<std::pair<std::size_t, std::vector<double>>>& slot,
           const std::vector<std::size_t>& excluded_pos) {
         subset.clear();
-        rhs.clear();
         for (const std::size_t pos : order) {
           if (std::find(excluded_pos.begin(), excluded_pos.end(), pos) !=
               excluded_pos.end()) {
             continue;
           }
           subset.push_back(slot[pos].first);
-          rhs.insert(rhs.end(), slot[pos].second.begin(),
-                     slot[pos].second.end());
         }
-        return context_->redundant_residual(subset, rhs, chunk_cols);
+        double max_col_residual = 0.0;
+        for (std::size_t col = 0; col < width_; ++col) {
+          rhs.clear();
+          for (const std::size_t pos : order) {
+            if (std::find(excluded_pos.begin(), excluded_pos.end(), pos) !=
+                excluded_pos.end()) {
+              continue;
+            }
+            const std::vector<double>& values = slot[pos].second;
+            for (std::size_t r = 0; r < rows_per_chunk_; ++r) {
+              rhs.push_back(values[r * width_ + col]);
+            }
+          }
+          max_col_residual = std::max(
+              max_col_residual,
+              context_->redundant_residual(subset, rhs, rows_per_chunk_));
+        }
+        return max_col_residual;
       };
 
   for (std::size_t chunk = 0; chunk < num_chunks_; ++chunk) {

@@ -57,6 +57,45 @@ void EncodedPartition::matvec_rows(std::size_t r0, std::size_t r1,
   }
 }
 
+void EncodedPartition::matmat_rows(std::size_t r0, std::size_t r1,
+                                   std::span<const double> x,
+                                   std::size_t width,
+                                   std::span<double> y) const {
+  S2C2_REQUIRE(width > 0, "matmat_rows: width must be >= 1");
+  S2C2_REQUIRE(r0 <= r1 && r1 <= rows(), "matmat_rows range out of bounds");
+  S2C2_REQUIRE(y.size() == (r1 - r0) * width,
+               "matmat_rows output size mismatch");
+  if (sparse_) {
+    const auto row_ptr = sparse_->row_ptr();
+    const auto col_idx = sparse_->col_idx();
+    const auto values = sparse_->values();
+    S2C2_REQUIRE(x.size() == sparse_->cols() * width,
+                 "matmat_rows x panel size mismatch");
+    for (std::size_t r = r0; r < r1; ++r) {
+      for (std::size_t j = 0; j < width; ++j) {
+        double acc = 0.0;
+        for (std::size_t p = row_ptr[r]; p < row_ptr[r + 1]; ++p) {
+          acc += values[p] * x[col_idx[p] * width + j];
+        }
+        y[(r - r0) * width + j] = acc;
+      }
+    }
+    return;
+  }
+  S2C2_REQUIRE(x.size() == dense_->cols() * width,
+               "matmat_rows x panel size mismatch");
+  for (std::size_t r = r0; r < r1; ++r) {
+    const auto row = dense_->row(r);
+    for (std::size_t j = 0; j < width; ++j) {
+      double acc = 0.0;
+      for (std::size_t c = 0; c < row.size(); ++c) {
+        acc += row[c] * x[c * width + j];
+      }
+      y[(r - r0) * width + j] = acc;
+    }
+  }
+}
+
 linalg::Vector EncodedPartition::matvec(std::span<const double> x) const {
   linalg::Vector y(rows());
   matvec_rows(0, rows(), x, y);

@@ -47,6 +47,13 @@ class EncodedPartition {
   void matvec_rows(std::size_t r0, std::size_t r1, std::span<const double> x,
                    std::span<double> y) const;
 
+  /// Block worker kernel: rows [r0,r1) times a row-major cols() x width
+  /// panel; y is (r1-r0) x width row-major. Column j is bitwise identical
+  /// to matvec_rows on column j of the panel (same per-row accumulation
+  /// order), which the b=1 block round path relies on.
+  void matmat_rows(std::size_t r0, std::size_t r1, std::span<const double> x,
+                   std::size_t width, std::span<double> y) const;
+
   /// Convenience full-partition product.
   [[nodiscard]] linalg::Vector matvec(std::span<const double> x) const;
 

@@ -93,10 +93,24 @@ std::vector<double> CodedMatVecJob::compute_chunk(
   return out;
 }
 
+std::vector<double> CodedMatVecJob::compute_chunk_block(
+    std::size_t worker, std::size_t chunk, const linalg::Matrix& x) const {
+  S2C2_REQUIRE(functional(), "compute_chunk_block on a cost-only job");
+  S2C2_REQUIRE(worker < n(), "worker out of range");
+  S2C2_REQUIRE(chunk < chunks_, "chunk out of range");
+  S2C2_REQUIRE(x.rows() == data_cols_ && x.cols() >= 1,
+               "x panel shape mismatch");
+  const std::size_t rpc = rows_per_chunk();
+  std::vector<double> out(rpc * x.cols());
+  partitions_[worker].matmat_rows(chunk * rpc, (chunk + 1) * rpc, x.data(),
+                                  x.cols(), out);
+  return out;
+}
+
 coding::ChunkedDecoder CodedMatVecJob::make_decoder(
-    coding::DecodeContext* context) const {
+    coding::DecodeContext* context, std::size_t width) const {
   return coding::ChunkedDecoder(code_.generator(), partition_rows_, chunks_,
-                                1, context);
+                                width, context);
 }
 
 linalg::Vector CodedMatVecJob::trim(const linalg::Matrix& decoded) const {
@@ -107,8 +121,15 @@ linalg::Vector CodedMatVecJob::trim(const linalg::Matrix& decoded) const {
   return y;
 }
 
-double CodedMatVecJob::chunk_flops() const {
-  return matvec_flops(rows_per_chunk(), data_cols_);
+linalg::Matrix CodedMatVecJob::trim_block(const linalg::Matrix& decoded) const {
+  S2C2_REQUIRE(decoded.rows() >= data_rows_ && decoded.cols() >= 1,
+               "decoded block shape mismatch");
+  return decoded.row_block(0, data_rows_);
+}
+
+double CodedMatVecJob::chunk_flops(std::size_t width) const {
+  return matvec_flops(rows_per_chunk(), data_cols_) *
+         static_cast<double>(width);
 }
 
 std::size_t CodedMatVecJob::partition_bytes(std::size_t worker) const {

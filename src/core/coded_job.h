@@ -58,21 +58,38 @@ class CodedMatVecJob {
   [[nodiscard]] std::vector<double> compute_chunk(
       std::size_t worker, std::size_t chunk, std::span<const double> x) const;
 
-  /// Fresh decoder wired to this job's geometry. Pass a DecodeContext
-  /// built over generator() to reuse cached responder-set factorizations
-  /// across rounds (engines do); null gives the decoder a private context.
+  /// Block worker-side kernel: chunk rows of partition `worker` times a
+  /// data_cols x b panel X (row-major). Returns rows_per_chunk x b values
+  /// row-major; column j is bitwise compute_chunk on column j of X.
+  [[nodiscard]] std::vector<double> compute_chunk_block(
+      std::size_t worker, std::size_t chunk, const linalg::Matrix& x) const;
+
+  /// Fresh decoder wired to this job's geometry, carrying `width` RHS
+  /// values per computed row (width = b of the round's panel). Pass a
+  /// DecodeContext built over generator() to reuse cached responder-set
+  /// factorizations across rounds (engines do); null gives the decoder a
+  /// private context.
   [[nodiscard]] coding::ChunkedDecoder make_decoder(
-      coding::DecodeContext* context = nullptr) const;
+      coding::DecodeContext* context = nullptr, std::size_t width = 1) const;
 
   /// Trims a decoded (k * partition_rows) x 1 result to the original rows.
   [[nodiscard]] linalg::Vector trim(const linalg::Matrix& decoded) const;
 
+  /// Trims a decoded (k * partition_rows) x b block to data_rows x b.
+  [[nodiscard]] linalg::Matrix trim_block(const linalg::Matrix& decoded) const;
+
   // ---- cost model ----
-  [[nodiscard]] std::size_t x_bytes() const { return data_cols_ * 8; }
-  [[nodiscard]] std::size_t chunk_result_bytes() const {
-    return rows_per_chunk() * 8;
+  // All per-round charges scale linearly in the RHS block width b: the
+  // master ships b columns down, every chunk response carries b values per
+  // row, and each worker runs b dot products per row. width = 1 is the
+  // classic single-RHS round.
+  [[nodiscard]] std::size_t x_bytes(std::size_t width = 1) const {
+    return data_cols_ * width * 8;
   }
-  [[nodiscard]] double chunk_flops() const;
+  [[nodiscard]] std::size_t chunk_result_bytes(std::size_t width = 1) const {
+    return rows_per_chunk() * width * 8;
+  }
+  [[nodiscard]] double chunk_flops(std::size_t width = 1) const;
   /// Storage a worker needs for its partition, in bytes (Fig 3).
   [[nodiscard]] std::size_t partition_bytes(std::size_t worker) const;
 

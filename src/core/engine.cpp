@@ -77,18 +77,18 @@ std::vector<std::vector<std::size_t>> CodedComputeEngine::decode_subsets(
   return subsets;
 }
 
-void CodedComputeEngine::decode_product(RoundResult& result,
-                                        const RoundLedger& ledger,
-                                        std::span<const double> x) {
-  S2C2_REQUIRE(x.size() == job_.data_cols(), "input vector size mismatch");
-  coding::ChunkedDecoder decoder = job_.make_decoder(&decode_ctx_);
+linalg::Matrix CodedComputeEngine::run_verified_decode(
+    const RoundLedger& ledger, std::size_t width,
+    const std::function<std::vector<double>(std::size_t, std::size_t)>&
+        compute) {
+  coding::ChunkedDecoder decoder = job_.make_decoder(&decode_ctx_, width);
   for (std::size_t w = 0; w < spec_.num_workers(); ++w) {
     if (ledger.used[w]) {
       for (std::size_t c : ledger.alloc.chunks_of(w)) {
-        decoder.add_chunk_result(w, c, job_.compute_chunk(w, c, x));
+        decoder.add_chunk_result(w, c, compute(w, c));
       }
       for (std::size_t c : ledger.extra_chunks[w]) {
-        decoder.add_chunk_result(w, c, job_.compute_chunk(w, c, x));
+        decoder.add_chunk_result(w, c, compute(w, c));
       }
     }
   }
@@ -100,7 +100,7 @@ void CodedComputeEngine::decode_product(RoundResult& result,
     std::vector<std::size_t> expected;
     for (std::size_t c = 0; c < ledger.byzantine_chunk_workers.size(); ++c) {
       for (std::size_t w : ledger.byzantine_chunk_workers[c]) {
-        std::vector<double> values = job_.compute_chunk(w, c, x);
+        std::vector<double> values = compute(w, c);
         corrupt_values(values, spec_.byzantine, w, c);
         decoder.add_chunk_result(w, c, std::move(values));
         expected.push_back(w);
@@ -116,7 +116,27 @@ void CodedComputeEngine::decode_product(RoundResult& result,
     S2C2_CHECK(verification.corrupt_workers == expected,
                "byzantine verification convicted the wrong responder set");
   }
-  result.y = job_.trim(decoder.decode());
+  return decoder.decode();
+}
+
+void CodedComputeEngine::decode_product(RoundResult& result,
+                                        const RoundLedger& ledger,
+                                        std::span<const double> x) {
+  S2C2_REQUIRE(x.size() == job_.data_cols(), "input vector size mismatch");
+  result.y = job_.trim(run_verified_decode(
+      ledger, 1,
+      [&](std::size_t w, std::size_t c) { return job_.compute_chunk(w, c, x); }));
+}
+
+void CodedComputeEngine::decode_product_block(RoundResult& result,
+                                              const RoundLedger& ledger,
+                                              const linalg::Matrix& x_block) {
+  S2C2_REQUIRE(x_block.rows() == job_.data_cols(),
+               "input panel row count mismatch");
+  result.y_block = job_.trim_block(run_verified_decode(
+      ledger, x_block.cols(), [&](std::size_t w, std::size_t c) {
+        return job_.compute_chunk_block(w, c, x_block);
+      }));
 }
 
 }  // namespace s2c2::core

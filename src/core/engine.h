@@ -17,6 +17,7 @@
 // Construct directly, or through make_engine in engine_factory.h.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <span>
 #include <string>
@@ -44,6 +45,10 @@ class CodedComputeEngine final : public RoundExecutor {
   [[nodiscard]] coding::DecodeContextStats decode_stats() const override {
     return decode_ctx_.stats();
   }
+
+  /// Multi-RHS rounds: the block data path (panel dispatch, width-b
+  /// decoder, one cached factorization per responder set) is fully wired.
+  [[nodiscard]] bool supports_block_rounds() const override { return true; }
 
  protected:
   // RoundExecutor hooks (see round_executor.h for the lifecycle).
@@ -86,13 +91,28 @@ class CodedComputeEngine final : public RoundExecutor {
       std::span<const double> x) const override {
     return job_.functional() && !x.empty();
   }
+  [[nodiscard]] bool functional_block_round(
+      const linalg::Matrix& x_block) const override {
+    return job_.functional() && !x_block.empty();
+  }
   void decode_product(RoundResult& result, const RoundLedger& ledger,
                       std::span<const double> x) override;
+  void decode_product_block(RoundResult& result, const RoundLedger& ledger,
+                            const linalg::Matrix& x_block) override;
   [[nodiscard]] AccountingStyle accounting_style() const override {
     return AccountingStyle::kFullTelemetry;
   }
 
  private:
+  /// Shared verified-decode body of decode_product / decode_product_block:
+  /// assembles a width-b decoder over the ledger's responders (re-adding
+  /// corrupted values when the cluster is Byzantine so the residual pass
+  /// convicts them numerically) and returns the decoded block.
+  [[nodiscard]] linalg::Matrix run_verified_decode(
+      const RoundLedger& ledger, std::size_t width,
+      const std::function<std::vector<double>(std::size_t, std::size_t)>&
+          compute);
+
   CodedMatVecJob job_;
   /// Persists across rounds so repeated responder sets decode from cache;
   /// borrows job_.generator() (declared after job_, never rebound).

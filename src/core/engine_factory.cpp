@@ -10,13 +10,15 @@ namespace s2c2::core {
 namespace {
 
 /// Borrowing multiply closure over the params' operator (empty when the
-/// engine is cost-only).
+/// engine is cost-only). The closure takes a cols x b panel and returns
+/// the exact block product in one matmat — baselines forward batched
+/// rounds without degrading to column-at-a-time loops.
 DirectMultiply direct_multiply(const EngineParams& p) {
   if (p.dense != nullptr) {
-    return [a = p.dense](std::span<const double> x) { return a->matvec(x); };
+    return [a = p.dense](const linalg::Matrix& x) { return a->matmat(x); };
   }
   if (p.sparse != nullptr) {
-    return [a = p.sparse](std::span<const double> x) { return a->matvec(x); };
+    return [a = p.sparse](const linalg::Matrix& x) { return a->matmat(x); };
   }
   return {};
 }

@@ -49,6 +49,24 @@ OverDecompositionEngine::OverDecompositionEngine(
 }
 
 RoundResult OverDecompositionEngine::run_round(std::span<const double> x) {
+  return run_round_impl(x, nullptr, 1);
+}
+
+RoundResult OverDecompositionEngine::run_round_block(
+    const linalg::Matrix& x_block, std::size_t width) {
+  S2C2_REQUIRE(width >= 1, "block round width must be >= 1");
+  S2C2_REQUIRE(x_block.empty() || x_block.cols() == width,
+               "x_block must have exactly `width` columns");
+  if (width == 1) {
+    return run_round(x_block.empty() ? std::span<const double>{}
+                                     : x_block.data());
+  }
+  return run_round_impl({}, &x_block, width);
+}
+
+RoundResult OverDecompositionEngine::run_round_impl(
+    std::span<const double> x, const linalg::Matrix* x_block,
+    std::size_t width) {
   if (spec_.byzantine.active()) {
     // Uncoded micro-tasks have no redundant responses to vote with; a
     // corrupted task result flows straight into the assembled product, so
@@ -60,10 +78,12 @@ RoundResult OverDecompositionEngine::run_round(std::span<const double> x) {
   }
   const std::size_t n = spec_.num_workers();
   const sim::Time t0 = now_;
-  const double task_work =
-      matvec_flops(partition_rows_, data_cols_) / spec_.worker_flops;
-  const std::size_t x_bytes = data_cols_ * 8;
-  const std::size_t result_bytes = partition_rows_ * 8;
+  // Per-round charges scale by the RHS block width; partition_bytes does
+  // not (it is stored data, moved only on migration).
+  const double task_work = matvec_flops(partition_rows_, data_cols_) *
+                           static_cast<double>(width) / spec_.worker_flops;
+  const std::size_t x_bytes = data_cols_ * width * 8;
+  const std::size_t result_bytes = partition_rows_ * width * 8;
   const std::size_t partition_bytes = partition_rows_ * data_cols_ * 8;
 
   RoundResult result;
@@ -193,8 +213,17 @@ RoundResult OverDecompositionEngine::run_round(std::span<const double> x) {
 
   // Uncoded execution computes the exact product by construction: forward
   // it so functional loops go through the same code path as the coded
-  // engines (mirrors the PR 3 run_rounds fix).
-  if (direct_ && !x.empty()) result.y = direct_(x);
+  // engines (mirrors the PR 3 run_rounds fix). Block rounds forward the
+  // whole panel product in one matmat call.
+  if (direct_) {
+    if (x_block != nullptr && !x_block->empty()) {
+      result.y_block = direct_(*x_block);
+    } else if (!x.empty()) {
+      const linalg::Matrix panel(x.size(), 1, {x.begin(), x.end()});
+      const linalg::Matrix y = direct_(panel);
+      result.y = linalg::Vector(y.data().begin(), y.data().end());
+    }
+  }
 
   now_ = end;
   ++rounds_run_;

@@ -48,6 +48,14 @@ class OverDecompositionEngine final : public StrategyEngine {
   /// x the exact product is forwarded in RoundResult::y.
   RoundResult run_round(std::span<const double> x = {}) override;
 
+  /// Block round: task work, input broadcast, and result transfers scale
+  /// by b (partition migrations do not — stored data); functional mode
+  /// forwards the exact block product direct_(X) into RoundResult::y_block
+  /// in one matmat call.
+  RoundResult run_round_block(const linalg::Matrix& x_block,
+                              std::size_t width) override;
+  [[nodiscard]] bool supports_block_rounds() const override { return true; }
+
   /// Bytes of partition data currently stored at `worker` (grows with
   /// migrations — the storage-cost axis of the comparison).
   [[nodiscard]] std::size_t storage_bytes(std::size_t worker) const;
@@ -56,6 +64,10 @@ class OverDecompositionEngine final : public StrategyEngine {
   }
 
  private:
+  [[nodiscard]] RoundResult run_round_impl(std::span<const double> x,
+                                           const linalg::Matrix* x_block,
+                                           std::size_t width);
+
   std::size_t data_rows_;
   std::size_t data_cols_;
   OverDecompConfig config_;

@@ -50,6 +50,24 @@ ReplicationEngine::ReplicationEngine(std::size_t data_rows,
 }
 
 RoundResult ReplicationEngine::run_round(std::span<const double> x) {
+  return run_round_impl(x, nullptr, 1);
+}
+
+RoundResult ReplicationEngine::run_round_block(const linalg::Matrix& x_block,
+                                               std::size_t width) {
+  S2C2_REQUIRE(width >= 1, "block round width must be >= 1");
+  S2C2_REQUIRE(x_block.empty() || x_block.cols() == width,
+               "x_block must have exactly `width` columns");
+  if (width == 1) {
+    return run_round(x_block.empty() ? std::span<const double>{}
+                                     : x_block.data());
+  }
+  return run_round_impl({}, &x_block, width);
+}
+
+RoundResult ReplicationEngine::run_round_impl(std::span<const double> x,
+                                              const linalg::Matrix* x_block,
+                                              std::size_t width) {
   if (spec_.byzantine.active()) {
     // Replicas carry no redundancy a residual check could verify against:
     // a corrupted copy is indistinguishable from an honest one, so the
@@ -61,10 +79,12 @@ RoundResult ReplicationEngine::run_round(std::span<const double> x) {
   const std::size_t n = spec_.num_workers();
   const sim::Time t0 = now_;
   const std::size_t task_rows = (data_rows_ + n - 1) / n;
-  const double task_work =
-      matvec_flops(task_rows, data_cols_) / spec_.worker_flops;
-  const std::size_t x_bytes = data_cols_ * 8;
-  const std::size_t result_bytes = task_rows * 8;
+  // Per-round charges scale by the RHS block width; partition_bytes does
+  // not (it is stored data, moved only on non-holder speculation).
+  const double task_work = matvec_flops(task_rows, data_cols_) *
+                           static_cast<double>(width) / spec_.worker_flops;
+  const std::size_t x_bytes = data_cols_ * width * 8;
+  const std::size_t result_bytes = task_rows * width * 8;
   const std::size_t partition_bytes = task_rows * data_cols_ * 8;
 
   // Primary executions.
@@ -184,8 +204,17 @@ RoundResult ReplicationEngine::run_round(std::span<const double> x) {
 
   // Uncoded execution computes the exact product by construction: forward
   // it so functional loops go through the same code path as the coded
-  // engines (mirrors the PR 3 run_rounds fix).
-  if (direct_ && !x.empty()) result.y = direct_(x);
+  // engines (mirrors the PR 3 run_rounds fix). Block rounds forward the
+  // whole panel product in one matmat call.
+  if (direct_) {
+    if (x_block != nullptr && !x_block->empty()) {
+      result.y_block = direct_(*x_block);
+    } else if (!x.empty()) {
+      const linalg::Matrix panel(x.size(), 1, {x.begin(), x.end()});
+      const linalg::Matrix y = direct_(panel);
+      result.y = linalg::Vector(y.data().begin(), y.data().end());
+    }
+  }
 
   now_ = end;
   ++rounds_run_;

@@ -59,6 +59,13 @@ class ReplicationEngine final : public StrategyEngine {
   /// forwarded in RoundResult::y (no decode — the result is uncoded).
   RoundResult run_round(std::span<const double> x = {}) override;
 
+  /// Block round: task work, input broadcast, and result transfers scale
+  /// by b; in functional mode the exact block product direct_(X) lands in
+  /// RoundResult::y_block in one matmat — not a column-at-a-time loop.
+  RoundResult run_round_block(const linalg::Matrix& x_block,
+                              std::size_t width) override;
+  [[nodiscard]] bool supports_block_rounds() const override { return true; }
+
   /// Replica holders of each partition (first entry = primary).
   [[nodiscard]] const std::vector<std::vector<std::size_t>>& placement()
       const noexcept {
@@ -66,6 +73,10 @@ class ReplicationEngine final : public StrategyEngine {
   }
 
  private:
+  [[nodiscard]] RoundResult run_round_impl(std::span<const double> x,
+                                           const linalg::Matrix* x_block,
+                                           std::size_t width);
+
   std::size_t data_rows_;
   std::size_t data_cols_;
   ReplicationConfig config_;

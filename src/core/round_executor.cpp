@@ -130,30 +130,65 @@ sched::Allocation RoundExecutor::allocate(
 }
 
 RoundExecutor::WorkerTiming RoundExecutor::simulate_worker(
-    std::size_t w, sim::Time t0, std::size_t chunks) const {
+    std::size_t w, sim::Time t0, std::size_t chunks,
+    std::size_t width) const {
   WorkerTiming t;
   t.assigned_chunks = chunks;
   if (chunks == 0) return t;
-  t.x_arrival = t0 + spec_.net.transfer_time(x_bytes());
-  t.compute_done =
-      spec_.traces[w].time_to_complete(t.x_arrival, dispatch_work(chunks));
+  t.x_arrival = t0 + spec_.net.transfer_time(width * x_bytes());
+  t.compute_done = spec_.traces[w].time_to_complete(
+      t.x_arrival, dispatch_work(chunks) * static_cast<double>(width));
   t.response =
       t.compute_done == kInf
           ? kInf
           : t.compute_done + spec_.net.transfer_time(
-                                 chunks * chunk_result_bytes());
+                                 chunks * width * chunk_result_bytes());
   return t;
 }
 
+bool RoundExecutor::functional_block_round(const linalg::Matrix&) const {
+  return false;
+}
+
+void RoundExecutor::decode_product_block(RoundResult&, const RoundLedger&,
+                                         const linalg::Matrix&) {
+  throw std::logic_error(std::string(strategy_name(kind())) +
+                         " has no block decode");
+}
+
 RoundResult RoundExecutor::run_round(std::span<const double> x) {
+  return run_round_impl(x, nullptr, 1);
+}
+
+RoundResult RoundExecutor::run_round_block(const linalg::Matrix& x_block,
+                                           std::size_t width) {
+  S2C2_REQUIRE(width >= 1, "block round width must be >= 1");
+  S2C2_REQUIRE(x_block.empty() || x_block.cols() == width,
+               "x_block must have exactly `width` columns");
+  if (width == 1) {
+    // cols x 1 row-major is contiguous: reuse the classic entry so b=1
+    // block rounds are bitwise the single-RHS path.
+    return run_round(x_block.empty() ? std::span<const double>{}
+                                     : x_block.data());
+  }
+  S2C2_REQUIRE(supports_block_rounds(),
+               "strategy does not support block rounds (width > 1)");
+  return run_round_impl({}, &x_block, width);
+}
+
+RoundResult RoundExecutor::run_round_impl(std::span<const double> x,
+                                          const linalg::Matrix* x_block,
+                                          std::size_t width) {
   const std::size_t n = spec_.num_workers();
+  const double bw = static_cast<double>(width);
   // Every coverage target below — allocation, deadline reference, wave
   // deficiency — uses the (possibly over-provisioned) collection quorum,
   // so Byzantine rounds gather the redundancy the verification pass needs
   // through the existing §4.3 machinery. Honest clusters see quorum().
   const std::size_t q = collection_quorum();
   const sim::Time t0 = now_;
-  const bool functional = functional_round(x);
+  const bool functional =
+      x_block ? functional_block_round(*x_block) : functional_round(x);
   const bool timeout_collection = strategy_uses_recovery(kind());
   const bool full_telemetry =
       accounting_style() == AccountingStyle::kFullTelemetry;
@@ -165,7 +200,7 @@ RoundResult RoundExecutor::run_round(std::span<const double> x) {
 
   std::vector<WorkerTiming> timing(n);
   for (std::size_t w = 0; w < n; ++w) {
-    timing[w] = simulate_worker(w, t0, alloc.per_worker[w].count);
+    timing[w] = simulate_worker(w, t0, alloc.per_worker[w].count, width);
   }
 
   // Workers with assigned work, ordered by response time.
@@ -314,10 +349,10 @@ RoundResult RoundExecutor::run_round(std::span<const double> x) {
           const sim::Time start =
               std::max(wave_issue, free_at[w]) + spec_.net.latency_s;
           const double work =
-              static_cast<double>(extras.size()) * recovery_chunk_work();
+              static_cast<double>(extras.size()) * recovery_chunk_work() * bw;
           const sim::Time done = spec_.traces[w].time_to_complete(start, work);
-          const sim::Time send =
-              spec_.net.transfer_time(extras.size() * chunk_result_bytes());
+          const sim::Time send = spec_.net.transfer_time(
+              extras.size() * width * chunk_result_bytes());
           if (done == kInf) {
             if (!recovery_survives_death()) {
               throw std::runtime_error(recovery_death_error());
@@ -410,9 +445,10 @@ RoundResult RoundExecutor::run_round(std::span<const double> x) {
     while (e < alloc.chunks_per_partition && subsets[e] == subsets[c]) {
       ++e;
     }
-    dec_flops +=
-        decode_context().charge(subsets[c], (e - c) * decode_values_per_chunk())
-            .flops;
+    dec_flops += decode_context()
+                     .charge(subsets[c],
+                             (e - c) * decode_values_per_chunk() * width)
+                     .flops;
     c = e;
   }
   const sim::Time decode_time = dec_flops / spec_.master_flops;
@@ -421,9 +457,10 @@ RoundResult RoundExecutor::run_round(std::span<const double> x) {
 
   // ---- accounting ----
   for (std::size_t w : assigned) {
-    const double base_work = accounted_work(timing[w].assigned_chunks);
+    const double base_work = accounted_work(timing[w].assigned_chunks) * bw;
     const double extra_work =
-        static_cast<double>(extra_chunks[w].size()) * recovery_chunk_work();
+        static_cast<double>(extra_chunks[w].size()) * recovery_chunk_work() *
+        bw;
     if (used[w]) {
       if (full_telemetry) {
         accounting_.add_useful(w, base_work);
@@ -458,8 +495,8 @@ RoundResult RoundExecutor::run_round(std::span<const double> x) {
           w,
           static_cast<double>((timing[w].assigned_chunks +
                                extra_chunks[w].size()) *
-                              chunk_result_bytes()),
-          static_cast<double>(x_bytes()));
+                              width * chunk_result_bytes()),
+          static_cast<double>(width * x_bytes()));
     }
   }
 
@@ -481,7 +518,7 @@ RoundResult RoundExecutor::run_round(std::span<const double> x) {
       // observation would bias every sample low — inflating the §6.1
       // misprediction rate (to 100% under an exact oracle once network
       // time is a sizable round fraction) and mis-training the predictor.
-      obs = accounted_work(timing[w].assigned_chunks) /
+      obs = accounted_work(timing[w].assigned_chunks) * bw /
             (timing[w].compute_done - timing[w].x_arrival);
     } else if (full_telemetry) {
       const sim::Time until = std::max(cancel_time, timing[w].x_arrival + 1e-9);
@@ -493,7 +530,7 @@ RoundResult RoundExecutor::run_round(std::span<const double> x) {
       // mid-transfer observes at most its assignment's speed).
       const sim::Time until = std::max(cancel_time, timing[w].x_arrival + 1e-9);
       const double done = std::min(
-          accounted_work(timing[w].assigned_chunks),
+          accounted_work(timing[w].assigned_chunks) * bw,
           spec_.traces[w].work_between(timing[w].x_arrival, until));
       obs = done / (until - timing[w].x_arrival);
     }
@@ -519,11 +556,12 @@ RoundResult RoundExecutor::run_round(std::span<const double> x) {
       health_.record_pulse(w, result.observed_speeds[w]);
     } else if (used[w]) {
       const double extra_work =
-          static_cast<double>(extra_chunks[w].size()) * recovery_chunk_work();
+          static_cast<double>(extra_chunks[w].size()) * recovery_chunk_work() *
+          bw;
       const sim::Time window = timing[w].compute_done - timing[w].x_arrival +
                                recovery_busy[w];
       health_.record_pulse(
-          w, (accounted_work(timing[w].assigned_chunks) + extra_work) /
+          w, (accounted_work(timing[w].assigned_chunks) * bw + extra_work) /
                  window);
     } else if (result.observed_speeds[w] > 0.0) {
       health_.record_pulse(w, result.observed_speeds[w]);
@@ -535,7 +573,11 @@ RoundResult RoundExecutor::run_round(std::span<const double> x) {
 
   // ---- functional decode ----
   if (functional) {
-    decode_product(result, ledger, x);
+    if (x_block) {
+      decode_product_block(result, ledger, *x_block);
+    } else {
+      decode_product(result, ledger, x);
+    }
   }
 
   now_ = result.stats.end;

@@ -45,6 +45,14 @@ class RoundExecutor : public StrategyEngine {
   /// lifecycle order; the engine's private clock advances to stats.end.
   RoundResult run_round(std::span<const double> x = {}) final;
 
+  /// The same lifecycle over a cols x b RHS panel: dispatch ships b
+  /// columns, every chunk response carries b values per row, compute and
+  /// decode charges scale by b, and one cached decode factorization per
+  /// responder set serves all b columns. width == 1 routes through
+  /// run_round bit-for-bit; width > 1 requires supports_block_rounds().
+  RoundResult run_round_block(const linalg::Matrix& x_block,
+                              std::size_t width) override;
+
   [[nodiscard]] const telemetry::HealthMonitor* health_monitor()
       const override {
     return &health_;
@@ -147,10 +155,20 @@ class RoundExecutor : public StrategyEngine {
   /// True when this round should run the numeric decode for input x.
   [[nodiscard]] virtual bool functional_round(
       std::span<const double> x) const = 0;
+  /// Block analog for width > 1 rounds. Default false; strategies that
+  /// enable supports_block_rounds() override it.
+  [[nodiscard]] virtual bool functional_block_round(
+      const linalg::Matrix& x_block) const;
   /// Runs the numeric decode and stores the product into `result` (y for
   /// matrix-vector strategies, hessian for bilinear ones).
   virtual void decode_product(RoundResult& result, const RoundLedger& ledger,
                               std::span<const double> x) = 0;
+  /// Block analog: decodes all columns of A·X into result.y_block through
+  /// one width-b decoder. Default throws; never reached while
+  /// supports_block_rounds() is false.
+  virtual void decode_product_block(RoundResult& result,
+                                    const RoundLedger& ledger,
+                                    const linalg::Matrix& x_block);
 
   // ---- accounting -------------------------------------------------------
   [[nodiscard]] virtual AccountingStyle accounting_style() const = 0;
@@ -172,9 +190,17 @@ class RoundExecutor : public StrategyEngine {
   [[nodiscard]] std::size_t collection_quorum() const;
 
  private:
+  /// The one copy of the round lifecycle. `width` is the RHS block width b
+  /// (1 for classic rounds); `x_block` is non-null only for width > 1
+  /// functional panels. Every b-scaled term multiplies by width exactly,
+  /// so width == 1 reproduces the pre-block arithmetic bit for bit.
+  [[nodiscard]] RoundResult run_round_impl(std::span<const double> x,
+                                           const linalg::Matrix* x_block,
+                                           std::size_t width);
   [[nodiscard]] std::vector<double> predict_speeds(sim::Time t0);
   [[nodiscard]] WorkerTiming simulate_worker(std::size_t w, sim::Time t0,
-                                             std::size_t chunks) const;
+                                             std::size_t chunks,
+                                             std::size_t width) const;
 
   bool oracle_speeds_;
   double timeout_factor_;

@@ -1,5 +1,10 @@
 #include "src/core/strategy_engine.h"
 
+#include <stdexcept>
+#include <string>
+
+#include "src/util/require.h"
+
 namespace s2c2::core {
 
 StrategyEngine::StrategyEngine(StrategyKind kind, ClusterSpec spec,
@@ -15,6 +20,21 @@ void StrategyEngine::ensure_predictor(bool oracle_speeds) {
     predictor_ =
         std::make_unique<predict::LastValuePredictor>(spec_.num_workers());
   }
+}
+
+RoundResult StrategyEngine::run_round_block(const linalg::Matrix& x_block,
+                                            std::size_t width) {
+  S2C2_REQUIRE(width >= 1, "block round width must be >= 1");
+  S2C2_REQUIRE(x_block.empty() || x_block.cols() == width,
+               "x_block must have exactly `width` columns");
+  if (width == 1) {
+    // A cols x 1 row-major panel is a contiguous vector — route it through
+    // the classic path so b=1 block rounds are bit-for-bit unchanged.
+    return run_round(x_block.empty() ? std::span<const double>{}
+                                     : x_block.data());
+  }
+  throw std::logic_error(std::string(strategy_name(kind())) +
+                         " does not support block rounds (width > 1)");
 }
 
 std::vector<RoundResult> StrategyEngine::run_rounds(

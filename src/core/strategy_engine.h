@@ -40,6 +40,7 @@ namespace s2c2::core {
 struct RoundResult {
   sim::RoundStats stats;
   std::optional<linalg::Vector> y;        // decoded/exact product A·x
+  std::optional<linalg::Matrix> y_block;  // decoded/exact A·X, b > 1 rounds
   std::optional<linalg::Matrix> hessian;  // decoded Aᵀ·diag(x)·A
   std::vector<double> predicted_speeds;
   std::vector<double> observed_speeds;
@@ -47,11 +48,12 @@ struct RoundResult {
 
 /// Exact-multiply closure the uncoded baselines use to forward the true
 /// product in functional mode (uncoded execution computes the exact
-/// result by construction — only its *time* needs simulating). The
-/// closure typically borrows the operator; the operator must outlive the
-/// engine.
-using DirectMultiply =
-    std::function<linalg::Vector(std::span<const double>)>;
+/// result by construction — only its *time* needs simulating). Takes the
+/// cols x b input panel (b = 1 for a plain matvec round) and returns the
+/// rows x b product; column j of the result must be bitwise the matvec of
+/// column j, which the matmat kernels guarantee. The closure typically
+/// borrows the operator; the operator must outlive the engine.
+using DirectMultiply = std::function<linalg::Matrix(const linalg::Matrix&)>;
 
 class StrategyEngine {
  public:
@@ -67,6 +69,22 @@ class StrategyEngine {
   /// baselines); with an empty span the round is latency-only. Throws
   /// std::runtime_error on unrecoverable cluster failure.
   virtual RoundResult run_round(std::span<const double> x = {}) = 0;
+
+  /// Multi-RHS block round: one coded round whose data path carries a
+  /// cols x b panel X (b = width), amortizing the per-round fixed costs —
+  /// one dispatch, one collection, one cached decode factorization per
+  /// responder set — across all b columns. width == 1 forwards to
+  /// run_round on X's only column (bit-for-bit the single-RHS path);
+  /// width > 1 requires supports_block_rounds(). An empty X runs a
+  /// latency-only block round at the given width; otherwise the result's
+  /// y_block (y at width 1) carries the product.
+  virtual RoundResult run_round_block(const linalg::Matrix& x_block,
+                                      std::size_t width);
+
+  /// Whether this strategy can run width > 1 block rounds. The bilinear
+  /// polynomial strategies cannot (their round computes Aᵀ·diag(x)·A, not
+  /// a panel product) and keep the default.
+  [[nodiscard]] virtual bool supports_block_rounds() const { return false; }
 
   /// Convenience loop. With an input vector every returned RoundResult
   /// carries its product — same-x products are recomputed per round

@@ -63,6 +63,29 @@ void Matrix::matvec_into(std::span<const double> x, std::span<double> y) const {
   }
 }
 
+Matrix Matrix::matmat(const Matrix& x) const {
+  S2C2_REQUIRE(x.rows() == cols_, "matmat: inner dimension mismatch");
+  Matrix y(rows_, x.cols());
+  matmat_into(x.data(), x.cols(), y.mutable_data());
+  return y;
+}
+
+void Matrix::matmat_into(std::span<const double> x, std::size_t width,
+                         std::span<double> y) const {
+  S2C2_REQUIRE(width > 0, "matmat: width must be >= 1");
+  S2C2_REQUIRE(x.size() == cols_ * width, "matmat: x panel size mismatch");
+  S2C2_REQUIRE(y.size() == rows_ * width, "matmat: y panel size mismatch");
+  const double* a = data_.data();
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double* row = a + r * cols_;
+    for (std::size_t j = 0; j < width; ++j) {
+      double acc = 0.0;
+      for (std::size_t c = 0; c < cols_; ++c) acc += row[c] * x[c * width + j];
+      y[r * width + j] = acc;
+    }
+  }
+}
+
 Vector Matrix::matvec_transposed(std::span<const double> x) const {
   S2C2_REQUIRE(x.size() == rows_, "matvec_transposed: x size mismatch");
   Vector y(cols_, 0.0);

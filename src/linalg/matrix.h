@@ -72,6 +72,18 @@ class Matrix {
   /// y = this^T * x  without materializing the transpose.
   [[nodiscard]] Vector matvec_transposed(std::span<const double> x) const;
 
+  /// Y = this * X for a row-major multi-RHS panel X (cols() x b). Unlike
+  /// matmul's blocked i-k-j loop, each output element is a single dot
+  /// product in ascending-column order, so column j of the result is
+  /// bitwise identical to matvec on column j of X — the invariant the
+  /// block round data path relies on at b = 1.
+  [[nodiscard]] Matrix matmat(const Matrix& x) const;
+
+  /// Panel form of matmat: x is cols() x width row-major, y is
+  /// rows() x width row-major; avoids allocation in loops.
+  void matmat_into(std::span<const double> x, std::size_t width,
+                   std::span<double> y) const;
+
   /// C = this * B (cache-blocked i-k-j loop).
   [[nodiscard]] Matrix matmul(const Matrix& b) const;
 

@@ -56,6 +56,29 @@ void CsrMatrix::matvec_into(std::span<const double> x,
   }
 }
 
+Matrix CsrMatrix::matmat(const Matrix& x) const {
+  S2C2_REQUIRE(x.rows() == cols_, "CSR matmat: inner dimension mismatch");
+  Matrix y(rows_, x.cols());
+  matmat_into(x.data(), x.cols(), y.mutable_data());
+  return y;
+}
+
+void CsrMatrix::matmat_into(std::span<const double> x, std::size_t width,
+                            std::span<double> y) const {
+  S2C2_REQUIRE(width > 0, "CSR matmat: width must be >= 1");
+  S2C2_REQUIRE(x.size() == cols_ * width, "CSR matmat: x panel size mismatch");
+  S2C2_REQUIRE(y.size() == rows_ * width, "CSR matmat: y panel size mismatch");
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t j = 0; j < width; ++j) {
+      double acc = 0.0;
+      for (std::size_t p = row_ptr_[r]; p < row_ptr_[r + 1]; ++p) {
+        acc += values_[p] * x[col_idx_[p] * width + j];
+      }
+      y[r * width + j] = acc;
+    }
+  }
+}
+
 CsrMatrix CsrMatrix::row_block(std::size_t begin, std::size_t end) const {
   S2C2_REQUIRE(begin <= end && end <= rows_, "row_block out of bounds");
   CsrMatrix out;

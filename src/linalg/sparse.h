@@ -38,6 +38,15 @@ class CsrMatrix {
 
   void matvec_into(std::span<const double> x, std::span<double> y) const;
 
+  /// Y = this * X for a row-major multi-RHS panel X (cols() x b). Per-row
+  /// nonzeros are accumulated in CSR order per column, so column j of the
+  /// result is bitwise identical to matvec on column j of X.
+  [[nodiscard]] Matrix matmat(const Matrix& x) const;
+
+  /// Panel form of matmat: x is cols() x width row-major, y rows() x width.
+  void matmat_into(std::span<const double> x, std::size_t width,
+                   std::span<double> y) const;
+
   /// Rows [begin, end) as a new CSR matrix (same column space).
   [[nodiscard]] CsrMatrix row_block(std::size_t begin, std::size_t end) const;
 

@@ -1,0 +1,155 @@
+// Tests for the multi-RHS block round data path (run_round_block): bitwise
+// column equivalence to single-RHS rounds, exact b-linearity of the cost
+// model, and the block/classic width-1 identity the pinned fingerprint
+// goldens rest on.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "src/core/engine.h"
+#include "src/core/engine_factory.h"
+#include "src/util/rng.h"
+#include "src/workload/trace_gen.h"
+#include "tests/test_util.h"
+
+namespace s2c2::core {
+namespace {
+
+using test::kChunks;
+using test::make_spec;
+
+/// A cols x b panel of seeded random request vectors.
+linalg::Matrix random_panel(std::size_t cols, std::size_t b,
+                            std::uint64_t seed) {
+  util::Rng rng(seed);
+  return linalg::Matrix::random_normal(cols, b, rng);
+}
+
+EngineConfig coded_config(StrategyKind s) {
+  EngineConfig cfg;
+  cfg.strategy = s;
+  cfg.chunks_per_partition = kChunks;
+  cfg.oracle_speeds = true;
+  return cfg;
+}
+
+TEST(BlockRound, CodedColumnsBitwiseMatchSingleRhsRounds) {
+  // Column j of a width-b coded round must be bit-for-bit the y a fresh
+  // engine produces for column j alone: the matmat kernels accumulate in
+  // matvec order, and the whole decode chain (Schur reduction, LU,
+  // Björck–Pereyra) is column-independent. Same traces + same clock =>
+  // same allocation and responder sets, so the comparison is exact.
+  for (const StrategyKind s :
+       {StrategyKind::kS2C2, StrategyKind::kS2C2Basic, StrategyKind::kMds}) {
+    test::FunctionalMatVec f(10, 5);
+    util::Rng trng(77);
+    const ClusterSpec spec = make_spec(
+        workload::controlled_cluster_traces(10, 2, 0.2, trng));
+    const std::size_t b = 3;
+    const linalg::Matrix panel = random_panel(f.a.cols(), b, 101);
+
+    CodedComputeEngine block_engine(f.job, spec, coded_config(s));
+    const RoundResult rb = block_engine.run_round_block(panel, b);
+    ASSERT_TRUE(rb.y_block.has_value()) << strategy_name(s);
+    ASSERT_EQ(rb.y_block->rows(), f.a.rows());
+    ASSERT_EQ(rb.y_block->cols(), b);
+
+    for (std::size_t j = 0; j < b; ++j) {
+      std::vector<double> xj(f.a.cols());
+      for (std::size_t r = 0; r < xj.size(); ++r) xj[r] = panel(r, j);
+      CodedComputeEngine single(f.job, spec, coded_config(s));
+      const RoundResult r1 = single.run_round(xj);
+      ASSERT_TRUE(r1.y.has_value());
+      for (std::size_t r = 0; r < f.a.rows(); ++r) {
+        EXPECT_EQ((*rb.y_block)(r, j), (*r1.y)[r])
+            << strategy_name(s) << " col " << j << " row " << r;
+      }
+    }
+  }
+}
+
+TEST(BlockRound, WidthOneBlockRoundBitwiseMatchesClassicRound) {
+  // The b = 1 preservation contract: routing a single request through
+  // run_round_block must be the classic round bit-for-bit — product,
+  // latency, and accounting (this is why the fingerprint goldens
+  // survived the refactor).
+  test::FunctionalMatVec f(8, 4);
+  util::Rng trng(13);
+  const ClusterSpec spec = make_spec(
+      workload::controlled_cluster_traces(8, 1, 0.2, trng));
+  const linalg::Matrix panel(f.x.size(), 1, f.x);
+
+  CodedComputeEngine classic(f.job, spec, coded_config(StrategyKind::kS2C2));
+  CodedComputeEngine block(f.job, spec, coded_config(StrategyKind::kS2C2));
+  const RoundResult rc = classic.run_round(f.x);
+  const RoundResult rb = block.run_round_block(panel, 1);
+
+  ASSERT_TRUE(rc.y.has_value());
+  ASSERT_TRUE(rb.y.has_value());
+  EXPECT_EQ(*rc.y, *rb.y);
+  EXPECT_EQ(rc.stats.end, rb.stats.end);
+  EXPECT_EQ(rc.stats.coverage, rb.stats.coverage);
+  EXPECT_EQ(classic.accounting().total_useful(),
+            block.accounting().total_useful());
+  EXPECT_EQ(classic.accounting().total_wasted(),
+            block.accounting().total_wasted());
+}
+
+TEST(BlockRound, JobCostModelScalesExactlyLinearly) {
+  test::FunctionalMatVec f(6, 3);
+  const CodedMatVecJob& job = f.job;
+  for (const std::size_t b : {1u, 2u, 4u, 7u}) {
+    EXPECT_EQ(job.x_bytes(b), b * job.x_bytes());
+    EXPECT_EQ(job.chunk_result_bytes(b), b * job.chunk_result_bytes());
+    EXPECT_EQ(job.chunk_flops(b), static_cast<double>(b) * job.chunk_flops());
+  }
+}
+
+TEST(BlockRound, LatencyOnlyBlockRoundChargesWidthScaledDecode) {
+  // Cost-only rounds must charge the decode path width-proportional solve
+  // flops (solve cost is exactly linear in RHS columns) while the
+  // factorization is charged once per responder set regardless of width.
+  auto make = [] {
+    CodedMatVecJob job = CodedMatVecJob::cost_only(480, 60, 8, 6, kChunks);
+    return std::make_unique<CodedComputeEngine>(
+        job, make_spec(test::uniform_traces(8)),
+        coded_config(StrategyKind::kS2C2));
+  };
+  auto e1 = make();
+  auto e4 = make();
+  (void)e1->run_round_block({}, 1);
+  (void)e4->run_round_block({}, 4);
+  const auto s1 = e1->decode_stats();
+  const auto s4 = e4->decode_stats();
+  EXPECT_EQ(s4.solve_flops, 4.0 * s1.solve_flops);
+  EXPECT_EQ(s4.factor_flops, s1.factor_flops);  // amortized across columns
+  EXPECT_GT(s4.solve_flops, 0.0);
+}
+
+TEST(BlockRound, BilinearPolyRejectsBlockRounds) {
+  EngineParams p;
+  p.cluster = ClusterSpec::uniform(12);
+  p.rows = 240;
+  p.cols = 36;
+  p.oracle_speeds = true;
+  const auto engine = make_engine(StrategyKind::kPoly, std::move(p));
+  EXPECT_FALSE(engine->supports_block_rounds());
+  const linalg::Matrix panel = random_panel(36, 2, 5);
+  EXPECT_THROW((void)engine->run_round_block(panel, 2), std::logic_error);
+  // Width 1 still works: it routes through the classic round.
+  const RoundResult r = engine->run_round_block({}, 1);
+  EXPECT_GT(r.stats.latency(), 0.0);
+}
+
+TEST(BlockRound, RejectsMismatchedPanelWidth) {
+  test::FunctionalMatVec f(6, 3);
+  CodedComputeEngine engine(f.job, make_spec(test::uniform_traces(6)),
+                            coded_config(StrategyKind::kS2C2));
+  const linalg::Matrix panel = random_panel(f.a.cols(), 3, 9);
+  EXPECT_THROW((void)engine.run_round_block(panel, 2), std::invalid_argument);
+  EXPECT_THROW((void)engine.run_round_block(panel, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace s2c2::core

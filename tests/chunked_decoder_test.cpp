@@ -190,5 +190,69 @@ INSTANTIATE_TEST_SUITE_P(
                       DecodeParam{10, 7, 5, 3, ParityKind::kGaussian},
                       DecodeParam{50, 40, 4, 1, ParityKind::kGaussian}));
 
+class BlockDecode : public ::testing::TestWithParam<DecodeParam> {};
+
+TEST_P(BlockDecode, BitwiseMatchesPerColumnDecode) {
+  // The block-round contract: a width-b decode over a panel X must yield,
+  // in column j, exactly the bits a width-1 decode of column j yields —
+  // same responder sets, same cached factorizations, per-column solves.
+  const auto p = GetParam();
+  const std::size_t rows = p.k * p.chunks * p.rpc;
+  const std::size_t cols = 6, b = 3;
+  Fixture f(p.n, p.k, rows, cols, p.kind, 9100 + p.n * 7 + p.k);
+  linalg::Matrix xb(cols, b);
+  for (std::size_t r = 0; r < cols; ++r) {
+    for (std::size_t j = 0; j < b; ++j) xb(r, j) = f.rng.normal();
+  }
+
+  ChunkedDecoder block(f.code.generator(), p.chunks * p.rpc, p.chunks, b);
+  std::vector<ChunkedDecoder> per_col;
+  per_col.reserve(b);
+  for (std::size_t j = 0; j < b; ++j) {
+    per_col.emplace_back(f.code.generator(), p.chunks * p.rpc, p.chunks, 1);
+  }
+
+  for (std::size_t c = 0; c < p.chunks; ++c) {
+    // Random >= k responder set, different per chunk.
+    std::vector<std::size_t> workers(p.n);
+    for (std::size_t w = 0; w < p.n; ++w) workers[w] = w;
+    f.rng.shuffle(workers);
+    const std::size_t take =
+        p.k + static_cast<std::size_t>(f.rng.uniform_int(
+                  0, static_cast<std::int64_t>(p.n - p.k)));
+    for (std::size_t i = 0; i < take; ++i) {
+      const std::size_t w = workers[i];
+      std::vector<double> vals(p.rpc * b);
+      f.parts[w].matmat_rows(c * p.rpc, (c + 1) * p.rpc, xb.data(), b, vals);
+      block.add_chunk_result(w, c, std::move(vals));
+      for (std::size_t j = 0; j < b; ++j) {
+        std::vector<double> xj(cols);
+        for (std::size_t r = 0; r < cols; ++r) xj[r] = xb(r, j);
+        std::vector<double> col(p.rpc);
+        f.parts[w].matvec_rows(c * p.rpc, (c + 1) * p.rpc, xj, col);
+        per_col[j].add_chunk_result(w, c, std::move(col));
+      }
+    }
+  }
+
+  ASSERT_TRUE(block.decodable());
+  const linalg::Matrix out = block.decode();
+  ASSERT_EQ(out.cols(), b);
+  for (std::size_t j = 0; j < b; ++j) {
+    ASSERT_TRUE(per_col[j].decodable());
+    const linalg::Matrix ref = per_col[j].decode();
+    for (std::size_t r = 0; r < out.rows(); ++r) {
+      EXPECT_EQ(out(r, j), ref(r, 0)) << "col " << j << " row " << r;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, BlockDecode,
+    ::testing::Values(DecodeParam{6, 4, 4, 1, ParityKind::kVandermonde},
+                      DecodeParam{4, 2, 3, 2, ParityKind::kVandermonde},
+                      DecodeParam{12, 6, 6, 2, ParityKind::kGaussian},
+                      DecodeParam{10, 7, 5, 3, ParityKind::kGaussian}));
+
 }  // namespace
 }  // namespace s2c2::coding

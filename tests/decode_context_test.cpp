@@ -232,6 +232,58 @@ TEST(DecodeContext, EngineCacheHitsAccrueAcrossRounds) {
   EXPECT_GT(engine.decode_stats().hits, hits_after_round1);
 }
 
+TEST(DecodeContext, BlockSolveBitwiseMatchesPerColumnSolves) {
+  // Column independence of the MDS backend: solving a k x b RHS block in
+  // one call must produce, in column j, exactly the bits of a width-1
+  // solve of column j (the multi-RHS block round leans on this).
+  const std::size_t n = 10, k = 7, b = 4;
+  const GeneratorMatrix g(n, k);
+  DecodeContext ctx(g);
+  util::Rng rng(31);
+  for (std::size_t trial = 0; trial < 8; ++trial) {
+    const auto subset = random_subset(n, k, rng);
+    const auto rhs = random_rhs(k, b, rng);
+    auto block = rhs;
+    ctx.solve_inplace(subset, block, b);
+    for (std::size_t j = 0; j < b; ++j) {
+      std::vector<double> col(k);
+      for (std::size_t r = 0; r < k; ++r) col[r] = rhs[r * b + j];
+      ctx.solve_inplace(subset, col, 1);
+      for (std::size_t r = 0; r < k; ++r) {
+        EXPECT_EQ(block[r * b + j], col[r])
+            << "trial " << trial << " col " << j << " row " << r;
+      }
+    }
+  }
+}
+
+TEST(DecodeContext, VandermondeBlockSolveBitwiseMatchesPerColumnSolves) {
+  // Same column-independence contract for the Björck–Pereyra backend.
+  const std::size_t n = 12, k = 8, b = 3;
+  std::vector<double> points(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    points[i] = std::cos((2.0 * static_cast<double>(i) + 1.0) /
+                         (2.0 * static_cast<double>(n)) * 3.14159265358979);
+  }
+  DecodeContext ctx(points, k);
+  util::Rng rng(33);
+  for (std::size_t trial = 0; trial < 8; ++trial) {
+    const auto subset = random_subset(n, k, rng);
+    const auto rhs = random_rhs(k, b, rng);
+    auto block = rhs;
+    ctx.solve_inplace(subset, block, b);
+    for (std::size_t j = 0; j < b; ++j) {
+      std::vector<double> col(k);
+      for (std::size_t r = 0; r < k; ++r) col[r] = rhs[r * b + j];
+      ctx.solve_inplace(subset, col, 1);
+      for (std::size_t r = 0; r < k; ++r) {
+        EXPECT_EQ(block[r * b + j], col[r])
+            << "trial " << trial << " col " << j << " row " << r;
+      }
+    }
+  }
+}
+
 TEST(DecodeContext, ClearDropsEntriesAndStats) {
   const GeneratorMatrix g(8, 6);
   DecodeContext ctx(g);
