@@ -37,9 +37,13 @@ int main(int argc, char** argv) {
   if (argc > 4) jobs = std::strtoul(argv[4], nullptr, 10);
 
   // The widened grid: 3 cluster scales x 4 predictors x engines x
-  // workloads x 4 trace profiles (failure injection included). Workloads
+  // workloads x 4 trace profiles (failure injection included), with the
+  // registry additions lt (threshold collection + peel decode) and agc
+  // (adaptive redundancy) riding beside the four paper families. Workloads
   // are trimmed to the two mat-vec shapes so a laptop run stays minutes.
   harness::MatrixAxes axes = harness::MatrixAxes::full();
+  axes.engines.push_back(harness::StrategyKind::kLt);
+  axes.engines.push_back(harness::StrategyKind::kAgc);
   axes.workloads = {harness::WorkloadKind::kLogisticRegression,
                     harness::WorkloadKind::kPageRank};
 
@@ -89,7 +93,8 @@ int main(int argc, char** argv) {
                                   12, harness::PredictorKind::kOracle);
   for (const auto e :
        {harness::StrategyKind::kS2C2, harness::StrategyKind::kReplication,
-        harness::StrategyKind::kOverDecomp}) {
+        harness::StrategyKind::kOverDecomp, harness::StrategyKind::kLt,
+        harness::StrategyKind::kAgc}) {
     const auto* cell =
         parallel.find(e, harness::WorkloadKind::kLogisticRegression,
                       harness::TraceProfile::kControlledStragglers, 12,

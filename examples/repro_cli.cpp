@@ -13,7 +13,7 @@
 //   --jobs N         suite worker threads (0 = all hardware threads;
 //                    default 1 — artifacts are byte-identical either way)
 //   --app X          single job: logreg|svm|pagerank|graphfilter
-//   --strategy X     single job: s2c2|mds|replication|overdecomp
+//   --strategy X     single job: s2c2|mds|replication|overdecomp|lt|agc
 //   --trace X        single-job trace profile:
 //                    controlled|stable|volatile|failure (suite: --traces)
 //   --apps V,V...    restrict the suite's application axis
@@ -63,9 +63,10 @@ harness::JobApp parse_app(const std::string& s) {
 
 harness::StrategyKind parse_strategy(const std::string& s) {
   // One parser for every surface (core::parse_strategy); the job driver
-  // additionally restricts to its four strategy families.
+  // additionally restricts to the strategies it can run — the four
+  // frozen suite families plus the registry extensions (lt, agc).
   const auto st = core::parse_strategy(s);
-  for (const auto allowed : harness::all_job_strategies()) {
+  for (const auto allowed : harness::extended_job_strategies()) {
     if (st == allowed) return st;
   }
   throw std::invalid_argument("strategy is not a job-driver strategy: " + s);
@@ -106,7 +107,7 @@ void print_usage() {
       "       --predictor P  --workers N  --k K  --stragglers S\n"
       "       --iterations N  --tolerance T  --chunks C  --seed S\n"
       "axes:  apps       logreg|svm|pagerank|graphfilter\n"
-      "       strategies s2c2|mds|replication|overdecomp\n"
+      "       strategies s2c2|mds|replication|overdecomp|lt|agc\n"
       "       traces     controlled|stable|volatile|failure\n"
       "       predictors oracle|last-value|arima|lstm\n";
 }

@@ -34,13 +34,15 @@
 //   --jobs N         matrix worker threads (0 = all hardware threads;
 //                    default 1 — results are byte-identical either way)
 //   --axis K=V,V...  restrict/widen a matrix axis; repeatable. Axes:
-//                      engines     s2c2|replication|poly|overdecomp
+//                      engines     s2c2|replication|poly|overdecomp|
+//                                  s2c2-basic|mds|poly-conventional|lt|agc
 //                      workloads   logreg|pagerank|svm|hessian
 //                      traces      controlled|stable|volatile|failure|
 //                                  fail-slow|bursty|diurnal|byzantine
 //                      sizes       cluster sizes, e.g. 12,24,48
 //                      predictors  oracle|last-value|arima|lstm
 //   --engine X       single-cell engine                   (default s2c2)
+//   --strategy X     alias for --engine
 //   --workload X     single-cell workload                 (default logreg)
 //   --trace X        single-cell trace profile            (default controlled)
 //   --predictor X    speed source for capable engines     (default oracle)
@@ -104,8 +106,10 @@ void print_usage() {
       "flags: --jobs N (0 = all hardware threads)  --workers N  --k K\n"
       "       --stragglers S  --rounds R  --chunks C  --seed S  --scale F\n"
       "       --predictor P  --functional  --help\n"
+      "       (--strategy is an alias for --engine)\n"
       "axes (--axis name=v1,v2,... — repeatable):\n"
-      "       engines     s2c2|replication|poly|overdecomp\n"
+      "       engines     s2c2|replication|poly|overdecomp|\n"
+      "                   s2c2-basic|mds|poly-conventional|lt|agc\n"
       "       workloads   logreg|pagerank|svm|hessian\n"
       "       traces      controlled|stable|volatile|failure|\n"
       "                   fail-slow|bursty|diurnal|byzantine\n"
@@ -118,9 +122,10 @@ void print_usage() {
 
 harness::StrategyKind parse_engine(const std::string& s) {
   // One parser for every surface (core::parse_strategy); the matrix
-  // additionally restricts to its four engine families.
+  // additionally restricts to the kinds it can run as cells — the four
+  // paper families plus the registry additions (extended_engines()).
   const auto e = core::parse_strategy(s);
-  for (const auto allowed : harness::all_engines()) {
+  for (const auto allowed : harness::extended_engines()) {
     if (e == allowed) return e;
   }
   throw std::invalid_argument("strategy is not a matrix engine: " + s);
@@ -215,7 +220,8 @@ Options parse(int argc, char** argv) {
     else if (flag == "--serve-json") o.serve_json = value(i);
     else if (flag == "--jobs") o.runner.jobs = std::stoul(value(i));
     else if (flag == "--axis") o.axis_specs.push_back(value(i));
-    else if (flag == "--engine") o.engine = parse_engine(value(i));
+    else if (flag == "--engine" || flag == "--strategy")
+      o.engine = parse_engine(value(i));
     else if (flag == "--workload") o.workload = parse_workload(value(i));
     else if (flag == "--trace") o.trace = parse_trace(value(i));
     else if (flag == "--predictor")

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/coding/lt_code.h"
 #include "src/util/require.h"
 
 namespace s2c2::coding {
@@ -22,6 +23,7 @@ struct DecodeContext::Entry {
   std::vector<std::size_t> missing;
   std::unique_ptr<linalg::LuFactorization> lu;    // p x p; null when p == 0
   std::unique_ptr<linalg::VandermondeSolver> bp;  // Vandermonde backend
+  std::unique_ptr<LtPeelPlan> lt;                 // rateless backend
 };
 
 DecodeContext::DecodeContext(DecodeContext&&) noexcept = default;
@@ -38,8 +40,13 @@ DecodeContext::DecodeContext(std::vector<double> eval_points, std::size_t k)
                "DecodeContext needs >= k evaluation points");
 }
 
+DecodeContext::DecodeContext(const LtCode& code)
+    : lt_code_(&code), k_(code.sources()) {}
+
 std::size_t DecodeContext::n() const noexcept {
-  return generator_ ? generator_->n() : eval_points_.size();
+  if (generator_ != nullptr) return generator_->n();
+  if (lt_code_ != nullptr) return lt_code_->n();
+  return eval_points_.size();
 }
 
 std::vector<std::uint64_t> DecodeContext::make_key(
@@ -53,7 +60,13 @@ std::vector<std::uint64_t> DecodeContext::make_key(
 
 DecodeContext::Entry& DecodeContext::acquire(
     std::span<const std::size_t> subset) {
-  S2C2_REQUIRE(subset.size() == k_, "responder subset must have exactly k");
+  if (lt_code_ != nullptr) {
+    // Rateless backend: the decode quorum is a symbol threshold, not a
+    // worker count — any responder set whose symbols decode is a key.
+    S2C2_REQUIRE(!subset.empty(), "LT responder subset must be non-empty");
+  } else {
+    S2C2_REQUIRE(subset.size() == k_, "responder subset must have exactly k");
+  }
   S2C2_REQUIRE(std::is_sorted(subset.begin(), subset.end()) &&
                    std::adjacent_find(subset.begin(), subset.end()) ==
                        subset.end(),
@@ -69,7 +82,12 @@ DecodeContext::Entry& DecodeContext::acquire(
   ++stats_.misses;
 
   auto entry = std::make_unique<Entry>();
-  if (generator_) {
+  if (lt_code_ != nullptr) {
+    entry->lt = std::make_unique<LtPeelPlan>(lt_code_->plan_for(subset));
+    S2C2_REQUIRE(entry->lt->decodable,
+                 "LT responder set does not decode (collection must extend "
+                 "past the threshold until the peel plan closes)");
+  } else if (generator_) {
     // Split into systematic rows (identity: worker < k pins block worker)
     // and parity rows, then factor the Schur-reduced parity block.
     std::vector<bool> covered(k_, false);
@@ -115,6 +133,12 @@ DecodeContext::Entry& DecodeContext::acquire(
 
 double DecodeContext::factor_cost(const Entry& e) const {
   if (e.bp) return 0.0;  // Björck–Pereyra works straight off the nodes
+  if (e.lt) {
+    // Peel scheduling walks every edge once; the stalled tail pays one
+    // dense s x s factorization.
+    const double s = static_cast<double>(e.lt->tail_size());
+    return 2.0 * static_cast<double>(e.lt->edges) + 2.0 / 3.0 * s * s * s;
+  }
   const double p = static_cast<double>(e.par_worker.size());
   return 2.0 / 3.0 * p * p * p;
 }
@@ -123,6 +147,16 @@ double DecodeContext::solve_cost(const Entry& e, std::size_t columns) const {
   const double m = static_cast<double>(columns);
   const double kd = static_cast<double>(k_);
   if (e.bp) return (2.0 * kd * kd + kd) * m;
+  if (e.lt) {
+    // `columns` arrives in the executor's per-chunk units (chunks x
+    // values-per-chunk x width); one decode actually solves every chunk
+    // at once, with v = columns / chunks_per_worker RHS columns per
+    // source: an edge-sweep subtraction pass, the tail's triangular
+    // solves, and the k-row assembly copy.
+    const double v = m / static_cast<double>(lt_code_->chunks_per_worker());
+    const double s = static_cast<double>(e.lt->tail_size());
+    return (2.0 * static_cast<double>(e.lt->edges) + 2.0 * s * s + kd) * v;
+  }
   const double p = static_cast<double>(e.par_worker.size());
   const double s = static_cast<double>(e.sys_pos.size());
   // RHS reduction over systematic blocks + p x p triangular solves +
@@ -145,9 +179,21 @@ DecodeCharge DecodeContext::charge(std::span<const std::size_t> subset,
   return out;
 }
 
+void DecodeContext::lt_decode(std::span<const std::size_t> subset,
+                              std::span<const double> symbols,
+                              std::size_t values_per_symbol,
+                              std::span<double> out) {
+  S2C2_REQUIRE(lt_code_ != nullptr,
+               "lt_decode is the rateless backend's entry point");
+  Entry& e = acquire(subset);
+  lt_code_->decode(*e.lt, symbols, values_per_symbol, out);
+}
+
 void DecodeContext::solve_inplace(std::span<const std::size_t> subset,
                                   std::span<double> rhs_rowmajor,
                                   std::size_t width) {
+  S2C2_REQUIRE(lt_code_ == nullptr,
+               "the rateless backend decodes through lt_decode");
   S2C2_REQUIRE(width > 0 && rhs_rowmajor.size() == k_ * width,
                "decode solve: rhs layout mismatch");
   Entry& e = acquire(subset);
@@ -201,6 +247,8 @@ void DecodeContext::solve_inplace(std::span<const std::size_t> subset,
 double DecodeContext::redundant_residual(std::span<const std::size_t> subset,
                                          std::span<const double> rhs,
                                          std::size_t width) {
+  S2C2_REQUIRE(lt_code_ == nullptr,
+               "the rateless backend has no redundant-response check");
   S2C2_REQUIRE(subset.size() >= k_ && subset.size() <= n(),
                "redundant_residual: subset size must be in [k, n]");
   S2C2_REQUIRE(width > 0 && rhs.size() == subset.size() * width,

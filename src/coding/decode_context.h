@@ -42,6 +42,11 @@
 //   dense LU (seed)        factor 2/3·k³        solve 2k²·m
 //   systematic Schur       factor 2/3·p³        solve (2ps + 2p² + k)·m
 //   Björck–Pereyra         factor 0             solve (2k² + k)·m
+//   LT peeling             factor 2E + 2/3·s³   solve (2E + 2s² + k)·v
+// (LT backend: E = edges of the collected symbol graph, s = stalled-tail
+// size, v = RHS columns per *source*. The executor charges `columns` in
+// per-chunk units — chunks x values-per-chunk — so the LT solve cost
+// normalizes by chunks_per_worker to recover v; see solve_cost.)
 #pragma once
 
 #include <cstddef>
@@ -57,6 +62,8 @@
 #include "src/linalg/vandermonde.h"
 
 namespace s2c2::coding {
+
+class LtCode;  // rateless backend (lt_code.h); borrowed like the generator
 
 /// What one charge() cost the simulated master.
 struct DecodeCharge {
@@ -87,6 +94,14 @@ class DecodeContext {
   /// k-subset solves by Björck–Pereyra in O(k²) per RHS.
   DecodeContext(std::vector<double> eval_points, std::size_t k);
 
+  /// Rateless-LT backend: k() is the source-block count and a "responder
+  /// subset" is ANY sorted set of workers whose accumulated symbols
+  /// decode (threshold + peelability — the engine's collection rule
+  /// guarantees it before charging). Entries cache the structural peel
+  /// plan (LtCode::plan_for) instead of a factorization; the numeric
+  /// path is lt_decode, not solve_inplace. Borrows the code.
+  explicit DecodeContext(const LtCode& code);
+
   // Move-only (cache entries are an incomplete type here).
   DecodeContext(DecodeContext&&) noexcept;
   DecodeContext& operator=(DecodeContext&&) noexcept;
@@ -113,6 +128,15 @@ class DecodeContext {
   /// Throws std::domain_error if the subset's system is singular.
   void solve_inplace(std::span<const std::size_t> subset,
                      std::span<double> rhs_rowmajor, std::size_t width);
+
+  /// LT-backend numeric entry point: decodes the accumulated symbols of
+  /// `subset` (sorted responders; `symbols` row-major in responder-major,
+  /// chunk-minor order with `values_per_symbol` values per symbol) into
+  /// the k() source blocks (`out`, k() x values_per_symbol row-major).
+  /// Shares the cached peel plan with charge(). LT backend only.
+  void lt_decode(std::span<const std::size_t> subset,
+                 std::span<const double> symbols,
+                 std::size_t values_per_symbol, std::span<double> out);
 
   /// Redundancy check (Byzantine detection — soundness bounds in
   /// docs/DESIGN.md §7): decode the chunk from the *first k* responders of
@@ -148,6 +172,7 @@ class DecodeContext {
 
   const GeneratorMatrix* generator_ = nullptr;  // MDS backend
   std::vector<double> eval_points_;             // Vandermonde backend
+  const LtCode* lt_code_ = nullptr;             // rateless backend
   std::size_t k_ = 0;
   std::map<std::vector<std::uint64_t>, std::unique_ptr<Entry>> cache_;
   DecodeContextStats stats_;

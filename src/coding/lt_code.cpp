@@ -1,0 +1,319 @@
+#include "src/coding/lt_code.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "src/linalg/matrix.h"
+#include "src/util/hash.h"
+#include "src/util/require.h"
+#include "src/util/rng.h"
+
+namespace s2c2::coding {
+
+namespace {
+
+/// Robust-soliton CDF over degrees 1..m: mu = (rho + tau) / beta with
+/// rho(1) = 1/m, rho(d) = 1/(d(d-1)), spike R = c * ln(m/delta) * sqrt(m)
+/// at degree m/R. Returned as cdf[d-1] = P(degree <= d).
+std::vector<double> robust_soliton_cdf(std::size_t m,
+                                       const RobustSolitonConfig& cfg) {
+  const double md = static_cast<double>(m);
+  const double r_spike =
+      std::max(1.0, cfg.c * std::log(md / cfg.delta) * std::sqrt(md));
+  const std::size_t kink = std::clamp<std::size_t>(
+      static_cast<std::size_t>(md / r_spike), 1, m);
+  std::vector<double> weight(m, 0.0);
+  weight[0] = 1.0 / md;
+  for (std::size_t d = 2; d <= m; ++d) {
+    weight[d - 1] = 1.0 / (static_cast<double>(d) * static_cast<double>(d - 1));
+  }
+  for (std::size_t d = 1; d < kink; ++d) {
+    weight[d - 1] += r_spike / (static_cast<double>(d) * md);
+  }
+  weight[kink - 1] += r_spike * std::max(0.0, std::log(r_spike / cfg.delta)) / md;
+  double total = 0.0;
+  for (double w : weight) total += w;
+  std::vector<double> cdf(m);
+  double acc = 0.0;
+  for (std::size_t d = 0; d < m; ++d) {
+    acc += weight[d] / total;
+    cdf[d] = acc;
+  }
+  cdf[m - 1] = 1.0;  // guard against rounding at the top
+  return cdf;
+}
+
+/// `count` distinct sources in [0, m), ascending. Rejection-samples the
+/// smaller of the set and its complement so even the rare near-full
+/// degrees stay cheap.
+std::vector<std::uint32_t> draw_distinct(util::Rng& rng, std::size_t count,
+                                         std::size_t m) {
+  const bool complement = count > m / 2;
+  const std::size_t want = complement ? m - count : count;
+  std::vector<bool> mark(m, false);
+  std::size_t have = 0;
+  while (have < want) {
+    const auto s = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(m) - 1));
+    if (!mark[s]) {
+      mark[s] = true;
+      ++have;
+    }
+  }
+  std::vector<std::uint32_t> out;
+  out.reserve(count);
+  for (std::size_t s = 0; s < m; ++s) {
+    if (mark[s] != complement) out.push_back(static_cast<std::uint32_t>(s));
+  }
+  return out;
+}
+
+}  // namespace
+
+LtCode::LtCode(std::size_t n, std::size_t chunks_per_worker,
+               std::size_t sources, std::uint64_t seed,
+               RobustSolitonConfig soliton)
+    : n_(n), chunks_per_worker_(chunks_per_worker), sources_(sources),
+      seed_(seed) {
+  S2C2_REQUIRE(n_ >= 1 && chunks_per_worker_ >= 1 && sources_ >= 1,
+               "LtCode needs n, chunks_per_worker, sources >= 1");
+  S2C2_REQUIRE(soliton.c > 0.0 && soliton.delta > 0.0 && soliton.delta < 1.0,
+               "robust-soliton parameters out of range");
+  S2C2_REQUIRE(soliton.overhead >= 0.0, "LT overhead must be >= 0");
+  threshold_ = static_cast<std::size_t>(std::ceil(
+      (1.0 + soliton.overhead) * static_cast<double>(sources_)));
+  threshold_ = std::max(threshold_, sources_);
+  S2C2_REQUIRE(threshold_ <= total_symbols(),
+               "LT decode threshold exceeds the fleet's symbol budget");
+
+  const std::vector<double> cdf = robust_soliton_cdf(sources_, soliton);
+  const std::size_t total = total_symbols();
+  neighbor_offsets_.assign(total + 1, 0);
+  neighbor_ids_.clear();
+  for (std::size_t s = 0; s < total; ++s) {
+    // Per-symbol stream: the graph is a function of (seed, symbol id)
+    // alone, so every consumer — cost-only cells, functional cells, any
+    // shard order — sees the identical code.
+    util::Rng rng(util::mix64(seed_ ^ (static_cast<std::uint64_t>(s) + 1) *
+                                          0x9e3779b97f4a7c15ULL));
+    const double u = rng.uniform();
+    const std::size_t degree =
+        static_cast<std::size_t>(
+            std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin()) +
+        1;
+    std::vector<std::uint32_t> picks =
+        draw_distinct(rng, std::min(degree, sources_), sources_);
+    // Coverage anchor: symbol s always touches source s mod m, so any
+    // run of >= m consecutive symbol ids — in particular the full
+    // fleet's symbol set, which the stopping rule falls back to —
+    // structurally covers every source. Pure soliton draws leave
+    // coverage to chance, and at small geometries (a few hundred
+    // symbols) an uncovered source is likely enough to strand whole
+    // cells; the anchor is the Raptor-style structural fix. Replacing a
+    // drawn pick (rather than appending) keeps the degree exactly as
+    // sampled.
+    const auto anchor = static_cast<std::uint32_t>(s % sources_);
+    if (std::find(picks.begin(), picks.end(), anchor) == picks.end()) {
+      picks[0] = anchor;
+      std::sort(picks.begin(), picks.end());
+    }
+    neighbor_ids_.insert(neighbor_ids_.end(), picks.begin(), picks.end());
+    neighbor_offsets_[s + 1] = static_cast<std::uint32_t>(neighbor_ids_.size());
+  }
+}
+
+std::span<const std::uint32_t> LtCode::neighbors(std::size_t symbol) const {
+  S2C2_REQUIRE(symbol < total_symbols(), "symbol id out of range");
+  return {neighbor_ids_.data() + neighbor_offsets_[symbol],
+          neighbor_offsets_[symbol + 1] - neighbor_offsets_[symbol]};
+}
+
+std::size_t LtCode::degree(std::size_t symbol) const {
+  return neighbors(symbol).size();
+}
+
+LtPeelPlan LtCode::plan_for(std::span<const std::size_t> workers) const {
+  S2C2_REQUIRE(std::is_sorted(workers.begin(), workers.end()) &&
+                   std::adjacent_find(workers.begin(), workers.end()) ==
+                       workers.end(),
+               "LT responder set must be sorted and distinct");
+  S2C2_REQUIRE(workers.empty() || workers.back() < n_,
+               "LT responder out of range");
+  const std::size_t m = sources_;
+  LtPeelPlan plan;
+  plan.rows = workers.size() * chunks_per_worker_;
+  plan.row_symbol.reserve(plan.rows);
+  for (const std::size_t w : workers) {
+    for (std::size_t j = 0; j < chunks_per_worker_; ++j) {
+      plan.row_symbol.push_back(
+          static_cast<std::uint32_t>(symbol_id(w, j)));
+    }
+  }
+
+  // Source -> incident rows (counting-sort CSR) + per-row degrees.
+  std::vector<std::uint32_t> row_deg(plan.rows, 0);
+  plan.src_offsets.assign(m + 1, 0);
+  for (std::size_t r = 0; r < plan.rows; ++r) {
+    const auto nb = neighbors(plan.row_symbol[r]);
+    row_deg[r] = static_cast<std::uint32_t>(nb.size());
+    plan.edges += nb.size();
+    for (const std::uint32_t b : nb) ++plan.src_offsets[b + 1];
+  }
+  for (std::size_t b = 0; b < m; ++b) {
+    plan.src_offsets[b + 1] += plan.src_offsets[b];
+  }
+  plan.src_rows.resize(plan.edges);
+  {
+    std::vector<std::uint32_t> cursor(plan.src_offsets.begin(),
+                                      plan.src_offsets.end() - 1);
+    for (std::size_t r = 0; r < plan.rows; ++r) {
+      for (const std::uint32_t b : neighbors(plan.row_symbol[r])) {
+        plan.src_rows[cursor[b]++] = static_cast<std::uint32_t>(r);
+      }
+    }
+  }
+
+  // Structural peeling: pop degree-1 rows, resolve their one unsolved
+  // source, decrement every incident row.
+  std::vector<bool> solved(m, false);
+  std::vector<std::uint32_t> stack;
+  for (std::size_t r = 0; r < plan.rows; ++r) {
+    if (row_deg[r] == 1) stack.push_back(static_cast<std::uint32_t>(r));
+  }
+  std::size_t solved_count = 0;
+  while (!stack.empty()) {
+    const std::uint32_t r = stack.back();
+    stack.pop_back();
+    if (row_deg[r] != 1) continue;  // lost its last source to another step
+    std::uint32_t src = 0;
+    bool found = false;
+    for (const std::uint32_t b : neighbors(plan.row_symbol[r])) {
+      if (!solved[b]) {
+        src = b;
+        found = true;
+        break;
+      }
+    }
+    S2C2_CHECK(found, "degree-1 row lost its unsolved source");
+    solved[src] = true;
+    ++solved_count;
+    plan.steps.emplace_back(r, src);
+    for (std::size_t i = plan.src_offsets[src]; i < plan.src_offsets[src + 1];
+         ++i) {
+      const std::uint32_t r2 = plan.src_rows[i];
+      if (--row_deg[r2] == 1) stack.push_back(r2);
+    }
+  }
+  if (solved_count == m) {
+    plan.decodable = true;
+    return plan;
+  }
+
+  // Stalled tail: pick |tail| independent residual rows by Gaussian
+  // elimination over the unsolved sources and factor that square system
+  // once (inactivation-style dense fallback).
+  std::vector<std::uint32_t> tail_col(m, 0);
+  for (std::size_t b = 0; b < m; ++b) {
+    if (!solved[b]) {
+      tail_col[b] = static_cast<std::uint32_t>(plan.fallback_sources.size());
+      plan.fallback_sources.push_back(static_cast<std::uint32_t>(b));
+    }
+  }
+  const std::size_t tail = plan.fallback_sources.size();
+  std::vector<std::uint32_t> candidates;
+  for (std::size_t r = 0; r < plan.rows; ++r) {
+    if (row_deg[r] >= 1) candidates.push_back(static_cast<std::uint32_t>(r));
+  }
+  if (candidates.size() < tail) return plan;  // not decodable
+
+  linalg::Matrix work(candidates.size(), tail);
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    for (const std::uint32_t b : neighbors(plan.row_symbol[candidates[i]])) {
+      if (!solved[b]) work(i, tail_col[b]) = 1.0;
+    }
+  }
+  std::vector<bool> taken(candidates.size(), false);
+  for (std::size_t col = 0; col < tail; ++col) {
+    std::size_t pivot = candidates.size();
+    double best = 1e-9;  // structural rank: entries are 0/±small combos
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      if (!taken[i] && std::abs(work(i, col)) > best) {
+        best = std::abs(work(i, col));
+        pivot = i;
+      }
+    }
+    if (pivot == candidates.size()) return plan;  // rank-deficient tail
+    taken[pivot] = true;
+    plan.fallback_rows.push_back(candidates[pivot]);
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      if (taken[i] || work(i, col) == 0.0) continue;
+      const double f = work(i, col) / work(pivot, col);
+      for (std::size_t c2 = col; c2 < tail; ++c2) {
+        work(i, c2) -= f * work(pivot, c2);
+      }
+    }
+  }
+  linalg::Matrix tail_mat(tail, tail);
+  for (std::size_t i = 0; i < tail; ++i) {
+    for (const std::uint32_t b :
+         neighbors(plan.row_symbol[plan.fallback_rows[i]])) {
+      if (!solved[b]) tail_mat(i, tail_col[b]) = 1.0;
+    }
+  }
+  try {
+    plan.tail_lu = std::make_unique<linalg::LuFactorization>(
+        std::move(tail_mat));
+  } catch (const std::domain_error&) {
+    plan.fallback_rows.clear();
+    return plan;  // numerically singular despite the structural pick
+  }
+  plan.decodable = true;
+  return plan;
+}
+
+void LtCode::decode(const LtPeelPlan& plan, std::span<const double> symbols,
+                    std::size_t values_per_symbol,
+                    std::span<double> out) const {
+  S2C2_REQUIRE(plan.decodable, "LT plan is not decodable");
+  const std::size_t v = values_per_symbol;
+  S2C2_REQUIRE(v >= 1 && symbols.size() == plan.rows * v,
+               "LT decode: symbol buffer layout mismatch");
+  S2C2_REQUIRE(out.size() == sources_ * v,
+               "LT decode: output buffer layout mismatch");
+
+  std::vector<double> residual(symbols.begin(), symbols.end());
+  const auto subtract_from_rows = [&](std::uint32_t src) {
+    const double* val = out.data() + static_cast<std::size_t>(src) * v;
+    for (std::size_t i = plan.src_offsets[src]; i < plan.src_offsets[src + 1];
+         ++i) {
+      double* row = residual.data() + static_cast<std::size_t>(
+                                          plan.src_rows[i]) * v;
+      for (std::size_t c = 0; c < v; ++c) row[c] -= val[c];
+    }
+  };
+  for (const auto& [row, src] : plan.steps) {
+    const double* r = residual.data() + static_cast<std::size_t>(row) * v;
+    std::copy(r, r + v, out.data() + static_cast<std::size_t>(src) * v);
+    subtract_from_rows(src);
+  }
+  const std::size_t tail = plan.tail_size();
+  if (tail > 0) {
+    // Tail residuals only involve unsolved sources now; one cached LU
+    // solve recovers them all.
+    std::vector<double> rhs(tail * v);
+    for (std::size_t i = 0; i < tail; ++i) {
+      const double* r = residual.data() +
+                        static_cast<std::size_t>(plan.fallback_rows[i]) * v;
+      std::copy(r, r + v, rhs.data() + i * v);
+    }
+    plan.tail_lu->solve_inplace(std::span<double>(rhs.data(), rhs.size()), v);
+    for (std::size_t i = 0; i < tail; ++i) {
+      std::copy(rhs.data() + i * v, rhs.data() + (i + 1) * v,
+                out.data() +
+                    static_cast<std::size_t>(plan.fallback_sources[i]) * v);
+    }
+  }
+}
+
+}  // namespace s2c2::coding

@@ -1,0 +1,144 @@
+// Rateless LT code over row blocks — the coding layer of the `lt`
+// strategy (Mallick et al., "Rateless Codes for Near-Perfect Load
+// Balancing in Distributed Matrix-Vector Multiplication", PAPERS.md).
+//
+// The operator's rows are split into `sources` equal blocks; every worker
+// stores `chunks_per_worker` *coded symbols*, each a sum of a random
+// subset of source blocks drawn from the robust-soliton degree
+// distribution. Unlike the MDS/polynomial codes there is no fixed k-of-n
+// quorum: the master decodes as soon as the *accumulated symbol count*
+// crosses the decode threshold ~ (1 + overhead) * sources and the symbols'
+// bipartite graph peels, so any mix of responders contributes — the
+// near-perfect load-balancing property the paper trades a small reception
+// overhead for.
+//
+// Determinism contract: the symbol graph is a pure function of
+// (seed, symbol id) via per-symbol mix64-derived RNG streams — independent
+// of construction order, identical in cost-only and functional runs, and
+// reproducible at any --jobs (the same contract as the harness cell
+// seeds). plan_for() is RNG-free: the peel schedule and the stalled-tail
+// fallback are functions of the responder set alone, so the cost model's
+// cached plans and the numeric decode replay the exact same steps.
+//
+// Decoding: classic peeling — repeatedly find a symbol with exactly one
+// unresolved source, copy its residual out, subtract from its other
+// symbols. When peeling stalls before all sources resolve (no degree-1
+// symbol left), the remaining *tail* is solved densely: plan_for()
+// greedily selects |tail| independent residual symbols by Gaussian
+// elimination and factors the tail system once (an inactivation-style
+// fallback), so stalls degrade to a small LU instead of a decode failure.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "src/linalg/lu.h"
+
+namespace s2c2::coding {
+
+/// Robust-soliton degree distribution mu = (rho + tau) / beta with the
+/// standard (c, delta) parameterization, plus the reception overhead the
+/// decode threshold budgets for. Defaults follow the LT-code literature's
+/// small-block practice (c ~ 0.1, delta ~ 0.5) and Mallick et al.'s ~10%
+/// overhead regime.
+struct RobustSolitonConfig {
+  double c = 0.1;
+  double delta = 0.5;
+  /// Decode threshold = ceil((1 + overhead) * sources) symbols.
+  double overhead = 0.08;
+};
+
+/// A structural decode schedule for one responder set: the peel steps in
+/// execution order plus the dense fallback for the stalled tail. Built
+/// once per responder set by LtCode::plan_for (the DecodeContext caches
+/// it); LtCode::decode replays it numerically. Rows are local indices
+/// into the collected symbol buffer (responder-major, chunk-minor).
+struct LtPeelPlan {
+  bool decodable = false;
+  std::size_t rows = 0;   // collected symbols
+  std::size_t edges = 0;  // sum of collected symbol degrees
+  /// Global symbol id of each collected row.
+  std::vector<std::uint32_t> row_symbol;
+  /// (row, source) per peel step: at that point the row's residual equals
+  /// the source block.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> steps;
+  /// Source -> incident local rows (CSR layout), shared by peeling and
+  /// the numeric replay's subtraction sweep.
+  std::vector<std::uint32_t> src_offsets;
+  std::vector<std::uint32_t> src_rows;
+  /// Stalled-tail fallback: tail_lu solves the |fallback_sources|-square
+  /// residual system over the selected independent rows. Empty vectors
+  /// and a null tail_lu when peeling completes on its own.
+  std::vector<std::uint32_t> fallback_rows;
+  std::vector<std::uint32_t> fallback_sources;
+  std::unique_ptr<linalg::LuFactorization> tail_lu;
+
+  [[nodiscard]] std::size_t tail_size() const noexcept {
+    return fallback_sources.size();
+  }
+};
+
+class LtCode {
+ public:
+  /// `n` workers each holding `chunks_per_worker` coded symbols over
+  /// `sources` source blocks. Requires decode_threshold() <= total
+  /// symbols (otherwise no responder set could ever decode).
+  LtCode(std::size_t n, std::size_t chunks_per_worker, std::size_t sources,
+         std::uint64_t seed, RobustSolitonConfig soliton = {});
+
+  [[nodiscard]] std::size_t n() const noexcept { return n_; }
+  [[nodiscard]] std::size_t chunks_per_worker() const noexcept {
+    return chunks_per_worker_;
+  }
+  [[nodiscard]] std::size_t sources() const noexcept { return sources_; }
+  [[nodiscard]] std::size_t total_symbols() const noexcept {
+    return n_ * chunks_per_worker_;
+  }
+  /// Accumulated symbols needed before a decode is attempted.
+  [[nodiscard]] std::size_t decode_threshold() const noexcept {
+    return threshold_;
+  }
+  /// Smallest responder count whose symbols can reach the threshold.
+  [[nodiscard]] std::size_t min_workers() const noexcept {
+    return (threshold_ + chunks_per_worker_ - 1) / chunks_per_worker_;
+  }
+
+  /// Worker w's j-th symbol (j < chunks_per_worker).
+  [[nodiscard]] std::size_t symbol_id(std::size_t worker,
+                                      std::size_t chunk) const noexcept {
+    return worker * chunks_per_worker_ + chunk;
+  }
+  /// Source blocks summed into `symbol`, ascending.
+  [[nodiscard]] std::span<const std::uint32_t> neighbors(
+      std::size_t symbol) const;
+  [[nodiscard]] std::size_t degree(std::size_t symbol) const;
+
+  /// Structural peel schedule over the full symbol batches of `workers`
+  /// (sorted, distinct). plan.decodable is false when the accumulated
+  /// symbols cannot determine every source even with the dense fallback.
+  [[nodiscard]] LtPeelPlan plan_for(std::span<const std::size_t> workers) const;
+
+  /// Numeric replay of `plan`: `symbols` holds plan.rows coded symbols of
+  /// `values_per_symbol` values each (row-major, same row order the plan
+  /// was built over); writes the sources() decoded blocks into `out`
+  /// (sources() * values_per_symbol, row-major). Requires plan.decodable.
+  void decode(const LtPeelPlan& plan, std::span<const double> symbols,
+              std::size_t values_per_symbol, std::span<double> out) const;
+
+ private:
+  std::size_t n_ = 0;
+  std::size_t chunks_per_worker_ = 0;
+  std::size_t sources_ = 0;
+  std::size_t threshold_ = 0;
+  std::uint64_t seed_ = 0;
+  /// Symbol graph, CSR over symbols: neighbors of symbol s are
+  /// neighbor_ids_[neighbor_offsets_[s] .. neighbor_offsets_[s + 1]).
+  std::vector<std::uint32_t> neighbor_offsets_;
+  std::vector<std::uint32_t> neighbor_ids_;
+};
+
+}  // namespace s2c2::coding

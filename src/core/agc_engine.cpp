@@ -1,0 +1,52 @@
+#include "src/core/agc_engine.h"
+
+#include <algorithm>
+#include <numeric>
+#include <utility>
+
+#include "src/util/require.h"
+#include "src/util/stats.h"
+
+namespace s2c2::core {
+
+AdaptiveGradientEngine::AdaptiveGradientEngine(
+    CodedMatVecJob job, ClusterSpec spec, EngineConfig config,
+    std::unique_ptr<predict::SpeedPredictor> predictor)
+    : CodedComputeEngine(std::move(job), std::move(spec), config,
+                         std::move(predictor)) {
+  S2C2_REQUIRE(config.strategy == StrategyKind::kAgc,
+               "AdaptiveGradientEngine runs the agc strategy only");
+}
+
+sched::Allocation AdaptiveGradientEngine::allocate(
+    std::span<const double> speeds) const {
+  const std::size_t n = spec_.num_workers();
+  const std::size_t q = collection_quorum();
+  const std::size_t c = chunks_per_partition();
+
+  // Per-round redundancy: one extra full partition per predicted
+  // straggler (Cao et al.'s rule with B = e), capped at the fleet.
+  const double med = util::median(speeds);
+  std::size_t predicted_stragglers = 0;
+  for (const double s : speeds) {
+    if (s < straggler_threshold() * med) ++predicted_stragglers;
+  }
+  const std::size_t active = std::min(n, q + predicted_stragglers);
+
+  // Fastest `active` workers by predicted speed. stable_sort keeps the
+  // index tie-break deterministic, which is also what makes the oracle /
+  // straggler-free case collapse to MDS's fastest-quorum exactly.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return speeds[a] > speeds[b];
+                   });
+  std::vector<bool> excluded(n, true);
+  for (std::size_t i = 0; i < active; ++i) excluded[order[i]] = false;
+  // Equal shares over `active` live workers at quorum `active` hand every
+  // chosen worker one full partition (count == c).
+  return sched::basic_s2c2_allocation(excluded, active, c);
+}
+
+}  // namespace s2c2::core

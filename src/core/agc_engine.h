@@ -1,0 +1,42 @@
+// AdaptiveGradientEngine — adaptive gradient coding (Cao et al., PAPERS.md)
+// behind StrategyKind::kAgc.
+//
+// The whole MDS-coded lifecycle is inherited from CodedComputeEngine: job
+// geometry, the §4.3 timeout + wave recovery, the cached Schur decode, and
+// the Byzantine verification pass. The one adaptive ingredient is the
+// allocation: instead of S2C2's speed-proportional chunk shares, AGC
+// decides how MANY workers receive a full partition each round. It counts
+// predicted stragglers e (predicted speed below straggler_threshold x
+// median — the basic-S2C2 flag rule), sizes the active set to
+// min(n, collection_quorum() + e), and fills it with the predicted-fastest
+// workers (stable index tie-break). Each predicted straggler buys one
+// extra full partition of redundancy — Cao et al.'s per-round redundancy
+// rule with B = e — while the excluded workers do no work at all, so a
+// well-predicted round wastes nothing.
+//
+// Degradation property (pinned in tests/engine_conformance_test.cpp):
+// under an oracle predictor on a straggler-free cluster e == 0, the active
+// set is exactly the quorum of fastest workers, and every round matches
+// conventional MDS latency and decoded product bit for bit — with none of
+// MDS's n - k cancelled-worker waste.
+#pragma once
+
+#include "src/core/engine.h"
+
+namespace s2c2::core {
+
+class AdaptiveGradientEngine final : public CodedComputeEngine {
+ public:
+  /// Same inputs as CodedComputeEngine; config.strategy must be kAgc.
+  /// The straggler_threshold and quorum knobs drive the redundancy rule.
+  AdaptiveGradientEngine(CodedMatVecJob job, ClusterSpec spec,
+                         EngineConfig config,
+                         std::unique_ptr<predict::SpeedPredictor> predictor =
+                             nullptr);
+
+ protected:
+  [[nodiscard]] sched::Allocation allocate(
+      std::span<const double> speeds) const override;
+};
+
+}  // namespace s2c2::core

@@ -15,9 +15,10 @@ namespace {
 StrategyKind validated_kind(const EngineConfig& config) {
   S2C2_REQUIRE(config.strategy == StrategyKind::kS2C2 ||
                    config.strategy == StrategyKind::kS2C2Basic ||
-                   config.strategy == StrategyKind::kMds,
+                   config.strategy == StrategyKind::kMds ||
+                   config.strategy == StrategyKind::kAgc,
                "CodedComputeEngine runs the MDS-coded strategies only "
-               "(s2c2, s2c2-basic, mds)");
+               "(s2c2, s2c2-basic, mds, agc via AdaptiveGradientEngine)");
   return config.strategy;
 }
 

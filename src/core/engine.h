@@ -29,11 +29,13 @@
 
 namespace s2c2::core {
 
-class CodedComputeEngine final : public RoundExecutor {
+class CodedComputeEngine : public RoundExecutor {
  public:
   /// `predictor` may be null: the engine then uses last-value prediction.
   /// The spec must provide exactly job.n() traces. config.strategy must
-  /// be one of kS2C2, kS2C2Basic, kMds.
+  /// be one of kS2C2, kS2C2Basic, kMds — or kAgc through the
+  /// AdaptiveGradientEngine subclass, which reuses this whole lifecycle
+  /// and swaps only the allocation rule.
   CodedComputeEngine(CodedMatVecJob job, ClusterSpec spec, EngineConfig config,
                      std::unique_ptr<predict::SpeedPredictor> predictor =
                          nullptr);

@@ -23,8 +23,7 @@ DirectMultiply direct_multiply(const EngineParams& p) {
   return {};
 }
 
-std::unique_ptr<StrategyEngine> make_mds_coded(StrategyKind kind,
-                                               EngineParams p) {
+EngineConfig mds_config(StrategyKind kind, const EngineParams& p) {
   EngineConfig cfg;
   cfg.strategy = kind;
   cfg.chunks_per_partition = p.chunks_per_partition;
@@ -32,17 +31,48 @@ std::unique_ptr<StrategyEngine> make_mds_coded(StrategyKind kind,
   cfg.straggler_threshold = p.straggler_threshold;
   cfg.oracle_speeds = p.oracle_speeds;
   cfg.health_informed = p.health_informed;
+  return cfg;
+}
+
+CodedMatVecJob mds_job(const EngineParams& p) {
   const std::size_t n = p.cluster.num_workers();
-  auto job = p.dense != nullptr
-                 ? CodedMatVecJob(*p.dense, n, p.k, p.chunks_per_partition)
-                 : (p.sparse != nullptr
-                        ? CodedMatVecJob(*p.sparse, n, p.k,
-                                         p.chunks_per_partition)
-                        : CodedMatVecJob::cost_only(p.rows, p.cols, n, p.k,
-                                                    p.chunks_per_partition));
-  return std::make_unique<CodedComputeEngine>(std::move(job),
-                                              std::move(p.cluster), cfg,
+  return p.dense != nullptr
+             ? CodedMatVecJob(*p.dense, n, p.k, p.chunks_per_partition)
+             : (p.sparse != nullptr
+                    ? CodedMatVecJob(*p.sparse, n, p.k,
+                                     p.chunks_per_partition)
+                    : CodedMatVecJob::cost_only(p.rows, p.cols, n, p.k,
+                                                p.chunks_per_partition));
+}
+
+std::unique_ptr<StrategyEngine> make_mds_coded(StrategyKind kind,
+                                               EngineParams p) {
+  return std::make_unique<CodedComputeEngine>(mds_job(p), std::move(p.cluster),
+                                              mds_config(kind, p),
                                               std::move(p.predictor));
+}
+
+std::unique_ptr<StrategyEngine> make_agc(EngineParams p) {
+  // Identical job geometry and lifecycle to the MDS family; only the
+  // allocation rule differs (agc_engine.h).
+  return std::make_unique<AdaptiveGradientEngine>(
+      mds_job(p), std::move(p.cluster), mds_config(StrategyKind::kAgc, p),
+      std::move(p.predictor));
+}
+
+std::unique_ptr<StrategyEngine> make_lt_coded(EngineParams p) {
+  LtEngineConfig cfg;
+  cfg.k = p.k;
+  cfg.chunks_per_partition = p.chunks_per_partition;
+  cfg.oracle_speeds = p.oracle_speeds;
+  cfg.health_informed = p.health_informed;
+  cfg.code_seed = p.code_seed;
+  cfg.soliton = p.soliton;
+  const std::size_t rows = p.op_rows();
+  const std::size_t cols = p.op_cols();
+  return std::make_unique<LtCodedEngine>(p.dense, p.sparse, rows, cols,
+                                         std::move(p.cluster), cfg,
+                                         std::move(p.predictor));
 }
 
 std::unique_ptr<StrategyEngine> make_poly_coded(StrategyKind kind,
@@ -102,6 +132,8 @@ Registry& registry() {
     }
     reg->factories[StrategyKind::kReplication] = make_replication;
     reg->factories[StrategyKind::kOverDecomp] = make_overdecomp;
+    reg->factories[StrategyKind::kLt] = make_lt_coded;
+    reg->factories[StrategyKind::kAgc] = make_agc;
     return reg;
   }();
   return *r;

@@ -8,19 +8,24 @@
 //                                                   std::move(p));
 //
 // EngineParams is the superset of what the built-in strategies need; each
-// factory reads its slice and ignores the rest (the README strategy table
-// documents which hooks each engine consumes). The registry seeds itself
-// with the four built-in families on first use — a function-local
-// registry rather than static-initializer self-registration, which a
-// static library's linker would silently drop — and register_engine_factory
-// lets downstream strategies (rateless/LT codes, gradient coding; see
-// ROADMAP.md) plug in without touching a single switch ladder.
+// factory reads its slice and ignores the rest (the generated strategy
+// table in docs/REPRODUCTION.md documents capabilities per kind). The
+// registry seeds itself with the built-in families on first use — a
+// function-local registry rather than static-initializer
+// self-registration, which a static library's linker would silently drop
+// — and register_engine_factory lets downstream strategies plug in
+// without touching a single switch ladder. The rateless LT and adaptive
+// gradient coding engines (lt_engine.h, agc_engine.h) entered exactly
+// that way: a class + a registration, proven against the cross-engine
+// invariants in tests/engine_conformance_test.cpp.
 #pragma once
 
 #include <functional>
 #include <memory>
 
+#include "src/core/agc_engine.h"
 #include "src/core/engine.h"
+#include "src/core/lt_engine.h"
 #include "src/core/overdecomp_engine.h"
 #include "src/core/poly_engine.h"
 #include "src/core/replication_engine.h"
@@ -62,6 +67,13 @@ struct EngineParams {
   /// Baseline-specific knobs.
   ReplicationConfig replication;
   OverDecompConfig overdecomp;
+
+  /// Rateless-LT knobs (kLt): deterministic symbol-graph seed plus the
+  /// robust-soliton / decode-overhead parameters. The harness derives
+  /// code_seed from the cell/job salt the same way it salts replication
+  /// placement.
+  std::uint64_t code_seed = 0x5eedc0deULL;
+  coding::RobustSolitonConfig soliton;
 
   [[nodiscard]] std::size_t op_rows() const {
     return dense != nullptr ? dense->rows()

@@ -125,8 +125,18 @@ sched::Allocation RoundExecutor::allocate(
     case StrategyKind::kReplication:
     case StrategyKind::kOverDecomp:
       break;  // uncoded strategies never reach the coded executor
+    case StrategyKind::kLt:
+    case StrategyKind::kAgc:
+      break;  // their engines override allocate(); no kind() default
   }
   throw std::logic_error("unreachable strategy");
+}
+
+std::size_t RoundExecutor::collection_count(
+    std::span<const std::size_t> by_response, std::size_t finite) const {
+  (void)by_response;
+  (void)finite;
+  return collection_quorum();
 }
 
 RoundExecutor::WorkerTiming RoundExecutor::simulate_worker(
@@ -233,14 +243,21 @@ RoundResult RoundExecutor::run_round_impl(std::span<const double> x,
   sim::Time cancel_time = 0.0;  // when cancelled workers stop computing
 
   if (!timeout_collection) {
-    // Conventional collection: the fastest quorum full partitions win;
-    // everyone else is cancelled when the quorum-th response arrives.
-    const std::size_t qth = by_response[q - 1];
+    // Conventional collection: the fastest responders win; everyone else
+    // is cancelled when the last collected response arrives. The count is
+    // the fixed collection quorum for the classic strategies; threshold
+    // strategies (LT) grow it through the collection_count hook until
+    // their decode closes — with the default hook this is bitwise the
+    // historical fastest-quorum path.
+    const std::size_t collect = collection_count(by_response, finite);
+    S2C2_CHECK(collect >= 1 && collect <= finite,
+               "collection_count outside the responder range");
+    const std::size_t qth = by_response[collect - 1];
     coverage_time = timing[qth].response;
     cancel_time = coverage_time;
-    for (std::size_t i = 0; i < q; ++i) used[by_response[i]] = true;
+    for (std::size_t i = 0; i < collect; ++i) used[by_response[i]] = true;
     for (std::size_t c = 0; c < alloc.chunks_per_partition; ++c) {
-      for (std::size_t i = 0; i < q; ++i) {
+      for (std::size_t i = 0; i < collect; ++i) {
         final_chunk_workers[c].push_back(by_response[i]);
       }
       std::sort(final_chunk_workers[c].begin(), final_chunk_workers[c].end());

@@ -132,6 +132,20 @@ class RoundExecutor : public StrategyEngine {
   [[nodiscard]] virtual sched::Allocation allocate(
       std::span<const double> speeds) const;
 
+  // ---- collection hook --------------------------------------------------
+  /// Conventional-collection stopping rule: how many of the fastest
+  /// responders the master waits for before cancelling the rest. The
+  /// default is the fixed collection_quorum(); strategies whose decode
+  /// quorum is not a worker count override it (the LT engine stops on
+  /// accumulated coded *symbols*, extending past its minimum responder
+  /// count until the peel plan closes). Must return a count in
+  /// [1, finite] or throw the strategy's quorum-failure error.
+  /// `by_response` holds the workers with assigned work ordered by
+  /// response time; only the first `finite` ever respond. Not consulted
+  /// on the §4.3 timeout path (recovery strategies collect by deadline).
+  [[nodiscard]] virtual std::size_t collection_count(
+      std::span<const std::size_t> by_response, std::size_t finite) const;
+
   // ---- recovery policy --------------------------------------------------
   /// True: a recovery worker dying mid-reassignment books its partial
   /// progress as waste and its chunks re-plan among survivors in the next
@@ -175,6 +189,9 @@ class RoundExecutor : public StrategyEngine {
 
   [[nodiscard]] double timeout_factor() const noexcept {
     return timeout_factor_;
+  }
+  [[nodiscard]] double straggler_threshold() const noexcept {
+    return straggler_threshold_;
   }
   [[nodiscard]] std::size_t chunks_per_partition() const noexcept {
     return chunks_per_partition_;

@@ -29,6 +29,10 @@ const char* strategy_name(StrategyKind s) {
       return "replication";
     case StrategyKind::kOverDecomp:
       return "overdecomp";
+    case StrategyKind::kLt:
+      return "lt";
+    case StrategyKind::kAgc:
+      return "agc";
   }
   return "unknown";
 }
@@ -44,7 +48,8 @@ std::vector<StrategyKind> all_strategy_kinds() {
   return {StrategyKind::kS2C2,        StrategyKind::kS2C2Basic,
           StrategyKind::kMds,         StrategyKind::kPoly,
           StrategyKind::kPolyConventional, StrategyKind::kReplication,
-          StrategyKind::kOverDecomp};
+          StrategyKind::kOverDecomp,  StrategyKind::kLt,
+          StrategyKind::kAgc};
 }
 
 bool strategy_uses_predictions(StrategyKind s) {
@@ -53,10 +58,12 @@ bool strategy_uses_predictions(StrategyKind s) {
     case StrategyKind::kS2C2Basic:
     case StrategyKind::kPoly:
     case StrategyKind::kOverDecomp:
+    case StrategyKind::kAgc:
       return true;
     case StrategyKind::kMds:
     case StrategyKind::kPolyConventional:
     case StrategyKind::kReplication:
+    case StrategyKind::kLt:
       return false;
   }
   return false;
@@ -69,6 +76,8 @@ bool strategy_is_coded(StrategyKind s) {
     case StrategyKind::kMds:
     case StrategyKind::kPoly:
     case StrategyKind::kPolyConventional:
+    case StrategyKind::kLt:
+    case StrategyKind::kAgc:
       return true;
     case StrategyKind::kReplication:
     case StrategyKind::kOverDecomp:
@@ -82,11 +91,13 @@ bool strategy_uses_recovery(StrategyKind s) {
     case StrategyKind::kS2C2:
     case StrategyKind::kS2C2Basic:
     case StrategyKind::kPoly:
+    case StrategyKind::kAgc:
       return true;
     case StrategyKind::kMds:
     case StrategyKind::kPolyConventional:
     case StrategyKind::kReplication:
     case StrategyKind::kOverDecomp:
+    case StrategyKind::kLt:
       return false;
   }
   return false;
@@ -94,8 +105,26 @@ bool strategy_uses_recovery(StrategyKind s) {
 
 bool strategy_tolerates_byzantine(StrategyKind s) {
   // Redundant coded responses are what the residual check verifies
-  // against, so tolerance coincides with being coded.
-  return strategy_is_coded(s);
+  // against — but the rateless code stops at a bare symbol threshold
+  // with no over-provisioned verification margin, so it opts out.
+  return strategy_is_coded(s) && s != StrategyKind::kLt;
+}
+
+bool strategy_supports_block_rounds(StrategyKind s) {
+  switch (s) {
+    case StrategyKind::kS2C2:
+    case StrategyKind::kS2C2Basic:
+    case StrategyKind::kMds:
+    case StrategyKind::kReplication:
+    case StrategyKind::kOverDecomp:
+    case StrategyKind::kLt:
+    case StrategyKind::kAgc:
+      return true;
+    case StrategyKind::kPoly:
+    case StrategyKind::kPolyConventional:
+      return false;
+  }
+  return false;
 }
 
 double decode_flops(std::size_t k, std::size_t values, std::size_t groups) {

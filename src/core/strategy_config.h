@@ -67,6 +67,10 @@ enum class StrategyKind {
   kPolyConventional,  // polynomial code, fastest-a² collection
   kReplication,       // uncoded r-replication + LATE speculation (§7.1)
   kOverDecomp,        // over-decomposition + predicted balancing (§7.2)
+  kLt,                // rateless LT code, symbol-threshold collection
+                      // (Mallick et al., PAPERS.md)
+  kAgc,               // adaptive gradient coding: per-round redundancy
+                      // from predicted speeds (Cao et al., PAPERS.md)
 };
 
 /// Canonical short name ("s2c2", "mds", "poly", ... ) — the spelling CLIs
@@ -96,11 +100,19 @@ enum class StrategyKind {
 [[nodiscard]] bool strategy_uses_recovery(StrategyKind s);
 
 /// True when the strategy can detect and survive Byzantine (corrupted)
-/// responses: every coded strategy, by spending redundancy on the
-/// decode-residual check (docs/DESIGN.md §7). The uncoded baselines
-/// forward unverifiable products and fail deterministically under a
-/// ByzantineSpec.
+/// responses by spending redundancy on the decode-residual check
+/// (docs/DESIGN.md §7). The uncoded baselines forward unverifiable
+/// products and fail deterministically under a ByzantineSpec; the
+/// rateless `lt` strategy is coded but collects a bare symbol threshold
+/// with no over-provisioned verification pass, so it refuses Byzantine
+/// clusters too.
 [[nodiscard]] bool strategy_tolerates_byzantine(StrategyKind s);
+
+/// True when the engine implements the width-generic block data path
+/// (run_round_block with width > 1) — the serving layer's coalescing
+/// gate. The polynomial engines decode a bilinear form per RHS column
+/// and reject wider rounds.
+[[nodiscard]] bool strategy_supports_block_rounds(StrategyKind s);
 
 struct EngineConfig {
   /// Allocation/collection policy of the MDS-coded engine; one of

@@ -30,16 +30,19 @@ using util::fnv1a;
 using util::hex64;
 using util::mix64;
 
-/// Legacy axis id of a job strategy — the wire format job fingerprints
-/// are built from ({s2c2, mds, replication, overdecomp} = 0..3). It
-/// predates the unified StrategyKind and is pinned by the golden
-/// fingerprints in tests/fingerprint_guard_test.cpp; never renumber.
+/// Axis id of a job strategy — the wire format job fingerprints are
+/// built from. {s2c2, mds, replication, overdecomp} = 0..3 is the legacy
+/// PR 5 mapping (it predates the unified StrategyKind) and is pinned by
+/// the golden fingerprints in tests/fingerprint_guard_test.cpp; the
+/// registry additions took the next free ids. Never renumber.
 std::uint64_t strategy_axis_id(core::StrategyKind s) {
   switch (s) {
     case core::StrategyKind::kS2C2: return 0;
     case core::StrategyKind::kMds: return 1;
     case core::StrategyKind::kReplication: return 2;
     case core::StrategyKind::kOverDecomp: return 3;
+    case core::StrategyKind::kLt: return 4;
+    case core::StrategyKind::kAgc: return 5;
     default:
       throw std::invalid_argument(
           std::string("strategy is not a job-driver axis: ") +
@@ -125,6 +128,9 @@ std::unique_ptr<StrategyChannel> make_channel(
   params.k = config.effective_k();
   params.chunks_per_partition = config.chunks_per_partition;
   params.replication.placement_seed = mix64(placement_salt ^ 0x91ace3e9ull);
+  // LT symbol-graph seed, salted like replication placement (only the lt
+  // factory reads it) — every shard of a job sees the identical code.
+  params.code_seed = mix64(placement_salt ^ 0x17c0deull);
   // Health-informed prediction only on the robustness traces: the scale
   // hook changes allocations, and the default-grid traces are pinned by
   // the JobSuite golden fingerprint.
@@ -135,9 +141,10 @@ std::unique_ptr<StrategyChannel> make_channel(
     bundle = make_column_predictor(sc, column, config.trace);
     params.oracle_speeds = bundle.oracle();
     params.predictor = std::move(bundle.predictor);
-  } else if (config.strategy == core::StrategyKind::kMds) {
-    // Conventional MDS allocates everyone a full partition; speeds only
-    // feed its misprediction telemetry, so it reads the oracle.
+  } else if (core::strategy_is_coded(config.strategy)) {
+    // The prediction-blind coded strategies (mds, lt) allocate everyone a
+    // full partition; speeds only feed their misprediction telemetry, so
+    // they read the oracle.
     params.oracle_speeds = true;
   }
   return std::make_unique<StrategyChannel>(
@@ -470,6 +477,12 @@ std::vector<StrategyKind> all_job_strategies() {
           StrategyKind::kOverDecomp};
 }
 
+std::vector<StrategyKind> extended_job_strategies() {
+  std::vector<StrategyKind> out = all_job_strategies();
+  out.insert(out.end(), {StrategyKind::kLt, StrategyKind::kAgc});
+  return out;
+}
+
 WorkloadKind job_trace_column(JobApp a) {
   switch (a) {
     case JobApp::kLogReg: return WorkloadKind::kLogisticRegression;
@@ -556,8 +569,9 @@ JobResult run_job(const JobConfig& config) {
     throw std::invalid_argument("job driver needs >= 2 workers");
   }
   // Validate the strategy axis up front: the unified StrategyKind makes
-  // every kind type-legal here, but only the four driver strategies have
-  // job semantics — fail with the axis error, not a deep engine REQUIRE.
+  // every kind type-legal here, but only the driver strategies (the
+  // default four plus lt/agc) have job semantics — fail with the axis
+  // error, not a deep engine REQUIRE.
   (void)strategy_axis_id(config.strategy);
   JobResult result = identity_result(config);
 

@@ -52,8 +52,12 @@ enum class JobApp {
 /// The driver's strategy axis: {kS2C2, kMds, kReplication, kOverDecomp}
 /// (naming/parsing and the prediction-use predicate live in core —
 /// core::strategy_name / core::strategy_uses_predictions; strategies that
-/// ignore predictions record kOracle in the result).
+/// ignore predictions record kOracle in the result). The default grid is
+/// pinned by the JobSuite golden fingerprint and must never grow; the
+/// registry additions live in extended_job_strategies().
 [[nodiscard]] std::vector<StrategyKind> all_job_strategies();
+/// Every kind run_job accepts: the default four plus {kLt, kAgc}.
+[[nodiscard]] std::vector<StrategyKind> extended_job_strategies();
 
 /// Workload column an app shares traces/operators with. The first three
 /// apps map to their scenario-matrix namesakes; graph filtering reuses the

@@ -24,23 +24,6 @@ using util::fnv1a;
 using util::hex64;
 using util::mix64;
 
-/// Legacy axis id of a matrix engine — the wire format cell seeds and
-/// cell fingerprints are built from. It predates the unified StrategyKind
-/// (whose enum values must stay free to grow) and is pinned by the golden
-/// fingerprints in tests/fingerprint_guard_test.cpp; never renumber.
-std::uint64_t engine_axis_id(StrategyKind e) {
-  switch (e) {
-    case StrategyKind::kS2C2: return 0;
-    case StrategyKind::kReplication: return 1;
-    case StrategyKind::kPoly: return 2;
-    case StrategyKind::kOverDecomp: return 3;
-    default:
-      throw std::invalid_argument(
-          std::string("strategy is not a scenario-matrix engine axis: ") +
-          core::strategy_name(e));
-  }
-}
-
 /// Rounds `d` down to a multiple of `a` (polynomial codes need d % a == 0),
 /// clamping up to `a` when d < a so degenerate shapes still yield one block.
 std::size_t round_to_blocks(std::size_t d, std::size_t a) {
@@ -197,6 +180,28 @@ std::shared_ptr<const predict::Lstm> trained_lstm(std::uint64_t salt,
 
 }  // namespace
 
+std::uint64_t engine_axis_id(StrategyKind e) {
+  // Wire format: cell seeds and cell fingerprints hash this id, so the
+  // mapping is append-only. 0..3 are the legacy PR 5 engine axis (it
+  // predates the unified StrategyKind, whose enum values must stay free
+  // to grow) and are pinned by tests/fingerprint_guard_test.cpp; the
+  // registry additions took the next free ids. Never renumber.
+  switch (e) {
+    case StrategyKind::kS2C2: return 0;
+    case StrategyKind::kReplication: return 1;
+    case StrategyKind::kPoly: return 2;
+    case StrategyKind::kOverDecomp: return 3;
+    case StrategyKind::kLt: return 4;
+    case StrategyKind::kAgc: return 5;
+    case StrategyKind::kS2C2Basic: return 6;
+    case StrategyKind::kMds: return 7;
+    case StrategyKind::kPolyConventional: return 8;
+  }
+  throw std::invalid_argument(
+      std::string("strategy is not a scenario-matrix engine axis: ") +
+      core::strategy_name(e));
+}
+
 ColumnPredictor make_column_predictor(const ScenarioConfig& config,
                                       WorkloadKind w, TraceProfile t) {
   ColumnPredictor b;
@@ -257,6 +262,17 @@ const char* predictor_name(PredictorKind p) {
 std::vector<StrategyKind> all_engines() {
   return {StrategyKind::kS2C2, StrategyKind::kReplication, StrategyKind::kPoly,
           StrategyKind::kOverDecomp};
+}
+
+std::vector<StrategyKind> extended_engines() {
+  // Legacy four in their wire order, then the registry additions in enum
+  // order. Every kind here must be runnable through run_cell.
+  std::vector<StrategyKind> out = all_engines();
+  out.insert(out.end(),
+             {StrategyKind::kS2C2Basic, StrategyKind::kMds,
+              StrategyKind::kPolyConventional, StrategyKind::kLt,
+              StrategyKind::kAgc});
+  return out;
 }
 
 std::vector<WorkloadKind> all_workloads() {
@@ -554,12 +570,18 @@ CellResult run_cell_impl(const ScenarioConfig& config, const WorkloadShape& s,
     bundle = make_column_predictor(config, cell.workload, cell.trace);
     params.oracle_speeds = bundle.oracle();
     params.predictor = std::move(bundle.predictor);
+  } else if (core::strategy_is_coded(e)) {
+    // Prediction-blind coded strategies (mds, poly-conventional, lt)
+    // allocate without forecasts; speeds only feed their misprediction
+    // telemetry, so they read the oracle (the job driver's rule).
+    params.oracle_speeds = true;
   }
 
   // Cell-local operators and truths; params borrow pointers, so these
   // must outlive the engine below. Only coded cells with a decode verify
-  // (the S2C2 engine everywhere, poly on the Hessian workload); the
-  // uncoded baselines have nothing to decode and stay latency-shape-only.
+  // (the MDS-family/lt engines everywhere, poly on the Hessian workload);
+  // the uncoded baselines have nothing to decode and stay
+  // latency-shape-only.
   linalg::Matrix dense;
   linalg::CsrMatrix link;
   linalg::Vector x;
@@ -570,6 +592,16 @@ CellResult run_cell_impl(const ScenarioConfig& config, const WorkloadShape& s,
 
   switch (e) {
     case StrategyKind::kS2C2:
+    case StrategyKind::kS2C2Basic:
+    case StrategyKind::kMds:
+    case StrategyKind::kAgc:
+    case StrategyKind::kLt:
+      // The MDS family and the LT engine share one operator setup; LT
+      // additionally salts its symbol graph per cell, mirroring how
+      // replication salts its placement.
+      if (e == StrategyKind::kLt) {
+        params.code_seed = mix64(salt ^ 0x17c0deull);
+      }
       if (config.functional) {
         util::Rng op_rng(mix64(salt ^ 0x0be7a70ull));
         x.resize(s.cols);
@@ -590,7 +622,8 @@ CellResult run_cell_impl(const ScenarioConfig& config, const WorkloadShape& s,
         params.cols = s.cols;
       }
       break;
-    case StrategyKind::kPoly: {
+    case StrategyKind::kPoly:
+    case StrategyKind::kPolyConventional: {
       const std::size_t d = round_to_blocks(s.cols, s.a_blocks);
       const std::size_t out_rows = d / s.a_blocks;
       params.chunks_per_partition = std::min(
@@ -618,10 +651,6 @@ CellResult run_cell_impl(const ScenarioConfig& config, const WorkloadShape& s,
       params.rows = s.rows;
       params.cols = s.cols;
       break;
-    default:
-      throw std::invalid_argument(
-          std::string("strategy is not a scenario-matrix engine axis: ") +
-          core::strategy_name(e));
   }
 
   const std::unique_ptr<core::StrategyEngine> engine =

@@ -88,8 +88,18 @@ enum class PredictorKind {
 
 /// The matrix's engine axis: the four paper strategy families. Prediction
 /// use (core::strategy_uses_predictions) decides which of them the
-/// predictor axis multiplies; the others run once per column.
+/// predictor axis multiplies; the others run once per column. This list
+/// drives the default sweep whose fingerprints are golden-pinned, so it
+/// must never grow — new kinds live in extended_engines().
 [[nodiscard]] std::vector<StrategyKind> all_engines();
+/// Every kind the matrix can run as a cell: the four paper families plus
+/// the registry additions (s2c2-basic, mds, poly-conventional, lt, agc).
+/// CLI parsing and the conformance suite iterate this list.
+[[nodiscard]] std::vector<StrategyKind> extended_engines();
+/// Wire-format axis id of a matrix engine — feeds cell seeds and cell
+/// fingerprints. The legacy four are pinned at 0..3 by the PR 5 golden
+/// fingerprints; later kinds append new ids and NEVER renumber old ones.
+[[nodiscard]] std::uint64_t engine_axis_id(StrategyKind e);
 [[nodiscard]] std::vector<WorkloadKind> all_workloads();
 /// The original four profiles only — this list drives the default sweep
 /// whose fingerprints are golden-pinned, so it must never grow.

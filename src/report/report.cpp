@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "src/core/engine_factory.h"
+
 namespace s2c2::report {
 
 namespace {
@@ -76,6 +78,24 @@ void write_file(const std::string& path, const std::string& content) {
   std::ofstream out(path, std::ios::binary);
   if (!out) throw std::runtime_error("cannot write " + path);
   out << content;
+}
+
+bool contains(const std::vector<StrategyKind>& v, StrategyKind s) {
+  for (const StrategyKind k : v) {
+    if (k == s) return true;
+  }
+  return false;
+}
+
+/// "default" when the kind is on the golden-pinned default axis,
+/// "extended" when only the widened axis runs it, "-" when the surface
+/// cannot run it at all.
+std::string axis_membership(StrategyKind s,
+                            const std::vector<StrategyKind>& defaults,
+                            const std::vector<StrategyKind>& extended) {
+  if (contains(defaults, s)) return "default";
+  if (contains(extended, s)) return "extended";
+  return "-";
 }
 
 }  // namespace
@@ -214,6 +234,30 @@ std::string predictor_sensitivity_csv(const harness::MatrixResult& matrix) {
   return csv;
 }
 
+std::string strategy_table_markdown() {
+  const auto mark = [](bool b) { return b ? "yes" : "no"; };
+  const auto matrix_defaults = harness::all_engines();
+  const auto matrix_extended = harness::extended_engines();
+  const auto job_defaults = harness::all_job_strategies();
+  const auto job_extended = harness::extended_job_strategies();
+  std::string md;
+  md +=
+      "| strategy | coded | predictions | §4.3 recovery | block rounds | "
+      "byzantine-tolerant | matrix axis | job axis |\n"
+      "|---|---|---|---|---|---|---|---|\n";
+  for (const StrategyKind s : core::registered_strategies()) {
+    append(md, {"| `", core::strategy_name(s), "` | ",
+                mark(core::strategy_is_coded(s)), " | ",
+                mark(core::strategy_uses_predictions(s)), " | ",
+                mark(core::strategy_uses_recovery(s)), " | ",
+                mark(core::strategy_supports_block_rounds(s)), " | ",
+                mark(core::strategy_tolerates_byzantine(s)), " | ",
+                axis_membership(s, matrix_defaults, matrix_extended), " | ",
+                axis_membership(s, job_defaults, job_extended), " |\n"});
+  }
+  return md;
+}
+
 std::string reproduction_markdown(const ReportInputs& inputs) {
   const JobSuiteResult& suite = inputs.suite;
   const harness::JobConfig& base = suite.base;
@@ -243,6 +287,16 @@ std::string reproduction_markdown(const ReportInputs& inputs) {
         std::to_string(inputs.predictor_matrix.cells.size()) +
         " cells, fingerprint `" + inputs.predictor_matrix.fingerprint() +
         "`\n\n";
+
+  md += "## Strategy registry\n\n";
+  md +=
+      "Generated from `core::registered_strategies()` and the capability "
+      "predicates in `src/core/strategy_config.h` — one row per strategy "
+      "constructible through `core::make_engine`. \"default\" axes are "
+      "golden-pinned sweeps; \"extended\" kinds run via `--axis engines=`/"
+      "`--strategy` (scenario matrix) or an explicit job grid.\n\n";
+  md += strategy_table_markdown();
+  md += "\n";
 
   md += "## Figure-by-figure mapping\n\n";
   md +=

@@ -37,6 +37,12 @@ constexpr char kJobSuiteGolden[] = "16e232dec5ebdda4";
 // health_min_ttf), so this golden additionally guards the detection and
 // telemetry pipelines — and the uncoded baselines' deterministic failures.
 constexpr char kRobustnessSliceGolden[] = "3fddcc5fa8ba4a99";
+// Pinned at PR 8 (rateless-LT + adaptive gradient coding), seed 42: the
+// new kinds got NEW engine-axis ids (lt=4, agc=5) rather than renumbering
+// the legacy wire ids, so this golden guards the new engines' full
+// functional path (threshold collection, peel decode, per-round
+// redundancy) while the PR 5/6 goldens above must stay byte-identical.
+constexpr char kLtAgcSliceGolden[] = "21727bca44e20aec";
 
 harness::ScenarioConfig base_config() {
   harness::ScenarioConfig cfg;  // workers 12, k n-2, rounds 6, seed 42
@@ -83,6 +89,30 @@ TEST(FingerprintGuard, RobustnessSliceMatrix) {
       harness::run_matrix(base_config(), axes, {.jobs = 4});
   EXPECT_EQ(serial.fingerprint(), pooled.fingerprint());
   EXPECT_EQ(serial.fingerprint(), kRobustnessSliceGolden);
+}
+
+// The {lt, agc} functional slice over a dense and a sparse workload on
+// the original controlled/volatile traces: threshold collection and the
+// peel decoder (lt) plus predicted-straggler redundancy (agc), end to end
+// with verified decodes.
+TEST(FingerprintGuard, LtAgcSliceMatrix) {
+  harness::ScenarioConfig cfg = base_config();
+  cfg.functional = true;
+  const std::vector<harness::StrategyKind> engines = {
+      harness::StrategyKind::kLt, harness::StrategyKind::kAgc};
+  const std::vector<harness::WorkloadKind> workloads = {
+      harness::WorkloadKind::kLogisticRegression,
+      harness::WorkloadKind::kPageRank};
+  const std::vector<harness::TraceProfile> traces = {
+      harness::TraceProfile::kControlledStragglers,
+      harness::TraceProfile::kVolatileCloud};
+  const auto m = harness::run_scenario_matrix(cfg, engines, workloads, traces);
+  for (const auto& cell : m.cells) {
+    EXPECT_FALSE(cell.failed) << cell.error;
+    EXPECT_TRUE(cell.decode_checked);
+    EXPECT_LT(cell.max_decode_error, 1e-9);
+  }
+  EXPECT_EQ(m.fingerprint(), kLtAgcSliceGolden);
 }
 
 // The full default job-driver suite (4 apps x 4 strategies x

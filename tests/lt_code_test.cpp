@@ -1,0 +1,189 @@
+// LT/peeling decoder tests (coding/lt_code.h): decode correctness against
+// the encoded ground truth over ~100 seeded geometry draws — including
+// plans that stall peeling and take the dense-LU inactivation fallback —
+// plus the determinism and threshold-geometry contracts the lt engine and
+// its DecodeContext backend lean on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "src/coding/lt_code.h"
+#include "src/util/hash.h"
+#include "src/util/rng.h"
+
+namespace s2c2::coding {
+namespace {
+
+/// Source budget the lt engine uses: a quorum-worth of symbols deflated by
+/// the decode overhead, so min_workers() stays ~ k.
+std::size_t source_budget(std::size_t k, std::size_t c, double overhead) {
+  return std::max<std::size_t>(
+      2, static_cast<std::size_t>(static_cast<double>(k * c) /
+                                  (1.0 + overhead)));
+}
+
+/// Encodes `x` (sources * v values, row-major blocks) into the workers'
+/// symbol batches in the collection order the engine uses (responder-major,
+/// chunk-minor): symbol value = sum of its neighbor source blocks.
+std::vector<double> encode(const LtCode& code,
+                           std::span<const std::size_t> workers,
+                           std::span<const double> x, std::size_t v) {
+  std::vector<double> symbols;
+  symbols.reserve(workers.size() * code.chunks_per_worker() * v);
+  for (const std::size_t w : workers) {
+    for (std::size_t j = 0; j < code.chunks_per_worker(); ++j) {
+      const std::size_t begin = symbols.size();
+      symbols.resize(begin + v, 0.0);
+      for (const std::uint32_t b : code.neighbors(code.symbol_id(w, j))) {
+        for (std::size_t i = 0; i < v; ++i) {
+          symbols[begin + i] += x[static_cast<std::size_t>(b) * v + i];
+        }
+      }
+    }
+  }
+  return symbols;
+}
+
+/// Smallest decodable responder prefix of `order` (the engine's stopping
+/// rule); empty when even the full set cannot decode.
+std::vector<std::size_t> decodable_prefix(const LtCode& code,
+                                          std::span<const std::size_t> order) {
+  for (std::size_t count = code.min_workers(); count <= order.size();
+       ++count) {
+    std::vector<std::size_t> prefix(order.begin(),
+                                    order.begin() +
+                                        static_cast<std::ptrdiff_t>(count));
+    std::sort(prefix.begin(), prefix.end());
+    if (code.plan_for(prefix).decodable) return prefix;
+  }
+  return {};
+}
+
+TEST(LtCode, DecodeMatchesEncodedReferenceOverSeededDraws) {
+  // ~100 seeded draws over varying (n, chunks, sources, subset, RHS
+  // width): decode must reproduce the exact source blocks the symbols
+  // were encoded from (the dense-reference solution of the consistent
+  // full-rank system) to 1e-9. Counts how many plans finished by pure
+  // peeling vs the dense-LU stalled-tail fallback — both paths must be
+  // exercised, or the fallback would be dead code riding on luck.
+  std::size_t decoded = 0;
+  std::size_t peel_only = 0;
+  std::size_t fallback = 0;
+  for (std::uint64_t seed = 0; seed < 100; ++seed) {
+    util::Rng rng(util::mix64(seed ^ 0x17c0de7e57ull));
+    const std::size_t n = 6 + seed % 7;   // 6..12 workers
+    const std::size_t c = 4 + seed % 5;   // 4..8 symbols per worker
+    const std::size_t k = n - 2;
+    const LtCode code(n, c, source_budget(k, c, 0.08), 0x5eedull + seed);
+
+    // Random responder arrival order; decode from the smallest decodable
+    // prefix, so minimal (stall-prone) symbol sets are the common case.
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    rng.shuffle(order);
+    const std::vector<std::size_t> workers = decodable_prefix(code, order);
+    if (workers.empty()) continue;  // counted via the EXPECT below
+
+    const LtPeelPlan plan = code.plan_for(workers);
+    ASSERT_TRUE(plan.decodable);
+    const std::size_t v = 1 + seed % 3;  // RHS width 1..3
+    std::vector<double> x(code.sources() * v);
+    for (auto& val : x) val = rng.normal();
+    const std::vector<double> symbols = encode(code, workers, x, v);
+    ASSERT_EQ(symbols.size(), plan.rows * v);
+
+    std::vector<double> out(code.sources() * v, 0.0);
+    code.decode(plan, symbols, v, out);
+    double max_err = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      max_err = std::max(max_err, std::abs(out[i] - x[i]));
+    }
+    EXPECT_LT(max_err, 1e-9) << "seed " << seed;
+    ++decoded;
+    (plan.tail_size() > 0 ? fallback : peel_only) += 1;
+  }
+  // The threshold budget makes full-fleet decode failure an extreme
+  // outlier; nearly every draw must decode, by both schedule shapes.
+  EXPECT_GE(decoded, 95u);
+  EXPECT_GT(peel_only, 0u);
+  EXPECT_GT(fallback, 0u) << "no draw exercised the stalled-tail LU path";
+}
+
+TEST(LtCode, SymbolGraphIsAPureFunctionOfSeedAndSymbolId) {
+  const LtCode a(8, 6, 30, 0xabcdull);
+  const LtCode b(8, 6, 30, 0xabcdull);
+  const LtCode other(8, 6, 30, 0xabceull);
+  bool any_diff = false;
+  for (std::size_t s = 0; s < a.total_symbols(); ++s) {
+    const auto na = a.neighbors(s);
+    const auto nb = b.neighbors(s);
+    ASSERT_EQ(na.size(), nb.size());
+    EXPECT_TRUE(std::equal(na.begin(), na.end(), nb.begin()));
+    // Neighbors are ascending and distinct (the decode replay relies on
+    // a well-formed incidence structure).
+    EXPECT_GE(a.degree(s), 1u);
+    EXPECT_TRUE(std::is_sorted(na.begin(), na.end()));
+    EXPECT_EQ(std::set<std::uint32_t>(na.begin(), na.end()).size(),
+              na.size());
+    const auto no = other.neighbors(s);
+    any_diff = any_diff || no.size() != na.size() ||
+               !std::equal(na.begin(), na.end(), no.begin());
+  }
+  EXPECT_TRUE(any_diff) << "different seeds drew identical symbol graphs";
+}
+
+TEST(LtCode, ThresholdGeometryBoundsTheQuorum) {
+  for (const std::size_t n : {6u, 10u, 16u}) {
+    const std::size_t c = 6;
+    const std::size_t k = n - 2;
+    const LtCode code(n, c, source_budget(k, c, 0.08), 99);
+    // Threshold covers the sources with the configured overhead and stays
+    // reachable; min_workers is the matching whole-responder count, and
+    // the source deflation keeps it within the MDS quorum k.
+    EXPECT_GE(code.decode_threshold(), code.sources());
+    EXPECT_LE(code.decode_threshold(), code.total_symbols());
+    EXPECT_GE(code.min_workers() * c, code.decode_threshold());
+    EXPECT_LE(code.min_workers(), k);
+
+    // The information-theoretic floor: fewer collected symbols than
+    // sources can never decode, whatever the graph draw. (The threshold
+    // itself carries overhead slack, so min_workers - 1 responders may
+    // occasionally still close the peel — which is exactly why the
+    // engine's stopping rule asks plan_for instead of trusting the
+    // count alone.)
+    std::vector<std::size_t> few((code.sources() - 1) / c);
+    std::iota(few.begin(), few.end(), std::size_t{0});
+    EXPECT_FALSE(code.plan_for(few).decodable);
+  }
+}
+
+TEST(LtCode, PlanIsStructurallyConsistent) {
+  const LtCode code(10, 6, source_budget(8, 6, 0.08), 0xfeedull);
+  std::vector<std::size_t> workers(code.n());
+  std::iota(workers.begin(), workers.end(), std::size_t{0});
+  const LtPeelPlan plan = code.plan_for(workers);
+  ASSERT_TRUE(plan.decodable);
+  EXPECT_EQ(plan.rows, code.total_symbols());
+  EXPECT_EQ(plan.row_symbol.size(), plan.rows);
+  // Every source is resolved exactly once: by a peel step or the tail.
+  std::vector<std::size_t> resolved(code.sources(), 0);
+  for (const auto& [row, src] : plan.steps) {
+    ASSERT_LT(row, plan.rows);
+    resolved[src] += 1;
+  }
+  for (const std::uint32_t src : plan.fallback_sources) resolved[src] += 1;
+  for (std::size_t s = 0; s < code.sources(); ++s) {
+    EXPECT_EQ(resolved[s], 1u) << "source " << s;
+  }
+  // Edge count matches the collected rows' degrees (the cost model's E).
+  std::size_t edges = 0;
+  for (const std::uint32_t sym : plan.row_symbol) edges += code.degree(sym);
+  EXPECT_EQ(plan.edges, edges);
+}
+
+}  // namespace
+}  // namespace s2c2::coding

@@ -52,6 +52,19 @@ TEST(StrategyKind, CapabilityPredicates) {
   EXPECT_TRUE(strategy_uses_recovery(StrategyKind::kPoly));
   EXPECT_FALSE(strategy_uses_recovery(StrategyKind::kMds));
   EXPECT_FALSE(strategy_uses_recovery(StrategyKind::kReplication));
+  // The registry additions: lt is coded but prediction-blind (the code's
+  // redundancy absorbs stragglers) and opts out of both §4.3 recovery and
+  // byzantine verification; agc is a prediction-driven MDS variant.
+  EXPECT_TRUE(strategy_is_coded(StrategyKind::kLt));
+  EXPECT_FALSE(strategy_uses_predictions(StrategyKind::kLt));
+  EXPECT_FALSE(strategy_uses_recovery(StrategyKind::kLt));
+  EXPECT_FALSE(strategy_tolerates_byzantine(StrategyKind::kLt));
+  EXPECT_TRUE(strategy_is_coded(StrategyKind::kAgc));
+  EXPECT_TRUE(strategy_uses_predictions(StrategyKind::kAgc));
+  EXPECT_TRUE(strategy_uses_recovery(StrategyKind::kAgc));
+  // Block-round support gates the serving layer's multi-RHS batching.
+  EXPECT_TRUE(strategy_supports_block_rounds(StrategyKind::kLt));
+  EXPECT_FALSE(strategy_supports_block_rounds(StrategyKind::kPoly));
 }
 
 EngineParams cost_only_params(std::size_t n, std::size_t rows,
@@ -85,11 +98,11 @@ TEST(EngineFactory, RegisteredStrategiesCoverAllBuiltins) {
 }
 
 TEST(EngineFactory, PolymorphicRoundsAdvanceEveryEngineClock) {
-  // The four matrix families driven through the base interface only —
-  // the contract the harness, job driver, and CLIs rely on.
-  for (const StrategyKind k :
-       {StrategyKind::kS2C2, StrategyKind::kMds, StrategyKind::kPoly,
-        StrategyKind::kReplication, StrategyKind::kOverDecomp}) {
+  // Every registered strategy driven through the base interface only —
+  // the contract the harness, job driver, and CLIs rely on. Iterating
+  // registered_strategies() (not a hand list) means a newly registered
+  // kind is under contract the day it lands.
+  for (const StrategyKind k : registered_strategies()) {
     const std::unique_ptr<StrategyEngine> engine =
         make_engine(k, cost_only_params(12, 1200, 120));
     const auto rounds = engine->run_rounds(3);
@@ -106,15 +119,18 @@ TEST(EngineFactory, PolymorphicRoundsAdvanceEveryEngineClock) {
 
 TEST(EngineFactory, FunctionalDecodeThroughTheBaseInterface) {
   // Dense functional operator through each matvec strategy: coded decodes
-  // and uncoded exact forwards must agree with the direct product.
+  // and uncoded exact forwards must agree with the direct product. The
+  // poly family is skipped — its functional product is Hessian-shaped
+  // (covered in poly_engine_test), not a matvec y.
   util::Rng rng(5);
   const auto a = linalg::Matrix::random_uniform(120, 24, rng);
   linalg::Vector x(24);
   for (auto& v : x) v = rng.normal();
   const linalg::Vector truth = a.matvec(x);
-  for (const StrategyKind k :
-       {StrategyKind::kS2C2, StrategyKind::kMds, StrategyKind::kReplication,
-        StrategyKind::kOverDecomp}) {
+  for (const StrategyKind k : registered_strategies()) {
+    if (k == StrategyKind::kPoly || k == StrategyKind::kPolyConventional) {
+      continue;
+    }
     EngineParams p = cost_only_params(12, 0, 0);
     p.dense = &a;
     const auto engine = make_engine(k, std::move(p));
