@@ -7,6 +7,10 @@
 
 namespace s2c2::coding {
 
+namespace {
+constexpr std::size_t npos = static_cast<std::size_t>(-1);
+}  // namespace
+
 ChunkedDecoder::ChunkedDecoder(const GeneratorMatrix& generator,
                                std::size_t rows_per_partition,
                                std::size_t num_chunks, std::size_t width,
@@ -18,6 +22,7 @@ ChunkedDecoder::ChunkedDecoder(const GeneratorMatrix& generator,
   S2C2_REQUIRE(width > 0, "width must be positive");
   rows_per_chunk_ = rows_per_partition / num_chunks;
   results_.resize(num_chunks_);
+  staged_.assign(generator_.n() * num_chunks_, 0);
   if (context) {
     context_ = context;
   } else {
@@ -26,17 +31,24 @@ ChunkedDecoder::ChunkedDecoder(const GeneratorMatrix& generator,
   }
 }
 
-void ChunkedDecoder::add_chunk_result(std::size_t worker, std::size_t chunk,
-                                      std::vector<double> values) {
+std::span<double> ChunkedDecoder::stage_chunk(std::size_t worker,
+                                              std::size_t chunk) {
   S2C2_REQUIRE(worker < generator_.n(), "worker index out of range");
   S2C2_REQUIRE(chunk < num_chunks_, "chunk index out of range");
-  S2C2_REQUIRE(values.size() == rows_per_chunk_ * width_,
+  std::uint8_t& flag = staged_[chunk * generator_.n() + worker];
+  if (flag) return {};  // idempotent on duplicates
+  flag = 1;
+  const std::span<double> values = arena_.alloc_span<double>(chunk_values());
+  results_[chunk].emplace_back(worker, values.data());
+  return values;
+}
+
+void ChunkedDecoder::add_chunk_result(std::size_t worker, std::size_t chunk,
+                                      std::span<const double> values) {
+  S2C2_REQUIRE(values.size() == chunk_values(),
                "chunk result has wrong size");
-  auto& slot = results_[chunk];
-  for (const auto& [w, _] : slot) {
-    if (w == worker) return;  // idempotent on duplicates
-  }
-  slot.emplace_back(worker, std::move(values));
+  const std::span<double> dst = stage_chunk(worker, chunk);
+  if (!dst.empty()) std::copy(values.begin(), values.end(), dst.begin());
 }
 
 bool ChunkedDecoder::decodable() const {
@@ -63,48 +75,59 @@ std::vector<std::size_t> ChunkedDecoder::responders(std::size_t chunk) const {
 }
 
 linalg::Matrix ChunkedDecoder::decode() {
+  linalg::Matrix out;
+  decode_into(out);
+  return out;
+}
+
+void ChunkedDecoder::decode_into(linalg::Matrix& out) {
   const std::size_t k = generator_.k();
   S2C2_CHECK(decodable(), "decode() called before coverage reached k");
-  linalg::Matrix out(k * rows_per_chunk_ * num_chunks_, width_);
+  out.resize(k * rows_per_chunk_ * num_chunks_, width_);
   const std::size_t chunk_cols = rows_per_chunk_ * width_;
 
   // Per-chunk decode subsets: the first k responders (arrival order),
   // sorted so identical membership yields an identical cache key.
-  std::vector<std::vector<std::size_t>> keys(num_chunks_);
+  keys_.resize(num_chunks_);
   for (std::size_t chunk = 0; chunk < num_chunks_; ++chunk) {
-    keys[chunk].resize(k);
+    keys_[chunk].resize(k);
     for (std::size_t j = 0; j < k; ++j) {
-      keys[chunk][j] = results_[chunk][j].first;
+      keys_[chunk][j] = results_[chunk][j].first;
     }
-    std::sort(keys[chunk].begin(), keys[chunk].end());
+    std::sort(keys_[chunk].begin(), keys_[chunk].end());
   }
 
   // Batched multi-RHS decode: consecutive chunks sharing a responder set
   // are one solve against the cached factorization — RHS row j carries
-  // worker key[j]'s values for every chunk of the run, side by side.
+  // worker key[j]'s values for every chunk of the run, side by side. The
+  // RHS is arena-backed: same lifetime as the staged chunk values, so a
+  // steady-state round stays off the heap.
   for (std::size_t begin = 0; begin < num_chunks_;) {
     std::size_t end = begin + 1;
-    while (end < num_chunks_ && keys[end] == keys[begin]) ++end;
-    const std::vector<std::size_t>& key = keys[begin];
+    while (end < num_chunks_ && keys_[end] == keys_[begin]) ++end;
+    const std::vector<std::size_t>& key = keys_[begin];
     const std::size_t group = end - begin;
 
-    linalg::Matrix rhs(k, group * chunk_cols);
+    const std::size_t rhs_cols = group * chunk_cols;
+    const std::span<double> rhs = arena_.alloc_span<double>(k * rhs_cols);
     for (std::size_t chunk = begin; chunk < end; ++chunk) {
       const auto& slot = results_[chunk];
+      // Index the chunk's first-k slot positions by worker id so the
+      // gather below is O(k), not an O(k) search per responder (the key is
+      // exactly those k workers, sorted).
+      slot_pos_.assign(generator_.n(), npos);
+      for (std::size_t j = 0; j < k; ++j) slot_pos_[slot[j].first] = j;
       for (std::size_t j = 0; j < k; ++j) {
-        const std::size_t worker = key[j];
-        const auto found = std::find_if(
-            slot.begin(), slot.end(),
-            [worker](const auto& p) { return p.first == worker; });
-        S2C2_CHECK(found != slot.end(), "responder disappeared");
-        std::copy(found->second.begin(), found->second.end(),
-                  rhs.mutable_data().begin() +
-                      static_cast<std::ptrdiff_t>(j * rhs.cols() +
+        const std::size_t pos = slot_pos_[key[j]];
+        S2C2_CHECK(pos != npos, "responder disappeared");
+        std::copy(slot[pos].second, slot[pos].second + chunk_cols,
+                  rhs.begin() +
+                      static_cast<std::ptrdiff_t>(j * rhs_cols +
                                                   (chunk - begin) *
                                                       chunk_cols));
       }
     }
-    context_->solve_inplace(key, rhs.mutable_data(), rhs.cols());
+    context_->solve_inplace(key, rhs, rhs_cols);
 
     // rhs row i now holds (A_i x) over the run's rows; scatter to output.
     for (std::size_t chunk = begin; chunk < end; ++chunk) {
@@ -114,14 +137,14 @@ linalg::Matrix ChunkedDecoder::decode() {
         for (std::size_t r = 0; r < rows_per_chunk_; ++r) {
           for (std::size_t c = 0; c < width_; ++c) {
             out(out_row0 + r, c) =
-                rhs(i, (chunk - begin) * chunk_cols + r * width_ + c);
+                rhs[i * rhs_cols + (chunk - begin) * chunk_cols + r * width_ +
+                    c];
           }
         }
       }
     }
     begin = end;
   }
-  return out;
 }
 
 ChunkVerification ChunkedDecoder::verify_chunks(double tolerance) {
@@ -138,7 +161,7 @@ ChunkVerification ChunkedDecoder::verify_chunks(double tolerance) {
   std::vector<std::size_t> subset;
   std::vector<double> rhs;
   const auto residual_excluding =
-      [&](const std::vector<std::pair<std::size_t, std::vector<double>>>& slot,
+      [&](const std::vector<std::pair<std::size_t, double*>>& slot,
           const std::vector<std::size_t>& excluded_pos) {
         subset.clear();
         for (const std::size_t pos : order) {
@@ -156,7 +179,7 @@ ChunkVerification ChunkedDecoder::verify_chunks(double tolerance) {
                 excluded_pos.end()) {
               continue;
             }
-            const std::vector<double>& values = slot[pos].second;
+            const double* values = slot[pos].second;
             for (std::size_t r = 0; r < rows_per_chunk_; ++r) {
               rhs.push_back(values[r * width_ + col]);
             }
@@ -249,6 +272,14 @@ ChunkVerification ChunkedDecoder::verify_chunks(double tolerance) {
 
 void ChunkedDecoder::reset() {
   for (auto& slot : results_) slot.clear();
+  staged_.assign(generator_.n() * num_chunks_, 0);
+  arena_.reset();
+}
+
+void ChunkedDecoder::reset(std::size_t width) {
+  S2C2_REQUIRE(width > 0, "width must be positive");
+  width_ = width;
+  reset();
 }
 
 }  // namespace s2c2::coding

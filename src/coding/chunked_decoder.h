@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <vector>
@@ -26,6 +27,7 @@
 #include "src/coding/decode_context.h"
 #include "src/coding/generator_matrix.h"
 #include "src/linalg/matrix.h"
+#include "src/util/arena.h"
 
 namespace s2c2::coding {
 
@@ -55,12 +57,24 @@ class ChunkedDecoder {
     return rows_per_chunk_;
   }
 
-  /// Registers worker `worker`'s computed values for chunk `chunk`:
-  /// rows_per_chunk x width row-major values. Duplicate (worker, chunk)
-  /// submissions are idempotent (later ones ignored) — reassigned work can
-  /// race the original under mis-prediction recovery.
+  /// Stages worker `worker`'s slot for chunk `chunk` and returns the
+  /// rows_per_chunk x width row-major span to write the values into —
+  /// arena-backed, so the round hot path computes straight into decoder
+  /// storage with no intermediate vector. Returns an empty span on a
+  /// duplicate (worker, chunk): submissions are idempotent — reassigned
+  /// work can race the original under mis-prediction recovery. The span
+  /// lives until the next reset().
+  [[nodiscard]] std::span<double> stage_chunk(std::size_t worker,
+                                              std::size_t chunk);
+
+  /// Copying registration: rows_per_chunk x width row-major values into a
+  /// staged slot (same idempotence as stage_chunk).
   void add_chunk_result(std::size_t worker, std::size_t chunk,
-                        std::vector<double> values);
+                        std::span<const double> values);
+  void add_chunk_result(std::size_t worker, std::size_t chunk,
+                        const std::vector<double>& values) {
+    add_chunk_result(worker, chunk, std::span<const double>(values));
+  }
 
   /// True once every chunk has results from >= k distinct workers.
   [[nodiscard]] bool decodable() const;
@@ -76,6 +90,12 @@ class ChunkedDecoder {
   /// Amortized O(k²) per responder set via the decode context; consecutive
   /// same-responder-set chunks share one batched multi-RHS solve.
   [[nodiscard]] linalg::Matrix decode();
+
+  /// Fill-style decode: identical result, but `out` is resized in place
+  /// (retaining capacity) and every intermediate — subset keys, the
+  /// batched RHS — lives in member scratch or the arena, so a warm
+  /// steady-state decode performs zero heap allocations.
+  void decode_into(linalg::Matrix& out);
 
   /// Byzantine verification-and-voting pass (docs/DESIGN.md §7): every
   /// chunk holding more than k results is residual-checked through the
@@ -98,18 +118,41 @@ class ChunkedDecoder {
   /// The context solves go through (owned or borrowed).
   [[nodiscard]] DecodeContext& context() noexcept { return *context_; }
 
+  /// Drops every staged result and rewinds the arena (retaining its
+  /// blocks); spans from stage_chunk are invalidated. The overload taking
+  /// `width` also re-shapes the decoder for a new RHS width, so one
+  /// persistent decoder serves every round of an engine regardless of the
+  /// round's block width.
   void reset();
+  void reset(std::size_t width);
 
  private:
+  [[nodiscard]] std::size_t chunk_values() const noexcept {
+    return rows_per_chunk_ * width_;
+  }
+
   const GeneratorMatrix& generator_;
   std::size_t rows_per_chunk_;
   std::size_t num_chunks_;
   std::size_t width_;
-  // per chunk: (worker, values) in arrival order.
-  std::vector<std::vector<std::pair<std::size_t, std::vector<double>>>>
-      results_;
+  // per chunk: (worker, values) in arrival order; values are
+  // rows_per_chunk x width row-major in arena_ storage.
+  std::vector<std::vector<std::pair<std::size_t, double*>>> results_;
+  util::Arena arena_;
   std::unique_ptr<DecodeContext> owned_context_;
   DecodeContext* context_;
+  // decode_into scratch (per-chunk subset keys), reused across rounds.
+  std::vector<std::vector<std::size_t>> keys_;
+  // (worker, chunk) staged flags, n x num_chunks: O(1) duplicate detection
+  // in stage_chunk instead of an O(responders) slot scan — at n = 1000
+  // that scan was the round loop's hottest non-kernel cost. Flags stay set
+  // when verify_chunks prunes a convicted responder, which is fine: no
+  // staging happens after verification within a round.
+  std::vector<std::uint8_t> staged_;
+  // decode_into scratch: worker id -> slot position for the chunk being
+  // gathered (sentinel npos when absent), replacing a per-responder linear
+  // slot search.
+  std::vector<std::size_t> slot_pos_;
 };
 
 }  // namespace s2c2::coding

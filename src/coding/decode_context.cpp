@@ -49,13 +49,11 @@ std::size_t DecodeContext::n() const noexcept {
   return eval_points_.size();
 }
 
-std::vector<std::uint64_t> DecodeContext::make_key(
-    std::span<const std::size_t> subset) const {
-  std::vector<std::uint64_t> key((n() + 63) / 64, 0);
+void DecodeContext::make_key(std::span<const std::size_t> subset) {
+  key_scratch_.assign((n() + 63) / 64, 0);
   for (const std::size_t w : subset) {
-    key[w / 64] |= std::uint64_t{1} << (w % 64);
+    key_scratch_[w / 64] |= std::uint64_t{1} << (w % 64);
   }
-  return key;
 }
 
 DecodeContext::Entry& DecodeContext::acquire(
@@ -73,8 +71,8 @@ DecodeContext::Entry& DecodeContext::acquire(
                "responder subset must be sorted and distinct");
   S2C2_REQUIRE(subset.back() < n(), "responder worker out of range");
 
-  std::vector<std::uint64_t> key = make_key(subset);
-  const auto it = cache_.find(key);
+  make_key(subset);
+  const auto it = cache_.find(key_scratch_);
   if (it != cache_.end()) {
     ++stats_.hits;
     return *it->second;
@@ -126,7 +124,7 @@ DecodeContext::Entry& DecodeContext::acquire(
   }
 
   Entry& ref = *entry;
-  cache_.emplace(std::move(key), std::move(entry));
+  cache_.emplace(key_scratch_, std::move(entry));  // copies the key: miss path
   stats_.entries = cache_.size();
   return ref;
 }

@@ -164,8 +164,10 @@ class DecodeContext {
  private:
   struct Entry;
 
-  [[nodiscard]] std::vector<std::uint64_t> make_key(
-      std::span<const std::size_t> subset) const;
+  /// Builds `subset`'s bitmap key into key_scratch_ (reused across calls:
+  /// lookups on warm rounds are allocation-free; only a cache miss copies
+  /// the key into the map).
+  void make_key(std::span<const std::size_t> subset);
   Entry& acquire(std::span<const std::size_t> subset);
   [[nodiscard]] double solve_cost(const Entry& e, std::size_t columns) const;
   [[nodiscard]] double factor_cost(const Entry& e) const;
@@ -180,6 +182,7 @@ class DecodeContext {
   // allocate (decode runs once per chunk group per round).
   std::vector<double> scratch_reduced_;
   std::vector<double> scratch_verify_;  // redundant_residual's k x width copy
+  std::vector<std::uint64_t> key_scratch_;  // make_key's bitmap buffer
 };
 
 }  // namespace s2c2::coding

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/linalg/kernels.h"
 #include "src/util/require.h"
 
 namespace s2c2::coding {
@@ -35,26 +36,16 @@ void EncodedPartition::matvec_rows(std::size_t r0, std::size_t r1,
   S2C2_REQUIRE(r0 <= r1 && r1 <= rows(), "matvec_rows range out of bounds");
   S2C2_REQUIRE(y.size() == r1 - r0, "matvec_rows output size mismatch");
   if (sparse_) {
-    const auto row_ptr = sparse_->row_ptr();
-    const auto col_idx = sparse_->col_idx();
-    const auto values = sparse_->values();
     S2C2_REQUIRE(x.size() == sparse_->cols(), "matvec_rows x size mismatch");
-    for (std::size_t r = r0; r < r1; ++r) {
-      double acc = 0.0;
-      for (std::size_t p = row_ptr[r]; p < row_ptr[r + 1]; ++p) {
-        acc += values[p] * x[col_idx[p]];
-      }
-      y[r - r0] = acc;
-    }
+    linalg::kernels::csr_matvec(sparse_->row_ptr().data() + r0, r1 - r0,
+                                sparse_->col_idx().data(),
+                                sparse_->values().data(), x.data(), y.data());
     return;
   }
   S2C2_REQUIRE(x.size() == dense_->cols(), "matvec_rows x size mismatch");
-  for (std::size_t r = r0; r < r1; ++r) {
-    const auto row = dense_->row(r);
-    double acc = 0.0;
-    for (std::size_t c = 0; c < row.size(); ++c) acc += row[c] * x[c];
-    y[r - r0] = acc;
-  }
+  const std::size_t cols = dense_->cols();
+  linalg::kernels::dense_matvec(dense_->data().data() + r0 * cols, r1 - r0,
+                                cols, x.data(), y.data());
 }
 
 void EncodedPartition::matmat_rows(std::size_t r0, std::size_t r1,
@@ -66,34 +57,19 @@ void EncodedPartition::matmat_rows(std::size_t r0, std::size_t r1,
   S2C2_REQUIRE(y.size() == (r1 - r0) * width,
                "matmat_rows output size mismatch");
   if (sparse_) {
-    const auto row_ptr = sparse_->row_ptr();
-    const auto col_idx = sparse_->col_idx();
-    const auto values = sparse_->values();
     S2C2_REQUIRE(x.size() == sparse_->cols() * width,
                  "matmat_rows x panel size mismatch");
-    for (std::size_t r = r0; r < r1; ++r) {
-      for (std::size_t j = 0; j < width; ++j) {
-        double acc = 0.0;
-        for (std::size_t p = row_ptr[r]; p < row_ptr[r + 1]; ++p) {
-          acc += values[p] * x[col_idx[p] * width + j];
-        }
-        y[(r - r0) * width + j] = acc;
-      }
-    }
+    linalg::kernels::csr_matmat(sparse_->row_ptr().data() + r0, r1 - r0,
+                                sparse_->col_idx().data(),
+                                sparse_->values().data(), x.data(), width,
+                                y.data());
     return;
   }
   S2C2_REQUIRE(x.size() == dense_->cols() * width,
                "matmat_rows x panel size mismatch");
-  for (std::size_t r = r0; r < r1; ++r) {
-    const auto row = dense_->row(r);
-    for (std::size_t j = 0; j < width; ++j) {
-      double acc = 0.0;
-      for (std::size_t c = 0; c < row.size(); ++c) {
-        acc += row[c] * x[c * width + j];
-      }
-      y[(r - r0) * width + j] = acc;
-    }
-  }
+  const std::size_t cols = dense_->cols();
+  linalg::kernels::dense_matmat(dense_->data().data() + r0 * cols, r1 - r0,
+                                cols, x.data(), width, y.data());
 }
 
 linalg::Vector EncodedPartition::matvec(std::span<const double> x) const {

@@ -18,35 +18,42 @@ AdaptiveGradientEngine::AdaptiveGradientEngine(
                "AdaptiveGradientEngine runs the agc strategy only");
 }
 
-sched::Allocation AdaptiveGradientEngine::allocate(
-    std::span<const double> speeds) const {
+void AdaptiveGradientEngine::allocate_into(std::span<const double> speeds,
+                                           sched::Allocation& out) {
   const std::size_t n = spec_.num_workers();
   const std::size_t q = collection_quorum();
   const std::size_t c = chunks_per_partition();
 
   // Per-round redundancy: one extra full partition per predicted
   // straggler (Cao et al.'s rule with B = e), capped at the fleet.
-  const double med = util::median(speeds);
+  const double med = util::median_scratch(speeds, median_scratch_);
   std::size_t predicted_stragglers = 0;
   for (const double s : speeds) {
     if (s < straggler_threshold() * med) ++predicted_stragglers;
   }
   const std::size_t active = std::min(n, q + predicted_stragglers);
 
-  // Fastest `active` workers by predicted speed. stable_sort keeps the
-  // index tie-break deterministic, which is also what makes the oracle /
+  // Fastest `active` workers by predicted speed. The explicit index
+  // tie-break makes the comparator a strict total order, so the result is
+  // unique — identical to a stable sort on descending speed — while
+  // std::sort (unlike libstdc++'s stable_sort) never heap-allocates a
+  // merge buffer. Determinism is also what makes the oracle /
   // straggler-free case collapse to MDS's fastest-quorum exactly.
-  std::vector<std::size_t> order(n);
-  std::iota(order.begin(), order.end(), std::size_t{0});
-  std::stable_sort(order.begin(), order.end(),
-                   [&](std::size_t a, std::size_t b) {
-                     return speeds[a] > speeds[b];
-                   });
-  std::vector<bool> excluded(n, true);
-  for (std::size_t i = 0; i < active; ++i) excluded[order[i]] = false;
+  order_scratch_.resize(n);
+  std::iota(order_scratch_.begin(), order_scratch_.end(), std::size_t{0});
+  std::sort(order_scratch_.begin(), order_scratch_.end(),
+            [&](std::size_t a, std::size_t b) {
+              if (speeds[a] != speeds[b]) return speeds[a] > speeds[b];
+              return a < b;
+            });
+  excluded_scratch_.assign(n, true);
+  for (std::size_t i = 0; i < active; ++i) {
+    excluded_scratch_[order_scratch_[i]] = false;
+  }
   // Equal shares over `active` live workers at quorum `active` hand every
   // chosen worker one full partition (count == c).
-  return sched::basic_s2c2_allocation(excluded, active, c);
+  sched::basic_s2c2_allocation_into(excluded_scratch_, active, c,
+                                    alloc_scratch_, out);
 }
 
 }  // namespace s2c2::core

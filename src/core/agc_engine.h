@@ -35,8 +35,12 @@ class AdaptiveGradientEngine final : public CodedComputeEngine {
                              nullptr);
 
  protected:
-  [[nodiscard]] sched::Allocation allocate(
-      std::span<const double> speeds) const override;
+  void allocate_into(std::span<const double> speeds,
+                     sched::Allocation& out) override;
+
+ private:
+  std::vector<std::size_t> order_scratch_;
+  std::vector<bool> excluded_scratch_;
 };
 
 }  // namespace s2c2::core

@@ -82,28 +82,39 @@ CodedMatVecJob CodedMatVecJob::cost_only(std::size_t data_rows,
   return CodedMatVecJob(data_rows, data_cols, n, k, chunks_per_partition);
 }
 
-std::vector<double> CodedMatVecJob::compute_chunk(
-    std::size_t worker, std::size_t chunk, std::span<const double> x) const {
+void CodedMatVecJob::compute_chunk_into(std::size_t worker, std::size_t chunk,
+                                        std::span<const double> x_panel,
+                                        std::size_t width,
+                                        std::span<double> out) const {
   S2C2_REQUIRE(functional(), "compute_chunk on a cost-only job");
   S2C2_REQUIRE(worker < n(), "worker out of range");
   S2C2_REQUIRE(chunk < chunks_, "chunk out of range");
+  S2C2_REQUIRE(width >= 1 && x_panel.size() == data_cols_ * width,
+               "x panel shape mismatch");
   const std::size_t rpc = rows_per_chunk();
-  std::vector<double> out(rpc);
-  partitions_[worker].matvec_rows(chunk * rpc, (chunk + 1) * rpc, x, out);
+  S2C2_REQUIRE(out.size() == rpc * width, "chunk output span size mismatch");
+  if (width == 1) {
+    partitions_[worker].matvec_rows(chunk * rpc, (chunk + 1) * rpc, x_panel,
+                                    out);
+  } else {
+    partitions_[worker].matmat_rows(chunk * rpc, (chunk + 1) * rpc, x_panel,
+                                    width, out);
+  }
+}
+
+std::vector<double> CodedMatVecJob::compute_chunk(
+    std::size_t worker, std::size_t chunk, std::span<const double> x) const {
+  std::vector<double> out(rows_per_chunk());
+  compute_chunk_into(worker, chunk, x, 1, out);
   return out;
 }
 
 std::vector<double> CodedMatVecJob::compute_chunk_block(
     std::size_t worker, std::size_t chunk, const linalg::Matrix& x) const {
-  S2C2_REQUIRE(functional(), "compute_chunk_block on a cost-only job");
-  S2C2_REQUIRE(worker < n(), "worker out of range");
-  S2C2_REQUIRE(chunk < chunks_, "chunk out of range");
   S2C2_REQUIRE(x.rows() == data_cols_ && x.cols() >= 1,
                "x panel shape mismatch");
-  const std::size_t rpc = rows_per_chunk();
-  std::vector<double> out(rpc * x.cols());
-  partitions_[worker].matmat_rows(chunk * rpc, (chunk + 1) * rpc, x.data(),
-                                  x.cols(), out);
+  std::vector<double> out(rows_per_chunk() * x.cols());
+  compute_chunk_into(worker, chunk, x.data(), x.cols(), out);
   return out;
 }
 
@@ -113,18 +124,36 @@ coding::ChunkedDecoder CodedMatVecJob::make_decoder(
                                 width, context);
 }
 
-linalg::Vector CodedMatVecJob::trim(const linalg::Matrix& decoded) const {
+void CodedMatVecJob::trim_into(const linalg::Matrix& decoded,
+                               linalg::Vector& y) const {
   S2C2_REQUIRE(decoded.rows() >= data_rows_ && decoded.cols() == 1,
                "decoded result shape mismatch");
-  linalg::Vector y(data_rows_);
+  y.resize(data_rows_);
   for (std::size_t r = 0; r < data_rows_; ++r) y[r] = decoded(r, 0);
+}
+
+void CodedMatVecJob::trim_block_into(const linalg::Matrix& decoded,
+                                     linalg::Matrix& y_block) const {
+  S2C2_REQUIRE(decoded.rows() >= data_rows_ && decoded.cols() >= 1,
+               "decoded block shape mismatch");
+  y_block.resize(data_rows_, decoded.cols());
+  const std::size_t cols = decoded.cols();
+  std::copy(decoded.data().begin(),
+            decoded.data().begin() +
+                static_cast<std::ptrdiff_t>(data_rows_ * cols),
+            y_block.mutable_data().begin());
+}
+
+linalg::Vector CodedMatVecJob::trim(const linalg::Matrix& decoded) const {
+  linalg::Vector y;
+  trim_into(decoded, y);
   return y;
 }
 
 linalg::Matrix CodedMatVecJob::trim_block(const linalg::Matrix& decoded) const {
-  S2C2_REQUIRE(decoded.rows() >= data_rows_ && decoded.cols() >= 1,
-               "decoded block shape mismatch");
-  return decoded.row_block(0, data_rows_);
+  linalg::Matrix out;
+  trim_block_into(decoded, out);
+  return out;
 }
 
 double CodedMatVecJob::chunk_flops(std::size_t width) const {

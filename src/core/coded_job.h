@@ -64,6 +64,15 @@ class CodedMatVecJob {
   [[nodiscard]] std::vector<double> compute_chunk_block(
       std::size_t worker, std::size_t chunk, const linalg::Matrix& x) const;
 
+  /// Unified fill-style kernel: writes the chunk's rows_per_chunk x width
+  /// row-major values for the data_cols x width panel `x_panel` straight
+  /// into `out` (e.g. a decoder's stage_chunk span) — the hot path's
+  /// zero-copy, zero-allocation form. width == 1 is bitwise compute_chunk;
+  /// width > 1 bitwise compute_chunk_block.
+  void compute_chunk_into(std::size_t worker, std::size_t chunk,
+                          std::span<const double> x_panel, std::size_t width,
+                          std::span<double> out) const;
+
   /// Fresh decoder wired to this job's geometry, carrying `width` RHS
   /// values per computed row (width = b of the round's panel). Pass a
   /// DecodeContext built over generator() to reuse cached responder-set
@@ -77,6 +86,12 @@ class CodedMatVecJob {
 
   /// Trims a decoded (k * partition_rows) x b block to data_rows x b.
   [[nodiscard]] linalg::Matrix trim_block(const linalg::Matrix& decoded) const;
+
+  /// Fill-style trims: identical results into caller-owned storage whose
+  /// capacity survives across rounds (zero-allocation steady state).
+  void trim_into(const linalg::Matrix& decoded, linalg::Vector& y) const;
+  void trim_block_into(const linalg::Matrix& decoded,
+                       linalg::Matrix& y_block) const;
 
   // ---- cost model ----
   // All per-round charges scale linearly in the RHS block width b: the

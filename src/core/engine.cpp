@@ -33,7 +33,7 @@ constexpr double kVerifyTolerance = 1e-7;
 // chunk values: an additive offset of 1-2x corruption_scale whose exact
 // size is a mix64 hash of (seed, worker, chunk, index) — reproducible at
 // any --jobs, unlike anything drawn from a shared RNG stream.
-void corrupt_values(std::vector<double>& values, const ByzantineSpec& byz,
+void corrupt_values(std::span<double> values, const ByzantineSpec& byz,
                     std::size_t worker, std::size_t chunk) {
   for (std::size_t i = 0; i < values.size(); ++i) {
     const std::uint64_t h =
@@ -55,41 +55,52 @@ CodedComputeEngine::CodedComputeEngine(
                     config.timeout_factor, config.straggler_threshold,
                     config.chunks_per_partition, config.health_informed),
       job_(std::move(job)),
-      decode_ctx_(job_.generator()) {
+      decode_ctx_(job_.generator()),
+      decoder_(job_.make_decoder(&decode_ctx_, 1)) {
   S2C2_REQUIRE(spec_.num_workers() == job_.n(),
                "cluster must provide one trace per code partition");
   S2C2_REQUIRE(config.chunks_per_partition == job_.chunks_per_partition(),
                "engine and job chunk granularity must agree");
 }
 
-std::vector<std::vector<std::size_t>> CodedComputeEngine::decode_subsets(
-    const RoundLedger& ledger) const {
+void CodedComputeEngine::decode_subsets(
+    const RoundLedger& ledger,
+    std::vector<std::vector<std::size_t>>& out) const {
   // The k smallest responding worker ids per chunk — final_chunk_workers
   // is sorted, matching the functional decoder's arrival order, so
   // cost-model cache keys and numeric cache keys are the same.
   const std::size_t k = job_.k();
-  std::vector<std::vector<std::size_t>> subsets(
-      ledger.final_chunk_workers.size());
-  for (std::size_t c = 0; c < subsets.size(); ++c) {
-    subsets[c].assign(ledger.final_chunk_workers[c].begin(),
-                      ledger.final_chunk_workers[c].begin() +
-                          static_cast<std::ptrdiff_t>(k));
+  out.resize(ledger.final_chunk_workers.size());
+  for (std::size_t c = 0; c < out.size(); ++c) {
+    out[c].assign(ledger.final_chunk_workers[c].begin(),
+                  ledger.final_chunk_workers[c].begin() +
+                      static_cast<std::ptrdiff_t>(k));
   }
-  return subsets;
 }
 
-linalg::Matrix CodedComputeEngine::run_verified_decode(
+const linalg::Matrix& CodedComputeEngine::run_verified_decode(
     const RoundLedger& ledger, std::size_t width,
-    const std::function<std::vector<double>(std::size_t, std::size_t)>&
-        compute) {
-  coding::ChunkedDecoder decoder = job_.make_decoder(&decode_ctx_, width);
+    std::span<const double> x_panel) {
+  // Worker compute lands directly in arena-staged decoder slots: no
+  // per-chunk vector, no copy into the decoder. Insertion order matches
+  // the historical path — per worker ascending, assigned range before
+  // recovery extras, Byzantine re-adds appended last — so decode subsets
+  // and cache keys are unchanged.
+  decoder_.reset(width);
+  const std::size_t chunks = ledger.alloc.chunks_per_partition;
   for (std::size_t w = 0; w < spec_.num_workers(); ++w) {
     if (ledger.used[w]) {
-      for (std::size_t c : ledger.alloc.chunks_of(w)) {
-        decoder.add_chunk_result(w, c, compute(w, c));
+      const sched::ChunkRange& r = ledger.alloc.per_worker[w];
+      for (std::size_t i = 0; i < r.count; ++i) {
+        const std::size_t c = (r.begin + i) % chunks;
+        job_.compute_chunk_into(w, c, x_panel, width,
+                                decoder_.stage_chunk(w, c));
       }
       for (std::size_t c : ledger.extra_chunks[w]) {
-        decoder.add_chunk_result(w, c, compute(w, c));
+        const std::span<double> slot = decoder_.stage_chunk(w, c);
+        if (!slot.empty()) {  // reassigned work can duplicate the original
+          job_.compute_chunk_into(w, c, x_panel, width, slot);
+        }
       }
     }
   }
@@ -101,9 +112,9 @@ linalg::Matrix CodedComputeEngine::run_verified_decode(
     std::vector<std::size_t> expected;
     for (std::size_t c = 0; c < ledger.byzantine_chunk_workers.size(); ++c) {
       for (std::size_t w : ledger.byzantine_chunk_workers[c]) {
-        std::vector<double> values = compute(w, c);
-        corrupt_values(values, spec_.byzantine, w, c);
-        decoder.add_chunk_result(w, c, std::move(values));
+        const std::span<double> slot = decoder_.stage_chunk(w, c);
+        job_.compute_chunk_into(w, c, x_panel, width, slot);
+        corrupt_values(slot, spec_.byzantine, w, c);
         expected.push_back(w);
       }
     }
@@ -111,22 +122,24 @@ linalg::Matrix CodedComputeEngine::run_verified_decode(
     expected.erase(std::unique(expected.begin(), expected.end()),
                    expected.end());
     const coding::ChunkVerification verification =
-        decoder.verify_chunks(kVerifyTolerance);
+        decoder_.verify_chunks(kVerifyTolerance);
     // The residual check must convict exactly the responders whose values
     // were perturbed — no misses, no honest casualties.
     S2C2_CHECK(verification.corrupt_workers == expected,
                "byzantine verification convicted the wrong responder set");
   }
-  return decoder.decode();
+  decoder_.decode_into(decoded_scratch_);
+  return decoded_scratch_;
 }
 
 void CodedComputeEngine::decode_product(RoundResult& result,
                                         const RoundLedger& ledger,
                                         std::span<const double> x) {
   S2C2_REQUIRE(x.size() == job_.data_cols(), "input vector size mismatch");
-  result.y = job_.trim(run_verified_decode(
-      ledger, 1,
-      [&](std::size_t w, std::size_t c) { return job_.compute_chunk(w, c, x); }));
+  result.y_block.reset();
+  result.hessian.reset();
+  if (!result.y) result.y.emplace();
+  job_.trim_into(run_verified_decode(ledger, 1, x), *result.y);
 }
 
 void CodedComputeEngine::decode_product_block(RoundResult& result,
@@ -134,10 +147,12 @@ void CodedComputeEngine::decode_product_block(RoundResult& result,
                                               const linalg::Matrix& x_block) {
   S2C2_REQUIRE(x_block.rows() == job_.data_cols(),
                "input panel row count mismatch");
-  result.y_block = job_.trim_block(run_verified_decode(
-      ledger, x_block.cols(), [&](std::size_t w, std::size_t c) {
-        return job_.compute_chunk_block(w, c, x_block);
-      }));
+  result.y.reset();
+  result.hessian.reset();
+  if (!result.y_block) result.y_block.emplace();
+  const linalg::Matrix& decoded =
+      run_verified_decode(ledger, x_block.cols(), x_block.data());
+  job_.trim_block_into(decoded, *result.y_block);
 }
 
 }  // namespace s2c2::core

@@ -52,6 +52,14 @@ class CodedComputeEngine : public RoundExecutor {
   /// decoder, one cached factorization per responder set) is fully wired.
   [[nodiscard]] bool supports_block_rounds() const override { return true; }
 
+  /// Warmed steady-state rounds are heap-free when the caller recycles
+  /// results (see StrategyEngine::recycle): allocation, collection, decode
+  /// staging, and the functional decode all run from retained scratch and
+  /// the round arena.
+  [[nodiscard]] bool supports_allocation_free_rounds() const override {
+    return true;
+  }
+
  protected:
   // RoundExecutor hooks (see round_executor.h for the lifecycle).
   [[nodiscard]] std::size_t quorum() const override { return job_.k(); }
@@ -84,8 +92,9 @@ class CodedComputeEngine : public RoundExecutor {
   [[nodiscard]] coding::DecodeContext& decode_context() override {
     return decode_ctx_;
   }
-  [[nodiscard]] std::vector<std::vector<std::size_t>> decode_subsets(
-      const RoundLedger& ledger) const override;
+  void decode_subsets(const RoundLedger& ledger,
+                      std::vector<std::vector<std::size_t>>& out)
+      const override;
   [[nodiscard]] std::size_t decode_values_per_chunk() const override {
     return job_.rows_per_chunk();
   }
@@ -107,18 +116,24 @@ class CodedComputeEngine : public RoundExecutor {
 
  private:
   /// Shared verified-decode body of decode_product / decode_product_block:
-  /// assembles a width-b decoder over the ledger's responders (re-adding
-  /// corrupted values when the cluster is Byzantine so the residual pass
-  /// convicts them numerically) and returns the decoded block.
-  [[nodiscard]] linalg::Matrix run_verified_decode(
+  /// re-shapes the persistent decoder to width b, computes every used
+  /// responder's chunk values straight into arena-staged decoder slots
+  /// (re-adding corrupted values when the cluster is Byzantine so the
+  /// residual pass convicts them numerically), and decodes into
+  /// decoded_scratch_. The returned reference is valid until the next
+  /// round's decode.
+  [[nodiscard]] const linalg::Matrix& run_verified_decode(
       const RoundLedger& ledger, std::size_t width,
-      const std::function<std::vector<double>(std::size_t, std::size_t)>&
-          compute);
+      std::span<const double> x_panel);
 
   CodedMatVecJob job_;
   /// Persists across rounds so repeated responder sets decode from cache;
   /// borrows job_.generator() (declared after job_, never rebound).
   coding::DecodeContext decode_ctx_;
+  /// Persists across rounds (reset(width) each functional round) so its
+  /// arena and slot capacity make steady-state decodes allocation-free.
+  coding::ChunkedDecoder decoder_;
+  linalg::Matrix decoded_scratch_;  // run_verified_decode's output
 };
 
 }  // namespace s2c2::core

@@ -98,12 +98,12 @@ LtCodedEngine::LtCodedEngine(const linalg::Matrix* dense,
   }
 }
 
-sched::Allocation LtCodedEngine::allocate(
-    std::span<const double> speeds) const {
+void LtCodedEngine::allocate_into(std::span<const double> speeds,
+                                  sched::Allocation& out) {
   // Prediction-blind: every worker computes its whole symbol batch and the
   // code's redundancy absorbs the stragglers.
   (void)speeds;
-  return sched::full_allocation(spec_.num_workers(), chunks_per_partition());
+  sched::full_allocation_into(spec_.num_workers(), chunks_per_partition(), out);
 }
 
 std::size_t LtCodedEngine::collection_count(
@@ -123,11 +123,12 @@ std::size_t LtCodedEngine::collection_count(
   throw std::runtime_error(quorum_failure_error());
 }
 
-std::vector<std::vector<std::size_t>> LtCodedEngine::decode_subsets(
-    const RoundLedger& ledger) const {
+void LtCodedEngine::decode_subsets(
+    const RoundLedger& ledger,
+    std::vector<std::vector<std::size_t>>& out) const {
   // Every chunk decodes from the same accumulated-symbol system: the full
   // sorted responder set, so the round charges exactly one grouped system.
-  return ledger.final_chunk_workers;
+  out = ledger.final_chunk_workers;
 }
 
 void LtCodedEngine::decode_into(RoundResult& result, const RoundLedger& ledger,
@@ -159,13 +160,16 @@ void LtCodedEngine::decode_into(RoundResult& result, const RoundLedger& ledger,
   std::vector<double> padded(code_.sources() * v);
   decode_ctx_.lt_decode(subset, symbols, v,
                         std::span<double>(padded.data(), padded.size()));
+  result.hessian.reset();
   if (x_block != nullptr) {
+    result.y.reset();
     result.y_block = linalg::Matrix(
         data_rows_, width,
         std::vector<double>(padded.begin(),
                             padded.begin() + static_cast<std::ptrdiff_t>(
                                                  data_rows_ * width)));
   } else {
+    result.y_block.reset();
     result.y = std::vector<double>(
         padded.begin(),
         padded.begin() + static_cast<std::ptrdiff_t>(data_rows_));

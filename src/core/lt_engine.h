@@ -101,8 +101,8 @@ class LtCodedEngine final : public RoundExecutor {
   [[nodiscard]] double recovery_chunk_work() const override {
     return chunk_flops_ / spec_.worker_flops;
   }
-  [[nodiscard]] sched::Allocation allocate(
-      std::span<const double> speeds) const override;
+  void allocate_into(std::span<const double> speeds,
+                     sched::Allocation& out) override;
   [[nodiscard]] std::size_t collection_count(
       std::span<const std::size_t> by_response,
       std::size_t finite) const override;
@@ -121,8 +121,9 @@ class LtCodedEngine final : public RoundExecutor {
   [[nodiscard]] coding::DecodeContext& decode_context() override {
     return decode_ctx_;
   }
-  [[nodiscard]] std::vector<std::vector<std::size_t>> decode_subsets(
-      const RoundLedger& ledger) const override;
+  void decode_subsets(const RoundLedger& ledger,
+                      std::vector<std::vector<std::size_t>>& out)
+      const override;
   [[nodiscard]] std::size_t decode_values_per_chunk() const override {
     return rows_per_chunk_;
   }

@@ -53,8 +53,9 @@ PolyCodedEngine::PolyCodedEngine(
   }
 }
 
-std::vector<std::vector<std::size_t>> PolyCodedEngine::decode_subsets(
-    const RoundLedger& ledger) const {
+void PolyCodedEngine::decode_subsets(
+    const RoundLedger& ledger,
+    std::vector<std::vector<std::size_t>>& out) const {
   // Subsets mirror the functional decoder's keys: the a² smallest
   // responding worker ids per chunk. Invert the (rare) reassigned extras
   // into per-chunk lists once, instead of scanning every worker's extras
@@ -69,9 +70,9 @@ std::vector<std::vector<std::size_t>> PolyCodedEngine::decode_subsets(
       extra_workers[ch].push_back(w);
     }
   }
-  std::vector<std::vector<std::size_t>> subsets(c);
+  out.assign(c, {});
   for (std::size_t ch = 0; ch < c; ++ch) {
-    std::vector<std::size_t>& responders = subsets[ch];
+    std::vector<std::size_t>& responders = out[ch];
     for (std::size_t w : alloc_chunk_workers[ch]) {
       if (ledger.used[w]) responders.push_back(w);
     }
@@ -82,7 +83,6 @@ std::vector<std::vector<std::size_t>> PolyCodedEngine::decode_subsets(
                      responders.end());
     responders.resize(m);  // m smallest ids = the decoder's arrival subset
   }
-  return subsets;
 }
 
 void PolyCodedEngine::decode_product(RoundResult& result,
@@ -108,6 +108,8 @@ void PolyCodedEngine::decode_product(RoundResult& result,
                                          (ch + 1) * rpc));
     }
   }
+  result.y.reset();
+  result.y_block.reset();
   result.hessian = decoder.decode();
 }
 

@@ -93,8 +93,9 @@ class PolyCodedEngine final : public RoundExecutor {
   [[nodiscard]] coding::DecodeContext& decode_context() override {
     return decode_ctx_;
   }
-  [[nodiscard]] std::vector<std::vector<std::size_t>> decode_subsets(
-      const RoundLedger& ledger) const override;
+  void decode_subsets(const RoundLedger& ledger,
+                      std::vector<std::vector<std::size_t>>& out)
+      const override;
   [[nodiscard]] std::size_t decode_values_per_chunk() const override {
     return rows_per_chunk_ * out_cols_;
   }

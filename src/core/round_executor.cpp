@@ -19,6 +19,13 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 // Finite stand-in for "until forever" when integrating a trace that ends at
 // zero speed (a dead worker's progress before its death).
 constexpr double kFarHorizon = 1e300;
+
+// Reshapes a nested scratch vector to `n` cleared inner vectors. Surviving
+// inner vectors keep their capacity — the point of round-scoped scratch.
+void resize_cleared(std::vector<std::vector<std::size_t>>& v, std::size_t n) {
+  v.resize(n);
+  for (auto& inner : v) inner.clear();
+}
 }  // namespace
 
 RoundExecutor::RoundExecutor(StrategyKind kind, ClusterSpec spec,
@@ -56,43 +63,44 @@ std::size_t RoundExecutor::collection_quorum() const {
   return q + margin;
 }
 
-std::vector<double> RoundExecutor::predict_speeds(sim::Time t0) {
+void RoundExecutor::predict_speeds(sim::Time t0, std::vector<double>& out) {
   const std::size_t n = spec_.num_workers();
-  std::vector<double> speeds(n, 1.0);
+  out.assign(n, 1.0);
   if (oracle_speeds_) {
     for (std::size_t w = 0; w < n; ++w) {
-      speeds[w] = spec_.traces[w].speed_at(t0);
+      out[w] = spec_.traces[w].speed_at(t0);
     }
   } else {
     for (std::size_t w = 0; w < n; ++w) {
-      speeds[w] = predictor_->predict(w);
+      out[w] = predictor_->predict(w);
     }
   }
-  return speeds;
 }
 
-sched::Allocation RoundExecutor::allocate(
-    std::span<const double> speeds) const {
+void RoundExecutor::allocate_into(std::span<const double> speeds,
+                                  sched::Allocation& out) {
   const std::size_t n = spec_.num_workers();
   const std::size_t q = collection_quorum();
   const std::size_t c = chunks_per_partition_;
   switch (kind()) {
     case StrategyKind::kMds:
     case StrategyKind::kPolyConventional:
-      return sched::full_allocation(n, c);
+      sched::full_allocation_into(n, c, out);
+      return;
     case StrategyKind::kS2C2Basic: {
       // Flag stragglers below threshold x median predicted speed; keep at
       // least quorum live workers by un-flagging the fastest flagged ones.
-      std::vector<double> sorted(speeds.begin(), speeds.end());
-      const double med = util::median(sorted);
-      std::vector<bool> straggler(n, false);
+      const double med = util::median_scratch(speeds, median_scratch_);
+      straggler_scratch_.assign(n, false);
+      std::vector<bool>& straggler = straggler_scratch_;
       std::size_t live = 0;
       for (std::size_t w = 0; w < n; ++w) {
         straggler[w] = speeds[w] < straggler_threshold_ * med;
         if (!straggler[w]) ++live;
       }
       if (live < q) {
-        std::vector<std::size_t> flagged;
+        flagged_scratch_.clear();
+        std::vector<std::size_t>& flagged = flagged_scratch_;
         for (std::size_t w = 0; w < n; ++w) {
           if (straggler[w]) flagged.push_back(w);
         }
@@ -105,11 +113,13 @@ sched::Allocation RoundExecutor::allocate(
           ++live;
         }
       }
-      return sched::basic_s2c2_allocation(straggler, q, c);
+      sched::basic_s2c2_allocation_into(straggler, q, c, alloc_scratch_, out);
+      return;
     }
     case StrategyKind::kS2C2:
     case StrategyKind::kPoly: {
-      std::vector<double> s(speeds.begin(), speeds.end());
+      speed_scratch_.assign(speeds.begin(), speeds.end());
+      std::vector<double>& s = speed_scratch_;
       std::size_t positive = 0;
       for (double v : s) {
         if (v > 0.0) ++positive;
@@ -120,14 +130,15 @@ sched::Allocation RoundExecutor::allocate(
         // timeout path recovers if they really are dead.
         for (double& v : s) v = std::max(v, 0.05);
       }
-      return sched::proportional_allocation(s, q, c);
+      sched::proportional_allocation_into(s, q, c, alloc_scratch_, out);
+      return;
     }
     case StrategyKind::kReplication:
     case StrategyKind::kOverDecomp:
       break;  // uncoded strategies never reach the coded executor
     case StrategyKind::kLt:
     case StrategyKind::kAgc:
-      break;  // their engines override allocate(); no kind() default
+      break;  // their engines override allocate_into(); no kind() default
   }
   throw std::logic_error("unreachable strategy");
 }
@@ -203,22 +214,29 @@ RoundResult RoundExecutor::run_round_impl(std::span<const double> x,
   const bool full_telemetry =
       accounting_style() == AccountingStyle::kFullTelemetry;
 
-  RoundResult result;
+  // A recycled result keeps its payloads' capacity; stats are re-written
+  // wholesale and every payload is either filled or reset below.
+  RoundResult result = acquire_result();
+  result.stats = sim::RoundStats{};
   result.stats.start = t0;
-  result.predicted_speeds = predict_speeds(t0);
-  const sched::Allocation alloc = allocate(result.predicted_speeds);
+  predict_speeds(t0, result.predicted_speeds);
+  allocate_into(result.predicted_speeds, round_alloc_);
+  const sched::Allocation& alloc = round_alloc_;
 
-  std::vector<WorkerTiming> timing(n);
+  timing_.resize(n);
+  std::vector<WorkerTiming>& timing = timing_;
   for (std::size_t w = 0; w < n; ++w) {
     timing[w] = simulate_worker(w, t0, alloc.per_worker[w].count, width);
   }
 
   // Workers with assigned work, ordered by response time.
-  std::vector<std::size_t> assigned;
+  assigned_.clear();
+  std::vector<std::size_t>& assigned = assigned_;
   for (std::size_t w = 0; w < n; ++w) {
     if (timing[w].assigned_chunks > 0) assigned.push_back(w);
   }
-  std::vector<std::size_t> by_response = assigned;
+  by_response_.assign(assigned.begin(), assigned.end());
+  std::vector<std::size_t>& by_response = by_response_;
   std::sort(by_response.begin(), by_response.end(),
             [&](std::size_t a, std::size_t b) {
               return timing[a].response < timing[b].response;
@@ -233,12 +251,17 @@ RoundResult RoundExecutor::run_round_impl(std::span<const double> x,
 
   // Final per-chunk responder sets (for decode-cost and functional decode),
   // per-worker reassigned chunks, and the round-completion bookkeeping.
-  std::vector<std::vector<std::size_t>> final_chunk_workers(
-      alloc.chunks_per_partition);
-  std::vector<std::vector<std::size_t>> extra_chunks(n);  // reassigned work
-  std::vector<sim::Time> recovery_busy(n, 0.0);  // compute spent on extras
-  std::vector<double> recovery_waste(n, 0.0);    // died mid-reassignment
-  std::vector<bool> used(n, false);
+  resize_cleared(final_chunk_workers_, alloc.chunks_per_partition);
+  std::vector<std::vector<std::size_t>>& final_chunk_workers =
+      final_chunk_workers_;
+  resize_cleared(extra_chunks_, n);  // reassigned work
+  std::vector<std::vector<std::size_t>>& extra_chunks = extra_chunks_;
+  recovery_busy_.assign(n, 0.0);  // compute spent on extras
+  std::vector<sim::Time>& recovery_busy = recovery_busy_;
+  recovery_waste_.assign(n, 0.0);  // died mid-reassignment
+  std::vector<double>& recovery_waste = recovery_waste_;
+  used_.assign(n, false);
+  std::vector<bool>& used = used_;
   sim::Time coverage_time = 0.0;
   sim::Time cancel_time = 0.0;  // when cancelled workers stop computing
 
@@ -296,7 +319,8 @@ RoundResult RoundExecutor::run_round_impl(std::span<const double> x,
         ++r_count;
       }
     }
-    std::vector<bool> responded(n, false);
+    responded_.assign(n, false);
+    std::vector<bool>& responded = responded_;
     for (std::size_t i = 0; i < r_count; ++i) {
       responded[by_response[i]] = true;
     }
@@ -305,7 +329,9 @@ RoundResult RoundExecutor::run_round_impl(std::span<const double> x,
     result.stats.timeout_fired = !all_responded;
 
     // Base coverage from responders.
-    const auto alloc_chunk_workers = sched::chunk_workers(alloc);
+    sched::chunk_workers_into(alloc, alloc_chunk_workers_);
+    const std::vector<std::vector<std::size_t>>& alloc_chunk_workers =
+        alloc_chunk_workers_;
     for (std::size_t c = 0; c < alloc.chunks_per_partition; ++c) {
       for (std::size_t w : alloc_chunk_workers[c]) {
         if (responded[w]) final_chunk_workers[c].push_back(w);
@@ -413,8 +439,9 @@ RoundResult RoundExecutor::run_round_impl(std::span<const double> x,
   // guarantees >= quorum() clean responders per chunk survive. Functional
   // rounds additionally run the numeric identification on the corrupted
   // values via ledger.byzantine_chunk_workers.
-  std::vector<std::vector<std::size_t>> byzantine_chunk_workers(
-      alloc.chunks_per_partition);
+  resize_cleared(byzantine_chunk_workers_, alloc.chunks_per_partition);
+  std::vector<std::vector<std::size_t>>& byzantine_chunk_workers =
+      byzantine_chunk_workers_;
   if (spec_.byzantine.active()) {
     std::vector<bool> corrupt(n, false);
     for (std::size_t w : spec_.byzantine.corrupt_workers) {
@@ -454,8 +481,8 @@ RoundResult RoundExecutor::run_round_impl(std::span<const double> x,
   const RoundLedger ledger{alloc,         timing,       used,
                            final_chunk_workers, extra_chunks,
                            byzantine_chunk_workers};
-  const std::vector<std::vector<std::size_t>> subsets =
-      decode_subsets(ledger);
+  decode_subsets(ledger, subsets_);
+  const std::vector<std::vector<std::size_t>>& subsets = subsets_;
   double dec_flops = 0.0;
   for (std::size_t c = 0; c < alloc.chunks_per_partition;) {
     std::size_t e = c + 1;
@@ -589,12 +616,19 @@ RoundResult RoundExecutor::run_round_impl(std::span<const double> x,
   result.stats.degrading_workers = health_.degrading_count();
 
   // ---- functional decode ----
+  // Payloads a recycled result carried from an earlier round are either
+  // overwritten by the decode hooks (which keep their capacity) or reset
+  // here so a latency-only round never returns stale data.
   if (functional) {
     if (x_block) {
       decode_product_block(result, ledger, *x_block);
     } else {
       decode_product(result, ledger, x);
     }
+  } else {
+    result.y.reset();
+    result.y_block.reset();
+    result.hessian.reset();
   }
 
   now_ = result.stats.end;

@@ -124,13 +124,15 @@ class RoundExecutor : public StrategyEngine {
   [[nodiscard]] virtual double recovery_chunk_work() const = 0;
 
   // ---- allocation hook --------------------------------------------------
-  /// Chunk allocation from predicted speeds. The default dispatches on
-  /// kind(): full allocation (kMds, kPolyConventional), equal shares over
-  /// non-stragglers (kS2C2Basic), speed-proportional shares with the
-  /// quorum-feasibility guard (kS2C2, kPoly). Override for novel
-  /// allocation policies.
-  [[nodiscard]] virtual sched::Allocation allocate(
-      std::span<const double> speeds) const;
+  /// Chunk allocation from predicted speeds, filled into `out` (which
+  /// retains its capacity across rounds — the steady state allocates
+  /// nothing). The default dispatches on kind(): full allocation (kMds,
+  /// kPolyConventional), equal shares over non-stragglers (kS2C2Basic),
+  /// speed-proportional shares with the quorum-feasibility guard (kS2C2,
+  /// kPoly). Override for novel allocation policies; non-const so
+  /// overriders can keep member scratch warm.
+  virtual void allocate_into(std::span<const double> speeds,
+                             sched::Allocation& out);
 
   // ---- collection hook --------------------------------------------------
   /// Conventional-collection stopping rule: how many of the fastest
@@ -161,9 +163,11 @@ class RoundExecutor : public StrategyEngine {
   /// The strategy's persistent decode context (cache lives across rounds).
   [[nodiscard]] virtual coding::DecodeContext& decode_context() = 0;
   /// Per-chunk decode subsets (the exact worker ids the decoder will
-  /// solve from — cost-model cache keys must match the numeric decoder's).
-  [[nodiscard]] virtual std::vector<std::vector<std::size_t>> decode_subsets(
-      const RoundLedger& ledger) const = 0;
+  /// solve from — cost-model cache keys must match the numeric decoder's),
+  /// filled into `out` (outer and inner capacity retained across rounds).
+  virtual void decode_subsets(const RoundLedger& ledger,
+                              std::vector<std::vector<std::size_t>>& out)
+      const = 0;
   /// Reconstructed values per chunk (multiplies the per-RHS solve cost).
   [[nodiscard]] virtual std::size_t decode_values_per_chunk() const = 0;
   /// True when this round should run the numeric decode for input x.
@@ -206,6 +210,14 @@ class RoundExecutor : public StrategyEngine {
   /// >= k + e + 1 rows — the identification bound of docs/DESIGN.md §7.
   [[nodiscard]] std::size_t collection_quorum() const;
 
+  // Allocator scratch shared with subclass allocate_into overrides (AGC's
+  // reuses it); warm capacity keeps the per-round allocation heap-free.
+  sched::AllocationScratch alloc_scratch_;
+  std::vector<double> median_scratch_;
+  std::vector<double> speed_scratch_;
+  std::vector<bool> straggler_scratch_;
+  std::vector<std::size_t> flagged_scratch_;
+
  private:
   /// The one copy of the round lifecycle. `width` is the RHS block width b
   /// (1 for classic rounds); `x_block` is non-null only for width > 1
@@ -214,7 +226,7 @@ class RoundExecutor : public StrategyEngine {
   [[nodiscard]] RoundResult run_round_impl(std::span<const double> x,
                                            const linalg::Matrix* x_block,
                                            std::size_t width);
-  [[nodiscard]] std::vector<double> predict_speeds(sim::Time t0);
+  void predict_speeds(sim::Time t0, std::vector<double>& out);
   [[nodiscard]] WorkerTiming simulate_worker(std::size_t w, sim::Time t0,
                                              std::size_t chunks,
                                              std::size_t width) const;
@@ -225,6 +237,25 @@ class RoundExecutor : public StrategyEngine {
   std::size_t chunks_per_partition_;
   bool health_informed_;
   telemetry::HealthMonitor health_;
+
+  // Per-round scratch: every vector below is cleared (never shrunk) at
+  // round start, so a warmed steady-state round touches the heap zero
+  // times — tests/arena_test.cpp's counting allocator enforces it. The
+  // recovery-wave and Byzantine sub-paths keep local vectors: they only
+  // run on timeout / corrupted rounds, which are not steady state.
+  sched::Allocation round_alloc_;
+  std::vector<WorkerTiming> timing_;
+  std::vector<std::size_t> assigned_;
+  std::vector<std::size_t> by_response_;
+  std::vector<std::vector<std::size_t>> final_chunk_workers_;
+  std::vector<std::vector<std::size_t>> extra_chunks_;
+  std::vector<std::vector<std::size_t>> alloc_chunk_workers_;
+  std::vector<std::vector<std::size_t>> byzantine_chunk_workers_;
+  std::vector<std::vector<std::size_t>> subsets_;
+  std::vector<sim::Time> recovery_busy_;
+  std::vector<double> recovery_waste_;
+  std::vector<bool> used_;
+  std::vector<bool> responded_;
 };
 
 }  // namespace s2c2::core

@@ -86,6 +86,26 @@ class StrategyEngine {
   /// a panel product) and keep the default.
   [[nodiscard]] virtual bool supports_block_rounds() const { return false; }
 
+  /// Whether a warmed engine's steady-state run_round / run_round_block
+  /// performs zero heap allocations, *provided the caller recycles* each
+  /// RoundResult back via recycle() so its payload capacity is reused.
+  /// True for the shared §4.3 lifecycle engines (mds / s2c2 / s2c2-basic /
+  /// agc); the rateless, polynomial, and uncoded baselines keep the
+  /// default. tests/arena_test.cpp enforces the claim with a counting
+  /// operator new for every registered strategy that returns true.
+  [[nodiscard]] virtual bool supports_allocation_free_rounds() const {
+    return false;
+  }
+
+  /// Returns a spent RoundResult to the engine's pool. The next round
+  /// served from the pool keeps the vectors' and matrices' capacity, which
+  /// is what makes the steady state allocation-free. Optional: results
+  /// that are never recycled are simply destroyed, at the cost of fresh
+  /// payload allocations next round.
+  void recycle(RoundResult&& result) {
+    result_pool_.push_back(std::move(result));
+  }
+
   /// Convenience loop. With an input vector every returned RoundResult
   /// carries its product — same-x products are recomputed per round
   /// because the cluster state (clock, predictor) advances. With the
@@ -133,6 +153,17 @@ class StrategyEngine {
   /// the caller supplied no predictor and no oracle flag.
   void ensure_predictor(bool oracle_speeds);
 
+  /// Pops a recycled RoundResult (or a fresh one if the pool is empty).
+  /// The recycled result keeps its payload capacity but carries stale
+  /// contents — run_round implementations must overwrite stats and either
+  /// fill or reset() every optional payload before returning it.
+  [[nodiscard]] RoundResult acquire_result() {
+    if (result_pool_.empty()) return {};
+    RoundResult r = std::move(result_pool_.back());
+    result_pool_.pop_back();
+    return r;
+  }
+
   ClusterSpec spec_;
   std::unique_ptr<predict::SpeedPredictor> predictor_;
   sim::Accounting accounting_;
@@ -144,6 +175,7 @@ class StrategyEngine {
 
  private:
   StrategyKind kind_;
+  std::vector<RoundResult> result_pool_;
 };
 
 /// Sum of round latencies.

@@ -1,0 +1,269 @@
+#include "src/linalg/kernels.h"
+
+#if defined(_OPENMP)
+#include <omp.h>
+#endif
+
+namespace s2c2::linalg::kernels {
+
+namespace {
+
+// Minimum multiply count before the optional OpenMP row split engages;
+// below it thread fan-out costs more than the kernel.
+[[maybe_unused]] constexpr std::size_t kOmpMinWork = 1u << 16;
+
+// One dense matvec row tile: kMatvecRowTile independent accumulator
+// chains share each x[c] load; every chain is the naive ascending-c sum.
+inline void matvec_rows4(const double* S2C2_RESTRICT a, std::size_t cols,
+                         const double* S2C2_RESTRICT x,
+                         double* S2C2_RESTRICT y) {
+  const double* S2C2_RESTRICT a0 = a;
+  const double* S2C2_RESTRICT a1 = a + cols;
+  const double* S2C2_RESTRICT a2 = a + 2 * cols;
+  const double* S2C2_RESTRICT a3 = a + 3 * cols;
+  double acc0 = 0.0, acc1 = 0.0, acc2 = 0.0, acc3 = 0.0;
+  for (std::size_t c = 0; c < cols; ++c) {
+    const double xc = x[c];
+    acc0 += a0[c] * xc;
+    acc1 += a1[c] * xc;
+    acc2 += a2[c] * xc;
+    acc3 += a3[c] * xc;
+  }
+  y[0] = acc0;
+  y[1] = acc1;
+  y[2] = acc2;
+  y[3] = acc3;
+}
+
+inline void matvec_rows_tail(const double* S2C2_RESTRICT a, std::size_t rows,
+                             std::size_t cols, const double* S2C2_RESTRICT x,
+                             double* S2C2_RESTRICT y) {
+  for (std::size_t r = 0; r < rows; ++r) {
+    const double* S2C2_RESTRICT row = a + r * cols;
+    double acc = 0.0;
+    for (std::size_t c = 0; c < cols; ++c) acc += row[c] * x[c];
+    y[r] = acc;
+  }
+}
+
+inline void dense_matvec_range(const double* S2C2_RESTRICT a, std::size_t r0,
+                               std::size_t r1, std::size_t cols,
+                               const double* S2C2_RESTRICT x,
+                               double* S2C2_RESTRICT y) {
+  std::size_t r = r0;
+  for (; r + kMatvecRowTile <= r1; r += kMatvecRowTile) {
+    matvec_rows4(a + r * cols, cols, x, y + r);
+  }
+  matvec_rows_tail(a + r * cols, r1 - r, cols, x, y + r);
+}
+
+// One (row pair) x (8 RHS columns) matmat tile: a single ascending-c
+// pass over both rows, 16 accumulators. The column tile is contiguous in
+// the row-major panel, so the inner fixed-length loops vectorize across
+// RHS columns; each accumulator chain is still the naive ascending-c sum
+// for its output element.
+template <std::size_t W>
+inline void matmat_rows2_tile(const double* S2C2_RESTRICT a0,
+                              const double* S2C2_RESTRICT a1,
+                              std::size_t cols, const double* S2C2_RESTRICT x,
+                              std::size_t width, double* S2C2_RESTRICT y0,
+                              double* S2C2_RESTRICT y1) {
+  double acc0[W] = {};
+  double acc1[W] = {};
+  for (std::size_t c = 0; c < cols; ++c) {
+    const double* S2C2_RESTRICT xc = x + c * width;
+    const double a0c = a0[c];
+    const double a1c = a1[c];
+    for (std::size_t j = 0; j < W; ++j) acc0[j] += a0c * xc[j];
+    for (std::size_t j = 0; j < W; ++j) acc1[j] += a1c * xc[j];
+  }
+  for (std::size_t j = 0; j < W; ++j) y0[j] = acc0[j];
+  for (std::size_t j = 0; j < W; ++j) y1[j] = acc1[j];
+}
+
+template <std::size_t W>
+inline void matmat_row1_tile(const double* S2C2_RESTRICT a0, std::size_t cols,
+                             const double* S2C2_RESTRICT x, std::size_t width,
+                             double* S2C2_RESTRICT y0) {
+  double acc0[W] = {};
+  for (std::size_t c = 0; c < cols; ++c) {
+    const double* S2C2_RESTRICT xc = x + c * width;
+    const double a0c = a0[c];
+    for (std::size_t j = 0; j < W; ++j) acc0[j] += a0c * xc[j];
+  }
+  for (std::size_t j = 0; j < W; ++j) y0[j] = acc0[j];
+}
+
+// Ragged column tail (width % kMatmatColTile): variable-length inner
+// loop, same chains.
+inline void matmat_row1_tail(const double* S2C2_RESTRICT a0, std::size_t cols,
+                             const double* S2C2_RESTRICT x, std::size_t width,
+                             std::size_t jw, double* S2C2_RESTRICT y0) {
+  double acc[kMatmatColTile] = {};
+  for (std::size_t c = 0; c < cols; ++c) {
+    const double* S2C2_RESTRICT xc = x + c * width;
+    const double a0c = a0[c];
+    for (std::size_t j = 0; j < jw; ++j) acc[j] += a0c * xc[j];
+  }
+  for (std::size_t j = 0; j < jw; ++j) y0[j] = acc[j];
+}
+
+inline void dense_matmat_range(const double* S2C2_RESTRICT a, std::size_t r0,
+                               std::size_t r1, std::size_t cols,
+                               const double* S2C2_RESTRICT x,
+                               std::size_t width, double* S2C2_RESTRICT y) {
+  std::size_t r = r0;
+  for (; r + kMatmatRowTile <= r1; r += kMatmatRowTile) {
+    const double* S2C2_RESTRICT a0 = a + r * cols;
+    const double* S2C2_RESTRICT a1 = a0 + cols;
+    double* S2C2_RESTRICT y0 = y + r * width;
+    double* S2C2_RESTRICT y1 = y0 + width;
+    std::size_t j = 0;
+    for (; j + kMatmatColTile <= width; j += kMatmatColTile) {
+      matmat_rows2_tile<kMatmatColTile>(a0, a1, cols, x + j, width, y0 + j,
+                                        y1 + j);
+    }
+    if (j < width) {
+      matmat_row1_tail(a0, cols, x + j, width, width - j, y0 + j);
+      matmat_row1_tail(a1, cols, x + j, width, width - j, y1 + j);
+    }
+  }
+  for (; r < r1; ++r) {
+    const double* S2C2_RESTRICT a0 = a + r * cols;
+    double* S2C2_RESTRICT y0 = y + r * width;
+    std::size_t j = 0;
+    for (; j + kMatmatColTile <= width; j += kMatmatColTile) {
+      matmat_row1_tile<kMatmatColTile>(a0, cols, x + j, width, y0 + j);
+    }
+    if (j < width) matmat_row1_tail(a0, cols, x + j, width, width - j, y0 + j);
+  }
+}
+
+inline void csr_matvec_range(const std::size_t* S2C2_RESTRICT row_ptr,
+                             std::size_t r0, std::size_t r1,
+                             const std::size_t* S2C2_RESTRICT col_idx,
+                             const double* S2C2_RESTRICT values,
+                             const double* S2C2_RESTRICT x,
+                             double* S2C2_RESTRICT y) {
+  for (std::size_t r = r0; r < r1; ++r) {
+    const std::size_t p0 = row_ptr[r];
+    const std::size_t p1 = row_ptr[r + 1];
+    double acc = 0.0;
+    for (std::size_t p = p0; p < p1; ++p) acc += values[p] * x[col_idx[p]];
+    y[r] = acc;
+  }
+}
+
+// Tiled CSR panel rows: one pass over the row's nonzeros per column tile
+// of 8 (instead of one pass per RHS column), gathers amortized across
+// the tile; per-element chains stay in CSR storage order.
+template <std::size_t W>
+inline void csr_row_tile(std::size_t p0, std::size_t p1,
+                         const std::size_t* S2C2_RESTRICT col_idx,
+                         const double* S2C2_RESTRICT values,
+                         const double* S2C2_RESTRICT x, std::size_t width,
+                         double* S2C2_RESTRICT y) {
+  double acc[W] = {};
+  for (std::size_t p = p0; p < p1; ++p) {
+    const double v = values[p];
+    const double* S2C2_RESTRICT xc = x + col_idx[p] * width;
+    for (std::size_t j = 0; j < W; ++j) acc[j] += v * xc[j];
+  }
+  for (std::size_t j = 0; j < W; ++j) y[j] = acc[j];
+}
+
+inline void csr_row_tail(std::size_t p0, std::size_t p1,
+                         const std::size_t* S2C2_RESTRICT col_idx,
+                         const double* S2C2_RESTRICT values,
+                         const double* S2C2_RESTRICT x, std::size_t width,
+                         std::size_t jw, double* S2C2_RESTRICT y) {
+  double acc[kMatmatColTile] = {};
+  for (std::size_t p = p0; p < p1; ++p) {
+    const double v = values[p];
+    const double* S2C2_RESTRICT xc = x + col_idx[p] * width;
+    for (std::size_t j = 0; j < jw; ++j) acc[j] += v * xc[j];
+  }
+  for (std::size_t j = 0; j < jw; ++j) y[j] = acc[j];
+}
+
+inline void csr_matmat_range(const std::size_t* S2C2_RESTRICT row_ptr,
+                             std::size_t r0, std::size_t r1,
+                             const std::size_t* S2C2_RESTRICT col_idx,
+                             const double* S2C2_RESTRICT values,
+                             const double* S2C2_RESTRICT x, std::size_t width,
+                             double* S2C2_RESTRICT y) {
+  for (std::size_t r = r0; r < r1; ++r) {
+    const std::size_t p0 = row_ptr[r];
+    const std::size_t p1 = row_ptr[r + 1];
+    double* S2C2_RESTRICT yr = y + r * width;
+    std::size_t j = 0;
+    for (; j + kMatmatColTile <= width; j += kMatmatColTile) {
+      csr_row_tile<kMatmatColTile>(p0, p1, col_idx, values, x + j, width,
+                                   yr + j);
+    }
+    if (j < width) {
+      csr_row_tail(p0, p1, col_idx, values, x + j, width, width - j, yr + j);
+    }
+  }
+}
+
+}  // namespace
+
+void dense_matvec(const double* S2C2_RESTRICT a, std::size_t rows,
+                  std::size_t cols, const double* S2C2_RESTRICT x,
+                  double* S2C2_RESTRICT y) {
+#if defined(_OPENMP)
+  if (rows * cols >= kOmpMinWork) {
+    const std::ptrdiff_t n = static_cast<std::ptrdiff_t>(rows);
+#pragma omp parallel
+    {
+      const int nt = omp_get_num_threads();
+      const int id = omp_get_thread_num();
+      const std::ptrdiff_t lo = n * id / nt;
+      const std::ptrdiff_t hi = n * (id + 1) / nt;
+      dense_matvec_range(a, static_cast<std::size_t>(lo),
+                         static_cast<std::size_t>(hi), cols, x, y);
+    }
+    return;
+  }
+#endif
+  dense_matvec_range(a, 0, rows, cols, x, y);
+}
+
+void dense_matmat(const double* S2C2_RESTRICT a, std::size_t rows,
+                  std::size_t cols, const double* S2C2_RESTRICT x,
+                  std::size_t width, double* S2C2_RESTRICT y) {
+#if defined(_OPENMP)
+  if (rows * cols * width >= kOmpMinWork) {
+    const std::ptrdiff_t n = static_cast<std::ptrdiff_t>(rows);
+#pragma omp parallel
+    {
+      const int nt = omp_get_num_threads();
+      const int id = omp_get_thread_num();
+      const std::ptrdiff_t lo = n * id / nt;
+      const std::ptrdiff_t hi = n * (id + 1) / nt;
+      dense_matmat_range(a, static_cast<std::size_t>(lo),
+                         static_cast<std::size_t>(hi), cols, x, width, y);
+    }
+    return;
+  }
+#endif
+  dense_matmat_range(a, 0, rows, cols, x, width, y);
+}
+
+void csr_matvec(const std::size_t* S2C2_RESTRICT row_ptr, std::size_t rows,
+                const std::size_t* S2C2_RESTRICT col_idx,
+                const double* S2C2_RESTRICT values,
+                const double* S2C2_RESTRICT x, double* S2C2_RESTRICT y) {
+  csr_matvec_range(row_ptr, 0, rows, col_idx, values, x, y);
+}
+
+void csr_matmat(const std::size_t* S2C2_RESTRICT row_ptr, std::size_t rows,
+                const std::size_t* S2C2_RESTRICT col_idx,
+                const double* S2C2_RESTRICT values,
+                const double* S2C2_RESTRICT x, std::size_t width,
+                double* S2C2_RESTRICT y) {
+  csr_matmat_range(row_ptr, 0, rows, col_idx, values, x, width, y);
+}
+
+}  // namespace s2c2::linalg::kernels

@@ -87,14 +87,14 @@ void LuFactorization::solve_inplace(std::span<double> b_rowmajor,
   const std::size_t n = dim();
   S2C2_REQUIRE(width > 0 && b_rowmajor.size() == n * width,
                "LU solve_inplace: rhs layout mismatch");
-  // Apply the row permutation.
-  std::vector<double> tmp(b_rowmajor.size());
+  // Apply the row permutation (gather through the retained scratch).
+  perm_scratch_.resize(b_rowmajor.size());
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t c = 0; c < width; ++c) {
-      tmp[i * width + c] = b_rowmajor[piv_[i] * width + c];
+      perm_scratch_[i * width + c] = b_rowmajor[piv_[i] * width + c];
     }
   }
-  std::copy(tmp.begin(), tmp.end(), b_rowmajor.begin());
+  std::copy(perm_scratch_.begin(), perm_scratch_.end(), b_rowmajor.begin());
   // Forward substitution over all columns at once.
   for (std::size_t i = 1; i < n; ++i) {
     for (std::size_t j = 0; j < i; ++j) {

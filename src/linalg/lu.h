@@ -31,6 +31,9 @@ class LuFactorization {
   [[nodiscard]] Matrix solve_matrix(const Matrix& b) const;
 
   /// In-place variant over a row-major RHS laid out as n rows of width m.
+  /// Reuses an internal permutation scratch, so steady-state calls are
+  /// allocation-free — but NOT safe to call concurrently on one instance
+  /// (decode runs single-threaded; see tests/arena_test.cpp).
   void solve_inplace(std::span<double> b_rowmajor, std::size_t width) const;
 
   /// Crude reciprocal-condition signal: min |U_ii| / max |U_ii|.
@@ -40,6 +43,9 @@ class LuFactorization {
   Matrix lu_;                     // packed L (unit diag) and U
   std::vector<std::size_t> piv_;  // row permutation
   double rcond_ = 0.0;
+  // Retained across solve_inplace calls (resize keeps capacity) so the
+  // row-permutation gather never heap-allocates in steady state.
+  mutable std::vector<double> perm_scratch_;
 };
 
 }  // namespace s2c2::linalg

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/linalg/kernels.h"
 #include "src/util/require.h"
 
 namespace s2c2::linalg {
@@ -54,13 +55,7 @@ Vector Matrix::matvec(std::span<const double> x) const {
 void Matrix::matvec_into(std::span<const double> x, std::span<double> y) const {
   S2C2_REQUIRE(x.size() == cols_, "matvec: x size mismatch");
   S2C2_REQUIRE(y.size() == rows_, "matvec: y size mismatch");
-  const double* a = data_.data();
-  for (std::size_t r = 0; r < rows_; ++r) {
-    const double* row = a + r * cols_;
-    double acc = 0.0;
-    for (std::size_t c = 0; c < cols_; ++c) acc += row[c] * x[c];
-    y[r] = acc;
-  }
+  kernels::dense_matvec(data_.data(), rows_, cols_, x.data(), y.data());
 }
 
 Matrix Matrix::matmat(const Matrix& x) const {
@@ -75,15 +70,7 @@ void Matrix::matmat_into(std::span<const double> x, std::size_t width,
   S2C2_REQUIRE(width > 0, "matmat: width must be >= 1");
   S2C2_REQUIRE(x.size() == cols_ * width, "matmat: x panel size mismatch");
   S2C2_REQUIRE(y.size() == rows_ * width, "matmat: y panel size mismatch");
-  const double* a = data_.data();
-  for (std::size_t r = 0; r < rows_; ++r) {
-    const double* row = a + r * cols_;
-    for (std::size_t j = 0; j < width; ++j) {
-      double acc = 0.0;
-      for (std::size_t c = 0; c < cols_; ++c) acc += row[c] * x[c * width + j];
-      y[r * width + j] = acc;
-    }
-  }
+  kernels::dense_matmat(data_.data(), rows_, cols_, x.data(), width, y.data());
 }
 
 Vector Matrix::matvec_transposed(std::span<const double> x) const {

@@ -60,6 +60,15 @@ class Matrix {
   [[nodiscard]] std::span<const double> data() const noexcept { return data_; }
   [[nodiscard]] std::span<double> mutable_data() noexcept { return data_; }
 
+  /// Reshape without zeroing: contents are unspecified afterwards, the
+  /// caller must overwrite every element. Retains capacity, so the decode
+  /// hot path can reuse one Matrix across rounds allocation-free.
+  void resize(std::size_t rows, std::size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.resize(rows * cols);
+  }
+
   /// Copies rows [begin, end) into a new (end-begin) x cols matrix.
   [[nodiscard]] Matrix row_block(std::size_t begin, std::size_t end) const;
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/linalg/kernels.h"
 #include "src/util/require.h"
 
 namespace s2c2::linalg {
@@ -47,13 +48,8 @@ void CsrMatrix::matvec_into(std::span<const double> x,
                             std::span<double> y) const {
   S2C2_REQUIRE(x.size() == cols_, "CSR matvec: x size mismatch");
   S2C2_REQUIRE(y.size() == rows_, "CSR matvec: y size mismatch");
-  for (std::size_t r = 0; r < rows_; ++r) {
-    double acc = 0.0;
-    for (std::size_t p = row_ptr_[r]; p < row_ptr_[r + 1]; ++p) {
-      acc += values_[p] * x[col_idx_[p]];
-    }
-    y[r] = acc;
-  }
+  kernels::csr_matvec(row_ptr_.data(), rows_, col_idx_.data(), values_.data(),
+                      x.data(), y.data());
 }
 
 Matrix CsrMatrix::matmat(const Matrix& x) const {
@@ -68,15 +64,8 @@ void CsrMatrix::matmat_into(std::span<const double> x, std::size_t width,
   S2C2_REQUIRE(width > 0, "CSR matmat: width must be >= 1");
   S2C2_REQUIRE(x.size() == cols_ * width, "CSR matmat: x panel size mismatch");
   S2C2_REQUIRE(y.size() == rows_ * width, "CSR matmat: y panel size mismatch");
-  for (std::size_t r = 0; r < rows_; ++r) {
-    for (std::size_t j = 0; j < width; ++j) {
-      double acc = 0.0;
-      for (std::size_t p = row_ptr_[r]; p < row_ptr_[r + 1]; ++p) {
-        acc += values_[p] * x[col_idx_[p] * width + j];
-      }
-      y[r * width + j] = acc;
-    }
-  }
+  kernels::csr_matmat(row_ptr_.data(), rows_, col_idx_.data(), values_.data(),
+                      x.data(), width, y.data());
 }
 
 CsrMatrix CsrMatrix::row_block(std::size_t begin, std::size_t end) const {

@@ -35,47 +35,57 @@ std::size_t Allocation::total_chunks() const {
 namespace {
 
 /// Lays out counts as consecutive wrap-around ranges and validates the
-/// exact-k coverage invariant's preconditions.
-Allocation lay_out(const std::vector<std::size_t>& counts, std::size_t k,
-                   std::size_t c) {
+/// exact-k coverage invariant's preconditions. Fill-style: `out` keeps its
+/// capacity across rounds.
+void lay_out_into(const std::vector<std::size_t>& counts, std::size_t k,
+                  std::size_t c, Allocation& out) {
   const std::size_t total =
       std::accumulate(counts.begin(), counts.end(), std::size_t{0});
   S2C2_CHECK(total == k * c, "allocation must hand out exactly k*C chunks");
   for (std::size_t cnt : counts) {
     S2C2_CHECK(cnt <= c, "a worker cannot exceed its partition");
   }
-  Allocation alloc;
-  alloc.chunks_per_partition = c;
-  alloc.per_worker.resize(counts.size());
+  out.chunks_per_partition = c;
+  out.per_worker.resize(counts.size());
   std::size_t begin = 0;
   for (std::size_t w = 0; w < counts.size(); ++w) {
-    alloc.per_worker[w] = ChunkRange{begin % c, counts[w]};
+    out.per_worker[w] = ChunkRange{begin % c, counts[w]};
     begin = (begin + counts[w]) % c;
   }
+}
+
+Allocation lay_out(const std::vector<std::size_t>& counts, std::size_t k,
+                   std::size_t c) {
+  Allocation alloc;
+  lay_out_into(counts, k, c, alloc);
   return alloc;
 }
 
 /// Proportional split of k*C among workers with caps at C: largest-remainder
 /// rounding, then overflow redistribution among workers still under cap.
-std::vector<std::size_t> capped_proportional_counts(
-    std::span<const double> speeds, std::size_t k, std::size_t c) {
+/// Result lands in scratch.counts; every intermediate reuses scratch
+/// capacity, so warm calls never allocate.
+void capped_proportional_counts(std::span<const double> speeds, std::size_t k,
+                                std::size_t c, AllocationScratch& s) {
   const std::size_t n = speeds.size();
   std::size_t live = 0;
-  for (double s : speeds) {
-    S2C2_REQUIRE(s >= 0.0 && std::isfinite(s), "speeds must be finite >= 0");
-    if (s > 0.0) ++live;
+  for (double v : speeds) {
+    S2C2_REQUIRE(v >= 0.0 && std::isfinite(v), "speeds must be finite >= 0");
+    if (v > 0.0) ++live;
   }
   S2C2_REQUIRE(live >= k, "need at least k workers with positive speed");
 
   const double target = static_cast<double>(k * c);
-  std::vector<std::size_t> counts(n, 0);
-  std::vector<bool> capped(n, false);
+  std::vector<std::size_t>& counts = s.counts;
+  counts.assign(n, 0);
+  s.capped.assign(n, false);
   double remaining = target;
 
   // Iterate: assign proportional shares; cap overflowing workers at C and
   // re-share the excess among the rest. Terminates because each pass caps
   // at least one more worker or converges.
-  std::vector<std::size_t> open;
+  std::vector<std::size_t>& open = s.open;
+  open.clear();
   for (std::size_t w = 0; w < n; ++w) {
     if (speeds[w] > 0.0) open.push_back(w);
   }
@@ -85,64 +95,63 @@ std::vector<std::size_t> capped_proportional_counts(
     S2C2_CHECK(speed_sum > 0.0, "no capacity left to allocate");
 
     // Real-valued quotas for this pass.
-    std::vector<double> quota(open.size());
+    s.quota.assign(open.size(), 0.0);
     bool any_capped = false;
     for (std::size_t i = 0; i < open.size(); ++i) {
       const std::size_t w = open[i];
-      quota[i] = remaining * speeds[w] / speed_sum;
+      s.quota[i] = remaining * speeds[w] / speed_sum;
       const double headroom = static_cast<double>(c - counts[w]);
-      if (quota[i] >= headroom) {
-        quota[i] = headroom;
-        capped[w] = true;
+      if (s.quota[i] >= headroom) {
+        s.quota[i] = headroom;
+        s.capped[w] = true;
         any_capped = true;
       }
     }
     if (any_capped) {
       // Commit the capped workers at their cap, keep the rest open.
-      std::vector<std::size_t> next_open;
+      s.next_open.clear();
       for (std::size_t i = 0; i < open.size(); ++i) {
         const std::size_t w = open[i];
-        if (capped[w]) {
+        if (s.capped[w]) {
           remaining -= static_cast<double>(c - counts[w]);
           counts[w] = c;
         } else {
-          next_open.push_back(w);
+          s.next_open.push_back(w);
         }
       }
-      open = std::move(next_open);
+      std::swap(open, s.next_open);
       continue;
     }
     // No caps hit: integerize with largest remainder and finish.
-    std::vector<std::size_t> floors(open.size());
-    std::vector<std::pair<double, std::size_t>> fracs(open.size());
+    s.floors.assign(open.size(), 0);
+    s.fracs.assign(open.size(), {0.0, 0});
     std::size_t assigned = 0;
     for (std::size_t i = 0; i < open.size(); ++i) {
-      floors[i] = static_cast<std::size_t>(quota[i]);
-      fracs[i] = {quota[i] - static_cast<double>(floors[i]), i};
-      assigned += floors[i];
+      s.floors[i] = static_cast<std::size_t>(s.quota[i]);
+      s.fracs[i] = {s.quota[i] - static_cast<double>(s.floors[i]), i};
+      assigned += s.floors[i];
     }
     auto leftover =
         static_cast<std::size_t>(std::llround(remaining)) - assigned;
-    std::sort(fracs.begin(), fracs.end(), [](const auto& a, const auto& b) {
-      return a.first > b.first;
-    });
+    std::sort(s.fracs.begin(), s.fracs.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
     for (std::size_t i = 0; i < open.size(); ++i) {
-      std::size_t cnt = floors[fracs[i].second];
+      std::size_t cnt = s.floors[s.fracs[i].second];
       if (leftover > 0 &&
-          counts[open[fracs[i].second]] + cnt < static_cast<std::size_t>(c)) {
+          counts[open[s.fracs[i].second]] + cnt < static_cast<std::size_t>(c)) {
         ++cnt;
         --leftover;
       }
-      counts[open[fracs[i].second]] += cnt;
+      counts[open[s.fracs[i].second]] += cnt;
     }
     // Any leftover that could not be placed due to caps: sweep once more.
     remaining = static_cast<double>(leftover);
     if (leftover > 0) {
-      std::vector<std::size_t> next_open;
+      s.next_open.clear();
       for (std::size_t w : open) {
-        if (counts[w] < c) next_open.push_back(w);
+        if (counts[w] < c) s.next_open.push_back(w);
       }
-      open = std::move(next_open);
+      std::swap(open, s.next_open);
     } else {
       remaining = 0.0;
     }
@@ -150,7 +159,6 @@ std::vector<std::size_t> capped_proportional_counts(
   S2C2_CHECK(std::accumulate(counts.begin(), counts.end(), std::size_t{0}) ==
                  k * c,
              "proportional allocation did not place exactly k*C chunks");
-  return counts;
 }
 
 }  // namespace
@@ -214,26 +222,50 @@ Allocation algorithm1(std::span<const int> speeds, std::size_t k) {
   return lay_out(counts, k, c);
 }
 
-Allocation proportional_allocation(std::span<const double> speeds,
-                                   std::size_t k, std::size_t c) {
+void proportional_allocation_into(std::span<const double> speeds,
+                                  std::size_t k, std::size_t c,
+                                  AllocationScratch& scratch,
+                                  Allocation& out) {
   S2C2_REQUIRE(k >= 1, "k must be >= 1");
   S2C2_REQUIRE(c >= 1, "granularity must be >= 1");
-  return lay_out(capped_proportional_counts(speeds, k, c), k, c);
+  capped_proportional_counts(speeds, k, c, scratch);
+  lay_out_into(scratch.counts, k, c, out);
+}
+
+void basic_s2c2_allocation_into(const std::vector<bool>& straggler,
+                                std::size_t k, std::size_t c,
+                                AllocationScratch& scratch, Allocation& out) {
+  scratch.speeds.resize(straggler.size());
+  for (std::size_t i = 0; i < straggler.size(); ++i) {
+    scratch.speeds[i] = straggler[i] ? 0.0 : 1.0;
+  }
+  proportional_allocation_into(scratch.speeds, k, c, scratch, out);
+}
+
+void full_allocation_into(std::size_t n, std::size_t c, Allocation& out) {
+  out.chunks_per_partition = c;
+  out.per_worker.assign(n, ChunkRange{0, c});
+}
+
+Allocation proportional_allocation(std::span<const double> speeds,
+                                   std::size_t k, std::size_t c) {
+  AllocationScratch scratch;
+  Allocation alloc;
+  proportional_allocation_into(speeds, k, c, scratch, alloc);
+  return alloc;
 }
 
 Allocation basic_s2c2_allocation(const std::vector<bool>& straggler,
                                  std::size_t k, std::size_t c) {
-  std::vector<double> speeds(straggler.size());
-  for (std::size_t i = 0; i < straggler.size(); ++i) {
-    speeds[i] = straggler[i] ? 0.0 : 1.0;
-  }
-  return proportional_allocation(speeds, k, c);
+  AllocationScratch scratch;
+  Allocation alloc;
+  basic_s2c2_allocation_into(straggler, k, c, scratch, alloc);
+  return alloc;
 }
 
 Allocation full_allocation(std::size_t n, std::size_t c) {
   Allocation alloc;
-  alloc.chunks_per_partition = c;
-  alloc.per_worker.assign(n, ChunkRange{0, c});
+  full_allocation_into(n, c, alloc);
   return alloc;
 }
 

@@ -44,6 +44,21 @@ struct Allocation {
   [[nodiscard]] std::size_t total_chunks() const;
 };
 
+/// Reusable buffers for the *_into allocator variants below. One scratch
+/// per engine: the round hot path re-allocates every round, and with warm
+/// scratch capacity those calls never touch the heap
+/// (tests/arena_test.cpp's counting allocator pins this).
+struct AllocationScratch {
+  std::vector<std::size_t> counts;
+  std::vector<std::size_t> open;
+  std::vector<std::size_t> next_open;
+  std::vector<std::size_t> floors;
+  std::vector<double> quota;
+  std::vector<double> speeds;  // basic_s2c2's straggler -> speed expansion
+  std::vector<bool> capped;
+  std::vector<std::pair<double, std::size_t>> fracs;
+};
+
 /// Paper Algorithm 1. `speeds` are positive integers (the paper uses the
 /// sum of speeds as the over-decomposition factor: C = Σ u_i). Workers with
 /// zero speed receive no work. Requires at least k workers with u_i > 0.
@@ -66,5 +81,21 @@ struct Allocation {
 /// Conventional coded computation: every worker is assigned its entire
 /// partition (the decoder then simply uses the fastest k responses).
 [[nodiscard]] Allocation full_allocation(std::size_t n, std::size_t c);
+
+// ---- allocation-free variants ---------------------------------------------
+// Identical arithmetic and results to the by-value allocators above (the
+// by-value forms are thin wrappers), but every intermediate lives in the
+// caller's scratch and the result in the caller's Allocation, so a warmed
+// steady-state call performs zero heap allocations.
+
+void proportional_allocation_into(std::span<const double> speeds,
+                                  std::size_t k, std::size_t c,
+                                  AllocationScratch& scratch, Allocation& out);
+
+void basic_s2c2_allocation_into(const std::vector<bool>& straggler,
+                                std::size_t k, std::size_t c,
+                                AllocationScratch& scratch, Allocation& out);
+
+void full_allocation_into(std::size_t n, std::size_t c, Allocation& out);
 
 }  // namespace s2c2::sched

@@ -26,8 +26,13 @@ bool has_exact_coverage(const Allocation& a, std::size_t k) {
                      [k](std::size_t c) { return c == k; });
 }
 
-std::vector<std::vector<std::size_t>> chunk_workers(const Allocation& a) {
-  std::vector<std::vector<std::size_t>> out(a.chunks_per_partition);
+void chunk_workers_into(const Allocation& a,
+                        std::vector<std::vector<std::size_t>>& out) {
+  // Shrinking keeps the trimmed inner vectors' capacity alive inside
+  // `out` only up to the new size; growing reuses whatever inner
+  // capacity survived from earlier calls.
+  out.resize(a.chunks_per_partition);
+  for (auto& ws : out) ws.clear();
   for (std::size_t w = 0; w < a.per_worker.size(); ++w) {
     const ChunkRange& r = a.per_worker[w];
     for (std::size_t i = 0; i < r.count; ++i) {
@@ -35,6 +40,11 @@ std::vector<std::vector<std::size_t>> chunk_workers(const Allocation& a) {
     }
   }
   for (auto& ws : out) std::sort(ws.begin(), ws.end());
+}
+
+std::vector<std::vector<std::size_t>> chunk_workers(const Allocation& a) {
+  std::vector<std::vector<std::size_t>> out;
+  chunk_workers_into(a, out);
   return out;
 }
 

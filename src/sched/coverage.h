@@ -28,6 +28,12 @@ namespace s2c2::sched {
 [[nodiscard]] std::vector<std::vector<std::size_t>> chunk_workers(
     const Allocation& a);
 
+/// Fill-style chunk_workers: identical results, but `out` and its inner
+/// vectors keep their capacity across calls, so the per-round timeout
+/// bookkeeping never allocates once warm.
+void chunk_workers_into(const Allocation& a,
+                        std::vector<std::vector<std::size_t>>& out);
+
 /// Maximal runs of consecutive chunk indices with identical worker sets.
 struct CoverageGroup {
   std::size_t first_chunk = 0;

@@ -1,0 +1,48 @@
+#include "src/util/arena.h"
+
+#include <algorithm>
+
+#include "src/util/require.h"
+
+namespace s2c2::util {
+
+Arena::Arena(std::size_t block_bytes)
+    : block_bytes_(std::max<std::size_t>(block_bytes, 64)) {}
+
+void* Arena::allocate(std::size_t bytes, std::size_t align) {
+  S2C2_REQUIRE(align != 0 && (align & (align - 1)) == 0 &&
+                   align <= alignof(std::max_align_t),
+               "arena alignment must be a power of two <= max_align_t");
+  if (bytes == 0) bytes = 1;  // distinct non-null results for empty spans
+
+  // Advance through retained blocks until one fits; operator new's storage
+  // is max_align_t-aligned, so aligning the offset aligns the pointer.
+  while (true) {
+    if (current_ < blocks_.size()) {
+      Block& b = blocks_[current_];
+      const std::size_t aligned = (offset_ + align - 1) & ~(align - 1);
+      if (aligned + bytes <= b.size) {
+        offset_ = aligned + bytes;
+        used_ += bytes;
+        return b.data.get() + aligned;
+      }
+      ++current_;
+      offset_ = 0;
+      continue;
+    }
+    // Chain a fresh block (oversize requests get an exact-fit block).
+    Block b;
+    b.size = std::max(block_bytes_, bytes);
+    b.data = std::make_unique<std::byte[]>(b.size);
+    reserved_ += b.size;
+    blocks_.push_back(std::move(b));
+  }
+}
+
+void Arena::reset() noexcept {
+  current_ = 0;
+  offset_ = 0;
+  used_ = 0;
+}
+
+}  // namespace s2c2::util

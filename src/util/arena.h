@@ -1,0 +1,86 @@
+// Arena — a monotonic per-round scratch allocator for the hot path.
+//
+// The round lifecycle produces many short-lived, variable-shaped buffers
+// (one chunk-result block per (worker, chunk) response, the decoder's
+// batched RHS staging). Allocating them from the heap costs thousands of
+// malloc/free pairs per round at fleet scale and dominated the n = 1000
+// rounds/sec profile (bench/bench_rounds.cpp). The arena replaces them
+// with pointer bumps: allocate() carves from a chain of large blocks,
+// reset() rewinds to the first block while *retaining* every block, so a
+// steady-state round — same shapes as the last one — touches the heap
+// zero times (tests/arena_test.cpp pins this with a counting operator
+// new).
+//
+// Contract:
+//  * Memory is uninitialized; trivially-destructible payloads only
+//    (alloc_span is constrained to trivial types). Nothing is destroyed
+//    on reset — do not place owning objects in an arena.
+//  * Spans returned before the last reset() are invalidated by it. The
+//    round executor resets at round start, so arena-backed chunk results
+//    live exactly as long as the ledger they decode from.
+//  * Oversize requests (> block_bytes) get a dedicated block of exactly
+//    the requested size, chained and retained like any other block.
+//  * Not thread-safe: one arena per engine, like the decode context.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+namespace s2c2::util {
+
+class Arena {
+ public:
+  /// `block_bytes` is the granularity fresh blocks are reserved at.
+  explicit Arena(std::size_t block_bytes = 1u << 16);
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+  Arena(Arena&&) noexcept = default;
+  Arena& operator=(Arena&&) noexcept = default;
+
+  /// Uninitialized storage, aligned to `align` (a power of two <=
+  /// alignof(std::max_align_t)). Grows the block chain on first use of a
+  /// size profile; steady-state repeats are pure pointer bumps.
+  [[nodiscard]] void* allocate(std::size_t bytes,
+                               std::size_t align = alignof(std::max_align_t));
+
+  /// `count` default-uninitialized Ts (trivial types only).
+  template <typename T>
+  [[nodiscard]] std::span<T> alloc_span(std::size_t count) {
+    static_assert(std::is_trivially_destructible_v<T> &&
+                      std::is_trivially_default_constructible_v<T>,
+                  "arena payloads must be trivial");
+    return {static_cast<T*>(allocate(count * sizeof(T), alignof(T))), count};
+  }
+
+  /// Rewinds to empty while retaining every reserved block.
+  void reset() noexcept;
+
+  /// Bytes handed out since the last reset().
+  [[nodiscard]] std::size_t bytes_used() const noexcept { return used_; }
+  /// Total bytes reserved across the retained block chain.
+  [[nodiscard]] std::size_t bytes_reserved() const noexcept {
+    return reserved_;
+  }
+  [[nodiscard]] std::size_t block_count() const noexcept {
+    return blocks_.size();
+  }
+
+ private:
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+  };
+
+  std::size_t block_bytes_;
+  std::vector<Block> blocks_;
+  std::size_t current_ = 0;  // block the bump pointer lives in
+  std::size_t offset_ = 0;   // bump offset within blocks_[current_]
+  std::size_t used_ = 0;
+  std::size_t reserved_ = 0;
+};
+
+}  // namespace s2c2::util

@@ -24,10 +24,12 @@ double variance(std::span<const double> xs) {
 
 double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
 
-double percentile(std::span<const double> xs, double p) {
+double percentile_scratch(std::span<const double> xs, double p,
+                          std::vector<double>& scratch) {
   S2C2_REQUIRE(!xs.empty(), "percentile of empty range");
   S2C2_REQUIRE(p >= 0.0 && p <= 100.0, "percentile p outside [0,100]");
-  std::vector<double> sorted(xs.begin(), xs.end());
+  scratch.assign(xs.begin(), xs.end());
+  std::vector<double>& sorted = scratch;
   std::sort(sorted.begin(), sorted.end());
   if (sorted.size() == 1) return sorted.front();
   const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
@@ -35,6 +37,16 @@ double percentile(std::span<const double> xs, double p) {
   const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
   const double frac = rank - static_cast<double>(lo);
   return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double median_scratch(std::span<const double> xs,
+                      std::vector<double>& scratch) {
+  return percentile_scratch(xs, 50.0, scratch);
+}
+
+double percentile(std::span<const double> xs, double p) {
+  std::vector<double> scratch;
+  return percentile_scratch(xs, p, scratch);
 }
 
 double median(std::span<const double> xs) { return percentile(xs, 50.0); }

@@ -21,6 +21,15 @@ namespace s2c2::util {
 
 [[nodiscard]] double median(std::span<const double> xs);
 
+/// Allocation-free percentile/median: identical arithmetic to the forms
+/// above, but the sort copy lives in caller-owned scratch (warm capacity =
+/// zero heap traffic). Used by the per-round allocators on the hot path.
+[[nodiscard]] double percentile_scratch(std::span<const double> xs, double p,
+                                        std::vector<double>& scratch);
+
+[[nodiscard]] double median_scratch(std::span<const double> xs,
+                                    std::vector<double>& scratch);
+
 [[nodiscard]] double min_of(std::span<const double> xs);
 [[nodiscard]] double max_of(std::span<const double> xs);
 [[nodiscard]] double sum(std::span<const double> xs);

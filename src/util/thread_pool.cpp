@@ -1,7 +1,6 @@
 #include "src/util/thread_pool.h"
 
 #include <algorithm>
-#include <atomic>
 #include <exception>
 #include <utility>
 
@@ -9,16 +8,20 @@ namespace s2c2::util {
 
 ThreadPool::ThreadPool(std::size_t threads) {
   const std::size_t n = std::max<std::size_t>(1, threads);
+  queues_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
   workers_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
 ThreadPool::~ThreadPool() {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    shutdown_ = true;
+    shutdown_.store(true);
   }
   work_cv_.notify_all();
   for (auto& t : workers_) {
@@ -27,39 +30,79 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(std::function<void()> task) {
+  const std::size_t q = next_queue_.fetch_add(1) % queues_.size();
+  // pending_ goes up before the push: a worker that wakes on the count but
+  // races ahead of the push finds nothing and retries, which is benign;
+  // the reverse order could drive the count transiently negative.
+  pending_.fetch_add(1);
   {
+    std::lock_guard<std::mutex> lock(queues_[q]->mu);
+    queues_[q]->tasks.push_back(std::move(task));
+  }
+  {
+    // Empty critical section: serializes with a worker between its
+    // predicate check and its wait, so the notify below cannot be lost.
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back(std::move(task));
   }
   work_cv_.notify_one();
 }
 
 void ThreadPool::wait_idle() {
   std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  idle_cv_.wait(lock, [this] {
+    return pending_.load() == 0 && in_flight_.load() == 0;
+  });
 }
 
 std::size_t ThreadPool::hardware_threads() {
   return std::max<std::size_t>(1, std::thread::hardware_concurrency());
 }
 
-void ThreadPool::worker_loop() {
+bool ThreadPool::try_pop(std::size_t self, std::function<void()>& task) {
+  // Own deque first (front = most recently queued locality), then cycle
+  // the siblings stealing from the back.
+  {
+    WorkerQueue& q = *queues_[self];
+    std::lock_guard<std::mutex> lock(q.mu);
+    if (!q.tasks.empty()) {
+      task = std::move(q.tasks.front());
+      q.tasks.pop_front();
+      return true;
+    }
+  }
+  for (std::size_t d = 1; d < queues_.size(); ++d) {
+    WorkerQueue& q = *queues_[(self + d) % queues_.size()];
+    std::lock_guard<std::mutex> lock(q.mu);
+    if (!q.tasks.empty()) {
+      task = std::move(q.tasks.back());
+      q.tasks.pop_back();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(std::size_t self) {
   while (true) {
     std::function<void()> task;
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // shutdown with a drained queue
-      task = std::move(queue_.front());
-      queue_.pop_front();
-      ++in_flight_;
+    if (try_pop(self, task)) {
+      in_flight_.fetch_add(1);
+      pending_.fetch_sub(1);
+      task();
+      const std::size_t running = in_flight_.fetch_sub(1) - 1;
+      if (running == 0 && pending_.load() == 0) {
+        std::lock_guard<std::mutex> lock(mu_);
+        idle_cv_.notify_all();
+      }
+      continue;
     }
-    task();
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      --in_flight_;
-      if (queue_.empty() && in_flight_ == 0) idle_cv_.notify_all();
-    }
+    std::unique_lock<std::mutex> lock(mu_);
+    work_cv_.wait(lock, [this] {
+      return shutdown_.load() || pending_.load() > 0;
+    });
+    if (shutdown_.load() && pending_.load() == 0) return;
+    // pending_ > 0: drop the lock and go find the task (it may land in
+    // any deque an instant after the count went up).
   }
 }
 
@@ -79,9 +122,10 @@ void parallel_for(std::size_t count, std::size_t jobs,
     ThreadPool pool(std::min(jobs, count));
     // One pull-loop per worker: indices are claimed from a shared counter,
     // so finished workers keep pulling instead of idling behind a static
-    // partition (matrix cells vary widely in cost). The first exception
-    // stops further claims — the partial results are discarded on rethrow,
-    // so finishing the sweep would only waste work.
+    // partition (matrix cells vary widely in cost), and fetch_add hands
+    // each index to exactly one claimant. The first exception stops
+    // further claims — the partial results are discarded on rethrow, so
+    // finishing the sweep would only waste work.
     for (std::size_t t = 0; t < pool.size(); ++t) {
       pool.submit([&] {
         for (std::size_t i = next.fetch_add(1); i < count && !stop.load();

@@ -1,18 +1,31 @@
-// Fixed-size worker-thread pool + a deterministic parallel_for.
+// Fixed-size work-stealing thread pool + a deterministic parallel_for.
 //
 // Built for the scenario-matrix executor (src/harness/matrix_runner.h):
 // matrix cells are independent, seeded computations, so the pool only needs
-// task submission and an idle barrier — no futures, no task graphs. The
-// companion parallel_for(count, jobs, fn) runs fn(0..count) across jobs
-// threads with each index executed exactly once; callers that write
+// task submission and an idle barrier — no futures, no task graphs.
+//
+// Queueing is work-stealing: each worker owns a deque (submission
+// round-robins across them), pops its own front, and steals from the back
+// of a sibling's deque when its own runs dry. A worker therefore only
+// contends on a per-deque mutex, not one global queue lock, and a long
+// task parked on one worker cannot strand the tasks queued behind it —
+// siblings steal them. The one global mutex is reserved for sleep/wake
+// coordination (empty pool parking, wait_idle, shutdown), which is off the
+// task fast path.
+//
+// The companion parallel_for(count, jobs, fn) runs fn(0..count) across
+// jobs threads with each index executed exactly once; callers that write
 // results into a preallocated slot per index get bit-identical output
-// regardless of thread count, which is the harness's determinism contract.
+// regardless of thread count, which is the harness's determinism contract
+// (pinned by tests/thread_pool_test.cpp at several --jobs values).
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -27,14 +40,14 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Drains the queue (pending tasks still run), then joins all workers.
+  /// Drains the queues (pending tasks still run), then joins all workers.
   ~ThreadPool();
 
   /// Enqueues a task. Tasks must not throw — wrap and capture exceptions
   /// at the call site (parallel_for does this for its callers).
   void submit(std::function<void()> task);
 
-  /// Blocks until the queue is empty and no worker is running a task.
+  /// Blocks until every queue is empty and no worker is running a task.
   void wait_idle();
 
   [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
@@ -43,14 +56,30 @@ class ThreadPool {
   [[nodiscard]] static std::size_t hardware_threads();
 
  private:
-  void worker_loop();
+  /// One worker's deque. Owner pops the front; thieves pop the back, so a
+  /// steal takes the oldest task — the one most likely to head a large
+  /// untouched run of work.
+  struct WorkerQueue {
+    std::mutex mu;
+    std::deque<std::function<void()>> tasks;
+  };
 
+  bool try_pop(std::size_t self, std::function<void()>& task);
+  void worker_loop(std::size_t self);
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::atomic<std::size_t> next_queue_{0};  // round-robin submission target
+
+  // Sleep/wake coordination only; never held while running a task.
+  // pending_ counts tasks sitting in deques (incremented before the push,
+  // so a worker that observes pending_ > 0 and fails to find the task
+  // simply retries); in_flight_ counts tasks currently executing.
   std::mutex mu_;
-  std::condition_variable work_cv_;   // queue non-empty or shutting down
-  std::condition_variable idle_cv_;   // queue empty and nothing in flight
-  std::deque<std::function<void()>> queue_;
-  std::size_t in_flight_ = 0;
-  bool shutdown_ = false;
+  std::condition_variable work_cv_;  // pending work or shutting down
+  std::condition_variable idle_cv_;  // all queues empty, nothing in flight
+  std::atomic<std::size_t> pending_{0};
+  std::atomic<std::size_t> in_flight_{0};
+  std::atomic<bool> shutdown_{false};
   std::vector<std::thread> workers_;
 };
 
@@ -59,7 +88,8 @@ class ThreadPool {
 /// caller's thread). Each index runs exactly once; completion order is
 /// unspecified, so fn must only touch per-index state. The first exception
 /// thrown by any fn(i) is rethrown on the caller's thread after all
-/// submitted work has drained.
+/// submitted work has drained. Safe to nest: each call builds a private
+/// pool, so an fn(i) that itself calls parallel_for cannot deadlock.
 void parallel_for(std::size_t count, std::size_t jobs,
                   const std::function<void(std::size_t)>& fn);
 

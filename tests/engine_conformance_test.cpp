@@ -335,6 +335,44 @@ TEST(EngineConformance, EngineAxisIdsArePinnedAndDistinct) {
   }
 }
 
+TEST(EngineConformance, WarmRoundsMatchColdRoundsBitForBit) {
+  // The allocation-free machinery (recycled RoundResults, retained
+  // scratch, the decoder arena) must be invisible in round payloads: round
+  // r of a warm engine that recycles every result is byte-identical —
+  // product bits, latency bits, prediction vectors — to round r of a twin
+  // engine that never recycles and therefore exercises the fresh-result
+  // path every time. Combined with the pinned fingerprint goldens
+  // (fingerprint_guard_test) this is the no-re-pins guarantee: scratch
+  // reuse changed WHERE results are built, never WHAT they contain.
+  const FunctionalRig rig;
+  const test::FunctionalHessian hess;
+  for (const StrategyKind k : core::registered_strategies()) {
+    if (is_poly(k)) continue;  // Hessian payload covered by its own suite
+    const auto recycling = core::make_engine(k, rig.params());
+    const auto fresh = core::make_engine(k, rig.params());
+    for (std::size_t round = 0; round < 5; ++round) {
+      core::RoundResult warm = recycling->run_round(rig.x);
+      const core::RoundResult cold = fresh->run_round(rig.x);
+      EXPECT_EQ(warm.stats.latency(), cold.stats.latency())
+          << strategy_name(k) << " round " << round;
+      EXPECT_EQ(warm.predicted_speeds, cold.predicted_speeds)
+          << strategy_name(k) << " round " << round;
+      EXPECT_EQ(warm.observed_speeds, cold.observed_speeds)
+          << strategy_name(k) << " round " << round;
+      ASSERT_TRUE(warm.y.has_value()) << strategy_name(k);
+      ASSERT_TRUE(cold.y.has_value()) << strategy_name(k);
+      ASSERT_EQ(warm.y->size(), cold.y->size()) << strategy_name(k);
+      for (std::size_t i = 0; i < warm.y->size(); ++i) {
+        EXPECT_EQ((*warm.y)[i], (*cold.y)[i])
+            << strategy_name(k) << " round " << round << " row " << i;
+      }
+      EXPECT_FALSE(warm.y_block.has_value()) << strategy_name(k);
+      EXPECT_FALSE(warm.hessian.has_value()) << strategy_name(k);
+      recycling->recycle(std::move(warm));
+    }
+  }
+}
+
 TEST(EngineConformance, DecodeCacheWarmsAcrossRepeatedRounds) {
   // Coded kinds charge decode through coding::DecodeContext; on a uniform
   // cluster the responder set repeats, so after the first round every

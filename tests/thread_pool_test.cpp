@@ -1,6 +1,16 @@
-// Tests for the worker pool behind the parallel matrix runner: task
-// completion, the idle barrier, exactly-once parallel_for semantics, and
-// exception propagation to the calling thread.
+// Tests for the work-stealing worker pool behind the parallel matrix
+// runner: task completion, the idle barrier, stealing around a blocked
+// worker, exactly-once parallel_for semantics (including under heavily
+// skewed per-index costs), bit-identical slot writes at any --jobs, no
+// deadlock on nested/empty/exception paths, and exception propagation to
+// the calling thread.
+//
+// The scheduling paths here are concurrency-sensitive; to re-check them
+// under ThreadSanitizer build and run this suite alone:
+//   cmake -B build-tsan -S . -DCMAKE_CXX_FLAGS="-fsanitize=thread -g -O1"
+//         -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"   (one command line)
+//   cmake --build build-tsan --target thread_pool_test -j
+//   ./build-tsan/thread_pool_test
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -51,6 +61,44 @@ TEST(ThreadPool, ClampsToAtLeastOneThread) {
   EXPECT_TRUE(ran);
 }
 
+TEST(ThreadPool, StealsQueuedWorkAroundABlockedWorker) {
+  // One task parks on a worker while the submission round-robin keeps
+  // loading every deque. Without stealing the tasks queued behind the
+  // parked one would wait for it; with stealing the siblings drain them,
+  // so everything except the parked task completes promptly.
+  std::atomic<int> done{0};
+  std::atomic<bool> release{false};
+  {
+    ThreadPool pool(4);
+    pool.submit([&] {
+      while (!release.load()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      ++done;
+    });
+    for (int i = 0; i < 40; ++i) {
+      pool.submit([&] { ++done; });
+    }
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (done.load() < 40 && std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    EXPECT_EQ(done.load(), 40) << "tasks stranded behind the parked worker";
+    release.store(true);
+    pool.wait_idle();
+    EXPECT_EQ(done.load(), 41);
+  }
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturnsImmediately) {
+  ThreadPool pool(3);
+  pool.wait_idle();  // nothing submitted: must not block
+  pool.submit([] {});
+  pool.wait_idle();
+  pool.wait_idle();  // idempotent after a drain
+}
+
 TEST(ParallelFor, EveryIndexRunsExactlyOnce) {
   for (const std::size_t jobs : {1u, 2u, 5u, 16u}) {
     std::vector<std::atomic<int>> hits(257);
@@ -78,6 +126,62 @@ TEST(ParallelFor, SlotWritesAreDeterministicAcrossJobCounts) {
   for (std::size_t i = 0; i < serial.size(); ++i) {
     EXPECT_EQ(serial[i], parallel[i]) << i;  // bit-exact
   }
+}
+
+TEST(ParallelFor, ExactlyOnceUnderSkewedCosts) {
+  // Index costs spanning ~3 orders of magnitude: a static partition would
+  // finish wildly unevenly, so this exercises the dynamic claim loop — and
+  // the exactly-once contract must survive the resulting interleavings.
+  for (const std::size_t jobs : {2u, 4u, 9u}) {
+    std::vector<std::atomic<int>> hits(160);
+    parallel_for(hits.size(), jobs, [&](std::size_t i) {
+      volatile double sink = 0.0;
+      const int spins = (i % 16 == 0) ? 200000 : 100;
+      for (int s = 0; s < spins; ++s) sink = sink + 1.0;
+      ++hits[i];
+    });
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "jobs=" << jobs << " index=" << i;
+    }
+  }
+}
+
+TEST(ParallelFor, SkewedSlotWritesBitIdenticalAcrossJobCounts) {
+  // Determinism under skew: per-slot results must be bit-identical no
+  // matter which worker claims which index or in what order.
+  auto run = [](std::size_t jobs) {
+    std::vector<double> out(96);
+    parallel_for(out.size(), jobs, [&](std::size_t i) {
+      double acc = 1.0 / (static_cast<double>(i) + 2.0);
+      const int iters = 50 + static_cast<int>(i % 7) * 400;
+      for (int it = 0; it < iters; ++it) acc = acc * 0.999999 + 1e-9;
+      out[i] = acc;
+    });
+    return out;
+  };
+  const auto serial = run(1);
+  for (const std::size_t jobs : {2u, 3u, 8u}) {
+    const auto parallel = run(jobs);
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(serial[i], parallel[i]) << "jobs=" << jobs << " i=" << i;
+    }
+  }
+}
+
+TEST(ParallelFor, NestedCallsDoNotDeadlock) {
+  // Each outer index runs an inner parallel_for; pools are per-call, so
+  // inner sweeps never wait on the outer pool's own workers.
+  std::atomic<int> inner_total{0};
+  parallel_for(6, 3, [&](std::size_t) {
+    parallel_for(8, 2, [&](std::size_t) { ++inner_total; });
+  });
+  EXPECT_EQ(inner_total.load(), 48);
+}
+
+TEST(ParallelFor, EmptyCountIsANoOp) {
+  std::atomic<int> count{0};
+  parallel_for(0, 4, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 0);
 }
 
 TEST(ParallelFor, PropagatesFirstException) {
