@@ -7,10 +7,23 @@
 // optimize. Decoded products are cross-checked against the direct
 // operator product before any timing is trusted.
 //
+// The grid carries an inner_jobs axis (EngineParams::inner_jobs in
+// {1, 4, hardware}, deduped): the same warm round loop with the engine's
+// kernels, chunk products, and decode groups fanned over the inner pool.
+// Fingerprint invariance is enforced inline — every inner-parallel case's
+// decoded product must carry the serial case's bits exactly.
+//
 // Emits a JSON snapshot (default: BENCH_rounds.json — CI uploads it
 // beside BENCH_decode.json/BENCH_serve.json; reference copy checked in at
-// bench/baselines/BENCH_rounds.json) and exits nonzero if rounds/sec at
-// n = 1000 falls below 2x the pre-PR measurement recorded below.
+// bench/baselines/BENCH_rounds.json, stamped with the measuring machine's
+// hardware_threads) and exits nonzero if
+//   (a) rounds/sec at n = 1000, inner_jobs = 1 falls below 2x the pre-PR
+//       measurement recorded below, or
+//   (b) on a machine with >= 4 hardware threads, warm rounds/sec at
+//       n = 1000, b = 8, inner_jobs = 4 falls below 1.8x the inner_jobs=1
+//       case (the intra-round parallelism acceptance bar; on narrower
+//       machines the scaling bar is reported as SKIPPED — an inner pool
+//       cannot beat 1.8x without at least 4 cores to run on).
 //
 // Pre-PR baseline (commit 89f8eb0, naive kernels + allocating round loop,
 // single-core container, Release -O3, `bench_rounds 150`), rounds/sec at
@@ -35,6 +48,7 @@
 #include "src/linalg/matrix.h"
 #include "src/util/rng.h"
 #include "src/util/table.h"
+#include "src/util/thread_pool.h"
 
 namespace {
 
@@ -48,6 +62,12 @@ constexpr double kPrePrS2c2B8 = 121.4;
 constexpr double kPrePrMdsB1 = 212.7;
 constexpr double kPrePrMdsB8 = 114.8;
 constexpr double kAcceptFactor = 2.0;
+// Intra-round parallelism bar: warm rounds/sec at n = 1000, b = 8,
+// inner_jobs = 4 vs. the serial case. Enforced only when the machine has
+// >= kScalingMinThreads hardware threads (below that the inner pool is
+// oversubscribed and the bar is physically unreachable).
+constexpr double kInnerScalingFactor = 1.8;
+constexpr std::size_t kScalingMinThreads = 4;
 
 double seconds_since(Clock::time_point t0) {
   return std::chrono::duration<double>(Clock::now() - t0).count();
@@ -58,10 +78,14 @@ struct Case {
   std::size_t n = 0;
   std::size_t k = 0;
   std::size_t width = 0;
+  std::size_t inner_jobs = 1;
   std::size_t rounds = 0;
   double ms_per_round = 0.0;
   double rounds_per_sec = 0.0;
   double max_err = 0.0;  // decoded vs direct product, column 0
+  // Column 0 of the last warm decoded product — the inner-parallel cases
+  // are checked bit-for-bit against their serial twin's copy.
+  linalg::Vector decoded0;
 };
 
 /// Mildly heterogeneous constant-speed fleet: speeds uniform in
@@ -80,13 +104,22 @@ core::ClusterSpec make_fleet(std::size_t n, util::Rng& rng) {
 }
 
 Case run_case(core::StrategyKind strategy, std::size_t n, std::size_t width,
-              std::size_t rounds, const linalg::Matrix& a, util::Rng& rng) {
+              std::size_t inner_jobs, std::size_t rounds,
+              const linalg::Matrix& a) {
   Case c;
   c.strategy = strategy;
   c.n = n;
   c.k = n - 2;
   c.width = width;
+  c.inner_jobs = inner_jobs;
   c.rounds = rounds;
+
+  // Case-local seed, pure in (strategy, n, width): every inner_jobs
+  // variant of a case runs the identical fleet and input panel, so the
+  // decoded-bits cross-check below compares like with like.
+  util::Rng rng(0x5eedull ^ (static_cast<std::uint64_t>(n) << 8) ^
+                (static_cast<std::uint64_t>(width) << 32) ^
+                (static_cast<std::uint64_t>(strategy) << 40));
 
   core::EngineParams p;
   p.cluster = make_fleet(n, rng);
@@ -94,6 +127,7 @@ Case run_case(core::StrategyKind strategy, std::size_t n, std::size_t width,
   p.k = c.k;
   p.chunks_per_partition = 8;
   p.oracle_speeds = true;
+  p.inner_jobs = inner_jobs;
   std::unique_ptr<core::StrategyEngine> engine =
       core::make_engine(strategy, std::move(p));
 
@@ -130,6 +164,7 @@ Case run_case(core::StrategyKind strategy, std::size_t n, std::size_t width,
     for (std::size_t i = 0; i < truth.size(); ++i) {
       c.max_err = std::max(c.max_err, std::abs(got[i] - truth[i]));
     }
+    c.decoded0 = std::move(got);
     engine->recycle(std::move(r));
   }
 
@@ -144,12 +179,15 @@ Case run_case(core::StrategyKind strategy, std::size_t n, std::size_t width,
 void write_json(const std::string& path, const std::vector<Case>& cases) {
   std::ofstream out(path);
   out << "{\n  \"bench\": \"rounds\",\n  \"unit\": \"rounds_per_sec\",\n"
+      << "  \"hardware_threads\": " << util::ThreadPool::hardware_threads()
+      << ",\n"
       << "  \"cases\": [\n";
   for (std::size_t i = 0; i < cases.size(); ++i) {
     const Case& c = cases[i];
     out << "    {\"strategy\": \"" << core::strategy_name(c.strategy)
         << "\", \"n\": " << c.n << ", \"k\": " << c.k
-        << ", \"width\": " << c.width << ", \"rounds\": " << c.rounds
+        << ", \"width\": " << c.width << ", \"inner_jobs\": " << c.inner_jobs
+        << ", \"rounds\": " << c.rounds
         << ", \"ms_per_round\": " << c.ms_per_round
         << ", \"rounds_per_sec\": " << c.rounds_per_sec
         << ", \"max_abs_err\": " << c.max_err << "}"
@@ -169,6 +207,10 @@ int main(int argc, char** argv) {
             << "oracle speeds, stable fleet, 8 chunks/partition, operator "
                "16k x 48; decoded products cross-checked to 1e-6.\n\n";
 
+  const std::size_t hw = util::ThreadPool::hardware_threads();
+  std::vector<std::size_t> inner_axis = {1, 4};
+  if (hw != 1 && hw != 4) inner_axis.push_back(hw);
+
   util::Rng rng(0x5eedull);
   std::vector<Case> cases;
   for (const core::StrategyKind strategy :
@@ -184,32 +226,63 @@ int main(int argc, char** argv) {
         // meaningful when the arg dials rounds down.
         const std::size_t rounds =
             std::max<std::size_t>(4, base_rounds * 100 / n);
-        cases.push_back(run_case(strategy, n, width, rounds, a, rng));
+        for (const std::size_t inner : inner_axis) {
+          cases.push_back(run_case(strategy, n, width, inner, rounds, a));
+        }
       }
     }
   }
 
-  util::Table t({"strategy", "n", "k", "b", "rounds", "ms/round",
+  util::Table t({"strategy", "n", "k", "b", "inner", "rounds", "ms/round",
                  "rounds/sec", "max |err|"});
   for (const Case& c : cases) {
     t.add_row({core::strategy_name(c.strategy), std::to_string(c.n),
                std::to_string(c.k), std::to_string(c.width),
-               std::to_string(c.rounds), util::fmt(c.ms_per_round, 3),
-               util::fmt(c.rounds_per_sec, 2), util::fmt_sci(c.max_err)});
+               std::to_string(c.inner_jobs), std::to_string(c.rounds),
+               util::fmt(c.ms_per_round, 3), util::fmt(c.rounds_per_sec, 2),
+               util::fmt_sci(c.max_err)});
   }
   t.print();
   write_json(json_path, cases);
-  std::cout << "\nwrote " << json_path << "\n";
+  std::cout << "\nwrote " << json_path << " (hardware_threads=" << hw
+            << ")\n";
+
+  // Serial twin of a case: same (strategy, n, width) at inner_jobs = 1.
+  auto serial_twin = [&cases](const Case& c) -> const Case* {
+    for (const Case& s : cases) {
+      if (s.inner_jobs == 1 && s.strategy == c.strategy && s.n == c.n &&
+          s.width == c.width) {
+        return &s;
+      }
+    }
+    return nullptr;
+  };
 
   bool ok = true;
   for (const Case& c : cases) {
     if (c.max_err > 1e-6) {
       std::cout << "FAIL: decoded product off by " << c.max_err << " at "
                 << core::strategy_name(c.strategy) << " n=" << c.n
-                << " b=" << c.width << "\n";
+                << " b=" << c.width << " inner=" << c.inner_jobs << "\n";
       ok = false;
     }
-    if (c.n != 1000) continue;
+    // Determinism: every inner-parallel case must reproduce its serial
+    // twin's decoded bits exactly — not approximately.
+    if (c.inner_jobs > 1) {
+      const Case* s = serial_twin(c);
+      bool same = s != nullptr && s->decoded0.size() == c.decoded0.size();
+      for (std::size_t i = 0; same && i < c.decoded0.size(); ++i) {
+        same = s->decoded0[i] == c.decoded0[i];
+      }
+      if (!same) {
+        std::cout << "FAIL: decoded bits at inner_jobs=" << c.inner_jobs
+                  << " differ from serial at "
+                  << core::strategy_name(c.strategy) << " n=" << c.n
+                  << " b=" << c.width << "\n";
+        ok = false;
+      }
+    }
+    if (c.n != 1000 || c.inner_jobs != 1) continue;
     const bool s2c2 = c.strategy == core::StrategyKind::kS2C2;
     const double pre = s2c2 ? (c.width == 1 ? kPrePrS2c2B1 : kPrePrS2c2B8)
                             : (c.width == 1 ? kPrePrMdsB1 : kPrePrMdsB8);
@@ -224,7 +297,34 @@ int main(int argc, char** argv) {
   }
   if (ok) {
     std::cout << "acceptance: >= " << kAcceptFactor
-              << "x pre-PR rounds/sec at n=1000 — PASS\n";
+              << "x pre-PR rounds/sec at n=1000 (inner_jobs=1) — PASS\n";
+  }
+
+  // Intra-round scaling bar: n = 1000, b = 8, inner_jobs = 4 must beat
+  // 1.8x its serial twin — on machines with enough cores to make that
+  // physically possible.
+  if (hw < kScalingMinThreads) {
+    std::cout << "scaling bar (" << kInnerScalingFactor
+              << "x at n=1000 b=8 inner_jobs=4): SKIPPED — hardware_threads="
+              << hw << " < " << kScalingMinThreads << "\n";
+  } else {
+    for (const Case& c : cases) {
+      if (c.n != 1000 || c.width != 8 || c.inner_jobs != 4) continue;
+      const Case* s = serial_twin(c);
+      const double bar = kInnerScalingFactor * s->rounds_per_sec;
+      if (c.rounds_per_sec < bar) {
+        std::cout << "FAIL: " << core::strategy_name(c.strategy)
+                  << " n=1000 b=8 inner_jobs=4 " << c.rounds_per_sec
+                  << " rounds/sec < " << bar << " (" << kInnerScalingFactor
+                  << "x serial " << s->rounds_per_sec << ")\n";
+        ok = false;
+      } else {
+        std::cout << "scaling: " << core::strategy_name(c.strategy)
+                  << " n=1000 b=8 inner_jobs=4 at "
+                  << util::fmt(c.rounds_per_sec / s->rounds_per_sec, 2)
+                  << "x serial — PASS\n";
+      }
+    }
   }
   return ok ? 0 : 1;
 }

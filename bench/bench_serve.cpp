@@ -2,12 +2,16 @@
 // under open-loop Poisson arrivals, at the paper's fleet sizes.
 //
 // Two measurements:
-//   1. Throughput cells at n in {100, 250}: jobs/sec and p50/p99 request
-//      latency when up to 16 concurrent requests coalesce into one coded
-//      block round (cost-only rounds at fleet scale). The cells also
+//   1. Throughput cells at n in {100, 250, 1000}: jobs/sec and p50/p99
+//      request latency when up to 16 concurrent requests coalesce into one
+//      coded block round (cost-only rounds at fleet scale). The cells also
 //      re-run through run_serve_sweep at a different thread count and the
 //      fingerprints are required to match byte-for-byte — the --jobs
-//      determinism contract, checked in the artifact itself.
+//      determinism contract, checked in the artifact itself. The n = 1000
+//      cells run with inner_jobs = 4 (the intra-round pool fans kernels,
+//      chunk products, and decode groups at the paper's largest fleet) and
+//      are additionally re-run at inner_jobs = 1 with the same bar: the
+//      inner axis must be fingerprint-invisible.
 //   2. The amortization cell at k = 40: per-request decode flops for
 //      coalesced serving vs the cold one-job-per-request path (a fresh
 //      engine + decoder per request — what exists without the serving
@@ -40,7 +44,8 @@ using harness::ServeConfig;
 using harness::ServeResult;
 
 ServeConfig throughput_cell(core::StrategyKind strategy, std::size_t workers,
-                            std::size_t requests) {
+                            std::size_t requests,
+                            std::size_t inner_jobs = 1) {
   ServeConfig c;
   c.label = std::string(core::strategy_name(strategy)) + " n=" +
             std::to_string(workers);
@@ -55,6 +60,7 @@ ServeConfig throughput_cell(core::StrategyKind strategy, std::size_t workers,
   c.op_rows = 4 * workers;
   c.op_cols = 48;
   c.seed = 42;
+  c.inner_jobs = inner_jobs;
   return c;
 }
 
@@ -96,6 +102,7 @@ void write_json(const std::string& path, const std::vector<ServeResult>& cells,
         << r.config.workers << ", \"k\": " << r.config.effective_k()
         << ", \"requests\": " << r.config.requests
         << ", \"max_batch\": " << r.config.max_batch
+        << ", \"inner_jobs\": " << r.config.inner_jobs
         << ", \"rounds\": " << r.rounds
         << ", \"completed\": " << r.completed
         << ", \"jobs_per_sec\": " << r.jobs_per_sec
@@ -126,22 +133,37 @@ int main(int argc, char** argv) {
 
   // ---- throughput cells -----------------------------------------------
   std::vector<ServeConfig> cells;
-  for (const std::size_t n : {std::size_t{100}, std::size_t{250}}) {
-    cells.push_back(throughput_cell(core::StrategyKind::kS2C2, n, requests));
-    cells.push_back(throughput_cell(core::StrategyKind::kMds, n, requests));
+  for (const std::size_t n :
+       {std::size_t{100}, std::size_t{250}, std::size_t{1000}}) {
+    // The n = 1000 cells exercise the intra-round pool; smaller fleets
+    // stay on the serial allocation-free path.
+    const std::size_t inner = n == 1000 ? 4 : 1;
+    cells.push_back(
+        throughput_cell(core::StrategyKind::kS2C2, n, requests, inner));
+    cells.push_back(
+        throughput_cell(core::StrategyKind::kMds, n, requests, inner));
   }
   const std::vector<ServeResult> results =
       harness::run_serve_sweep(cells, jobs);
   // Determinism self-check: the same cells sharded serially must produce
   // the same bits.
   const std::vector<ServeResult> serial = harness::run_serve_sweep(cells, 1);
+  // Inner-axis self-check: the inner_jobs > 1 cells re-run serial-inner.
+  std::vector<ServeConfig> inner_serial_cells;
+  for (ServeConfig c : cells) {
+    if (c.inner_jobs <= 1) continue;
+    c.inner_jobs = 1;
+    inner_serial_cells.push_back(std::move(c));
+  }
+  const std::vector<ServeResult> inner_serial =
+      harness::run_serve_sweep(inner_serial_cells, 1);
 
-  util::Table t({"cell", "rounds", "jobs/s", "p50 lat", "p99 lat",
+  util::Table t({"cell", "inner", "rounds", "jobs/s", "p50 lat", "p99 lat",
                  "decode hit/miss"});
   for (const ServeResult& r : results) {
-    t.add_row({r.config.label, std::to_string(r.rounds),
-               util::fmt(r.jobs_per_sec, 2), util::fmt(r.p50_latency, 3),
-               util::fmt(r.p99_latency, 3),
+    t.add_row({r.config.label, std::to_string(r.config.inner_jobs),
+               std::to_string(r.rounds), util::fmt(r.jobs_per_sec, 2),
+               util::fmt(r.p50_latency, 3), util::fmt(r.p99_latency, 3),
                std::to_string(r.decode.hits) + "/" +
                    std::to_string(r.decode.misses)});
   }
@@ -194,6 +216,19 @@ int main(int argc, char** argv) {
       ok = false;
     }
   }
+  // Inner-axis invariance: an inner_jobs = 4 cell's bits must equal the
+  // identical cell re-run with a serial inner path.
+  for (const ServeResult& is : inner_serial) {
+    for (const ServeResult& r : results) {
+      if (r.config.label != is.config.label) continue;
+      if (r.fingerprint() != is.fingerprint()) {
+        std::cout << "FAIL: cell '" << r.config.label
+                  << "' fingerprint differs between inner_jobs="
+                  << r.config.inner_jobs << " and inner_jobs=1\n";
+        ok = false;
+      }
+    }
+  }
   bool any_hits = false;
   for (const ServeResult& r : results) any_hits |= r.decode.hits > 0;
   any_hits |= batched.decode.hits > 0;
@@ -207,8 +242,9 @@ int main(int argc, char** argv) {
     ok = false;
   }
   if (ok) {
-    std::cout << "acceptance: deterministic sweep, cache hits observed, >= "
-                 "3x decode amortization at k=40 — PASS\n";
+    std::cout << "acceptance: deterministic sweep (jobs and inner_jobs), "
+                 "cache hits observed, >= 3x decode amortization at k=40 — "
+                 "PASS\n";
   }
   return ok ? 0 : 1;
 }

@@ -12,6 +12,10 @@
 //   --out DIR        report output directory            (default report)
 //   --jobs N         suite worker threads (0 = all hardware threads;
 //                    default 1 — artifacts are byte-identical either way)
+//   --inner-jobs N   intra-round parallelism inside each job's engines
+//                    (kernels, chunk products, decode groups; 0 = all
+//                    hardware threads, default 1 = serial). Composes with
+//                    --jobs and never changes a fingerprint
 //   --app X          single job: logreg|svm|pagerank|graphfilter
 //   --strategy X     single job: s2c2|mds|replication|overdecomp|lt|agc
 //   --trace X        single-job trace profile:
@@ -103,7 +107,8 @@ void print_usage() {
       "  repro_cli                      run the suite, print the job table\n"
       "  repro_cli --report [--out D]   write CSVs + REPRODUCTION.md\n"
       "  repro_cli --app A --strategy S --trace T   run one job\n\n"
-      "flags: --jobs N  --apps v,..  --strategies v,..  --traces v,..\n"
+      "flags: --jobs N  --inner-jobs N  --apps v,..  --strategies v,..\n"
+      "       --traces v,..\n"
       "       --predictor P  --workers N  --k K  --stragglers S\n"
       "       --iterations N  --tolerance T  --chunks C  --seed S\n"
       "axes:  apps       logreg|svm|pagerank|graphfilter\n"
@@ -124,6 +129,8 @@ Options parse(int argc, char** argv) {
     else if (flag == "--help" || flag == "-h") o.help = true;
     else if (flag == "--out") o.report.out_dir = value(i);
     else if (flag == "--jobs") o.report.jobs = std::stoul(value(i));
+    else if (flag == "--inner-jobs")
+      o.report.job_base.inner_jobs = std::stoul(value(i));
     else if (flag == "--app") {
       o.report.job_base.app = parse_app(value(i));
       o.single = true;

@@ -33,6 +33,11 @@
 //   --serve-json P   serve mode: also write the cells as JSON to path P
 //   --jobs N         matrix worker threads (0 = all hardware threads;
 //                    default 1 — results are byte-identical either way)
+//   --inner-jobs N   intra-round parallelism inside each cell's engine:
+//                    kernels, per-chunk products, and decode groups fan
+//                    out over an N-way engine pool (0 = all hardware
+//                    threads; default 1 = serial). Composes with --jobs
+//                    and never changes a fingerprint
 //   --axis K=V,V...  restrict/widen a matrix axis; repeatable. Axes:
 //                      engines     s2c2|replication|poly|overdecomp|
 //                                  s2c2-basic|mds|poly-conventional|lt|agc
@@ -104,6 +109,9 @@ void print_usage() {
       "                        --serve-json PATH]           at n=100/250\n"
       "\n"
       "flags: --jobs N (0 = all hardware threads)  --workers N  --k K\n"
+      "       --inner-jobs N (per-engine intra-round parallelism; 0 = all\n"
+      "                       hardware threads, default 1 = serial; bitwise\n"
+      "                       identical results at any --jobs x --inner-jobs)\n"
       "       --stragglers S  --rounds R  --chunks C  --seed S  --scale F\n"
       "       --predictor P  --functional  --help\n"
       "       (--strategy is an alias for --engine)\n"
@@ -219,6 +227,11 @@ Options parse(int argc, char** argv) {
     else if (flag == "--batch") o.batch = std::stoul(value(i));
     else if (flag == "--serve-json") o.serve_json = value(i);
     else if (flag == "--jobs") o.runner.jobs = std::stoul(value(i));
+    else if (flag == "--inner-jobs") {
+      const std::size_t n = std::stoul(value(i));
+      o.runner.inner_jobs = n;
+      o.config.inner_jobs = n;  // single-cell and serve modes read config
+    }
     else if (flag == "--axis") o.axis_specs.push_back(value(i));
     else if (flag == "--engine" || flag == "--strategy")
       o.engine = parse_engine(value(i));
@@ -361,6 +374,7 @@ int run_serve_mode(const Options& o) {
       c.max_batch = o.batch;
       c.functional = o.config.functional;
       c.seed = o.config.seed;
+      c.inner_jobs = o.config.inner_jobs;
       if (!o.config.functional) {
         c.op_rows = 4 * n;
         c.op_cols = 48;

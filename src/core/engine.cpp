@@ -86,23 +86,42 @@ const linalg::Matrix& CodedComputeEngine::run_verified_decode(
   // the historical path — per worker ascending, assigned range before
   // recovery extras, Byzantine re-adds appended last — so decode subsets
   // and cache keys are unchanged.
+  //
+  // Two phases: staging mutates the decoder (and the arrival order it
+  // records is fingerprinted behavior), so it runs serially first; the
+  // chunk products themselves are pure writes into the staged spans —
+  // arena-backed and stable until the next reset() — and fan out over
+  // the inner pool. Each task owns its span exclusively, and every
+  // product is computed by the serial kernel, so the decoded bits are
+  // identical at any inner_jobs.
   decoder_.reset(width);
   const std::size_t chunks = ledger.alloc.chunks_per_partition;
+  chunk_tasks_.clear();
   for (std::size_t w = 0; w < spec_.num_workers(); ++w) {
     if (ledger.used[w]) {
       const sched::ChunkRange& r = ledger.alloc.per_worker[w];
       for (std::size_t i = 0; i < r.count; ++i) {
         const std::size_t c = (r.begin + i) % chunks;
-        job_.compute_chunk_into(w, c, x_panel, width,
-                                decoder_.stage_chunk(w, c));
+        chunk_tasks_.push_back({w, c, decoder_.stage_chunk(w, c)});
       }
       for (std::size_t c : ledger.extra_chunks[w]) {
         const std::span<double> slot = decoder_.stage_chunk(w, c);
         if (!slot.empty()) {  // reassigned work can duplicate the original
-          job_.compute_chunk_into(w, c, x_panel, width, slot);
+          chunk_tasks_.push_back({w, c, slot});
         }
       }
     }
+  }
+  util::ThreadPool* const pool = inner_pool();
+  if (pool == nullptr || chunk_tasks_.size() < 2) {
+    for (const ChunkTask& t : chunk_tasks_) {
+      job_.compute_chunk_into(t.worker, t.chunk, x_panel, width, t.out);
+    }
+  } else {
+    pool->parallel_for(chunk_tasks_.size(), [&](std::size_t i) {
+      const ChunkTask& t = chunk_tasks_[i];
+      job_.compute_chunk_into(t.worker, t.chunk, x_panel, width, t.out);
+    });
   }
   if (spec_.byzantine.active()) {
     // Re-add the corrupted responses the executor stripped, appended
@@ -128,7 +147,7 @@ const linalg::Matrix& CodedComputeEngine::run_verified_decode(
     S2C2_CHECK(verification.corrupt_workers == expected,
                "byzantine verification convicted the wrong responder set");
   }
-  decoder_.decode_into(decoded_scratch_);
+  decoder_.decode_into(decoded_scratch_, inner_pool());
   return decoded_scratch_;
 }
 

@@ -126,6 +126,17 @@ class CodedComputeEngine : public RoundExecutor {
       const RoundLedger& ledger, std::size_t width,
       std::span<const double> x_panel);
 
+  /// One staged chunk product awaiting compute: the (worker, chunk) pair
+  /// and its arena-backed decoder slot. Staging (which mutates decoder
+  /// state and fixes the fingerprinted arrival order) runs serially;
+  /// the pure compute into these non-overlapping spans then fans out
+  /// over the engine's inner pool.
+  struct ChunkTask {
+    std::size_t worker;
+    std::size_t chunk;
+    std::span<double> out;
+  };
+
   CodedMatVecJob job_;
   /// Persists across rounds so repeated responder sets decode from cache;
   /// borrows job_.generator() (declared after job_, never rebound).
@@ -134,6 +145,7 @@ class CodedComputeEngine : public RoundExecutor {
   /// arena and slot capacity make steady-state decodes allocation-free.
   coding::ChunkedDecoder decoder_;
   linalg::Matrix decoded_scratch_;  // run_verified_decode's output
+  std::vector<ChunkTask> chunk_tasks_;  // capacity retained across rounds
 };
 
 }  // namespace s2c2::core

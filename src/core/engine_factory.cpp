@@ -155,7 +155,13 @@ std::unique_ptr<StrategyEngine> make_engine(StrategyKind kind,
     }
     factory = it->second;
   }
-  return factory(std::move(params));
+  // Applied after construction so every factory — including downstream
+  // registrations that predate the knob — gets the intra-round pool
+  // without each one threading the field through its config.
+  const std::size_t inner_jobs = params.inner_jobs;
+  std::unique_ptr<StrategyEngine> engine = factory(std::move(params));
+  if (engine != nullptr && inner_jobs != 1) engine->set_inner_jobs(inner_jobs);
+  return engine;
 }
 
 EngineFactory engine_factory(StrategyKind kind) {

@@ -75,6 +75,12 @@ struct EngineParams {
   std::uint64_t code_seed = 0x5eedc0deULL;
   coding::RobustSolitonConfig soliton;
 
+  /// Intra-round parallelism width, applied to every constructed engine
+  /// via StrategyEngine::set_inner_jobs (bitwise-identical results at any
+  /// setting; see that method). 1 = serial rounds (default, preserves the
+  /// allocation-free steady state); 0 = hardware threads.
+  std::size_t inner_jobs = 1;
+
   [[nodiscard]] std::size_t op_rows() const {
     return dense != nullptr ? dense->rows()
                             : (sparse != nullptr ? sparse->rows() : rows);

@@ -15,6 +15,13 @@ StrategyEngine::StrategyEngine(StrategyKind kind, ClusterSpec spec,
       accounting_(spec_.num_workers()),
       kind_(kind) {}
 
+void StrategyEngine::set_inner_jobs(std::size_t jobs) {
+  inner_jobs_ = jobs == 0 ? util::ThreadPool::hardware_threads() : jobs;
+  inner_pool_ = inner_jobs_ >= 2
+                    ? std::make_unique<util::ThreadPool>(inner_jobs_ - 1)
+                    : nullptr;
+}
+
 void StrategyEngine::ensure_predictor(bool oracle_speeds) {
   if (!predictor_ && !oracle_speeds) {
     predictor_ =

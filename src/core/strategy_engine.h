@@ -25,6 +25,7 @@
 #include "src/linalg/matrix.h"
 #include "src/predict/predictors.h"
 #include "src/sim/accounting.h"
+#include "src/util/thread_pool.h"
 
 namespace s2c2::telemetry {
 class HealthMonitor;
@@ -145,6 +146,21 @@ class StrategyEngine {
     return nullptr;
   }
 
+  /// Intra-round parallelism width (the `inner_jobs` knob in
+  /// EngineParams / the harness configs). 1 (the default) keeps every
+  /// round single-threaded and preserves the allocation-free steady
+  /// state; jobs >= 2 spins up a private help-first pool of jobs - 1
+  /// workers (the round-running thread participates, so total
+  /// parallelism is `jobs`); 0 means ThreadPool::hardware_threads().
+  /// Results are bitwise identical at any setting — every parallel
+  /// stage partitions work into disjoint slots computed in the exact
+  /// serial accumulation order (docs/PERFORMANCE.md "Intra-round
+  /// parallelism").
+  void set_inner_jobs(std::size_t jobs);
+  [[nodiscard]] std::size_t inner_jobs() const noexcept {
+    return inner_jobs_;
+  }
+
  protected:
   StrategyEngine(StrategyKind kind, ClusterSpec spec,
                  std::unique_ptr<predict::SpeedPredictor> predictor);
@@ -152,6 +168,14 @@ class StrategyEngine {
   /// Installs the last-value default used by every predicting engine when
   /// the caller supplied no predictor and no oracle flag.
   void ensure_predictor(bool oracle_speeds);
+
+  /// The engine's intra-round pool: null when inner_jobs() <= 1 (the
+  /// serial data path), otherwise a pool of inner_jobs() - 1 workers that
+  /// round stages fan out over via the help-first member parallel_for.
+  /// Round code treats a null pool as "run the serial loop".
+  [[nodiscard]] util::ThreadPool* inner_pool() const noexcept {
+    return inner_pool_.get();
+  }
 
   /// Pops a recycled RoundResult (or a fresh one if the pool is empty).
   /// The recycled result keeps its payload capacity but carries stale
@@ -176,6 +200,8 @@ class StrategyEngine {
  private:
   StrategyKind kind_;
   std::vector<RoundResult> result_pool_;
+  std::size_t inner_jobs_ = 1;
+  std::unique_ptr<util::ThreadPool> inner_pool_;
 };
 
 /// Sum of round latencies.

@@ -127,6 +127,7 @@ std::unique_ptr<StrategyChannel> make_channel(
   params.sparse = sparse;
   params.k = config.effective_k();
   params.chunks_per_partition = config.chunks_per_partition;
+  params.inner_jobs = config.inner_jobs;
   params.replication.placement_seed = mix64(placement_salt ^ 0x91ace3e9ull);
   // LT symbol-graph seed, salted like replication placement (only the lt
   // factory reads it) — every shard of a job sees the identical code.
@@ -505,6 +506,7 @@ ScenarioConfig JobConfig::scenario() const {
   sc.seed = seed;
   sc.predictor = predictor;
   sc.functional = true;
+  sc.inner_jobs = inner_jobs;
   return sc;
 }
 

@@ -79,6 +79,11 @@ struct JobConfig {
   std::size_t chunks_per_partition = 24;
   std::uint64_t seed = 42;
 
+  /// Intra-round parallelism for the job's engines (forwarded to
+  /// core::EngineParams::inner_jobs; 1 = serial, 0 = hardware threads).
+  /// Job results are bitwise-invariant across inner_jobs.
+  std::size_t inner_jobs = 1;
+
   /// Speed source for prediction-capable strategies (s2c2, overdecomp).
   PredictorKind predictor = PredictorKind::kOracle;
 

@@ -103,7 +103,8 @@ MatrixResult run_matrix(const ScenarioConfig& base, const MatrixAxes& axes,
   // fingerprint derived from it) is identical for any thread count.
   util::parallel_for(coords.size(), options.jobs, [&](std::size_t i) {
     const CellCoord& c = coords[i];
-    const ScenarioConfig cfg = cell_config(base, c.workers, c.predictor);
+    ScenarioConfig cfg = cell_config(base, c.workers, c.predictor);
+    cfg.inner_jobs = options.inner_jobs;
     out.cells[i] = run_cell(cfg, c.engine, c.workload, c.trace);
   });
   return out;

@@ -559,6 +559,7 @@ CellResult run_cell_impl(const ScenarioConfig& config, const WorkloadShape& s,
   params.k = config.effective_k();
   params.chunks_per_partition = config.chunks_per_partition;
   params.a_blocks = s.a_blocks;
+  params.inner_jobs = config.inner_jobs;
   // The robustness profiles run health-informed prediction (the monitor's
   // degradation scale shrinks a fail-slow worker's allocation ahead of
   // the raw predictor); the original profiles must not — the wrap changes

@@ -50,6 +50,7 @@ std::unique_ptr<core::StrategyEngine> make_serve_engine(
   // test is batching/coalescing, not prediction quality.
   p.oracle_speeds = true;
   p.replication.placement_seed = mix64(salt ^ 0x91ace3e9ull);
+  p.inner_jobs = config.inner_jobs;
   if (dense != nullptr) {
     p.dense = dense;
   } else {

@@ -87,6 +87,13 @@ struct ServeConfig {
 
   std::uint64_t seed = 42;
 
+  /// Intra-round parallelism for the serving engine (forwarded to
+  /// core::EngineParams::inner_jobs): the coalesced block round's kernels,
+  /// per-chunk products, and decode groups fan out over an inner pool.
+  /// 1 = serial (default), 0 = hardware threads. Not hashed — the
+  /// fingerprint is bitwise-invariant across inner_jobs by construction.
+  std::size_t inner_jobs = 1;
+
   [[nodiscard]] std::size_t effective_k() const {
     return k != 0 ? k : (workers >= 3 ? workers - 2 : workers);
   }

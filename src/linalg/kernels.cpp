@@ -1,5 +1,9 @@
 #include "src/linalg/kernels.h"
 
+#include <algorithm>
+
+#include "src/util/thread_pool.h"
+
 #if defined(_OPENMP)
 #include <omp.h>
 #endif
@@ -207,6 +211,36 @@ inline void csr_matmat_range(const std::size_t* S2C2_RESTRICT row_ptr,
   }
 }
 
+// Splits [0, rows) into contiguous tile-aligned blocks, one per
+// participating thread (pool workers + the caller), and runs `body(lo,
+// hi)` on each via the help-first member parallel_for. Blocks are
+// non-overlapping and cover every row exactly once, and each body call
+// is one of the serial range helpers above — so the split never touches
+// a per-element accumulation chain and the output bits match the serial
+// kernel for any pool size. Serial when the pool is null, the multiply
+// count is under kPoolMinWork, or only one block results.
+template <typename Body>
+void parallel_row_blocks(util::ThreadPool* pool, std::size_t rows,
+                         std::size_t work, std::size_t tile,
+                         const Body& body) {
+  if (pool == nullptr || work < kPoolMinWork || rows <= tile) {
+    body(0, rows);
+    return;
+  }
+  const std::size_t tiles = (rows + tile - 1) / tile;
+  const std::size_t parts = std::min(pool->size() + 1, tiles);
+  if (parts <= 1) {
+    body(0, rows);
+    return;
+  }
+  pool->parallel_for(parts, [&](std::size_t p) {
+    const std::size_t lo = tiles * p / parts * tile;
+    const std::size_t hi =
+        p + 1 == parts ? rows : std::min(tiles * (p + 1) / parts * tile, rows);
+    if (lo < hi) body(lo, hi);
+  });
+}
+
 }  // namespace
 
 void dense_matvec(const double* S2C2_RESTRICT a, std::size_t rows,
@@ -264,6 +298,46 @@ void csr_matmat(const std::size_t* S2C2_RESTRICT row_ptr, std::size_t rows,
                 const double* S2C2_RESTRICT x, std::size_t width,
                 double* S2C2_RESTRICT y) {
   csr_matmat_range(row_ptr, 0, rows, col_idx, values, x, width, y);
+}
+
+void dense_matvec(const double* a, std::size_t rows, std::size_t cols,
+                  const double* x, double* y, util::ThreadPool* pool) {
+  parallel_row_blocks(pool, rows, rows * cols, kMatvecRowTile,
+                      [&](std::size_t lo, std::size_t hi) {
+                        dense_matvec_range(a, lo, hi, cols, x, y);
+                      });
+}
+
+void dense_matmat(const double* a, std::size_t rows, std::size_t cols,
+                  const double* x, std::size_t width, double* y,
+                  util::ThreadPool* pool) {
+  parallel_row_blocks(pool, rows, rows * cols * width, kMatmatRowTile,
+                      [&](std::size_t lo, std::size_t hi) {
+                        dense_matmat_range(a, lo, hi, cols, x, width, y);
+                      });
+}
+
+void csr_matvec(const std::size_t* row_ptr, std::size_t rows,
+                const std::size_t* col_idx, const double* values,
+                const double* x, double* y, util::ThreadPool* pool) {
+  const std::size_t nnz = rows == 0 ? 0 : row_ptr[rows] - row_ptr[0];
+  parallel_row_blocks(pool, rows, nnz, 1,
+                      [&](std::size_t lo, std::size_t hi) {
+                        csr_matvec_range(row_ptr, lo, hi, col_idx, values, x,
+                                         y);
+                      });
+}
+
+void csr_matmat(const std::size_t* row_ptr, std::size_t rows,
+                const std::size_t* col_idx, const double* values,
+                const double* x, std::size_t width, double* y,
+                util::ThreadPool* pool) {
+  const std::size_t nnz = rows == 0 ? 0 : row_ptr[rows] - row_ptr[0];
+  parallel_row_blocks(pool, rows, nnz * width, 1,
+                      [&](std::size_t lo, std::size_t hi) {
+                        csr_matmat_range(row_ptr, lo, hi, col_idx, values, x,
+                                         width, y);
+                      });
 }
 
 }  // namespace s2c2::linalg::kernels

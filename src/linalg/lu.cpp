@@ -84,17 +84,23 @@ Matrix LuFactorization::solve_matrix(const Matrix& b) const {
 
 void LuFactorization::solve_inplace(std::span<double> b_rowmajor,
                                     std::size_t width) const {
+  solve_inplace(b_rowmajor, width, perm_scratch_);
+}
+
+void LuFactorization::solve_inplace(std::span<double> b_rowmajor,
+                                    std::size_t width,
+                                    std::vector<double>& perm_scratch) const {
   const std::size_t n = dim();
   S2C2_REQUIRE(width > 0 && b_rowmajor.size() == n * width,
                "LU solve_inplace: rhs layout mismatch");
-  // Apply the row permutation (gather through the retained scratch).
-  perm_scratch_.resize(b_rowmajor.size());
+  // Apply the row permutation (gather through the caller's scratch).
+  perm_scratch.resize(b_rowmajor.size());
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t c = 0; c < width; ++c) {
-      perm_scratch_[i * width + c] = b_rowmajor[piv_[i] * width + c];
+      perm_scratch[i * width + c] = b_rowmajor[piv_[i] * width + c];
     }
   }
-  std::copy(perm_scratch_.begin(), perm_scratch_.end(), b_rowmajor.begin());
+  std::copy(perm_scratch.begin(), perm_scratch.end(), b_rowmajor.begin());
   // Forward substitution over all columns at once.
   for (std::size_t i = 1; i < n; ++i) {
     for (std::size_t j = 0; j < i; ++j) {

@@ -6,6 +6,14 @@
 
 namespace s2c2::util {
 
+namespace {
+// Set for the lifetime of every worker_loop; the free parallel_for's
+// serial-fallback predicate (nesting contract in the header). A plain
+// bool, not a pool pointer: the fallback must trigger for ANY enclosing
+// pool, including a different pool's worker.
+thread_local bool t_in_pool_worker = false;
+}  // namespace
+
 ThreadPool::ThreadPool(std::size_t threads) {
   const std::size_t n = std::max<std::size_t>(1, threads);
   queues_.reserve(n);
@@ -54,6 +62,8 @@ void ThreadPool::wait_idle() {
   });
 }
 
+bool ThreadPool::in_worker() noexcept { return t_in_pool_worker; }
+
 std::size_t ThreadPool::hardware_threads() {
   return std::max<std::size_t>(1, std::thread::hardware_concurrency());
 }
@@ -83,6 +93,7 @@ bool ThreadPool::try_pop(std::size_t self, std::function<void()>& task) {
 }
 
 void ThreadPool::worker_loop(std::size_t self) {
+  t_in_pool_worker = true;
   while (true) {
     std::function<void()> task;
     if (try_pop(self, task)) {
@@ -106,10 +117,85 @@ void ThreadPool::worker_loop(std::size_t self) {
   }
 }
 
+namespace {
+
+/// Shared fan-out state for the help-first member parallel_for. Owned by
+/// shared_ptr: a late helper task that loses the race for the last index
+/// still touches `next` after the caller has returned, so the state must
+/// outlive the caller's frame.
+struct FanOutState {
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::atomic<bool> stop{false};
+  std::mutex mu;
+  std::condition_variable done_cv;
+  std::exception_ptr first_error;
+  std::size_t count = 0;
+  const std::function<void(std::size_t)>* fn = nullptr;
+};
+
+/// Claims indices from the shared counter until none remain. Every claimed
+/// index is counted into `done` exactly once (even after a failure — the
+/// stop flag skips the work, not the count), so the caller's wait for
+/// done == count always opens.
+void drain(FanOutState& s) {
+  for (std::size_t i = s.next.fetch_add(1); i < s.count;
+       i = s.next.fetch_add(1)) {
+    if (!s.stop.load(std::memory_order_relaxed)) {
+      try {
+        (*s.fn)(i);
+      } catch (...) {
+        s.stop.store(true, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lock(s.mu);
+        if (!s.first_error) s.first_error = std::current_exception();
+      }
+    }
+    if (s.done.fetch_add(1) + 1 == s.count) {
+      std::lock_guard<std::mutex> lock(s.mu);
+      s.done_cv.notify_all();
+    }
+  }
+}
+
+}  // namespace
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  if (count == 1) {
+    fn(0);
+    return;
+  }
+  auto state = std::make_shared<FanOutState>();
+  state->count = count;
+  state->fn = &fn;
+  // The caller claims indices too, so at most count - 1 helpers are ever
+  // useful; superfluous helpers would only churn the queues.
+  const std::size_t helpers = std::min(size(), count - 1);
+  for (std::size_t t = 0; t < helpers; ++t) {
+    submit([state] { drain(*state); });
+  }
+  // Help-first: drain inline. By the time this returns, every index has
+  // been CLAIMED (the shared counter is exhausted); the wait below is only
+  // for indices claimed by helpers that are still executing them — never
+  // for a task sitting unclaimed in a queue, which is why a nested call
+  // from one of this pool's own tasks cannot deadlock.
+  drain(*state);
+  {
+    std::unique_lock<std::mutex> lock(state->mu);
+    state->done_cv.wait(lock, [&] { return state->done.load() == count; });
+  }
+  if (state->first_error) std::rethrow_exception(state->first_error);
+}
+
 void parallel_for(std::size_t count, std::size_t jobs,
                   const std::function<void(std::size_t)>& fn) {
   if (jobs == 0) jobs = ThreadPool::hardware_threads();
-  if (jobs <= 1 || count <= 1) {
+  // Serial fallback when nested inside any pool worker (contract in the
+  // header): the enclosing sharding already owns the hardware, and a
+  // private pool per nested call would multiply threads combinatorially
+  // at (outer jobs x inner jobs).
+  if (jobs <= 1 || count <= 1 || ThreadPool::in_worker()) {
     for (std::size_t i = 0; i < count; ++i) fn(i);
     return;
   }

@@ -18,6 +18,24 @@
 // results into a preallocated slot per index get bit-identical output
 // regardless of thread count, which is the harness's determinism contract
 // (pinned by tests/thread_pool_test.cpp at several --jobs values).
+//
+// Nesting contract (the intra-round parallelism PR; see
+// docs/ARCHITECTURE.md "Threading ownership"):
+//   * The free parallel_for falls back to SERIAL when called from inside
+//     any pool worker — outer sharding (matrix cells, serve sweeps, job
+//     suites) composes with inner parallelism without thread explosion,
+//     and results are bit-identical either way because each index's work
+//     is already order-independent.
+//   * The member ThreadPool::parallel_for is HELP-FIRST: the calling
+//     thread claims indices from the shared counter alongside the pool's
+//     workers, so a call issued from one of the pool's own tasks can never
+//     deadlock — every claimed index is executed by an actively draining
+//     thread, and the caller's wait is only for claimed indices.
+//
+// Concurrency-sensitive paths here are covered by the `tsan` CMake preset
+// (cmake --preset tsan && cmake --build --preset tsan -j &&
+// ctest --preset tsan); CI runs the thread/kernel/arena/parallel-round
+// suites under ThreadSanitizer on every push.
 #pragma once
 
 #include <atomic>
@@ -48,9 +66,28 @@ class ThreadPool {
   void submit(std::function<void()> task);
 
   /// Blocks until every queue is empty and no worker is running a task.
+  /// Must NOT be called from inside a pool task (the caller's own task is
+  /// in flight, so the barrier would never open) — nested fan-out goes
+  /// through the member parallel_for instead.
   void wait_idle();
 
+  /// Help-first blocked fan-out: runs fn(i) for every i in [0, count),
+  /// spread over this pool's workers PLUS the calling thread. Each index
+  /// runs exactly once (shared-counter claim); fn must only touch
+  /// per-index state. Safe to call from inside one of this pool's own
+  /// tasks: the caller drains indices inline and waits only for indices
+  /// already claimed by actively executing threads, so there is no
+  /// circular wait through the queues. The first exception thrown by any
+  /// fn(i) is rethrown on the calling thread after every claimed index
+  /// has finished.
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& fn);
+
   [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// True when the calling thread is a worker of ANY ThreadPool — the
+  /// free parallel_for's serial-fallback predicate.
+  [[nodiscard]] static bool in_worker() noexcept;
 
   /// max(1, std::thread::hardware_concurrency()).
   [[nodiscard]] static std::size_t hardware_threads();
@@ -88,8 +125,10 @@ class ThreadPool {
 /// caller's thread). Each index runs exactly once; completion order is
 /// unspecified, so fn must only touch per-index state. The first exception
 /// thrown by any fn(i) is rethrown on the caller's thread after all
-/// submitted work has drained. Safe to nest: each call builds a private
-/// pool, so an fn(i) that itself calls parallel_for cannot deadlock.
+/// submitted work has drained. Safe to nest: a call issued from inside any
+/// pool worker runs SERIAL on the calling thread (documented fallback —
+/// outer sharding already owns the hardware, and per-index work is
+/// order-independent, so the results are bit-identical either way).
 void parallel_for(std::size_t count, std::size_t jobs,
                   const std::function<void(std::size_t)>& fn);
 

@@ -373,6 +373,111 @@ TEST(EngineConformance, WarmRoundsMatchColdRoundsBitForBit) {
   }
 }
 
+TEST(EngineConformance, InnerParallelRoundsMatchSerialBitForBit) {
+  // The intra-round parallelism contract, per registered kind: an engine
+  // with inner_jobs = 4 (kernels, chunk products, and decode groups fanned
+  // over its inner pool) must produce byte-identical rounds to the serial
+  // twin — latency bits, product bits, prediction vectors, accounting
+  // totals, decode telemetry. The fan-outs only repartition already
+  // output-disjoint work (row tiles, (worker, chunk) slots, responder-set
+  // groups), so any divergence is a real ownership bug, not roundoff.
+  const FunctionalRig rig;
+  const test::FunctionalHessian hess;
+  for (const StrategyKind k : core::registered_strategies()) {
+    EngineParams serial_params = functional_params(k, rig, hess);
+    EngineParams parallel_params = functional_params(k, rig, hess);
+    parallel_params.inner_jobs = 4;
+    const auto serial = core::make_engine(k, std::move(serial_params));
+    const auto inner = core::make_engine(k, std::move(parallel_params));
+    const std::span<const double> x =
+        is_poly(k) ? std::span<const double>(hess.x)
+                   : std::span<const double>(rig.x);
+    for (std::size_t round = 0; round < 3; ++round) {
+      const core::RoundResult s = serial->run_round(x);
+      const core::RoundResult p = inner->run_round(x);
+      EXPECT_EQ(s.stats.latency(), p.stats.latency())
+          << strategy_name(k) << " round " << round;
+      EXPECT_EQ(s.predicted_speeds, p.predicted_speeds)
+          << strategy_name(k) << " round " << round;
+      EXPECT_EQ(s.observed_speeds, p.observed_speeds)
+          << strategy_name(k) << " round " << round;
+      ASSERT_EQ(s.y.has_value(), p.y.has_value()) << strategy_name(k);
+      if (s.y.has_value()) {
+        ASSERT_EQ(s.y->size(), p.y->size()) << strategy_name(k);
+        for (std::size_t i = 0; i < s.y->size(); ++i) {
+          EXPECT_EQ((*s.y)[i], (*p.y)[i])
+              << strategy_name(k) << " round " << round << " row " << i
+              << ": inner-parallel round drifted off the serial bits";
+        }
+      }
+      ASSERT_EQ(s.hessian.has_value(), p.hessian.has_value())
+          << strategy_name(k);
+      if (s.hessian.has_value()) {
+        ASSERT_EQ(s.hessian->rows(), p.hessian->rows()) << strategy_name(k);
+        ASSERT_EQ(s.hessian->cols(), p.hessian->cols()) << strategy_name(k);
+        for (std::size_t r = 0; r < s.hessian->rows(); ++r) {
+          for (std::size_t c = 0; c < s.hessian->cols(); ++c) {
+            EXPECT_EQ((*s.hessian)(r, c), (*p.hessian)(r, c))
+                << strategy_name(k) << " round " << round;
+          }
+        }
+      }
+    }
+    EXPECT_EQ(serial->accounting().total_useful(),
+              inner->accounting().total_useful())
+        << strategy_name(k);
+    EXPECT_EQ(serial->accounting().total_wasted(),
+              inner->accounting().total_wasted())
+        << strategy_name(k);
+    const coding::DecodeContextStats ss = serial->decode_stats();
+    const coding::DecodeContextStats ps = inner->decode_stats();
+    EXPECT_EQ(ss.entries, ps.entries) << strategy_name(k);
+    EXPECT_EQ(ss.hits, ps.hits)
+        << strategy_name(k)
+        << ": parallel decode changed the cache hit/miss telemetry";
+    EXPECT_EQ(ss.misses, ps.misses) << strategy_name(k);
+  }
+}
+
+TEST(EngineConformance, InnerParallelBlockRoundsMatchSerialBitForBit) {
+  // Same contract over the multi-RHS block data path (the serving layer's
+  // round): y_block must carry the serial bits at inner_jobs = 4 — the
+  // widest per-chunk spans and the batched multi-RHS decode both ride the
+  // parallel fan-outs here.
+  const FunctionalRig rig;
+  const test::FunctionalHessian hess;
+  constexpr std::size_t kWidth = 3;
+  linalg::Matrix x_panel(rig.a.cols(), kWidth);
+  util::Rng panel_rng(29);
+  for (std::size_t r = 0; r < x_panel.rows(); ++r) {
+    for (std::size_t c = 0; c < kWidth; ++c) x_panel(r, c) = panel_rng.normal();
+  }
+  for (const StrategyKind k : core::registered_strategies()) {
+    if (!core::strategy_supports_block_rounds(k) || is_poly(k)) continue;
+    EngineParams parallel_params = functional_params(k, rig, hess);
+    parallel_params.inner_jobs = 4;
+    const auto serial = core::make_engine(k, functional_params(k, rig, hess));
+    const auto inner = core::make_engine(k, std::move(parallel_params));
+    for (std::size_t round = 0; round < 2; ++round) {
+      const core::RoundResult s = serial->run_round_block(x_panel, kWidth);
+      const core::RoundResult p = inner->run_round_block(x_panel, kWidth);
+      EXPECT_EQ(s.stats.latency(), p.stats.latency())
+          << strategy_name(k) << " round " << round;
+      ASSERT_TRUE(s.y_block.has_value()) << strategy_name(k);
+      ASSERT_TRUE(p.y_block.has_value()) << strategy_name(k);
+      ASSERT_EQ(s.y_block->rows(), p.y_block->rows()) << strategy_name(k);
+      ASSERT_EQ(s.y_block->cols(), p.y_block->cols()) << strategy_name(k);
+      for (std::size_t r = 0; r < s.y_block->rows(); ++r) {
+        for (std::size_t c = 0; c < s.y_block->cols(); ++c) {
+          EXPECT_EQ((*s.y_block)(r, c), (*p.y_block)(r, c))
+              << strategy_name(k) << " round " << round << " (" << r << ", "
+              << c << ")";
+        }
+      }
+    }
+  }
+}
+
 TEST(EngineConformance, DecodeCacheWarmsAcrossRepeatedRounds) {
   // Coded kinds charge decode through coding::DecodeContext; on a uniform
   // cluster the responder set repeats, so after the first round every

@@ -6,11 +6,9 @@
 // the calling thread.
 //
 // The scheduling paths here are concurrency-sensitive; to re-check them
-// under ThreadSanitizer build and run this suite alone:
-//   cmake -B build-tsan -S . -DCMAKE_CXX_FLAGS="-fsanitize=thread -g -O1"
-//         -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"   (one command line)
-//   cmake --build build-tsan --target thread_pool_test -j
-//   ./build-tsan/thread_pool_test
+// under ThreadSanitizer use the dedicated preset (CI runs it on push):
+//   cmake --preset tsan && cmake --build --preset tsan -j
+//   ctest --test-dir build-tsan
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -169,13 +167,82 @@ TEST(ParallelFor, SkewedSlotWritesBitIdenticalAcrossJobCounts) {
 }
 
 TEST(ParallelFor, NestedCallsDoNotDeadlock) {
-  // Each outer index runs an inner parallel_for; pools are per-call, so
-  // inner sweeps never wait on the outer pool's own workers.
+  // Each outer index runs an inner parallel_for. The nesting contract
+  // (thread_pool.h): a free parallel_for issued from inside any pool
+  // worker falls back to SERIAL on the calling thread, so inner sweeps
+  // never wait on — or multiply — the outer pool's workers.
   std::atomic<int> inner_total{0};
   parallel_for(6, 3, [&](std::size_t) {
     parallel_for(8, 2, [&](std::size_t) { ++inner_total; });
   });
   EXPECT_EQ(inner_total.load(), 48);
+}
+
+TEST(ParallelFor, NestedCallInsideWorkerRunsSerial) {
+  // The serial fallback is observable: inside a pool worker in_worker()
+  // is true and a nested free parallel_for executes every index on the
+  // calling thread itself.
+  EXPECT_FALSE(ThreadPool::in_worker());
+  std::atomic<int> outer_in_worker{0};
+  std::atomic<int> inner_on_caller{0};
+  parallel_for(4, 4, [&](std::size_t) {
+    const std::thread::id outer_tid = std::this_thread::get_id();
+    if (ThreadPool::in_worker()) ++outer_in_worker;
+    parallel_for(16, 8, [&](std::size_t) {
+      if (std::this_thread::get_id() == outer_tid) ++inner_on_caller;
+    });
+  });
+  // The free parallel_for runs every index on a private pool's workers
+  // (the caller only waits), so all four outer indices see in_worker().
+  EXPECT_EQ(outer_in_worker.load(), 4);
+  EXPECT_EQ(inner_on_caller.load(), 4 * 16);
+  EXPECT_FALSE(ThreadPool::in_worker());
+}
+
+TEST(ThreadPool, MemberParallelForRunsEveryIndexOnce) {
+  ThreadPool pool(3);
+  for (const std::size_t count : {1u, 2u, 7u, 129u}) {
+    std::vector<std::atomic<int>> hits(count);
+    pool.parallel_for(count, [&](std::size_t i) { ++hits[i]; });
+    for (std::size_t i = 0; i < count; ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "count=" << count << " i=" << i;
+    }
+  }
+}
+
+TEST(ThreadPool, MemberParallelForIsHelpFirstFromInsideATask) {
+  // The deadlock scenario the help-first design removes: a pool task fans
+  // out on its own pool. The caller drains indices inline, so this
+  // completes even on a 1-thread pool whose only worker IS the caller.
+  ThreadPool pool(1);
+  std::atomic<int> total{0};
+  std::atomic<bool> done{false};
+  pool.submit([&] {
+    pool.parallel_for(32, [&](std::size_t) { ++total; });
+    done = true;
+  });
+  pool.wait_idle();
+  EXPECT_TRUE(done.load());
+  EXPECT_EQ(total.load(), 32);
+}
+
+TEST(ThreadPool, MemberParallelForPropagatesExceptions) {
+  ThreadPool pool(2);
+  std::atomic<int> completed{0};
+  try {
+    pool.parallel_for(64, [&](std::size_t i) {
+      if (i == 5) throw std::runtime_error("inner boom");
+      ++completed;
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "inner boom");
+  }
+  EXPECT_LT(completed.load(), 64);
+  // The pool must stay usable after a failed fan-out.
+  std::atomic<int> after{0};
+  pool.parallel_for(8, [&](std::size_t) { ++after; });
+  EXPECT_EQ(after.load(), 8);
 }
 
 TEST(ParallelFor, EmptyCountIsANoOp) {
